@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark prints the same rows the paper's table or figure reports,
+so ``pytest benchmarks/ --benchmark-only -s`` regenerates the evaluation
+section.  Absolute numbers depend on the calibrated library; the *shape*
+(who wins, by what factor, where crossovers fall) is asserted.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.tech import artisan90
+
+#: the paper's clock for the Example 1 experiments.
+PAPER_CLOCK_PS = 1600.0
+
+#: set REPRO_FULL=1 to run the full-size Figure 9/10 sweeps.
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def lib():
+    """The calibrated artisan-90nm-typical library."""
+    return artisan90()
+
+
+def banner(title: str) -> None:
+    """Print a section header for the harness output."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+_SWEEP_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def idct_sweep(lib):
+    """The Figure 10/11 sweep, computed once and shared by both benches."""
+    def run(full: bool):
+        key = ("idct", full)
+        if key not in _SWEEP_CACHE:
+            from repro.explore import PAPER_MICROARCHS, sweep_microarchitectures
+            from repro.workloads.idct import build_idct2d
+            factory = (lambda: build_idct2d(columns=4)) if full \
+                else (lambda: build_idct2d(columns=1))
+            clocks = (1000.0, 1250.0, 1600.0, 2100.0, 2800.0)
+            _SWEEP_CACHE[key] = sweep_microarchitectures(
+                factory, lib, PAPER_MICROARCHS, clocks)
+        return list(_SWEEP_CACHE[key])
+    return run

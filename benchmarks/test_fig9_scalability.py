@@ -1,0 +1,58 @@
+"""Figure 9: profiling designs and scheduling times.
+
+The paper schedules ~40 industrial designs of 100..6000 operations and
+plots runtime against operation count, observing that "execution time
+does not correlate with input CDFG size, but depends on the number of
+pass scheduler calls" (constraint tightness).
+
+Default run uses a reduced population (12 designs up to ~1500 ops) so the
+harness stays minutes-fast; set REPRO_FULL=1 for the full 40-design
+100..6000 sweep.
+"""
+
+import time
+
+from repro.core import ScheduleError, schedule_region
+from repro.rtl.reports import format_table
+from repro.workloads.synthetic import industrial_suite
+
+from benchmarks.conftest import FULL, banner
+
+
+def test_fig9(lib, benchmark):
+    if FULL:
+        designs = industrial_suite(n_designs=40, max_ops=6000)
+    else:
+        designs = industrial_suite(n_designs=10, max_ops=1200)
+
+    def run():
+        rows = []
+        for spec, region in designs:
+            t0 = time.perf_counter()
+            try:
+                schedule = schedule_region(region, lib, 1600.0)
+                elapsed = time.perf_counter() - t0
+                rows.append((spec.name, len(region.dfg), schedule.passes,
+                             schedule.latency, elapsed))
+            except ScheduleError:
+                rows.append((spec.name, len(region.dfg), -1, -1,
+                             time.perf_counter() - t0))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("Figure 9: scheduling time vs design size "
+           f"({len(rows)} designs{'' if FULL else ', reduced population'})")
+    print(format_table(
+        ["design", "#ops", "passes", "latency", "time (s)"],
+        [[n, ops, p, lat, f"{t:.2f}"] for n, ops, p, lat, t in rows]))
+    ok = [r for r in rows if r[2] > 0]
+    assert len(ok) == len(rows), "every design must schedule"
+    # the paper's claim: runtime tracks pass count, not size.
+    times = [t for _n, _o, _p, _l, t in ok]
+    passes = [p for _n, _o, _p, _l, p in ok]
+    sizes = [o for _n, o, _p, _l, _t in ok]
+    import numpy as np
+    corr_passes = float(np.corrcoef(passes, times)[0, 1])
+    print(f"\ncorr(time, passes) = {corr_passes:.2f}, "
+          f"corr(time, ops) = {float(np.corrcoef(sizes, times)[0, 1]):.2f}")
+    assert max(times) < 600.0, "no design may take longer than 10 minutes"

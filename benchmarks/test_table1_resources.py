@@ -1,0 +1,22 @@
+"""Table 1: the initial set of resources with delays.
+
+Paper row (artisan_90nm_typical, 32-bit, Tclk = 1600 ps):
+mul 930 | add 350 | gt 220 | neq 60 | ff 40/70 | mux2 110 | mux3 115
+"""
+
+from repro.rtl.reports import format_table
+
+from benchmarks.conftest import banner
+
+PAPER_TABLE1 = {"mul": 930, "add": 350, "gt": 220, "neq": 60,
+                "ff": "40/70", "mux2": 110, "mux3": 115}
+
+
+def test_table1(lib, benchmark):
+    row = benchmark(lib.table1)
+    banner("Table 1: initial set of resources with delays (ps)")
+    headers = list(row.keys())
+    print(format_table(["source"] + headers,
+                       [["paper"] + [PAPER_TABLE1[h] for h in headers],
+                        ["ours"] + [row[h] for h in headers]]))
+    assert row == PAPER_TABLE1

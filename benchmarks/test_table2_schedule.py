@@ -1,0 +1,34 @@
+"""Table 2: the schedule for Example 1 (sequential, 3 states, 1 mul).
+
+Paper grid::
+
+            mul      add     gt     neq     mux
+    s1      mul1_op  add_op          neq_op
+    s2      mul2_op           gt_op          mux_op
+    s3      mul3_op
+"""
+
+from repro.core import schedule_region
+from repro.workloads import build_example1
+
+from benchmarks.conftest import PAPER_CLOCK_PS, banner
+
+PAPER_STATES = {
+    "mul1_op": 0, "add_op": 0, "neq_op": 0,
+    "mul2_op": 1, "gt_op": 1, "MUX": 1,
+    "mul3_op": 2,
+}
+
+
+def test_table2(lib, benchmark):
+    schedule = benchmark(
+        lambda: schedule_region(build_example1(), lib, PAPER_CLOCK_PS))
+    banner("Table 2: schedule for Example 1 (Tclk=1600ps, 1<=latency<=3)")
+    print(schedule.table())
+    print(f"\npasses: {schedule.passes} "
+          f"(paper: 3 -- two relaxations adding states)")
+    by_name = {b.op.name: b.state for b in schedule.bindings.values()}
+    for name, state in PAPER_STATES.items():
+        assert by_name[name] == state, (name, by_name[name], state)
+    assert schedule.latency == 3
+    assert schedule.pool.summary()["mul_32"] == 1

@@ -1,0 +1,46 @@
+"""Table 3: comparing microarchitectures for Example 1.
+
+Paper row:  S (sequential)  P2 (II=2)  P1 (II=1)
+cycles/iter       3             2          1
+area            16094         24010      30491
+"""
+
+import pytest
+
+from repro.core import schedule_region
+from repro.core.pipeline import pipeline_loop
+from repro.rtl.reports import format_table
+from repro.workloads import build_example1
+
+from benchmarks.conftest import PAPER_CLOCK_PS, banner
+
+PAPER_AREAS = {"S": 16094, "P2": 24010, "P1": 30491}
+
+
+def _all_three(lib):
+    s = schedule_region(build_example1(), lib, PAPER_CLOCK_PS)
+    p2 = pipeline_loop(build_example1(), lib, PAPER_CLOCK_PS, ii=2).schedule
+    p1 = pipeline_loop(build_example1(), lib, PAPER_CLOCK_PS, ii=1).schedule
+    return s, p2, p1
+
+
+def test_table3(lib, benchmark):
+    s, p2, p1 = benchmark(_all_three, lib)
+    banner("Table 3: comparing microarchitectures for Example 1")
+    rows = [
+        ["#cycles/iteration (paper)", 3, 2, 1],
+        ["#cycles/iteration (ours)", s.ii_effective, p2.ii_effective,
+         p1.ii_effective],
+        ["area (paper)", PAPER_AREAS["S"], PAPER_AREAS["P2"],
+         PAPER_AREAS["P1"]],
+        ["area (ours)", round(s.area), round(p2.area), round(p1.area)],
+        ["multipliers", s.pool.summary()["mul_32"],
+         p2.pool.summary()["mul_32"], p1.pool.summary()["mul_32"]],
+    ]
+    print(format_table(["", "Sequential(S)", "Pipe II=2 (P2)",
+                        "Pipe II=1 (P1)"], rows))
+    assert (s.ii_effective, p2.ii_effective, p1.ii_effective) == (3, 2, 1)
+    assert s.area < p2.area < p1.area
+    assert s.area == pytest.approx(PAPER_AREAS["S"], rel=0.05)
+    assert p2.area == pytest.approx(PAPER_AREAS["P2"], rel=0.05)
+    assert p1.area == pytest.approx(PAPER_AREAS["P1"], rel=0.05)

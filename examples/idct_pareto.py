@@ -1,0 +1,49 @@
+"""Design-space exploration of the IDCT (Figures 10 and 11).
+
+Sweeps the paper's five microarchitectures (non-pipelined 8/16/32,
+pipelined 16/32) across clock periods, printing area/delay and
+power/delay series and the Pareto front.  The paper's key observation --
+the bottom-left Pareto corner is reachable only by pipelining -- falls
+out of the table.
+
+Run:  python examples/idct_pareto.py
+"""
+
+from repro.explore import (
+    PAPER_MICROARCHS,
+    group_by_microarch,
+    pareto_front,
+    sweep_microarchitectures,
+)
+from repro.rtl.reports import format_table, pareto_header
+from repro.tech import artisan90
+from repro.workloads.idct import build_idct8
+
+
+def main() -> None:
+    library = artisan90()
+    print("Running the 25-point HLS sweep (5 microarchitectures x 5 "
+          "clocks)...")
+    points = sweep_microarchitectures(build_idct8, library)
+
+    print(f"\n{len(points)} of 25 configurations feasible\n")
+    for name, curve in group_by_microarch(points).items():
+        print(f"--- {name} ---")
+        print(format_table(pareto_header(), [p.row() for p in curve]))
+        print()
+
+    front = pareto_front(points, x="delay_ps", y="area")
+    print("Area/delay Pareto front:")
+    print(format_table(pareto_header(), [p.row() for p in front]))
+
+    best = min(points, key=lambda p: (p.delay_ps, p.area))
+    print(f"\nbest-delay point: {best.microarch} @ {best.clock_ps:.0f} ps "
+          f"(delay {best.delay_ps:.0f} ps, area {best.area:.0f}, "
+          f"power {best.power_mw:.2f} mW)")
+    if best.microarch.startswith("Pipelined"):
+        print("-> as in the paper, the bottom-left corner is pipelined, "
+              "and it pays a power premium (Figure 11).")
+
+
+if __name__ == "__main__":
+    main()

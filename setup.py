@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+The sandbox this project is developed in has no network access and no
+``wheel`` package, so PEP 660 editable installs cannot build; this shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` via the fallback) use the classic ``setup.py
+develop`` path.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+)

@@ -1,0 +1,45 @@
+"""Control/data flow graph intermediate representation.
+
+The CDFG is the substrate every other subsystem operates on: the frontend
+elaborates source into it, the optimizer rewrites it, and the scheduler
+binds its operations to control steps and resources (paper section II).
+"""
+
+from repro.cdfg.builder import LoopVar, RegionBuilder, Value
+from repro.cdfg.cfg import CFG, CFGEdge, CFGNode, NodeKind
+from repro.cdfg.dfg import DFG, DataEdge, DFGError
+from repro.cdfg.ops import (
+    CONDITION_KINDS,
+    FREE_KINDS,
+    IO_KINDS,
+    MUX_KINDS,
+    Operation,
+    OpKind,
+    arity_of,
+)
+from repro.cdfg.predicates import Predicate, mutually_exclusive
+from repro.cdfg.region import PipelineSpec, Region
+
+__all__ = [
+    "CFG",
+    "CFGEdge",
+    "CFGNode",
+    "CONDITION_KINDS",
+    "DFG",
+    "DFGError",
+    "DataEdge",
+    "FREE_KINDS",
+    "IO_KINDS",
+    "LoopVar",
+    "MUX_KINDS",
+    "NodeKind",
+    "Operation",
+    "OpKind",
+    "PipelineSpec",
+    "Predicate",
+    "Region",
+    "RegionBuilder",
+    "Value",
+    "arity_of",
+    "mutually_exclusive",
+]

@@ -1,0 +1,355 @@
+"""Fluent construction API for regions.
+
+The builder mirrors how the paper's elaboration step produces a DFG from
+SystemC: port reads, arithmetic on value handles, conditional selects and
+loop-carried variables.  It is the programmatic twin of the textual
+frontend (:mod:`repro.frontend`) and the main way tests and workloads
+construct designs.
+
+Example (the paper's Figure 1 do/while body)::
+
+    b = RegionBuilder("example1", is_loop=True)
+    mask = b.read("mask", 32)
+    chrome = b.read("chrome", 32)
+    delta = b.mul(mask, chrome, name="mul1_op")
+    aver = b.loop_var("aver", b.const(0, 32))
+    ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.cdfg.dfg import DFG, DFGError
+from repro.cdfg.ops import Operation, OpKind
+from repro.cdfg.predicates import Predicate
+from repro.cdfg.region import Region
+
+ValueLike = Union["Value", int]
+
+
+@dataclass(frozen=True)
+class Value:
+    """Handle to an operation's result within a builder."""
+
+    op: Operation
+
+    @property
+    def width(self) -> int:
+        """Result width in bits."""
+        return self.op.width
+
+
+class LoopVar:
+    """A loop-carried variable: a LOOPMUX awaiting its carried input."""
+
+    def __init__(self, builder: "RegionBuilder", name: str, mux: Operation) -> None:
+        self._builder = builder
+        self.name = name
+        self.mux = mux
+        self.closed = False
+
+    @property
+    def value(self) -> Value:
+        """The current-iteration value (output of the loop mux)."""
+        return Value(self.mux)
+
+    def set_next(self, value: ValueLike, distance: int = 1) -> None:
+        """Provide the value carried into the next iteration."""
+        if self.closed:
+            raise DFGError(f"loop_var {self.name}: next value already set")
+        resolved = self._builder._as_value(value, self.mux.width)
+        self._builder.dfg.connect(resolved.op, self.mux, 1, distance=distance)
+        self.closed = True
+
+
+class RegionBuilder:
+    """Builds a :class:`~repro.cdfg.region.Region` operation by operation."""
+
+    def __init__(
+        self,
+        name: str,
+        is_loop: bool = True,
+        min_latency: int = 1,
+        max_latency: int = 64,
+    ) -> None:
+        self.name = name
+        self.dfg = DFG(name)
+        self.is_loop = is_loop
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self._loop_vars: List[LoopVar] = []
+        self._exit_op: Optional[Operation] = None
+        self._trip_count: Optional[int] = None
+        self._predicate_stack: List[Predicate] = [Predicate.true()]
+        self._const_cache: Dict[Tuple[int, int], Operation] = {}
+
+    # ------------------------------------------------------------------
+    # predicate scoping (if-conversion)
+    # ------------------------------------------------------------------
+    def _current_predicate(self) -> Predicate:
+        return self._predicate_stack[-1]
+
+    def under(self, cond: Value, polarity: bool = True) -> "_PredicateScope":
+        """Context manager: operations built inside carry the predicate.
+
+        This is the builder-level equivalent of predicate conversion
+        (paper Fig. 4): branch bodies become predicated straight-line code.
+        """
+        pred = self._current_predicate().with_literal(cond.op.uid, polarity)
+        return _PredicateScope(self, pred)
+
+    def unconditional(self) -> "_PredicateScope":
+        """Context manager suspending the current predicate.
+
+        Used for side-effect-free operations hoisted out of branches
+        (e.g. port sampling: the *use* of the value is predicated, the
+        sampling itself is not).
+        """
+        return _PredicateScope(self, Predicate.true())
+
+    # ------------------------------------------------------------------
+    # value coercion
+    # ------------------------------------------------------------------
+    def _as_value(self, val: ValueLike, width: int) -> Value:
+        if isinstance(val, Value):
+            return val
+        if isinstance(val, LoopVar):
+            return val.value
+        if isinstance(val, int):
+            return self.const(val, width)
+        raise TypeError(f"cannot coerce {val!r} to a DFG value")
+
+    def _binary(
+        self,
+        kind: OpKind,
+        a: ValueLike,
+        b: ValueLike,
+        width: Optional[int] = None,
+        name: str = "",
+    ) -> Value:
+        wa = a.width if isinstance(a, Value) else (width or 32)
+        va = self._as_value(a, wa)
+        vb = self._as_value(b, va.width)
+        out_width = width if width is not None else max(va.width, vb.width)
+        if kind in (OpKind.LT, OpKind.GT, OpKind.LE, OpKind.GE,
+                    OpKind.EQ, OpKind.NEQ):
+            out_width = 1
+        op = self.dfg.add_op(kind, out_width, name=name,
+                             predicate=self._current_predicate())
+        op.operand_widths = (va.width, vb.width)
+        self.dfg.connect(va.op, op, 0)
+        self.dfg.connect(vb.op, op, 1)
+        return Value(op)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def const(self, value: int, width: int) -> Value:
+        """An integer constant (cached per value/width)."""
+        key = (value, width)
+        cached = self._const_cache.get(key)
+        if cached is None:
+            cached = self.dfg.add_op(OpKind.CONST, width,
+                                     name=f"const_{value}_{width}",
+                                     payload=value)
+            self._const_cache[key] = cached
+        return Value(cached)
+
+    def read(self, port: str, width: int, name: str = "",
+             state: Optional[int] = 0) -> Value:
+        """A port read, pinned by default to the first control step.
+
+        The paper schedules I/O at the states given in the source; loop
+        input sampling happens at iteration start, hence the default pin.
+        """
+        op = self.dfg.add_op(OpKind.READ, width,
+                             name=name or f"{port}_read", payload=port,
+                             predicate=self._current_predicate(),
+                             pinned_state=state)
+        return Value(op)
+
+    def write(self, port: str, value: ValueLike, name: str = "",
+              state: Optional[int] = None) -> Operation:
+        """A port write; unpinned by default (data dependencies place it)."""
+        val = self._as_value(value, 32)
+        op = self.dfg.add_op(OpKind.WRITE, val.width,
+                             name=name or f"{port}_write", payload=port,
+                             predicate=self._current_predicate(),
+                             pinned_state=state)
+        self.dfg.connect(val.op, op, 0)
+        return op
+
+    def add(self, a: ValueLike, b: ValueLike, width: Optional[int] = None,
+            name: str = "") -> Value:
+        """Addition."""
+        return self._binary(OpKind.ADD, a, b, width, name)
+
+    def sub(self, a: ValueLike, b: ValueLike, width: Optional[int] = None,
+            name: str = "") -> Value:
+        """Subtraction."""
+        return self._binary(OpKind.SUB, a, b, width, name)
+
+    def mul(self, a: ValueLike, b: ValueLike, width: Optional[int] = None,
+            name: str = "") -> Value:
+        """Multiplication."""
+        return self._binary(OpKind.MUL, a, b, width, name)
+
+    def div(self, a: ValueLike, b: ValueLike, width: Optional[int] = None,
+            name: str = "") -> Value:
+        """Division."""
+        return self._binary(OpKind.DIV, a, b, width, name)
+
+    def shl(self, a: ValueLike, b: ValueLike, width: Optional[int] = None,
+            name: str = "") -> Value:
+        """Logical shift left."""
+        return self._binary(OpKind.SHL, a, b, width, name)
+
+    def shr(self, a: ValueLike, b: ValueLike, width: Optional[int] = None,
+            name: str = "") -> Value:
+        """Logical shift right."""
+        return self._binary(OpKind.SHR, a, b, width, name)
+
+    def and_(self, a: ValueLike, b: ValueLike, name: str = "") -> Value:
+        """Bitwise and."""
+        return self._binary(OpKind.AND, a, b, None, name)
+
+    def or_(self, a: ValueLike, b: ValueLike, name: str = "") -> Value:
+        """Bitwise or."""
+        return self._binary(OpKind.OR, a, b, None, name)
+
+    def xor(self, a: ValueLike, b: ValueLike, name: str = "") -> Value:
+        """Bitwise xor."""
+        return self._binary(OpKind.XOR, a, b, None, name)
+
+    def lt(self, a: ValueLike, b: ValueLike, name: str = "") -> Value:
+        """Signed less-than (1-bit result)."""
+        return self._binary(OpKind.LT, a, b, None, name)
+
+    def gt(self, a: ValueLike, b: ValueLike, name: str = "") -> Value:
+        """Signed greater-than (1-bit result)."""
+        return self._binary(OpKind.GT, a, b, None, name)
+
+    def le(self, a: ValueLike, b: ValueLike, name: str = "") -> Value:
+        """Signed less-or-equal (1-bit result)."""
+        return self._binary(OpKind.LE, a, b, None, name)
+
+    def ge(self, a: ValueLike, b: ValueLike, name: str = "") -> Value:
+        """Signed greater-or-equal (1-bit result)."""
+        return self._binary(OpKind.GE, a, b, None, name)
+
+    def eq(self, a: ValueLike, b: ValueLike, name: str = "") -> Value:
+        """Equality (1-bit result)."""
+        return self._binary(OpKind.EQ, a, b, None, name)
+
+    def neq(self, a: ValueLike, b: ValueLike, name: str = "") -> Value:
+        """Inequality (1-bit result)."""
+        return self._binary(OpKind.NEQ, a, b, None, name)
+
+    def mux(self, sel: ValueLike, if_true: ValueLike, if_false: ValueLike,
+            name: str = "") -> Value:
+        """2-way select; ``sel`` must be a 1-bit condition."""
+        vs = self._as_value(sel, 1)
+        vt = self._as_value(if_true, 32)
+        vf = self._as_value(if_false, vt.width)
+        op = self.dfg.add_op(OpKind.MUX, max(vt.width, vf.width), name=name,
+                             predicate=self._current_predicate())
+        self.dfg.connect(vs.op, op, 0)
+        self.dfg.connect(vt.op, op, 1)
+        self.dfg.connect(vf.op, op, 2)
+        return Value(op)
+
+    def slice_(self, a: ValueLike, hi: int, lo: int, name: str = "") -> Value:
+        """Bit range ``a[hi:lo]`` (free wiring)."""
+        va = self._as_value(a, 32)
+        if not 0 <= lo <= hi < va.width:
+            raise DFGError(f"slice [{hi}:{lo}] out of range for w{va.width}")
+        op = self.dfg.add_op(OpKind.SLICE, hi - lo + 1, name=name,
+                             payload=(hi, lo),
+                             predicate=self._current_predicate())
+        self.dfg.connect(va.op, op, 0)
+        return Value(op)
+
+    def zext(self, a: ValueLike, width: int, name: str = "") -> Value:
+        """Zero extension (free wiring)."""
+        va = self._as_value(a, width)
+        op = self.dfg.add_op(OpKind.ZEXT, width, name=name,
+                             predicate=self._current_predicate())
+        self.dfg.connect(va.op, op, 0)
+        return Value(op)
+
+    def call(self, ip_name: str, args: List[ValueLike], width: int,
+             name: str = "") -> Value:
+        """Black-box IP invocation (possibly multi-cycle resource)."""
+        op = self.dfg.add_op(OpKind.CALL, width, name=name or ip_name,
+                             payload=ip_name,
+                             predicate=self._current_predicate())
+        for port, arg in enumerate(args):
+            val = self._as_value(arg, width)
+            self.dfg.connect(val.op, op, port)
+        return Value(op)
+
+    def loop_var(self, name: str, init: ValueLike) -> LoopVar:
+        """A loop-carried variable; call ``set_next`` to close the cycle."""
+        if not self.is_loop:
+            raise DFGError("loop_var requires a loop region")
+        vi = self._as_value(init, 32)
+        mux = self.dfg.add_op(OpKind.LOOPMUX, vi.width, name=f"{name}_loopmux")
+        self.dfg.connect(vi.op, mux, 0)
+        var = LoopVar(self, name, mux)
+        self._loop_vars.append(var)
+        return var
+
+    def stall_on(self, cond: ValueLike, name: str = "stall") -> Operation:
+        """Mark a stalling condition (nested busy-wait loop, section V)."""
+        vc = self._as_value(cond, 1)
+        op = self.dfg.add_op(OpKind.STALL, 1, name=name)
+        self.dfg.connect(vc.op, op, 0)
+        return op
+
+    def exit_when_false(self, cond: Value) -> None:
+        """Do/while exit: the loop repeats while ``cond`` is true."""
+        if not self.is_loop:
+            raise DFGError("exit condition requires a loop region")
+        cond.op.is_exit_test = True
+        self._exit_op = cond.op
+
+    def set_trip_count(self, count: int) -> None:
+        """Declare a known iteration count (counted loop)."""
+        self._trip_count = count
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> Region:
+        """Produce the region; validates invariants by default."""
+        for var in self._loop_vars:
+            if not var.closed:
+                raise DFGError(f"loop_var {var.name}: next value never set")
+        region = Region(
+            name=self.name,
+            dfg=self.dfg,
+            is_loop=self.is_loop,
+            min_latency=self.min_latency,
+            max_latency=self.max_latency,
+            exit_op_uid=self._exit_op.uid if self._exit_op else None,
+            trip_count=self._trip_count,
+        )
+        if validate:
+            region.validate()
+        return region
+
+
+class _PredicateScope:
+    """Context manager pushing a predicate for builder calls inside it."""
+
+    def __init__(self, builder: RegionBuilder, predicate: Predicate) -> None:
+        self._builder = builder
+        self._predicate = predicate
+
+    def __enter__(self) -> None:
+        self._builder._predicate_stack.append(self._predicate)
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._builder._predicate_stack.pop()

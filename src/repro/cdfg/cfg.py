@@ -1,0 +1,252 @@
+"""Control flow graph.
+
+The CFG produced by elaboration has nodes that either mark control
+structure (fork/join from conditionals, loop head/tail) or correspond to
+``wait()`` calls (state boundaries).  Edges are *control steps*: the
+combinational work performed between two state boundaries within one clock
+cycle.  DFG operations are associated with CFG edges (paper section II).
+
+The micro-architecture transformer turns a loop of the CFG into a
+:class:`~repro.cdfg.region.Region` for the scheduler by
+
+1. balancing the latency of all fork/join branches (padding the shorter
+   branch with empty states), and
+2. applying full predicate conversion so the body becomes a straight-line
+   sequence of control steps (paper section V, step I.1).
+
+The value-merge part of predicate conversion (MUX insertion) is performed
+during elaboration; the CFG-level transform recorded here flattens the
+*structure* and re-homes operations onto the linear spine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.cdfg.dfg import DFG, DFGError
+from repro.cdfg.ops import Operation
+
+
+class NodeKind(str, enum.Enum):
+    """CFG node vocabulary."""
+
+    ENTRY = "entry"
+    EXIT = "exit"
+    STATE = "state"        # a wait() boundary
+    FORK = "fork"          # conditional split
+    JOIN = "join"          # conditional merge
+    LOOP_HEAD = "loop_head"
+    LOOP_TAIL = "loop_tail"
+
+
+@dataclass
+class CFGNode:
+    """A CFG node: control structure marker or state boundary."""
+
+    uid: int
+    kind: NodeKind
+    label: str = ""
+
+
+@dataclass
+class CFGEdge:
+    """A control step between two CFG nodes; carries DFG operations."""
+
+    uid: int
+    src: int
+    dst: int
+    ops: List[int] = field(default_factory=list)
+    #: for fork out-edges: polarity of the branch condition (True/False).
+    branch: Optional[bool] = None
+
+
+class CFG:
+    """A mutable control flow graph."""
+
+    def __init__(self, name: str = "cfg") -> None:
+        self.name = name
+        self._nodes: Dict[int, CFGNode] = {}
+        self._edges: Dict[int, CFGEdge] = {}
+        self._out: Dict[int, List[int]] = {}
+        self._in: Dict[int, List[int]] = {}
+        self._next_node = 0
+        self._next_edge = 0
+        self.entry: Optional[int] = None
+        self.exit: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, kind: NodeKind, label: str = "") -> CFGNode:
+        """Create a node of the given kind."""
+        node = CFGNode(self._next_node, kind, label)
+        self._next_node += 1
+        self._nodes[node.uid] = node
+        self._out[node.uid] = []
+        self._in[node.uid] = []
+        if kind is NodeKind.ENTRY:
+            self.entry = node.uid
+        elif kind is NodeKind.EXIT:
+            self.exit = node.uid
+        return node
+
+    def add_edge(self, src: CFGNode, dst: CFGNode,
+                 branch: Optional[bool] = None) -> CFGEdge:
+        """Create a control step from ``src`` to ``dst``."""
+        edge = CFGEdge(self._next_edge, src.uid, dst.uid, branch=branch)
+        self._next_edge += 1
+        self._edges[edge.uid] = edge
+        self._out[src.uid].append(edge.uid)
+        self._in[dst.uid].append(edge.uid)
+        return edge
+
+    def attach_op(self, edge: CFGEdge, op: Operation) -> None:
+        """Associate a DFG operation with a control step."""
+        edge.ops.append(op.uid)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def node(self, uid: int) -> CFGNode:
+        """Node by uid."""
+        return self._nodes[uid]
+
+    def edge(self, uid: int) -> CFGEdge:
+        """Edge by uid."""
+        return self._edges[uid]
+
+    @property
+    def nodes(self) -> List[CFGNode]:
+        """All nodes in creation order."""
+        return list(self._nodes.values())
+
+    @property
+    def edges(self) -> List[CFGEdge]:
+        """All edges in creation order."""
+        return list(self._edges.values())
+
+    def out_edges(self, uid: int) -> List[CFGEdge]:
+        """Outgoing edges of a node."""
+        return [self._edges[e] for e in self._out[uid]]
+
+    def in_edges(self, uid: int) -> List[CFGEdge]:
+        """Incoming edges of a node."""
+        return [self._edges[e] for e in self._in[uid]]
+
+    # ------------------------------------------------------------------
+    # structure helpers
+    # ------------------------------------------------------------------
+    def branch_latencies(self, fork_uid: int) -> Dict[bool, int]:
+        """States on each branch between a fork and its matching join.
+
+        Branches must re-converge at a single JOIN node; the count is the
+        number of STATE nodes passed through (the branch latency the
+        paper balances before predicate conversion).
+        """
+        fork = self._nodes[fork_uid]
+        if fork.kind is not NodeKind.FORK:
+            raise DFGError(f"node {fork_uid} is not a fork")
+        result: Dict[bool, int] = {}
+        for edge in self.out_edges(fork_uid):
+            states = 0
+            cur = edge.dst
+            guard = 0
+            while self._nodes[cur].kind is not NodeKind.JOIN:
+                if self._nodes[cur].kind is NodeKind.STATE:
+                    states += 1
+                outs = self.out_edges(cur)
+                if len(outs) != 1:
+                    raise DFGError(
+                        "branch_latencies supports single-path branches only")
+                cur = outs[0].dst
+                guard += 1
+                if guard > len(self._nodes):
+                    raise DFGError("branch does not reach a join")
+            result[bool(edge.branch)] = states
+        return result
+
+    def balance_fork(self, fork_uid: int) -> int:
+        """Pad the shorter branch of a fork with empty states.
+
+        Returns the number of states inserted.  After balancing, both
+        branches have equal latency, the precondition for predicate
+        conversion into a fixed-length straight line (paper step I.1).
+        """
+        lat = self.branch_latencies(fork_uid)
+        if len(lat) != 2:
+            raise DFGError("balance_fork requires a two-way fork")
+        diff = lat[True] - lat[False]
+        if diff == 0:
+            return 0
+        short = diff < 0
+        # walk to the node just before the join on the short branch
+        for edge in self.out_edges(fork_uid):
+            if bool(edge.branch) is not short:
+                continue
+            cur_edge = edge
+            while self._nodes[cur_edge.dst].kind is not NodeKind.JOIN:
+                cur_edge = self.out_edges(cur_edge.dst)[0]
+            join = self._nodes[cur_edge.dst]
+            prev = self._nodes[cur_edge.src]
+            # splice |diff| STATE nodes before the join
+            self._detach_edge(cur_edge)
+            last = prev
+            for i in range(abs(diff)):
+                pad = self.add_node(NodeKind.STATE, label=f"pad{i}")
+                self.add_edge(last, pad,
+                              branch=cur_edge.branch if last is prev else None)
+                last = pad
+            self.add_edge(last, join)
+        return abs(diff)
+
+    def _detach_edge(self, edge: CFGEdge) -> None:
+        self._out[edge.src].remove(edge.uid)
+        self._in[edge.dst].remove(edge.uid)
+        del self._edges[edge.uid]
+
+    def loop_spine(self, head_uid: int) -> List[CFGEdge]:
+        """The straight-line control steps of a structured loop body.
+
+        Valid after all forks inside the loop have been predicate
+        converted (i.e. the body is a chain of STATE nodes from LOOP_HEAD
+        to LOOP_TAIL).
+        """
+        head = self._nodes[head_uid]
+        if head.kind is not NodeKind.LOOP_HEAD:
+            raise DFGError(f"node {head_uid} is not a loop head")
+        spine: List[CFGEdge] = []
+        outs = [e for e in self.out_edges(head_uid)]
+        if len(outs) != 1:
+            raise DFGError("loop body must be linear; predicate-convert first")
+        cur = outs[0]
+        guard = 0
+        while True:
+            spine.append(cur)
+            node = self._nodes[cur.dst]
+            if node.kind is NodeKind.LOOP_TAIL:
+                return spine
+            if node.kind not in (NodeKind.STATE,):
+                raise DFGError(
+                    f"loop body not linear: hit {node.kind.value} node")
+            outs = self.out_edges(node.uid)
+            if len(outs) != 1:
+                raise DFGError("loop body must be linear")
+            cur = outs[0]
+            guard += 1
+            if guard > len(self._nodes) + 1:
+                raise DFGError("loop body does not reach its tail")
+
+    def validate(self) -> None:
+        """Check basic well-formedness (degrees per node kind)."""
+        for node in self._nodes.values():
+            outs, ins = self._out[node.uid], self._in[node.uid]
+            if node.kind is NodeKind.ENTRY and ins:
+                raise DFGError("entry node has predecessors")
+            if node.kind is NodeKind.EXIT and outs:
+                raise DFGError("exit node has successors")
+            if node.kind is NodeKind.FORK and len(outs) != 2:
+                raise DFGError(f"fork {node.uid} must have 2 out-edges")
+            if node.kind is NodeKind.JOIN and len(ins) < 2:
+                raise DFGError(f"join {node.uid} must have >=2 in-edges")

@@ -1,0 +1,317 @@
+"""Data flow graph.
+
+Nodes are :class:`~repro.cdfg.ops.Operation` objects; edges carry the
+consumer input-port index and a *distance*: 0 for intra-iteration
+dependencies, >=1 for loop-carried dependencies (values produced ``distance``
+iterations earlier).  Removing all edges with distance >= 1 must leave the
+graph acyclic; cycles through distance-1 edges are exactly the strongly
+connected components the pipeliner must keep within II states
+(paper section V, step I.3a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.cdfg.ops import Operation, OpKind, arity_of
+from repro.cdfg.predicates import Predicate
+
+
+@dataclass(frozen=True)
+class DataEdge:
+    """A data dependency: ``src`` output feeds ``dst`` input ``port``."""
+
+    src: int
+    dst: int
+    port: int
+    distance: int = 0
+
+
+class DFGError(ValueError):
+    """Raised on malformed data flow graphs."""
+
+
+class DFG:
+    """A mutable data flow graph with loop-carried edges.
+
+    The DFG owns operation uids (allocated by :meth:`add_op`) and keeps
+    adjacency both ways for O(degree) traversal.  All iteration orders are
+    deterministic (insertion order / sorted uids), which keeps scheduling
+    and benchmarks reproducible.
+    """
+
+    def __init__(self, name: str = "dfg") -> None:
+        self.name = name
+        self._ops: Dict[int, Operation] = {}
+        self._in_edges: Dict[int, List[DataEdge]] = {}
+        self._out_edges: Dict[int, List[DataEdge]] = {}
+        self._next_uid = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_op(
+        self,
+        kind: OpKind,
+        width: int,
+        name: str = "",
+        predicate: Optional[Predicate] = None,
+        payload: object = None,
+        pinned_state: Optional[int] = None,
+        pinned_resource: Optional[str] = None,
+        is_exit_test: bool = False,
+    ) -> Operation:
+        """Create and register a new operation; returns it."""
+        uid = self._next_uid
+        self._next_uid += 1
+        op = Operation(
+            uid=uid,
+            kind=kind,
+            width=width,
+            name=name,
+            predicate=predicate if predicate is not None else Predicate.true(),
+            payload=payload,
+            pinned_state=pinned_state,
+            pinned_resource=pinned_resource,
+            is_exit_test=is_exit_test,
+        )
+        self._ops[uid] = op
+        self._in_edges[uid] = []
+        self._out_edges[uid] = []
+        return op
+
+    def connect(self, src: Operation, dst: Operation, port: int, distance: int = 0) -> DataEdge:
+        """Add a data edge from ``src``'s output to ``dst``'s input ``port``."""
+        if src.uid not in self._ops or dst.uid not in self._ops:
+            raise DFGError("connect: operations must belong to this DFG")
+        if distance < 0:
+            raise DFGError("connect: distance must be non-negative")
+        for edge in self._in_edges[dst.uid]:
+            if edge.port == port:
+                raise DFGError(
+                    f"connect: input port {port} of {dst.name} already driven")
+        edge = DataEdge(src.uid, dst.uid, port, distance)
+        self._in_edges[dst.uid].append(edge)
+        self._out_edges[src.uid].append(edge)
+        return edge
+
+    def disconnect(self, edge: DataEdge) -> None:
+        """Remove a previously added edge."""
+        self._in_edges[edge.dst].remove(edge)
+        self._out_edges[edge.src].remove(edge)
+
+    def replace_input(self, dst: Operation, port: int, new_src: Operation) -> None:
+        """Re-drive ``dst``'s input ``port`` from ``new_src`` (same distance)."""
+        old = self.in_edge(dst.uid, port)
+        if old is None:
+            raise DFGError(f"replace_input: port {port} of {dst.name} not driven")
+        self.disconnect(old)
+        self.connect(new_src, dst, port, old.distance)
+
+    def remove_op(self, op: Operation) -> None:
+        """Remove an operation; it must have no remaining edges."""
+        if self._in_edges[op.uid] or self._out_edges[op.uid]:
+            raise DFGError(f"remove_op: {op.name} still connected")
+        del self._ops[op.uid]
+        del self._in_edges[op.uid]
+        del self._out_edges[op.uid]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def op(self, uid: int) -> Operation:
+        """The operation with the given uid."""
+        return self._ops[uid]
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def ops(self) -> List[Operation]:
+        """All operations in insertion order."""
+        return list(self._ops.values())
+
+    def ops_of_kind(self, *kinds: OpKind) -> List[Operation]:
+        """All operations whose kind is one of ``kinds``."""
+        wanted = set(kinds)
+        return [op for op in self._ops.values() if op.kind in wanted]
+
+    def in_edges(self, uid: int) -> List[DataEdge]:
+        """Incoming edges of an operation, in port order."""
+        return sorted(self._in_edges[uid], key=lambda e: e.port)
+
+    def out_edges(self, uid: int) -> List[DataEdge]:
+        """Outgoing edges of an operation."""
+        return list(self._out_edges[uid])
+
+    def in_edge(self, uid: int, port: int) -> Optional[DataEdge]:
+        """The edge driving input ``port`` of ``uid``, or None."""
+        for edge in self._in_edges[uid]:
+            if edge.port == port:
+                return edge
+        return None
+
+    def operand(self, uid: int, port: int) -> Optional[Operation]:
+        """The producer of input ``port`` of ``uid``, or None."""
+        edge = self.in_edge(uid, port)
+        return self._ops[edge.src] if edge is not None else None
+
+    def preds(self, uid: int, include_carried: bool = True) -> List[Operation]:
+        """Producers feeding ``uid`` (optionally skipping loop-carried edges)."""
+        edges = self._in_edges[uid]
+        return [self._ops[e.src] for e in edges
+                if include_carried or e.distance == 0]
+
+    def succs(self, uid: int, include_carried: bool = True) -> List[Operation]:
+        """Consumers of ``uid``'s result (optionally skipping carried edges)."""
+        edges = self._out_edges[uid]
+        return [self._ops[e.dst] for e in edges
+                if include_carried or e.distance == 0]
+
+    def fanout_cone_size(self, uid: int) -> int:
+        """Number of operations transitively reachable through distance-0 edges.
+
+        Used by the scheduler priority function (paper section IV.B: "the
+        size of the fanout cone of an operation").
+        """
+        seen: Set[int] = set()
+        stack = [e.dst for e in self._out_edges[uid] if e.distance == 0]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(e.dst for e in self._out_edges[cur] if e.distance == 0)
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # graph algorithms
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[Operation]:
+        """Operations sorted so every distance-0 producer precedes consumers.
+
+        Predicate conditions count as producers too: a predicated
+        operation's commit depends on its branch condition even though no
+        data edge connects them.  Raises :class:`DFGError` if the
+        resulting graph has a cycle.
+        """
+        indeg = {uid: 0 for uid in self._ops}
+        pred_consumers: Dict[int, List[int]] = {}
+        for uid, op in self._ops.items():
+            indeg[uid] = sum(1 for e in self._in_edges[uid]
+                             if e.distance == 0)
+            data_srcs = {e.src for e in self._in_edges[uid]}
+            for cond_uid in op.predicate.condition_uids():
+                if cond_uid in self._ops and cond_uid != uid \
+                        and cond_uid not in data_srcs:
+                    indeg[uid] += 1
+                    pred_consumers.setdefault(cond_uid, []).append(uid)
+        queue = sorted(uid for uid, d in indeg.items() if d == 0)
+        order: List[Operation] = []
+        while queue:
+            uid = queue.pop(0)
+            order.append(self._ops[uid])
+            for edge in self._out_edges[uid]:
+                if edge.distance != 0:
+                    continue
+                indeg[edge.dst] -= 1
+                if indeg[edge.dst] == 0:
+                    queue.append(edge.dst)
+            for waiter in pred_consumers.get(uid, ()):
+                indeg[waiter] -= 1
+                if indeg[waiter] == 0:
+                    queue.append(waiter)
+        if len(order) != len(self._ops):
+            raise DFGError("topological_order: intra-iteration cycle in DFG")
+        return order
+
+    def sccs(self) -> List[Set[int]]:
+        """Non-trivial strongly connected components (loop-carried cycles).
+
+        The graph used includes *all* edges regardless of distance, so a
+        cycle necessarily goes through at least one loop-carried edge.
+        Returns components with more than one node, or with a self loop.
+        These are the operation groups that must fit within II states when
+        pipelining (paper section V, step I.3a).
+        """
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._ops)
+        for edges in self._out_edges.values():
+            for edge in edges:
+                graph.add_edge(edge.src, edge.dst)
+        result: List[Set[int]] = []
+        for comp in nx.strongly_connected_components(graph):
+            if len(comp) > 1:
+                result.append(set(comp))
+            else:
+                (only,) = comp
+                if graph.has_edge(only, only):
+                    result.append({only})
+        result.sort(key=lambda comp: min(comp))
+        return result
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Export to a networkx multigraph (for analysis / debugging)."""
+        graph = nx.MultiDiGraph(name=self.name)
+        for uid, op in self._ops.items():
+            graph.add_node(uid, kind=op.kind.value, width=op.width, name=op.name)
+        for edges in self._out_edges.values():
+            for edge in edges:
+                graph.add_edge(edge.src, edge.dst, port=edge.port,
+                               distance=edge.distance)
+        return graph
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check well-formedness; raises :class:`DFGError` on violations."""
+        for uid, op in self._ops.items():
+            need = arity_of(op.kind)
+            edges = self._in_edges[uid]
+            ports = sorted(e.port for e in edges)
+            if need is not None and len(edges) != need:
+                raise DFGError(
+                    f"{op.name}: kind {op.kind.value} needs {need} inputs, "
+                    f"has {len(edges)}")
+            if ports != list(range(len(ports))):
+                raise DFGError(f"{op.name}: input ports not dense: {ports}")
+            if op.kind is OpKind.LOOPMUX:
+                init = self.in_edge(uid, 0)
+                carried = self.in_edge(uid, 1)
+                if init is None or carried is None:
+                    raise DFGError(f"{op.name}: loopmux needs both inputs")
+                if init.distance != 0 or carried.distance < 1:
+                    raise DFGError(
+                        f"{op.name}: loopmux port0 must be distance 0, "
+                        f"port1 distance >= 1")
+            elif op.kind is OpKind.WRITE:
+                if self._out_edges[uid]:
+                    raise DFGError(f"{op.name}: write must have no consumers")
+            for edge in edges:
+                if edge.distance >= 1 and op.kind is not OpKind.LOOPMUX:
+                    raise DFGError(
+                        f"{op.name}: loop-carried edges may only enter LOOPMUX")
+        # the distance-0 subgraph must be acyclic
+        self.topological_order()
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Operation counts by kind plus totals (for reports / Fig. 9)."""
+        counts: Dict[str, int] = {}
+        for op in self._ops.values():
+            counts[op.kind.value] = counts.get(op.kind.value, 0) + 1
+        counts["total"] = len(self._ops)
+        counts["edges"] = sum(len(v) for v in self._out_edges.values())
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DFG({self.name}, ops={len(self._ops)})"

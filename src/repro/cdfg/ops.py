@@ -1,0 +1,192 @@
+"""Operation model for the data flow graph.
+
+Every DFG node is an :class:`Operation` with a kind, a result bit width and
+(after predicate conversion) an execution predicate.  Operation kinds map
+onto resource types from the technology library during binding; the mapping
+is many-to-one (e.g. ``ADD``/``SUB`` both bind to adder resources).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.cdfg.predicates import Predicate
+
+
+class OpKind(str, enum.Enum):
+    """The operation vocabulary of the CDFG."""
+
+    # arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    NEG = "neg"
+    # shifts / bitwise
+    SHL = "shl"
+    SHR = "shr"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    # comparisons
+    LT = "lt"
+    GT = "gt"
+    LE = "le"
+    GE = "ge"
+    EQ = "eq"
+    NEQ = "neq"
+    # selection
+    MUX = "mux"          # inputs: (sel, if_true, if_false)
+    LOOPMUX = "loopmux"  # inputs: (init, carried); carried edge has distance 1
+    # structure
+    CONST = "const"      # payload: the constant value
+    READ = "read"        # payload: port name
+    WRITE = "write"      # payload: port name; single data input
+    SLICE = "slice"      # payload: (hi, lo) bit range
+    CONCAT = "concat"
+    ZEXT = "zext"
+    SEXT = "sext"
+    MOVE = "move"        # plain copy (eliminated by copy propagation)
+    CALL = "call"        # black-box IP block; payload: ip name
+    STALL = "stall"      # stalling-loop marker; single boolean input
+
+
+#: kinds that are pure wiring / constants and never occupy a datapath
+#: resource nor contribute delay by themselves.
+FREE_KINDS = frozenset({
+    OpKind.CONST, OpKind.SLICE, OpKind.CONCAT, OpKind.ZEXT, OpKind.SEXT,
+    OpKind.MOVE,
+})
+
+#: kinds realized by multiplexer resources (they *are* the sharing muxes of
+#: the paper's timing model, so no extra register-sharing mux is added
+#: after them).
+MUX_KINDS = frozenset({OpKind.MUX, OpKind.LOOPMUX})
+
+#: kinds that interact with the environment; they are pinned to control
+#: steps as written in the source (paper section IV: "I/O operations are
+#: scheduled at the very same states where they are specified").
+IO_KINDS = frozenset({OpKind.READ, OpKind.WRITE})
+
+#: kinds whose result is a single-bit flag usable as a branch condition.
+CONDITION_KINDS = frozenset({
+    OpKind.LT, OpKind.GT, OpKind.LE, OpKind.GE, OpKind.EQ, OpKind.NEQ,
+    OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT,
+})
+
+#: commutative kinds: operand order is irrelevant for value semantics and
+#: for CSE hashing.
+COMMUTATIVE_KINDS = frozenset({
+    OpKind.ADD, OpKind.MUL, OpKind.AND, OpKind.OR, OpKind.XOR,
+    OpKind.EQ, OpKind.NEQ,
+})
+
+#: arity per kind (None = variable).
+_ARITY = {
+    OpKind.ADD: 2, OpKind.SUB: 2, OpKind.MUL: 2, OpKind.DIV: 2,
+    OpKind.MOD: 2, OpKind.NEG: 1, OpKind.SHL: 2, OpKind.SHR: 2,
+    OpKind.AND: 2, OpKind.OR: 2, OpKind.XOR: 2, OpKind.NOT: 1,
+    OpKind.LT: 2, OpKind.GT: 2, OpKind.LE: 2, OpKind.GE: 2,
+    OpKind.EQ: 2, OpKind.NEQ: 2,
+    OpKind.MUX: 3, OpKind.LOOPMUX: 2,
+    OpKind.CONST: 0, OpKind.READ: 0, OpKind.WRITE: 1,
+    OpKind.SLICE: 1, OpKind.CONCAT: None, OpKind.ZEXT: 1, OpKind.SEXT: 1,
+    OpKind.MOVE: 1, OpKind.CALL: None, OpKind.STALL: 1,
+}
+
+
+def arity_of(kind: OpKind) -> Optional[int]:
+    """Number of data inputs required by ``kind`` (None = variable)."""
+    return _ARITY[kind]
+
+
+@dataclass
+class Operation:
+    """A single DFG operation.
+
+    Attributes
+    ----------
+    uid:
+        Unique id within the owning DFG; stable across transforms.
+    kind:
+        The :class:`OpKind`.
+    width:
+        Result bit width.
+    name:
+        Human-readable name used in reports (``mul1_op`` etc.).
+    predicate:
+        Execution predicate from if-conversion; ``Predicate.true()`` when
+        unconditional.
+    pinned_state:
+        0-based control step the user (or I/O semantics) pinned this
+        operation to, or ``None``.
+    pinned_resource:
+        Resource-type name the user pinned this operation to, or ``None``.
+    is_exit_test:
+        Whether this boolean operation controls loop exit (do/while test).
+    payload:
+        Kind-specific extra data (constant value, port name, slice range).
+    source_loc:
+        Optional ``(line, column)`` of the originating source construct.
+    """
+
+    uid: int
+    kind: OpKind
+    width: int
+    name: str = ""
+    predicate: Predicate = field(default_factory=Predicate.true)
+    pinned_state: Optional[int] = None
+    pinned_resource: Optional[str] = None
+    is_exit_test: bool = False
+    payload: Any = None
+    source_loc: Optional[Tuple[int, int]] = None
+    #: operand widths; comparisons have 1-bit results but are sized by
+    #: their operands (a 32-bit ``gt`` needs a 32-bit comparator).
+    operand_widths: Tuple[int, ...] = ()
+    #: stream indexing for READ operations: sample consumed per iteration
+    #: is ``iteration * io_stride + io_offset`` (unrolled loops consume
+    #: several samples per iteration).
+    io_offset: int = 0
+    io_stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"operation {self.name or self.uid}: width must be positive")
+        if not self.name:
+            self.name = f"{self.kind.value}{self.uid}"
+
+    @property
+    def resource_width(self) -> int:
+        """Width the implementing resource must support."""
+        return max(self.width, *self.operand_widths) if self.operand_widths \
+            else self.width
+
+    @property
+    def is_free(self) -> bool:
+        """Whether the operation is pure wiring (no resource, no delay)."""
+        return self.kind in FREE_KINDS
+
+    @property
+    def is_io(self) -> bool:
+        """Whether the operation is a port read or write."""
+        return self.kind in IO_KINDS
+
+    @property
+    def is_mux(self) -> bool:
+        """Whether the operation binds to a multiplexer resource."""
+        return self.kind in MUX_KINDS
+
+    @property
+    def is_condition(self) -> bool:
+        """Whether the result is a flag usable as a predicate condition."""
+        return self.kind in CONDITION_KINDS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Operation({self.name}, {self.kind.value}, w{self.width})"
+
+    def __hash__(self) -> int:
+        return hash(self.uid)

@@ -1,0 +1,138 @@
+"""Schedulable regions.
+
+A :class:`Region` is the unit the pass scheduler operates on: a straight
+line sequence of control steps produced by the micro-architecture
+transformer after latency balancing and predicate conversion (paper
+section V, step I.1).  A region is either a loop body (possibly pipelined)
+or an acyclic block.
+
+Latency (the number of states in the region body) is chosen by the
+scheduler within ``[min_latency, max_latency]`` -- the designer-specified
+bounds of the paper's examples ("1 <= latency <= 3 for the do-while
+loop").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cdfg.dfg import DFG, DFGError
+from repro.cdfg.ops import OpKind
+
+
+@dataclass
+class Region:
+    """A linearized loop body or basic block, ready for scheduling.
+
+    Attributes
+    ----------
+    name:
+        Report name.
+    dfg:
+        The region's data flow graph.  Loop-carried values enter through
+        ``LOOPMUX`` operations with distance-1 back edges.
+    is_loop:
+        Whether the region iterates (enables pipelining and makes
+        loop-carried edges meaningful).
+    min_latency / max_latency:
+        Designer bounds on the number of states of one iteration.
+    exit_op_uid:
+        For loops: uid of the boolean operation whose *false* value exits
+        the loop (do/while semantics), or None for counted/infinite loops.
+    trip_count:
+        Known iteration count for counted loops (used by simulators and
+        unrolling), or None.
+    """
+
+    name: str
+    dfg: DFG
+    is_loop: bool = True
+    min_latency: int = 1
+    max_latency: int = 64
+    exit_op_uid: Optional[int] = None
+    trip_count: Optional[int] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Check region-level invariants on top of DFG validation."""
+        self.dfg.validate()
+        if self.min_latency < 1:
+            raise DFGError(f"{self.name}: min_latency must be >= 1")
+        if self.max_latency < self.min_latency:
+            raise DFGError(f"{self.name}: max_latency < min_latency")
+        if self.exit_op_uid is not None:
+            if self.exit_op_uid not in self.dfg:
+                raise DFGError(f"{self.name}: exit op not in DFG")
+            if not self.is_loop:
+                raise DFGError(f"{self.name}: exit op on non-loop region")
+        if not self.is_loop:
+            carried = [
+                op for op in self.dfg.ops
+                if any(e.distance >= 1 for e in self.dfg.in_edges(op.uid))
+            ]
+            if carried:
+                raise DFGError(
+                    f"{self.name}: loop-carried edges in non-loop region: "
+                    f"{[op.name for op in carried]}")
+
+    @property
+    def reads(self) -> List:
+        """Port-read operations, in insertion order."""
+        return self.dfg.ops_of_kind(OpKind.READ)
+
+    @property
+    def writes(self) -> List:
+        """Port-write operations, in insertion order."""
+        return self.dfg.ops_of_kind(OpKind.WRITE)
+
+    @property
+    def input_ports(self) -> List[str]:
+        """Names of all ports read by this region (deduplicated, ordered)."""
+        seen: List[str] = []
+        for op in self.reads:
+            if op.payload not in seen:
+                seen.append(op.payload)
+        return seen
+
+    @property
+    def output_ports(self) -> List[str]:
+        """Names of all ports written by this region."""
+        seen: List[str] = []
+        for op in self.writes:
+            if op.payload not in seen:
+                seen.append(op.payload)
+        return seen
+
+    def schedulable_ops(self) -> List:
+        """Operations that occupy a control step (everything non-free)."""
+        return [op for op in self.dfg.ops if not op.is_free]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "loop" if self.is_loop else "block"
+        return f"Region({self.name}, {tag}, ops={len(self.dfg)})"
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Designer pipelining directive for a loop region.
+
+    Following the paper's section V requirements: the initiation interval
+    (II) **must** be supplied by the designer; the latency interval (LI)
+    is chosen by the tool within the region's latency bounds, starting
+    from ``II + 1`` (the minimum for pipelined execution).
+    """
+
+    ii: int
+
+    def __post_init__(self) -> None:
+        if self.ii < 1:
+            raise ValueError("PipelineSpec: II must be >= 1")
+
+    def stages(self, latency: int) -> int:
+        """Number of pipeline stages for a given latency interval."""
+        return -(-latency // self.ii)
+
+    def equivalent(self, state_a: int, state_b: int) -> bool:
+        """Whether two 0-based states fold onto the same kernel state."""
+        return state_a % self.ii == state_b % self.ii

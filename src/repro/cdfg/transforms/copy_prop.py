@@ -1,0 +1,27 @@
+"""Copy propagation: eliminate MOVE operations."""
+
+from __future__ import annotations
+
+from repro.cdfg.region import Region
+from repro.cdfg.ops import OpKind
+
+
+def copy_propagate(region: Region) -> int:
+    """Rewire consumers of every MOVE directly to the moved value."""
+    dfg = region.dfg
+    changes = 0
+    for op in list(dfg.ops):
+        if op.kind is not OpKind.MOVE or op.uid not in dfg:
+            continue
+        src_edge = dfg.in_edge(op.uid, 0)
+        if src_edge is None:
+            continue
+        source = dfg.op(src_edge.src)
+        for edge in list(dfg.out_edges(op.uid)):
+            dfg.disconnect(edge)
+            dfg.connect(source, dfg.op(edge.dst), edge.port,
+                        edge.distance + src_edge.distance)
+        dfg.disconnect(src_edge)
+        dfg.remove_op(op)
+        changes += 1
+    return changes

@@ -1,0 +1,59 @@
+"""Common subexpression elimination."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cdfg.ops import COMMUTATIVE_KINDS, OpKind
+from repro.cdfg.region import Region
+
+
+def _value_key(dfg, op) -> Tuple:
+    operands = tuple((e.src, e.distance) for e in dfg.in_edges(op.uid))
+    if op.kind in COMMUTATIVE_KINDS:
+        operands = tuple(sorted(operands))
+    payload = op.payload if isinstance(op.payload, (int, str, tuple)) else None
+    return (op.kind, op.width, payload, operands)
+
+
+def common_subexpressions(region: Region) -> int:
+    """Merge operations computing the same value.
+
+    Predicates are irrelevant to the *value* (they gate commit, not
+    computation), so operations from different branches merge; the
+    survivor becomes unconditional when the merged predicates differ,
+    which is always semantics-preserving after if-conversion.
+    """
+    dfg = region.dfg
+    seen: Dict[Tuple, int] = {}
+    changes = 0
+    for op in dfg.topological_order():
+        if (op.is_io or op.kind in (OpKind.CONST, OpKind.LOOPMUX,
+                                    OpKind.STALL, OpKind.CALL)
+                or op.is_exit_test or op.pinned_state is not None):
+            continue
+        key = _value_key(dfg, op)
+        survivor_uid = seen.get(key)
+        if survivor_uid is None:
+            seen[key] = op.uid
+            continue
+        survivor = dfg.op(survivor_uid)
+        if survivor.predicate != op.predicate:
+            from repro.cdfg.predicates import Predicate
+            survivor.predicate = Predicate.true()
+        for edge in list(dfg.out_edges(op.uid)):
+            dfg.disconnect(edge)
+            dfg.connect(survivor, dfg.op(edge.dst), edge.port, edge.distance)
+        for edge in list(dfg.in_edges(op.uid)):
+            dfg.disconnect(edge)
+        # remap predicates referencing the merged condition op
+        if op.is_condition:
+            from repro.cdfg.predicates import Predicate
+            for other in dfg.ops:
+                if op.uid in other.predicate.condition_uids():
+                    other.predicate = Predicate(frozenset(
+                        (survivor_uid if uid == op.uid else uid, pol)
+                        for uid, pol in other.predicate.literals))
+        dfg.remove_op(op)
+        changes += 1
+    return changes

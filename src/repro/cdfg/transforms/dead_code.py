@@ -1,0 +1,46 @@
+"""Dead code elimination."""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.cdfg.ops import OpKind
+from repro.cdfg.region import Region
+
+
+def dead_code_elimination(region: Region) -> int:
+    """Remove operations that cannot affect outputs or control.
+
+    Roots: port writes, the exit test, stall markers and user-pinned
+    operations.  Everything not reachable backwards from a root (through
+    any edge, including loop-carried ones) is removed.
+    """
+    dfg = region.dfg
+    live: Set[int] = set()
+    stack = [
+        op.uid for op in dfg.ops
+        if op.kind in (OpKind.WRITE, OpKind.STALL)
+        or op.is_exit_test or op.pinned_resource is not None
+    ]
+    while stack:
+        uid = stack.pop()
+        if uid in live:
+            continue
+        live.add(uid)
+        for edge in dfg.in_edges(uid):
+            stack.append(edge.src)
+        # predicates keep their condition ops alive
+        for cond_uid in dfg.op(uid).predicate.condition_uids():
+            stack.append(cond_uid)
+    changes = 0
+    for op in list(dfg.ops):
+        if op.uid in live:
+            continue
+        if op.kind is OpKind.READ and op.pinned_state is not None:
+            # pinned reads are interface behaviour; never drop them
+            continue
+        for edge in list(dfg.in_edges(op.uid)) + list(dfg.out_edges(op.uid)):
+            dfg.disconnect(edge)
+        dfg.remove_op(op)
+        changes += 1
+    return changes

@@ -1,0 +1,81 @@
+"""Operation strength reduction."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cdfg.dfg import DFG
+from repro.cdfg.ops import OpKind
+from repro.cdfg.region import Region
+
+
+def _const_value(dfg: DFG, uid: int) -> Optional[int]:
+    op = dfg.op(uid)
+    return op.payload if op.kind is OpKind.CONST else None
+
+
+def strength_reduction(region: Region) -> int:
+    """Rewrite expensive operations into cheaper equivalents.
+
+    * ``x * 2^k`` -> ``x << k`` (a shifter instead of a multiplier)
+    * ``x * 1`` / ``x + 0`` / ``x - 0`` -> plain move
+    * ``x * 0`` -> constant zero
+    """
+    dfg = region.dfg
+    changes = 0
+    for op in list(dfg.ops):
+        if op.uid not in dfg or op.is_exit_test:
+            continue
+        if op.kind not in (OpKind.MUL, OpKind.ADD, OpKind.SUB):
+            continue
+        edges = dfg.in_edges(op.uid)
+        if len(edges) != 2 or any(e.distance for e in edges):
+            continue
+        lhs, rhs = edges
+        const_r = _const_value(dfg, rhs.src)
+        const_l = _const_value(dfg, lhs.src)
+        # normalize: constant on the right for commutative kinds
+        if const_r is None and const_l is not None \
+                and op.kind in (OpKind.MUL, OpKind.ADD):
+            lhs, rhs = rhs, lhs
+            const_r = const_l
+        if const_r is None:
+            continue
+        replacement = None
+        if op.kind is OpKind.MUL and const_r == 0:
+            replacement = dfg.add_op(OpKind.CONST, op.width,
+                                     name=f"zero_{op.name}", payload=0)
+        elif op.kind is OpKind.MUL and const_r == 1:
+            replacement = _move(dfg, op, lhs.src)
+        elif op.kind is OpKind.MUL and const_r > 1 \
+                and const_r & (const_r - 1) == 0:
+            shift = dfg.add_op(OpKind.SHL, op.width,
+                               name=f"{op.name}_shl")
+            shift.operand_widths = (dfg.op(lhs.src).width, 8)
+            shift.predicate = op.predicate
+            amount = dfg.add_op(OpKind.CONST, 8,
+                                name=f"shamt_{op.name}",
+                                payload=const_r.bit_length() - 1)
+            dfg.connect(dfg.op(lhs.src), shift, 0)
+            dfg.connect(amount, shift, 1)
+            replacement = shift
+        elif op.kind in (OpKind.ADD, OpKind.SUB) and const_r == 0:
+            replacement = _move(dfg, op, lhs.src)
+        if replacement is None:
+            continue
+        for edge in list(dfg.out_edges(op.uid)):
+            dfg.disconnect(edge)
+            dfg.connect(replacement, dfg.op(edge.dst), edge.port,
+                        edge.distance)
+        for edge in list(dfg.in_edges(op.uid)):
+            dfg.disconnect(edge)
+        dfg.remove_op(op)
+        changes += 1
+    return changes
+
+
+def _move(dfg: DFG, op, src_uid: int):
+    move = dfg.add_op(OpKind.MOVE, op.width, name=f"{op.name}_mv")
+    move.operand_widths = (dfg.op(src_uid).width,)
+    dfg.connect(dfg.op(src_uid), move, 0)
+    return move

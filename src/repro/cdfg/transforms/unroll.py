@@ -1,0 +1,129 @@
+"""Loop unrolling (the micro-architecture transformer's main rewrite).
+
+Unrolling by ``factor`` replicates the loop body so one region iteration
+performs ``factor`` source iterations.  Loop-carried variables chain
+through the copies (only the last copy feeds the loop mux back), port
+reads consume ``factor`` stream samples per iteration, and for do/while
+loops every copy after the first is predicated on the earlier copies'
+continue tests so early exits commit exactly the right writes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cdfg.dfg import DFG, DFGError
+from repro.cdfg.ops import Operation, OpKind
+from repro.cdfg.predicates import Predicate
+from repro.cdfg.region import Region
+
+
+def unroll_loop(region: Region, factor: int) -> Region:
+    """Return a new region executing ``factor`` iterations per pass."""
+    if factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+    if not region.is_loop:
+        raise DFGError(f"{region.name}: cannot unroll a non-loop region")
+    if factor == 1:
+        return region
+    if region.trip_count is not None and region.trip_count % factor:
+        raise DFGError(
+            f"{region.name}: trip count {region.trip_count} not divisible "
+            f"by unroll factor {factor}")
+    src = region.dfg
+    for op in src.ops:
+        for edge in src.in_edges(op.uid):
+            if edge.distance > 1:
+                raise DFGError(
+                    "unroll supports distance-1 carried edges only")
+
+    out = DFG(f"{region.name}_x{factor}")
+    order = src.topological_order()
+    loopmuxes = [op for op in order if op.kind is OpKind.LOOPMUX]
+    #: per copy: original uid -> cloned operation
+    clones: List[Dict[int, Operation]] = [dict() for _ in range(factor)]
+    new_loopmux: Dict[int, Operation] = {}
+    exit_tests: List[Operation] = []
+
+    def cumulative_predicate(j: int, original: Predicate) -> Predicate:
+        literals = set()
+        for cond_uid, polarity in original.literals:
+            mapped = clones[j].get(cond_uid)
+            if mapped is None:
+                raise DFGError("predicate condition precedes its use")
+            literals.add((mapped.uid, polarity))
+        for test in exit_tests[:j]:
+            literals.add((test.uid, True))
+        return Predicate(frozenset(literals))
+
+    for j in range(factor):
+        for op in order:
+            if op.kind is OpKind.LOOPMUX:
+                if j == 0:
+                    cloned = out.add_op(
+                        OpKind.LOOPMUX, op.width, name=op.name)
+                    new_loopmux[op.uid] = cloned
+                    clones[0][op.uid] = cloned
+                else:
+                    # copy j reads what copy j-1 carried
+                    carried_edge = src.in_edge(op.uid, 1)
+                    clones[j][op.uid] = clones[j - 1][carried_edge.src]
+                continue
+            cloned = out.add_op(
+                op.kind, op.width,
+                name=f"{op.name}_u{j}" if j else op.name,
+                payload=op.payload,
+                pinned_state=op.pinned_state if j == 0 else None,
+                pinned_resource=op.pinned_resource,
+            )
+            cloned.operand_widths = op.operand_widths
+            cloned.io_offset = op.io_offset + j * op.io_stride
+            cloned.io_stride = op.io_stride * factor
+            cloned.predicate = cumulative_predicate(j, op.predicate)
+            clones[j][op.uid] = cloned
+            for edge in src.in_edges(op.uid):
+                if edge.distance:
+                    continue
+                producer = clones[j][edge.src]
+                out.connect(producer, cloned, edge.port)
+            if op.is_exit_test:
+                exit_tests.append(cloned)
+
+    # wire the surviving loop muxes: init from copy 0, carry from the last
+    for op in loopmuxes:
+        init_edge = src.in_edge(op.uid, 0)
+        carried_edge = src.in_edge(op.uid, 1)
+        mux = new_loopmux[op.uid]
+        out.connect(clones[0][init_edge.src], mux, 0)
+        out.connect(clones[factor - 1][carried_edge.src], mux, 1,
+                    distance=1)
+
+    exit_uid: Optional[int] = None
+    if region.exit_op_uid is not None:
+        if len(exit_tests) == 1:
+            exit_tests[0].is_exit_test = True
+            exit_uid = exit_tests[0].uid
+        else:
+            combined = exit_tests[0]
+            for test in exit_tests[1:]:
+                conj = out.add_op(OpKind.AND, 1, name="unroll_continue")
+                conj.operand_widths = (1, 1)
+                out.connect(combined, conj, 0)
+                out.connect(test, conj, 1)
+                combined = conj
+            combined.is_exit_test = True
+            exit_uid = combined.uid
+
+    unrolled = Region(
+        name=out.name,
+        dfg=out,
+        is_loop=True,
+        min_latency=region.min_latency,
+        max_latency=region.max_latency,
+        exit_op_uid=exit_uid,
+        trip_count=(region.trip_count // factor
+                    if region.trip_count is not None else None),
+        metadata=dict(region.metadata, unrolled=factor),
+    )
+    unrolled.validate()
+    return unrolled

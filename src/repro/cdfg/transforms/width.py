@@ -1,0 +1,44 @@
+"""Operand width bookkeeping (the paper's "operand width reduction").
+
+After folding and CSE, recorded operand widths may be stale (wider than
+the producers that now feed the operation).  Tightening them lets the
+allocator pick narrower resource buckets -- directly reducing area, which
+is exactly why the paper's optimizer runs width reduction before
+scheduling.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.ops import OpKind
+from repro.cdfg.region import Region
+
+
+def tighten_operand_widths(region: Region) -> int:
+    """Shrink ``operand_widths`` to the actual producer widths.
+
+    Constants additionally shrink to the bits their value needs, so a
+    multiply by a small constant maps to a narrower multiplier bucket.
+    """
+    dfg = region.dfg
+    changes = 0
+    for op in dfg.ops:
+        edges = dfg.in_edges(op.uid)
+        if not edges or not op.operand_widths:
+            continue
+        new_widths = []
+        for edge in edges:
+            producer = dfg.op(edge.src)
+            width = producer.width
+            if producer.kind is OpKind.CONST:
+                needed = max(int(producer.payload).bit_length() + 1, 2)
+                width = min(width, needed)
+            new_widths.append(width)
+        new_tuple = tuple(new_widths[:len(op.operand_widths)])
+        if len(new_tuple) < len(op.operand_widths):
+            new_tuple = new_tuple + op.operand_widths[len(new_tuple):]
+        narrowed = tuple(min(old, new)
+                         for old, new in zip(op.operand_widths, new_tuple))
+        if narrowed != op.operand_widths:
+            op.operand_widths = narrowed
+            changes += 1
+    return changes

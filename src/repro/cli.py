@@ -1,0 +1,222 @@
+"""Command-line driver: ``python -m repro <command> ...``.
+
+Commands
+--------
+schedule   compile a mini-language source file and schedule its loops
+sweep      run a microarchitecture/clock exploration on a named workload
+table      print a paper table (1, 2 or 3) from the calibrated library
+verilog    compile + schedule + emit RTL to stdout or a file
+
+The CLI is a thin veneer over the public API so shell users (and CI
+scripts) can exercise the flow without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.cdfg.region import PipelineSpec, Region
+from repro.cdfg.transforms import optimize
+from repro.core.pipeline import pipeline_loop
+from repro.core.schedule import Schedule, ScheduleError
+from repro.core.scheduler import SchedulerOptions, schedule_region
+from repro.explore import PAPER_MICROARCHS, Microarch, sweep_microarchitectures
+from repro.frontend import compile_source
+from repro.rtl import generate_verilog, schedule_report
+from repro.rtl.reports import format_table, pareto_header
+from repro.tech import Library, artisan90, generic45
+from repro.workloads import build_example1
+from repro.workloads.conv2d import build_conv3x3
+from repro.workloads.fft import build_fft8, build_fft_stage
+from repro.workloads.fir import build_fir
+from repro.workloads.idct import build_idct8, build_idct2d
+
+#: workloads addressable from the command line.
+WORKLOADS: Dict[str, Callable[[], Region]] = {
+    "example1": build_example1,
+    "idct8": build_idct8,
+    "idct2d": build_idct2d,
+    "fir": build_fir,
+    "fft_stage": build_fft_stage,
+    "fft8": build_fft8,
+    "conv3x3": build_conv3x3,
+}
+
+LIBRARIES: Dict[str, Callable[[], Library]] = {
+    "artisan90": artisan90,
+    "generic45": generic45,
+}
+
+
+def _library(name: str) -> Library:
+    try:
+        return LIBRARIES[name]()
+    except KeyError:
+        raise SystemExit(f"unknown library {name!r}; "
+                         f"choose from {sorted(LIBRARIES)}")
+
+
+def _schedule_one(region: Region, library: Library, clock: float,
+                  ii: Optional[int], run_optimizer: bool) -> Schedule:
+    if run_optimizer:
+        optimize(region)
+    if ii is not None:
+        return pipeline_loop(region, library, clock, ii=ii).schedule
+    return schedule_region(region, library, clock)
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    """Compile and schedule a source file (or a named workload)."""
+    library = _library(args.library)
+    regions: List[Region] = []
+    iis: List[Optional[int]] = []
+    if args.source in WORKLOADS:
+        regions.append(WORKLOADS[args.source]())
+        iis.append(args.ii)
+    else:
+        with open(args.source) as handle:
+            text = handle.read()
+        for loop in compile_source(text):
+            regions.append(loop.region)
+            iis.append(args.ii if args.ii is not None
+                       else (loop.pipeline.ii if loop.pipeline else None))
+    for region, ii in zip(regions, iis):
+        try:
+            schedule = _schedule_one(region, library, args.clock, ii,
+                                     not args.no_optimize)
+        except ScheduleError as exc:
+            print(f"{region.name}: FAILED -- {exc}", file=sys.stderr)
+            for line in exc.diagnostics:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(schedule.summary(), indent=2))
+        else:
+            print(schedule_report(schedule))
+            print()
+    return 0
+
+
+def cmd_verilog(args: argparse.Namespace) -> int:
+    """Compile, schedule and emit Verilog RTL."""
+    library = _library(args.library)
+    if args.source in WORKLOADS:
+        region = WORKLOADS[args.source]()
+        ii = args.ii
+    else:
+        with open(args.source) as handle:
+            (loop,) = compile_source(handle.read())
+        region = loop.region
+        ii = args.ii if args.ii is not None \
+            else (loop.pipeline.ii if loop.pipeline else None)
+    if ii is not None:
+        result = pipeline_loop(region, library, args.clock, ii=ii)
+        text = generate_verilog(result.schedule, result.folded)
+    else:
+        schedule = schedule_region(region, library, args.clock)
+        text = generate_verilog(schedule)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Microarchitecture x clock exploration on a named workload."""
+    library = _library(args.library)
+    factory = WORKLOADS.get(args.workload)
+    if factory is None:
+        raise SystemExit(f"unknown workload {args.workload!r}; "
+                         f"choose from {sorted(WORKLOADS)}")
+    clocks = [float(c) for c in args.clocks.split(",")]
+    micros = PAPER_MICROARCHS
+    if args.latencies:
+        micros = []
+        for spec in args.latencies.split(","):
+            if ":" in spec:
+                lat, ii = spec.split(":")
+                micros.append(Microarch(f"P{lat}/{ii}", int(lat),
+                                        ii=int(ii)))
+            else:
+                micros.append(Microarch(f"NP{spec}", int(spec)))
+    points = sweep_microarchitectures(factory, library, micros, clocks)
+    print(format_table(pareto_header(), [p.row() for p in points]))
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    """Print a calibration table from the paper."""
+    library = _library(args.library)
+    if args.number == 1:
+        row = library.table1()
+        print(format_table(list(row), [list(row.values())]))
+        return 0
+    if args.number == 2:
+        schedule = schedule_region(build_example1(), library, 1600.0)
+        print(schedule.table())
+        return 0
+    if args.number == 3:
+        seq = schedule_region(build_example1(), library, 1600.0)
+        p2 = pipeline_loop(build_example1(), library, 1600.0, ii=2).schedule
+        p1 = pipeline_loop(build_example1(), library, 1600.0, ii=1).schedule
+        print(format_table(
+            ["", "S", "P2", "P1"],
+            [["cycles/iter", seq.ii_effective, p2.ii_effective,
+              p1.ii_effective],
+             ["area", round(seq.area), round(p2.area), round(p1.area)]]))
+        return 0
+    raise SystemExit("table number must be 1, 2 or 3")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Realistic performance-constrained pipelining in HLS "
+                    "(DATE 2011 reproduction)")
+    parser.add_argument("--library", default="artisan90",
+                        help="technology library (artisan90 | generic45)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schedule", help="compile and schedule")
+    p.add_argument("source", help="source file or workload name")
+    p.add_argument("--clock", type=float, default=1600.0)
+    p.add_argument("--ii", type=int, default=None)
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--no-optimize", action="store_true")
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("verilog", help="emit RTL")
+    p.add_argument("source", help="source file or workload name")
+    p.add_argument("--clock", type=float, default=1600.0)
+    p.add_argument("--ii", type=int, default=None)
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=cmd_verilog)
+
+    p = sub.add_parser("sweep", help="microarchitecture/clock exploration")
+    p.add_argument("workload")
+    p.add_argument("--clocks", default="1000,1250,1600,2100,2800")
+    p.add_argument("--latencies", default=None,
+                   help="e.g. 8,16,32:16 (lat or lat:ii, comma separated)")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("table", help="print a paper table")
+    p.add_argument("number", type=int, choices=(1, 2, 3))
+    p.set_defaults(func=cmd_table)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""High-level pipelining driver.
+
+Step I (schedule one iteration under the SCC-window and equivalent-edge
+rules) is performed by :func:`~repro.core.scheduler.schedule_region` with
+a :class:`~repro.cdfg.region.PipelineSpec`; Step II (folding onto the
+kernel) by :func:`~repro.core.folding.fold_schedule`.  This module wires
+the two together and offers the exploration entry point used by the
+examples and the Figure 10/11 sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cdfg.region import PipelineSpec, Region
+from repro.core.folding import FoldedPipeline, fold_schedule, validate_folding
+from repro.core.schedule import Schedule, ScheduleError
+from repro.core.scheduler import SchedulerOptions, schedule_region
+from repro.tech.library import Library
+
+
+@dataclass
+class PipelineResult:
+    """A pipelined implementation: the iteration schedule plus its kernel."""
+
+    schedule: Schedule
+    folded: FoldedPipeline
+
+    @property
+    def ii(self) -> int:
+        """Initiation interval."""
+        return self.folded.ii
+
+    @property
+    def stages(self) -> int:
+        """Number of pipeline stages."""
+        return self.folded.n_stages
+
+
+def pipeline_loop(
+    region: Region,
+    library: Library,
+    clock_ps: float,
+    ii: int,
+    options: Optional[SchedulerOptions] = None,
+) -> PipelineResult:
+    """Pipeline a loop region at designer-specified II (paper section V).
+
+    The latency interval is chosen by the tool within the region bounds,
+    starting from II + 1; the fold is validated before returning.
+    """
+    schedule = schedule_region(
+        region, library, clock_ps,
+        pipeline=PipelineSpec(ii=ii), options=options)
+    folded = fold_schedule(schedule)
+    problems = validate_folding(folded)
+    if problems:
+        raise ScheduleError(
+            f"{region.name}: folding validation failed", problems)
+    return PipelineResult(schedule=schedule, folded=folded)
+
+
+def explore_microarchitectures(
+    region_factory,
+    library: Library,
+    clock_ps: float,
+    iis: List[Optional[int]],
+    options: Optional[SchedulerOptions] = None,
+) -> Dict[str, Schedule]:
+    """Schedule one region at several microarchitectures.
+
+    ``iis`` entries are initiation intervals; ``None`` means sequential.
+    ``region_factory`` must build a fresh region per call (schedules bind
+    operation state).  Returns label -> schedule, labels like ``S``,
+    ``P2``, ``P1`` as in the paper's Table 3.
+    """
+    out: Dict[str, Schedule] = {}
+    for ii in iis:
+        region = region_factory()
+        if ii is None:
+            out["S"] = schedule_region(region, library, clock_ps,
+                                       options=options)
+        else:
+            out[f"P{ii}"] = pipeline_loop(
+                region, library, clock_ps, ii, options).schedule
+    return out

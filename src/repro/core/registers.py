@@ -1,0 +1,203 @@
+"""Register binding: lifetimes, modulo variable expansion, left-edge sharing.
+
+Any value produced in one control step and consumed in a later one (or by
+a later iteration, through loop-carried edges) must be held in a register.
+Sequential schedules share registers between values with disjoint
+lifetimes (classic left-edge allocation).  Pipelined schedules cannot
+share that way -- consecutive iterations are alive simultaneously -- and a
+value whose lifetime exceeds the initiation interval needs
+``ceil(lifetime / II)`` physical copies (modulo variable expansion), which
+is one of the genuine area costs of pipelining visible in the paper's
+Table 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.dfg import DFG
+from repro.cdfg.ops import Operation, OpKind
+from repro.tech.library import Library
+from repro.timing.netlist import BoundOp
+
+
+@dataclass
+class ValueLifetime:
+    """Storage need of one produced value."""
+
+    uid: int
+    name: str
+    width: int
+    def_state: int
+    last_need: int  # state (possibly beyond latency for carried values)
+
+    @property
+    def length(self) -> int:
+        """Lifetime in states (at least 1 when a register is needed)."""
+        return self.last_need - self.def_state
+
+
+@dataclass
+class RegisterInfo:
+    """One allocated register (possibly holding several shared values)."""
+
+    name: str
+    width: int
+    copies: int
+    values: List[int] = field(default_factory=list)
+    writers: int = 1
+
+    @property
+    def bits(self) -> int:
+        """Total storage bits including modulo-expansion copies."""
+        return self.width * self.copies
+
+
+@dataclass
+class RegisterFile:
+    """The complete register binding of a schedule."""
+
+    registers: List[RegisterInfo]
+    fsm_bits: int
+
+    @property
+    def data_bits(self) -> int:
+        """Datapath storage bits (excluding the FSM)."""
+        return sum(reg.bits for reg in self.registers)
+
+    @property
+    def total_bits(self) -> int:
+        """All storage bits."""
+        return self.data_bits + self.fsm_bits
+
+    def area(self, library: Library) -> float:
+        """Register area plus write-port sharing muxes."""
+        area = library.register_area(self.total_bits)
+        for reg in self.registers:
+            if reg.writers > 1:
+                area += library.mux.area(reg.writers, reg.width)
+        return area
+
+
+def _resolved_consumers(dfg: DFG, uid: int) -> List[Tuple[Operation, int]]:
+    """(consumer, distance) pairs, looking through free wiring ops."""
+    result: List[Tuple[Operation, int]] = []
+    stack: List[Tuple[int, int]] = [(e.dst, e.distance)
+                                    for e in dfg.out_edges(uid)]
+    while stack:
+        cur, dist = stack.pop()
+        op = dfg.op(cur)
+        if op.is_free:
+            stack.extend((e.dst, dist + e.distance)
+                         for e in dfg.out_edges(cur))
+        else:
+            result.append((op, dist))
+    return result
+
+
+def compute_lifetimes(
+    dfg: DFG,
+    bindings: Dict[int, BoundOp],
+    ii_effective: int,
+) -> List[ValueLifetime]:
+    """Lifetimes of all values that must be registered."""
+    lifetimes: List[ValueLifetime] = []
+    for uid, bound in sorted(bindings.items()):
+        op = bound.op
+        if op.is_free or op.kind in (OpKind.WRITE, OpKind.STALL):
+            continue
+        def_state = bound.end_state
+        last_need = def_state
+        for cons, dist in _resolved_consumers(dfg, uid):
+            cb = bindings.get(cons.uid)
+            if cb is None:
+                continue
+            need_until = cb.state + dist * ii_effective
+            if dist >= 1 or cb.state > def_state or bound.cycles > 1:
+                last_need = max(last_need, need_until)
+        if op.is_exit_test:
+            # the FSM samples the exit flag in the following state
+            last_need = max(last_need, def_state + 1)
+        if last_need > def_state:
+            lifetimes.append(ValueLifetime(
+                uid=uid, name=op.name, width=op.width,
+                def_state=def_state, last_need=last_need))
+    return lifetimes
+
+
+def _left_edge(lifetimes: List[ValueLifetime]) -> List[List[ValueLifetime]]:
+    """Classic left-edge sharing: values with disjoint lifetimes stack."""
+    columns: List[Tuple[int, List[ValueLifetime]]] = []  # (busy_until, vals)
+    for lt in sorted(lifetimes, key=lambda l: (l.def_state, l.last_need)):
+        placed = False
+        for i, (busy_until, vals) in enumerate(columns):
+            if lt.def_state >= busy_until:
+                vals.append(lt)
+                columns[i] = (lt.last_need, vals)
+                placed = True
+                break
+        if not placed:
+            columns.append((lt.last_need, [lt]))
+    return [vals for _busy, vals in columns]
+
+
+def allocate_registers(
+    dfg: DFG,
+    bindings: Dict[int, BoundOp],
+    latency: int,
+    ii: Optional[int],
+    n_stages: int = 1,
+) -> RegisterFile:
+    """Bind values to registers for a completed schedule.
+
+    ``ii=None`` marks a sequential (non-overlapped) schedule: lifetimes
+    use ``ii_effective = latency`` and left-edge sharing applies.  With
+    pipelining, sharing is disabled and modulo expansion kicks in.
+    """
+    ii_effective = ii if ii is not None else max(latency, 1)
+    lifetimes = compute_lifetimes(dfg, bindings, ii_effective)
+    registers: List[RegisterInfo] = []
+    if ii is None:
+        by_width: Dict[int, List[ValueLifetime]] = {}
+        for lt in lifetimes:
+            by_width.setdefault(lt.width, []).append(lt)
+        for width in sorted(by_width):
+            for column in _left_edge(by_width[width]):
+                registers.append(RegisterInfo(
+                    name=f"r_{column[0].name}",
+                    width=width,
+                    copies=1,
+                    values=[lt.uid for lt in column],
+                    writers=len(column),
+                ))
+    else:
+        for lt in lifetimes:
+            copies = max(1, math.ceil(lt.length / ii))
+            registers.append(RegisterInfo(
+                name=f"r_{lt.name}",
+                width=lt.width,
+                copies=copies,
+                values=[lt.uid],
+                writers=1,
+            ))
+    # output-port holding registers: one per written port, shared by all
+    # writes to that port
+    port_writes: Dict[str, List[BoundOp]] = {}
+    for uid, bound in sorted(bindings.items()):
+        if bound.op.kind is OpKind.WRITE:
+            port_writes.setdefault(str(bound.op.payload), []).append(bound)
+    for port, writes in sorted(port_writes.items()):
+        registers.append(RegisterInfo(
+            name=f"r_port_{port}",
+            width=max(b.op.width for b in writes),
+            copies=1,
+            values=[b.op.uid for b in writes],
+            writers=len(writes),
+        ))
+    kernel_states = ii if ii is not None else latency
+    fsm_bits = max(1, math.ceil(math.log2(max(kernel_states, 2))))
+    if ii is not None:
+        fsm_bits += n_stages  # stage-valid shift register
+    return RegisterFile(registers=registers, fsm_bits=fsm_bits)

@@ -1,0 +1,213 @@
+"""The relaxation expert system.
+
+"When the pass scheduler fails, the set of scheduling constraints must be
+relaxed. ...  Each restraint suggests a set of actions that can be applied
+to improve the scheduling.  Timing restraints could be fixed by adding
+states to the CFG, by adding resources or by speculating operations.
+Restraints stemming from combinational cycles forbid the use of a resource
+for an operation, etc.  Every action has an estimated cost, which is
+combined with the number of restraints solved by this action and the
+restraint weight.  The action with the best estimated gain wins." (paper
+section IV.B)
+
+The pipelining-specific action -- moving a whole SCC window to a later
+position when it suffers negative slack -- is the paper's novel
+timing-driven kernel selection (section V, Example 3; ablated in Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cdfg.region import PipelineSpec, Region
+from repro.core.restraints import Restraint, RestraintKind
+from repro.tech.library import Library, ResourceType
+
+
+@dataclass
+class DriverState:
+    """Mutable constraint state threaded through scheduling passes."""
+
+    latency: int
+    extra_types: List[ResourceType] = field(default_factory=list)
+    forbidden: Set[Tuple[int, str]] = field(default_factory=set)
+    scc_shifts: Dict[int, int] = field(default_factory=dict)
+    speculated: Set[int] = field(default_factory=set)
+    history: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Action:
+    """A candidate constraint relaxation."""
+
+    name: str
+    cost: float
+    solved_weight: float
+    apply: Callable[[DriverState], None]
+
+    @property
+    def gain(self) -> float:
+        """Estimated gain: restraint weight solved per unit cost."""
+        return self.solved_weight / max(self.cost, 1e-6)
+
+
+def _fits(library: Library, input_arrival: float, delay: float,
+          clock_ps: float, with_mux: bool = True) -> bool:
+    """Whether a chain ending in ``delay`` meets the clock."""
+    capture = input_arrival + delay
+    if with_mux:
+        capture += library.mux.delay2_ps
+    return capture + library.ff.setup_ps <= clock_ps
+
+
+def propose_actions(
+    region: Region,
+    library: Library,
+    clock_ps: float,
+    restraints: List[Restraint],
+    state: DriverState,
+    pipeline: Optional[PipelineSpec],
+    enable_scc_move: bool = True,
+    enable_speculation: bool = True,
+    allow_grades: bool = True,
+    resource_outlook: Optional[Dict[Tuple[str, int],
+                                    Tuple[int, int]]] = None,
+) -> List[Action]:
+    """Generate scored actions for the analyzed restraint set.
+
+    ``resource_outlook`` maps type keys to ``(demand, instances)`` so the
+    add-state action can jump straight to the latency the slot deficit
+    requires instead of converging one state per pass.
+    """
+    actions: List[Action] = []
+    ii = pipeline.ii if pipeline else None
+    outlook = resource_outlook or {}
+
+    # ---------------------------------------------------------------- add state
+    if state.latency < region.max_latency:
+        solved = 0.0
+        jump = 1
+        for r in restraints:
+            if r.kind is RestraintKind.NEG_SLACK and r.fits_fresh_state:
+                solved += r.weight
+            elif r.kind is RestraintKind.NO_RESOURCE:
+                # a new state only creates fresh slots when it grows the
+                # set of equivalence classes (sequential always does;
+                # pipelined only while latency < II)
+                if ii is None or state.latency < ii:
+                    solved += r.weight
+                    demand, count = outlook.get(r.type_key, (0, 1))
+                    needed = -(-demand // max(count, 1))
+                    jump = max(jump, needed - state.latency)
+            elif r.kind is RestraintKind.LATENCY:
+                solved += r.weight
+            elif r.kind is RestraintKind.SCC_TIMING and r.fits_fresh_state:
+                solved += 0.5 * r.weight  # more room for a later window
+        jump = max(1, min(jump, region.max_latency - state.latency))
+        if solved > 0:
+            def add_state(st: DriverState, n: int = jump) -> None:
+                st.latency += n
+                st.history.append(f"add_state -> latency {st.latency}")
+            actions.append(Action("add_state", 1.0, solved, add_state))
+
+    # ------------------------------------------------------------ add resources
+    # NO_RESOURCE wants more instances; NEG_SLACK with a known type wants
+    # *faster* instances (grade escalation) -- both resolve to adding a
+    # resource the failed operation can actually bind to
+    grades = [g.name for g in library.grades] if allow_grades else ["typical"]
+    by_type: Dict[Tuple[str, int], List[Restraint]] = {}
+    for r in restraints:
+        if r.type_key is None:
+            continue
+        if r.kind is RestraintKind.NO_RESOURCE:
+            by_type.setdefault(r.type_key, []).append(r)
+        elif r.kind in (RestraintKind.NEG_SLACK, RestraintKind.SCC_TIMING):
+            # grade escalation only for *terminal* timing failures
+            # (weight >= 1.0 after analysis); deferred attempts that later
+            # succeeded elsewhere must not inflate the resource set
+            if r.weight >= 1.0:
+                by_type.setdefault(r.type_key, []).append(r)
+    for type_key, rs in sorted(by_type.items()):
+        family, width = type_key
+        for grade in grades:
+            rtype = library.resource_type(family, width, grade)
+            solved = 0.0
+            solved_ops = set()
+            for r in rs:
+                # does the operation fit on a fresh instance of this grade,
+                # with its observed chained input arrival?
+                arrival = max(r.input_arrival_ps, library.ff.clk_to_q_ps)
+                if _fits(library, arrival, rtype.delay_ps, clock_ps):
+                    solved += r.weight
+                    solved_ops.add(r.op_uid)
+                elif (rtype.multicycle_ok
+                      and r.input_arrival_ps <= library.ff.clk_to_q_ps):
+                    solved += r.weight  # registered inputs, multi-cycle ok
+                    solved_ops.add(r.op_uid)
+            if solved <= 0:
+                continue
+            # batch the addition by a damped deficit estimate; unused
+            # instances are pruned after the successful pass
+            count = max(1, min(8, -(-len(solved_ops) // 4)))
+
+            def add_resource(st: DriverState, rt: ResourceType = rtype,
+                             n: int = count) -> None:
+                st.extra_types.extend([rt] * n)
+                st.history.append(f"add_resource {rt.name} x{n}")
+            actions.append(Action(
+                f"add_resource:{rtype.name}",
+                cost=0.5 + rtype.area / 4000.0,
+                solved_weight=solved,
+                apply=add_resource,
+            ))
+            break  # cheapest fitting grade is enough per type
+
+    # ----------------------------------------------------------------- move SCC
+    if pipeline is not None and enable_scc_move:
+        by_scc: Dict[int, float] = {}
+        for r in restraints:
+            if r.kind is RestraintKind.SCC_TIMING and r.scc_index is not None:
+                by_scc[r.scc_index] = by_scc.get(r.scc_index, 0.0) + r.weight
+        for scc_index, solved in sorted(by_scc.items()):
+            def move_scc(st: DriverState, idx: int = scc_index) -> None:
+                st.scc_shifts[idx] = st.scc_shifts.get(idx, 0) + 1
+                st.history.append(f"move_scc {idx} -> +{st.scc_shifts[idx]}")
+            actions.append(Action(
+                f"move_scc:{scc_index}", cost=0.3,
+                solved_weight=solved, apply=move_scc))
+
+    # ---------------------------------------------------------- forbid bindings
+    seen_forbid: Set[Tuple[int, str]] = set()
+    for r in restraints:
+        if r.kind is not RestraintKind.COMB_CYCLE or r.inst_name is None:
+            continue
+        key = (r.op_uid, r.inst_name)
+        if key in seen_forbid or key in state.forbidden:
+            continue
+        seen_forbid.add(key)
+
+        def forbid(st: DriverState, k: Tuple[int, str] = key) -> None:
+            st.forbidden.add(k)
+            st.history.append(f"forbid op{k[0]} on {k[1]}")
+        actions.append(Action(
+            f"forbid:{key[0]}@{key[1]}", cost=0.1,
+            solved_weight=r.weight, apply=forbid))
+
+    # --------------------------------------------------------------- speculate
+    if enable_speculation:
+        for r in restraints:
+            if r.kind is not RestraintKind.PREDICATE_ORDER:
+                continue
+            if r.op_uid in state.speculated:
+                continue
+
+            def speculate(st: DriverState, uid: int = r.op_uid) -> None:
+                st.speculated.add(uid)
+                st.history.append(f"speculate op{uid}")
+            actions.append(Action(
+                f"speculate:{r.op_uid}", cost=0.2,
+                solved_weight=r.weight, apply=speculate))
+
+    actions.sort(key=lambda a: (-a.gain, a.name))
+    return actions

@@ -1,0 +1,144 @@
+"""Restraints: the failure memory of a scheduling pass.
+
+"The history of the scheduling pass is recorded in a set of restraints,
+which are issued every time a binding of an operation to an edge and/or a
+resource fails.  Restraint analysis is done for the fanin cones of the
+failed operations ...  Restraints are assigned weights based on their
+proximity to failed operations and the number of failures they help
+solve." (paper section IV.B)
+
+Each restraint captures what went wrong (kind), where (operation, state)
+and enough detail for the relaxation engine to judge which corrective
+actions would solve it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cdfg.dfg import DFG
+
+
+class RestraintKind(str, enum.Enum):
+    """What kind of failure a restraint records."""
+
+    #: all compatible instances were busy on the state (or its equivalent
+    #: edges when pipelining).
+    NO_RESOURCE = "no_resource"
+    #: the binding violated the clock period.
+    NEG_SLACK = "neg_slack"
+    #: the binding would have closed a false combinational cycle.
+    COMB_CYCLE = "comb_cycle"
+    #: a member of an SCC window could not be placed inside the window.
+    SCC_TIMING = "scc_timing"
+    #: a loop-carried dependency's modulo causality bound was violated.
+    CARRIED_DEP = "carried_dep"
+    #: the operation never became schedulable within the latency bound
+    #: (producers failed, or it ran out of states).
+    LATENCY = "latency"
+    #: a predicated operation was blocked by its condition's position.
+    PREDICATE_ORDER = "predicate_order"
+
+
+@dataclass
+class Restraint:
+    """One recorded failure, with solver-relevant detail."""
+
+    kind: RestraintKind
+    op_uid: int
+    state: int
+    #: (family, width) involved for resource restraints.
+    type_key: Optional[Tuple[str, int]] = None
+    #: worst slack observed for timing restraints (negative).
+    slack_ps: float = 0.0
+    #: whether a *fresh* instance at this state would also fail timing --
+    #: when True, adding a resource cannot solve this restraint (this is
+    #: what makes the expert system prefer adding a state in the paper's
+    #: Example 1: "adding one more multiplier does not help because two
+    #: multiplications cannot fit in the given clock cycle").
+    fresh_instance_fails: bool = False
+    #: whether the registered-input path would fit a fresh state -- when
+    #: True, adding a state solves the timing part.
+    fits_fresh_state: bool = True
+    #: SCC window index for SCC restraints.
+    scc_index: Optional[int] = None
+    #: instance name for combinational-cycle restraints.
+    inst_name: Optional[str] = None
+    #: condition uid for predicate-order restraints.
+    cond_uid: Optional[int] = None
+    #: worst chained input arrival observed at the failing state; lets the
+    #: relaxation engine probe whether a faster grade would fit in place.
+    input_arrival_ps: float = 0.0
+    #: filled by analysis: importance of solving this restraint.
+    weight: float = 1.0
+
+
+class RestraintLog:
+    """Accumulates restraints during one scheduling pass."""
+
+    def __init__(self) -> None:
+        self.restraints: List[Restraint] = []
+        self.failed_ops: Set[int] = set()
+
+    def record(self, restraint: Restraint) -> None:
+        """Append one restraint."""
+        self.restraints.append(restraint)
+
+    def mark_failed(self, op_uid: int) -> None:
+        """Mark an operation as terminally failed in this pass."""
+        self.failed_ops.add(op_uid)
+
+    @property
+    def has_failures(self) -> bool:
+        """Whether the pass must be considered failed."""
+        return bool(self.failed_ops)
+
+    def analyze(self, dfg: DFG) -> List[Restraint]:
+        """Weight restraints by proximity to failed operations.
+
+        Restraints on failed operations weigh 1.0; restraints inside the
+        fanin cone of a failed operation weigh 0.6; everything else 0.3
+        (still useful: solving them frees alternatives).  Duplicate
+        (kind, op, type) records collapse, their weights accumulating so
+        repeatedly-hit restraints matter more, echoing the paper's "the
+        number of failures they help solve".
+        """
+        cones: Set[int] = set()
+        for uid in self.failed_ops:
+            stack = [e.src for e in dfg.in_edges(uid)]
+            while stack:
+                cur = stack.pop()
+                if cur in cones:
+                    continue
+                cones.add(cur)
+                stack.extend(e.src for e in dfg.in_edges(cur)
+                             if e.distance == 0)
+        merged: Dict[Tuple, Restraint] = {}
+        for r in self.restraints:
+            if r.op_uid in self.failed_ops:
+                base = 1.0
+            elif r.op_uid in cones:
+                base = 0.6
+            else:
+                base = 0.3
+            key = (r.kind, r.op_uid, r.type_key, r.scc_index, r.inst_name)
+            if key in merged:
+                merged[key].weight += 0.5 * base
+                merged[key].slack_ps = min(merged[key].slack_ps, r.slack_ps)
+                merged[key].fresh_instance_fails = (
+                    merged[key].fresh_instance_fails and r.fresh_instance_fails)
+                merged[key].fits_fresh_state = (
+                    merged[key].fits_fresh_state or r.fits_fresh_state)
+            else:
+                r.weight = base
+                merged[key] = r
+        return sorted(merged.values(), key=lambda r: -r.weight)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts per restraint kind (for diagnostics and tests)."""
+        out: Dict[str, int] = {}
+        for r in self.restraints:
+            out[r.kind.value] = out.get(r.kind.value, 0) + 1
+        return out

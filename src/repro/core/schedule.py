@@ -1,0 +1,273 @@
+"""The schedule produced by the pass scheduler, plus area/timing reports
+and a structural validator used heavily by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.ops import OpKind
+from repro.cdfg.region import PipelineSpec, Region
+from repro.core.registers import RegisterFile, allocate_registers
+from repro.core.scc import SCCWindow, check_carried_dependencies
+from repro.tech.library import Library
+from repro.tech.resources import ResourcePool
+from repro.timing.netlist import BoundOp, DatapathNetlist
+from repro.timing.sta import TimingReport, verify_timing
+
+
+class ScheduleError(RuntimeError):
+    """Raised when scheduling fails and no relaxation action remains."""
+
+    def __init__(self, message: str, diagnostics: Optional[List[str]] = None):
+        super().__init__(message)
+        self.diagnostics = diagnostics or []
+
+
+@dataclass
+class AreaReport:
+    """Area breakdown of a bound schedule (paper Table 3 numbers)."""
+
+    resources: float
+    registers: float
+    sharing_muxes: float
+    steering_muxes: float  # MUX/LOOPMUX operations
+
+    @property
+    def total(self) -> float:
+        """Total area."""
+        return (self.resources + self.registers
+                + self.sharing_muxes + self.steering_muxes)
+
+    def rows(self) -> List[Tuple[str, float]]:
+        """(component, area) rows for reports."""
+        return [
+            ("functional resources", self.resources),
+            ("registers", self.registers),
+            ("sharing muxes", self.sharing_muxes),
+            ("steering muxes", self.steering_muxes),
+            ("total", self.total),
+        ]
+
+
+@dataclass
+class Schedule:
+    """A complete scheduling + binding result for one region."""
+
+    region: Region
+    library: Library
+    clock_ps: float
+    latency: int
+    pipeline: Optional[PipelineSpec]
+    bindings: Dict[int, BoundOp]
+    pool: ResourcePool
+    netlist: DatapathNetlist
+    scc_windows: List[SCCWindow] = field(default_factory=list)
+    passes: int = 1
+    actions_taken: List[str] = field(default_factory=list)
+    speculated: frozenset = frozenset()
+
+    @property
+    def ii(self) -> Optional[int]:
+        """Initiation interval, None when not pipelined."""
+        return self.pipeline.ii if self.pipeline else None
+
+    @property
+    def ii_effective(self) -> int:
+        """Cycles between iteration starts (latency when sequential)."""
+        return self.pipeline.ii if self.pipeline else self.latency
+
+    @property
+    def n_stages(self) -> int:
+        """Pipeline stages (1 when sequential)."""
+        if self.pipeline is None:
+            return 1
+        return self.pipeline.stages(self.latency)
+
+    def state_of(self, uid: int) -> int:
+        """Start state of a bound operation."""
+        return self.bindings[uid].state
+
+    def states_map(self) -> Dict[int, int]:
+        """op uid -> start state for all bound operations."""
+        return {uid: b.state for uid, b in self.bindings.items()}
+
+    # ------------------------------------------------------------------
+    # derived artifacts
+    # ------------------------------------------------------------------
+    def register_file(self) -> RegisterFile:
+        """Register binding for this schedule."""
+        return allocate_registers(
+            self.region.dfg, self.bindings, self.latency,
+            self.ii, self.n_stages)
+
+    def timing_report(self) -> TimingReport:
+        """From-scratch timing verification."""
+        return verify_timing(self.netlist)
+
+    def area_report(self) -> AreaReport:
+        """Area breakdown: resources + registers + muxes."""
+        lib = self.library
+        regs = self.register_file()
+        sharing = 0.0
+        for (inst_name, _port), sources in sorted(
+                self.netlist._port_sources.items()):
+            if len(sources) < 2:
+                continue
+            inst = next(i for i in self.pool.instances
+                        if i.name == inst_name)
+            sharing += lib.mux.area(len(sources), inst.rtype.width)
+        steering = 0.0
+        for uid, bound in self.bindings.items():
+            if bound.op.is_mux:
+                steering += lib.mux.area(2, bound.op.width)
+        return AreaReport(
+            resources=self.pool.total_area(),
+            registers=regs.area(lib),
+            sharing_muxes=sharing,
+            steering_muxes=steering,
+        )
+
+    @property
+    def area(self) -> float:
+        """Total area (convenience accessor)."""
+        return self.area_report().total
+
+    @property
+    def delay_ps(self) -> float:
+        """Iteration delay = effective II x clock (paper section VI)."""
+        return self.ii_effective * self.clock_ps
+
+    # ------------------------------------------------------------------
+    # reports
+    # ------------------------------------------------------------------
+    def table(self) -> str:
+        """Render the paper's Table 2: states x resources grid."""
+        columns: List[str] = [inst.name for inst in self.pool.instances]
+        mux_ops = [b for b in self.bindings.values() if b.op.is_mux]
+        if mux_ops:
+            columns.append("mux")
+        grid: Dict[Tuple[int, str], List[str]] = {}
+        for uid, bound in sorted(self.bindings.items()):
+            if bound.op.is_free or bound.op.is_io:
+                continue
+            if bound.op.is_mux:
+                col = "mux"
+            elif bound.inst is not None:
+                col = bound.inst.name
+            else:
+                continue
+            for state in range(bound.state, bound.end_state + 1):
+                grid.setdefault((state, col), []).append(bound.op.name)
+        widths = {col: max([len(col)] + [
+            len(", ".join(grid.get((s, col), [])))
+            for s in range(self.latency)]) for col in columns}
+        header = "state | " + " | ".join(col.ljust(widths[col])
+                                         for col in columns)
+        lines = [header, "-" * len(header)]
+        for state in range(self.latency):
+            cells = [", ".join(grid.get((state, col), [])).ljust(widths[col])
+                     for col in columns]
+            lines.append(f"s{state + 1:<4} | " + " | ".join(cells))
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, object]:
+        """Key figures for benches and experiment logs."""
+        report = self.area_report()
+        timing = self.timing_report()
+        return {
+            "region": self.region.name,
+            "clock_ps": self.clock_ps,
+            "latency": self.latency,
+            "ii": self.ii_effective,
+            "stages": self.n_stages,
+            "passes": self.passes,
+            "area": round(report.total, 1),
+            "wns_ps": round(timing.wns_ps, 1),
+            "resources": self.pool.summary(),
+            "register_bits": self.register_file().total_bits,
+        }
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self, allow_negative_slack: bool = False) -> List[str]:
+        """Structural validity check; returns problems (empty = valid).
+
+        Covers: every schedulable op bound within the latency; data
+        dependencies respected (with chaining and multi-cycle rules);
+        resource occupancy exclusive (modulo equivalent edges and
+        predicate exclusivity); SCC windows honored; carried-dependency
+        causality; pins respected; timing met.
+        """
+        problems: List[str] = []
+        dfg = self.region.dfg
+        for op in self.region.schedulable_ops():
+            bound = self.bindings.get(op.uid)
+            if bound is None:
+                problems.append(f"{op.name}: not scheduled")
+                continue
+            if not 0 <= bound.state <= self.latency - 1:
+                problems.append(f"{op.name}: state {bound.state} outside body")
+            if bound.end_state > self.latency - 1:
+                problems.append(f"{op.name}: multicycle spills past latency")
+            if (op.pinned_state is not None
+                    and bound.state != op.pinned_state):
+                problems.append(f"{op.name}: pin {op.pinned_state} violated")
+        for op in self.region.schedulable_ops():
+            bound = self.bindings.get(op.uid)
+            if bound is None:
+                continue
+            for edge in dfg.in_edges(op.uid):
+                if edge.distance >= 1:
+                    continue
+                root = self.netlist.resolve_source(edge.src)
+                producer = dfg.op(root)
+                if producer.is_free:
+                    continue
+                pb = self.bindings.get(root)
+                if pb is None:
+                    continue
+                if pb.cycles > 1:
+                    if bound.state <= pb.end_state:
+                        problems.append(
+                            f"{op.name}: starts at s{bound.state + 1} before "
+                            f"multicycle producer {producer.name} completes")
+                elif bound.state < pb.state:
+                    problems.append(
+                        f"{op.name}: scheduled before producer {producer.name}")
+        # resource occupancy including equivalence classes
+        for inst in self.pool.instances:
+            by_class: Dict[int, List] = {}
+            for state in inst.states_used():
+                key = state % self.ii if self.pipeline else state
+                by_class.setdefault(key, []).extend(inst.occupants(state))
+            for key, ops in by_class.items():
+                for i, a in enumerate(ops):
+                    for b in ops[i + 1:]:
+                        if a.uid == b.uid:
+                            continue
+                        if not a.predicate.disjoint(b.predicate):
+                            problems.append(
+                                f"{inst.name}: {a.name} and {b.name} clash "
+                                f"on equivalent edges (class {key})")
+        for window in self.scc_windows:
+            for uid in window.ops:
+                bound = self.bindings.get(uid)
+                if bound is None:
+                    continue
+                if not (window.start <= bound.state
+                        and bound.end_state <= window.end):
+                    problems.append(
+                        f"SCC {window.index}: {dfg.op(uid).name} at "
+                        f"s{bound.state + 1} outside window "
+                        f"[{window.start + 1},{window.end + 1}]")
+        if self.pipeline:
+            problems.extend(check_carried_dependencies(
+                self.region, self.states_map(), self.pipeline.ii))
+        if not allow_negative_slack:
+            timing = self.timing_report()
+            if not timing.met:
+                problems.append(f"timing not met: WNS {timing.wns_ps:.0f}ps")
+        return problems

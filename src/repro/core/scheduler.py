@@ -1,0 +1,623 @@
+"""The pass scheduler and its relaxation driver.
+
+This is the paper's section IV engine: iterative simultaneous scheduling
+and binding.  Each pass performs latency-, clock- and resource-constrained
+list scheduling (Fig. 7): operations become ready when their producers are
+bound, are picked by priority, and are bound to the first compatible
+resource instance that is free (including the equivalent-edge semantics of
+pipelining), meets timing on the incrementally built netlist, and does not
+close a false combinational cycle.  A failed pass leaves behind a set of
+restraints; the expert system (:mod:`repro.core.relaxation`) picks the
+corrective action with the best estimated gain, and the driver iterates
+until a pass succeeds or no action remains.
+
+Pipelining adds exactly two rules (section V, step I.3): every SCC is
+clamped into an II-state window, and a resource busy on an edge is busy on
+all equivalent edges -- everything else is the unchanged non-pipelined
+scheduler, which is the point of the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cdfg.dfg import DFG
+from repro.cdfg.ops import Operation, OpKind
+from repro.cdfg.region import PipelineSpec, Region
+from repro.core.allocation import AllocationResult, build_pool, lower_bound, type_key_for
+from repro.core.asap_alap import InfeasibleTiming, Mobility, compute_mobility
+from repro.core.priorities import compute_heights, priority_key
+from repro.core.relaxation import DriverState, propose_actions
+from repro.core.restraints import Restraint, RestraintKind, RestraintLog
+from repro.core.scc import SCCWindow, apply_windows, find_scc_windows, window_of
+from repro.core.schedule import Schedule, ScheduleError
+from repro.tech.library import Library
+from repro.tech.resources import ResourceInstance, ResourcePool
+from repro.timing.cycles import CombCycleGuard
+from repro.timing.netlist import CandidateTiming, DatapathNetlist
+
+
+@dataclass
+class SchedulerOptions:
+    """Knobs for the scheduler; defaults mirror the paper's tool.
+
+    ``enable_scc_move`` is the Table 4 ablation switch (timing-driven
+    kernel selection); ``anticipate_muxes`` ablates the section IV.B
+    anticipatory sharing muxes.
+    """
+
+    max_passes: int = 200
+    enable_scc_move: bool = True
+    enable_speculation: bool = True
+    anticipate_muxes: bool = True
+    allow_multicycle: bool = True
+    allow_grades: bool = True
+    validate_result: bool = True
+    #: Table 4 ablation companion: with the SCC move disabled, SCC members
+    #: are anchored by dependency-only (timing-blind) analysis and bound
+    #: even when they violate the clock -- downstream logic synthesis then
+    #: has to buy the slack back with area (see rtl.compensation).
+    accept_negative_slack: bool = False
+    trace: bool = False
+
+
+@dataclass
+class PassOutcome:
+    """Everything a single scheduling pass produced."""
+
+    success: bool
+    netlist: DatapathNetlist
+    pool: ResourcePool
+    windows: List[SCCWindow]
+    mobility: Dict[int, Mobility]
+    log: RestraintLog
+
+
+def _node_name(op: Operation, inst: Optional[ResourceInstance]) -> str:
+    return inst.name if inst is not None else f"op{op.uid}"
+
+
+def _equivalent_states(needed: List[int], latency: int,
+                       ii: Optional[int]) -> List[int]:
+    """States to check for occupancy: needed states plus equivalents."""
+    if ii is None:
+        return needed
+    classes = {s % ii for s in needed}
+    return [s for s in range(latency) if s % ii in classes]
+
+
+class _Pass:
+    """One execution of SCHEDULE_PASS (paper Fig. 7)."""
+
+    def __init__(
+        self,
+        region: Region,
+        library: Library,
+        clock_ps: float,
+        latency: int,
+        pipeline: Optional[PipelineSpec],
+        allocation: AllocationResult,
+        state: DriverState,
+        options: SchedulerOptions,
+    ) -> None:
+        self.region = region
+        self.dfg = region.dfg
+        self.library = library
+        self.clock_ps = clock_ps
+        self.latency = latency
+        self.pipeline = pipeline
+        self.ii = pipeline.ii if pipeline else None
+        self.state = state
+        self.options = options
+        self.log = RestraintLog()
+        self.pool = build_pool(allocation, library)
+        for rtype in state.extra_types:
+            self.pool.add(rtype)
+        self.netlist = DatapathNetlist(
+            self.dfg, library, clock_ps,
+            anticipate_muxes=options.anticipate_muxes)
+        demand = {key: n for key, n in allocation.demand.items()}
+        counts = {key: self.pool.count(*key) for key in demand}
+        self.netlist.set_sharing_outlook(demand, counts)
+        self.guard = CombCycleGuard()
+        self.windows: List[SCCWindow] = []
+        self.mobility: Dict[int, Mobility] = {}
+        # readiness machinery
+        self._unresolved: Dict[int, int] = {}
+        self._earliest: Dict[int, int] = {}
+        self._consumers: Dict[int, List[int]] = {}
+        self._cond_waiters: Dict[int, List[int]] = {}
+        self._ready_heap: List[Tuple] = []
+        self._in_heap: Set[int] = set()
+        self._heights: Dict[int, float] = {}
+        #: SCC members force-placed by the timing-blind ablation; their
+        #: bindings are accepted even with negative slack.
+        self._forced_sccs: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def _prepare(self) -> bool:
+        """Mobility + SCC windows; returns False (with restraints) on failure."""
+        try:
+            self.mobility = compute_mobility(
+                self.region, self.library, self.clock_ps, self.latency,
+                self.state.speculated)
+        except InfeasibleTiming as exc:
+            uid = exc.uid if exc.uid is not None else -1
+            self.log.record(Restraint(
+                kind=RestraintKind.LATENCY, op_uid=uid,
+                state=self.latency - 1, fits_fresh_state=True))
+            if uid >= 0:
+                self.log.mark_failed(uid)
+            return False
+        if self.pipeline is not None:
+            blind_anchor = (not self.options.enable_scc_move
+                            and self.options.accept_negative_slack)
+            anchor_mobility = self.mobility
+            if blind_anchor:
+                # timing-blind kernel placement: dependency-only ASAP, the
+                # behaviour the Table 4 ablation measures
+                anchor_mobility = compute_mobility(
+                    self.region, self.library, float("inf"), self.latency,
+                    self.state.speculated)
+            self.windows = find_scc_windows(
+                self.region, anchor_mobility, self.pipeline.ii)
+            ok = True
+            for window in self.windows:
+                window.start += self.state.scc_shifts.get(window.index, 0)
+                if blind_anchor:
+                    for uid in window.ops:
+                        mob = self.mobility.get(uid)
+                        amob = anchor_mobility.get(uid)
+                        if mob is None or amob is None:
+                            continue
+                        mob.asap = max(amob.asap, window.start)
+                        mob.alap = max(mob.asap,
+                                       window.end - (mob.cycles - 1))
+                        mob.alap = min(mob.alap, window.end)
+                        self._forced_sccs.add(uid)
+                    continue
+                try:
+                    apply_windows(self.mobility, [window], self.latency)
+                except ValueError:
+                    anchor = min(window.ops)
+                    self.log.record(Restraint(
+                        kind=RestraintKind.SCC_TIMING, op_uid=anchor,
+                        state=window.start, scc_index=window.index,
+                        fits_fresh_state=True))
+                    self.log.mark_failed(anchor)
+                    ok = False
+            if not ok:
+                return False
+        return True
+
+    def _build_dependency_maps(self) -> None:
+        resolve = self.netlist.resolve_source
+        for op in self.dfg.ops:
+            if op.is_free:
+                continue
+            roots: Set[int] = set()
+            for edge in self.dfg.in_edges(op.uid):
+                if edge.distance >= 1:
+                    continue
+                root = resolve(edge.src)
+                if not self.dfg.op(root).is_free:
+                    roots.add(root)
+            conds: Set[int] = set()
+            if (not op.predicate.is_true
+                    and op.uid not in self.state.speculated):
+                conds = {uid for uid in op.predicate.condition_uids()
+                         if uid in self.dfg and uid != op.uid}
+            self._unresolved[op.uid] = len(roots) + len(conds)
+            for root in roots:
+                self._consumers.setdefault(root, []).append(op.uid)
+            for cond in conds:
+                self._consumers.setdefault(cond, []).append(op.uid)
+            self._earliest[op.uid] = self.mobility[op.uid].asap
+
+    def _push_ready(self, uid: int) -> None:
+        if uid in self._in_heap:
+            return
+        op = self.dfg.op(uid)
+        key = priority_key(op, self.mobility[uid], self._heights,
+                           self.dfg, self.library)
+        heapq.heappush(self._ready_heap, (self._earliest[uid], key, uid))
+        self._in_heap.add(uid)
+
+    def _on_bound(self, uid: int, end_state: int, multicycle: bool) -> None:
+        """Release consumers whose producers are now all bound."""
+        for cons in self._consumers.get(uid, ()):
+            avail = end_state + 1 if multicycle else end_state
+            self._earliest[cons] = max(self._earliest[cons], avail,
+                                       self.mobility[cons].asap)
+            self._unresolved[cons] -= 1
+            if self._unresolved[cons] == 0:
+                self._push_ready(cons)
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+    def _candidates(self, op: Operation) -> List[ResourceInstance]:
+        insts = [inst for inst in self.pool.compatible(op)
+                 if (op.uid, inst.name) not in self.state.forbidden]
+        # cheapest grade first; within a grade prefer instances already
+        # hosting operations, so sharing consolidates and over-allocated
+        # instances stay empty (they are pruned after the pass succeeds)
+        insts.sort(key=lambda i: (i.rtype.area,
+                                  -len(i.ops_bound()), i.index))
+        return insts
+
+    def _chain_edges(self, op: Operation,
+                     inst: Optional[ResourceInstance],
+                     state: int) -> List[Tuple[str, str]]:
+        """Combinational connection edges this binding adds."""
+        edges: List[Tuple[str, str]] = []
+        dst = _node_name(op, inst)
+        for edge in self.dfg.in_edges(op.uid):
+            if edge.distance >= 1:
+                continue
+            root = self.netlist.resolve_source(edge.src)
+            producer = self.dfg.op(root)
+            if producer.is_free or producer.kind is OpKind.READ:
+                continue
+            pb = self.netlist.binding(root)
+            if pb is None or pb.state != state or pb.cycles > 1:
+                continue
+            edges.append((_node_name(producer, pb.inst), dst))
+        return edges
+
+    def _check_carried(self, op: Operation, state: int) -> bool:
+        """Modulo causality toward already-bound carried consumers."""
+        ii = self.ii if self.ii is not None else self.latency
+        for edge in self.dfg.out_edges(op.uid):
+            if edge.distance < 1:
+                continue
+            cb = self.netlist.binding(edge.dst)
+            if cb is None:
+                continue
+            if state > cb.state + edge.distance * ii - 1:
+                return False
+        return True
+
+    def _try_bind(self, op: Operation, e: int) -> Tuple[bool, List[Restraint]]:
+        """Attempt to bind ``op`` at state ``e``; returns (bound, restraints)."""
+        restraints: List[Restraint] = []
+        needs_resource = type_key_for(op, self.library) is not None
+        arrival_probe = self.netlist.worst_input_arrival(op, e)
+        if not self._check_carried(op, e):
+            restraints.append(Restraint(
+                kind=RestraintKind.CARRIED_DEP, op_uid=op.uid, state=e,
+                fits_fresh_state=False))
+            return False, restraints
+
+        accept_violation = (
+            op.uid in self._forced_sccs
+            or (self.options.accept_negative_slack
+                and e >= self.mobility[op.uid].alap))
+
+        if not needs_resource:
+            timing = self.netlist.evaluate(
+                op, None, e, allow_multicycle=False)
+            if not timing.ok and not accept_violation:
+                restraints.append(self._timing_restraint(
+                    op, e, timing, arrival_probe, None))
+                return False, restraints
+            chain = self._chain_edges(op, None, e)
+            if self.guard.would_cycle(chain):
+                restraints.append(Restraint(
+                    kind=RestraintKind.COMB_CYCLE, op_uid=op.uid, state=e,
+                    inst_name=_node_name(op, None)))
+                return False, restraints
+            self.netlist.commit(op, None, e, timing)
+            self.guard.commit(chain)
+            self._on_bound(op.uid, e, multicycle=False)
+            return True, restraints
+
+        busy = 0
+        best_slack: Optional[float] = None
+        fallback: Optional[Tuple[ResourceInstance, CandidateTiming]] = None
+        type_key = type_key_for(op, self.library)
+        candidates = self._candidates(op)
+        if not candidates:
+            # no instance at all (everything forbidden, or the pool lacks
+            # the type): only adding a resource can help
+            fresh = self.netlist.evaluate_fresh(op, e)
+            restraints.append(Restraint(
+                kind=RestraintKind.NO_RESOURCE, op_uid=op.uid, state=e,
+                type_key=type_key,
+                input_arrival_ps=arrival_probe,
+                fresh_instance_fails=not fresh.ok,
+                fits_fresh_state=self._fits_fresh_state(op)))
+            return False, restraints
+        for inst in candidates:
+            timing = self.netlist.evaluate(
+                op, inst, e,
+                allow_multicycle=self.options.allow_multicycle)
+            if not timing.ok:
+                if best_slack is None or timing.slack_ps > best_slack:
+                    best_slack = timing.slack_ps
+                if accept_violation:
+                    eq = _equivalent_states([e], self.latency, self.ii)
+                    if inst.is_free(op, eq) and not self.guard.would_cycle(
+                            self._chain_edges(op, inst, e)):
+                        if (fallback is None
+                                or timing.slack_ps > fallback[1].slack_ps):
+                            fallback = (inst, timing)
+                continue
+            needed = list(range(e, e + timing.cycles))
+            if needed[-1] > self.latency - 1:
+                restraints.append(Restraint(
+                    kind=RestraintKind.LATENCY, op_uid=op.uid, state=e,
+                    type_key=type_key, fits_fresh_state=True))
+                continue
+            window = window_of(self.windows, op.uid)
+            if window is not None and needed[-1] > window.end:
+                restraints.append(Restraint(
+                    kind=RestraintKind.SCC_TIMING, op_uid=op.uid, state=e,
+                    scc_index=window.index, fits_fresh_state=True))
+                continue
+            eq_states = _equivalent_states(needed, self.latency, self.ii)
+            if not inst.is_free(op, eq_states):
+                busy += 1
+                continue
+            chain = self._chain_edges(op, inst, e)
+            if self.guard.would_cycle(chain):
+                restraints.append(Restraint(
+                    kind=RestraintKind.COMB_CYCLE, op_uid=op.uid, state=e,
+                    type_key=type_key, inst_name=inst.name))
+                continue
+            # commit, then re-verify ops whose sharing mux this binding grows
+            affected = self.netlist.affected_by_port_growth(op, inst)
+            self.netlist.commit(op, inst, e, timing)
+            broken = next((b for b in affected
+                           if not self.netlist.recheck(b).ok), None)
+            if broken is not None:
+                self.netlist.uncommit(op)
+                restraints.append(Restraint(
+                    kind=RestraintKind.NEG_SLACK, op_uid=broken.op.uid,
+                    state=broken.state, type_key=type_key,
+                    slack_ps=self.netlist.recheck(broken).slack_ps,
+                    input_arrival_ps=arrival_probe))
+                continue
+            inst.occupy(op, needed)
+            self.guard.commit(chain)
+            self._on_bound(op.uid, needed[-1], multicycle=timing.cycles > 1)
+            return True, restraints
+
+        if fallback is not None:
+            # bind with a timing violation; logic synthesis will pay for it
+            inst, timing = fallback
+            chain = self._chain_edges(op, inst, e)
+            self.netlist.commit(op, inst, e, timing)
+            inst.occupy(op, [e])
+            self.guard.commit(chain)
+            self._on_bound(op.uid, e, multicycle=False)
+            return True, restraints
+
+        if busy:
+            fresh = self.netlist.evaluate_fresh(op, e)
+            restraints.append(Restraint(
+                kind=RestraintKind.NO_RESOURCE, op_uid=op.uid, state=e,
+                type_key=type_key,
+                input_arrival_ps=arrival_probe,
+                fresh_instance_fails=not fresh.ok,
+                fits_fresh_state=self._fits_fresh_state(op)))
+        if best_slack is not None:
+            dummy = CandidateTiming(False, 0.0, 0.0, best_slack)
+            restraints.append(self._timing_restraint(
+                op, e, dummy, arrival_probe, type_key))
+        return False, restraints
+
+    def _timing_restraint(self, op: Operation, e: int,
+                          timing: CandidateTiming, arrival: float,
+                          type_key) -> Restraint:
+        window = window_of(self.windows, op.uid)
+        kind = RestraintKind.NEG_SLACK
+        if window is not None:
+            # the paper distinguishes SCC timing failures from ordinary
+            # negative slack so the move-SCC action can be suggested
+            kind = RestraintKind.SCC_TIMING
+        return Restraint(
+            kind=kind, op_uid=op.uid, state=e, type_key=type_key,
+            slack_ps=timing.slack_ps,
+            scc_index=window.index if window else None,
+            input_arrival_ps=arrival,
+            fresh_instance_fails=not self.netlist.evaluate_fresh(op, e).ok,
+            fits_fresh_state=self._fits_fresh_state(op))
+
+    def _fits_fresh_state(self, op: Operation) -> bool:
+        """Would the op fit a state where all its inputs are registered?"""
+        lib = self.library
+        if op.is_free or op.is_io or op.is_mux or op.kind is OpKind.STALL:
+            return True
+        families = lib.families_for(op.kind)
+        if not families:
+            return False
+        rtype = lib.resource_type(families[0], op.resource_width)
+        path = (lib.ff.clk_to_q_ps + lib.mux.delay2_ps + rtype.delay_ps
+                + lib.mux.delay2_ps + lib.ff.setup_ps)
+        if path <= self.clock_ps:
+            return True
+        return rtype.multicycle_ok and self.options.allow_multicycle
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> PassOutcome:
+        """Execute the pass; restraints accumulate in ``self.log``."""
+        if not self._prepare():
+            return PassOutcome(False, self.netlist, self.pool,
+                               self.windows, self.mobility, self.log)
+        self._heights = compute_heights(self.dfg, self.library)
+        self._build_dependency_maps()
+        for uid, count in self._unresolved.items():
+            if count == 0:
+                self._push_ready(uid)
+
+        bound: Set[int] = set()
+        schedulable = {op.uid for op in self.region.schedulable_ops()}
+        deferred: List[Tuple] = []
+        for e in range(self.latency):
+            for item in deferred:
+                heapq.heappush(self._ready_heap, item)
+                self._in_heap.add(item[2])
+            deferred = []
+            attempted: Set[int] = set()
+            while self._ready_heap:
+                avail, key, uid = heapq.heappop(self._ready_heap)
+                self._in_heap.discard(uid)
+                if uid in bound or uid in self.log.failed_ops:
+                    continue
+                if avail > e:
+                    deferred.append((avail, key, uid))
+                    continue
+                if uid in attempted:
+                    deferred.append((avail, key, uid))
+                    continue
+                op = self.dfg.op(uid)
+                mob = self.mobility[uid]
+                if op.pinned_state is not None and e != op.pinned_state:
+                    if e < op.pinned_state:
+                        deferred.append((op.pinned_state, key, uid))
+                        continue
+                    self.log.mark_failed(uid)
+                    self.log.record(Restraint(
+                        kind=RestraintKind.LATENCY, op_uid=uid, state=e))
+                    continue
+                ok, restraints = self._try_bind(op, e)
+                for r in restraints:
+                    self.log.record(r)
+                if ok:
+                    bound.add(uid)
+                    continue
+                attempted.add(uid)
+                if e >= mob.alap:
+                    # "if op_best failed and e is last in lifespan"
+                    self.log.mark_failed(uid)
+                    if not op.predicate.is_true and uid not in self.state.speculated:
+                        self.log.record(Restraint(
+                            kind=RestraintKind.PREDICATE_ORDER, op_uid=uid,
+                            state=e, cond_uid=next(
+                                iter(op.predicate.condition_uids()), None)))
+                else:
+                    deferred.append((avail, key, uid))
+
+        for uid in sorted(schedulable - bound - self.log.failed_ops):
+            self.log.mark_failed(uid)
+            self.log.record(Restraint(
+                kind=RestraintKind.LATENCY, op_uid=uid,
+                state=self.latency - 1, fits_fresh_state=True))
+        success = not self.log.has_failures and schedulable <= bound
+        return PassOutcome(success, self.netlist, self.pool,
+                           self.windows, self.mobility, self.log)
+
+
+def schedule_region(
+    region: Region,
+    library: Library,
+    clock_ps: float,
+    pipeline: Optional[PipelineSpec] = None,
+    options: Optional[SchedulerOptions] = None,
+) -> Schedule:
+    """Schedule and bind a region; the paper's full iterative flow.
+
+    Raises :class:`~repro.core.schedule.ScheduleError` when the design is
+    overconstrained and no relaxation action remains.
+    """
+    options = options or SchedulerOptions()
+    region.validate()
+    if pipeline is not None and not region.is_loop:
+        raise ScheduleError(f"{region.name}: cannot pipeline a non-loop")
+    min_latency = region.min_latency
+    if pipeline is not None:
+        # "exploration often starts from LI = II + 1 (the minimum for
+        # pipelined execution)" -- section V
+        min_latency = max(min_latency, pipeline.ii + 1)
+    if min_latency > region.max_latency:
+        raise ScheduleError(
+            f"{region.name}: latency bound {region.max_latency} below "
+            f"minimum {min_latency}")
+
+    try:
+        alloc_mobility = compute_mobility(
+            region, library, clock_ps, region.max_latency)
+    except InfeasibleTiming as exc:
+        raise ScheduleError(
+            f"{region.name}: infeasible even at max latency: {exc}") from exc
+    allocation = lower_bound(
+        region, library, alloc_mobility, region.max_latency,
+        pipeline.ii if pipeline else None)
+
+    state = DriverState(latency=min_latency)
+    outcome: Optional[PassOutcome] = None
+    for pass_no in range(1, options.max_passes + 1):
+        pass_run = _Pass(region, library, clock_ps, state.latency,
+                         pipeline, allocation, state, options)
+        outcome = pass_run.run()
+        if options.trace:
+            print(f"[pass {pass_no}] latency={state.latency} "
+                  f"success={outcome.success} "
+                  f"restraints={outcome.log.summary()}")
+        if outcome.success:
+            # prune instances the binder never used (batched resource
+            # additions may overshoot; unused copies cost only area)
+            for inst in list(outcome.pool.instances):
+                if not inst.ops_bound():
+                    outcome.pool.remove(inst)
+            schedule = Schedule(
+                region=region,
+                library=library,
+                clock_ps=clock_ps,
+                latency=state.latency,
+                pipeline=pipeline,
+                bindings=outcome.netlist.bindings,
+                pool=outcome.pool,
+                netlist=outcome.netlist,
+                scc_windows=outcome.windows,
+                passes=pass_no,
+                actions_taken=list(state.history),
+                speculated=frozenset(state.speculated),
+            )
+            if options.validate_result:
+                problems = schedule.validate(
+                    allow_negative_slack=options.accept_negative_slack)
+                if problems:
+                    raise ScheduleError(
+                        f"{region.name}: internal validation failed",
+                        problems)
+            return schedule
+        analyzed = outcome.log.analyze(region.dfg)
+        outlook = {key: (demand, outcome.pool.count(*key))
+                   for key, demand in allocation.demand.items()}
+        actions = propose_actions(
+            region, library, clock_ps, analyzed, state, pipeline,
+            enable_scc_move=options.enable_scc_move,
+            enable_speculation=options.enable_speculation,
+            allow_grades=options.allow_grades,
+            resource_outlook=outlook)
+        if not actions:
+            diagnostics = [
+                f"{r.kind.value}: op {region.dfg.op(r.op_uid).name} at "
+                f"s{r.state + 1} (weight {r.weight:.1f})"
+                for r in analyzed[:10] if r.op_uid in region.dfg
+            ]
+            raise ScheduleError(
+                f"{region.name}: overconstrained, no relaxation action "
+                f"after pass {pass_no}", diagnostics)
+        actions[0].apply(state)
+        # batch independent secondary actions: resource additions for
+        # other types, binding prohibitions and speculations neither
+        # interact with the winner nor with each other, so applying them
+        # together saves whole scheduling passes on large designs
+        for extra in actions[1:]:
+            if extra.name == actions[0].name:
+                continue
+            if extra.name.startswith(("add_resource:", "forbid:",
+                                      "speculate:", "move_scc:")):
+                extra.apply(state)
+    raise ScheduleError(
+        f"{region.name}: pass budget ({options.max_passes}) exhausted",
+        state.history)

@@ -1,0 +1,24 @@
+"""Design-space exploration: microarchitecture/clock sweeps and Pareto
+analysis (the paper's Figures 10 and 11)."""
+
+from repro.explore.pareto import DesignPoint, group_by_microarch, pareto_front
+from repro.explore.record import read_json, write_csv, write_json
+from repro.explore.sweep import (
+    Microarch,
+    PAPER_MICROARCHS,
+    sweep_microarchitectures,
+    synthesize_point,
+)
+
+__all__ = [
+    "DesignPoint",
+    "Microarch",
+    "PAPER_MICROARCHS",
+    "group_by_microarch",
+    "read_json",
+    "pareto_front",
+    "sweep_microarchitectures",
+    "synthesize_point",
+    "write_csv",
+    "write_json",
+]

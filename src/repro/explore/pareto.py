@@ -1,0 +1,56 @@
+"""Pareto front extraction over implementation points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One implementation: the axes of the paper's Figures 10/11."""
+
+    label: str
+    microarch: str
+    clock_ps: float
+    ii: int
+    latency: int
+    delay_ps: float
+    area: float
+    power_mw: float
+
+    def row(self) -> List[object]:
+        """Table row matching :func:`repro.rtl.reports.pareto_header`."""
+        return [self.microarch, round(self.clock_ps), self.ii,
+                round(self.delay_ps), round(self.area, 1),
+                round(self.power_mw, 3)]
+
+
+def pareto_front(points: Sequence[DesignPoint],
+                 x: str = "delay_ps", y: str = "area") -> List[DesignPoint]:
+    """Non-dominated points, minimizing both ``x`` and ``y``."""
+    result: List[DesignPoint] = []
+    for p in points:
+        px, py = getattr(p, x), getattr(p, y)
+        dominated = False
+        for q in points:
+            if q is p:
+                continue
+            qx, qy = getattr(q, x), getattr(q, y)
+            if qx <= px and qy <= py and (qx < px or qy < py):
+                dominated = True
+                break
+        if not dominated:
+            result.append(p)
+    result.sort(key=lambda p: getattr(p, x))
+    return result
+
+
+def group_by_microarch(points: Sequence[DesignPoint]) -> Dict[str, List[DesignPoint]]:
+    """Points grouped into per-microarchitecture curves (Fig. 10 lines)."""
+    out: Dict[str, List[DesignPoint]] = {}
+    for p in points:
+        out.setdefault(p.microarch, []).append(p)
+    for curve in out.values():
+        curve.sort(key=lambda p: p.delay_ps)
+    return out

@@ -1,0 +1,45 @@
+"""Experiment record writers.
+
+Sweeps and benchmark harnesses produce :class:`DesignPoint` lists; these
+helpers persist them as CSV or JSON so plots and papers can be built
+outside this repository without re-running HLS.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.explore.pareto import DesignPoint
+
+_FIELDS = ("label", "microarch", "clock_ps", "ii", "latency",
+           "delay_ps", "area", "power_mw")
+
+
+def write_csv(points: Iterable[DesignPoint],
+              path: Union[str, Path]) -> Path:
+    """Write sweep points to a CSV file; returns the path."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_FIELDS)
+        for p in points:
+            writer.writerow([getattr(p, f) for f in _FIELDS])
+    return path
+
+
+def write_json(points: Iterable[DesignPoint],
+               path: Union[str, Path]) -> Path:
+    """Write sweep points to a JSON file; returns the path."""
+    path = Path(path)
+    payload = [{f: getattr(p, f) for f in _FIELDS} for p in points]
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def read_json(path: Union[str, Path]) -> List[DesignPoint]:
+    """Load sweep points back from a JSON record."""
+    payload = json.loads(Path(path).read_text())
+    return [DesignPoint(**entry) for entry in payload]

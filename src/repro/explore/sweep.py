@@ -1,0 +1,93 @@
+"""Microarchitecture x clock design-space exploration.
+
+The paper's Figure 10/11 experiment: one kernel (IDCT), several
+microarchitectures (non-pipelined at latencies 8/16/32, pipelined with
+LI 16 and 32 at half-latency II), each synthesized across a range of
+clock periods.  The delay axis is ``II_effective * Tclk``; area and power
+come from the bound implementation (faster clocks force faster, larger
+speed grades and multi-cycle splits, which is what bends the curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.cdfg.region import PipelineSpec, Region
+from repro.core.schedule import Schedule, ScheduleError
+from repro.core.scheduler import SchedulerOptions, schedule_region
+from repro.explore.pareto import DesignPoint
+from repro.tech.library import Library
+from repro.tech.power import estimate_power
+
+
+@dataclass(frozen=True)
+class Microarch:
+    """One microarchitecture: a fixed latency, optionally pipelined."""
+
+    name: str
+    latency: int
+    ii: Optional[int] = None  # None = non-pipelined
+
+    @property
+    def ii_effective(self) -> int:
+        """Cycles between iterations."""
+        return self.ii if self.ii is not None else self.latency
+
+
+#: the paper's Figure 10 microarchitecture set.
+PAPER_MICROARCHS: Sequence[Microarch] = (
+    Microarch("Non-Pipelined 8", 8),
+    Microarch("Non-Pipelined 16", 16),
+    Microarch("Non-Pipelined 32", 32),
+    Microarch("Pipelined 16", 16, ii=8),
+    Microarch("Pipelined 32", 32, ii=16),
+)
+
+
+def synthesize_point(
+    region_factory: Callable[[], Region],
+    library: Library,
+    microarch: Microarch,
+    clock_ps: float,
+    options: Optional[SchedulerOptions] = None,
+) -> Optional[DesignPoint]:
+    """One HLS run; None when the configuration is infeasible."""
+    region = region_factory()
+    region.min_latency = microarch.latency
+    region.max_latency = microarch.latency
+    pipeline = PipelineSpec(ii=microarch.ii) if microarch.ii else None
+    try:
+        schedule = schedule_region(region, library, clock_ps,
+                                   pipeline=pipeline, options=options)
+    except ScheduleError:
+        return None
+    power = estimate_power(schedule)
+    return DesignPoint(
+        label=f"{microarch.name}@{clock_ps:.0f}",
+        microarch=microarch.name,
+        clock_ps=clock_ps,
+        ii=schedule.ii_effective,
+        latency=schedule.latency,
+        delay_ps=schedule.delay_ps,
+        area=schedule.area,
+        power_mw=power.total_mw,
+    )
+
+
+def sweep_microarchitectures(
+    region_factory: Callable[[], Region],
+    library: Library,
+    microarchs: Sequence[Microarch] = PAPER_MICROARCHS,
+    clocks_ps: Sequence[float] = (1000.0, 1250.0, 1600.0, 2100.0, 2800.0),
+    options: Optional[SchedulerOptions] = None,
+) -> List[DesignPoint]:
+    """The full Figure 10/11 grid (25 runs at the default settings)."""
+    points: List[DesignPoint] = []
+    for microarch in microarchs:
+        for clock in clocks_ps:
+            point = synthesize_point(region_factory, library, microarch,
+                                     clock, options)
+            if point is not None:
+                points.append(point)
+    return points

@@ -1,0 +1,29 @@
+"""Behavioral frontend: the SystemC-like mini-language of the paper's
+Figure 1, from text to schedulable regions."""
+
+from repro.frontend.astnodes import Module, Port, Thread
+from repro.frontend.elaborate import ElaboratedLoop, elaborate_module
+from repro.frontend.lexer import FrontendError, Token, tokenize
+from repro.frontend.parser import parse_source
+
+
+def compile_source(source: str):
+    """Parse and elaborate: source text -> list of elaborated loops."""
+    loops = []
+    for module in parse_source(source):
+        loops.extend(elaborate_module(module))
+    return loops
+
+
+__all__ = [
+    "ElaboratedLoop",
+    "FrontendError",
+    "Module",
+    "Port",
+    "Thread",
+    "Token",
+    "compile_source",
+    "elaborate_module",
+    "parse_source",
+    "tokenize",
+]

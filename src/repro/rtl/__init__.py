@@ -1,0 +1,19 @@
+"""Output generation substrate: FSM derivation, Verilog emission, slack
+compensation (the logic-synthesis stand-in) and text reports."""
+
+from repro.rtl.compensation import CompensationResult, compensate_slack
+from repro.rtl.fsm import FSMSpec, build_fsm
+from repro.rtl.reports import format_table, schedule_report
+from repro.rtl.verilog import VerilogWriter, generate_verilog, lint_verilog
+
+__all__ = [
+    "CompensationResult",
+    "FSMSpec",
+    "VerilogWriter",
+    "build_fsm",
+    "compensate_slack",
+    "format_table",
+    "generate_verilog",
+    "lint_verilog",
+    "schedule_report",
+]

@@ -1,0 +1,58 @@
+"""Text reporting helpers shared by examples, benchmarks and EXPERIMENTS.md.
+
+Everything renders to plain aligned text so benchmark harnesses can print
+the same rows the paper's tables report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.schedule import Schedule
+from repro.tech.power import estimate_power
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Align a list of rows under headers (markdown-ish plain text)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+    lines = [fmt(list(headers)), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def schedule_report(schedule: Schedule) -> str:
+    """Full implementation report: schedule grid, area, timing, power."""
+    area = schedule.area_report()
+    timing = schedule.timing_report()
+    power = estimate_power(schedule)
+    lines = [
+        f"=== {schedule.region.name} @ {schedule.clock_ps:.0f} ps ===",
+        f"latency {schedule.latency}, II {schedule.ii_effective}, "
+        f"stages {schedule.n_stages}, passes {schedule.passes}",
+        "",
+        schedule.table(),
+        "",
+        format_table(("component", "area"),
+                     [(n, f"{v:.1f}") for n, v in area.rows()]),
+        "",
+        f"WNS: {timing.wns_ps:.0f} ps"
+        + ("" if timing.met else "  (VIOLATED)"),
+        format_table(("power", "mW"),
+                     [(n, f"{v:.3f}") for n, v in power.rows()]),
+    ]
+    if schedule.actions_taken:
+        lines.append("")
+        lines.append("relaxation history: " + "; ".join(schedule.actions_taken))
+    return "\n".join(lines)
+
+
+def pareto_header() -> List[str]:
+    """Column names used by the Figure 10/11 sweep printers."""
+    return ["microarch", "clock_ps", "II", "delay_ps", "area", "power_mW"]

@@ -1,0 +1,18 @@
+"""Simulation substrate: the golden sequential interpreter and the
+cycle-accurate machine executing scheduled (possibly pipelined) designs."""
+
+from repro.sim.evalops import evaluate_op, predicate_holds, unsigned, wrap
+from repro.sim.machine import ScheduledMachine, simulate_schedule
+from repro.sim.reference import SimResult, SimulationError, simulate_reference
+
+__all__ = [
+    "ScheduledMachine",
+    "SimResult",
+    "SimulationError",
+    "evaluate_op",
+    "predicate_holds",
+    "simulate_reference",
+    "simulate_schedule",
+    "unsigned",
+    "wrap",
+]

@@ -1,0 +1,117 @@
+"""Integer semantics shared by the simulators.
+
+Values are Python ints interpreted as two's-complement words of the
+operation's width; every result is wrapped back into range.  Division by
+zero yields zero (the usual hardware-friendly convention; only reachable
+under false predicates after if-conversion, and documented as such).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cdfg.ops import Operation, OpKind
+
+
+def wrap(value: int, width: int) -> int:
+    """Interpret ``value`` as a signed two's-complement ``width``-bit word."""
+    mask = (1 << width) - 1
+    value &= mask
+    if value >= 1 << (width - 1) and width > 1:
+        value -= 1 << width
+    return value
+
+
+def unsigned(value: int, width: int) -> int:
+    """The raw bit pattern of a (possibly negative) value."""
+    return value & ((1 << width) - 1)
+
+
+def evaluate_op(op: Operation, operands: List[int]) -> int:
+    """Apply one operation to already-wrapped operand values."""
+    kind = op.kind
+    width = op.width
+    if kind is OpKind.ADD:
+        return wrap(operands[0] + operands[1], width)
+    if kind is OpKind.SUB:
+        return wrap(operands[0] - operands[1], width)
+    if kind is OpKind.MUL:
+        return wrap(operands[0] * operands[1], width)
+    if kind is OpKind.DIV:
+        if operands[1] == 0:
+            return 0
+        return wrap(int(operands[0] / operands[1]), width)
+    if kind is OpKind.MOD:
+        if operands[1] == 0:
+            return 0
+        return wrap(operands[0] - int(operands[0] / operands[1]) * operands[1],
+                    width)
+    if kind is OpKind.NEG:
+        return wrap(-operands[0], width)
+    if kind is OpKind.SHL:
+        return wrap(operands[0] << (operands[1] & 63), width)
+    if kind is OpKind.SHR:
+        src_w = op.operand_widths[0] if op.operand_widths else width
+        return wrap(unsigned(operands[0], src_w) >> (operands[1] & 63), width)
+    if kind is OpKind.AND:
+        return wrap(operands[0] & operands[1], width)
+    if kind is OpKind.OR:
+        return wrap(operands[0] | operands[1], width)
+    if kind is OpKind.XOR:
+        return wrap(operands[0] ^ operands[1], width)
+    if kind is OpKind.NOT:
+        src_w = op.operand_widths[0] if op.operand_widths else width
+        return wrap(~unsigned(operands[0], src_w), width)
+    if kind is OpKind.LT:
+        return int(operands[0] < operands[1])
+    if kind is OpKind.GT:
+        return int(operands[0] > operands[1])
+    if kind is OpKind.LE:
+        return int(operands[0] <= operands[1])
+    if kind is OpKind.GE:
+        return int(operands[0] >= operands[1])
+    if kind is OpKind.EQ:
+        return int(operands[0] == operands[1])
+    if kind is OpKind.NEQ:
+        return int(operands[0] != operands[1])
+    if kind is OpKind.MUX:
+        return operands[1] if operands[0] else operands[2]
+    if kind is OpKind.SLICE:
+        hi, lo = op.payload
+        src_w = op.operand_widths[0] if op.operand_widths else 64
+        bits = unsigned(operands[0], max(src_w, hi + 1))
+        return wrap((bits >> lo) & ((1 << (hi - lo + 1)) - 1), width)
+    if kind is OpKind.ZEXT:
+        src_w = op.operand_widths[0] if op.operand_widths else width
+        return wrap(unsigned(operands[0], src_w), width)
+    if kind is OpKind.SEXT:
+        return wrap(operands[0], width)
+    if kind is OpKind.MOVE:
+        return wrap(operands[0], width)
+    if kind is OpKind.CONCAT:
+        value = 0
+        shift = 0
+        for i in reversed(range(len(operands))):
+            src_w = (op.operand_widths[i]
+                     if i < len(op.operand_widths) else 32)
+            value |= unsigned(operands[i], src_w) << shift
+            shift += src_w
+        return wrap(value, width)
+    if kind is OpKind.CALL:
+        # black-box IP model: a deterministic mix of the arguments
+        acc = 0x9E37
+        for v in operands:
+            acc = (acc * 31 + unsigned(v, 64)) & 0xFFFFFFFF
+        return wrap(acc, width)
+    raise ValueError(f"evaluate_op: unsupported kind {kind.value}")
+
+
+def predicate_holds(op: Operation, values: Dict[int, int]) -> bool:
+    """Evaluate an if-conversion predicate against condition values."""
+    for cond_uid, polarity in op.predicate.literals:
+        cond_value = values.get(cond_uid)
+        if cond_value is None:
+            return False
+        if bool(cond_value) is not polarity:
+            return False
+    return True

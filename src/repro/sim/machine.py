@@ -1,0 +1,199 @@
+"""Cycle-accurate simulation of a scheduled design.
+
+Executes a :class:`~repro.core.schedule.Schedule` the way the generated
+RTL would: states advance every clock, pipelined schedules overlap
+iterations every II cycles, stage-valid semantics squash speculatively
+issued iterations once the exit test of an earlier iteration resolves
+false, and stalling loops freeze the whole pipeline.  Matching the
+reference interpreter on committed port writes is the system-level
+correctness criterion used throughout the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cdfg.ops import Operation, OpKind
+from repro.core.schedule import Schedule
+from repro.sim.evalops import evaluate_op, predicate_holds, wrap
+from repro.sim.reference import (
+    InputSource,
+    SimResult,
+    SimulationError,
+    _input_value,
+)
+
+
+@dataclass
+class _IterationCtx:
+    """Architectural state of one in-flight iteration."""
+
+    index: int
+    start_cycle: int  # in logical (non-stalled) cycles
+    values: Dict[int, int] = field(default_factory=dict)
+    squashed: bool = False
+    wrote: bool = False
+
+
+class ScheduledMachine:
+    """Interprets a schedule cycle by cycle.
+
+    ``stall_ticks`` models stalling loops (paper section V step I.1):
+    ``{stall_op_uid: [extra_cycles_per_iteration, ...]}`` -- when the
+    marked operation's state executes for iteration ``k``, the whole
+    pipeline freezes for that many cycles, as the folded stage control
+    would ("no stage must be active while the stalling condition is
+    true").
+    """
+
+    def __init__(self, schedule: Schedule, inputs: InputSource,
+                 stall_ticks: Optional[Dict[int, List[int]]] = None) -> None:
+        self.schedule = schedule
+        self.dfg = schedule.region.dfg
+        self.inputs = inputs
+        self.latency = schedule.latency
+        self.ii = schedule.ii_effective
+        self.stall_ticks = stall_ticks or {}
+        order = {op.uid: i
+                 for i, op in enumerate(self.dfg.topological_order())}
+        self._by_state: Dict[int, List[Operation]] = {}
+        for _uid, bound in schedule.bindings.items():
+            self._by_state.setdefault(bound.state, []).append(bound.op)
+        for ops in self._by_state.values():
+            ops.sort(key=lambda o: order[o.uid])
+
+    # ------------------------------------------------------------------
+    def _value_of(self, ctx: _IterationCtx, uid: int) -> int:
+        """Value of ``uid`` in ``ctx``, evaluating free wiring on demand."""
+        if uid in ctx.values:
+            return ctx.values[uid]
+        op = self.dfg.op(uid)
+        if op.kind is OpKind.CONST:
+            value = wrap(op.payload, op.width)
+        elif op.is_free:
+            operands = [self._value_of(ctx, e.src)
+                        for e in self.dfg.in_edges(uid)]
+            value = evaluate_op(op, operands)
+        else:
+            raise SimulationError(
+                f"iteration {ctx.index}: {op.name} read before execution")
+        ctx.values[uid] = value
+        return value
+
+    def _execute_state(self, ctx: _IterationCtx, state: int,
+                       contexts: Dict[int, _IterationCtx],
+                       result: SimResult) -> Optional[bool]:
+        """Run one state of one iteration; returns the exit value if seen."""
+        exit_value: Optional[bool] = None
+        for op in self._by_state.get(state, ()):
+            if op.kind is OpKind.READ:
+                index = ctx.index * op.io_stride + op.io_offset
+                ctx.values[op.uid] = wrap(
+                    _input_value(self.inputs, op.payload, index),
+                    op.width)
+                continue
+            if op.kind is OpKind.WRITE:
+                src = self.dfg.in_edge(op.uid, 0)
+                value = self._value_of(ctx, src.src)
+                if predicate_holds(op, ctx.values):
+                    result.outputs.setdefault(op.payload, []).append(
+                        wrap(value, op.width))
+                    ctx.wrote = True
+                continue
+            if op.kind is OpKind.STALL:
+                continue  # stall duration is injected at the cycle level
+            if op.kind is OpKind.LOOPMUX:
+                carried = self.dfg.in_edge(op.uid, 1)
+                donor = contexts.get(ctx.index - carried.distance)
+                if donor is None:
+                    init = self.dfg.in_edge(op.uid, 0)
+                    ctx.values[op.uid] = self._value_of(ctx, init.src)
+                else:
+                    ctx.values[op.uid] = self._value_of(donor, carried.src)
+                continue
+            operands = []
+            for edge in self.dfg.in_edges(op.uid):
+                if edge.distance >= 1:
+                    raise SimulationError(
+                        f"{op.name}: carried edge outside a loop mux")
+                operands.append(self._value_of(ctx, edge.src))
+            ctx.values[op.uid] = evaluate_op(op, operands)
+            if op.is_exit_test:
+                exit_value = bool(ctx.values[op.uid])
+        return exit_value
+
+    # ------------------------------------------------------------------
+    def run(self, max_iterations: Optional[int] = None) -> SimResult:
+        """Simulate until the loop drains; returns committed outputs."""
+        region = self.schedule.region
+        limit = max_iterations
+        if limit is None:
+            limit = (region.trip_count if region.trip_count is not None
+                     else 1024)
+        if not region.is_loop:
+            limit = 1
+        result = SimResult()
+        contexts: Dict[int, _IterationCtx] = {}
+        exit_iter: Optional[int] = None
+        issued = 0
+        stall_budget = 0
+        cycle = 0  # logical cycle: stalled cycles counted separately
+        max_cycles = limit * max(self.ii, 1) + self.latency + 16
+
+        while cycle < max_cycles:
+            if stall_budget > 0:
+                stall_budget -= 1
+                result.stalled_cycles += 1
+                continue
+            if (cycle % self.ii == 0 and issued < limit
+                    and (exit_iter is None or issued <= exit_iter)):
+                contexts[issued] = _IterationCtx(issued, cycle)
+                issued += 1
+            active = False
+            for k in sorted(contexts):
+                ctx = contexts[k]
+                if ctx.squashed:
+                    continue
+                state = cycle - ctx.start_cycle
+                if not 0 <= state < self.latency:
+                    continue
+                active = True
+                exit_value = self._execute_state(ctx, state, contexts, result)
+                for uid, ticks in self.stall_ticks.items():
+                    bound = self.schedule.bindings.get(uid)
+                    if (bound is not None and bound.state == state
+                            and k < len(ticks)):
+                        stall_budget = max(stall_budget, ticks[k])
+                if exit_value is False and exit_iter is None:
+                    exit_iter = k
+                    for kk, other in contexts.items():
+                        if kk > k and not other.squashed:
+                            if other.wrote:
+                                raise SimulationError(
+                                    f"iteration {kk} wrote before iteration "
+                                    f"{k}'s exit resolved (squash hazard)")
+                            other.squashed = True
+                            result.squashed_iterations += 1
+            cycle += 1
+            if not active and issued > 0:
+                done_issuing = (issued >= limit
+                                or (exit_iter is not None
+                                    and issued > exit_iter))
+                if done_issuing:
+                    break
+        result.iterations = (exit_iter + 1 if exit_iter is not None
+                             else min(issued, limit))
+        result.cycles = cycle + result.stalled_cycles
+        return result
+
+
+def simulate_schedule(
+    schedule: Schedule,
+    inputs: InputSource,
+    max_iterations: Optional[int] = None,
+    stall_ticks: Optional[Dict[int, List[int]]] = None,
+) -> SimResult:
+    """Cycle-accurate run of a scheduled (possibly pipelined) design."""
+    machine = ScheduledMachine(schedule, inputs, stall_ticks)
+    return machine.run(max_iterations)

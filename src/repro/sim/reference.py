@@ -1,0 +1,108 @@
+"""Golden sequential interpreter of a region.
+
+Executes the region's DFG iteration by iteration with source-level
+semantics: loop muxes select the init value on the first iteration and
+the carried value afterwards; predicated writes only commit when their
+predicate holds; a do/while loop exits after the iteration whose exit
+test evaluates false.  This is the oracle every schedule (sequential or
+pipelined) must match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.cdfg.ops import OpKind
+from repro.cdfg.region import Region
+from repro.sim.evalops import evaluate_op, predicate_holds, wrap
+
+InputSource = Union[Dict[str, List[int]], Callable[[str, int], int]]
+
+
+@dataclass
+class SimResult:
+    """Outputs of a simulation run."""
+
+    outputs: Dict[str, List[int]] = field(default_factory=dict)
+    iterations: int = 0
+    cycles: int = 0  # filled by the cycle-accurate simulator
+    squashed_iterations: int = 0
+    stalled_cycles: int = 0
+
+    def output(self, port: str) -> List[int]:
+        """Committed writes to a port, in commit order."""
+        return self.outputs.get(port, [])
+
+
+class SimulationError(RuntimeError):
+    """Raised on semantic violations (e.g. write-before-squash hazards)."""
+
+
+def _input_value(inputs: InputSource, port: str, iteration: int) -> int:
+    if callable(inputs):
+        return inputs(port, iteration)
+    stream = inputs.get(port, [])
+    if not stream:
+        return 0
+    return stream[min(iteration, len(stream) - 1)]
+
+
+def simulate_reference(
+    region: Region,
+    inputs: InputSource,
+    max_iterations: Optional[int] = None,
+) -> SimResult:
+    """Run the region's source semantics; the verification oracle."""
+    dfg = region.dfg
+    order = dfg.topological_order()
+    #: per loop-mux: the carried-source value of every past iteration,
+    #: so distances > 1 read the right generation
+    carried_history: Dict[int, List[int]] = {}
+    result = SimResult()
+    limit = max_iterations
+    if limit is None:
+        limit = region.trip_count if region.trip_count is not None else 1024
+    if not region.is_loop:
+        limit = 1
+
+    for iteration in range(limit):
+        values: Dict[int, int] = {}
+        for op in order:
+            if op.kind is OpKind.CONST:
+                values[op.uid] = wrap(op.payload, op.width)
+            elif op.kind is OpKind.READ:
+                index = iteration * op.io_stride + op.io_offset
+                values[op.uid] = wrap(
+                    _input_value(inputs, op.payload, index), op.width)
+            elif op.kind is OpKind.LOOPMUX:
+                distance = dfg.in_edge(op.uid, 1).distance
+                donor = iteration - distance
+                history = carried_history.get(op.uid, [])
+                if donor < 0:
+                    init = dfg.in_edge(op.uid, 0)
+                    values[op.uid] = values[init.src]
+                else:
+                    values[op.uid] = history[donor]
+            elif op.kind is OpKind.WRITE:
+                src = dfg.in_edge(op.uid, 0)
+                if predicate_holds(op, values):
+                    result.outputs.setdefault(op.payload, []).append(
+                        wrap(values[src.src], op.width))
+            elif op.kind is OpKind.STALL:
+                continue  # stalling affects timing, not values
+            else:
+                operands = [values[e.src] for e in dfg.in_edges(op.uid)
+                            if e.distance == 0]
+                values[op.uid] = evaluate_op(op, operands)
+        # latch loop-carried values for future iterations
+        for op in order:
+            if op.kind is OpKind.LOOPMUX:
+                edge = dfg.in_edge(op.uid, 1)
+                carried_history.setdefault(op.uid, []).append(
+                    values[edge.src])
+        result.iterations = iteration + 1
+        if region.exit_op_uid is not None:
+            if not values.get(region.exit_op_uid, 0):
+                break
+    return result

@@ -1,0 +1,27 @@
+"""Technology library substrate: resource characterization, speed grades,
+instances for the binder, and the power model."""
+
+from repro.tech.artisan90 import artisan90
+from repro.tech.generic45 import generic45
+from repro.tech.library import (
+    DEFAULT_GRADES,
+    FlipFlopSpec,
+    Library,
+    MuxSpec,
+    ResourceType,
+    SpeedGrade,
+)
+from repro.tech.resources import ResourceInstance, ResourcePool
+
+__all__ = [
+    "DEFAULT_GRADES",
+    "FlipFlopSpec",
+    "Library",
+    "MuxSpec",
+    "ResourceInstance",
+    "ResourcePool",
+    "ResourceType",
+    "SpeedGrade",
+    "artisan90",
+    "generic45",
+]

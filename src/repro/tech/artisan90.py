@@ -1,0 +1,67 @@
+"""The paper's 90 nm typical library (``artisan_90nm_typical``).
+
+Delays are calibrated to Table 1 at 32 bits: mul 930 ps, add 350 ps,
+gt 220 ps, neq 60 ps, ff 40/70, mux2 110 ps, mux3 115 ps.  Areas are
+calibrated so Example 1's three microarchitectures land on the paper's
+Table 3 values (16094 / 24010 / 30491 area units for S / P2 / P1).
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.ops import OpKind
+from repro.tech.library import FlipFlopSpec, Library, MuxSpec, make_family
+
+#: area units per register bit (Table 3 calibration).
+_REG_AREA_PER_BIT = 30.0
+
+
+def artisan90() -> Library:
+    """Construct the calibrated 90 nm typical library."""
+    families = [
+        make_family(
+            "mul", [OpKind.MUL], delay32_ps=930.0, area32=6996.0,
+            energy32_pj=4.2, delay_law="log", area_law="super",
+            multicycle_ok=True),
+        make_family(
+            "div", [OpKind.DIV, OpKind.MOD], delay32_ps=2800.0, area32=9200.0,
+            energy32_pj=9.5, delay_law="linear", area_law="super",
+            multicycle_ok=True),
+        make_family(
+            "add", [OpKind.ADD, OpKind.SUB, OpKind.NEG],
+            delay32_ps=350.0, area32=1124.0,
+            energy32_pj=0.45, delay_law="log", area_law="linear"),
+        make_family(
+            "gt", [OpKind.GT, OpKind.LT, OpKind.GE, OpKind.LE],
+            delay32_ps=220.0, area32=438.0,
+            energy32_pj=0.20, delay_law="log", area_law="linear"),
+        make_family(
+            "neq", [OpKind.NEQ, OpKind.EQ], delay32_ps=60.0, area32=232.0,
+            energy32_pj=0.10, delay_law="log", area_law="linear"),
+        make_family(
+            "logic", [OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT],
+            delay32_ps=50.0, area32=160.0,
+            energy32_pj=0.06, delay_law="flat", area_law="linear"),
+        make_family(
+            "shift", [OpKind.SHL, OpKind.SHR], delay32_ps=240.0, area32=520.0,
+            energy32_pj=0.18, delay_law="log", area_law="linear"),
+        make_family(
+            "ip", [OpKind.CALL], delay32_ps=1200.0, area32=5200.0,
+            energy32_pj=3.0, delay_law="flat", area_law="linear",
+            multicycle_ok=True),
+    ]
+    ff = FlipFlopSpec(
+        clk_to_q_ps=40.0,
+        setup_ps=40.0,
+        alt_delay_ps=70.0,
+        area_per_bit=_REG_AREA_PER_BIT,
+        energy_per_bit_pj=0.02,
+        leakage_per_bit_uw=0.06,
+    )
+    mux = MuxSpec(
+        delay2_ps=110.0,
+        delay3_ps=115.0,
+        area2_per_bit=12.0,
+        area3_per_bit=20.0,
+        energy_per_bit_pj=0.008,
+    )
+    return Library("artisan_90nm_typical", families, ff, mux)

@@ -1,0 +1,69 @@
+"""A second, faster process corner for exploration experiments.
+
+Not from the paper; provided so sweeps and tests can demonstrate that the
+flow is library-agnostic.  Roughly a 45 nm generic node: ~2.2x faster and
+~0.45x the area of :mod:`repro.tech.artisan90`.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.ops import OpKind
+from repro.tech.library import FlipFlopSpec, Library, MuxSpec, make_family
+
+_SPEEDUP = 2.2
+_SHRINK = 0.45
+
+
+def generic45() -> Library:
+    """Construct the scaled 45 nm generic library."""
+    families = [
+        make_family(
+            "mul", [OpKind.MUL], delay32_ps=930.0 / _SPEEDUP,
+            area32=6996.0 * _SHRINK, energy32_pj=1.6,
+            delay_law="log", area_law="super", multicycle_ok=True),
+        make_family(
+            "div", [OpKind.DIV, OpKind.MOD], delay32_ps=2800.0 / _SPEEDUP,
+            area32=9200.0 * _SHRINK, energy32_pj=3.8,
+            delay_law="linear", area_law="super", multicycle_ok=True),
+        make_family(
+            "add", [OpKind.ADD, OpKind.SUB, OpKind.NEG],
+            delay32_ps=350.0 / _SPEEDUP, area32=1124.0 * _SHRINK,
+            energy32_pj=0.18, delay_law="log", area_law="linear"),
+        make_family(
+            "gt", [OpKind.GT, OpKind.LT, OpKind.GE, OpKind.LE],
+            delay32_ps=220.0 / _SPEEDUP, area32=438.0 * _SHRINK,
+            energy32_pj=0.08, delay_law="log", area_law="linear"),
+        make_family(
+            "neq", [OpKind.NEQ, OpKind.EQ], delay32_ps=60.0 / _SPEEDUP,
+            area32=232.0 * _SHRINK, energy32_pj=0.04,
+            delay_law="log", area_law="linear"),
+        make_family(
+            "logic", [OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT],
+            delay32_ps=50.0 / _SPEEDUP, area32=160.0 * _SHRINK,
+            energy32_pj=0.02, delay_law="flat", area_law="linear"),
+        make_family(
+            "shift", [OpKind.SHL, OpKind.SHR], delay32_ps=240.0 / _SPEEDUP,
+            area32=520.0 * _SHRINK, energy32_pj=0.07,
+            delay_law="log", area_law="linear"),
+        make_family(
+            "ip", [OpKind.CALL], delay32_ps=1200.0 / _SPEEDUP,
+            area32=5200.0 * _SHRINK, energy32_pj=1.2,
+            delay_law="flat", area_law="linear", multicycle_ok=True),
+    ]
+    ff = FlipFlopSpec(
+        clk_to_q_ps=40.0 / _SPEEDUP,
+        setup_ps=40.0 / _SPEEDUP,
+        alt_delay_ps=70.0 / _SPEEDUP,
+        area_per_bit=30.0 * _SHRINK,
+        energy_per_bit_pj=0.008,
+        leakage_per_bit_uw=0.09,
+    )
+    mux = MuxSpec(
+        delay2_ps=110.0 / _SPEEDUP,
+        delay3_ps=115.0 / _SPEEDUP,
+        area2_per_bit=12.0 * _SHRINK,
+        area3_per_bit=20.0 * _SHRINK,
+        energy_per_bit_pj=0.003,
+    )
+    return Library("generic_45nm", families, ff, mux,
+                   leakage_per_area_uw=0.005)

@@ -1,0 +1,151 @@
+"""Resource instances managed by the binder.
+
+A :class:`ResourceInstance` is one physical copy of a
+:class:`~repro.tech.library.ResourceType` in the datapath being built.
+It tracks which operation occupies it on every control step, including
+the equivalent-edge busy semantics required by pipelining (paper section
+V, step I.3b: "a resource used for operation op scheduled at edge ej is
+considered busy for all edges ek equivalent to ej"), relaxed for
+operations with mutually exclusive predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.ops import Operation
+from repro.cdfg.predicates import Predicate
+from repro.tech.library import ResourceType
+
+
+class ResourceInstance:
+    """One allocated copy of a resource type."""
+
+    def __init__(self, rtype: ResourceType, index: int) -> None:
+        self.rtype = rtype
+        self.index = index
+        #: stable identity independent of speed grade, so post-schedule
+        #: regrading (slack compensation) does not invalidate netlist keys.
+        self._base_name = f"{rtype.family}_{rtype.width}"
+        #: per-state occupancy: state -> list of (operation, predicate).
+        #: Several operations may legally share a state when their
+        #: predicates are mutually exclusive.
+        self._occupancy: Dict[int, List[Operation]] = {}
+
+    @property
+    def name(self) -> str:
+        """Stable instance name used in reports (``mul_32#0``)."""
+        return f"{self._base_name}#{self.index}"
+
+    def occupants(self, state: int) -> List[Operation]:
+        """Operations occupying this instance at a state."""
+        return list(self._occupancy.get(state, ()))
+
+    def states_used(self) -> List[int]:
+        """All states where this instance is occupied."""
+        return sorted(self._occupancy)
+
+    def ops_bound(self) -> List[Operation]:
+        """All operations bound to this instance (deduplicated)."""
+        seen: Dict[int, Operation] = {}
+        for ops in self._occupancy.values():
+            for op in ops:
+                seen[op.uid] = op
+        return [seen[uid] for uid in sorted(seen)]
+
+    def is_free(self, op: Operation, states: List[int]) -> bool:
+        """Whether ``op`` may occupy this instance on all ``states``.
+
+        ``states`` must already include equivalent edges when pipelining.
+        Occupied states are still usable when every current occupant's
+        predicate is mutually exclusive with ``op``'s.
+        """
+        for state in states:
+            for other in self._occupancy.get(state, ()):
+                if not op.predicate.disjoint(other.predicate):
+                    return False
+        return True
+
+    def occupy(self, op: Operation, states: List[int]) -> None:
+        """Claim the instance for ``op`` on all ``states``."""
+        if not self.is_free(op, states):
+            raise ValueError(f"{self.name}: conflict binding {op.name}")
+        for state in states:
+            self._occupancy.setdefault(state, []).append(op)
+
+    def release(self, op: Operation) -> None:
+        """Undo a previous :meth:`occupy` of ``op`` (backtracking)."""
+        for state in list(self._occupancy):
+            self._occupancy[state] = [
+                o for o in self._occupancy[state] if o.uid != op.uid]
+            if not self._occupancy[state]:
+                del self._occupancy[state]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResourceInstance({self.name})"
+
+
+class ResourcePool:
+    """The set of allocated instances, grouped by family/width.
+
+    The scheduler starts from the allocation lower bound (paper IV.A) and
+    the relaxation expert system adds instances when a pass fails for lack
+    of resources.
+    """
+
+    def __init__(self) -> None:
+        self._instances: List[ResourceInstance] = []
+        self._counters: Dict[str, int] = {}
+
+    def add(self, rtype: ResourceType) -> ResourceInstance:
+        """Allocate one more instance of ``rtype``."""
+        key = f"{rtype.family}_{rtype.width}"
+        idx = self._counters.get(key, 0)
+        self._counters[key] = idx + 1
+        inst = ResourceInstance(rtype, idx)
+        self._instances.append(inst)
+        return inst
+
+    def remove(self, inst: ResourceInstance) -> None:
+        """Drop an instance (only used by allocation refinement)."""
+        self._instances.remove(inst)
+
+    @property
+    def instances(self) -> List[ResourceInstance]:
+        """All instances in allocation order."""
+        return list(self._instances)
+
+    def compatible(self, op: Operation) -> List[ResourceInstance]:
+        """Instances whose type can implement ``op`` (allocation order)."""
+        return [inst for inst in self._instances
+                if inst.rtype.supports(op.kind, op.resource_width)]
+
+    def count(self, family: str, width: int) -> int:
+        """Number of instances of a family/width bucket."""
+        return self._counters.get(f"{family}_{width}", 0)
+
+    def total_area(self) -> float:
+        """Sum of instance areas (excluding registers and muxes)."""
+        return sum(inst.rtype.area for inst in self._instances)
+
+    def clear_occupancy(self) -> None:
+        """Release all bindings (between scheduling passes)."""
+        for inst in self._instances:
+            inst._occupancy.clear()
+
+    def regrade(self, inst: ResourceInstance, rtype: ResourceType) -> None:
+        """Swap an instance's type for a different grade of the family."""
+        if rtype.family != inst.rtype.family or rtype.width != inst.rtype.width:
+            raise ValueError("regrade must stay within the family/width")
+        inst.rtype = rtype
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def summary(self) -> Dict[str, int]:
+        """Instance counts keyed by type name (for reports)."""
+        out: Dict[str, int] = {}
+        for inst in self._instances:
+            out[inst.rtype.name] = out.get(inst.rtype.name, 0) + 1
+        return dict(sorted(out.items()))

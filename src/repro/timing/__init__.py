@@ -1,0 +1,25 @@
+"""Timing substrate: the incrementally built datapath netlist, candidate
+binding evaluation, false combinational cycle avoidance and from-scratch
+timing verification."""
+
+from repro.timing.cycles import CombCycleGuard
+from repro.timing.netlist import BoundOp, CandidateTiming, DatapathNetlist
+from repro.timing.sta import (
+    PathPoint,
+    TimingReport,
+    chained_instances_on_path,
+    trace_critical_path,
+    verify_timing,
+)
+
+__all__ = [
+    "BoundOp",
+    "CandidateTiming",
+    "CombCycleGuard",
+    "DatapathNetlist",
+    "PathPoint",
+    "TimingReport",
+    "chained_instances_on_path",
+    "trace_critical_path",
+    "verify_timing",
+]

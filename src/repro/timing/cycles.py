@@ -1,0 +1,95 @@
+"""False combinational cycle avoidance (paper Figure 6).
+
+Resource sharing creates *static* wiring: when operation ``x = a + b`` in
+state s1 chains into ``y = x + c`` on another adder, the first adder's
+output is wired (through muxes) to the second adder's input.  If, in a
+different state, the second adder's output chains into the first one, the
+wiring forms a combinational cycle even though no reachable control state
+sensitizes both paths at once.
+
+The paper's choice (section IV.B.3): rather than emitting false-path
+constraints that handcuff downstream logic synthesis, *avoid bindings that
+create combinational cycles*, spending extra resources if needed.  This
+module maintains the static resource-connection graph and answers "would
+this binding close a cycle?" queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+
+class CombCycleGuard:
+    """Static connection graph between datapath nodes.
+
+    Nodes are resource-instance names for shared resources and synthetic
+    per-operation names for dedicated logic (muxes, unbound operations);
+    only shared instances can close false cycles, but dedicated nodes may
+    sit on the path of one.
+    """
+
+    def __init__(self) -> None:
+        self._succs: Dict[str, Set[str]] = {}
+        #: reference counts so bindings can be retracted
+        self._edges: Dict[Tuple[str, str], int] = {}
+
+    def _reachable(self, src: str, dst: str) -> bool:
+        if src == dst:
+            return True
+        seen: Set[str] = set()
+        stack = [src]
+        while stack:
+            cur = stack.pop()
+            if cur == dst:
+                return True
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self._succs.get(cur, ()))
+        return False
+
+    def would_cycle(self, new_edges: List[Tuple[str, str]]) -> bool:
+        """Whether adding all ``new_edges`` would create a directed cycle.
+
+        Self edges (chaining two ops on one instance within a state is
+        impossible anyway) are reported as cycles.
+        """
+        # check against existing graph plus the earlier new edges
+        added: List[Tuple[str, str]] = []
+        try:
+            for src, dst in new_edges:
+                if self._reachable(dst, src):
+                    return True
+                self._add(src, dst)
+                added.append((src, dst))
+            return False
+        finally:
+            for src, dst in added:
+                self._remove(src, dst)
+
+    def _add(self, src: str, dst: str) -> None:
+        self._succs.setdefault(src, set()).add(dst)
+        self._edges[(src, dst)] = self._edges.get((src, dst), 0) + 1
+
+    def _remove(self, src: str, dst: str) -> None:
+        count = self._edges.get((src, dst), 0) - 1
+        if count <= 0:
+            self._edges.pop((src, dst), None)
+            if src in self._succs:
+                self._succs[src].discard(dst)
+        else:
+            self._edges[(src, dst)] = count
+
+    def commit(self, new_edges: List[Tuple[str, str]]) -> None:
+        """Add connection edges for an accepted binding."""
+        for src, dst in new_edges:
+            self._add(src, dst)
+
+    def retract(self, edges: List[Tuple[str, str]]) -> None:
+        """Remove previously committed edges (backtracking)."""
+        for src, dst in edges:
+            self._remove(src, dst)
+
+    def edge_count(self) -> int:
+        """Number of distinct connection edges currently present."""
+        return len(self._edges)

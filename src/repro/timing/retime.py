@@ -1,0 +1,25 @@
+"""Full netlist re-timing after post-schedule modifications.
+
+The incremental netlist caches every binding's arrival; when the
+compensation step (paper Table 4's "larger area during subsequent logic
+synthesis") swaps resource grades, those caches go stale.  This pass
+recomputes all arrivals in topological order, writing the fresh numbers
+back into the bound operations, so that verification and further sizing
+decisions see consistent timing.
+"""
+
+from __future__ import annotations
+
+from repro.timing.netlist import DatapathNetlist
+
+
+def retime(netlist: DatapathNetlist) -> None:
+    """Recompute and store arrivals for every binding, in place."""
+    for op in netlist.dfg.topological_order():
+        bound = netlist.binding(op.uid)
+        if bound is None:
+            continue
+        timing = netlist.evaluate(op, bound.inst, bound.state,
+                                  allow_multicycle=False)
+        bound.out_arrival_ps = timing.out_arrival_ps
+        bound.capture_ps = timing.capture_ps

@@ -1,0 +1,131 @@
+"""From-scratch static timing verification of a finished schedule.
+
+The incremental netlist answers candidate queries during scheduling; this
+module recomputes every arrival from zero over the committed bindings and
+reports slack per operation, the worst negative slack, and the critical
+path per state.  Tests cross-check it against the incremental model, and
+the logic-synthesis compensation step (paper Table 4) uses it to locate
+the resources that must be upsized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.dfg import DFG
+from repro.cdfg.ops import Operation, OpKind
+from repro.tech.library import Library
+from repro.timing.netlist import BoundOp, DatapathNetlist
+
+
+@dataclass(frozen=True)
+class PathPoint:
+    """One operation on a critical path, with its output arrival."""
+
+    op_name: str
+    arrival_ps: float
+
+
+@dataclass
+class TimingReport:
+    """Result of :func:`verify_timing`."""
+
+    clock_ps: float
+    slack_by_op: Dict[int, float]
+    wns_ps: float
+    critical_op_uid: Optional[int]
+    critical_path: List[PathPoint]
+
+    @property
+    def met(self) -> bool:
+        """Whether every path meets the clock."""
+        return self.wns_ps >= -1e-9
+
+    def failing_ops(self) -> List[int]:
+        """Uids of operations with negative slack, worst first."""
+        bad = [(slack, uid) for uid, slack in self.slack_by_op.items()
+               if slack < -1e-9]
+        bad.sort()
+        return [uid for _slack, uid in bad]
+
+
+def verify_timing(netlist: DatapathNetlist) -> TimingReport:
+    """Recompute all arrivals from scratch and report slack.
+
+    Results must agree with the incremental model for single-cycle
+    bindings; multi-cycle bindings are checked against their extended
+    budget (``cycles * Tclk``).
+    """
+    dfg = netlist.dfg
+    slack_by_op: Dict[int, float] = {}
+    worst: Tuple[float, Optional[int]] = (float("inf"), None)
+    # topological order ignores loop-carried edges: those arrive registered
+    for op in dfg.topological_order():
+        bound = netlist.binding(op.uid)
+        if bound is None or op.is_free:
+            continue
+        timing = netlist.recheck(bound)
+        budget = bound.cycles * netlist.clock_ps
+        slack = budget - timing.capture_ps
+        slack_by_op[op.uid] = slack
+        if slack < worst[0]:
+            worst = (slack, op.uid)
+    wns = min(worst[0], netlist.clock_ps)
+    critical = trace_critical_path(netlist, worst[1]) if worst[1] is not None else []
+    return TimingReport(
+        clock_ps=netlist.clock_ps,
+        slack_by_op=slack_by_op,
+        wns_ps=wns if slack_by_op else netlist.clock_ps,
+        critical_op_uid=worst[1],
+        critical_path=critical,
+    )
+
+
+def trace_critical_path(netlist: DatapathNetlist,
+                        end_uid: int) -> List[PathPoint]:
+    """Walk back through same-state chaining from the worst endpoint."""
+    dfg = netlist.dfg
+    path: List[PathPoint] = []
+    uid: Optional[int] = end_uid
+    guard = 0
+    while uid is not None:
+        op = dfg.op(uid)
+        bound = netlist.binding(uid)
+        if bound is None:
+            break
+        path.append(PathPoint(op.name, bound.out_arrival_ps))
+        # find the chained producer with the latest arrival in this state
+        best: Tuple[float, Optional[int]] = (-1.0, None)
+        for edge in dfg.in_edges(uid):
+            if edge.distance >= 1:
+                continue
+            root = netlist.resolve_source(edge.src)
+            pb = netlist.binding(root)
+            if pb is None or pb.state != bound.state or pb.cycles > 1:
+                continue
+            if dfg.op(root).kind is OpKind.READ:
+                continue
+            if pb.out_arrival_ps > best[0]:
+                best = (pb.out_arrival_ps, root)
+        uid = best[1]
+        guard += 1
+        if guard > len(dfg):
+            break
+    path.reverse()
+    return path
+
+
+def chained_instances_on_path(netlist: DatapathNetlist,
+                              end_uid: int) -> List[str]:
+    """Instance names on the critical path ending at ``end_uid``.
+
+    These are the upsizing candidates for slack compensation.
+    """
+    names: List[str] = []
+    for point in trace_critical_path(netlist, end_uid):
+        for uid, bound in netlist.bindings.items():
+            if bound.op.name == point.op_name and bound.inst is not None:
+                names.append(bound.inst.name)
+                break
+    return names

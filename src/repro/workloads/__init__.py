@@ -1,0 +1,37 @@
+"""Workload designs: the paper's example, real kernels and the synthetic
+industrial-design generator used for the evaluation section."""
+
+from repro.workloads.conv2d import build_conv3x3
+from repro.workloads.example1 import build_example1
+from repro.workloads.fft import build_fft8, build_fft_stage
+from repro.workloads.fir import build_fir, reference_fir
+from repro.workloads.idct import build_idct8, build_idct2d
+from repro.workloads.matmul import build_dot_product, reference_dot_product
+from repro.workloads.sobel import build_sobel, reference_sobel
+from repro.workloads.synthetic import (
+    SyntheticSpec,
+    build_timing_critical,
+    generate_design,
+    industrial_suite,
+    timing_critical_suite,
+)
+
+__all__ = [
+    "SyntheticSpec",
+    "build_conv3x3",
+    "build_dot_product",
+    "build_example1",
+    "build_fft8",
+    "build_fft_stage",
+    "build_fir",
+    "build_idct2d",
+    "build_idct8",
+    "build_sobel",
+    "build_timing_critical",
+    "generate_design",
+    "industrial_suite",
+    "reference_dot_product",
+    "reference_fir",
+    "reference_sobel",
+    "timing_critical_suite",
+]

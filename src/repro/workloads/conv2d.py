@@ -1,0 +1,41 @@
+"""3x3 convolution over a streaming window (image-processing member of
+the Figure 9 population)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cdfg.builder import RegionBuilder
+from repro.cdfg.region import Region
+
+#: default edge-detect kernel.
+DEFAULT_KERNEL = [-1, -1, -1, -1, 8, -1, -1, -1, -1]
+
+
+def build_conv3x3(kernel: Optional[List[int]] = None, width: int = 32,
+                  max_latency: int = 16, trip_count: int = 32) -> Region:
+    """3x3 convolution fed by three row streams.
+
+    Each iteration shifts a 3x3 window (six loop-carried registers) and
+    produces one output pixel; the window shift chain is feedback free,
+    so the loop pipelines down to II=1.
+    """
+    coeffs = kernel if kernel is not None else list(DEFAULT_KERNEL)
+    if len(coeffs) != 9:
+        raise ValueError("conv3x3 needs exactly 9 coefficients")
+    b = RegionBuilder("conv3x3", is_loop=True, max_latency=max_latency)
+    rows = [b.read(f"row{r}", width) for r in range(3)]
+    window = []
+    for r in range(3):
+        c1 = b.loop_var(f"w{r}1", b.const(0, width))
+        c2 = b.loop_var(f"w{r}2", b.const(0, width))
+        c2.set_next(c1.value)
+        c1.set_next(rows[r])
+        window.extend([rows[r], c1.value, c2.value])
+    acc = None
+    for i, coeff in enumerate(coeffs):
+        term = b.mul(window[i], b.const(coeff, 8), name=f"k{i}")
+        acc = term if acc is None else b.add(acc, term, name=f"acc{i}")
+    b.write("pix", acc)
+    b.set_trip_count(trip_count)
+    return b.build()

@@ -1,0 +1,57 @@
+"""The paper's running example (Figure 1 / Figure 3).
+
+SystemC source of the do/while body::
+
+    do {
+        int filt = mask;
+        delta = mask * chrome;
+        aver += delta;
+        if (aver > th) { aver *= scale; }
+        wait();  // s1
+        pixel = aver * filt;
+    } while (delta != 0);
+
+The DFG (paper Figure 3b) has three multiplications (``mul1_op`` =
+mask*chrome, ``mul2_op`` = aver*scale, ``mul3_op`` = aver*filt), an
+accumulator strongly connected component {loopMux, add_op, mul2_op, MUX}
+and the exit test ``neq_op``.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.builder import RegionBuilder
+from repro.cdfg.region import Region
+
+#: default data width of the example (SystemC ``int``).
+WIDTH = 32
+
+
+def build_example1(max_latency: int = 3, width: int = WIDTH) -> Region:
+    """Build the paper's Example 1 loop region.
+
+    ``1 <= latency <= max_latency`` as in section IV ("1 <= latency <= 3
+    for the do-while loop").
+    """
+    b = RegionBuilder("example1", is_loop=True,
+                      min_latency=1, max_latency=max_latency)
+    mask = b.read("mask", width, name="mask_read")
+    chrome = b.read("chrome", width, name="chrome_read")
+    scale = b.read("scale", width, name="scale_read")
+    th = b.read("th", width, name="th_read")
+
+    filt = mask  # int filt = mask (a plain move, copy-propagated away)
+    delta = b.mul(mask, chrome, name="mul1_op")
+
+    aver = b.loop_var("aver", b.const(0, width))
+    summed = b.add(aver, delta, name="add_op")
+    over = b.gt(summed, th, name="gt_op")
+    scaled = b.mul(summed, scale, name="mul2_op")
+    aver_next = b.mux(over, scaled, summed, name="MUX")
+    aver.set_next(aver_next)
+
+    b.write("pixel", b.mul(aver_next, filt, name="mul3_op"),
+            name="pixel_write")
+
+    cont = b.neq(delta, 0, name="neq_op")
+    b.exit_when_false(cont)
+    return b.build()

@@ -1,0 +1,66 @@
+"""FFT butterfly workloads (another Figure 9 population member)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cdfg.builder import RegionBuilder, Value
+from repro.cdfg.region import Region
+
+WIDTH = 32
+
+
+def _butterfly(b: RegionBuilder, ar: Value, ai: Value, br: Value,
+               bi: Value, wr: Value, wi: Value, tag: str):
+    """One radix-2 DIT butterfly: (a + w*b, a - w*b), 4 multiplies."""
+    tr = b.sub(b.mul(br, wr, name=f"bw_rr{tag}"),
+               b.mul(bi, wi, name=f"bw_ii{tag}"), name=f"tr{tag}")
+    ti = b.add(b.mul(br, wi, name=f"bw_ri{tag}"),
+               b.mul(bi, wr, name=f"bw_ir{tag}"), name=f"ti{tag}")
+    return (b.add(ar, tr, name=f"or0{tag}"), b.add(ai, ti, name=f"oi0{tag}"),
+            b.sub(ar, tr, name=f"or1{tag}"), b.sub(ai, ti, name=f"oi1{tag}"))
+
+
+def build_fft_stage(max_latency: int = 16, trip_count: int = 16) -> Region:
+    """A streaming single-butterfly FFT stage: fully pipelinable."""
+    b = RegionBuilder("fft_stage", is_loop=True, max_latency=max_latency)
+    args = [b.read(name, WIDTH) for name in
+            ("ar", "ai", "br", "bi", "wr", "wi")]
+    outs = _butterfly(b, *args, tag="")
+    for name, value in zip(("pr", "pi", "qr", "qi"), outs):
+        b.write(name, value)
+    b.set_trip_count(trip_count)
+    return b.build()
+
+
+def build_fft8(max_latency: int = 32, trip_count: int = 8) -> Region:
+    """A fully unrolled 8-point FFT network (12 butterflies, 48 muls).
+
+    Twiddles come in as ports so the dataflow matches a coefficient-RAM
+    driven design.
+    """
+    b = RegionBuilder("fft8", is_loop=True, max_latency=max_latency)
+    re: List[Value] = [b.read(f"re{i}", WIDTH) for i in range(8)]
+    im: List[Value] = [b.read(f"im{i}", WIDTH) for i in range(8)]
+    twr = [b.read(f"twr{i}", WIDTH) for i in range(4)]
+    twi = [b.read(f"twi{i}", WIDTH) for i in range(4)]
+    # three stages of radix-2 butterflies over bit-reversed pairs
+    pairs_per_stage = [
+        [(0, 4), (1, 5), (2, 6), (3, 7)],
+        [(0, 2), (1, 3), (4, 6), (5, 7)],
+        [(0, 1), (2, 3), (4, 5), (6, 7)],
+    ]
+    for stage, pairs in enumerate(pairs_per_stage):
+        new_re, new_im = list(re), list(im)
+        for k, (i, j) in enumerate(pairs):
+            pr, pi, qr, qi = _butterfly(
+                b, re[i], im[i], re[j], im[j],
+                twr[k % 4], twi[k % 4], tag=f"_s{stage}b{k}")
+            new_re[i], new_im[i] = pr, pi
+            new_re[j], new_im[j] = qr, qi
+        re, im = new_re, new_im
+    for i in range(8):
+        b.write(f"outr{i}", re[i])
+        b.write(f"outi{i}", im[i])
+    b.set_trip_count(trip_count)
+    return b.build()

@@ -1,0 +1,51 @@
+"""Streaming FIR filter workload.
+
+A classic fully-pipelinable kernel: the tap delay line is a chain of
+loop-carried registers with no feedback cycle, so II=1 is achievable --
+the kind of "filter" design the paper's Figure 9 population contains.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cdfg.builder import RegionBuilder
+from repro.cdfg.region import Region
+
+#: default symmetric low-pass coefficients.
+DEFAULT_TAPS = [3, -9, 21, 40, 21, -9, 3]
+
+
+def build_fir(taps: Optional[List[int]] = None, width: int = 32,
+              max_latency: int = 16, trip_count: int = 32) -> Region:
+    """An N-tap FIR: reads ``x``, writes ``y`` once per iteration."""
+    coeffs = taps if taps is not None else list(DEFAULT_TAPS)
+    if not coeffs:
+        raise ValueError("FIR needs at least one tap")
+    b = RegionBuilder("fir", is_loop=True, max_latency=max_latency)
+    x = b.read("x", width)
+    # delay line z[0] = current sample, z[i] = sample i cycles ago
+    line = [x]
+    for i in range(1, len(coeffs)):
+        z = b.loop_var(f"z{i}", b.const(0, width))
+        line.append(z.value)
+    for i in range(len(coeffs) - 1, 0, -1):
+        lv = b._loop_vars[i - 1]
+        lv.set_next(line[i - 1])
+    acc = None
+    for i, coeff in enumerate(coeffs):
+        term = b.mul(line[i], b.const(coeff, 16), name=f"tap{i}")
+        acc = term if acc is None else b.add(acc, term, name=f"sum{i}")
+    b.write("y", acc)
+    b.set_trip_count(trip_count)
+    return b.build()
+
+
+def reference_fir(taps: List[int], samples: List[int]) -> List[int]:
+    """Pure-python oracle used by the tests."""
+    out = []
+    history = [0] * len(taps)
+    for sample in samples:
+        history = [sample] + history[:-1]
+        out.append(sum(c * v for c, v in zip(taps, history)))
+    return out

@@ -1,0 +1,120 @@
+"""IDCT workloads (the paper's Figure 10/11 design).
+
+``build_idct8`` is a 1-D 8-point IDCT (Loeffler-style even/odd
+decomposition, 11 multiplies) processing one column per loop iteration in
+Q11 fixed point -- products are rescaled through free bit slices, as
+hardware would.  ``build_idct2d`` chains a row pass and a column pass over
+an 8x8 block per iteration (the video-decoding configuration the paper
+explores with latencies 8..32).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.cdfg.builder import RegionBuilder, Value
+from repro.cdfg.region import Region
+
+#: Q11 fixed-point IDCT-II coefficients c[k] = cos(k*pi/16) * 2^11.
+_Q = 11
+_COS = [round(math.cos(k * math.pi / 16) * (1 << _Q)) for k in range(8)]
+#: sqrt(2) * cos(6*pi/16) style constants used by the even part.
+_SQRT2 = round(math.sqrt(2) * (1 << _Q))
+
+#: data width of samples and intermediate values.
+WIDTH = 32
+
+
+def _scale(b: RegionBuilder, value: Value, name: str = "") -> Value:
+    """Drop Q11 fraction bits: a free bit-slice, as in real datapaths."""
+    wide = value
+    hi = min(wide.width - 1, _Q + WIDTH - 1)
+    return b.slice_(wide, hi, _Q, name=name)
+
+
+def _cmul(b: RegionBuilder, x: Value, coeff: int, name: str) -> Value:
+    """Multiply by a Q11 constant and rescale."""
+    prod = b.mul(x, b.const(coeff, 16), width=WIDTH + _Q, name=name)
+    return _scale(b, prod, name=f"{name}_q")
+
+
+def idct8_dataflow(b: RegionBuilder, x: List[Value],
+                   tag: str = "") -> List[Value]:
+    """Emit the 8-point 1-D IDCT dataflow; returns the 8 outputs.
+
+    Even part: x0,x2,x4,x6; odd part: x1,x3,x5,x7; butterfly merge.
+    """
+    c = _COS
+    # even part
+    s0 = b.add(x[0], x[4], name=f"e_s0{tag}")
+    d0 = b.sub(x[0], x[4], name=f"e_d0{tag}")
+    m2 = _cmul(b, x[2], c[6], f"m_x2c6{tag}")
+    m6 = _cmul(b, x[6], c[2], f"m_x6c2{tag}")
+    m2b = _cmul(b, x[2], c[2], f"m_x2c2{tag}")
+    m6b = _cmul(b, x[6], c[6], f"m_x6c6{tag}")
+    e0 = b.add(s0, b.add(m2b, m6b, name=f"e_even{tag}"), name=f"e0{tag}")
+    e1 = b.add(d0, b.sub(m2, m6, name=f"e_odd{tag}"), name=f"e1{tag}")
+    e2 = b.sub(d0, b.sub(m2, m6, name=f"e_odd2{tag}"), name=f"e2{tag}")
+    e3 = b.sub(s0, b.add(m2b, m6b, name=f"e_even2{tag}"), name=f"e3{tag}")
+    # odd part
+    o1 = _cmul(b, x[1], c[1], f"m_x1c1{tag}")
+    o3 = _cmul(b, x[3], c[3], f"m_x3c3{tag}")
+    o5 = _cmul(b, x[5], c[5], f"m_x5c5{tag}")
+    o7 = _cmul(b, x[7], c[7], f"m_x7c7{tag}")
+    oa = b.add(o1, o7, name=f"oa{tag}")
+    ob = b.add(o3, o5, name=f"ob{tag}")
+    oc = b.sub(o1, o7, name=f"oc{tag}")
+    od = b.sub(o3, o5, name=f"od{tag}")
+    f0 = b.add(oa, ob, name=f"f0{tag}")
+    f2 = _cmul(b, b.sub(oa, ob, name=f"f2d{tag}"), _SQRT2, f"f2{tag}")
+    f1 = b.add(oc, od, name=f"f1s{tag}")
+    f1 = _cmul(b, f1, _SQRT2, f"f1{tag}")
+    f3 = b.sub(oc, od, name=f"f3{tag}")
+    # merge
+    y = [
+        b.add(e0, f0, name=f"y0{tag}"),
+        b.add(e1, f1, name=f"y1{tag}"),
+        b.add(e2, f2, name=f"y2{tag}"),
+        b.add(e3, f3, name=f"y3{tag}"),
+        b.sub(e3, f3, name=f"y4{tag}"),
+        b.sub(e2, f2, name=f"y5{tag}"),
+        b.sub(e1, f1, name=f"y6{tag}"),
+        b.sub(e0, f0, name=f"y7{tag}"),
+    ]
+    return y
+
+
+def build_idct8(max_latency: int = 32, trip_count: int = 16) -> Region:
+    """1-D 8-point IDCT: one column per iteration."""
+    b = RegionBuilder("idct8", is_loop=True, min_latency=1,
+                      max_latency=max_latency)
+    x = [b.read(f"x{i}", WIDTH) for i in range(8)]
+    y = idct8_dataflow(b, x)
+    for i, value in enumerate(y):
+        b.write(f"y{i}", value)
+    b.set_trip_count(trip_count)
+    return b.build()
+
+
+def build_idct2d(max_latency: int = 32, trip_count: int = 4,
+                 columns: int = 2) -> Region:
+    """Row/column 2-D IDCT over ``columns`` columns per iteration.
+
+    A full 8x8 block needs 8 column passes; ``columns`` scales the DFG
+    size (2 columns ~ 270 operations, 8 ~ over a thousand) so experiments
+    can pick their size/runtime point.
+    """
+    b = RegionBuilder("idct2d", is_loop=True, min_latency=1,
+                      max_latency=max_latency)
+    outs: List[List[Value]] = []
+    for col in range(columns):
+        x = [b.read(f"x{col}_{i}", WIDTH) for i in range(8)]
+        rows = idct8_dataflow(b, x, tag=f"_r{col}")
+        cols = idct8_dataflow(b, rows, tag=f"_c{col}")
+        outs.append(cols)
+    for col, values in enumerate(outs):
+        for i, value in enumerate(values):
+            b.write(f"y{col}_{i}", value)
+    b.set_trip_count(trip_count)
+    return b.build()

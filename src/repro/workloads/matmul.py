@@ -1,0 +1,44 @@
+"""Blocked matrix-multiply accumulation workload.
+
+One iteration multiplies a 1xK row slice against a Kx1 column slice and
+accumulates into a running dot product -- the inner loop of a blocked
+GEMM, with the accumulator SCC that makes pipelining interesting: at
+II=1 the accumulate chain must fit a single state.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.builder import RegionBuilder
+from repro.cdfg.region import Region
+
+
+def build_dot_product(k: int = 4, width: int = 32,
+                      max_latency: int = 16,
+                      trip_count: int = 16) -> Region:
+    """K-wide dot-product accumulator: y += sum_i a_i * b_i."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    b = RegionBuilder(f"dot{k}", is_loop=True, max_latency=max_latency)
+    a_ports = [b.read(f"a{i}", width) for i in range(k)]
+    b_ports = [b.read(f"b{i}", width) for i in range(k)]
+    acc = b.loop_var("acc", b.const(0, width))
+    total = None
+    for i in range(k):
+        term = b.mul(a_ports[i], b_ports[i], name=f"prod{i}")
+        total = term if total is None else b.add(total, term,
+                                                 name=f"tsum{i}")
+    nxt = b.add(acc, total, name="acc_add")
+    acc.set_next(nxt)
+    b.write("y", nxt)
+    b.set_trip_count(trip_count)
+    return b.build()
+
+
+def reference_dot_product(k: int, a_rows, b_rows):
+    """Pure-python oracle: running dot-product partial sums."""
+    out = []
+    acc = 0
+    for a_vec, b_vec in zip(a_rows, b_rows):
+        acc += sum(x * y for x, y in zip(a_vec[:k], b_vec[:k]))
+        out.append(acc)
+    return out

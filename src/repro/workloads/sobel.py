@@ -1,0 +1,69 @@
+"""Sobel edge-detection workload (image processing, Figure 9 family).
+
+Computes |Gx| + |Gy| over a streaming 3x3 window.  The window shift
+registers are feedback-free, the gradient datapath is pure feedforward
+arithmetic with two comparison-select pairs (absolute values), so the
+kernel pipelines to II=1 -- while exercising the MUX/predicate paths of
+the scheduler harder than the plain convolution does.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.builder import RegionBuilder, Value
+from repro.cdfg.region import Region
+
+#: Sobel gradients.
+_GX = [-1, 0, 1, -2, 0, 2, -1, 0, 1]
+_GY = [-1, -2, -1, 0, 0, 0, 1, 2, 1]
+
+
+def _abs(b: RegionBuilder, value: Value, tag: str) -> Value:
+    neg = b.sub(b.const(0, value.width), value, name=f"neg_{tag}")
+    is_neg = b.lt(value, b.const(0, value.width), name=f"isneg_{tag}")
+    return b.mux(is_neg, neg, value, name=f"abs_{tag}")
+
+
+def build_sobel(width: int = 32, max_latency: int = 16,
+                trip_count: int = 32) -> Region:
+    """Streaming Sobel magnitude: reads three row streams, writes |G|."""
+    b = RegionBuilder("sobel", is_loop=True, max_latency=max_latency)
+    rows = [b.read(f"row{r}", width) for r in range(3)]
+    window = []
+    for r in range(3):
+        c1 = b.loop_var(f"w{r}1", b.const(0, width))
+        c2 = b.loop_var(f"w{r}2", b.const(0, width))
+        c2.set_next(c1.value)
+        c1.set_next(rows[r])
+        window.extend([rows[r], c1.value, c2.value])
+
+    def convolve(kernel, tag):
+        acc = None
+        for i, coeff in enumerate(kernel):
+            if coeff == 0:
+                continue
+            term = b.mul(window[i], b.const(coeff, 4),
+                         name=f"{tag}_k{i}")
+            acc = term if acc is None else b.add(acc, term,
+                                                 name=f"{tag}_s{i}")
+        return acc
+
+    gx = convolve(_GX, "gx")
+    gy = convolve(_GY, "gy")
+    magnitude = b.add(_abs(b, gx, "gx"), _abs(b, gy, "gy"), name="mag")
+    b.write("edge", magnitude)
+    b.set_trip_count(trip_count)
+    return b.build()
+
+
+def reference_sobel(rows) -> list:
+    """Pure-python oracle over three equal-length row streams."""
+    out = []
+    history = [[0, 0, 0] for _ in range(3)]
+    for col in zip(*rows):
+        for r in range(3):
+            history[r] = [col[r]] + history[r][:2]
+        window = [history[r][c] for r in range(3) for c in range(3)]
+        gx = sum(c * v for c, v in zip(_GX, window))
+        gy = sum(c * v for c, v in zip(_GY, window))
+        out.append(abs(gx) + abs(gy))
+    return out

@@ -1,0 +1,149 @@
+"""RegionBuilder API: value handles, loop vars, predicate scopes."""
+
+import pytest
+
+from repro.cdfg import DFGError, OpKind, RegionBuilder
+from repro.workloads import build_example1
+
+
+def test_example1_shape():
+    region = build_example1()
+    region.validate()
+    stats = region.dfg.stats()
+    assert stats["mul"] == 3
+    assert stats["add"] == 1
+    assert stats["read"] == 4
+    assert stats["write"] == 1
+    assert stats["loopmux"] == 1
+    assert region.exit_op_uid is not None
+    assert region.dfg.op(region.exit_op_uid).name == "neq_op"
+
+
+def test_const_caching():
+    b = RegionBuilder("t", is_loop=False)
+    c1 = b.const(5, 32)
+    c2 = b.const(5, 32)
+    c3 = b.const(5, 16)
+    assert c1.op is c2.op
+    assert c1.op is not c3.op
+
+
+def test_int_coercion_in_binary_ops():
+    b = RegionBuilder("t", is_loop=False)
+    x = b.read("x", 32)
+    y = b.add(x, 3)
+    b.write("y", y)
+    region = b.build()
+    consts = region.dfg.ops_of_kind(OpKind.CONST)
+    assert len(consts) == 1
+    assert consts[0].payload == 3
+
+
+def test_comparison_width_is_one_bit_but_resource_width_full():
+    b = RegionBuilder("t", is_loop=False)
+    x = b.read("x", 32)
+    g = b.gt(x, 7)
+    b.write("y", b.mux(g, 1, 0))
+    region = b.build()
+    assert g.op.width == 1
+    assert g.op.resource_width == 32
+
+
+def test_loop_var_must_be_closed():
+    b = RegionBuilder("t")
+    b.loop_var("acc", b.const(0, 32))
+    with pytest.raises(DFGError):
+        b.build()
+
+
+def test_loop_var_double_close():
+    b = RegionBuilder("t")
+    acc = b.loop_var("acc", b.const(0, 32))
+    acc.set_next(b.add(acc, 1))
+    with pytest.raises(DFGError):
+        acc.set_next(b.add(acc, 2))
+
+
+def test_loop_var_in_block_rejected():
+    b = RegionBuilder("t", is_loop=False)
+    with pytest.raises(DFGError):
+        b.loop_var("acc", b.const(0, 32))
+
+
+def test_predicate_scope_tags_operations():
+    b = RegionBuilder("t", is_loop=False)
+    x = b.read("x", 32)
+    cond = b.gt(x, 0)
+    with b.under(cond):
+        pos = b.mul(x, 2)
+    with b.under(cond, polarity=False):
+        neg = b.mul(x, 3)
+    b.write("y", b.mux(cond, pos, neg))
+    assert pos.op.predicate.literals == frozenset({(cond.op.uid, True)})
+    assert neg.op.predicate.literals == frozenset({(cond.op.uid, False)})
+    assert pos.op.predicate.disjoint(neg.op.predicate)
+
+
+def test_nested_predicate_scopes():
+    b = RegionBuilder("t", is_loop=False)
+    x = b.read("x", 32)
+    c1 = b.gt(x, 0)
+    c2 = b.lt(x, 100)
+    with b.under(c1):
+        with b.under(c2):
+            inner = b.add(x, 1)
+    assert inner.op.predicate.literals == frozenset(
+        {(c1.op.uid, True), (c2.op.uid, True)})
+
+
+def test_slice_bounds_checked():
+    b = RegionBuilder("t", is_loop=False)
+    x = b.read("x", 16)
+    with pytest.raises(DFGError):
+        b.slice_(x, 16, 0)
+    piece = b.slice_(x, 7, 4)
+    assert piece.width == 4
+
+
+def test_exit_marks_op():
+    region = build_example1()
+    exit_op = region.dfg.op(region.exit_op_uid)
+    assert exit_op.is_exit_test
+    assert exit_op.kind is OpKind.NEQ
+
+
+def test_mux_arity_and_width():
+    b = RegionBuilder("t", is_loop=False)
+    x = b.read("x", 16)
+    y = b.read("y", 32)
+    sel = b.gt(x, 0)
+    m = b.mux(sel, x, y)
+    assert m.width == 32
+    assert len(b.dfg.in_edges(m.op.uid)) == 3
+
+
+def test_write_records_port():
+    b = RegionBuilder("t", is_loop=False)
+    w = b.write("out", b.read("x", 8))
+    assert w.payload == "out"
+    assert w.kind is OpKind.WRITE
+
+
+def test_region_metadata_bounds():
+    b = RegionBuilder("t", min_latency=2, max_latency=5)
+    x = b.read("x", 32)
+    b.write("y", b.add(x, 1))
+    region = b.build()
+    assert region.min_latency == 2
+    assert region.max_latency == 5
+
+
+def test_call_op():
+    b = RegionBuilder("t", is_loop=False)
+    x = b.read("x", 32)
+    r = b.call("my_ip", [x, x], 32)
+    b.write("y", r)
+    region = b.build()
+    calls = region.dfg.ops_of_kind(OpKind.CALL)
+    assert len(calls) == 1
+    assert calls[0].payload == "my_ip"

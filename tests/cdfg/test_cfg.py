@@ -1,0 +1,99 @@
+"""CFG structure: forks, joins, latency balancing, loop spines."""
+
+import pytest
+
+from repro.cdfg import CFG, DFGError, NodeKind
+
+
+def _fork_cfg(true_states: int, false_states: int):
+    """entry -> fork -> (branches with N/M states) -> join -> exit."""
+    cfg = CFG("t")
+    entry = cfg.add_node(NodeKind.ENTRY)
+    fork = cfg.add_node(NodeKind.FORK)
+    join = cfg.add_node(NodeKind.JOIN)
+    exit_ = cfg.add_node(NodeKind.EXIT)
+    cfg.add_edge(entry, fork)
+
+    def build_branch(n_states: int, polarity: bool):
+        prev = fork
+        for i in range(n_states):
+            st = cfg.add_node(NodeKind.STATE, label=f"{polarity}{i}")
+            cfg.add_edge(prev, st, branch=polarity if prev is fork else None)
+            prev = st
+        cfg.add_edge(prev, join,
+                     branch=polarity if prev is fork else None)
+
+    build_branch(true_states, True)
+    build_branch(false_states, False)
+    cfg.add_edge(join, exit_)
+    return cfg, fork
+
+
+def test_branch_latencies():
+    cfg, fork = _fork_cfg(2, 1)
+    lat = cfg.branch_latencies(fork.uid)
+    assert lat == {True: 2, False: 1}
+
+
+def test_balance_fork_pads_short_branch():
+    cfg, fork = _fork_cfg(3, 1)
+    inserted = cfg.balance_fork(fork.uid)
+    assert inserted == 2
+    assert cfg.branch_latencies(fork.uid) == {True: 3, False: 3}
+
+
+def test_balance_fork_noop_when_equal():
+    cfg, fork = _fork_cfg(2, 2)
+    assert cfg.balance_fork(fork.uid) == 0
+
+
+def test_balance_fork_other_direction():
+    cfg, fork = _fork_cfg(1, 4)
+    assert cfg.balance_fork(fork.uid) == 3
+    assert cfg.branch_latencies(fork.uid) == {True: 4, False: 4}
+
+
+def test_loop_spine_linear():
+    cfg = CFG("loop")
+    head = cfg.add_node(NodeKind.LOOP_HEAD)
+    s1 = cfg.add_node(NodeKind.STATE)
+    s2 = cfg.add_node(NodeKind.STATE)
+    tail = cfg.add_node(NodeKind.LOOP_TAIL)
+    e1 = cfg.add_edge(head, s1)
+    e2 = cfg.add_edge(s1, s2)
+    e3 = cfg.add_edge(s2, tail)
+    spine = cfg.loop_spine(head.uid)
+    assert [e.uid for e in spine] == [e1.uid, e2.uid, e3.uid]
+
+
+def test_loop_spine_rejects_fork_inside():
+    cfg = CFG("loop")
+    head = cfg.add_node(NodeKind.LOOP_HEAD)
+    fork = cfg.add_node(NodeKind.FORK)
+    tail = cfg.add_node(NodeKind.LOOP_TAIL)
+    cfg.add_edge(head, fork)
+    cfg.add_edge(fork, tail, branch=True)
+    cfg.add_edge(fork, tail, branch=False)
+    with pytest.raises(DFGError):
+        cfg.loop_spine(head.uid)
+
+
+def test_validate_degrees():
+    cfg = CFG("bad")
+    fork = cfg.add_node(NodeKind.FORK)
+    st = cfg.add_node(NodeKind.STATE)
+    cfg.add_edge(fork, st, branch=True)  # fork with a single out-edge
+    with pytest.raises(DFGError):
+        cfg.validate()
+
+
+def test_attach_op_records_uid():
+    cfg = CFG("t")
+    a = cfg.add_node(NodeKind.STATE)
+    b = cfg.add_node(NodeKind.STATE)
+    edge = cfg.add_edge(a, b)
+
+    class FakeOp:
+        uid = 42
+    cfg.attach_op(edge, FakeOp())
+    assert edge.ops == [42]

@@ -1,0 +1,60 @@
+"""Shared fixtures: libraries, the paper's example, and small helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cdfg import RegionBuilder
+from repro.tech import artisan90, generic45
+from repro.workloads import build_example1
+
+#: the paper's clock for the worked examples (section IV, Example 1).
+PAPER_CLOCK_PS = 1600.0
+
+
+@pytest.fixture(scope="session")
+def lib():
+    """The calibrated artisan-90nm-typical library."""
+    return artisan90()
+
+
+@pytest.fixture(scope="session")
+def lib45():
+    """The secondary 45 nm exploration library."""
+    return generic45()
+
+
+@pytest.fixture
+def example1():
+    """A fresh copy of the paper's Example 1 region."""
+    return build_example1()
+
+
+@pytest.fixture
+def example1_inputs():
+    """Deterministic input streams that exit after 9 iterations."""
+    rng = random.Random(7)
+    n = 9
+    return {
+        "mask": [rng.randrange(1, 50) for _ in range(n - 1)] + [0],
+        "chrome": [rng.randrange(1, 50) for _ in range(n)],
+        "scale": [rng.randrange(-3, 4) for _ in range(n)],
+        "th": [rng.randrange(0, 2000) for _ in range(n)],
+    }
+
+
+def make_mac_region(name: str = "mac", taps: int = 1,
+                    max_latency: int = 8) -> object:
+    """A small multiply-accumulate loop used by many unit tests."""
+    b = RegionBuilder(name, is_loop=True, max_latency=max_latency)
+    x = b.read("x", 32)
+    acc = b.loop_var("acc", b.const(0, 32))
+    term = b.mul(x, x)
+    for _ in range(taps - 1):
+        term = b.add(term, b.mul(x, term))
+    acc.set_next(b.add(acc, term))
+    b.write("y", acc.value)
+    b.set_trip_count(6)
+    return b.build()

@@ -1,0 +1,104 @@
+"""The initial resource lower bound (paper section IV.A)."""
+
+import pytest
+
+from repro.cdfg import OpKind, RegionBuilder
+from repro.core.allocation import lower_bound, type_key_for
+from repro.core.asap_alap import compute_mobility
+from repro.tech import artisan90
+from repro.workloads import build_example1
+
+CLOCK = 1600.0
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return artisan90()
+
+
+def test_example1_sequential_one_mul(lib):
+    """'3 multiplies ... in at most 3 states suggests a single
+    multiplier suffices.'"""
+    region = build_example1()
+    mob = compute_mobility(region, lib, CLOCK, 3)
+    alloc = lower_bound(region, lib, mob, 3)
+    assert alloc.counts[("mul", 32)] == 1
+    assert alloc.demand[("mul", 32)] == 3
+
+
+def test_example1_ii2_two_muls(lib):
+    """'two mul resources must be created' at II=2."""
+    region = build_example1()
+    mob = compute_mobility(region, lib, CLOCK, 3)
+    alloc = lower_bound(region, lib, mob, 3, ii=2)
+    assert alloc.counts[("mul", 32)] == 2
+
+
+def test_example1_ii1_three_muls(lib):
+    """'3 multipliers are created in the initial set' at II=1."""
+    region = build_example1()
+    mob = compute_mobility(region, lib, CLOCK, 3)
+    alloc = lower_bound(region, lib, mob, 3, ii=1)
+    assert alloc.counts[("mul", 32)] == 3
+
+
+def test_mutually_exclusive_ops_share_demand(lib):
+    """Predicate-exclusive multiplications need one resource slot."""
+    b = RegionBuilder("t", is_loop=False, max_latency=1)
+    x = b.read("x", 32)
+    c = b.gt(x, 0)
+    with b.under(c):
+        a = b.mul(x, 2, name="then_mul")
+    with b.under(c, polarity=False):
+        d = b.mul(x, 3, name="else_mul")
+    b.write("y", b.mux(c, a, d))
+    region = b.build()
+    mob = compute_mobility(region, lib, CLOCK, 1)
+    alloc = lower_bound(region, lib, mob, 1)
+    assert alloc.counts[("mul", 32)] == 1
+    assert alloc.demand[("mul", 32)] == 2
+
+
+def test_without_exclusivity_two_needed(lib):
+    b = RegionBuilder("t", is_loop=False, max_latency=1)
+    x = b.read("x", 32)
+    a = b.mul(x, 2)
+    d = b.mul(x, 3)
+    b.write("y", b.add(a, d))
+    region = b.build()
+    mob = compute_mobility(region, lib, CLOCK, 1)
+    alloc = lower_bound(region, lib, mob, 1)
+    assert alloc.counts[("mul", 32)] == 2
+
+
+def test_type_key_merges_ops_per_family(lib):
+    b = RegionBuilder("t", is_loop=False)
+    x = b.read("x", 32)
+    s = b.add(x, 1)
+    d = b.sub(x, 1)
+    b.write("y", b.add(s, d))
+    region = b.build()
+    keys = {type_key_for(op, lib)
+            for op in region.dfg.ops_of_kind(OpKind.ADD, OpKind.SUB)}
+    assert keys == {("add", 32)}  # add and sub share the adder family
+
+
+def test_free_io_mux_ops_have_no_type(lib):
+    region = build_example1()
+    for op in region.dfg.ops:
+        if op.is_free or op.is_io or op.is_mux:
+            assert type_key_for(op, lib) is None
+
+
+def test_width_buckets_separate(lib):
+    b = RegionBuilder("t", is_loop=False, max_latency=1)
+    x8 = b.read("x8", 8)
+    x32 = b.read("x32", 32)
+    b.write("a", b.mul(x8, x8))
+    b.write("b", b.mul(x32, x32))
+    region = b.build()
+    mob = compute_mobility(region, lib, CLOCK, 1)
+    alloc = lower_bound(region, lib, mob, 1)
+    # "we do not merge resources of very different bit widths"
+    assert alloc.counts[("mul", 8)] == 1
+    assert alloc.counts[("mul", 32)] == 1

@@ -1,0 +1,84 @@
+"""Folding the scheduled iteration onto the pipeline kernel (Fig. 5)."""
+
+import pytest
+
+from repro.core.folding import fold_schedule, validate_folding
+from repro.core.pipeline import pipeline_loop
+from repro.core.scheduler import schedule_region
+from repro.tech import artisan90
+from repro.workloads import build_example1
+
+CLOCK = 1600.0
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return artisan90()
+
+
+@pytest.fixture(scope="module")
+def p2(lib):
+    return pipeline_loop(build_example1(), lib, CLOCK, ii=2)
+
+
+def test_fold_covers_all_ops(p2):
+    assert validate_folding(p2.folded) == []
+    scheduled = {uid for uid, b in p2.schedule.bindings.items()
+                 if not b.op.is_free}
+    folded = set(p2.folded.positions)
+    assert folded == scheduled
+
+
+def test_stage_phase_recompose(p2):
+    for folded_op in p2.folded.positions.values():
+        assert folded_op.stage * p2.folded.ii + folded_op.phase \
+            == folded_op.state
+
+
+def test_figure5_structure(p2):
+    """LI=3, II=2: stage 1 holds s1+s2, stage 2 holds s3."""
+    folded = p2.folded
+    assert folded.n_stages == 2
+    stage1 = {f.name for phase in range(folded.ii)
+              for f in folded.ops_at(phase, stage=0)}
+    stage2 = {f.name for phase in range(folded.ii)
+              for f in folded.ops_at(phase, stage=1)}
+    assert {"mul1_op", "add_op", "neq_op", "mul2_op", "gt_op"} <= stage1
+    assert "mul3_op" in stage2
+    assert "pixel_write" in stage2
+
+
+def test_no_kernel_resource_collision(p2):
+    """After folding, ops sharing a kernel phase must use different
+    instances (the equivalent-edge rule's whole point)."""
+    folded = p2.folded
+    for phase in range(folded.ii):
+        used = [f.resource for f in folded.ops_at(phase)
+                if f.resource is not None]
+        assert len(used) == len(set(used))
+
+
+def test_exit_position_identified(p2):
+    stage, phase = p2.folded.exit_position
+    assert (stage, phase) == (0, 0)  # neq_op sits in s1
+
+
+def test_sequential_fold_is_degenerate(lib):
+    seq = schedule_region(build_example1(), lib, CLOCK)
+    folded = fold_schedule(seq)
+    assert folded.ii == seq.latency
+    assert folded.n_stages == 1
+    assert validate_folding(folded) == []
+
+
+def test_ii1_fold_single_phase(lib):
+    p1 = pipeline_loop(build_example1(), lib, CLOCK, ii=1)
+    assert p1.folded.ii == 1
+    assert p1.folded.n_stages == 3
+    assert len(p1.folded.ops_at(0)) == len(p1.folded.positions)
+
+
+def test_stage_table_renders(p2):
+    text = p2.folded.stage_table()
+    assert "Stage1" in text and "Stage2" in text
+    assert "mul1_op" in text

@@ -1,0 +1,192 @@
+"""The paper's worked examples as golden integration tests.
+
+Example 1 (sequential), Example 2 (II=2) and Example 3 (II=1) from
+sections IV and V, including the exact path delays of Figure 8, the
+Table 2 schedule, the Table 3 area ordering, and the Example 3 SCC-move
+narrative.
+"""
+
+import pytest
+
+from repro.cdfg import OpKind, PipelineSpec
+from repro.core import SchedulerOptions, schedule_region
+from repro.core.pipeline import pipeline_loop
+from repro.workloads import build_example1
+
+from tests.conftest import PAPER_CLOCK_PS
+
+
+def _by_name(schedule):
+    return {b.op.name: b for b in schedule.bindings.values()}
+
+
+@pytest.fixture(scope="module")
+def sequential(lib_module):
+    return schedule_region(build_example1(), lib_module, PAPER_CLOCK_PS)
+
+
+@pytest.fixture(scope="module")
+def lib_module():
+    from repro.tech import artisan90
+    return artisan90()
+
+
+class TestExample1Sequential:
+    def test_three_passes_latency_three(self, sequential):
+        """'Using 3 states in the loop, the scheduler succeeds.'"""
+        assert sequential.latency == 3
+        assert sequential.passes == 3
+        assert sequential.actions_taken == [
+            "add_state -> latency 2", "add_state -> latency 3"]
+
+    def test_table2_schedule(self, sequential):
+        """Table 2: s1: mul1,add,neq; s2: mul2,gt,mux; s3: mul3."""
+        by = _by_name(sequential)
+        assert by["mul1_op"].state == 0
+        assert by["add_op"].state == 0
+        assert by["neq_op"].state == 0
+        assert by["mul2_op"].state == 1
+        assert by["gt_op"].state == 1
+        assert by["MUX"].state == 1
+        assert by["mul3_op"].state == 2
+
+    def test_single_multiplier(self, sequential):
+        """'a single multiplier suffices' -- minimum resource set."""
+        assert sequential.pool.summary()["mul_32"] == 1
+
+    def test_figure8_path_delays(self, sequential):
+        """Fig. 8: mul 1230 ps, mul+add chain 1580 ps."""
+        by = _by_name(sequential)
+        assert by["mul1_op"].capture_ps == pytest.approx(1230.0)
+        assert by["add_op"].capture_ps == pytest.approx(1580.0)
+
+    def test_gt_rejected_at_1800(self, sequential):
+        """Fig. 8c: gt chained in s1 would be 1800 ps (slack -200), so it
+        lands in s2 with a registered input."""
+        by = _by_name(sequential)
+        assert by["gt_op"].state == 1
+        assert by["gt_op"].capture_ps < PAPER_CLOCK_PS
+        # reconstruct the rejected path: launch + mux + mul + add + gt
+        # + ff-mux + setup = 1800
+        rejected = 40 + 110 + 930 + 350 + 220 + 110 + 40
+        assert rejected == 1800
+
+    def test_io_pinned_to_source_states(self, sequential):
+        by = _by_name(sequential)
+        assert by["mask_read"].state == 0
+        assert by["chrome_read"].state == 0
+
+    def test_validates_clean(self, sequential):
+        assert sequential.validate() == []
+
+
+class TestExample2PipelinedII2:
+    @pytest.fixture(scope="class")
+    def p2(self, lib_module):
+        return pipeline_loop(build_example1(), lib_module,
+                             PAPER_CLOCK_PS, ii=2)
+
+    def test_two_multipliers(self, p2):
+        """'Due to edge equivalence ... two mul resources must be
+        created.'"""
+        assert p2.schedule.pool.summary()["mul_32"] == 2
+
+    def test_same_states_as_sequential(self, p2):
+        """'scheduling proceeds exactly as for the sequential
+        microarchitecture' -- Table 2 states carry over."""
+        by = _by_name(p2.schedule)
+        assert by["mul1_op"].state == 0
+        assert by["mul2_op"].state == 1
+        assert by["mul3_op"].state == 2
+
+    def test_paper_bindings(self, p2):
+        """'changing only bindings: mul1->mul1, mul2->mul1, mul3->mul2'."""
+        by = _by_name(p2.schedule)
+        assert by["mul1_op"].inst.name == by["mul2_op"].inst.name
+        assert by["mul3_op"].inst.name != by["mul1_op"].inst.name
+
+    def test_first_pass_succeeds(self, p2):
+        """LI starts from II+1=3 and immediately works."""
+        assert p2.schedule.latency == 3
+        assert p2.schedule.passes == 1
+
+    def test_two_stages(self, p2):
+        assert p2.stages == 2
+        assert p2.folded.ii == 2
+
+    def test_scc_within_two_adjacent_states(self, p2):
+        """'Operations from this SCC must be scheduled in two adjacent
+        states (since II = 2).'"""
+        sched = p2.schedule
+        (window,) = sched.scc_windows
+        states = [sched.bindings[uid].state for uid in window.ops]
+        assert max(states) - min(states) <= 1
+
+
+class TestExample3PipelinedII1:
+    @pytest.fixture(scope="class")
+    def p1(self, lib_module):
+        return pipeline_loop(build_example1(), lib_module,
+                             PAPER_CLOCK_PS, ii=1)
+
+    def test_li2_fails_then_li3(self, p1):
+        """'Scheduling with LI=2 fails ... increases LI to 3.'"""
+        assert p1.schedule.latency == 3
+        assert "add_state -> latency 3" in p1.schedule.actions_taken
+
+    def test_scc_moved_to_s2(self, p1):
+        """The paper's novel action: 'the corrective action of moving the
+        whole SCC to state s2 is suggested'."""
+        assert any(a.startswith("move_scc")
+                   for a in p1.schedule.actions_taken)
+        by = _by_name(p1.schedule)
+        assert by["add_op"].state == 1
+        assert by["mul2_op"].state == 1
+        assert by["MUX"].state == 1
+
+    def test_three_multipliers(self, p1):
+        """'3 multipliers are created in the initial set of resources.'"""
+        assert p1.schedule.pool.summary()["mul_32"] == 3
+
+    def test_no_resource_sharing(self, p1):
+        """II=1 makes all edges equivalent: no instance hosts two ops."""
+        for inst in p1.schedule.pool.instances:
+            assert len(inst.ops_bound()) <= 1
+
+    def test_three_stages(self, p1):
+        assert p1.stages == 3
+
+
+class TestTable3:
+    def test_microarchitecture_comparison(self, lib_module):
+        """Table 3: cycles/iteration 3/2/1; area ordering S < P2 < P1
+        with the paper's ratios (1 : 1.49 : 1.89) within 10%."""
+        s = schedule_region(build_example1(), lib_module, PAPER_CLOCK_PS)
+        p2 = pipeline_loop(build_example1(), lib_module,
+                           PAPER_CLOCK_PS, ii=2).schedule
+        p1 = pipeline_loop(build_example1(), lib_module,
+                           PAPER_CLOCK_PS, ii=1).schedule
+        assert (s.ii_effective, p2.ii_effective, p1.ii_effective) == (3, 2, 1)
+        assert s.area < p2.area < p1.area
+        assert p2.area / s.area == pytest.approx(24010 / 16094, rel=0.10)
+        assert p1.area / s.area == pytest.approx(30491 / 16094, rel=0.10)
+        # absolute calibration against the paper's numbers
+        assert s.area == pytest.approx(16094, rel=0.05)
+        assert p2.area == pytest.approx(24010, rel=0.05)
+        assert p1.area == pytest.approx(30491, rel=0.05)
+
+
+class TestSCCMoveAblation:
+    def test_disabling_move_costs_area(self, lib_module):
+        """The Table 4 mechanism on Example 1: disabling the SCC move
+        leaves negative slack that compensation buys back with area."""
+        from repro.rtl import compensate_slack
+        opts = SchedulerOptions(enable_scc_move=False,
+                                accept_negative_slack=True)
+        ablated = schedule_region(
+            build_example1(), lib_module, PAPER_CLOCK_PS,
+            pipeline=PipelineSpec(ii=1), options=opts)
+        assert ablated.timing_report().wns_ps < 0
+        result = compensate_slack(ablated)
+        assert result.closed
+        assert result.area_penalty_pct > 0

@@ -1,0 +1,84 @@
+"""Register binding: lifetimes, left-edge sharing, modulo expansion."""
+
+import pytest
+
+from repro.core.pipeline import pipeline_loop
+from repro.core.registers import allocate_registers, compute_lifetimes
+from repro.core.scheduler import schedule_region
+from repro.tech import artisan90
+from repro.workloads import build_example1
+
+CLOCK = 1600.0
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return artisan90()
+
+
+@pytest.fixture(scope="module")
+def sequential(lib):
+    return schedule_region(build_example1(), lib, CLOCK)
+
+
+def test_lifetimes_cover_cross_state_values(sequential):
+    lts = compute_lifetimes(sequential.region.dfg, sequential.bindings,
+                            sequential.ii_effective)
+    names = {lt.name for lt in lts}
+    assert "add_op" in names       # summed: defined s1, used s2
+    assert "mask_read" in names    # used by mul3 in s3
+    assert "MUX" in names          # loop-carried accumulator
+    assert "mul3_op" not in names  # consumed by the write in-state
+
+
+def test_chained_values_need_no_register(sequential):
+    lts = compute_lifetimes(sequential.region.dfg, sequential.bindings,
+                            sequential.ii_effective)
+    names = {lt.name for lt in lts}
+    assert "mul2_op" not in names  # chained into MUX within s2
+
+
+def test_exit_flag_registered(sequential):
+    lts = compute_lifetimes(sequential.region.dfg, sequential.bindings,
+                            sequential.ii_effective)
+    neq = next(lt for lt in lts if lt.name == "neq_op")
+    assert neq.width == 1
+
+
+def test_left_edge_sharing_in_sequential(sequential):
+    regs = sequential.register_file()
+    shared = [r for r in regs.registers if len(r.values) > 1]
+    assert shared, "disjoint lifetimes should share a register"
+    for reg in regs.registers:
+        assert reg.copies == 1  # no modulo expansion without pipelining
+
+
+def test_output_port_register_present(sequential):
+    regs = sequential.register_file()
+    names = {r.name for r in regs.registers}
+    assert "r_port_pixel" in names
+
+
+def test_pipelined_modulo_expansion(lib):
+    p1 = pipeline_loop(build_example1(), lib, CLOCK, ii=1).schedule
+    regs = p1.register_file()
+    by_name = {r.name: r for r in regs.registers}
+    # mask: defined in s1, used by mul3 in s3 -> lifetime 2, II=1 -> 2 copies
+    assert by_name["r_mask_read"].copies == 2
+    for reg in regs.registers:
+        assert len(reg.values) == 1  # no sharing when pipelined
+
+
+def test_pipelined_fsm_includes_stage_bits(lib):
+    p2 = pipeline_loop(build_example1(), lib, CLOCK, ii=2).schedule
+    regs = p2.register_file()
+    seq_regs = schedule_region(build_example1(), lib, CLOCK).register_file()
+    assert regs.fsm_bits > 0
+    # II=2 pipeline: 1 state bit + 2 stage-valid bits
+    assert regs.fsm_bits == 3
+
+
+def test_register_area_counts_write_muxes(lib, sequential):
+    regs = sequential.register_file()
+    base = lib.register_area(regs.total_bits)
+    assert regs.area(lib) >= base

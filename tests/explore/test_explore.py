@@ -1,0 +1,73 @@
+"""Design-space exploration: sweeps and Pareto analysis."""
+
+import pytest
+
+from repro.explore import (
+    DesignPoint,
+    Microarch,
+    group_by_microarch,
+    pareto_front,
+    sweep_microarchitectures,
+    synthesize_point,
+)
+from repro.tech import artisan90
+from repro.workloads.fir import build_fir
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return artisan90()
+
+
+def _pt(label, delay, area, power=1.0):
+    return DesignPoint(label=label, microarch=label, clock_ps=1000.0,
+                       ii=1, latency=1, delay_ps=delay, area=area,
+                       power_mw=power)
+
+
+def test_pareto_front_filters_dominated():
+    pts = [_pt("a", 10, 10), _pt("b", 20, 5), _pt("c", 20, 20),
+           _pt("d", 5, 30)]
+    front = pareto_front(pts)
+    assert [p.label for p in front] == ["d", "a", "b"]
+
+
+def test_pareto_front_keeps_ties():
+    pts = [_pt("a", 10, 10), _pt("b", 10, 10)]
+    assert len(pareto_front(pts)) == 2
+
+
+def test_group_by_microarch_sorts_by_delay():
+    pts = [_pt("m", 30, 1), _pt("m", 10, 2), _pt("m", 20, 3)]
+    curves = group_by_microarch(pts)
+    assert [p.delay_ps for p in curves["m"]] == [10, 20, 30]
+
+
+def test_synthesize_point_fixed_latency(lib):
+    micro = Microarch("NP-4", 4)
+    point = synthesize_point(build_fir, lib, micro, 1600.0)
+    assert point is not None
+    assert point.latency == 4
+    assert point.ii == 4
+    assert point.delay_ps == pytest.approx(4 * 1600.0)
+
+
+def test_synthesize_point_pipelined(lib):
+    micro = Microarch("P-4", 4, ii=2)
+    point = synthesize_point(build_fir, lib, micro, 1600.0)
+    assert point is not None
+    assert point.ii == 2
+    assert point.delay_ps == pytest.approx(2 * 1600.0)
+
+
+def test_infeasible_point_is_none(lib):
+    micro = Microarch("NP-1", 1)  # FIR cannot finish in one state
+    assert synthesize_point(build_fir, lib, micro, 400.0) is None
+
+
+def test_sweep_returns_points(lib):
+    micros = (Microarch("NP-3", 3), Microarch("P-4", 4, ii=2))
+    points = sweep_microarchitectures(build_fir, lib, micros,
+                                      clocks_ps=(1600.0, 2400.0))
+    assert len(points) >= 3
+    assert {p.microarch for p in points} <= {"NP-3", "P-4"}

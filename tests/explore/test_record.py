@@ -1,0 +1,28 @@
+"""Experiment record round-trips."""
+
+from repro.explore.pareto import DesignPoint
+from repro.explore.record import read_json, write_csv, write_json
+
+
+def _points():
+    return [
+        DesignPoint(label="a", microarch="NP-8", clock_ps=1000.0, ii=8,
+                    latency=8, delay_ps=8000.0, area=123.4, power_mw=1.5),
+        DesignPoint(label="b", microarch="P-16", clock_ps=1250.0, ii=8,
+                    latency=16, delay_ps=10000.0, area=99.0, power_mw=2.0),
+    ]
+
+
+def test_json_roundtrip(tmp_path):
+    path = write_json(_points(), tmp_path / "sweep.json")
+    back = read_json(path)
+    assert back == _points()
+
+
+def test_csv_contains_rows(tmp_path):
+    path = write_csv(_points(), tmp_path / "sweep.csv")
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 3
+    assert lines[0].startswith("label,microarch,clock_ps")
+    assert "NP-8" in lines[1]
+    assert "P-16" in lines[2]

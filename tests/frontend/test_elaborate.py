@@ -1,0 +1,192 @@
+"""Elaboration: AST -> regions, semantics preserved."""
+
+import pytest
+
+from repro.frontend import FrontendError, compile_source
+from repro.sim import simulate_reference
+
+FIGURE1 = """
+module example1 {
+    in  int<32> mask, chrome, scale, th;
+    out int<32> pixel;
+    thread main {
+        int aver = 0;
+        @latency(1, 3)
+        do {
+            int filt = mask;
+            int delta = mask * chrome;
+            aver = aver + delta;
+            if (aver > th) { aver = aver * scale; }
+            wait();
+            pixel = aver * filt;
+        } while (delta != 0);
+    }
+}
+"""
+
+
+def test_figure1_elaborates():
+    (loop,) = compile_source(FIGURE1)
+    region = loop.region
+    region.validate()
+    stats = region.dfg.stats()
+    assert stats["mul"] == 3
+    assert stats["read"] == 4
+    assert region.exit_op_uid is not None
+    assert (region.min_latency, region.max_latency) == (1, 3)
+
+
+def test_figure1_matches_builder_semantics():
+    from repro.workloads import build_example1
+    inputs = {
+        "mask": [5, 9, 3, 0],
+        "chrome": [2, 4, 1, 7],
+        "scale": [3, -1, 2, 2],
+        "th": [10, 100, 4, 9],
+    }
+    (loop,) = compile_source(FIGURE1)
+    ours = simulate_reference(loop.region, inputs, max_iterations=10)
+    golden = simulate_reference(build_example1(), inputs, max_iterations=10)
+    assert ours.output("pixel") == golden.output("pixel")
+    assert ours.iterations == golden.iterations
+
+
+def test_carried_variable_detection():
+    src = """
+    module acc { in int<16> x; out int<16> y;
+        thread t {
+            int total = 0;
+            do { total = total + x; y = total; } while (x != 0);
+        } }
+    """
+    (loop,) = compile_source(src)
+    loopmuxes = [op for op in loop.region.dfg.ops
+                 if op.kind.value == "loopmux"]
+    assert len(loopmuxes) == 1
+    assert loopmuxes[0].name == "total_loopmux"
+
+
+def test_local_variables_not_carried():
+    from repro.cdfg import OpKind
+    src = """
+    module local { in int<16> x; out int<16> y;
+        thread t {
+            do { int tmp = x * 2; y = tmp; } while (x != 0);
+        } }
+    """
+    (loop,) = compile_source(src)
+    assert not loop.region.dfg.ops_of_kind(OpKind.LOOPMUX)
+
+
+def test_dead_loopmux_pruned():
+    # delta written before read each iteration: no carried dependency
+    src = """
+    module d { in int<16> x; out int<16> y;
+        thread t {
+            int delta = 0;
+            do { delta = x * 2; y = delta; } while (delta != 0);
+        } }
+    """
+    (loop,) = compile_source(src)
+    from repro.cdfg import OpKind
+    assert not loop.region.dfg.ops_of_kind(OpKind.LOOPMUX)
+
+
+def test_if_else_merge_semantics():
+    src = """
+    module m { in int<16> x; out int<16> y;
+        thread t {
+            do {
+                int v = 0;
+                if (x > 10) { v = x * 2; } else { v = x + 1; }
+                y = v;
+            } while (x != 0);
+        } }
+    """
+    (loop,) = compile_source(src)
+    out = simulate_reference(loop.region, {"x": [20, 5, 0]},
+                             max_iterations=3)
+    assert out.output("y") == [40, 6, 1]
+
+
+def test_predicated_output_write():
+    src = """
+    module m { in int<16> x; out int<16> y;
+        thread t {
+            do { if (x > 0) { y = x; } } while (x != 0);
+        } }
+    """
+    (loop,) = compile_source(src)
+    out = simulate_reference(loop.region, {"x": [3, -2, 5, 0]},
+                             max_iterations=4)
+    assert out.output("y") == [3, 5]
+
+
+def test_nested_repeat_unrolls():
+    src = """
+    module m { in int<16> x; out int<16> y;
+        thread t {
+            do {
+                int s = 0;
+                repeat (3) { s = s + x; }
+                y = s;
+            } while (x != 0);
+        } }
+    """
+    (loop,) = compile_source(src)
+    out = simulate_reference(loop.region, {"x": [7, 0]}, max_iterations=2)
+    assert out.output("y") == [21, 0]
+
+
+def test_counted_top_level_repeat():
+    src = """
+    module m { in int<16> x; out int<16> y;
+        thread t { repeat (5) { y = x * 2; } } }
+    """
+    (loop,) = compile_source(src)
+    assert loop.region.trip_count == 5
+    assert loop.region.exit_op_uid is None
+
+
+def test_pipeline_attribute_forwarded():
+    src = """
+    module m { in int<16> x; out int<16> y;
+        thread t { @pipeline(2) do { y = x; } while (x != 0); } }
+    """
+    (loop,) = compile_source(src)
+    assert loop.pipeline is not None
+    assert loop.pipeline.ii == 2
+
+
+def test_errors():
+    with pytest.raises(FrontendError):  # read of output port
+        compile_source("""
+        module m { in int<8> x; out int<8> y;
+            thread t { do { y = y + x; } while (x != 0); } }""")
+    with pytest.raises(FrontendError):  # write to input port
+        compile_source("""
+        module m { in int<8> x; out int<8> y;
+            thread t { do { x = 1; y = x; } while (x != 0); } }""")
+    with pytest.raises(FrontendError):  # unknown name
+        compile_source("""
+        module m { in int<8> x; out int<8> y;
+            thread t { do { y = nope; } while (x != 0); } }""")
+    with pytest.raises(FrontendError):  # nested do/while
+        compile_source("""
+        module m { in int<8> x; out int<8> y;
+            thread t { do { do { y = x; } while (x != 0); }
+                       while (x != 0); } }""")
+    with pytest.raises(FrontendError):  # no loops at all
+        compile_source("""
+        module m { in int<8> x; out int<8> y; thread t { int c = 1; } }""")
+
+
+def test_stall_statement():
+    src = """
+    module m { in int<8> x; in int<1> busy; out int<8> y;
+        thread t { do { stall while (busy); y = x; }
+                   while (x != 0); } }
+    """
+    (loop,) = compile_source(src)
+    from repro.cdfg import OpKind
+    assert loop.region.dfg.ops_of_kind(OpKind.STALL)

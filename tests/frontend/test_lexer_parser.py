@@ -1,0 +1,134 @@
+"""Lexer and parser coverage."""
+
+import pytest
+
+from repro.frontend import FrontendError, parse_source, tokenize
+from repro.frontend.astnodes import (
+    AssignStmt,
+    BinaryExpr,
+    DeclStmt,
+    DoWhileStmt,
+    IfStmt,
+    NumberExpr,
+    RepeatStmt,
+)
+
+
+def test_tokenize_basic():
+    toks = tokenize("int<32> x = a + 0x1F; // comment")
+    kinds = [t.kind for t in toks]
+    assert kinds == ["keyword", "<", "number", ">", "ident", "=", "ident",
+                     "+", "number", ";", "eof"]
+    assert toks[8].text == "0x1F"
+
+
+def test_tokenize_positions():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].column) == (1, 1)
+    assert (toks[1].line, toks[1].column) == (2, 3)
+
+
+def test_tokenize_block_comment():
+    toks = tokenize("a /* multi\nline */ b")
+    assert [t.text for t in toks[:-1]] == ["a", "b"]
+    assert toks[1].line == 2
+
+
+def test_tokenize_unterminated_comment():
+    with pytest.raises(FrontendError):
+        tokenize("a /* never closed")
+
+
+def test_tokenize_bad_character():
+    with pytest.raises(FrontendError):
+        tokenize("a $ b")
+
+
+def test_maximal_munch():
+    toks = tokenize("a<<b <= c")
+    assert [t.kind for t in toks[:-1]] == ["ident", "<<", "ident", "<=",
+                                           "ident"]
+
+
+_MODULE = """
+module m {
+    in int<16> a, b;
+    out int<32> y;
+    thread main {
+        int acc = 0;
+        @latency(2, 6) @pipeline(2)
+        do {
+            acc = acc + a * b;
+            if (acc > 100) { acc = acc - 50; } else { acc = acc + 1; }
+            y = acc;
+        } while (a != 0);
+    }
+}
+"""
+
+
+def test_parse_module_structure():
+    (module,) = parse_source(_MODULE)
+    assert module.name == "m"
+    assert [p.name for p in module.ports] == ["a", "b", "y"]
+    assert module.port("a").width == 16
+    assert module.port("y").direction == "out"
+    (thread,) = module.threads
+    assert thread.name == "main"
+
+
+def test_parse_loop_attributes():
+    (module,) = parse_source(_MODULE)
+    loop = module.threads[0].body[1]
+    assert isinstance(loop, DoWhileStmt)
+    assert (loop.min_latency, loop.max_latency) == (2, 6)
+    assert loop.pipeline_ii == 2
+
+
+def test_parse_if_else():
+    (module,) = parse_source(_MODULE)
+    loop = module.threads[0].body[1]
+    if_stmt = loop.body[1]
+    assert isinstance(if_stmt, IfStmt)
+    assert if_stmt.then_body and if_stmt.else_body
+
+
+def test_precedence():
+    (module,) = parse_source(_MODULE)
+    loop = module.threads[0].body[1]
+    assign = loop.body[0]
+    assert isinstance(assign, AssignStmt)
+    # acc + (a * b), not (acc + a) * b
+    assert isinstance(assign.value, BinaryExpr)
+    assert assign.value.op == "+"
+    assert assign.value.right.op == "*"
+
+
+def test_parse_repeat():
+    src = """
+    module r { in int<8> x; out int<8> y;
+        thread t { repeat (4) { y = x; } } }
+    """
+    (module,) = parse_source(src)
+    loop = module.threads[0].body[0]
+    assert isinstance(loop, RepeatStmt)
+    assert loop.count == 4
+
+
+def test_parse_errors_have_positions():
+    with pytest.raises(FrontendError) as err:
+        parse_source("module m { in int<99999> x; }")
+    assert "width" in str(err.value)
+    with pytest.raises(FrontendError):
+        parse_source("module m { thread t { 5 = x; } }")
+    with pytest.raises(FrontendError):
+        parse_source("not_a_module")
+
+
+def test_parse_unary_and_parens():
+    src = """
+    module u { in int<8> x; out int<8> y;
+        thread t { do { y = -(x + 1) * ~x; } while (x != 0); } }
+    """
+    (module,) = parse_source(src)  # must not raise
+    assert module.name == "u"

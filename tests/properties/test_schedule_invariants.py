@@ -1,0 +1,119 @@
+"""Property-based tests: scheduling invariants on random designs.
+
+Hypothesis generates small synthetic regions; every schedule the tool
+produces must validate structurally, meet timing, and -- the strongest
+property -- execute identically to the reference interpreter, sequential
+or pipelined.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cdfg import PipelineSpec, RegionBuilder
+from repro.core import ScheduleError, SchedulerOptions, schedule_region
+from repro.sim import simulate_reference, simulate_schedule
+from repro.tech import artisan90
+
+LIB = artisan90()
+CLOCK = 1600.0
+
+_SETTINGS = dict(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _random_region(seed: int, n_ops: int, n_accs: int):
+    """A small random accumulator dataflow (deterministic per seed)."""
+    rng = random.Random(seed)
+    b = RegionBuilder(f"prop{seed}", is_loop=True, max_latency=24)
+    pool = [b.read(f"in{i}", 16) for i in range(2)]
+    accs = []
+    for i in range(n_accs):
+        lv = b.loop_var(f"a{i}", b.const(rng.randrange(8), 16))
+        accs.append(lv)
+        pool.append(lv.value)
+    for _ in range(n_ops):
+        x = pool[rng.randrange(len(pool))]
+        y = pool[rng.randrange(len(pool))]
+        op = rng.choice(["add", "sub", "mul", "xor", "mux"])
+        if op == "add":
+            pool.append(b.add(x, y))
+        elif op == "sub":
+            pool.append(b.sub(x, y))
+        elif op == "mul":
+            pool.append(b.mul(x, y, width=16))
+        elif op == "xor":
+            pool.append(b.xor(x, y))
+        else:
+            pool.append(b.mux(b.gt(x, y), x, y))
+    for i, lv in enumerate(accs):
+        lv.set_next(b.add(lv.value, pool[-(i + 1)], width=16))
+    b.write("out", pool[-1])
+    b.set_trip_count(5)
+    return b.build()
+
+
+@given(seed=st.integers(0, 10_000), n_ops=st.integers(3, 14),
+       n_accs=st.integers(1, 2))
+@settings(**_SETTINGS)
+def test_sequential_schedule_validates_and_matches(seed, n_ops, n_accs):
+    region = _random_region(seed, n_ops, n_accs)
+    schedule = schedule_region(region, LIB, CLOCK)
+    assert schedule.validate() == []
+    inputs = {f"in{i}": [((seed >> j) % 97) - 48 for j in range(8)]
+              for i in range(2)}
+    ref = simulate_reference(_random_region(seed, n_ops, n_accs), inputs)
+    out = simulate_schedule(schedule, inputs)
+    assert out.output("out") == ref.output("out")
+
+
+@given(seed=st.integers(0, 10_000), n_ops=st.integers(3, 10),
+       ii=st.integers(1, 3))
+@settings(**_SETTINGS)
+def test_pipelined_schedule_validates_and_matches(seed, n_ops, ii):
+    region = _random_region(seed, n_ops, 1)
+    try:
+        schedule = schedule_region(region, LIB, CLOCK,
+                                   pipeline=PipelineSpec(ii=ii))
+    except ScheduleError:
+        return  # some II targets are genuinely infeasible: fine
+    assert schedule.validate() == []
+    # every SCC fits a window of II consecutive states
+    for window in schedule.scc_windows:
+        states = [schedule.bindings[uid].state for uid in window.ops
+                  if uid in schedule.bindings]
+        assert max(states) - min(states) <= ii - 1
+    inputs = {f"in{i}": [((seed >> j) % 89) - 44 for j in range(8)]
+              for i in range(2)}
+    ref = simulate_reference(_random_region(seed, n_ops, 1), inputs)
+    out = simulate_schedule(schedule, inputs)
+    assert out.output("out") == ref.output("out")
+
+
+@given(seed=st.integers(0, 10_000), n_ops=st.integers(3, 12))
+@settings(**_SETTINGS)
+def test_no_equivalent_edge_resource_clash(seed, n_ops):
+    region = _random_region(seed, n_ops, 1)
+    try:
+        schedule = schedule_region(region, LIB, CLOCK,
+                                   pipeline=PipelineSpec(ii=2))
+    except ScheduleError:
+        return
+    for inst in schedule.pool.instances:
+        by_class = {}
+        for state in inst.states_used():
+            for op in inst.occupants(state):
+                key = state % 2
+                for other in by_class.get(key, []):
+                    if other.uid != op.uid:
+                        assert other.predicate.disjoint(op.predicate)
+                by_class.setdefault(key, []).append(op)
+
+
+@given(seed=st.integers(0, 10_000), n_ops=st.integers(3, 12))
+@settings(**_SETTINGS)
+def test_timing_always_met(seed, n_ops):
+    region = _random_region(seed, n_ops, 1)
+    schedule = schedule_region(region, LIB, CLOCK)
+    report = schedule.timing_report()
+    assert report.met, report.critical_path

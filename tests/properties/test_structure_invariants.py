@@ -1,0 +1,78 @@
+"""Property-based tests on substrate data structures."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cdfg.predicates import Predicate
+from repro.core.registers import ValueLifetime, _left_edge
+from repro.sim.evalops import unsigned, wrap
+from repro.tech import artisan90
+from repro.cdfg import OpKind
+
+LIB = artisan90()
+
+literal = st.tuples(st.integers(0, 10), st.booleans())
+
+
+@given(st.sets(literal, max_size=4), st.sets(literal, max_size=4))
+@settings(max_examples=200, deadline=None)
+def test_predicate_disjoint_symmetric(a_lits, b_lits):
+    a, b = Predicate(frozenset(a_lits)), Predicate(frozenset(b_lits))
+    assert a.disjoint(b) == b.disjoint(a)
+
+
+@given(st.sets(literal, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_predicate_never_disjoint_with_self(lits):
+    p = Predicate(frozenset(lits))
+    conds = [uid for uid, _pol in lits]
+    if len(conds) == len(set(conds)):  # satisfiable predicates only
+        assert not p.disjoint(p)
+
+
+@given(st.integers(-2**40, 2**40), st.integers(1, 64))
+@settings(max_examples=300, deadline=None)
+def test_wrap_idempotent_and_in_range(value, width):
+    w1 = wrap(value, width)
+    assert wrap(w1, width) == w1
+    if width > 1:
+        assert -(1 << (width - 1)) <= w1 < (1 << (width - 1))
+    assert unsigned(w1, width) == unsigned(value, width)
+
+
+@given(st.lists(st.tuples(st.integers(0, 12), st.integers(1, 8)),
+                min_size=1, max_size=16))
+@settings(max_examples=150, deadline=None)
+def test_left_edge_never_overlaps(intervals):
+    lifetimes = [
+        ValueLifetime(uid=i, name=f"v{i}", width=8, def_state=start,
+                      last_need=start + length)
+        for i, (start, length) in enumerate(intervals)
+    ]
+    columns = _left_edge(lifetimes)
+    seen = set()
+    for column in columns:
+        column.sort(key=lambda lt: lt.def_state)
+        for earlier, later in zip(column, column[1:]):
+            assert earlier.last_need <= later.def_state, \
+                "lifetimes sharing a register must not overlap"
+        seen.update(lt.uid for lt in column)
+    assert seen == {lt.uid for lt in lifetimes}
+
+
+@given(st.sampled_from([OpKind.ADD, OpKind.MUL, OpKind.GT, OpKind.NEQ]),
+       st.integers(1, 64))
+@settings(max_examples=100, deadline=None)
+def test_library_grades_monotone(kind, width):
+    ladder = LIB.upsizing_ladder(LIB.typical(kind, width))
+    for slow, fast in zip(ladder, ladder[1:]):
+        assert fast.delay_ps < slow.delay_ps
+        assert fast.area > slow.area
+
+
+@given(st.integers(1, 12), st.integers(1, 64))
+@settings(max_examples=100, deadline=None)
+def test_mux_tree_delay_monotone(fanin, width):
+    assert LIB.mux.delay(fanin + 1) >= LIB.mux.delay(fanin)
+    assert LIB.mux.area(fanin + 1, width) >= LIB.mux.area(fanin, width)

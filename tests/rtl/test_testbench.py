@@ -1,0 +1,58 @@
+"""Testbench generator structural checks."""
+
+import pytest
+
+from repro.core.scheduler import schedule_region
+from repro.rtl.testbench import generate_testbench
+from repro.sim import simulate_reference
+from repro.tech import artisan90
+from repro.workloads import build_example1
+
+
+@pytest.fixture(scope="module")
+def setup():
+    lib = artisan90()
+    inputs = {
+        "mask": [5, 9, 0],
+        "chrome": [2, 4, 1],
+        "scale": [3, -1, 2],
+        "th": [10, 100, 4],
+    }
+    region = build_example1()
+    expected = simulate_reference(region, inputs, max_iterations=10)
+    schedule = schedule_region(build_example1(), lib, 1600.0)
+    return schedule, inputs, expected
+
+
+def test_testbench_structure(setup):
+    schedule, inputs, expected = setup
+    text = generate_testbench(schedule, inputs, expected)
+    assert "module example1_tb;" in text
+    assert "endmodule" in text
+    assert text.count("\nmodule ") + text.startswith("module ") \
+        == text.count("endmodule")
+    assert "example1 dut (" in text
+    assert "$finish" in text
+
+
+def test_testbench_drives_all_inputs(setup):
+    schedule, inputs, expected = setup
+    text = generate_testbench(schedule, inputs, expected)
+    for port in inputs:
+        assert f"{port}_mem" in text
+    # negative values rendered as negations
+    assert "-1" in text
+
+
+def test_testbench_has_expected_outputs(setup):
+    schedule, inputs, expected = setup
+    text = generate_testbench(schedule, inputs, expected)
+    assert "exp_pixel" in text
+    assert str(expected.output("pixel")[0]) in text
+
+
+def test_testbench_timescale_matches_clock(setup):
+    schedule, inputs, expected = setup
+    text = generate_testbench(schedule, inputs, expected)
+    assert "`timescale 1ps/1ps" in text
+    assert "#800 clk = ~clk" in text  # half of 1600 ps

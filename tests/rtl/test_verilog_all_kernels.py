@@ -1,0 +1,54 @@
+"""Verilog emission must lint clean for every bundled kernel."""
+
+import pytest
+
+from repro.core.pipeline import pipeline_loop
+from repro.core.scheduler import schedule_region
+from repro.rtl import generate_verilog, lint_verilog
+from repro.tech import artisan90
+from repro.workloads import (
+    build_conv3x3,
+    build_dot_product,
+    build_example1,
+    build_fft_stage,
+    build_fir,
+    build_idct8,
+    build_sobel,
+)
+
+CLOCK = 1600.0
+
+KERNELS = [
+    ("example1", build_example1),
+    ("fir", build_fir),
+    ("conv3x3", build_conv3x3),
+    ("fft_stage", build_fft_stage),
+    ("idct8", build_idct8),
+    ("sobel", build_sobel),
+    ("dot4", build_dot_product),
+]
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return artisan90()
+
+
+@pytest.mark.parametrize("name,factory", KERNELS)
+def test_sequential_verilog_lints(lib, name, factory):
+    schedule = schedule_region(factory(), lib, CLOCK)
+    text = generate_verilog(schedule)
+    assert lint_verilog(text) == [], name
+    assert "endmodule" in text
+
+
+@pytest.mark.parametrize("name,factory", [
+    ("example1", build_example1),
+    ("fir", build_fir),
+    ("conv3x3", build_conv3x3),
+])
+def test_pipelined_verilog_lints(lib, name, factory):
+    result = pipeline_loop(factory(), lib, CLOCK, ii=2)
+    text = generate_verilog(result.schedule, result.folded)
+    assert lint_verilog(text) == [], name
+    assert "stage_valid" in text

@@ -1,0 +1,150 @@
+"""System-level correctness: every schedule matches the reference oracle."""
+
+import random
+
+import pytest
+
+from repro.cdfg import RegionBuilder
+from repro.core.pipeline import pipeline_loop
+from repro.core.scheduler import schedule_region
+from repro.sim import simulate_reference, simulate_schedule
+from repro.tech import artisan90
+from repro.workloads import build_example1
+
+CLOCK = 1600.0
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return artisan90()
+
+
+def _example1_inputs(seed, n):
+    rng = random.Random(seed)
+    return {
+        "mask": [rng.randrange(1, 60) for _ in range(n - 1)] + [0],
+        "chrome": [rng.randrange(1, 60) for _ in range(n)],
+        "scale": [rng.randrange(-4, 5) for _ in range(n)],
+        "th": [rng.randrange(0, 3000) for _ in range(n)],
+    }
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("mode", ["S", "P2", "P1"])
+def test_example1_all_microarchitectures(lib, seed, mode):
+    inputs = _example1_inputs(seed, 8)
+    region = build_example1()
+    ref = simulate_reference(region, inputs, max_iterations=40)
+    if mode == "S":
+        sched = schedule_region(build_example1(), lib, CLOCK)
+    else:
+        ii = int(mode[1])
+        sched = pipeline_loop(build_example1(), lib, CLOCK, ii=ii).schedule
+    out = simulate_schedule(sched, inputs, max_iterations=40)
+    assert out.output("pixel") == ref.output("pixel")
+    assert out.iterations == ref.iterations
+
+
+def test_pipeline_cycle_counts(lib):
+    """II determines steady-state throughput: cycles ~ n*II + fill."""
+    inputs = _example1_inputs(9, 10)
+    seq = schedule_region(build_example1(), lib, CLOCK)
+    p2 = pipeline_loop(build_example1(), lib, CLOCK, ii=2).schedule
+    p1 = pipeline_loop(build_example1(), lib, CLOCK, ii=1).schedule
+    c_s = simulate_schedule(seq, inputs, max_iterations=40).cycles
+    c_p2 = simulate_schedule(p2, inputs, max_iterations=40).cycles
+    c_p1 = simulate_schedule(p1, inputs, max_iterations=40).cycles
+    assert c_p1 < c_p2 < c_s
+    n = 10
+    assert abs(c_s - n * 3) <= 3 + 1
+    assert abs(c_p2 - n * 2) <= 3 + 1
+    assert abs(c_p1 - n * 1) <= 3 + 1
+
+
+def test_predicated_accumulator(lib):
+    """Branch-born multiply must only affect iterations where it holds."""
+    b = RegionBuilder("predacc", max_latency=6)
+    x = b.read("x", 32)
+    acc = b.loop_var("acc", b.const(0, 32))
+    big = b.gt(x, 10)
+    with b.under(big):
+        boosted = b.mul(acc, 3)
+    nxt = b.mux(big, boosted, b.add(acc, x))
+    acc.set_next(nxt)
+    b.write("y", nxt)
+    b.set_trip_count(8)
+    region = b.build()
+    inputs = {"x": [3, 12, 5, 40, 7, 2, 11, 1]}
+    ref = simulate_reference(region, inputs)
+    for ii in (None, 2):
+        if ii is None:
+            sched = schedule_region(_rebuild_predacc(), lib, CLOCK)
+        else:
+            sched = pipeline_loop(_rebuild_predacc(), lib, CLOCK,
+                                  ii=ii).schedule
+        out = simulate_schedule(sched, inputs)
+        assert out.output("y") == ref.output("y"), f"ii={ii}"
+
+
+def _rebuild_predacc():
+    b = RegionBuilder("predacc", max_latency=6)
+    x = b.read("x", 32)
+    acc = b.loop_var("acc", b.const(0, 32))
+    big = b.gt(x, 10)
+    with b.under(big):
+        boosted = b.mul(acc, 3)
+    nxt = b.mux(big, boosted, b.add(acc, x))
+    acc.set_next(nxt)
+    b.write("y", nxt)
+    b.set_trip_count(8)
+    return b.build()
+
+
+def test_counted_loop_without_exit_test(lib):
+    b = RegionBuilder("counted", max_latency=4)
+    x = b.read("x", 16)
+    acc = b.loop_var("acc", b.const(1, 16))
+    nxt = b.mul(acc, x, width=16)
+    acc.set_next(nxt)
+    b.write("y", nxt)
+    b.set_trip_count(5)
+    region = b.build()
+    inputs = {"x": [2, 3, 1, 2, 2]}
+    ref = simulate_reference(region, inputs)
+    sched = pipeline_loop(_rebuild_counted(), lib, CLOCK, ii=1).schedule
+    out = simulate_schedule(sched, inputs)
+    assert out.output("y") == ref.output("y")
+    assert ref.output("y")[-1] == 2 * 3 * 1 * 2 * 2
+
+
+def _rebuild_counted():
+    b = RegionBuilder("counted", max_latency=4)
+    x = b.read("x", 16)
+    acc = b.loop_var("acc", b.const(1, 16))
+    nxt = b.mul(acc, x, width=16)
+    acc.set_next(nxt)
+    b.write("y", nxt)
+    b.set_trip_count(5)
+    return b.build()
+
+
+def test_multicycle_schedule_equivalence(lib):
+    """A clock too fast for a single-cycle multiply forces multicycle
+    binding; values must still match."""
+    def build():
+        b = RegionBuilder("mc", max_latency=8)
+        x = b.read("x", 32)
+        acc = b.loop_var("acc", b.const(0, 32))
+        prod = b.mul(x, x)
+        nxt = b.add(acc, prod)
+        acc.set_next(nxt)
+        b.write("y", nxt)
+        b.set_trip_count(5)
+        return b.build()
+
+    inputs = {"x": [3, -2, 7, 1, 5]}
+    ref = simulate_reference(build(), inputs)
+    sched = schedule_region(build(), lib, clock_ps=620.0)
+    assert any(b.cycles > 1 for b in sched.bindings.values())
+    out = simulate_schedule(sched, inputs)
+    assert out.output("y") == ref.output("y")

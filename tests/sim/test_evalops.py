@@ -1,0 +1,113 @@
+"""Integer semantics: wrapping, operators, predicates."""
+
+import pytest
+
+from repro.cdfg import OpKind, Predicate
+from repro.cdfg.dfg import DFG
+from repro.sim.evalops import evaluate_op, predicate_holds, unsigned, wrap
+
+
+def _op(kind, width=32, payload=None, operand_widths=(32, 32)):
+    dfg = DFG("t")
+    op = dfg.add_op(kind, width, payload=payload)
+    op.operand_widths = operand_widths
+    return op
+
+
+def test_wrap_positive_overflow():
+    assert wrap(2**31, 32) == -2**31
+    assert wrap(2**31 - 1, 32) == 2**31 - 1
+
+
+def test_wrap_negative():
+    assert wrap(-1, 32) == -1
+    assert wrap(-2**31 - 1, 32) == 2**31 - 1
+
+
+def test_wrap_narrow():
+    assert wrap(255, 8) == -1
+    assert wrap(127, 8) == 127
+    assert wrap(3, 1) == 1  # 1-bit values stay boolean (flags)
+
+
+def test_unsigned():
+    assert unsigned(-1, 8) == 255
+    assert unsigned(5, 8) == 5
+
+
+@pytest.mark.parametrize("kind,a,b,expect", [
+    (OpKind.ADD, 3, 4, 7),
+    (OpKind.SUB, 3, 4, -1),
+    (OpKind.MUL, -3, 4, -12),
+    (OpKind.DIV, 7, 2, 3),
+    (OpKind.DIV, -7, 2, -3),  # truncating division
+    (OpKind.DIV, 7, 0, 0),    # hardware convention
+    (OpKind.MOD, 7, 3, 1),
+    (OpKind.AND, 0b1100, 0b1010, 0b1000),
+    (OpKind.OR, 0b1100, 0b1010, 0b1110),
+    (OpKind.XOR, 0b1100, 0b1010, 0b0110),
+    (OpKind.SHL, 1, 4, 16),
+    (OpKind.LT, 2, 3, 1),
+    (OpKind.GT, 2, 3, 0),
+    (OpKind.LE, 3, 3, 1),
+    (OpKind.GE, 2, 3, 0),
+    (OpKind.EQ, 5, 5, 1),
+    (OpKind.NEQ, 5, 5, 0),
+])
+def test_binary_ops(kind, a, b, expect):
+    assert evaluate_op(_op(kind), [a, b]) == expect
+
+
+def test_mul_wraps():
+    assert evaluate_op(_op(OpKind.MUL), [2**30, 4]) == 0
+
+
+def test_mux():
+    op = _op(OpKind.MUX)
+    assert evaluate_op(op, [1, 10, 20]) == 10
+    assert evaluate_op(op, [0, 10, 20]) == 20
+
+
+def test_neg_and_not():
+    assert evaluate_op(_op(OpKind.NEG, operand_widths=(32,)), [5]) == -5
+    assert evaluate_op(_op(OpKind.NOT, width=8, operand_widths=(8,)),
+                       [0]) == -1
+
+
+def test_shr_is_logical():
+    op = _op(OpKind.SHR, width=8, operand_widths=(8, 8))
+    assert evaluate_op(op, [-128, 1]) == 64  # 0x80 >> 1 = 0x40
+
+
+def test_slice():
+    op = _op(OpKind.SLICE, width=4, payload=(7, 4), operand_widths=(16,))
+    assert evaluate_op(op, [0xAB]) == wrap(0xA, 4)
+
+
+def test_zext():
+    op = _op(OpKind.ZEXT, width=16, operand_widths=(8,))
+    assert evaluate_op(op, [-1]) == 255
+
+
+def test_concat():
+    op = _op(OpKind.CONCAT, width=16, operand_widths=(8, 8))
+    assert unsigned(evaluate_op(op, [0x12, 0x34]), 16) == 0x1234
+
+
+def test_call_deterministic():
+    op = _op(OpKind.CALL, payload="ip")
+    a = evaluate_op(op, [1, 2])
+    b = evaluate_op(op, [1, 2])
+    c = evaluate_op(op, [2, 1])
+    assert a == b
+    assert a != c
+
+
+def test_predicate_holds():
+    dfg = DFG("t")
+    cond = dfg.add_op(OpKind.GT, 1)
+    op = dfg.add_op(OpKind.MUL, 32,
+                    predicate=Predicate.of((cond.uid, True)))
+    assert predicate_holds(op, {cond.uid: 1})
+    assert not predicate_holds(op, {cond.uid: 0})
+    assert not predicate_holds(op, {})  # unknown condition: not taken

@@ -1,0 +1,133 @@
+"""Machine edge cases: squashing, stalls, hazards, block regions."""
+
+import pytest
+
+from repro.cdfg import OpKind, RegionBuilder
+from repro.core.pipeline import pipeline_loop
+from repro.core.scheduler import schedule_region
+from repro.sim import (
+    SimulationError,
+    simulate_reference,
+    simulate_schedule,
+)
+from repro.tech import artisan90
+
+CLOCK = 1600.0
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return artisan90()
+
+
+def _late_exit_region():
+    """Exit test resolves two states in -> pipelined runs speculate."""
+    b = RegionBuilder("late_exit", max_latency=8)
+    x = b.read("x", 16)
+    acc = b.loop_var("acc", b.const(0, 16))
+    staged = b.mul(x, x, width=16)
+    staged2 = b.mul(staged, x, width=16)   # forces a second state
+    nxt = b.add(acc, staged2, width=16)
+    acc.set_next(nxt)
+    b.write("y", nxt)
+    cont = b.neq(staged2, 0)               # resolves after two multiplies
+    b.exit_when_false(cont)
+    return b.build()
+
+
+def test_squashed_iterations_counted(lib):
+    region = _late_exit_region()
+    sched = pipeline_loop(_late_exit_region(), lib, CLOCK, ii=1).schedule
+    inputs = {"x": [2, 3, 0, 9, 9, 9]}
+    ref = simulate_reference(region, inputs, max_iterations=20)
+    out = simulate_schedule(sched, inputs, max_iterations=20)
+    assert out.output("y") == ref.output("y")
+    assert out.iterations == ref.iterations
+    # with II=1 and the exit resolving in a later state, speculatively
+    # issued iterations must have been squashed
+    assert out.squashed_iterations >= 1
+
+
+def test_write_before_squash_raises(lib):
+    """An irreversible write by a younger iteration before an older
+    iteration's exit resolves is a hazard the machine must flag."""
+    b = RegionBuilder("hazard", max_latency=8)
+    x = b.read("x", 32)                    # 32-bit: one multiply per state
+    b.write("y", x)                        # writes immediately (state 0)
+    acc = b.loop_var("acc", b.const(0, 32))
+    staged = b.mul(x, x)
+    staged2 = b.mul(staged, x)
+    staged3 = b.mul(staged2, x)            # exit three states deep
+    nxt = b.add(acc, staged3)
+    acc.set_next(nxt)
+    cont = b.neq(staged3, 0)
+    b.exit_when_false(cont)
+    region = b.build()
+    sched = pipeline_loop(region, lib, CLOCK, ii=1).schedule
+    with pytest.raises(SimulationError):
+        simulate_schedule(sched, {"x": [2, 0, 9, 9]}, max_iterations=10)
+
+
+def test_stall_ticks_freeze_pipeline(lib):
+    b = RegionBuilder("staller", max_latency=8)
+    x = b.read("x", 16)
+    busy = b.read("busy", 1)
+    stall_op = b.stall_on(busy)
+    acc = b.loop_var("acc", b.const(0, 16))
+    nxt = b.add(acc, x, width=16)
+    acc.set_next(nxt)
+    b.write("y", nxt)
+    b.set_trip_count(4)
+    region = b.build()
+    sched = schedule_region(region, lib, CLOCK)
+    inputs = {"x": [1, 2, 3, 4], "busy": [0, 0, 0, 0]}
+    free = simulate_schedule(sched, inputs)
+    stalled = simulate_schedule(
+        sched, inputs, stall_ticks={stall_op.uid: [0, 3, 0, 2]})
+    assert stalled.output("y") == free.output("y")
+    assert stalled.stalled_cycles == 5
+    assert stalled.cycles == free.cycles + 5
+
+
+def test_block_region_runs_once(lib):
+    b = RegionBuilder("block", is_loop=False, max_latency=4)
+    x = b.read("x", 16)
+    b.write("y", b.add(x, 5))
+    region = b.build()
+    sched = schedule_region(region, lib, CLOCK)
+    out = simulate_schedule(sched, {"x": [7, 100, 100]})
+    assert out.output("y") == [12]
+    assert out.iterations == 1
+
+
+def test_max_iterations_caps_infinite_loop(lib):
+    b = RegionBuilder("forever", max_latency=4)
+    x = b.read("x", 16)
+    acc = b.loop_var("acc", b.const(0, 16))
+    nxt = b.add(acc, x, width=16)
+    acc.set_next(nxt)
+    b.write("y", nxt)
+    region = b.build()  # no exit test, no trip count
+    sched = schedule_region(region, lib, CLOCK)
+    out = simulate_schedule(sched, {"x": [1] * 8}, max_iterations=5)
+    assert out.iterations == 5
+    assert out.output("y") == [1, 2, 3, 4, 5]
+
+
+def test_distance_two_carried_dependency(lib):
+    """A value carried two iterations back (distance 2)."""
+    b = RegionBuilder("dist2", max_latency=6)
+    x = b.read("x", 16)
+    prev2 = b.loop_var("prev2", b.const(0, 16))
+    nxt = b.add(prev2, x, width=16)
+    prev2.set_next(nxt, distance=2)
+    b.write("y", nxt)
+    b.set_trip_count(6)
+    region = b.build()
+    inputs = {"x": [1, 10, 100, 1000, 7, 9]}
+    ref = simulate_reference(region, inputs)
+    # y[i] = x[i] + y[i-2]
+    assert ref.output("y") == [1, 10, 101, 1010, 108, 1019]
+    sched = schedule_region(region, lib, CLOCK)
+    out = simulate_schedule(sched, inputs)
+    assert out.output("y") == ref.output("y")

@@ -1,0 +1,67 @@
+"""Power model behaviour."""
+
+import pytest
+
+from repro.core.pipeline import pipeline_loop
+from repro.core.scheduler import schedule_region
+from repro.tech import artisan90
+from repro.tech.power import estimate_power
+from repro.workloads import build_example1
+from repro.workloads.idct import build_idct2d
+
+CLOCK = 1600.0
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return artisan90()
+
+
+def test_power_components_positive(lib):
+    sched = schedule_region(build_example1(), lib, CLOCK)
+    power = estimate_power(sched)
+    assert power.dynamic_mw > 0
+    assert power.clock_mw > 0
+    assert power.leakage_mw > 0
+    assert power.total_mw == pytest.approx(
+        power.dynamic_mw + power.clock_mw + power.leakage_mw)
+
+
+def test_higher_throughput_costs_power(lib):
+    """Example 1: P1 processes 3x the iterations per second of S."""
+    seq = schedule_region(build_example1(), lib, CLOCK)
+    p1 = pipeline_loop(build_example1(), lib, CLOCK, ii=1).schedule
+    assert estimate_power(p1).total_mw > estimate_power(seq).total_mw
+
+
+def test_slower_clock_saves_power(lib):
+    def at(clock):
+        region = build_idct2d(columns=1)
+        region.min_latency = region.max_latency = 16
+        return estimate_power(schedule_region(region, lib, clock)).total_mw
+    assert at(2800.0) < at(1600.0)
+
+
+def test_activity_scales_dynamic(lib):
+    sched = schedule_region(build_example1(), lib, CLOCK)
+    full = estimate_power(sched, activity=1.0)
+    half = estimate_power(sched, activity=0.5)
+    assert half.dynamic_mw == pytest.approx(full.dynamic_mw / 2)
+    assert half.clock_mw == pytest.approx(full.clock_mw)  # clock always runs
+    assert half.leakage_mw == pytest.approx(full.leakage_mw)
+
+
+def test_predicated_ops_toggle_less(lib):
+    """mul2_op is branch-born in the frontend flow; gating halves its
+    contribution relative to an unconditional clone."""
+    sched = schedule_region(build_example1(), lib, CLOCK)
+    power = estimate_power(sched)
+    rows = dict(power.rows())
+    assert rows["total"] == pytest.approx(power.total_mw)
+
+
+def test_report_rows(lib):
+    sched = schedule_region(build_example1(), lib, CLOCK)
+    rows = estimate_power(sched).rows()
+    assert [name for name, _v in rows] == [
+        "dynamic", "clock tree", "leakage", "total"]

@@ -1,0 +1,84 @@
+"""Command-line interface coverage."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table1(capsys):
+    assert main(["table", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "930" in out and "mux2" in out
+
+
+def test_table2(capsys):
+    assert main(["table", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "mul1_op" in out and "s3" in out
+
+
+def test_schedule_named_workload(capsys):
+    assert main(["schedule", "fir", "--clock", "1600"]) == 0
+    out = capsys.readouterr().out
+    assert "fir" in out and "WNS" in out
+
+
+def test_schedule_json(capsys):
+    assert main(["schedule", "example1", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["latency"] == 3
+    assert data["region"] == "example1"
+
+
+def test_schedule_pipelined(capsys):
+    assert main(["schedule", "example1", "--ii", "2", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["ii"] == 2
+
+
+def test_schedule_source_file(tmp_path, capsys):
+    src = tmp_path / "mac.hls"
+    src.write_text("""
+    module mac { in int<16> x; out int<16> y;
+        thread t {
+            int acc = 0;
+            @pipeline(1) do { acc = acc + x * x; y = acc; }
+            while (x != 0);
+        } }
+    """)
+    assert main(["schedule", str(src)]) == 0
+    out = capsys.readouterr().out
+    assert "mac_t_loop0" in out
+
+
+def test_verilog_output_file(tmp_path, capsys):
+    dest = tmp_path / "out.v"
+    assert main(["verilog", "example1", "--output", str(dest)]) == 0
+    text = dest.read_text()
+    assert "module example1" in text
+    assert "endmodule" in text
+
+
+def test_sweep(capsys):
+    assert main(["sweep", "fir", "--clocks", "1600,2400",
+                 "--latencies", "3,4:2"]) == 0
+    out = capsys.readouterr().out
+    assert "NP3" in out and "P4/2" in out
+
+
+def test_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["sweep", "nonexistent"])
+
+
+def test_unknown_library():
+    with pytest.raises(SystemExit):
+        main(["--library", "tsmc", "table", "1"])
+
+
+def test_generic45_library(capsys):
+    assert main(["--library", "generic45", "table", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "423" in out  # 930 / 2.2 rounded

@@ -1,0 +1,92 @@
+"""Dot-product, Sobel and the hand-built Table 4 designs."""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import pipeline_loop
+from repro.core.scheduler import schedule_region
+from repro.sim import simulate_reference, simulate_schedule
+from repro.tech import artisan90
+from repro.workloads.matmul import build_dot_product, reference_dot_product
+from repro.workloads.sobel import build_sobel, reference_sobel
+from repro.workloads.synthetic import build_timing_critical
+
+CLOCK = 1600.0
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return artisan90()
+
+
+class TestDotProduct:
+    def test_matches_oracle(self):
+        rng = random.Random(3)
+        n, k = 6, 4
+        a_rows = [[rng.randrange(-9, 9) for _ in range(k)]
+                  for _ in range(n)]
+        b_rows = [[rng.randrange(-9, 9) for _ in range(k)]
+                  for _ in range(n)]
+        inputs = {}
+        for i in range(k):
+            inputs[f"a{i}"] = [row[i] for row in a_rows]
+            inputs[f"b{i}"] = [row[i] for row in b_rows]
+        out = simulate_reference(build_dot_product(k), inputs,
+                                 max_iterations=n)
+        assert out.output("y") == reference_dot_product(k, a_rows, b_rows)
+
+    def test_pipelines_at_ii2(self, lib):
+        result = pipeline_loop(build_dot_product(2), lib, CLOCK, ii=2)
+        assert result.ii == 2
+        assert result.schedule.validate() == []
+
+    def test_scheduled_equivalence(self, lib):
+        inputs = {f"{p}{i}": [3, -2, 5] for p in "ab" for i in range(4)}
+        ref = simulate_reference(build_dot_product(4), inputs,
+                                 max_iterations=3)
+        sched = schedule_region(build_dot_product(4), lib, CLOCK)
+        out = simulate_schedule(sched, inputs, max_iterations=3)
+        assert out.output("y") == ref.output("y")
+
+
+class TestSobel:
+    def test_matches_oracle(self):
+        rng = random.Random(5)
+        rows = [[rng.randrange(0, 255) for _ in range(8)]
+                for _ in range(3)]
+        inputs = {f"row{r}": rows[r] for r in range(3)}
+        out = simulate_reference(build_sobel(), inputs, max_iterations=8)
+        assert out.output("edge") == reference_sobel(rows)
+
+    def test_pipelined_equivalence(self, lib):
+        rng = random.Random(6)
+        rows = [[rng.randrange(0, 99) for _ in range(6)]
+                for _ in range(3)]
+        inputs = {f"row{r}": rows[r] for r in range(3)}
+        ref = simulate_reference(build_sobel(), inputs, max_iterations=6)
+        result = pipeline_loop(build_sobel(), lib, CLOCK, ii=2)
+        out = simulate_schedule(result.schedule, inputs, max_iterations=6)
+        assert out.output("edge") == ref.output("edge")
+
+
+class TestTimingCriticalBuilder:
+    def test_scc_shape(self):
+        region = build_timing_critical("t", ("mul",), side_ops=10,
+                                       seed=1, n_cores=2)
+        sccs = region.dfg.sccs()
+        assert len(sccs) == 2
+        for comp in sccs:
+            kinds = {region.dfg.op(u).kind.value for u in comp}
+            assert "loopmux" in kinds and "mul" in kinds
+
+    def test_semantics_stable(self, lib):
+        region = build_timing_critical("t", ("add",), side_ops=12,
+                                       seed=2, n_cores=1)
+        inputs = {f"in{i}": [i + 1, 2 * i + 1, 3] for i in range(6)}
+        ref = simulate_reference(region, inputs, max_iterations=3)
+        sched = schedule_region(
+            build_timing_critical("t", ("add",), side_ops=12, seed=2,
+                                  n_cores=1), lib, CLOCK)
+        out = simulate_schedule(sched, inputs, max_iterations=3)
+        assert out.outputs == ref.outputs
