@@ -1,20 +1,19 @@
 """Design-space exploration of the IDCT (Figures 10 and 11).
 
 Sweeps the paper's five microarchitectures (non-pipelined 8/16/32,
-pipelined 16/32) across clock periods, printing area/delay and
-power/delay series and the Pareto front.  The paper's key observation --
-the bottom-left Pareto corner is reachable only by pipelining -- falls
-out of the table.
+pipelined 16/32) across clock periods through the unified compilation
+pipeline: the parallel executor fans the 25 HLS runs over worker
+threads, the content-addressed cache makes the (deliberate) second
+sweep near-free, and infeasible grid points are reported instead of
+silently dropped.  The paper's key observation -- the bottom-left
+Pareto corner is reachable only by pipelining -- falls out of the
+table.
 
 Run:  python examples/idct_pareto.py
 """
 
-from repro.explore import (
-    PAPER_MICROARCHS,
-    group_by_microarch,
-    pareto_front,
-    sweep_microarchitectures,
-)
+from repro.explore import group_by_microarch, pareto_front
+from repro.flow import FlowCache, run_sweep
 from repro.rtl.reports import format_table, pareto_header
 from repro.tech import artisan90
 from repro.workloads.idct import build_idct8
@@ -22,11 +21,17 @@ from repro.workloads.idct import build_idct8
 
 def main() -> None:
     library = artisan90()
+    cache = FlowCache()
     print("Running the 25-point HLS sweep (5 microarchitectures x 5 "
-          "clocks)...")
-    points = sweep_microarchitectures(build_idct8, library)
+          "clocks, 4 workers)...")
+    result = run_sweep(build_idct8, library, jobs=4, cache=cache)
+    points = result.points
 
-    print(f"\n{len(points)} of 25 configurations feasible\n")
+    print(f"\n{len(points)} of {result.total} configurations feasible "
+          f"in {result.elapsed_s:.2f} s")
+    for q in result.infeasible:
+        print(f"  {q.describe()}")
+    print()
     for name, curve in group_by_microarch(points).items():
         print(f"--- {name} ---")
         print(format_table(pareto_header(), [p.row() for p in curve]))
@@ -43,6 +48,11 @@ def main() -> None:
     if best.microarch.startswith("Pipelined"):
         print("-> as in the paper, the bottom-left corner is pipelined, "
               "and it pays a power premium (Figure 11).")
+
+    rerun = run_sweep(build_idct8, library, jobs=4, cache=cache)
+    print(f"\ncached re-sweep: {rerun.elapsed_s:.3f} s "
+          f"({rerun.cache_hits} cache hits; first run "
+          f"{result.elapsed_s:.2f} s)")
 
 
 if __name__ == "__main__":

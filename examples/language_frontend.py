@@ -1,19 +1,17 @@
 """The behavioral frontend: from source text to pipelined RTL.
 
 Compiles a SystemC-like source (the paper's Figure 1 in the
-mini-language), runs the optimizer, pipelines the loop per its
-``@pipeline`` attribute, and verifies behaviour -- the full flow of the
-paper's Figure 2 in one script.
+mini-language) through the unified ``verilog`` flow -- parse/elaborate,
+optimize, schedule at the ``@pipeline`` II, fold, emit RTL -- and
+verifies behaviour: the full flow of the paper's Figure 2 in one call.
 
 Run:  python examples/language_frontend.py
 """
 
 import random
 
-from repro import artisan90, generate_verilog, pipeline_loop
-from repro import simulate_reference, simulate_schedule
-from repro.cdfg.transforms import optimize
-from repro.frontend import compile_source
+from repro import artisan90, simulate_reference, simulate_schedule
+from repro.flow import run_flow
 
 SOURCE = """
 // A decimating scaled accumulator in the mini-language.
@@ -39,19 +37,22 @@ module decimator {
 
 def main() -> None:
     library = artisan90()
-    (loop,) = compile_source(SOURCE)
-    region = loop.region
+    ctx = run_flow("verilog", source=SOURCE, library=library,
+                   clock_ps=1600.0)
+    assert not ctx.failed, [str(d) for d in ctx.errors]
+    region = ctx.region
     print(f"elaborated {region.name}: {len(region.dfg)} operations, "
-          f"pipeline II={loop.pipeline.ii}")
+          f"pipeline II={ctx.pipeline.ii}")
 
-    stats = optimize(region)
-    applied = {k: v for k, v in stats.items() if v}
+    applied = {k: v for k, v in (ctx.opt_report or {}).items() if v}
     print(f"optimizer: {applied or 'nothing to do'}")
+    print("pass timings:",
+          {name: f"{sec * 1e3:.1f} ms"
+           for name, sec in ctx.timing_summary().items()})
 
-    result = pipeline_loop(region, library, 1600.0, ii=loop.pipeline.ii)
-    schedule = result.schedule
-    print(f"\nscheduled: LI={schedule.latency}, II={result.ii}, "
-          f"stages={result.stages}, area={schedule.area:.0f}")
+    schedule = ctx.schedule
+    print(f"\nscheduled: LI={schedule.latency}, II={ctx.folded.ii}, "
+          f"stages={ctx.folded.n_stages}, area={schedule.area:.0f}")
     print()
     print(schedule.table())
 
@@ -67,8 +68,7 @@ def main() -> None:
     print(f"\nsimulated {out.iterations} iterations in {out.cycles} cycles "
           f"-- outputs match the source semantics")
 
-    rtl = generate_verilog(schedule, result.folded)
-    print(f"emitted {len(rtl.splitlines())} lines of Verilog "
+    print(f"emitted {len(ctx.rtl.splitlines())} lines of Verilog "
           f"(module {region.name})")
 
 

@@ -10,23 +10,20 @@ Run:  python examples/quickstart.py
 
 import random
 
-from repro import (
-    artisan90,
-    generate_verilog,
-    schedule_region,
-    schedule_report,
-    simulate_reference,
-    simulate_schedule,
-)
+from repro import artisan90, schedule_report, simulate_reference, \
+    simulate_schedule
+from repro.flow import run_flow
 from repro.workloads import build_example1
 
 
 def main() -> None:
     library = artisan90()
-    region = build_example1()
 
     print("Scheduling Example 1 (1 <= latency <= 3, Tclk = 1600 ps)...")
-    schedule = schedule_region(region, library, clock_ps=1600.0)
+    ctx = run_flow("verilog", region=build_example1(), library=library,
+                   clock_ps=1600.0, run_optimizer=False)
+    assert not ctx.failed, [str(d) for d in ctx.errors]
+    schedule = ctx.schedule
     print()
     print(schedule_report(schedule))
 
@@ -45,10 +42,9 @@ def main() -> None:
     print(f"\nsimulation: {out.iterations} iterations in {out.cycles} "
           f"cycles, outputs match the reference interpreter")
 
-    rtl = generate_verilog(schedule)
-    print(f"\ngenerated {len(rtl.splitlines())} lines of Verilog; "
+    print(f"\ngenerated {len(ctx.rtl.splitlines())} lines of Verilog; "
           f"first lines:")
-    for line in rtl.splitlines()[:12]:
+    for line in ctx.rtl.splitlines()[:12]:
         print("   ", line)
 
 

@@ -44,6 +44,13 @@ from repro.core.pipeline import (
     explore_microarchitectures,
     pipeline_loop,
 )
+from repro.flow import (
+    CompilationContext,
+    Flow,
+    FlowCache,
+    run_flow,
+    run_sweep,
+)
 from repro.rtl import compensate_slack, generate_verilog, schedule_report
 from repro.sim import simulate_reference, simulate_schedule
 from repro.tech import Library, artisan90, generic45
@@ -53,8 +60,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CFG",
+    "CompilationContext",
     "DFG",
     "DFGError",
+    "Flow",
+    "FlowCache",
     "FoldedPipeline",
     "Library",
     "OpKind",
@@ -77,6 +87,8 @@ __all__ = [
     "generate_verilog",
     "generic45",
     "pipeline_loop",
+    "run_flow",
+    "run_sweep",
     "schedule_region",
     "schedule_report",
     "simulate_reference",

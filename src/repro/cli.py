@@ -6,9 +6,11 @@ schedule   compile a mini-language source file and schedule its loops
 sweep      run a microarchitecture/clock exploration on a named workload
 table      print a paper table (1, 2 or 3) from the calibrated library
 verilog    compile + schedule + emit RTL to stdout or a file
+workloads  list the named kernels in the workload registry
 
-The CLI is a thin veneer over the public API so shell users (and CI
-scripts) can exercise the flow without writing Python.
+The CLI is a thin veneer over the unified compilation pipeline
+(:mod:`repro.flow`) so shell users (and CI scripts) can exercise the
+flows without writing Python.
 """
 
 from __future__ import annotations
@@ -19,31 +21,19 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.cdfg.region import PipelineSpec, Region
-from repro.cdfg.transforms import optimize
 from repro.core.pipeline import pipeline_loop
-from repro.core.schedule import Schedule, ScheduleError
-from repro.core.scheduler import SchedulerOptions, schedule_region
-from repro.explore import PAPER_MICROARCHS, Microarch, sweep_microarchitectures
+from repro.core.scheduler import schedule_region
+from repro.explore import PAPER_MICROARCHS, Microarch
+from repro.flow import get_flow, run_sweep
+from repro.flow.context import CompilationContext
 from repro.frontend import compile_source
-from repro.rtl import generate_verilog, schedule_report
+from repro.rtl import schedule_report
 from repro.rtl.reports import format_table, pareto_header
 from repro.tech import Library, artisan90, generic45
-from repro.workloads import build_example1
-from repro.workloads.conv2d import build_conv3x3
-from repro.workloads.fft import build_fft8, build_fft_stage
-from repro.workloads.fir import build_fir
-from repro.workloads.idct import build_idct8, build_idct2d
+from repro.workloads import WORKLOAD_REGISTRY, build_example1
 
-#: workloads addressable from the command line.
-WORKLOADS: Dict[str, Callable[[], Region]] = {
-    "example1": build_example1,
-    "idct8": build_idct8,
-    "idct2d": build_idct2d,
-    "fir": build_fir,
-    "fft_stage": build_fft_stage,
-    "fft8": build_fft8,
-    "conv3x3": build_conv3x3,
-}
+#: workloads addressable from the command line (the shared registry).
+WORKLOADS: Dict[str, Callable[[], Region]] = WORKLOAD_REGISTRY
 
 LIBRARIES: Dict[str, Callable[[], Library]] = {
     "artisan90": artisan90,
@@ -59,43 +49,51 @@ def _library(name: str) -> Library:
                          f"choose from {sorted(LIBRARIES)}")
 
 
-def _schedule_one(region: Region, library: Library, clock: float,
-                  ii: Optional[int], run_optimizer: bool) -> Schedule:
-    if run_optimizer:
-        optimize(region)
-    if ii is not None:
-        return pipeline_loop(region, library, clock, ii=ii).schedule
-    return schedule_region(region, library, clock)
+def _print_failure(ctx: CompilationContext) -> None:
+    for diag in ctx.errors:
+        print(f"{ctx.region.name if ctx.region else '<frontend>'}: "
+              f"FAILED -- {diag.message}", file=sys.stderr)
+        for line in diag.details:
+            print(f"  {line}", file=sys.stderr)
+
+
+def _source_contexts(args: argparse.Namespace, library: Library,
+                     run_optimizer: bool) -> List[CompilationContext]:
+    """One unrun context per loop of the source file / named workload."""
+    contexts: List[CompilationContext] = []
+    if args.source in WORKLOADS:
+        contexts.append(CompilationContext(
+            library=library, clock_ps=args.clock,
+            region=WORKLOADS[args.source](),
+            pipeline=PipelineSpec(ii=args.ii) if args.ii is not None
+            else None,
+            run_optimizer=run_optimizer))
+        return contexts
+    with open(args.source) as handle:
+        text = handle.read()
+    for loop in compile_source(text):
+        pipeline = PipelineSpec(ii=args.ii) if args.ii is not None \
+            else loop.pipeline
+        contexts.append(CompilationContext(
+            library=library, clock_ps=args.clock, region=loop.region,
+            pipeline=pipeline, run_optimizer=run_optimizer))
+    return contexts
 
 
 def cmd_schedule(args: argparse.Namespace) -> int:
     """Compile and schedule a source file (or a named workload)."""
     library = _library(args.library)
-    regions: List[Region] = []
-    iis: List[Optional[int]] = []
-    if args.source in WORKLOADS:
-        regions.append(WORKLOADS[args.source]())
-        iis.append(args.ii)
-    else:
-        with open(args.source) as handle:
-            text = handle.read()
-        for loop in compile_source(text):
-            regions.append(loop.region)
-            iis.append(args.ii if args.ii is not None
-                       else (loop.pipeline.ii if loop.pipeline else None))
-    for region, ii in zip(regions, iis):
-        try:
-            schedule = _schedule_one(region, library, args.clock, ii,
-                                     not args.no_optimize)
-        except ScheduleError as exc:
-            print(f"{region.name}: FAILED -- {exc}", file=sys.stderr)
-            for line in exc.diagnostics:
-                print(f"  {line}", file=sys.stderr)
+    flow = get_flow("pipeline")
+    for ctx in _source_contexts(args, library,
+                                run_optimizer=not args.no_optimize):
+        flow.run(ctx)
+        if ctx.failed:
+            _print_failure(ctx)
             return 1
         if args.json:
-            print(json.dumps(schedule.summary(), indent=2))
+            print(json.dumps(ctx.schedule.summary(), indent=2))
         else:
-            print(schedule_report(schedule))
+            print(schedule_report(ctx.schedule))
             print()
     return 0
 
@@ -103,21 +101,12 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 def cmd_verilog(args: argparse.Namespace) -> int:
     """Compile, schedule and emit Verilog RTL."""
     library = _library(args.library)
-    if args.source in WORKLOADS:
-        region = WORKLOADS[args.source]()
-        ii = args.ii
-    else:
-        with open(args.source) as handle:
-            (loop,) = compile_source(handle.read())
-        region = loop.region
-        ii = args.ii if args.ii is not None \
-            else (loop.pipeline.ii if loop.pipeline else None)
-    if ii is not None:
-        result = pipeline_loop(region, library, args.clock, ii=ii)
-        text = generate_verilog(result.schedule, result.folded)
-    else:
-        schedule = schedule_region(region, library, args.clock)
-        text = generate_verilog(schedule)
+    (ctx,) = _source_contexts(args, library, run_optimizer=False)
+    get_flow("verilog").run(ctx)
+    if ctx.failed:
+        _print_failure(ctx)
+        return 1
+    text = ctx.rtl
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -125,6 +114,19 @@ def cmd_verilog(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def _parse_microarchs(spec_text: Optional[str]) -> List[Microarch]:
+    if not spec_text:
+        return list(PAPER_MICROARCHS)
+    micros: List[Microarch] = []
+    for spec in spec_text.split(","):
+        if ":" in spec:
+            lat, ii = spec.split(":")
+            micros.append(Microarch(f"P{lat}/{ii}", int(lat), ii=int(ii)))
+        else:
+            micros.append(Microarch(f"NP{spec}", int(spec)))
+    return micros
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -135,18 +137,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown workload {args.workload!r}; "
                          f"choose from {sorted(WORKLOADS)}")
     clocks = [float(c) for c in args.clocks.split(",")]
-    micros = PAPER_MICROARCHS
-    if args.latencies:
-        micros = []
-        for spec in args.latencies.split(","):
-            if ":" in spec:
-                lat, ii = spec.split(":")
-                micros.append(Microarch(f"P{lat}/{ii}", int(lat),
-                                        ii=int(ii)))
-            else:
-                micros.append(Microarch(f"NP{spec}", int(spec)))
-    points = sweep_microarchitectures(factory, library, micros, clocks)
-    print(format_table(pareto_header(), [p.row() for p in points]))
+    micros = _parse_microarchs(args.latencies)
+    result = run_sweep(factory, library, micros, clocks, jobs=args.jobs)
+    if args.json:
+        print(json.dumps(result.summary(), indent=2))
+        return 0
+    print(format_table(pareto_header(), [p.row() for p in result.points]))
+    print(f"\n{len(result.points)} of {result.total} configurations "
+          f"feasible ({len(result.infeasible)} infeasible)")
+    for q in result.infeasible:
+        print(f"  {q.describe()}")
     return 0
 
 
@@ -172,6 +172,20 @@ def cmd_table(args: argparse.Namespace) -> int:
              ["area", round(seq.area), round(p2.area), round(p1.area)]]))
         return 0
     raise SystemExit("table number must be 1, 2 or 3")
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    """List the workload registry with basic region statistics."""
+    rows = []
+    for name in sorted(WORKLOADS):
+        region = WORKLOADS[name]()
+        stats = region.dfg.stats()
+        rows.append([name, region.name, stats["total"], stats["edges"],
+                     f"{region.min_latency}..{region.max_latency}",
+                     "loop" if region.is_loop else "block"])
+    print(format_table(
+        ["workload", "region", "ops", "edges", "latency", "kind"], rows))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -204,11 +218,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clocks", default="1000,1250,1600,2100,2800")
     p.add_argument("--latencies", default=None,
                    help="e.g. 8,16,32:16 (lat or lat:ii, comma separated)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel scheduling workers (default 1 = serial)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full sweep record as JSON")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("table", help="print a paper table")
     p.add_argument("number", type=int, choices=(1, 2, 3))
     p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("workloads", help="list the workload registry")
+    p.set_defaults(func=cmd_workloads)
     return parser
 
 

@@ -14,8 +14,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.cdfg.region import PipelineSpec, Region
-from repro.core.folding import FoldedPipeline, fold_schedule, validate_folding
-from repro.core.schedule import Schedule, ScheduleError
+from repro.core.folding import FoldedPipeline
+from repro.core.schedule import Schedule
 from repro.core.scheduler import SchedulerOptions, schedule_region
 from repro.tech.library import Library
 
@@ -49,16 +49,17 @@ def pipeline_loop(
 
     The latency interval is chosen by the tool within the region bounds,
     starting from II + 1; the fold is validated before returning.
+
+    Thin shim over the ``pipeline`` flow (:mod:`repro.flow`); kept for
+    the original exception-raising calling convention.
     """
-    schedule = schedule_region(
-        region, library, clock_ps,
-        pipeline=PipelineSpec(ii=ii), options=options)
-    folded = fold_schedule(schedule)
-    problems = validate_folding(folded)
-    if problems:
-        raise ScheduleError(
-            f"{region.name}: folding validation failed", problems)
-    return PipelineResult(schedule=schedule, folded=folded)
+    from repro.flow.flow import run_flow  # deferred: flow sits above core
+
+    ctx = run_flow("pipeline", region=region, library=library,
+                   clock_ps=clock_ps, pipeline=PipelineSpec(ii=ii),
+                   options=options, run_optimizer=False)
+    ctx.raise_if_failed()
+    return PipelineResult(schedule=ctx.schedule, folded=ctx.folded)
 
 
 def explore_microarchitectures(

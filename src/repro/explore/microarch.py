@@ -1,0 +1,58 @@
+"""Microarchitecture vocabulary of the design-space exploration.
+
+A :class:`Microarch` names one point on the paper's microarchitecture
+axis (Figure 10): a fixed latency, optionally pipelined at a designer
+II.  :data:`PAPER_MICROARCHS` and :data:`PAPER_CLOCKS_PS` span the
+Figure 10/11 grid.  :class:`InfeasiblePoint` records a grid point the
+scheduler could not realize -- sweeps report these explicitly instead of
+silently dropping them.
+
+This module is dependency-free so both :mod:`repro.explore.sweep` and
+:mod:`repro.flow.executor` can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Microarch:
+    """One microarchitecture: a fixed latency, optionally pipelined."""
+
+    name: str
+    latency: int
+    ii: Optional[int] = None  # None = non-pipelined
+
+    @property
+    def ii_effective(self) -> int:
+        """Cycles between iterations."""
+        return self.ii if self.ii is not None else self.latency
+
+
+@dataclass(frozen=True)
+class InfeasiblePoint:
+    """A sweep grid point the scheduler proved overconstrained."""
+
+    microarch: str
+    clock_ps: float
+    reason: str
+
+    def describe(self) -> str:
+        """One-line report entry (shared by the CLI and examples)."""
+        return (f"infeasible: {self.microarch} @ {self.clock_ps:.0f} ps "
+                f"-- {self.reason}")
+
+
+#: the paper's Figure 10 microarchitecture set.
+PAPER_MICROARCHS: Sequence[Microarch] = (
+    Microarch("Non-Pipelined 8", 8),
+    Microarch("Non-Pipelined 16", 16),
+    Microarch("Non-Pipelined 32", 32),
+    Microarch("Pipelined 16", 16, ii=8),
+    Microarch("Pipelined 32", 32, ii=16),
+)
+
+#: the paper's Figure 10/11 clock-period axis (ps).
+PAPER_CLOCKS_PS: Sequence[float] = (1000.0, 1250.0, 1600.0, 2100.0, 2800.0)

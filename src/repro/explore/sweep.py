@@ -6,43 +6,40 @@ LI 16 and 32 at half-latency II), each synthesized across a range of
 clock periods.  The delay axis is ``II_effective * Tclk``; area and power
 come from the bound implementation (faster clocks force faster, larger
 speed grades and multi-cycle splits, which is what bends the curves).
+
+The functions here are thin shims over the unified compilation pipeline
+(:mod:`repro.flow`): :func:`repro.flow.executor.run_sweep` is the real
+executor -- cache-aware, parallel, and explicit about infeasible grid
+points -- while these wrappers preserve the original list-of-points
+signatures.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
-from repro.cdfg.region import PipelineSpec, Region
-from repro.core.schedule import Schedule, ScheduleError
-from repro.core.scheduler import SchedulerOptions, schedule_region
+from repro.cdfg.region import Region
+from repro.core.scheduler import SchedulerOptions
+from repro.explore.microarch import (
+    InfeasiblePoint,
+    Microarch,
+    PAPER_CLOCKS_PS,
+    PAPER_MICROARCHS,
+)
 from repro.explore.pareto import DesignPoint
 from repro.tech.library import Library
-from repro.tech.power import estimate_power
 
+if TYPE_CHECKING:  # imported lazily at call time to avoid a cycle:
+    from repro.flow.cache import FlowCache  # flow -> explore at import
 
-@dataclass(frozen=True)
-class Microarch:
-    """One microarchitecture: a fixed latency, optionally pipelined."""
-
-    name: str
-    latency: int
-    ii: Optional[int] = None  # None = non-pipelined
-
-    @property
-    def ii_effective(self) -> int:
-        """Cycles between iterations."""
-        return self.ii if self.ii is not None else self.latency
-
-
-#: the paper's Figure 10 microarchitecture set.
-PAPER_MICROARCHS: Sequence[Microarch] = (
-    Microarch("Non-Pipelined 8", 8),
-    Microarch("Non-Pipelined 16", 16),
-    Microarch("Non-Pipelined 32", 32),
-    Microarch("Pipelined 16", 16, ii=8),
-    Microarch("Pipelined 32", 32, ii=16),
-)
+__all__ = [
+    "InfeasiblePoint",
+    "Microarch",
+    "PAPER_CLOCKS_PS",
+    "PAPER_MICROARCHS",
+    "sweep_microarchitectures",
+    "synthesize_point",
+]
 
 
 def synthesize_point(
@@ -51,43 +48,39 @@ def synthesize_point(
     microarch: Microarch,
     clock_ps: float,
     options: Optional[SchedulerOptions] = None,
+    cache: Optional["FlowCache"] = None,
 ) -> Optional[DesignPoint]:
     """One HLS run; None when the configuration is infeasible."""
-    region = region_factory()
-    region.min_latency = microarch.latency
-    region.max_latency = microarch.latency
-    pipeline = PipelineSpec(ii=microarch.ii) if microarch.ii else None
-    try:
-        schedule = schedule_region(region, library, clock_ps,
-                                   pipeline=pipeline, options=options)
-    except ScheduleError:
+    from repro.flow.executor import synthesize_design_point
+
+    result = synthesize_design_point(
+        region_factory, library, microarch, clock_ps, options, cache)
+    if isinstance(result, InfeasiblePoint):
         return None
-    power = estimate_power(schedule)
-    return DesignPoint(
-        label=f"{microarch.name}@{clock_ps:.0f}",
-        microarch=microarch.name,
-        clock_ps=clock_ps,
-        ii=schedule.ii_effective,
-        latency=schedule.latency,
-        delay_ps=schedule.delay_ps,
-        area=schedule.area,
-        power_mw=power.total_mw,
-    )
+    return result
 
 
 def sweep_microarchitectures(
     region_factory: Callable[[], Region],
     library: Library,
     microarchs: Sequence[Microarch] = PAPER_MICROARCHS,
-    clocks_ps: Sequence[float] = (1000.0, 1250.0, 1600.0, 2100.0, 2800.0),
+    clocks_ps: Sequence[float] = PAPER_CLOCKS_PS,
     options: Optional[SchedulerOptions] = None,
+    jobs: int = 1,
+    cache: Optional["FlowCache"] = None,
+    infeasible: Optional[List[InfeasiblePoint]] = None,
 ) -> List[DesignPoint]:
-    """The full Figure 10/11 grid (25 runs at the default settings)."""
-    points: List[DesignPoint] = []
-    for microarch in microarchs:
-        for clock in clocks_ps:
-            point = synthesize_point(region_factory, library, microarch,
-                                     clock, options)
-            if point is not None:
-                points.append(point)
-    return points
+    """The full Figure 10/11 grid (25 runs at the default settings).
+
+    Feasible points come back in deterministic grid order regardless of
+    ``jobs``.  Pass a list as ``infeasible`` to also collect the grid
+    points the scheduler rejected (they are no longer silently dropped:
+    callers that ignore them can still see the count via the list).
+    """
+    from repro.flow.executor import run_sweep
+
+    result = run_sweep(region_factory, library, microarchs, clocks_ps,
+                       options=options, jobs=jobs, cache=cache)
+    if infeasible is not None:
+        infeasible.extend(result.infeasible)
+    return result.points

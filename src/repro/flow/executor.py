@@ -1,0 +1,159 @@
+"""Parallel sweep executor.
+
+Runs the microarchitecture x clock grid of the paper's Figures 10/11
+through the ``sweep`` flow.  Each grid point is independent, so the
+executor fans them out over a thread pool (``jobs`` workers) while
+keeping the result order deterministic -- identical, point for point, to
+the serial traversal (microarchitecture-major, then clock).  Infeasible
+configurations are first-class :class:`InfeasiblePoint` results instead
+of being silently dropped, and a shared
+:class:`~repro.flow.cache.FlowCache` makes repeated grids near-free.
+
+Threads rather than processes: regions are built per-worker by the
+factory, the scheduler touches only per-run state, and factories are
+frequently closures that do not pickle.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cdfg.region import PipelineSpec, Region
+from repro.core.scheduler import SchedulerOptions
+from repro.explore.microarch import (
+    InfeasiblePoint,
+    Microarch,
+    PAPER_CLOCKS_PS,
+    PAPER_MICROARCHS,
+)
+from repro.explore.pareto import DesignPoint
+from repro.flow.cache import FlowCache
+from repro.flow.context import CompilationContext
+from repro.flow.flow import get_flow
+from repro.tech.library import Library
+
+PointResult = Union[DesignPoint, InfeasiblePoint]
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, feasible or not."""
+
+    points: List[DesignPoint] = field(default_factory=list)
+    infeasible: List[InfeasiblePoint] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def total(self) -> int:
+        """Grid size: feasible + infeasible."""
+        return len(self.points) + len(self.infeasible)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly record of the whole sweep."""
+        return {
+            "feasible": len(self.points),
+            "infeasible": len(self.infeasible),
+            "elapsed_s": round(self.elapsed_s, 4),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "points": [
+                {"label": p.label, "microarch": p.microarch,
+                 "clock_ps": p.clock_ps, "ii": p.ii, "latency": p.latency,
+                 "delay_ps": p.delay_ps, "area": p.area,
+                 "power_mw": p.power_mw} for p in self.points],
+            "infeasible_points": [
+                {"microarch": q.microarch, "clock_ps": q.clock_ps,
+                 "reason": q.reason} for q in self.infeasible],
+        }
+
+
+def synthesize_design_point(
+    region_factory: Callable[[], Region],
+    library: Library,
+    microarch: Microarch,
+    clock_ps: float,
+    options: Optional[SchedulerOptions] = None,
+    cache: Optional[FlowCache] = None,
+) -> PointResult:
+    """One HLS run through the ``sweep`` flow.
+
+    The region is built fresh (schedules bind operation state), clamped
+    to the microarchitecture's latency, and scheduled/power-estimated.
+    Returns a :class:`DesignPoint`, or an :class:`InfeasiblePoint`
+    carrying the scheduler's reason when the configuration is
+    overconstrained.
+    """
+    region = region_factory()
+    region.min_latency = microarch.latency
+    region.max_latency = microarch.latency
+    pipeline = PipelineSpec(ii=microarch.ii) \
+        if microarch.ii is not None else None
+    ctx = CompilationContext(
+        region=region, library=library, clock_ps=clock_ps,
+        pipeline=pipeline, run_optimizer=False, cache=cache)
+    if options is not None:
+        ctx.options = options
+    get_flow("sweep").run(ctx)
+    if ctx.failed:
+        return InfeasiblePoint(microarch.name, clock_ps,
+                               ctx.errors[0].message)
+    schedule = ctx.schedule
+    return DesignPoint(
+        label=f"{microarch.name}@{clock_ps:.0f}",
+        microarch=microarch.name,
+        clock_ps=clock_ps,
+        ii=schedule.ii_effective,
+        latency=schedule.latency,
+        delay_ps=schedule.delay_ps,
+        area=schedule.area,
+        power_mw=ctx.power.total_mw,
+    )
+
+
+def run_sweep(
+    region_factory: Callable[[], Region],
+    library: Library,
+    microarchs: Sequence[Microarch] = PAPER_MICROARCHS,
+    clocks_ps: Sequence[float] = PAPER_CLOCKS_PS,
+    options: Optional[SchedulerOptions] = None,
+    jobs: int = 1,
+    cache: Optional[FlowCache] = None,
+) -> SweepResult:
+    """The full grid, serially (``jobs=1``) or on a worker pool.
+
+    Result ordering is deterministic and identical in both modes:
+    ``ThreadPoolExecutor.map`` yields in submission order, which is the
+    serial traversal order.
+    """
+    grid: List[Tuple[Microarch, float]] = [
+        (m, float(c)) for m in microarchs for c in clocks_ps]
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+    start = time.perf_counter()
+
+    def one(item: Tuple[Microarch, float]) -> PointResult:
+        microarch, clock = item
+        return synthesize_design_point(
+            region_factory, library, microarch, clock, options, cache)
+
+    if jobs <= 1:
+        results = [one(item) for item in grid]
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(one, grid))
+
+    out = SweepResult(elapsed_s=time.perf_counter() - start)
+    for result in results:
+        if isinstance(result, InfeasiblePoint):
+            out.infeasible.append(result)
+        else:
+            out.points.append(result)
+    if cache is not None:
+        out.cache_hits = cache.hits - hits0
+        out.cache_misses = cache.misses - misses0
+    return out

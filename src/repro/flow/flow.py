@@ -1,0 +1,105 @@
+"""Flows: named, composable pass sequences.
+
+A :class:`Flow` runs registered passes over one
+:class:`~repro.flow.context.CompilationContext`, timing each pass and
+stopping at the first error diagnostic.  The built-in flows cover the
+repo's entry points:
+
+========== ==========================================================
+``schedule``  frontend -> optimize -> schedule
+``pipeline``  schedule plus kernel folding
+``verilog``   pipeline plus RTL emission
+``sweep``     schedule plus power estimation (the Figure 10/11 axes)
+========== ==========================================================
+
+``register_flow`` adds project-specific compositions; ``run_flow`` is
+the one-call convenience the CLI, examples and shims use.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence, Union
+
+from repro.flow.context import CompilationContext, PassTiming
+from repro.flow.passes import FlowPass, get_pass
+
+
+class Flow:
+    """An ordered pass composition with per-pass instrumentation."""
+
+    def __init__(self, name: str,
+                 passes: Sequence[Union[str, FlowPass]]) -> None:
+        self.name = name
+        self.passes: List[FlowPass] = [
+            p if isinstance(p, FlowPass) else get_pass(p) for p in passes]
+        self.validate()
+
+    def validate(self) -> None:
+        """Check that every pass's inputs are produced upstream.
+
+        ``source``/``region``/``cache`` arrive with the context, so only
+        artifacts some pass *provides* are checked for ordering.
+        """
+        produced = {"source", "region", "cache"}
+        all_provided = {a for p in self.passes for a in p.provides}
+        for p in self.passes:
+            for need in p.requires:
+                if need in all_provided and need not in produced:
+                    raise ValueError(
+                        f"flow {self.name!r}: pass {p.name!r} needs "
+                        f"{need!r} before any pass provides it")
+            produced.update(p.provides)
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        """Execute the passes in order; stops at the first error."""
+        for p in self.passes:
+            start = time.perf_counter()
+            outcome = p.run(ctx)
+            elapsed = time.perf_counter() - start
+            ctx.timings.append(
+                PassTiming(p.name, elapsed, cached=outcome == "cached"))
+            if ctx.failed:
+                break
+        return ctx
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Flow({self.name}: {' -> '.join(p.name for p in self.passes)})"
+
+
+#: every registered flow, by name.
+FLOW_REGISTRY: Dict[str, Flow] = {}
+
+
+def register_flow(flow: Flow) -> Flow:
+    """Register (or replace) a named flow."""
+    FLOW_REGISTRY[flow.name] = flow
+    return flow
+
+
+def get_flow(name: str) -> Flow:
+    """Look up a registered flow; raises ``KeyError`` with choices."""
+    try:
+        return FLOW_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown flow {name!r}; "
+                       f"choose from {sorted(FLOW_REGISTRY)}") from None
+
+
+register_flow(Flow("schedule", ["frontend", "optimize", "schedule"]))
+register_flow(Flow("pipeline", ["frontend", "optimize", "schedule", "fold"]))
+register_flow(Flow("verilog",
+                   ["frontend", "optimize", "schedule", "fold", "verilog"]))
+register_flow(Flow("sweep", ["frontend", "optimize", "schedule", "power"]))
+
+
+def run_flow(name: str, **context_kwargs) -> CompilationContext:
+    """Build a context from keyword arguments and run a named flow.
+
+    ``options=None`` is accepted and replaced by defaults so shims can
+    forward their optional parameter unconditionally.
+    """
+    if context_kwargs.get("options") is None:
+        context_kwargs.pop("options", None)
+    ctx = CompilationContext(**context_kwargs)
+    return get_flow(name).run(ctx)

@@ -1,6 +1,14 @@
 """Workload designs: the paper's example, real kernels and the synthetic
-industrial-design generator used for the evaluation section."""
+industrial-design generator used for the evaluation section.
 
+:data:`WORKLOAD_REGISTRY` is the single catalog of addressable kernels;
+the CLI, flows and benchmarks resolve names through it, and
+:func:`register_workload` lets downstream code add entries.
+"""
+
+from typing import Callable, Dict
+
+from repro.cdfg.region import Region
 from repro.workloads.conv2d import build_conv3x3
 from repro.workloads.example1 import build_example1
 from repro.workloads.fft import build_fft8, build_fft_stage
@@ -16,8 +24,45 @@ from repro.workloads.synthetic import (
     timing_critical_suite,
 )
 
+def build_synthetic() -> Region:
+    """A deterministic mid-size synthetic industrial design."""
+    return generate_design(SyntheticSpec(name="synthetic", seed=2011,
+                                         n_ops=40))
+
+
+#: workloads addressable by name from the CLI, flows and sweeps.
+WORKLOAD_REGISTRY: Dict[str, Callable[[], Region]] = {
+    "example1": build_example1,
+    "idct8": build_idct8,
+    "idct2d": build_idct2d,
+    "fir": build_fir,
+    "fft_stage": build_fft_stage,
+    "fft8": build_fft8,
+    "conv3x3": build_conv3x3,
+    "matmul": build_dot_product,
+    "sobel": build_sobel,
+    "synthetic": build_synthetic,
+}
+
+
+def register_workload(name: str,
+                      factory: Callable[[], Region]) -> None:
+    """Add (or replace) a named workload in the registry."""
+    WORKLOAD_REGISTRY[name] = factory
+
+
+def get_workload(name: str) -> Callable[[], Region]:
+    """Resolve a workload factory; raises ``KeyError`` with choices."""
+    try:
+        return WORKLOAD_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"choose from {sorted(WORKLOAD_REGISTRY)}") from None
+
+
 __all__ = [
     "SyntheticSpec",
+    "WORKLOAD_REGISTRY",
     "build_conv3x3",
     "build_dot_product",
     "build_example1",
@@ -27,9 +72,12 @@ __all__ = [
     "build_idct2d",
     "build_idct8",
     "build_sobel",
+    "build_synthetic",
     "build_timing_critical",
     "generate_design",
+    "get_workload",
     "industrial_suite",
+    "register_workload",
     "reference_dot_product",
     "reference_fir",
     "reference_sobel",

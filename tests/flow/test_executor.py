@@ -1,0 +1,91 @@
+"""The parallel sweep executor: determinism, infeasible records, shims."""
+
+from repro.explore import (
+    InfeasiblePoint,
+    Microarch,
+    sweep_microarchitectures,
+    synthesize_point,
+)
+from repro.flow import FlowCache, run_sweep
+from repro.workloads import build_example1
+from repro.workloads.fir import build_fir
+
+MICROS = (Microarch("NP-3", 3), Microarch("NP-4", 4),
+          Microarch("P-4", 4, ii=2))
+CLOCKS = (1600.0, 2400.0)
+
+
+def test_parallel_equals_serial_on_example1(lib):
+    serial = run_sweep(build_example1, lib, MICROS, CLOCKS, jobs=1)
+    parallel = run_sweep(build_example1, lib, MICROS, CLOCKS, jobs=4)
+    # byte-identical design points, in identical (deterministic) order
+    assert serial.points == parallel.points
+    assert serial.infeasible == parallel.infeasible
+    assert repr(serial.points) == repr(parallel.points)
+
+
+def test_infeasible_points_are_recorded(lib):
+    micros = (Microarch("NP-1", 1), Microarch("NP-3", 3))
+    result = run_sweep(build_fir, lib, micros, (1600.0,))
+    assert result.total == 2
+    assert len(result.infeasible) == 1
+    (bad,) = result.infeasible
+    assert bad.microarch == "NP-1"
+    assert bad.clock_ps == 1600.0
+    assert bad.reason  # the scheduler's explanation is preserved
+    assert len(result.points) == 1
+
+
+def test_sweep_result_summary_roundtrips_to_json(lib):
+    import json
+
+    result = run_sweep(build_example1, lib, MICROS, CLOCKS)
+    record = json.loads(json.dumps(result.summary()))
+    assert record["feasible"] == len(result.points)
+    assert record["infeasible"] == len(result.infeasible)
+    assert len(record["points"]) == record["feasible"]
+
+
+def test_cached_resweep_hits_for_every_point(lib):
+    cache = FlowCache()
+    first = run_sweep(build_example1, lib, MICROS, CLOCKS, cache=cache)
+    second = run_sweep(build_example1, lib, MICROS, CLOCKS, cache=cache)
+    assert first.points == second.points
+    assert second.cache_misses == 0
+    # schedule + power per feasible point; schedule miss per infeasible
+    assert second.cache_hits == 2 * len(second.points)
+
+
+def test_parallel_sweep_with_shared_cache(lib):
+    cache = FlowCache()
+    warm = run_sweep(build_example1, lib, MICROS, CLOCKS, cache=cache)
+    parallel = run_sweep(build_example1, lib, MICROS, CLOCKS, jobs=3,
+                         cache=cache)
+    assert parallel.points == warm.points
+
+
+# ----------------------------------------------------------------------
+# legacy shims
+# ----------------------------------------------------------------------
+def test_sweep_microarchitectures_shim_collects_infeasible(lib):
+    micros = (Microarch("NP-1", 1), Microarch("NP-3", 3))
+    dropped = []
+    points = sweep_microarchitectures(build_fir, lib, micros, (1600.0,),
+                                      infeasible=dropped)
+    assert len(points) == 1
+    assert len(dropped) == 1
+    assert isinstance(dropped[0], InfeasiblePoint)
+
+
+def test_sweep_microarchitectures_shim_parallel_jobs(lib):
+    serial = sweep_microarchitectures(build_example1, lib, MICROS, CLOCKS)
+    threaded = sweep_microarchitectures(build_example1, lib, MICROS,
+                                        CLOCKS, jobs=2)
+    assert serial == threaded
+
+
+def test_synthesize_point_shim_none_on_infeasible(lib):
+    assert synthesize_point(build_fir, lib, Microarch("NP-1", 1),
+                            400.0) is None
+    point = synthesize_point(build_fir, lib, Microarch("NP-4", 4), 1600.0)
+    assert point is not None and point.latency == 4

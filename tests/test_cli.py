@@ -68,6 +68,30 @@ def test_sweep(capsys):
     assert "NP3" in out and "P4/2" in out
 
 
+def test_sweep_reports_infeasible_count(capsys):
+    assert main(["sweep", "fir", "--clocks", "1600",
+                 "--latencies", "1,3"]) == 0
+    out = capsys.readouterr().out
+    assert "1 of 2 configurations feasible" in out
+    assert "infeasible: NP1" in out
+
+
+def test_sweep_json_and_jobs(capsys):
+    assert main(["sweep", "fir", "--clocks", "1600,2400",
+                 "--latencies", "3,4:2", "--jobs", "2", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["feasible"] == len(data["points"]) == 4
+    assert data["infeasible"] == 0
+    assert {p["microarch"] for p in data["points"]} == {"NP3", "P4/2"}
+
+
+def test_workloads_command_lists_registry(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("example1", "idct8", "matmul", "sobel", "synthetic"):
+        assert name in out
+
+
 def test_unknown_workload():
     with pytest.raises(SystemExit):
         main(["sweep", "nonexistent"])

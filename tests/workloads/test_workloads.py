@@ -149,3 +149,44 @@ class TestSynthetic:
         for name, region, clock, ii in suite:
             assert region.dfg.sccs(), f"{name} must have an SCC"
             assert clock > 0 and ii >= 1
+
+
+class TestWorkloadRegistry:
+    """The shared catalog the CLI and flows resolve kernels through."""
+
+    def test_every_entry_builds_a_valid_region(self):
+        from repro.workloads import WORKLOAD_REGISTRY
+
+        assert len(WORKLOAD_REGISTRY) >= 10
+        for name, factory in WORKLOAD_REGISTRY.items():
+            region = factory()
+            region.validate()
+            assert region.is_loop, name
+
+    def test_new_kernels_are_addressable(self):
+        from repro.workloads import WORKLOAD_REGISTRY
+
+        for name in ("matmul", "sobel", "synthetic"):
+            assert name in WORKLOAD_REGISTRY
+
+    def test_get_workload_error_lists_choices(self):
+        import pytest
+
+        from repro.workloads import get_workload
+
+        with pytest.raises(KeyError, match="choose from"):
+            get_workload("bogus")
+        assert get_workload("example1")().name == "example1"
+
+    def test_register_workload(self):
+        from repro.workloads import (
+            WORKLOAD_REGISTRY,
+            build_example1,
+            register_workload,
+        )
+
+        register_workload("alias1", build_example1)
+        try:
+            assert WORKLOAD_REGISTRY["alias1"]().name == "example1"
+        finally:
+            del WORKLOAD_REGISTRY["alias1"]
