@@ -131,6 +131,14 @@ class RestraintLog:
                     merged[key].fresh_instance_fails and r.fresh_instance_fails)
                 merged[key].fits_fresh_state = (
                     merged[key].fits_fresh_state or r.fits_fresh_state)
+                # keep the most favorable arrival: the relaxation engine
+                # probes whether a fresh resource could fit *somewhere*,
+                # and a later state with registered inputs is exactly
+                # that somewhere (keeping the first -- often chained --
+                # arrival made add_resource look futile and sent the
+                # driver into an add-state death spiral)
+                merged[key].input_arrival_ps = min(
+                    merged[key].input_arrival_ps, r.input_arrival_ps)
             else:
                 r.weight = base
                 merged[key] = r

@@ -13,7 +13,7 @@ from repro.core.registers import RegisterFile, allocate_registers
 from repro.core.scc import SCCWindow, check_carried_dependencies
 from repro.tech.library import Library
 from repro.tech.resources import ResourcePool
-from repro.timing.netlist import BoundOp, DatapathNetlist
+from repro.timing.engine import BoundOp, TimingEngine
 from repro.timing.sta import TimingReport, verify_timing
 
 
@@ -23,6 +23,20 @@ class ScheduleError(RuntimeError):
     def __init__(self, message: str, diagnostics: Optional[List[str]] = None):
         super().__init__(message)
         self.diagnostics = diagnostics or []
+
+    #: diagnostics rendered by ``str()`` before eliding the rest.
+    MAX_SHOWN = 12
+
+    def __str__(self) -> str:
+        head = super().__str__()
+        if not self.diagnostics:
+            return head
+        shown = self.diagnostics[:self.MAX_SHOWN]
+        text = head + "".join(f"\n  - {line}" for line in shown)
+        hidden = len(self.diagnostics) - len(shown)
+        if hidden:
+            text += f"\n  ... (+{hidden} more)"
+        return text
 
 
 @dataclass
@@ -62,7 +76,7 @@ class Schedule:
     pipeline: Optional[PipelineSpec]
     bindings: Dict[int, BoundOp]
     pool: ResourcePool
-    netlist: DatapathNetlist
+    netlist: TimingEngine
     scc_windows: List[SCCWindow] = field(default_factory=list)
     passes: int = 1
     actions_taken: List[str] = field(default_factory=list)
@@ -112,7 +126,7 @@ class Schedule:
         regs = self.register_file()
         sharing = 0.0
         for (inst_name, _port), sources in sorted(
-                self.netlist._port_sources.items()):
+                self.netlist.port_sources().items()):
             if len(sources) < 2:
                 continue
             inst = next(i for i in self.pool.instances

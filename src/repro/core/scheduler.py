@@ -36,7 +36,11 @@ from repro.core.schedule import Schedule, ScheduleError
 from repro.tech.library import Library
 from repro.tech.resources import ResourceInstance, ResourcePool
 from repro.timing.cycles import CombCycleGuard
-from repro.timing.netlist import CandidateTiming, DatapathNetlist
+from repro.timing.engine import (
+    CandidateTiming,
+    TimingEngine,
+    registered_path_ps,
+)
 
 
 @dataclass
@@ -68,7 +72,7 @@ class PassOutcome:
     """Everything a single scheduling pass produced."""
 
     success: bool
-    netlist: DatapathNetlist
+    netlist: TimingEngine
     pool: ResourcePool
     windows: List[SCCWindow]
     mobility: Dict[int, Mobility]
@@ -115,7 +119,7 @@ class _Pass:
         self.pool = build_pool(allocation, library)
         for rtype in state.extra_types:
             self.pool.add(rtype)
-        self.netlist = DatapathNetlist(
+        self.netlist = TimingEngine(
             self.dfg, library, clock_ps,
             anticipate_muxes=options.anticipate_muxes)
         demand = {key: n for key, n in allocation.demand.items()}
@@ -369,18 +373,22 @@ class _Pass:
                     kind=RestraintKind.COMB_CYCLE, op_uid=op.uid, state=e,
                     type_key=type_key, inst_name=inst.name))
                 continue
-            # commit, then re-verify ops whose sharing mux this binding grows
-            affected = self.netlist.affected_by_port_growth(op, inst)
-            self.netlist.commit(op, inst, e, timing)
-            broken = next((b for b in affected
-                           if not self.netlist.recheck(b).ok), None)
+            # the commit re-times every binding the new sharing mux (or
+            # chain) disturbs; roll back if a neighbour's path breaks
+            result = self.netlist.commit(op, inst, e, timing)
+            broken = result.broken(self.clock_ps)
             if broken is not None:
-                self.netlist.uncommit(op)
+                # probe the broken op's own arrival before rolling back,
+                # while the mux growth that broke it is still in place
+                broken_slack = self.netlist.slack_of(broken)
+                broken_arrival = self.netlist.worst_input_arrival(
+                    broken.op, broken.state)
+                self.netlist.rollback(result)
                 restraints.append(Restraint(
                     kind=RestraintKind.NEG_SLACK, op_uid=broken.op.uid,
                     state=broken.state, type_key=type_key,
-                    slack_ps=self.netlist.recheck(broken).slack_ps,
-                    input_arrival_ps=arrival_probe))
+                    slack_ps=broken_slack,
+                    input_arrival_ps=broken_arrival))
                 continue
             inst.occupy(op, needed)
             self.guard.commit(chain)
@@ -437,9 +445,7 @@ class _Pass:
         if not families:
             return False
         rtype = lib.resource_type(families[0], op.resource_width)
-        path = (lib.ff.clk_to_q_ps + lib.mux.delay2_ps + rtype.delay_ps
-                + lib.mux.delay2_ps + lib.ff.setup_ps)
-        if path <= self.clock_ps:
+        if registered_path_ps(lib, rtype) <= self.clock_ps:
             return True
         return rtype.multicycle_ok and self.options.allow_multicycle
 

@@ -28,6 +28,7 @@ from typing import Dict, Optional, Tuple
 from repro.cdfg.region import PipelineSpec, Region
 from repro.core.scheduler import SchedulerOptions
 from repro.tech.library import Library
+from repro.timing import engine as timing_engine
 
 
 def region_fingerprint(region: Region) -> str:
@@ -75,8 +76,13 @@ def compilation_key(
     options: Optional[SchedulerOptions] = None,
     pipeline: Optional[PipelineSpec] = None,
 ) -> str:
-    """The cache key of one compilation configuration."""
+    """The cache key of one compilation configuration.
+
+    The timing-model version is part of the key: artifacts scheduled
+    under an older delay model must be recomputed, not served.
+    """
     payload = {
+        "timing_model": timing_engine.TIMING_MODEL_VERSION,
         "region": region_fingerprint(region),
         "library": library.name,
         "clock_ps": repr(float(clock_ps)),

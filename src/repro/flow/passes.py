@@ -163,9 +163,11 @@ def schedule_pass(ctx: CompilationContext) -> Optional[str]:
             ctx.region, ctx.library, ctx.clock_ps,
             pipeline=ctx.pipeline, options=ctx.options)
     except ScheduleError as exc:
-        ctx.error("schedule", str(exc), tuple(exc.diagnostics))
+        # args[0] is the bare message; str(exc) would repeat the
+        # diagnostics that go into the structured details
+        ctx.error("schedule", str(exc.args[0]), tuple(exc.diagnostics))
         _store(ctx, "schedule",
-               _Infeasible(str(exc), tuple(exc.diagnostics)))
+               _Infeasible(str(exc.args[0]), tuple(exc.diagnostics)))
         return None
     _store(ctx, "schedule", ctx.schedule)
     return None

@@ -3,10 +3,11 @@
 The paper's Table 4 experiment disables the timing-driven SCC move and
 measures how much *area* downstream logic synthesis must spend to buy the
 resulting negative slack back.  This module is that downstream step: it
-re-times the bound netlist, walks the critical path of every failing
-endpoint and upsizes the dominant resource to the next speed grade until
-timing closes (or the grade ladder is exhausted), reporting the area
-penalty.
+re-times the bound netlist (through the unified timing engine's
+whole-netlist recomputation -- regrading changes delays under fixed
+bindings), walks the critical path of every failing endpoint and
+upsizes the dominant resource to the next speed grade until timing
+closes (or the grade ladder is exhausted), reporting the area penalty.
 """
 
 from __future__ import annotations

@@ -28,6 +28,7 @@ class ResourceInstance:
         #: stable identity independent of speed grade, so post-schedule
         #: regrading (slack compensation) does not invalidate netlist keys.
         self._base_name = f"{rtype.family}_{rtype.width}"
+        self._name = f"{self._base_name}#{index}"
         #: per-state occupancy: state -> list of (operation, predicate).
         #: Several operations may legally share a state when their
         #: predicates are mutually exclusive.
@@ -36,7 +37,7 @@ class ResourceInstance:
     @property
     def name(self) -> str:
         """Stable instance name used in reports (``mul_32#0``)."""
-        return f"{self._base_name}#{self.index}"
+        return self._name
 
     def occupants(self, state: int) -> List[Operation]:
         """Operations occupying this instance at a state."""

@@ -1,9 +1,18 @@
-"""Timing substrate: the incrementally built datapath netlist, candidate
-binding evaluation, false combinational cycle avoidance and from-scratch
-timing verification."""
+"""Timing substrate: the unified incremental timing engine (candidate
+evaluation, committed-arrival maintenance, sign-off audit), false
+combinational cycle avoidance and timing-report generation."""
 
 from repro.timing.cycles import CombCycleGuard
-from repro.timing.netlist import BoundOp, CandidateTiming, DatapathNetlist
+from repro.timing.engine import (
+    TIMING_MODEL_VERSION,
+    BoundOp,
+    CandidateTiming,
+    CommitResult,
+    TimingEngine,
+    registered_path_ps,
+)
+from repro.timing.netlist import DatapathNetlist
+from repro.timing.retime import retime
 from repro.timing.sta import (
     PathPoint,
     TimingReport,
@@ -13,13 +22,18 @@ from repro.timing.sta import (
 )
 
 __all__ = [
+    "TIMING_MODEL_VERSION",
     "BoundOp",
     "CandidateTiming",
     "CombCycleGuard",
+    "CommitResult",
     "DatapathNetlist",
     "PathPoint",
+    "TimingEngine",
     "TimingReport",
     "chained_instances_on_path",
+    "registered_path_ps",
+    "retime",
     "trace_critical_path",
     "verify_timing",
 ]

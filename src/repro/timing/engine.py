@@ -1,0 +1,734 @@
+"""The incremental timing engine: the single source of truth for path delay.
+
+Every consumer of datapath timing -- scheduler candidate admission,
+``Schedule.validate``/``timing_report``, sign-off STA, post-schedule
+retiming and negative-slack compensation -- routes through this module,
+so a binding admitted during scheduling carries exactly the slack the
+final sign-off recomputes.  The delay model is the paper's (section
+IV.B)::
+
+    FF clk->q + [input sharing mux] + resource delay (chained)
+              + [register sharing mux at the FF input] + FF setup
+
+which reproduces the worked examples: 1230 ps for a registered multiply,
+1580 ps for a mul+add chain, 1800 ps (slack -200 at Tclk 1600) once a
+comparison is chained on top.
+
+Two properties distinguish the engine from a pair of hand-maintained
+delay models (the historical design this module replaced):
+
+* **Arrivals are kept current.**  Committing a binding re-propagates
+  arrival times through a dirty set: any committed operation whose
+  sharing-mux fanin the new binding grows -- including the 1 -> 2 mux
+  birth that the old admission check missed -- and any committed
+  same-state consumer the new producer now chains into, is re-timed in
+  topological order, and the refreshed numbers are written back into its
+  :class:`BoundOp`.  The scheduler inspects the returned
+  :class:`CommitResult` and rolls back bindings that push a neighbour's
+  path past its budget, so negative-slack chains can never survive to
+  sign-off.  Uncommitting re-propagates the same way, shrinking muxes
+  back.
+* **Hot lookups are memoized.**  Source resolution through free wiring
+  ops, per-operation input-edge tuples, mux-tree delays and
+  fastest-grade probes are all cached; candidate evaluation is the
+  innermost loop of every scheduling pass, and these queries dominate
+  its profile.
+
+Sharing muxes are *anticipatory*: an input mux is modeled as soon as
+more compatible operations exist than allocated instances, even before
+a second operation actually shares the port ("resource mul is
+instantiated with muxes at its inputs; this improves timing estimation
+when resources are shared", section IV.B).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cdfg.dfg import DFG
+from repro.cdfg.ops import Operation, OpKind
+from repro.tech.library import Library, ResourceType
+from repro.tech.resources import ResourceInstance
+
+#: Version of the delay model implemented by this module.  Participates
+#: in the :mod:`repro.flow.cache` compilation fingerprint so cached
+#: schedules computed under an older model are invalidated, not reused.
+TIMING_MODEL_VERSION = 2
+
+#: Slack comparisons tolerance (ps).
+EPS = 1e-9
+
+_FREE_KINDS = (OpKind.SLICE, OpKind.ZEXT, OpKind.SEXT, OpKind.MOVE)
+
+
+@dataclass(frozen=True)
+class CandidateTiming:
+    """Outcome of evaluating one candidate binding."""
+
+    ok: bool
+    out_arrival_ps: float
+    capture_ps: float
+    slack_ps: float
+    cycles: int = 1
+    reason: str = ""
+
+
+@dataclass
+class BoundOp:
+    """A committed binding of an operation.
+
+    ``out_arrival_ps``/``capture_ps`` are maintained by the engine's
+    incremental re-propagation: they always reflect the *current*
+    netlist, not the netlist at admission time.  ``waived`` marks
+    bindings accepted despite a timing violation (the
+    ``accept_negative_slack`` ablation); re-propagation never reports
+    them as newly broken.
+    """
+
+    op: Operation
+    inst: Optional[ResourceInstance]  # None for free/IO/stall operations
+    state: int
+    cycles: int
+    out_arrival_ps: float
+    capture_ps: float
+    waived: bool = False
+
+    @property
+    def end_state(self) -> int:
+        """Last state occupied (multi-cycle operations span several)."""
+        return self.state + self.cycles - 1
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """What a :meth:`TimingEngine.commit` changed.
+
+    ``bound`` is the new binding; ``undo_timing`` records every *other*
+    committed binding whose arrival the commit altered (sharing-mux
+    growth or new combinational chaining, already updated in place)
+    together with its previous numbers, and ``undo_sources`` the port
+    sources added -- exactly what :meth:`TimingEngine.rollback` reverts
+    to reject the commit in O(changed) instead of rebuilding the
+    instance's sharing state.
+    """
+
+    bound: BoundOp
+    #: (port-source key, root) pairs this commit added.
+    undo_sources: Tuple[Tuple[Tuple[str, int], int], ...] = ()
+    #: (binding, previous out arrival, previous capture) per re-timed op.
+    undo_timing: Tuple[Tuple[BoundOp, float, float], ...] = ()
+
+    @property
+    def retimed(self) -> Tuple[BoundOp, ...]:
+        """The other committed bindings this commit re-timed."""
+        return tuple(b for b, _out, _capture in self.undo_timing)
+
+    def broken(self, clock_ps: float) -> Optional[BoundOp]:
+        """The worst re-timed binding pushed past its budget, if any."""
+        worst: Optional[BoundOp] = None
+        worst_slack = -EPS
+        for b, _out, _capture in self.undo_timing:
+            if b.waived:
+                continue
+            slack = b.cycles * clock_ps - b.capture_ps
+            if slack < worst_slack:
+                worst, worst_slack = b, slack
+        return worst
+
+
+def registered_path_ps(library: Library, rtype: ResourceType) -> float:
+    """The canonical registered-to-registered path through one resource.
+
+    clk->q + input sharing mux + resource + register sharing mux + setup;
+    the feasibility probe used by mobility analysis and the scheduler's
+    fresh-state check.
+    """
+    return (library.ff.clk_to_q_ps + library.mux.delay2_ps + rtype.delay_ps
+            + library.mux.delay2_ps + library.ff.setup_ps)
+
+
+class TimingEngine:
+    """The incrementally maintained datapath timing model for one pass.
+
+    Also importable as ``DatapathNetlist`` (its historical name) from
+    :mod:`repro.timing.netlist`.
+
+    Contract: every operation a binding is committed for must exist in
+    the DFG when the engine is constructed -- the chaining-fanout and
+    topological-order caches that drive re-propagation are built once.
+    The lazy structure fallbacks (:meth:`resolve_source`, the flattened
+    input info) only serve read-only queries on ops added later, e.g.
+    RTL emission resolving sources against a finished schedule.
+    """
+
+    def __init__(self, dfg: DFG, library: Library, clock_ps: float,
+                 anticipate_muxes: bool = True) -> None:
+        self.dfg = dfg
+        self.library = library
+        self.clock_ps = clock_ps
+        self.anticipate_muxes = anticipate_muxes
+        self._bound: Dict[int, BoundOp] = {}
+        #: sources per (instance name, port): set of root value uids.
+        self._port_sources: Dict[Tuple[str, int], Set[int]] = {}
+        #: how many compatible operations exist per (family, width bucket),
+        #: set by the scheduler so anticipation can compare demand with
+        #: the allocated instance count.
+        self._type_demand: Dict[Tuple[str, int], int] = {}
+        self._type_count: Dict[Tuple[str, int], int] = {}
+        # -- memoized structure ----------------------------------------
+        self._ff_clk_q = library.ff.clk_to_q_ps
+        self._ff_setup = library.ff.setup_ps
+        self._mux2 = library.mux.delay2_ps
+        self._mux_delay: Dict[int, float] = {}
+        self._resolved: Dict[int, int] = {}
+        #: per-op flattened inputs: (port, root uid, static arrival) tuples.
+        self._in_info: Dict[int, Tuple[Tuple[int, int, Optional[float]], ...]] = {}
+        self._fresh: Dict[Tuple[OpKind, int], Optional[ResourceType]] = {}
+        #: per-op (is_mux, capture overhead) -- both static per operation.
+        self._op_flags: Dict[int, Tuple[bool, float]] = {}
+        #: per-instance-name anticipation verdict (cleared when the
+        #: sharing outlook changes).
+        self._ant_cache: Dict[str, bool] = {}
+        #: committed non-mux op uids hosted per instance name.
+        self._inst_ops: Dict[str, Set[int]] = {}
+        self._topo_index: Optional[Dict[int, int]] = None
+        #: static chaining fanout: root uid -> uids that read it at distance 0.
+        self._chain_consumers: Dict[int, Tuple[int, ...]] = {}
+        self._build_structure()
+
+    # ------------------------------------------------------------------
+    # static structure caches
+    # ------------------------------------------------------------------
+    def _build_structure(self) -> None:
+        dfg = self.dfg
+        consumers: Dict[int, List[int]] = {}
+        for op in dfg.ops:
+            self._in_info[op.uid] = self._flatten_edges(op.uid)
+            for edge in dfg.in_edges(op.uid):
+                if edge.distance == 0:
+                    consumers.setdefault(
+                        self.resolve_source(edge.src), []).append(op.uid)
+        self._chain_consumers = {root: tuple(uids)
+                                 for root, uids in consumers.items()}
+        for op in dfg.ops:
+            self._op_flags[op.uid] = (op.is_mux, self._capture_overhead(op))
+
+    def _flatten_edges(self, uid: int) -> Tuple[Tuple[int, int, Optional[float]], ...]:
+        """(port, root, static arrival) per input edge, in port order.
+
+        The static arrival is pre-resolved for values whose launch never
+        depends on scheduling state: constants contribute 0, and carried
+        values and port reads always launch registered at FF clk->q.
+        ``None`` marks a dynamic input that must consult the producer's
+        committed binding at query time.
+        """
+        info: List[Tuple[int, int, Optional[float]]] = []
+        for edge in self.dfg.in_edges(uid):
+            root = self.resolve_source(edge.src)
+            producer = self.dfg.op(root)
+            static: Optional[float]
+            if producer.kind is OpKind.CONST:
+                static = 0.0
+            elif edge.distance >= 1 or producer.kind is OpKind.READ:
+                static = self._ff_clk_q
+            else:
+                static = None
+            info.append((edge.port, root, static))
+        return tuple(info)
+
+    def _info(self, uid: int) -> Tuple[Tuple[int, int, Optional[float]], ...]:
+        info = self._in_info.get(uid)
+        if info is None:  # op added after engine construction
+            info = self._in_info[uid] = self._flatten_edges(uid)
+        return info
+
+    def _topo(self) -> Dict[int, int]:
+        if self._topo_index is None:
+            self._topo_index = {op.uid: i for i, op in
+                                enumerate(self.dfg.topological_order())}
+        return self._topo_index
+
+    def _mux(self, fanin: int) -> float:
+        delay = self._mux_delay.get(fanin)
+        if delay is None:
+            delay = self.library.mux.delay(fanin)
+            self._mux_delay[fanin] = delay
+        return delay
+
+    def _fastest(self, kind: OpKind, width: int) -> Optional[ResourceType]:
+        key = (kind, width)
+        if key not in self._fresh:
+            try:
+                self._fresh[key] = self.library.fastest(kind, width)
+            except KeyError:
+                self._fresh[key] = None
+        return self._fresh[key]
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def set_sharing_outlook(self, demand: Dict[Tuple[str, int], int],
+                            counts: Dict[Tuple[str, int], int]) -> None:
+        """Provide op demand vs instance counts for mux anticipation."""
+        self._type_demand = dict(demand)
+        self._type_count = dict(counts)
+        self._ant_cache.clear()
+
+    # ------------------------------------------------------------------
+    # value resolution
+    # ------------------------------------------------------------------
+    def resolve_source(self, uid: int) -> int:
+        """Follow free wiring ops (slice/zext/move) back to the real producer."""
+        root = self._resolved.get(uid)
+        if root is None:  # op added after engine construction
+            cur = self.dfg.op(uid)
+            while cur.kind in _FREE_KINDS:
+                edge = self.dfg.in_edge(cur.uid, 0)
+                if edge is None:
+                    break
+                cur = self.dfg.op(edge.src)
+            root = self._resolved[uid] = cur.uid
+        return root
+
+    def binding(self, uid: int) -> Optional[BoundOp]:
+        """The committed binding of an operation, if any."""
+        return self._bound.get(uid)
+
+    @property
+    def bindings(self) -> Dict[int, BoundOp]:
+        """All committed bindings keyed by op uid."""
+        return dict(self._bound)
+
+    def port_sources(self) -> Dict[Tuple[str, int], Set[int]]:
+        """Sources per (instance name, port); sharing muxes live where
+        a port has two or more."""
+        return {key: set(sources)
+                for key, sources in self._port_sources.items()}
+
+    # ------------------------------------------------------------------
+    # arrival computation
+    # ------------------------------------------------------------------
+    def _arrival(self, root: int, static_arr: Optional[float],
+                 state: int) -> float:
+        """Arrival of one flattened input at ``state``.
+
+        Registered values (previous state, previous iteration, port reads)
+        launch at FF clk->q; values produced in the same state chain
+        combinationally at the producer's output arrival.  Unbound
+        producers count as registered (ASAP-style optimistic query); the
+        scheduler never relies on that case.
+        """
+        if static_arr is not None:
+            return static_arr
+        bound = self._bound.get(root)
+        if bound is None or bound.cycles > 1 or bound.state != state:
+            return self._ff_clk_q
+        return bound.out_arrival_ps  # combinational chaining
+
+    def _anticipated(self, inst: ResourceInstance) -> bool:
+        """Whether sharing (hence input muxes) is expected on ``inst``."""
+        flag = self._ant_cache.get(inst.name)
+        if flag is None:
+            if not self.anticipate_muxes:
+                flag = False
+            else:
+                key = (inst.rtype.family, inst.rtype.width)
+                flag = (self._type_demand.get(key, 0)
+                        > self._type_count.get(key, 1))
+            self._ant_cache[inst.name] = flag
+        return flag
+
+    def port_fanin(self, inst: ResourceInstance, port: int,
+                   extra_source: Optional[int] = None) -> int:
+        """Number of distinct sources at an instance input port."""
+        sources = self._port_sources.get((inst.name, port))
+        if sources is None:
+            return 0 if extra_source is None else 1
+        if extra_source is not None and extra_source not in sources:
+            return len(sources) + 1
+        return len(sources)
+
+    def _port_mux_delay(self, inst: ResourceInstance, fanin: int) -> float:
+        """Sharing-mux delay for a port at ``fanin`` distinct sources."""
+        if self._anticipated(inst) and fanin < 2:
+            fanin = 2
+        return self._mux(fanin)
+
+    def _resource_delay(self, op: Operation,
+                        inst: Optional[ResourceInstance]) -> float:
+        """Combinational delay contributed by the operation itself."""
+        if op.is_mux:  # MUX and LOOPMUX are 2-input steering muxes
+            return self._mux2
+        if inst is None:
+            return 0.0  # free wiring, I/O capture, stall markers
+        return inst.rtype.delay_ps
+
+    def _capture_overhead(self, op: Operation) -> float:
+        """Delay from the op output to the capturing FF's D pin.
+
+        Register sharing is anticipated with a 2-input mux, except after
+        MUX/LOOPMUX operations (they are the final select already) and
+        for port writes (output ports are not shared).
+        """
+        if op.is_mux or op.kind is OpKind.WRITE or op.kind is OpKind.STALL:
+            return self._ff_setup
+        return self._mux2 + self._ff_setup
+
+    def _path(self, op: Operation, inst: Optional[ResourceInstance],
+              state: int) -> Tuple[float, float, bool]:
+        """(out arrival, capture, chained?) of ``op`` on ``inst`` at ``state``.
+
+        The innermost loop of every scheduling pass: candidate
+        evaluation, committed re-propagation and the sign-off audit all
+        land here, which is why the structure lookups are pre-flattened
+        and the loop body is inlined.
+        """
+        uid = op.uid
+        info = self._in_info.get(uid)
+        if info is None:
+            info = self._info(uid)
+        flags = self._op_flags.get(uid)
+        if flags is None:  # op added after engine construction
+            flags = self._op_flags[uid] = (op.is_mux,
+                                           self._capture_overhead(op))
+        is_mux, overhead = flags
+        clk_q = self._ff_clk_q
+        bound_map = self._bound
+        worst_in = clk_q if not info else 0.0
+        chained = False
+        if inst is not None and not is_mux:
+            iname = inst.name
+            psources = self._port_sources
+            anticipated = self._anticipated(inst)
+            mux_delays = self._mux_delay
+            for port, root, static_arr in info:
+                if static_arr is None:
+                    b = bound_map.get(root)
+                    if b is not None and b.state == state and b.cycles == 1:
+                        arr = b.out_arrival_ps
+                        if arr > clk_q:
+                            chained = True
+                    else:
+                        arr = clk_q
+                else:
+                    arr = static_arr
+                sources = psources.get((iname, port))
+                if sources is None:
+                    fanin = 1
+                elif root in sources:
+                    fanin = len(sources)
+                else:
+                    fanin = len(sources) + 1
+                if anticipated and fanin < 2:
+                    fanin = 2
+                if fanin > 1:
+                    delay = mux_delays.get(fanin)
+                    arr += delay if delay is not None else self._mux(fanin)
+                if arr > worst_in:
+                    worst_in = arr
+            out = worst_in + inst.rtype.delay_ps
+        else:
+            for _port, root, static_arr in info:
+                if static_arr is None:
+                    b = bound_map.get(root)
+                    if b is not None and b.state == state and b.cycles == 1:
+                        arr = b.out_arrival_ps
+                        if arr > clk_q:
+                            chained = True
+                    else:
+                        arr = clk_q
+                else:
+                    arr = static_arr
+                if arr > worst_in:
+                    worst_in = arr
+            out = worst_in + (self._mux2 if is_mux else 0.0)
+        return out, out + overhead, chained
+
+    # ------------------------------------------------------------------
+    # candidate evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, op: Operation, inst: Optional[ResourceInstance],
+                 state: int, allow_multicycle: bool = True) -> CandidateTiming:
+        """Timing of binding ``op`` to ``inst`` at ``state``.
+
+        Returns a failed :class:`CandidateTiming` (with the violation in
+        ``reason``) instead of raising, so the scheduler can try the next
+        resource and record restraints.
+        """
+        out, capture, chained = self._path(op, inst, state)
+        if capture <= self.clock_ps:
+            return CandidateTiming(True, out, capture, self.clock_ps - capture)
+        # try a multi-cycle binding: inputs must be registered
+        if (allow_multicycle and inst is not None
+                and inst.rtype.multicycle_ok and not chained):
+            cycles = math.ceil(capture / self.clock_ps)
+            budget = cycles * self.clock_ps
+            return CandidateTiming(
+                True, out, capture, budget - capture, cycles=cycles)
+        return CandidateTiming(
+            False, out, capture, self.clock_ps - capture,
+            reason=f"negative slack {self.clock_ps - capture:.0f}ps")
+
+    def worst_input_arrival(self, op: Operation, state: int) -> float:
+        """Worst raw input arrival (no sharing muxes) at a state.
+
+        Used by the relaxation engine to probe whether faster grades of a
+        fresh resource would rescue a failed binding.
+        """
+        worst = self._ff_clk_q
+        for _port, root, static_arr in self._info(op.uid):
+            arr = self._arrival(root, static_arr, state)
+            if arr > worst:
+                worst = arr
+        return worst
+
+    def evaluate_fresh(self, op: Operation, state: int) -> CandidateTiming:
+        """Timing on a hypothetical fresh instance of the fastest grade.
+
+        Optimistic (no sharing muxes on the fresh instance): when even
+        this fails, adding a resource cannot solve the restraint -- the
+        signal behind the paper's "adding one more multiplier does not
+        help because two multiplications cannot fit in the given clock
+        cycle" decision.
+        """
+        chained = False
+        worst_in = self._ff_clk_q
+        for _port, root, static_arr in self._info(op.uid):
+            arr = self._arrival(root, static_arr, state)
+            if arr > self._ff_clk_q:
+                chained = True
+            if arr > worst_in:
+                worst_in = arr
+        if op.is_mux or op.is_free or op.is_io or op.kind is OpKind.STALL:
+            delay = self._resource_delay(op, None)
+            multicycle_ok = False
+        else:
+            fastest = self._fastest(op.kind, op.resource_width)
+            if fastest is None:
+                return CandidateTiming(False, worst_in, worst_in, 0.0,
+                                       reason="no resource family")
+            delay = fastest.delay_ps
+            multicycle_ok = fastest.multicycle_ok
+        out = worst_in + delay
+        capture = out + self._capture_overhead(op)
+        if capture <= self.clock_ps:
+            return CandidateTiming(True, out, capture,
+                                   self.clock_ps - capture)
+        if multicycle_ok and not chained:
+            cycles = math.ceil(capture / self.clock_ps)
+            return CandidateTiming(True, out, capture,
+                                   cycles * self.clock_ps - capture,
+                                   cycles=cycles)
+        return CandidateTiming(False, out, capture,
+                               self.clock_ps - capture,
+                               reason="fresh instance fails")
+
+    # ------------------------------------------------------------------
+    # committed-binding queries
+    # ------------------------------------------------------------------
+    def audit(self, bound: BoundOp) -> CandidateTiming:
+        """Re-derive a committed binding's timing at its committed cycle
+        count; the sign-off primitive (STA, validate, retiming)."""
+        out, capture, _chained = self._path(bound.op, bound.inst, bound.state)
+        budget = bound.cycles * self.clock_ps
+        return CandidateTiming(capture <= budget + EPS, out, capture,
+                               budget - capture, cycles=bound.cycles)
+
+    def slack_of(self, bound: BoundOp) -> float:
+        """Current slack of a committed binding against its budget."""
+        return bound.cycles * self.clock_ps - bound.capture_ps
+
+    def worst_slack(self) -> float:
+        """Worst budget slack across all committed bindings."""
+        if not self._bound:
+            return self.clock_ps
+        return min(self.slack_of(b) for b in self._bound.values())
+
+    def affected_by_port_growth(
+            self, op: Operation, inst: ResourceInstance) -> List[BoundOp]:
+        """Already-bound ops on ``inst`` whose mux delay this binding grows.
+
+        A port gaining its second source births a sharing mux (unless
+        anticipation already charged it); beyond that, fanin growth slows
+        the select tree.  Either way every path through the instance
+        changes.  Kept as a query for tests and external callers; the
+        scheduler itself relies on :meth:`commit`'s re-propagation.
+        """
+        grown = False
+        for port, root, _static in self._info(op.uid):
+            before = self.port_fanin(inst, port)
+            after = self.port_fanin(inst, port, root)
+            if (after != before and self._port_mux_delay(inst, after)
+                    != self._port_mux_delay(inst, before)):
+                grown = True
+        if not grown:
+            return []
+        return [self._bound[o.uid] for o in inst.ops_bound()
+                if o.uid in self._bound]
+
+    # ------------------------------------------------------------------
+    # commit / rollback with incremental re-propagation
+    # ------------------------------------------------------------------
+    def commit(self, op: Operation, inst: Optional[ResourceInstance],
+               state: int, timing: CandidateTiming) -> CommitResult:
+        """Record an accepted binding and re-time everything it disturbs.
+
+        The returned :class:`CommitResult` lists the other committed
+        bindings whose stored arrivals changed; callers that must
+        guarantee timing check :meth:`CommitResult.broken` and
+        :meth:`uncommit` on violation.
+        """
+        bound = BoundOp(op, inst, state, timing.cycles,
+                        timing.out_arrival_ps, timing.capture_ps,
+                        waived=not timing.ok)
+        self._bound[op.uid] = bound
+        dirty: Set[int] = set()
+        added: List[Tuple[Tuple[str, int], int]] = []
+        if inst is not None and not op.is_mux:
+            iname = inst.name
+            hosted = self._inst_ops.setdefault(iname, set())
+            for port, root, _static in self._info(op.uid):
+                key = (iname, port)
+                sources = self._port_sources.setdefault(key, set())
+                if root in sources:
+                    continue
+                before = self._port_mux_delay(inst, len(sources))
+                sources.add(root)
+                added.append((key, root))
+                if self._port_mux_delay(inst, len(sources)) != before:
+                    dirty.update(hosted)
+            hosted.add(op.uid)
+        # a single-cycle producer now chains combinationally into any
+        # committed same-state consumer that previously assumed it
+        # registered
+        if (timing.cycles == 1 and op.kind is not OpKind.READ
+                and not op.is_io):
+            for cons in self._chain_consumers.get(op.uid, ()):
+                cb = self._bound.get(cons)
+                if cb is not None and cb.state == state:
+                    dirty.add(cons)
+        retimed = self._propagate(dirty)
+        return CommitResult(bound, tuple(added), tuple(retimed))
+
+    def rollback(self, result: CommitResult) -> None:
+        """Revert a commit in O(changed).
+
+        Only valid while ``result`` is the most recent commit (the
+        scheduler's reject-on-violation path); anything older must go
+        through :meth:`uncommit`.
+        """
+        bound = result.bound
+        self._bound.pop(bound.op.uid, None)
+        if bound.inst is not None:
+            hosted = self._inst_ops.get(bound.inst.name)
+            if hosted is not None:
+                hosted.discard(bound.op.uid)
+        for key, root in result.undo_sources:
+            sources = self._port_sources.get(key)
+            if sources is None:
+                continue
+            sources.discard(root)
+            if not sources:
+                del self._port_sources[key]
+        for other, out, capture in result.undo_timing:
+            other.out_arrival_ps = out
+            other.capture_ps = capture
+
+    def uncommit(self, op: Operation) -> List[BoundOp]:
+        """Remove a binding (pass restarts, backtracking) and re-time the
+        survivors it had disturbed."""
+        bound = self._bound.pop(op.uid, None)
+        if bound is None:
+            return []
+        dirty: Set[int] = set()
+        inst = bound.inst
+        if inst is not None and not op.is_mux:
+            hosted = self._inst_ops.get(inst.name)
+            if hosted is not None:
+                hosted.discard(op.uid)
+            # rebuild the instance's port source sets from survivors
+            stale = [k for k in self._port_sources if k[0] == inst.name]
+            before = {k: self._port_mux_delay(inst, len(self._port_sources[k]))
+                      for k in stale}
+            for key in stale:
+                del self._port_sources[key]
+            for other in self._bound.values():
+                if other.inst is not inst or other.op.is_mux:
+                    continue
+                for port, root, _static in self._info(other.op.uid):
+                    key = (inst.name, port)
+                    self._port_sources.setdefault(key, set()).add(root)
+            for key, old_delay in before.items():
+                now = self._port_mux_delay(
+                    inst, len(self._port_sources.get(key, ())))
+                if now != old_delay:
+                    dirty.update(u for u in self._inst_ops.get(inst.name, ())
+                                 if u != op.uid)
+        # consumers that chained on this producer fall back to registered
+        if bound.cycles == 1:
+            for cons in self._chain_consumers.get(op.uid, ()):
+                cb = self._bound.get(cons)
+                if cb is not None and cb.state == bound.state:
+                    dirty.add(cons)
+        return [b for b, _out, _cap in self._propagate(dirty)]
+
+    def _propagate(self, dirty: Set[int]) -> List[Tuple[BoundOp, float, float]]:
+        """Re-time dirty bindings in topological order, cascading arrival
+        changes through same-state combinational chains.
+
+        Returns each changed binding with its previous (out, capture)
+        so the caller can build an undo record.
+        """
+        if not dirty:
+            return []
+        topo = self._topo()
+        order = [(topo.get(u, 0), u) for u in dirty]
+        heapq.heapify(order)
+        seen: Set[int] = set(dirty)
+        retimed: List[Tuple[BoundOp, float, float]] = []
+        while order:
+            _idx, uid = heapq.heappop(order)
+            bound = self._bound.get(uid)
+            if bound is None:
+                continue
+            out, capture, _chained = self._path(bound.op, bound.inst,
+                                                bound.state)
+            if out == bound.out_arrival_ps and capture == bound.capture_ps:
+                continue
+            arrival_changed = out != bound.out_arrival_ps
+            retimed.append((bound, bound.out_arrival_ps, bound.capture_ps))
+            bound.out_arrival_ps = out
+            bound.capture_ps = capture
+            if not arrival_changed or bound.cycles > 1:
+                continue  # registered output: no chained downstream effect
+            if bound.op.kind is OpKind.READ or bound.op.is_io:
+                continue
+            for cons in self._chain_consumers.get(uid, ()):
+                if cons in seen:
+                    continue
+                cb = self._bound.get(cons)
+                if cb is not None and cb.state == bound.state:
+                    seen.add(cons)
+                    heapq.heappush(order, (topo.get(cons, 0), cons))
+        return retimed
+
+    # ------------------------------------------------------------------
+    # whole-netlist recomputation
+    # ------------------------------------------------------------------
+    def retime_all(self) -> None:
+        """Recompute and store arrivals for every binding, in place.
+
+        Used after post-schedule modifications that invalidate every
+        cached arrival at once (resource regrading during slack
+        compensation); incremental propagation handles everything else.
+        """
+        for op in self.dfg.topological_order():
+            bound = self._bound.get(op.uid)
+            if bound is None:
+                continue
+            out, capture, _chained = self._path(op, bound.inst, bound.state)
+            bound.out_arrival_ps = out
+            bound.capture_ps = capture

@@ -1,347 +1,19 @@
-"""Incremental datapath netlist with timing queries.
+"""Backward-compatible alias of the unified timing engine.
 
-The pass scheduler "builds a netlist for the part of the CDFG that has
-been scheduled so far, and performs timing queries on the netlist" (paper
-section IV.B.1).  This module is that netlist: it records accepted
-bindings, the sources feeding every resource-instance input port (to size
-sharing multiplexers), and cached arrival times, and it evaluates
-candidate bindings with the paper's delay model::
-
-    FF clk->q + [input sharing mux] + resource delay (chained)
-              + [register sharing mux at the FF input] + FF setup
-
-which reproduces the paper's worked examples: 1230 ps for a multiply,
-1580 ps for a mul+add chain, 1800 ps (slack -200 at Tclk 1600) once a
-comparison is chained on top.
-
-Sharing muxes are *anticipatory*: an input mux is modeled as soon as more
-compatible operations exist than allocated instances, even before a second
-operation actually shares the port ("resource mul is instantiated with
-muxes at its inputs; this improves timing estimation when resources are
-shared", section IV.B).
+The incremental datapath netlist and the sign-off STA used to carry two
+hand-maintained copies of the delay arithmetic; both now live in
+:mod:`repro.timing.engine`.  This module keeps the historical import
+path (``DatapathNetlist``) working for schedulers, baselines and tests.
 """
 
-from __future__ import annotations
+from repro.timing.engine import (
+    BoundOp,
+    CandidateTiming,
+    CommitResult,
+    TimingEngine,
+)
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+#: historical name of :class:`~repro.timing.engine.TimingEngine`.
+DatapathNetlist = TimingEngine
 
-from repro.cdfg.dfg import DFG
-from repro.cdfg.ops import Operation, OpKind
-from repro.tech.library import Library
-from repro.tech.resources import ResourceInstance
-
-
-@dataclass(frozen=True)
-class CandidateTiming:
-    """Outcome of evaluating one candidate binding."""
-
-    ok: bool
-    out_arrival_ps: float
-    capture_ps: float
-    slack_ps: float
-    cycles: int = 1
-    reason: str = ""
-
-
-@dataclass
-class BoundOp:
-    """A committed binding of an operation."""
-
-    op: Operation
-    inst: Optional[ResourceInstance]  # None for free/IO/stall operations
-    state: int
-    cycles: int
-    out_arrival_ps: float
-    capture_ps: float
-
-    @property
-    def end_state(self) -> int:
-        """Last state occupied (multi-cycle operations span several)."""
-        return self.state + self.cycles - 1
-
-
-class DatapathNetlist:
-    """The incrementally built datapath model for one scheduling pass."""
-
-    def __init__(self, dfg: DFG, library: Library, clock_ps: float,
-                 anticipate_muxes: bool = True) -> None:
-        self.dfg = dfg
-        self.library = library
-        self.clock_ps = clock_ps
-        self.anticipate_muxes = anticipate_muxes
-        self._bound: Dict[int, BoundOp] = {}
-        #: sources per (instance name, port): set of root value uids.
-        self._port_sources: Dict[Tuple[str, int], Set[int]] = {}
-        #: how many compatible operations exist per (family, width bucket),
-        #: set by the scheduler so anticipation can compare demand with
-        #: the allocated instance count.
-        self._type_demand: Dict[Tuple[str, int], int] = {}
-        self._type_count: Dict[Tuple[str, int], int] = {}
-
-    # ------------------------------------------------------------------
-    # setup
-    # ------------------------------------------------------------------
-    def set_sharing_outlook(self, demand: Dict[Tuple[str, int], int],
-                            counts: Dict[Tuple[str, int], int]) -> None:
-        """Provide op demand vs instance counts for mux anticipation."""
-        self._type_demand = dict(demand)
-        self._type_count = dict(counts)
-
-    # ------------------------------------------------------------------
-    # value resolution
-    # ------------------------------------------------------------------
-    def resolve_source(self, uid: int) -> int:
-        """Follow free wiring ops (slice/zext/move) back to the real producer."""
-        op = self.dfg.op(uid)
-        while op.kind in (OpKind.SLICE, OpKind.ZEXT, OpKind.SEXT, OpKind.MOVE):
-            edge = self.dfg.in_edge(op.uid, 0)
-            if edge is None:
-                break
-            op = self.dfg.op(edge.src)
-        return op.uid
-
-    def binding(self, uid: int) -> Optional[BoundOp]:
-        """The committed binding of an operation, if any."""
-        return self._bound.get(uid)
-
-    @property
-    def bindings(self) -> Dict[int, BoundOp]:
-        """All committed bindings keyed by op uid."""
-        return dict(self._bound)
-
-    # ------------------------------------------------------------------
-    # arrival computation
-    # ------------------------------------------------------------------
-    def _input_arrival(self, op: Operation, port: int, state: int) -> float:
-        """Arrival of the value feeding ``op`` input ``port`` at ``state``.
-
-        Registered values (previous state, previous iteration, port reads)
-        launch at FF clk->q; values produced in the same state chain
-        combinationally at the producer's output arrival.
-        """
-        edge = self.dfg.in_edge(op.uid, port)
-        if edge is None:
-            return self.library.ff.clk_to_q_ps
-        root = self.resolve_source(edge.src)
-        producer = self.dfg.op(root)
-        if producer.kind is OpKind.CONST:
-            return 0.0
-        if edge.distance >= 1:
-            return self.library.ff.clk_to_q_ps  # previous iteration: registered
-        bound = self._bound.get(root)
-        if bound is None:
-            # producer not scheduled yet (ASAP-style optimistic query):
-            # treat as registered, the scheduler never relies on this.
-            return self.library.ff.clk_to_q_ps
-        if producer.kind is OpKind.READ:
-            return self.library.ff.clk_to_q_ps
-        if bound.cycles > 1:
-            # multi-cycle producers register their result at end_state
-            return self.library.ff.clk_to_q_ps
-        if bound.state == state:
-            return bound.out_arrival_ps  # combinational chaining
-        return self.library.ff.clk_to_q_ps
-
-    def _anticipated(self, inst: ResourceInstance) -> bool:
-        """Whether sharing (hence input muxes) is expected on ``inst``."""
-        if not self.anticipate_muxes:
-            return False
-        key = (inst.rtype.family, inst.rtype.width)
-        demand = self._type_demand.get(key, 0)
-        count = self._type_count.get(key, 1)
-        return demand > count
-
-    def port_fanin(self, inst: ResourceInstance, port: int,
-                   extra_source: Optional[int] = None) -> int:
-        """Number of distinct sources at an instance input port."""
-        sources = set(self._port_sources.get((inst.name, port), ()))
-        if extra_source is not None:
-            sources.add(extra_source)
-        return len(sources)
-
-    def _input_mux_delay(self, op: Operation, inst: Optional[ResourceInstance],
-                         port: int) -> float:
-        """Sharing-mux delay in front of an instance input port."""
-        if op.is_mux or inst is None:
-            return 0.0  # MUX/LOOPMUX *are* the muxes; free ops have none
-        edge = self.dfg.in_edge(op.uid, port)
-        source = self.resolve_source(edge.src) if edge is not None else None
-        fanin = self.port_fanin(inst, port, source)
-        if self._anticipated(inst):
-            fanin = max(fanin, 2)
-        return self.library.mux.delay(fanin)
-
-    def _resource_delay(self, op: Operation, inst: Optional[ResourceInstance]) -> float:
-        """Combinational delay contributed by the operation itself."""
-        if op.kind is OpKind.MUX:
-            return self.library.mux.delay2_ps
-        if op.kind is OpKind.LOOPMUX:
-            return self.library.mux.delay2_ps
-        if inst is None:
-            return 0.0  # free wiring, I/O capture, stall markers
-        return inst.rtype.delay_ps
-
-    def _capture_overhead(self, op: Operation) -> float:
-        """Delay from the op output to the capturing FF's D pin.
-
-        Register sharing is anticipated with a 2-input mux, except after
-        MUX/LOOPMUX operations (they are the final select already) and
-        for port writes (output ports are not shared).
-        """
-        if op.is_mux or op.kind is OpKind.WRITE or op.kind is OpKind.STALL:
-            return self.library.ff.setup_ps
-        return self.library.mux.delay2_ps + self.library.ff.setup_ps
-
-    # ------------------------------------------------------------------
-    # candidate evaluation
-    # ------------------------------------------------------------------
-    def evaluate(self, op: Operation, inst: Optional[ResourceInstance],
-                 state: int, allow_multicycle: bool = True) -> CandidateTiming:
-        """Timing of binding ``op`` to ``inst`` at ``state``.
-
-        Returns a failed :class:`CandidateTiming` (with the violation in
-        ``reason``) instead of raising, so the scheduler can try the next
-        resource and record restraints.
-        """
-        n_inputs = len(self.dfg.in_edges(op.uid))
-        worst_in = self.library.ff.clk_to_q_ps if n_inputs == 0 else 0.0
-        chained = False
-        for edge in self.dfg.in_edges(op.uid):
-            arr = self._input_arrival(op, edge.port, state)
-            if arr > self.library.ff.clk_to_q_ps:
-                chained = True
-            arr += self._input_mux_delay(op, inst, edge.port)
-            worst_in = max(worst_in, arr)
-        if n_inputs and worst_in == 0.0:
-            # all-constant inputs still launch from the state register
-            worst_in = 0.0
-        out = worst_in + self._resource_delay(op, inst)
-        capture = out + self._capture_overhead(op)
-        if capture <= self.clock_ps:
-            return CandidateTiming(True, out, capture, self.clock_ps - capture)
-        # try a multi-cycle binding: inputs must be registered
-        if (allow_multicycle and inst is not None
-                and inst.rtype.multicycle_ok and not chained):
-            cycles = math.ceil(capture / self.clock_ps)
-            budget = cycles * self.clock_ps
-            return CandidateTiming(
-                True, out, capture, budget - capture, cycles=cycles)
-        return CandidateTiming(
-            False, out, capture, self.clock_ps - capture,
-            reason=f"negative slack {self.clock_ps - capture:.0f}ps")
-
-    def worst_input_arrival(self, op: Operation, state: int) -> float:
-        """Worst raw input arrival (no sharing muxes) at a state.
-
-        Used by the relaxation engine to probe whether faster grades of a
-        fresh resource would rescue a failed binding.
-        """
-        worst = self.library.ff.clk_to_q_ps
-        for edge in self.dfg.in_edges(op.uid):
-            worst = max(worst, self._input_arrival(op, edge.port, state))
-        return worst
-
-    def evaluate_fresh(self, op: Operation, state: int) -> CandidateTiming:
-        """Timing on a hypothetical fresh instance of the fastest grade.
-
-        Optimistic (no sharing muxes on the fresh instance): when even
-        this fails, adding a resource cannot solve the restraint -- the
-        signal behind the paper's "adding one more multiplier does not
-        help because two multiplications cannot fit in the given clock
-        cycle" decision.
-        """
-        chained = False
-        worst_in = self.library.ff.clk_to_q_ps
-        for edge in self.dfg.in_edges(op.uid):
-            arr = self._input_arrival(op, edge.port, state)
-            if arr > self.library.ff.clk_to_q_ps:
-                chained = True
-            worst_in = max(worst_in, arr)
-        if op.is_mux or op.is_free or op.is_io or op.kind is OpKind.STALL:
-            delay = self._resource_delay(op, None)
-            multicycle_ok = False
-        else:
-            try:
-                fastest = self.library.fastest(op.kind, op.resource_width)
-            except KeyError:
-                return CandidateTiming(False, worst_in, worst_in, 0.0,
-                                       reason="no resource family")
-            delay = fastest.delay_ps
-            multicycle_ok = fastest.multicycle_ok
-        out = worst_in + delay
-        capture = out + self._capture_overhead(op)
-        if capture <= self.clock_ps:
-            return CandidateTiming(True, out, capture,
-                                   self.clock_ps - capture)
-        if multicycle_ok and not chained:
-            cycles = math.ceil(capture / self.clock_ps)
-            return CandidateTiming(True, out, capture,
-                                   cycles * self.clock_ps - capture,
-                                   cycles=cycles)
-        return CandidateTiming(False, out, capture,
-                               self.clock_ps - capture,
-                               reason="fresh instance fails")
-
-    def affected_by_port_growth(
-            self, op: Operation, inst: ResourceInstance) -> List[BoundOp]:
-        """Already-bound ops on ``inst`` whose mux fanin this binding grows.
-
-        Their paths must be re-verified: a port going from 2 to 3+ sources
-        slows the sharing mux for everyone on the instance.
-        """
-        grown = False
-        for edge in self.dfg.in_edges(op.uid):
-            source = self.resolve_source(edge.src)
-            before = self.port_fanin(inst, edge.port)
-            after = self.port_fanin(inst, edge.port, source)
-            if after > max(before, 2):
-                grown = True
-        if not grown:
-            return []
-        return [self._bound[o.uid] for o in inst.ops_bound()
-                if o.uid in self._bound]
-
-    def recheck(self, bound: BoundOp) -> CandidateTiming:
-        """Re-evaluate a committed binding against the current netlist."""
-        return self.evaluate(bound.op, bound.inst, bound.state)
-
-    # ------------------------------------------------------------------
-    # commit / rollback
-    # ------------------------------------------------------------------
-    def commit(self, op: Operation, inst: Optional[ResourceInstance],
-               state: int, timing: CandidateTiming) -> BoundOp:
-        """Record an accepted binding."""
-        bound = BoundOp(op, inst, state, timing.cycles,
-                        timing.out_arrival_ps, timing.capture_ps)
-        self._bound[op.uid] = bound
-        if inst is not None and not op.is_mux:
-            for edge in self.dfg.in_edges(op.uid):
-                source = self.resolve_source(edge.src)
-                key = (inst.name, edge.port)
-                self._port_sources.setdefault(key, set()).add(source)
-        return bound
-
-    def uncommit(self, op: Operation) -> None:
-        """Remove a binding (used by pass restarts and backtracking)."""
-        bound = self._bound.pop(op.uid, None)
-        if bound is None or bound.inst is None or op.is_mux:
-            return
-        # rebuild the port source sets of that instance from survivors
-        inst = bound.inst
-        for key in [k for k in self._port_sources if k[0] == inst.name]:
-            del self._port_sources[key]
-        for other in self._bound.values():
-            if other.inst is not inst or other.op.uid == op.uid:
-                continue
-            for edge in self.dfg.in_edges(other.op.uid):
-                source = self.resolve_source(edge.src)
-                key = (inst.name, edge.port)
-                self._port_sources.setdefault(key, set()).add(source)
-
-    def worst_slack(self) -> float:
-        """Worst capture slack across all committed bindings."""
-        if not self._bound:
-            return self.clock_ps
-        return min(self.clock_ps - b.capture_ps for b in self._bound.values())
+__all__ = ["BoundOp", "CandidateTiming", "CommitResult", "DatapathNetlist"]

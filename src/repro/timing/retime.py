@@ -1,25 +1,19 @@
 """Full netlist re-timing after post-schedule modifications.
 
-The incremental netlist caches every binding's arrival; when the
-compensation step (paper Table 4's "larger area during subsequent logic
-synthesis") swaps resource grades, those caches go stale.  This pass
-recomputes all arrivals in topological order, writing the fresh numbers
-back into the bound operations, so that verification and further sizing
-decisions see consistent timing.
+The timing engine keeps every binding's arrival current while bindings
+change; what it cannot see is a *resource* changing under a fixed
+binding, which is exactly what the compensation step (paper Table 4's
+"larger area during subsequent logic synthesis") does when it swaps
+speed grades.  This pass delegates to the engine's whole-netlist
+recomputation so that verification and further sizing decisions see
+consistent timing.
 """
 
 from __future__ import annotations
 
-from repro.timing.netlist import DatapathNetlist
+from repro.timing.engine import TimingEngine
 
 
-def retime(netlist: DatapathNetlist) -> None:
+def retime(netlist: TimingEngine) -> None:
     """Recompute and store arrivals for every binding, in place."""
-    for op in netlist.dfg.topological_order():
-        bound = netlist.binding(op.uid)
-        if bound is None:
-            continue
-        timing = netlist.evaluate(op, bound.inst, bound.state,
-                                  allow_multicycle=False)
-        bound.out_arrival_ps = timing.out_arrival_ps
-        bound.capture_ps = timing.capture_ps
+    netlist.retime_all()

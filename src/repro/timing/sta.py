@@ -1,11 +1,15 @@
-"""From-scratch static timing verification of a finished schedule.
+"""Sign-off static timing verification of a finished schedule.
 
-The incremental netlist answers candidate queries during scheduling; this
-module recomputes every arrival from zero over the committed bindings and
-reports slack per operation, the worst negative slack, and the critical
-path per state.  Tests cross-check it against the incremental model, and
-the logic-synthesis compensation step (paper Table 4) uses it to locate
-the resources that must be upsized.
+The :class:`~repro.timing.engine.TimingEngine` answers candidate queries
+during scheduling and keeps every committed arrival current; this module
+walks the committed bindings in topological order and re-derives each
+path through the *same* engine arithmetic (:meth:`TimingEngine.audit`),
+reporting slack per operation, the worst negative slack and the critical
+path.  Because admission and sign-off share one delay implementation,
+the report is bit-identical to the slacks the scheduler admitted --
+``tests/properties`` asserts exactly that.  The logic-synthesis
+compensation step (paper Table 4) uses the report to locate the
+resources that must be upsized.
 """
 
 from __future__ import annotations
@@ -13,10 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.cdfg.dfg import DFG
-from repro.cdfg.ops import Operation, OpKind
-from repro.tech.library import Library
-from repro.timing.netlist import BoundOp, DatapathNetlist
+from repro.cdfg.ops import OpKind
+from repro.timing.engine import TimingEngine
 
 
 @dataclass(frozen=True)
@@ -50,12 +52,12 @@ class TimingReport:
         return [uid for _slack, uid in bad]
 
 
-def verify_timing(netlist: DatapathNetlist) -> TimingReport:
-    """Recompute all arrivals from scratch and report slack.
+def verify_timing(netlist: TimingEngine) -> TimingReport:
+    """Audit every committed binding and report slack.
 
-    Results must agree with the incremental model for single-cycle
-    bindings; multi-cycle bindings are checked against their extended
-    budget (``cycles * Tclk``).
+    Each path is re-derived from the current netlist state through the
+    engine's single delay implementation; multi-cycle bindings are
+    checked against their extended budget (``cycles * Tclk``).
     """
     dfg = netlist.dfg
     slack_by_op: Dict[int, float] = {}
@@ -65,12 +67,10 @@ def verify_timing(netlist: DatapathNetlist) -> TimingReport:
         bound = netlist.binding(op.uid)
         if bound is None or op.is_free:
             continue
-        timing = netlist.recheck(bound)
-        budget = bound.cycles * netlist.clock_ps
-        slack = budget - timing.capture_ps
-        slack_by_op[op.uid] = slack
-        if slack < worst[0]:
-            worst = (slack, op.uid)
+        timing = netlist.audit(bound)
+        slack_by_op[op.uid] = timing.slack_ps
+        if timing.slack_ps < worst[0]:
+            worst = (timing.slack_ps, op.uid)
     wns = min(worst[0], netlist.clock_ps)
     critical = trace_critical_path(netlist, worst[1]) if worst[1] is not None else []
     return TimingReport(
@@ -82,7 +82,7 @@ def verify_timing(netlist: DatapathNetlist) -> TimingReport:
     )
 
 
-def trace_critical_path(netlist: DatapathNetlist,
+def trace_critical_path(netlist: TimingEngine,
                         end_uid: int) -> List[PathPoint]:
     """Walk back through same-state chaining from the worst endpoint."""
     dfg = netlist.dfg
@@ -116,7 +116,7 @@ def trace_critical_path(netlist: DatapathNetlist,
     return path
 
 
-def chained_instances_on_path(netlist: DatapathNetlist,
+def chained_instances_on_path(netlist: TimingEngine,
                               end_uid: int) -> List[str]:
     """Instance names on the critical path ending at ``end_uid``.
 

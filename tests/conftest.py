@@ -1,14 +1,34 @@
-"""Shared fixtures: libraries, the paper's example, and small helpers."""
+"""Shared fixtures: libraries, the paper's example, and small helpers.
+
+Also registers the ``ci`` Hypothesis profile (derandomized, so a CI
+failure reproduces locally from the printed example alone); select it
+with ``HYPOTHESIS_PROFILE=ci pytest ...``.  The default profile keeps
+Hypothesis' normal randomized exploration for local runs, and
+``REPRO_MAX_EXAMPLES=200`` raises the property-suite example counts to
+the acceptance level.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.cdfg import RegionBuilder
 from repro.tech import artisan90, generic45
 from repro.workloads import build_example1
+
+hypothesis_settings.register_profile("ci", derandomize=True, deadline=None)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+
+def property_examples(default: int = 25) -> int:
+    """Example count for property suites; REPRO_MAX_EXAMPLES raises it
+    (the acceptance runs use 200)."""
+    return int(os.environ.get("REPRO_MAX_EXAMPLES", default))
 
 #: the paper's clock for the worked examples (section IV, Example 1).
 PAPER_CLOCK_PS = 1600.0

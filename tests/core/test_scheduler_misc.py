@@ -120,3 +120,35 @@ def test_disable_grades_limits_candidates(lib):
     schedule = schedule_region(build_example1(), lib, CLOCK, options=opts)
     for inst in schedule.pool.instances:
         assert inst.rtype.grade == "typical"
+
+
+def test_schedule_error_message_carries_diagnostics():
+    """Failures must print their diagnostics, not just the headline."""
+    err = ScheduleError("r: overconstrained",
+                        ["neg_slack: op mul1 at s2 (weight 3.0)",
+                         "latency: op add2 at s3 (weight 1.0)"])
+    text = str(err)
+    assert "r: overconstrained" in text
+    assert "neg_slack: op mul1 at s2" in text
+    assert "latency: op add2 at s3" in text
+    assert str(ScheduleError("bare")) == "bare"
+
+
+def test_overconstrained_error_lists_diagnostics(lib):
+    """End to end: an infeasible pipelining attempt's ScheduleError
+    surfaces its diagnostics through str()."""
+    b = RegionBuilder("tight2", is_loop=True, max_latency=6)
+    x = b.read("x", 32)
+    acc = b.loop_var("acc", b.const(1, 32))
+    # two chained multiplies inside the carried SCC: no II=1 window fits
+    acc.set_next(b.mul(b.mul(acc.value, x), x))
+    b.write("y", acc.value)
+    b.set_trip_count(4)
+    with pytest.raises(ScheduleError) as exc_info:
+        schedule_region(b.build(), lib, CLOCK,
+                        pipeline=PipelineSpec(ii=1),
+                        options=SchedulerOptions(max_passes=3))
+    err = exc_info.value
+    assert err.diagnostics, "diagnostics list must be populated"
+    shown = err.diagnostics[:ScheduleError.MAX_SHOWN]
+    assert all(line in str(err) for line in shown)

@@ -148,3 +148,29 @@ def test_cache_stats_and_clear():
     assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
     cache.clear()
     assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+def test_timing_model_version_invalidates_cached_schedules(lib, monkeypatch):
+    """Artifacts scheduled under an older delay model must not be served:
+    the timing-model version is part of the compilation key."""
+    import repro.timing.engine as engine_mod
+
+    region = build_example1()
+    key_now = compilation_key(region, lib, 1600.0)
+    monkeypatch.setattr(engine_mod, "TIMING_MODEL_VERSION",
+                        engine_mod.TIMING_MODEL_VERSION + 1)
+    assert compilation_key(region, lib, 1600.0) != key_now
+
+    cache = FlowCache()
+    monkeypatch.setattr(engine_mod, "TIMING_MODEL_VERSION",
+                        engine_mod.TIMING_MODEL_VERSION - 1)
+    run_flow("schedule", region=build_example1(), library=lib,
+             clock_ps=1600.0, run_optimizer=False, cache=cache)
+    assert cache.misses == 1 and cache.hits == 0
+    # same configuration under a bumped model: miss, fresh schedule
+    monkeypatch.setattr(engine_mod, "TIMING_MODEL_VERSION",
+                        engine_mod.TIMING_MODEL_VERSION + 1)
+    ctx = run_flow("schedule", region=build_example1(), library=lib,
+                   clock_ps=1600.0, run_optimizer=False, cache=cache)
+    assert cache.hits == 0
+    assert ctx.schedule is not None

@@ -8,17 +8,19 @@ or pipelined.
 
 import random
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.cdfg import PipelineSpec, RegionBuilder
 from repro.core import ScheduleError, SchedulerOptions, schedule_region
 from repro.sim import simulate_reference, simulate_schedule
 from repro.tech import artisan90
 
+from tests.conftest import property_examples
+
 LIB = artisan90()
 CLOCK = 1600.0
 
-_SETTINGS = dict(max_examples=25, deadline=None,
+_SETTINGS = dict(max_examples=property_examples(), deadline=None,
                  suppress_health_check=[HealthCheck.too_slow])
 
 
@@ -111,9 +113,52 @@ def test_no_equivalent_edge_resource_clash(seed, n_ops):
 
 
 @given(seed=st.integers(0, 10_000), n_ops=st.integers(3, 12))
+# seed 126 once slipped a negative-slack chain past admission: a second
+# multiply sharing mul_16#0 grew a 1 -> 2 input mux that the candidate
+# check did not charge, so sign-off found WNS -104 ps.  Permanently
+# pinned so the admission/sign-off contract cannot regress silently.
+@example(seed=126, n_ops=8)
+# seed 141 sent the relaxation driver into an add-state death spiral:
+# restraint merging kept the first (chained) input arrival, so the
+# add_resource probe looked futile at every grade and the driver only
+# ever added states until max latency.
+@example(seed=141, n_ops=11)
 @settings(**_SETTINGS)
 def test_timing_always_met(seed, n_ops):
     region = _random_region(seed, n_ops, 1)
     schedule = schedule_region(region, LIB, CLOCK)
     report = schedule.timing_report()
     assert report.met, report.critical_path
+
+
+def _assert_admission_equals_signoff(schedule):
+    """Every accepted binding's slack must equal the sign-off slack."""
+    report = schedule.timing_report()
+    for uid, slack in report.slack_by_op.items():
+        bound = schedule.bindings[uid]
+        admitted = bound.cycles * CLOCK - bound.capture_ps
+        assert slack == admitted, (
+            f"{bound.op.name}: scheduler slack {admitted} != "
+            f"sign-off slack {slack}")
+
+
+@given(seed=st.integers(0, 10_000), n_ops=st.integers(3, 12))
+@example(seed=126, n_ops=8)
+@settings(**_SETTINGS)
+def test_admission_slack_equals_signoff_sequential(seed, n_ops):
+    """The engine contract: candidate admission and STA are one model."""
+    schedule = schedule_region(_random_region(seed, n_ops, 1), LIB, CLOCK)
+    _assert_admission_equals_signoff(schedule)
+
+
+@given(seed=st.integers(0, 10_000), n_ops=st.integers(3, 10),
+       ii=st.integers(1, 3))
+@settings(**_SETTINGS)
+def test_admission_slack_equals_signoff_pipelined(seed, n_ops, ii):
+    region = _random_region(seed, n_ops, 1)
+    try:
+        schedule = schedule_region(region, LIB, CLOCK,
+                                   pipeline=PipelineSpec(ii=ii))
+    except ScheduleError:
+        return  # some II targets are genuinely infeasible: fine
+    _assert_admission_equals_signoff(schedule)

@@ -1,0 +1,160 @@
+"""The unified timing engine: incremental re-propagation, rollback and
+the admission == sign-off contract that replaced the old dual-model
+design (the seed-126 negative-slack escape)."""
+
+import pytest
+
+from repro.cdfg import OpKind, RegionBuilder
+from repro.tech import ResourcePool, artisan90
+from repro.timing.engine import (
+    TIMING_MODEL_VERSION,
+    TimingEngine,
+    registered_path_ps,
+)
+from repro.timing.sta import verify_timing
+
+CLOCK = 1600.0
+
+
+@pytest.fixture()
+def lib():
+    return artisan90()
+
+
+def _sharing_region():
+    """Two independent multiplies that can share one instance."""
+    b = RegionBuilder("t", is_loop=False)
+    x = b.read("x", 32)
+    y = b.read("y", 32)
+    b.write("o1", b.mul(x, y, name="m1"))
+    b.write("o2", b.mul(y, x, name="m2"))
+    return b.build()
+
+
+def _ops(region):
+    return {op.name: op for op in region.dfg.ops}
+
+
+def test_mux_birth_retimes_sharing_neighbour(lib):
+    """The seed-126 root cause in isolation: with anticipation off, a
+    port growing its *second* source births a 110 ps sharing mux, and
+    the neighbour's committed capture must absorb it immediately."""
+    region = _sharing_region()
+    engine = TimingEngine(region.dfg, lib, CLOCK, anticipate_muxes=False)
+    pool = ResourcePool()
+    mul = pool.add(lib.typical(OpKind.MUL, 32))
+    ops = _ops(region)
+    r1 = engine.commit(ops["m1"], mul, 0, engine.evaluate(ops["m1"], mul, 0))
+    m1 = r1.bound
+    assert m1.capture_ps == pytest.approx(40 + 930 + 110 + 40)  # no mux yet
+    t2 = engine.evaluate(ops["m2"], mul, 1)
+    # the candidate itself is already charged both 2-input muxes
+    assert t2.capture_ps == pytest.approx(40 + 110 + 930 + 110 + 40)
+    r2 = engine.commit(ops["m2"], mul, 1, t2)
+    assert m1 in r2.retimed
+    assert m1.capture_ps == pytest.approx(40 + 110 + 930 + 110 + 40)
+    # the stored numbers now ARE the sign-off numbers
+    report = verify_timing(engine)
+    assert report.slack_by_op[m1.op.uid] == CLOCK - m1.capture_ps
+
+
+def test_rollback_restores_sources_and_timing(lib):
+    region = _sharing_region()
+    engine = TimingEngine(region.dfg, lib, CLOCK, anticipate_muxes=False)
+    pool = ResourcePool()
+    mul = pool.add(lib.typical(OpKind.MUL, 32))
+    ops = _ops(region)
+    r1 = engine.commit(ops["m1"], mul, 0, engine.evaluate(ops["m1"], mul, 0))
+    before_capture = r1.bound.capture_ps
+    before_fanin = engine.port_fanin(mul, 0)
+    r2 = engine.commit(ops["m2"], mul, 1, engine.evaluate(ops["m2"], mul, 1))
+    assert r1.bound.capture_ps > before_capture
+    engine.rollback(r2)
+    assert engine.binding(ops["m2"].uid) is None
+    assert r1.bound.capture_ps == before_capture
+    assert engine.port_fanin(mul, 0) == before_fanin
+    assert engine.audit(r1.bound).capture_ps == before_capture
+
+
+def test_uncommit_shrinks_muxes_back(lib):
+    region = _sharing_region()
+    engine = TimingEngine(region.dfg, lib, CLOCK, anticipate_muxes=False)
+    pool = ResourcePool()
+    mul = pool.add(lib.typical(OpKind.MUL, 32))
+    ops = _ops(region)
+    r1 = engine.commit(ops["m1"], mul, 0, engine.evaluate(ops["m1"], mul, 0))
+    before = r1.bound.capture_ps
+    engine.commit(ops["m2"], mul, 1, engine.evaluate(ops["m2"], mul, 1))
+    assert r1.bound.capture_ps > before
+    engine.uncommit(ops["m2"])
+    assert r1.bound.capture_ps == before
+
+
+def test_broken_reports_neighbour_pushed_past_budget(lib):
+    """A commit whose mux growth breaks a neighbour is detectable from
+    the CommitResult alone -- the scheduler's rejection signal."""
+    region = _sharing_region()
+    clock = 1150.0  # fits 1120 (no mux) but not 1230 (with mux)
+    engine = TimingEngine(region.dfg, lib, clock, anticipate_muxes=False)
+    pool = ResourcePool()
+    mul = pool.add(lib.typical(OpKind.MUL, 32))
+    ops = _ops(region)
+    r1 = engine.commit(ops["m1"], mul, 0, engine.evaluate(ops["m1"], mul, 0))
+    assert r1.broken(clock) is None
+    t2 = engine.evaluate(ops["m2"], mul, 1, allow_multicycle=False)
+    assert not t2.ok  # the candidate pays its own muxes and fails
+    r2 = engine.commit(ops["m2"], mul, 1, t2)  # waived binding
+    broken = r2.broken(clock)
+    assert broken is r1.bound
+    assert engine.slack_of(broken) < 0
+    engine.rollback(r2)
+    assert engine.slack_of(r1.bound) >= 0
+
+
+def test_late_producer_chains_into_committed_consumer(lib):
+    """Committing a producer after its same-state consumer re-times the
+    consumer from the registered assumption to real chaining."""
+    b = RegionBuilder("t", is_loop=False)
+    x = b.read("x", 32)
+    m = b.mul(x, x, name="m")
+    s = b.add(m, x, name="s")
+    b.write("out", s)
+    region = b.build()
+    engine = TimingEngine(region.dfg, lib, 2400.0, anticipate_muxes=False)
+    pool = ResourcePool()
+    mul = pool.add(lib.typical(OpKind.MUL, 32))
+    add = pool.add(lib.typical(OpKind.ADD, 32))
+    ops = _ops(region)
+    rs = engine.commit(ops["s"], add, 0, engine.evaluate(ops["s"], add, 0))
+    assert rs.bound.out_arrival_ps == pytest.approx(40 + 350)  # registered
+    rm = engine.commit(ops["m"], mul, 0, engine.evaluate(ops["m"], mul, 0))
+    assert rs.bound in rm.retimed
+    assert rs.bound.out_arrival_ps == pytest.approx(40 + 930 + 350)
+
+
+def test_audit_always_matches_stored(lib):
+    """After arbitrary commit sequences the stored arrivals equal a
+    from-scratch audit: the one-model invariant."""
+    region = _sharing_region()
+    engine = TimingEngine(region.dfg, lib, CLOCK, anticipate_muxes=False)
+    pool = ResourcePool()
+    mul = pool.add(lib.typical(OpKind.MUL, 32))
+    ops = _ops(region)
+    for name, state in (("m1", 0), ("m2", 1)):
+        engine.commit(ops[name], mul, state,
+                      engine.evaluate(ops[name], mul, state))
+    for bound in engine.bindings.values():
+        audited = engine.audit(bound)
+        assert audited.out_arrival_ps == bound.out_arrival_ps
+        assert audited.capture_ps == bound.capture_ps
+
+
+def test_registered_path_formula(lib):
+    rtype = lib.typical(OpKind.MUL, 32)
+    assert registered_path_ps(lib, rtype) == pytest.approx(
+        40 + 110 + 930 + 110 + 40)
+
+
+def test_timing_model_is_versioned():
+    assert isinstance(TIMING_MODEL_VERSION, int)
+    assert TIMING_MODEL_VERSION >= 2
