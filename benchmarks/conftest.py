@@ -4,11 +4,21 @@ Every benchmark prints the same rows the paper's table or figure reports,
 so ``pytest benchmarks/ --benchmark-only -s`` regenerates the evaluation
 section.  Absolute numbers depend on the calibrated library; the *shape*
 (who wins, by what factor, where crossovers fall) is asserted.
+
+The session additionally writes a machine-readable trajectory,
+``BENCH_results.json`` (repo root; override with ``REPRO_BENCH_JSON``):
+per-benchmark wall time, outcome, and any key metrics a test records
+through the ``bench_metrics`` fixture.  CI uploads the file as an
+artifact so performance regressions are visible across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
@@ -25,6 +35,63 @@ FULL = os.environ.get("REPRO_FULL", "0") == "1"
 def lib():
     """The calibrated artisan-90nm-typical library."""
     return artisan90()
+
+
+# ----------------------------------------------------------------------
+# machine-readable trajectory (BENCH_results.json)
+# ----------------------------------------------------------------------
+#: results accumulated over the session, keyed by test id.
+_RESULTS: dict = {}
+#: metrics registered by tests via the ``bench_metrics`` fixture.
+_METRICS: dict = {}
+
+
+def _results_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+
+@pytest.fixture()
+def bench_metrics(request):
+    """Dict a benchmark fills with its key figures (II, area, speedup,
+    cache hit rates, ...); lands in ``BENCH_results.json``."""
+    metrics = _METRICS.setdefault(request.node.nodeid, {})
+    return metrics
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call":
+        return
+    _RESULTS[item.nodeid] = {
+        "outcome": report.outcome,
+        "wall_s": round(report.duration, 6),
+    }
+
+
+def pytest_sessionfinish(session):
+    if not _RESULTS:
+        return
+    for nodeid, metrics in _METRICS.items():
+        if nodeid in _RESULTS and metrics:
+            _RESULTS[nodeid]["metrics"] = metrics
+    payload = {
+        "schema": 1,
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": dict(sorted(_RESULTS.items())),
+    }
+    path = _results_path()
+    try:
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n")
+    except OSError:  # read-only checkouts must not fail the run
+        pass
 
 
 def banner(title: str) -> None:

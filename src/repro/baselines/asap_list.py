@@ -18,7 +18,7 @@ from repro.cdfg.region import Region
 from repro.core.allocation import type_key_for
 from repro.tech.library import Library
 from repro.tech.resources import ResourcePool
-from repro.timing.netlist import DatapathNetlist
+from repro.timing.engine import TimingEngine
 from repro.timing.sta import verify_timing
 
 
@@ -30,7 +30,7 @@ class NaiveResult:
     latency: int
     states: Dict[int, int]
     pool: ResourcePool
-    netlist: DatapathNetlist
+    netlist: TimingEngine
     wns_ps: float
 
     @property
@@ -93,7 +93,7 @@ def asap_list_schedule(
             busy[(key, t)] = busy.get((key, t), 0) + 1
 
     latency = max(states.values()) + 1 if states else 1
-    netlist = DatapathNetlist(dfg, library, clock_ps)
+    netlist = TimingEngine(dfg, library, clock_ps)
     demand: Dict[Tuple[str, int], int] = {}
     for op in schedulable:
         key = type_key_for(op, library)

@@ -23,7 +23,7 @@ from repro.cdfg.region import Region
 from repro.core.allocation import type_key_for
 from repro.tech.library import Library
 from repro.tech.resources import ResourceInstance, ResourcePool
-from repro.timing.netlist import CandidateTiming, DatapathNetlist
+from repro.timing.engine import CandidateTiming, TimingEngine
 from repro.timing.sta import verify_timing
 
 
@@ -40,7 +40,7 @@ class ModuloResult:
     latency: int
     states: Dict[int, int]            # op uid -> start cycle
     pool: ResourcePool
-    netlist: DatapathNetlist
+    netlist: TimingEngine
     wns_ps: float
 
     @property
@@ -212,7 +212,7 @@ def _bind(region: Region, library: Library, clock_ps: float, ii: int,
         need = max(1, math.ceil(n / ii))
         insts[key] = [pool.add(library.resource_type(*key))
                       for _ in range(need)]
-    netlist = DatapathNetlist(dfg, library, clock_ps)
+    netlist = TimingEngine(dfg, library, clock_ps)
     netlist.set_sharing_outlook(
         dict(counts), {key: len(v) for key, v in insts.items()})
     rr: Dict[Tuple[Tuple[str, int], int], int] = {}

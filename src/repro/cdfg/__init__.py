@@ -5,13 +5,15 @@ elaborates source into it, the optimizer rewrites it, and the scheduler
 binds its operations to control steps and resources (paper section II).
 """
 
-from repro.cdfg.builder import LoopVar, RegionBuilder, Value
+from repro.cdfg.builder import LoopVar, MemoryHandle, RegionBuilder, Value
 from repro.cdfg.cfg import CFG, CFGEdge, CFGNode, NodeKind
 from repro.cdfg.dfg import DFG, DataEdge, DFGError
+from repro.cdfg.memory import MemoryDecl, min_conflict_distance, static_bank
 from repro.cdfg.ops import (
     CONDITION_KINDS,
     FREE_KINDS,
     IO_KINDS,
+    MEMORY_KINDS,
     MUX_KINDS,
     Operation,
     OpKind,
@@ -31,7 +33,10 @@ __all__ = [
     "FREE_KINDS",
     "IO_KINDS",
     "LoopVar",
+    "MEMORY_KINDS",
     "MUX_KINDS",
+    "MemoryDecl",
+    "MemoryHandle",
     "NodeKind",
     "Operation",
     "OpKind",
@@ -41,5 +46,7 @@ __all__ = [
     "RegionBuilder",
     "Value",
     "arity_of",
+    "min_conflict_distance",
     "mutually_exclusive",
+    "static_bank",
 ]

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.cdfg.dfg import DFG, DFGError
+from repro.cdfg.memory import MemoryDecl, emit_dependence_edges
 from repro.cdfg.ops import Operation, OpKind
 from repro.cdfg.predicates import Predicate
 from repro.cdfg.region import Region
@@ -64,6 +65,27 @@ class LoopVar:
         self.closed = True
 
 
+class MemoryHandle:
+    """Handle to a declared on-chip array within a builder."""
+
+    def __init__(self, builder: "RegionBuilder", decl: MemoryDecl) -> None:
+        self._builder = builder
+        self.decl = decl
+
+    @property
+    def name(self) -> str:
+        """The memory's name (LOAD/STORE payload)."""
+        return self.decl.name
+
+    def __getitem__(self, addr) -> "Value":
+        """Sugar for :meth:`RegionBuilder.load`: ``mem[addr]``."""
+        return self._builder.load(self, addr)
+
+    def __setitem__(self, addr, value) -> None:
+        """Sugar for :meth:`RegionBuilder.store`: ``mem[addr] = v``."""
+        self._builder.store(self, value, addr)
+
+
 class RegionBuilder:
     """Builds a :class:`~repro.cdfg.region.Region` operation by operation."""
 
@@ -84,6 +106,10 @@ class RegionBuilder:
         self._trip_count: Optional[int] = None
         self._predicate_stack: List[Predicate] = [Predicate.true()]
         self._const_cache: Dict[Tuple[int, int], Operation] = {}
+        self._memories: Dict[str, MemoryDecl] = {}
+        #: per memory: (access op, dynamic?) in program order, for
+        #: dependence-edge emission.
+        self._mem_accesses: Dict[str, List[Tuple[Operation, bool]]] = {}
 
     # ------------------------------------------------------------------
     # predicate scoping (if-conversion)
@@ -290,6 +316,90 @@ class RegionBuilder:
             self.dfg.connect(val.op, op, port)
         return Value(op)
 
+    # ------------------------------------------------------------------
+    # memories
+    # ------------------------------------------------------------------
+    def array(self, name: str, depth: int, width: int = 32,
+              banks: int = 1, ports: int = 1,
+              init: Optional[List[int]] = None) -> MemoryHandle:
+        """Declare an on-chip array backed by RAM banks.
+
+        ``banks`` is the cyclic banking factor (word ``a`` lives in bank
+        ``a % banks``); ``ports`` selects single- (1) or dual-port (2)
+        RAM macros.  At most ``ports`` accesses can hit one bank in one
+        control step -- the port constraint the scheduler enforces.
+        """
+        if name in self._memories:
+            raise DFGError(f"array {name!r} already declared")
+        decl = MemoryDecl(name=name, depth=depth, width=width,
+                          banks=banks, ports=ports,
+                          init=tuple(init) if init is not None else None)
+        self._memories[name] = decl
+        self._mem_accesses[name] = []
+        return MemoryHandle(self, decl)
+
+    def _mem_decl(self, mem: Union[MemoryHandle, str]) -> MemoryDecl:
+        name = mem.name if isinstance(mem, MemoryHandle) else mem
+        decl = self._memories.get(name)
+        if decl is None:
+            raise DFGError(f"undeclared memory {name!r}")
+        return decl
+
+    def _record_access(self, decl: MemoryDecl, op: Operation,
+                       dynamic: bool) -> None:
+        """Remember the access; dependence edges are emitted at build."""
+        self._mem_accesses[decl.name].append((op, dynamic))
+
+    def load(self, mem: Union[MemoryHandle, str],
+             addr: Optional[Union[ValueLike, int]] = None,
+             offset: int = 0, stride: int = 0,
+             name: str = "") -> Value:
+        """Read one word of a declared array.
+
+        ``addr`` may be a :class:`Value` (dynamic address, costs the
+        address mux into the RAM), an ``int`` (constant address) or
+        ``None`` -- then the address is affine in the iteration index:
+        ``iteration * stride + offset``.
+        """
+        decl = self._mem_decl(mem)
+        op = self.dfg.add_op(OpKind.LOAD, decl.width,
+                             name=name or f"{decl.name}_load{offset}",
+                             payload=decl.name,
+                             predicate=self._current_predicate())
+        dynamic = isinstance(addr, Value)
+        if dynamic:
+            self.dfg.connect(addr.op, op, 0)
+        else:
+            if addr is not None:
+                offset, stride = int(addr), 0
+            op.io_offset, op.io_stride = offset, stride
+        self._record_access(decl, op, dynamic)
+        return Value(op)
+
+    def store(self, mem: Union[MemoryHandle, str], value: ValueLike,
+              addr: Optional[Union[ValueLike, int]] = None,
+              offset: int = 0, stride: int = 0,
+              name: str = "") -> Operation:
+        """Write one word of a declared array (addressing as in
+        :meth:`load`; dynamic stores take (address, data) inputs)."""
+        decl = self._mem_decl(mem)
+        val = self._as_value(value, decl.width)
+        op = self.dfg.add_op(OpKind.STORE, decl.width,
+                             name=name or f"{decl.name}_store{offset}",
+                             payload=decl.name,
+                             predicate=self._current_predicate())
+        dynamic = isinstance(addr, Value)
+        if dynamic:
+            self.dfg.connect(addr.op, op, 0)
+            self.dfg.connect(val.op, op, 1)
+        else:
+            if addr is not None:
+                offset, stride = int(addr), 0
+            op.io_offset, op.io_stride = offset, stride
+            self.dfg.connect(val.op, op, 0)
+        self._record_access(decl, op, dynamic)
+        return op
+
     def loop_var(self, name: str, init: ValueLike) -> LoopVar:
         """A loop-carried variable; call ``set_next`` to close the cycle."""
         if not self.is_loop:
@@ -323,10 +433,17 @@ class RegionBuilder:
     # finalization
     # ------------------------------------------------------------------
     def build(self, validate: bool = True) -> Region:
-        """Produce the region; validates invariants by default."""
+        """Produce the region; validates invariants by default.
+
+        Memory-dependence (RAW/WAR/WAW) ordering edges are emitted here,
+        once all accesses are known.
+        """
         for var in self._loop_vars:
             if not var.closed:
                 raise DFGError(f"loop_var {var.name}: next value never set")
+        for name, accesses in self._mem_accesses.items():
+            emit_dependence_edges(self.dfg, self._memories[name],
+                                  accesses, self.is_loop)
         region = Region(
             name=self.name,
             dfg=self.dfg,
@@ -335,6 +452,7 @@ class RegionBuilder:
             max_latency=self.max_latency,
             exit_op_uid=self._exit_op.uid if self._exit_op else None,
             trip_count=self._trip_count,
+            memories=dict(self._memories),
         )
         if validate:
             region.validate()

@@ -22,12 +22,23 @@ from repro.cdfg.predicates import Predicate
 
 @dataclass(frozen=True)
 class DataEdge:
-    """A data dependency: ``src`` output feeds ``dst`` input ``port``."""
+    """A data dependency: ``src`` output feeds ``dst`` input ``port``.
+
+    ``order`` edges carry no value: they sequence two side effects on the
+    same memory (RAW/WAR/WAW) and use ``port = -1``.  ``min_gap`` is the
+    minimum number of states the consumer must start after the producer
+    *completes* (1 for RAW/WAW -- the RAM write commits at the clock
+    edge -- and 0 for WAR, where read-before-write within one state is
+    the RAM's read-first semantics).  Data edges keep ``min_gap = 0``;
+    their spacing rule is chaining-aware and lives in the timing engine.
+    """
 
     src: int
     dst: int
     port: int
     distance: int = 0
+    order: bool = False
+    min_gap: int = 0
 
 
 class DFGError(ValueError):
@@ -90,10 +101,32 @@ class DFG:
         if distance < 0:
             raise DFGError("connect: distance must be non-negative")
         for edge in self._in_edges[dst.uid]:
-            if edge.port == port:
+            if edge.port == port and not edge.order:
                 raise DFGError(
                     f"connect: input port {port} of {dst.name} already driven")
         edge = DataEdge(src.uid, dst.uid, port, distance)
+        self._in_edges[dst.uid].append(edge)
+        self._out_edges[src.uid].append(edge)
+        return edge
+
+    def connect_order(self, src: Operation, dst: Operation,
+                      distance: int = 0, min_gap: int = 1) -> DataEdge:
+        """Add a memory-dependence (ordering) edge from ``src`` to ``dst``.
+
+        Duplicate ordering constraints collapse onto the strongest one
+        already present (same endpoints and distance, largest gap).
+        """
+        if src.uid not in self._ops or dst.uid not in self._ops:
+            raise DFGError("connect_order: operations must belong to this DFG")
+        if distance < 0:
+            raise DFGError("connect_order: distance must be non-negative")
+        for edge in self._in_edges[dst.uid]:
+            if (edge.order and edge.src == src.uid
+                    and edge.distance == distance
+                    and edge.min_gap >= min_gap):
+                return edge
+        edge = DataEdge(src.uid, dst.uid, -1, distance,
+                        order=True, min_gap=min_gap)
         self._in_edges[dst.uid].append(edge)
         self._out_edges[src.uid].append(edge)
         return edge
@@ -143,17 +176,30 @@ class DFG:
         return [op for op in self._ops.values() if op.kind in wanted]
 
     def in_edges(self, uid: int) -> List[DataEdge]:
-        """Incoming edges of an operation, in port order."""
+        """Incoming edges of an operation, in port order.
+
+        Includes ordering edges (port -1, sorted first); callers that
+        collect operand *values* use :meth:`data_in_edges`.
+        """
         return sorted(self._in_edges[uid], key=lambda e: e.port)
+
+    def data_in_edges(self, uid: int) -> List[DataEdge]:
+        """Incoming value-carrying edges only, in port order."""
+        return sorted((e for e in self._in_edges[uid] if not e.order),
+                      key=lambda e: e.port)
+
+    def order_in_edges(self, uid: int) -> List[DataEdge]:
+        """Incoming memory-dependence edges only."""
+        return [e for e in self._in_edges[uid] if e.order]
 
     def out_edges(self, uid: int) -> List[DataEdge]:
         """Outgoing edges of an operation."""
         return list(self._out_edges[uid])
 
     def in_edge(self, uid: int, port: int) -> Optional[DataEdge]:
-        """The edge driving input ``port`` of ``uid``, or None."""
+        """The data edge driving input ``port`` of ``uid``, or None."""
         for edge in self._in_edges[uid]:
-            if edge.port == port:
+            if edge.port == port and not edge.order:
                 return edge
         return None
 
@@ -274,7 +320,11 @@ class DFG:
         """Check well-formedness; raises :class:`DFGError` on violations."""
         for uid, op in self._ops.items():
             need = arity_of(op.kind)
-            edges = self._in_edges[uid]
+            edges = [e for e in self._in_edges[uid] if not e.order]
+            if any(e.order for e in self._in_edges[uid]) \
+                    and op.kind not in (OpKind.LOAD, OpKind.STORE):
+                raise DFGError(
+                    f"{op.name}: ordering edges may only enter memory ops")
             ports = sorted(e.port for e in edges)
             if need is not None and len(edges) != need:
                 raise DFGError(
@@ -282,6 +332,15 @@ class DFG:
                     f"has {len(edges)}")
             if ports != list(range(len(ports))):
                 raise DFGError(f"{op.name}: input ports not dense: {ports}")
+            if op.kind is OpKind.LOAD and len(edges) > 1:
+                raise DFGError(f"{op.name}: load takes at most an address")
+            if op.kind is OpKind.STORE and not 1 <= len(edges) <= 2:
+                raise DFGError(
+                    f"{op.name}: store takes (data) or (address, data)")
+            if op.kind is OpKind.STORE:
+                if any(not e.order for e in self._out_edges[uid]):
+                    raise DFGError(
+                        f"{op.name}: store produces no value")
             if op.kind is OpKind.LOOPMUX:
                 init = self.in_edge(uid, 0)
                 carried = self.in_edge(uid, 1)
@@ -298,6 +357,9 @@ class DFG:
                 if edge.distance >= 1 and op.kind is not OpKind.LOOPMUX:
                     raise DFGError(
                         f"{op.name}: loop-carried edges may only enter LOOPMUX")
+            for edge in self._in_edges[uid]:
+                if edge.order and edge.min_gap < 0:
+                    raise DFGError(f"{op.name}: negative order-edge gap")
         # the distance-0 subgraph must be acyclic
         self.topological_order()
 

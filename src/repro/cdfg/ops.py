@@ -53,6 +53,9 @@ class OpKind(str, enum.Enum):
     MOVE = "move"        # plain copy (eliminated by copy propagation)
     CALL = "call"        # black-box IP block; payload: ip name
     STALL = "stall"      # stalling-loop marker; single boolean input
+    # memory (payload: memory name; see repro.cdfg.memory)
+    LOAD = "load"        # inputs: (address) when dynamic, () when affine
+    STORE = "store"      # inputs: (address, data) dynamic, (data) affine
 
 
 #: kinds that are pure wiring / constants and never occupy a datapath
@@ -71,6 +74,11 @@ MUX_KINDS = frozenset({OpKind.MUX, OpKind.LOOPMUX})
 #: steps as written in the source (paper section IV: "I/O operations are
 #: scheduled at the very same states where they are specified").
 IO_KINDS = frozenset({OpKind.READ, OpKind.WRITE})
+
+#: kinds that access a declared on-chip memory; they bind to RAM bank
+#: ports (at most P accesses per bank per state) instead of functional
+#: units, and order among themselves via memory-dependence edges.
+MEMORY_KINDS = frozenset({OpKind.LOAD, OpKind.STORE})
 
 #: kinds whose result is a single-bit flag usable as a branch condition.
 CONDITION_KINDS = frozenset({
@@ -96,6 +104,8 @@ _ARITY = {
     OpKind.CONST: 0, OpKind.READ: 0, OpKind.WRITE: 1,
     OpKind.SLICE: 1, OpKind.CONCAT: None, OpKind.ZEXT: 1, OpKind.SEXT: 1,
     OpKind.MOVE: 1, OpKind.CALL: None, OpKind.STALL: 1,
+    # 0/1 data inputs (affine address) or 1/2 (dynamic address)
+    OpKind.LOAD: None, OpKind.STORE: None,
 }
 
 
@@ -149,7 +159,9 @@ class Operation:
     operand_widths: Tuple[int, ...] = ()
     #: stream indexing for READ operations: sample consumed per iteration
     #: is ``iteration * io_stride + io_offset`` (unrolled loops consume
-    #: several samples per iteration).
+    #: several samples per iteration).  LOAD/STORE reuse the same fields
+    #: for affine addressing: ``address = iteration * io_stride +
+    #: io_offset`` when the access has no dynamic address input.
     io_offset: int = 0
     io_stride: int = 1
 
@@ -174,6 +186,11 @@ class Operation:
     def is_io(self) -> bool:
         """Whether the operation is a port read or write."""
         return self.kind in IO_KINDS
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether the operation accesses a declared memory."""
+        return self.kind in MEMORY_KINDS
 
     @property
     def is_mux(self) -> bool:

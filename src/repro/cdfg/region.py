@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cdfg.dfg import DFG, DFGError
+from repro.cdfg.memory import MemoryDecl, has_dynamic_address
 from repro.cdfg.ops import OpKind
 
 
@@ -53,6 +54,8 @@ class Region:
     exit_op_uid: Optional[int] = None
     trip_count: Optional[int] = None
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: on-chip arrays accessed by LOAD/STORE operations, by name.
+    memories: Dict[str, MemoryDecl] = field(default_factory=dict)
 
     def validate(self) -> None:
         """Check region-level invariants on top of DFG validation."""
@@ -75,6 +78,16 @@ class Region:
                 raise DFGError(
                     f"{self.name}: loop-carried edges in non-loop region: "
                     f"{[op.name for op in carried]}")
+        for op in self.memory_ops:
+            decl = self.memories.get(op.payload)
+            if decl is None:
+                raise DFGError(
+                    f"{self.name}: {op.name} accesses undeclared memory "
+                    f"{op.payload!r}")
+            if op.width != decl.width:
+                raise DFGError(
+                    f"{self.name}: {op.name} width {op.width} != memory "
+                    f"{decl.name} width {decl.width}")
 
     @property
     def reads(self) -> List:
@@ -103,6 +116,19 @@ class Region:
             if op.payload not in seen:
                 seen.append(op.payload)
         return seen
+
+    @property
+    def memory_ops(self) -> List:
+        """LOAD/STORE operations, in insertion order."""
+        return self.dfg.ops_of_kind(OpKind.LOAD, OpKind.STORE)
+
+    def memory_accesses(self, name: str) -> List:
+        """Accesses touching one declared memory, in insertion order."""
+        return [op for op in self.memory_ops if op.payload == name]
+
+    def access_is_dynamic(self, op) -> bool:
+        """Whether an access takes its address from a DFG value."""
+        return has_dynamic_address(op, len(self.dfg.data_in_edges(op.uid)))
 
     def schedulable_ops(self) -> List:
         """Operations that occupy a control step (everything non-free)."""

@@ -28,8 +28,9 @@ def common_subexpressions(region: Region) -> int:
     seen: Dict[Tuple, int] = {}
     changes = 0
     for op in dfg.topological_order():
-        if (op.is_io or op.kind in (OpKind.CONST, OpKind.LOOPMUX,
-                                    OpKind.STALL, OpKind.CALL)
+        if (op.is_io or op.is_memory
+                or op.kind in (OpKind.CONST, OpKind.LOOPMUX,
+                               OpKind.STALL, OpKind.CALL)
                 or op.is_exit_test or op.pinned_state is not None):
             continue
         key = _value_key(dfg, op)

@@ -11,15 +11,16 @@ from repro.cdfg.region import Region
 def dead_code_elimination(region: Region) -> int:
     """Remove operations that cannot affect outputs or control.
 
-    Roots: port writes, the exit test, stall markers and user-pinned
-    operations.  Everything not reachable backwards from a root (through
-    any edge, including loop-carried ones) is removed.
+    Roots: port writes, memory stores, the exit test, stall markers and
+    user-pinned operations.  Everything not reachable backwards from a
+    root (through any edge, including loop-carried and memory-ordering
+    ones) is removed.
     """
     dfg = region.dfg
     live: Set[int] = set()
     stack = [
         op.uid for op in dfg.ops
-        if op.kind in (OpKind.WRITE, OpKind.STALL)
+        if op.kind in (OpKind.WRITE, OpKind.STALL, OpKind.STORE)
         or op.is_exit_test or op.pinned_resource is not None
     ]
     while stack:

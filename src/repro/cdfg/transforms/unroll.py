@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.cdfg.dfg import DFG, DFGError
+from repro.cdfg.memory import reemit_dependence_edges
 from repro.cdfg.ops import Operation, OpKind
 from repro.cdfg.predicates import Predicate
 from repro.cdfg.region import Region
@@ -82,8 +83,8 @@ def unroll_loop(region: Region, factor: int) -> Region:
             cloned.predicate = cumulative_predicate(j, op.predicate)
             clones[j][op.uid] = cloned
             for edge in src.in_edges(op.uid):
-                if edge.distance:
-                    continue
+                if edge.distance or edge.order:
+                    continue  # ordering edges are re-derived below
                 producer = clones[j][edge.src]
                 out.connect(producer, cloned, edge.port)
             if op.is_exit_test:
@@ -124,6 +125,11 @@ def unroll_loop(region: Region, factor: int) -> Region:
         trip_count=(region.trip_count // factor
                     if region.trip_count is not None else None),
         metadata=dict(region.metadata, unrolled=factor),
+        memories=dict(region.memories),
     )
+    if unrolled.memories:
+        # affine access shapes changed (offset + j*stride, stride*factor):
+        # the memory-dependence edges must be re-derived for the copies
+        reemit_dependence_edges(unrolled)
     unrolled.validate()
     return unrolled

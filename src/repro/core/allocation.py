@@ -41,11 +41,15 @@ def type_key_for(op: Operation, library: Library) -> Optional[TypeKey]:
     """The (family, width bucket) an operation maps to, or None.
 
     Free operations, I/O, stall markers and muxes occupy no library
-    resource.  Widths map to the smallest bucket that fits; the paper
-    merges close widths into one resource type but "not resources of very
-    different bit widths", which the bucket ladder realizes.
+    resource; memory accesses bind to their declared memory's RAM bank
+    ports, which the scheduler allocates from the region's
+    ``MemoryDecl``s rather than from this lower bound.  Widths map to
+    the smallest bucket that fits; the paper merges close widths into
+    one resource type but "not resources of very different bit widths",
+    which the bucket ladder realizes.
     """
-    if op.is_free or op.is_io or op.is_mux or op.kind is OpKind.STALL:
+    if op.is_free or op.is_io or op.is_mux or op.is_memory \
+            or op.kind is OpKind.STALL:
         return None
     families = library.families_for(op.kind)
     if not families:

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Set
 
 from repro.cdfg.dfg import DFG
-from repro.cdfg.ops import Operation, OpKind
+from repro.cdfg.ops import MEMORY_KINDS, Operation, OpKind
 from repro.cdfg.region import Region
 from repro.tech.library import Library
 
@@ -51,12 +51,25 @@ class Mobility:
         return self.alap - self.asap
 
 
+def _memory_delay(op: Operation, library: Library) -> float:
+    """Approximate RAM access delay for mobility analysis.
+
+    Uses the library's anchor-depth macro; the exact per-decl depth is
+    charged by the timing engine at binding time (mobility is
+    approximate analysis by design, paper IV.A).
+    """
+    return library.memory_resource(
+        op.resource_width, library.mem.ANCHOR_DEPTH, 1).delay_ps
+
+
 def _optimistic_delay(op: Operation, library: Library) -> float:
     """The op's combinational delay, ignoring sharing muxes (paper IV.A)."""
     if op.is_free or op.kind in (OpKind.READ, OpKind.WRITE, OpKind.STALL):
         return 0.0
     if op.is_mux:
         return library.mux.delay2_ps
+    if op.kind in MEMORY_KINDS:
+        return _memory_delay(op, library)
     families = library.families_for(op.kind)
     if not families:
         raise InfeasibleTiming(
@@ -71,10 +84,14 @@ def _fastest_delay(op: Operation, library: Library) -> float:
         return 0.0
     if op.is_mux:
         return library.mux.delay2_ps
+    if op.kind in MEMORY_KINDS:
+        return _memory_delay(op, library)
     return library.fastest(op.kind, op.resource_width).delay_ps
 
 
 def _can_multicycle(op: Operation, library: Library) -> bool:
+    if op.kind in MEMORY_KINDS:
+        return False  # RAM macros have a fixed access latency
     families = library.families_for(op.kind)
     if not families:
         return False
@@ -116,6 +133,13 @@ def compute_asap(
                 continue
             prod = region.dfg.op(edge.src)
             pm = result[prod.uid]
+            if edge.order:
+                # memory-dependence edge: no value flows; the access
+                # simply may not start before producer-end + gap
+                req = pm.asap + pm.cycles - 1 + edge.min_gap
+                if req > start:
+                    start, chained_in = req, ff.clk_to_q_ps
+                continue
             avail = pm.asap + pm.cycles - 1  # state where the value appears
             if pm.cycles > 1:
                 # multi-cycle results are registered; usable next state
@@ -189,6 +213,10 @@ def compute_alap(
                 continue
             cons = region.dfg.op(edge.dst)
             cm = mobility[cons.uid]
+            if edge.order:
+                latest = min(latest,
+                             cm.alap - edge.min_gap - (mob.cycles - 1))
+                continue
             cons_delay = _optimistic_delay(cons, library)
             fits_chain = (ff.clk_to_q_ps + delay + cons_delay
                           + ff.setup_ps <= clock_ps)

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.cdfg.dfg import DFG
 from repro.cdfg.ops import Operation, OpKind
 from repro.tech.library import Library
-from repro.timing.netlist import BoundOp
+from repro.timing.engine import BoundOp
 
 
 @dataclass
@@ -82,16 +82,21 @@ class RegisterFile:
 
 
 def _resolved_consumers(dfg: DFG, uid: int) -> List[Tuple[Operation, int]]:
-    """(consumer, distance) pairs, looking through free wiring ops."""
+    """(consumer, distance) pairs, looking through free wiring ops.
+
+    Memory-ordering edges are not value uses and do not extend
+    lifetimes.
+    """
     result: List[Tuple[Operation, int]] = []
     stack: List[Tuple[int, int]] = [(e.dst, e.distance)
-                                    for e in dfg.out_edges(uid)]
+                                    for e in dfg.out_edges(uid)
+                                    if not e.order]
     while stack:
         cur, dist = stack.pop()
         op = dfg.op(cur)
         if op.is_free:
             stack.extend((e.dst, dist + e.distance)
-                         for e in dfg.out_edges(cur))
+                         for e in dfg.out_edges(cur) if not e.order)
         else:
             result.append((op, dist))
     return result
@@ -106,8 +111,9 @@ def compute_lifetimes(
     lifetimes: List[ValueLifetime] = []
     for uid, bound in sorted(bindings.items()):
         op = bound.op
-        if op.is_free or op.kind in (OpKind.WRITE, OpKind.STALL):
-            continue
+        if op.is_free or op.kind in (OpKind.WRITE, OpKind.STALL,
+                                     OpKind.STORE):
+            continue  # stores produce no value (the RAM array holds it)
         def_state = bound.end_state
         last_need = def_state
         for cons, dist in _resolved_consumers(dfg, uid):

@@ -34,6 +34,9 @@ class DriverState:
     forbidden: Set[Tuple[int, str]] = field(default_factory=set)
     scc_shifts: Dict[int, int] = field(default_factory=dict)
     speculated: Set[int] = field(default_factory=set)
+    #: banking factor raised beyond a memory's declared value by the
+    #: add-bank action (the memory analogue of add_resource).
+    bank_overrides: Dict[str, int] = field(default_factory=dict)
     history: List[str] = field(default_factory=list)
 
 
@@ -50,6 +53,47 @@ class Action:
     def gain(self) -> float:
         """Estimated gain: restraint weight solved per unit cost."""
         return self.solved_weight / max(self.cost, 1e-6)
+
+
+def _bank_pressure(region: Region, mem_name: str, banks: int) -> int:
+    """Worst number of accesses landing on one bank at a banking factor.
+
+    Dynamic accesses land on every bank (their address is unknown), so
+    they contribute to all of them.
+    """
+    from repro.cdfg.memory import static_bank
+
+    per_bank = [0] * banks
+    for op in region.memory_accesses(mem_name):
+        bank = static_bank(op, banks, region.access_is_dynamic(op))
+        if bank is None:
+            per_bank = [n + 1 for n in per_bank]
+        else:
+            per_bank[bank] += 1
+    return max(per_bank) if per_bank else 0
+
+
+def _bank_proposal(region: Region, library: Library, decl,
+                   cur_banks: int):
+    """Smallest banking factor that lowers pressure, with its area cost.
+
+    Returns ``(new_banks, extra_area)`` or None when no factor up to the
+    cap helps (all conflicting accesses dynamic, or already spread).
+    """
+    cur_pressure = _bank_pressure(region, decl.name, cur_banks)
+    cap = min(decl.depth, 16)
+    new_banks = cur_banks * 2
+    while new_banks <= cap:
+        if _bank_pressure(region, decl.name, new_banks) < cur_pressure:
+            # extra cost ~ the added per-bank periphery (total bitcells
+            # are unchanged; more macros mean more decoders/sense amps)
+            periphery = library.mem.periphery_area
+            if decl.ports >= 2:
+                periphery *= library.mem.dual_port_area_factor
+            extra_area = (new_banks - cur_banks) * periphery
+            return new_banks, extra_area
+        new_banks *= 2
+    return None
 
 
 def _fits(library: Library, input_arrival: float, delay: float,
@@ -71,6 +115,7 @@ def propose_actions(
     enable_scc_move: bool = True,
     enable_speculation: bool = True,
     allow_grades: bool = True,
+    allow_banking: bool = True,
     resource_outlook: Optional[Dict[Tuple[str, int],
                                     Tuple[int, int]]] = None,
 ) -> List[Action]:
@@ -100,6 +145,11 @@ def propose_actions(
                     demand, count = outlook.get(r.type_key, (0, 1))
                     needed = -(-demand // max(count, 1))
                     jump = max(jump, needed - state.latency)
+            elif r.kind is RestraintKind.MEM_PORT:
+                # like NO_RESOURCE: a new state only provides fresh port
+                # slots while it grows the set of equivalence classes
+                if ii is None or state.latency < ii:
+                    solved += r.weight
             elif r.kind is RestraintKind.LATENCY:
                 solved += r.weight
             elif r.kind is RestraintKind.SCC_TIMING and r.fits_fresh_state:
@@ -163,11 +213,45 @@ def propose_actions(
             ))
             break  # cheapest fitting grade is enough per type
 
+    # ---------------------------------------------------------------- add banks
+    # MEM_PORT starvation: more accesses hit a bank per state than the
+    # bank has RAM ports.  Raising the cyclic banking factor spreads
+    # *static* accesses over more macros (the memory analogue of
+    # add_resource); the action is only proposed when it provably lowers
+    # the worst per-bank pressure -- dynamic accesses pin every bank, so
+    # banking cannot help them.
+    by_mem: Dict[str, float] = {}
+    if allow_banking:
+        for r in restraints:
+            if r.kind is RestraintKind.MEM_PORT and r.mem_name is not None:
+                by_mem[r.mem_name] = by_mem.get(r.mem_name, 0.0) + r.weight
+    for mem_name, solved in sorted(by_mem.items()):
+        decl = region.memories.get(mem_name)
+        if decl is None:
+            continue
+        cur_banks = state.bank_overrides.get(mem_name, decl.banks)
+        proposal = _bank_proposal(region, library, decl, cur_banks)
+        if proposal is None:
+            continue
+        new_banks, extra_area = proposal
+
+        def add_bank(st: DriverState, mem: str = mem_name,
+                     n: int = new_banks) -> None:
+            st.bank_overrides[mem] = n
+            st.history.append(f"add_bank {mem} -> {n}")
+        actions.append(Action(
+            f"add_bank:{mem_name}",
+            cost=0.5 + extra_area / 4000.0,
+            solved_weight=solved,
+            apply=add_bank,
+        ))
+
     # ----------------------------------------------------------------- move SCC
     if pipeline is not None and enable_scc_move:
         by_scc: Dict[int, float] = {}
         for r in restraints:
-            if r.kind is RestraintKind.SCC_TIMING and r.scc_index is not None:
+            if r.kind is RestraintKind.SCC_TIMING \
+                    and r.scc_index is not None and not r.window_overflow:
                 by_scc[r.scc_index] = by_scc.get(r.scc_index, 0.0) + r.weight
         for scc_index, solved in sorted(by_scc.items()):
             def move_scc(st: DriverState, idx: int = scc_index) -> None:

@@ -27,6 +27,9 @@ class RestraintKind(str, enum.Enum):
     #: all compatible instances were busy on the state (or its equivalent
     #: edges when pipelining).
     NO_RESOURCE = "no_resource"
+    #: every RAM port of the accessed bank(s) was busy on the state --
+    #: memory port starvation; solvable by banking or by adding states.
+    MEM_PORT = "mem_port"
     #: the binding violated the clock period.
     NEG_SLACK = "neg_slack"
     #: the binding would have closed a false combinational cycle.
@@ -64,10 +67,15 @@ class Restraint:
     fits_fresh_state: bool = True
     #: SCC window index for SCC restraints.
     scc_index: Optional[int] = None
+    #: the SCC window itself no longer fits the latency bound -- moving
+    #: it later cannot help, only adding states can.
+    window_overflow: bool = False
     #: instance name for combinational-cycle restraints.
     inst_name: Optional[str] = None
     #: condition uid for predicate-order restraints.
     cond_uid: Optional[int] = None
+    #: memory name for RAM-port starvation restraints.
+    mem_name: Optional[str] = None
     #: worst chained input arrival observed at the failing state; lets the
     #: relaxation engine probe whether a faster grade would fit in place.
     input_arrival_ps: float = 0.0
@@ -123,7 +131,8 @@ class RestraintLog:
                 base = 0.6
             else:
                 base = 0.3
-            key = (r.kind, r.op_uid, r.type_key, r.scc_index, r.inst_name)
+            key = (r.kind, r.op_uid, r.type_key, r.scc_index, r.inst_name,
+                   r.mem_name)
             if key in merged:
                 merged[key].weight += 0.5 * base
                 merged[key].slack_ps = min(merged[key].slack_ps, r.slack_ps)

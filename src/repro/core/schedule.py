@@ -7,12 +7,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.cdfg.memory import static_bank
 from repro.cdfg.ops import OpKind
 from repro.cdfg.region import PipelineSpec, Region
 from repro.core.registers import RegisterFile, allocate_registers
 from repro.core.scc import SCCWindow, check_carried_dependencies
 from repro.tech.library import Library
-from repro.tech.resources import ResourcePool
+from repro.tech.resources import MemoryConfig, ResourcePool
 from repro.timing.engine import BoundOp, TimingEngine
 from repro.timing.sta import TimingReport, verify_timing
 
@@ -47,12 +48,14 @@ class AreaReport:
     registers: float
     sharing_muxes: float
     steering_muxes: float  # MUX/LOOPMUX operations
+    memories: float = 0.0  # RAM macros of declared arrays
 
     @property
     def total(self) -> float:
         """Total area."""
         return (self.resources + self.registers
-                + self.sharing_muxes + self.steering_muxes)
+                + self.sharing_muxes + self.steering_muxes
+                + self.memories)
 
     def rows(self) -> List[Tuple[str, float]]:
         """(component, area) rows for reports."""
@@ -61,6 +64,7 @@ class AreaReport:
             ("registers", self.registers),
             ("sharing muxes", self.sharing_muxes),
             ("steering muxes", self.steering_muxes),
+            ("memories", self.memories),
             ("total", self.total),
         ]
 
@@ -81,6 +85,9 @@ class Schedule:
     passes: int = 1
     actions_taken: List[str] = field(default_factory=list)
     speculated: frozenset = frozenset()
+    #: physical realization of the region's declared memories (effective
+    #: banking may exceed the declared one via the add-bank action).
+    memories: Dict[str, MemoryConfig] = field(default_factory=dict)
 
     @property
     def ii(self) -> Optional[int]:
@@ -124,13 +131,15 @@ class Schedule:
         """Area breakdown: resources + registers + muxes."""
         lib = self.library
         regs = self.register_file()
+        mem_ports = {inst.name: inst for cfg in self.memories.values()
+                     for inst in cfg.all_port_insts()}
         sharing = 0.0
         for (inst_name, _port), sources in sorted(
                 self.netlist.port_sources().items()):
             if len(sources) < 2:
                 continue
-            inst = next(i for i in self.pool.instances
-                        if i.name == inst_name)
+            inst = mem_ports.get(inst_name) or next(
+                i for i in self.pool.instances if i.name == inst_name)
             sharing += lib.mux.area(len(sources), inst.rtype.width)
         steering = 0.0
         for uid, bound in self.bindings.items():
@@ -141,6 +150,7 @@ class Schedule:
             registers=regs.area(lib),
             sharing_muxes=sharing,
             steering_muxes=steering,
+            memories=sum(cfg.area for cfg in self.memories.values()),
         )
 
     @property
@@ -159,6 +169,8 @@ class Schedule:
     def table(self) -> str:
         """Render the paper's Table 2: states x resources grid."""
         columns: List[str] = [inst.name for inst in self.pool.instances]
+        columns += [inst.name for cfg in self.memories.values()
+                    for inst in cfg.all_port_insts()]
         mux_ops = [b for b in self.bindings.values() if b.op.is_mux]
         if mux_ops:
             columns.append("mux")
@@ -201,6 +213,10 @@ class Schedule:
             "wns_ps": round(timing.wns_ps, 1),
             "resources": self.pool.summary(),
             "register_bits": self.register_file().total_bits,
+            "memories": {name: {"banks": cfg.banks,
+                                "ports": cfg.ports,
+                                "macro": cfg.rtype.name}
+                         for name, cfg in sorted(self.memories.items())},
         }
 
     # ------------------------------------------------------------------
@@ -234,6 +250,19 @@ class Schedule:
             if bound is None:
                 continue
             for edge in dfg.in_edges(op.uid):
+                if edge.order:
+                    pb = self.bindings.get(edge.src)
+                    if pb is None:
+                        continue
+                    ii = self.ii_effective
+                    lhs = bound.state + edge.distance * ii
+                    if lhs - pb.end_state < edge.min_gap:
+                        producer = dfg.op(edge.src)
+                        problems.append(
+                            f"{op.name}: memory-order violation against "
+                            f"{producer.name} (distance {edge.distance}, "
+                            f"gap {edge.min_gap})")
+                    continue
                 if edge.distance >= 1:
                     continue
                 root = self.netlist.resolve_source(edge.src)
@@ -266,6 +295,7 @@ class Schedule:
                             problems.append(
                                 f"{inst.name}: {a.name} and {b.name} clash "
                                 f"on equivalent edges (class {key})")
+        problems.extend(self._validate_memory_ports())
         for window in self.scc_windows:
             for uid in window.ops:
                 bound = self.bindings.get(uid)
@@ -284,4 +314,47 @@ class Schedule:
             timing = self.timing_report()
             if not timing.met:
                 problems.append(f"timing not met: WNS {timing.wns_ps:.0f}ps")
+        return problems
+
+    def _validate_memory_ports(self) -> List[str]:
+        """Check that no bank serves more accesses per state than it has
+        RAM ports, independent of the binder's bookkeeping.
+
+        Accesses are grouped per (equivalence class, bank); dynamic
+        addresses count against every bank.  Predicate-exclusive
+        accesses may share one port (only one of them executes).
+        """
+        problems: List[str] = []
+        for name, cfg in sorted(self.memories.items()):
+            #: (class, bank) -> accesses landing there
+            usage: Dict[Tuple[int, int], List] = {}
+            for op in self.region.memory_accesses(name):
+                bound = self.bindings.get(op.uid)
+                if bound is None:
+                    continue
+                bank = static_bank(op, cfg.banks,
+                                   self.region.access_is_dynamic(op))
+                banks = [bank] if bank is not None else range(cfg.banks)
+                for state in range(bound.state, bound.end_state + 1):
+                    key = state % self.ii if self.pipeline else state
+                    for b in banks:
+                        usage.setdefault((key, b), []).append(op)
+            for (key, b), ops in sorted(usage.items()):
+                # greedy predicate-exclusive grouping: one port serves a
+                # group of pairwise-disjoint accesses
+                groups: List[List] = []
+                for op in ops:
+                    for group in groups:
+                        if all(op.predicate.disjoint(o.predicate)
+                               for o in group):
+                            group.append(op)
+                            break
+                    else:
+                        groups.append([op])
+                if len(groups) > cfg.ports:
+                    names = ", ".join(o.name for o in ops)
+                    problems.append(
+                        f"memory {name} bank {b}: {len(groups)} concurrent "
+                        f"accesses exceed {cfg.ports} port(s) in class "
+                        f"{key} ({names})")
         return problems

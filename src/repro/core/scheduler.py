@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cdfg.dfg import DFG
+from repro.cdfg.memory import static_bank
 from repro.cdfg.ops import Operation, OpKind
 from repro.cdfg.region import PipelineSpec, Region
 from repro.core.allocation import AllocationResult, build_pool, lower_bound, type_key_for
@@ -34,7 +35,13 @@ from repro.core.restraints import Restraint, RestraintKind, RestraintLog
 from repro.core.scc import SCCWindow, apply_windows, find_scc_windows, window_of
 from repro.core.schedule import Schedule, ScheduleError
 from repro.tech.library import Library
-from repro.tech.resources import ResourceInstance, ResourcePool
+from repro.tech.resources import (
+    MemoryConfig,
+    MemoryPortInstance,
+    ResourceInstance,
+    ResourcePool,
+    build_memory_configs,
+)
 from repro.timing.cycles import CombCycleGuard
 from repro.timing.engine import (
     CandidateTiming,
@@ -58,6 +65,10 @@ class SchedulerOptions:
     anticipate_muxes: bool = True
     allow_multicycle: bool = True
     allow_grades: bool = True
+    #: let the relaxation driver raise a memory's banking factor beyond
+    #: its declaration (the add-bank action); disable to pin the
+    #: declared banking for controlled port-constraint experiments.
+    allow_banking: bool = True
     validate_result: bool = True
     #: Table 4 ablation companion: with the SCC move disabled, SCC members
     #: are anchored by dependency-only (timing-blind) analysis and bound
@@ -119,11 +130,29 @@ class _Pass:
         self.pool = build_pool(allocation, library)
         for rtype in state.extra_types:
             self.pool.add(rtype)
+        # RAM banks: one port instance per (memory, bank, port); the
+        # effective banking factor honors the driver's add-bank overrides
+        self.memories: Dict[str, MemoryConfig] = build_memory_configs(
+            region.memories, library, state.bank_overrides)
+        #: per memory op: (memory name, dynamic address?, static bank).
+        self._mem_shape: Dict[int, Tuple[str, bool, Optional[int]]] = {}
+        for op in region.memory_ops:
+            dynamic = region.access_is_dynamic(op)
+            banks = self.memories[op.payload].banks
+            self._mem_shape[op.uid] = (
+                op.payload, dynamic, static_bank(op, banks, dynamic))
         self.netlist = TimingEngine(
             self.dfg, library, clock_ps,
             anticipate_muxes=options.anticipate_muxes)
         demand = {key: n for key, n in allocation.demand.items()}
         counts = {key: self.pool.count(*key) for key in demand}
+        # RAM address-mux anticipation: more accesses than physical
+        # ports means the ports will be shared across states
+        for name, cfg in self.memories.items():
+            key = (cfg.rtype.family, cfg.rtype.width)
+            demand[key] = demand.get(key, 0) + len(
+                region.memory_accesses(name))
+            counts[key] = counts.get(key, 0) + cfg.banks * cfg.ports
         self.netlist.set_sharing_outlook(demand, counts)
         self.guard = CombCycleGuard()
         self.windows: List[SCCWindow] = []
@@ -131,7 +160,8 @@ class _Pass:
         # readiness machinery
         self._unresolved: Dict[int, int] = {}
         self._earliest: Dict[int, int] = {}
-        self._consumers: Dict[int, List[int]] = {}
+        #: root uid -> (consumer uid, min state gap after root completes).
+        self._consumers: Dict[int, List[Tuple[int, int]]] = {}
         self._cond_waiters: Dict[int, List[int]] = {}
         self._ready_heap: List[Tuple] = []
         self._in_heap: Set[int] = set()
@@ -191,7 +221,8 @@ class _Pass:
                     self.log.record(Restraint(
                         kind=RestraintKind.SCC_TIMING, op_uid=anchor,
                         state=window.start, scc_index=window.index,
-                        fits_fresh_state=True))
+                        fits_fresh_state=True,
+                        window_overflow=window.end > self.latency - 1))
                     self.log.mark_failed(anchor)
                     ok = False
             if not ok:
@@ -203,23 +234,29 @@ class _Pass:
         for op in self.dfg.ops:
             if op.is_free:
                 continue
-            roots: Set[int] = set()
+            #: root uid -> min state gap after the root completes
+            #: (ordering edges carry their dependence-class gap; data
+            #: edges use 0, chaining/multicycle rules refine at bind).
+            roots: Dict[int, int] = {}
             for edge in self.dfg.in_edges(op.uid):
                 if edge.distance >= 1:
                     continue
                 root = resolve(edge.src)
-                if not self.dfg.op(root).is_free:
-                    roots.add(root)
+                if self.dfg.op(root).is_free:
+                    continue
+                gap = edge.min_gap if edge.order else 0
+                roots[root] = max(roots.get(root, 0), gap)
             conds: Set[int] = set()
             if (not op.predicate.is_true
                     and op.uid not in self.state.speculated):
                 conds = {uid for uid in op.predicate.condition_uids()
-                         if uid in self.dfg and uid != op.uid}
+                         if uid in self.dfg and uid != op.uid
+                         and uid not in roots}
             self._unresolved[op.uid] = len(roots) + len(conds)
-            for root in roots:
-                self._consumers.setdefault(root, []).append(op.uid)
+            for root, gap in roots.items():
+                self._consumers.setdefault(root, []).append((op.uid, gap))
             for cond in conds:
-                self._consumers.setdefault(cond, []).append(op.uid)
+                self._consumers.setdefault(cond, []).append((op.uid, 0))
             self._earliest[op.uid] = self.mobility[op.uid].asap
 
     def _push_ready(self, uid: int) -> None:
@@ -233,8 +270,9 @@ class _Pass:
 
     def _on_bound(self, uid: int, end_state: int, multicycle: bool) -> None:
         """Release consumers whose producers are now all bound."""
-        for cons in self._consumers.get(uid, ()):
+        for cons, gap in self._consumers.get(uid, ()):
             avail = end_state + 1 if multicycle else end_state
+            avail = max(avail, end_state + gap)
             self._earliest[cons] = max(self._earliest[cons], avail,
                                        self.mobility[cons].asap)
             self._unresolved[cons] -= 1
@@ -261,8 +299,8 @@ class _Pass:
         edges: List[Tuple[str, str]] = []
         dst = _node_name(op, inst)
         for edge in self.dfg.in_edges(op.uid):
-            if edge.distance >= 1:
-                continue
+            if edge.distance >= 1 or edge.order:
+                continue  # ordering edges carry no combinational path
             root = self.netlist.resolve_source(edge.src)
             producer = self.dfg.op(root)
             if producer.is_free or producer.kind is OpKind.READ:
@@ -274,7 +312,13 @@ class _Pass:
         return edges
 
     def _check_carried(self, op: Operation, state: int) -> bool:
-        """Modulo causality toward already-bound carried consumers."""
+        """Modulo causality toward already-bound carried neighbours.
+
+        Ordering edges use their dependence-class gap (0 for WAR, 1 for
+        RAW/WAW) instead of the data edges' implicit gap of one state,
+        and are checked in both directions: a consumer access placed too
+        early violates its carried producer just as surely.
+        """
         ii = self.ii if self.ii is not None else self.latency
         for edge in self.dfg.out_edges(op.uid):
             if edge.distance < 1:
@@ -282,7 +326,16 @@ class _Pass:
             cb = self.netlist.binding(edge.dst)
             if cb is None:
                 continue
-            if state > cb.state + edge.distance * ii - 1:
+            gap = edge.min_gap if edge.order else 1
+            if state > cb.state + edge.distance * ii - gap:
+                return False
+        for edge in self.dfg.in_edges(op.uid):
+            if edge.distance < 1 or not edge.order:
+                continue
+            pb = self.netlist.binding(edge.src)
+            if pb is None:
+                continue
+            if pb.end_state > state + edge.distance * ii - edge.min_gap:
                 return False
         return True
 
@@ -292,15 +345,27 @@ class _Pass:
         needs_resource = type_key_for(op, self.library) is not None
         arrival_probe = self.netlist.worst_input_arrival(op, e)
         if not self._check_carried(op, e):
-            restraints.append(Restraint(
-                kind=RestraintKind.CARRIED_DEP, op_uid=op.uid, state=e,
-                fits_fresh_state=False))
+            window = window_of(self.windows, op.uid)
+            if window is not None:
+                # a windowed op blocked by modulo causality means the
+                # whole SCC sits too early: moving the window (the
+                # paper's timing-driven kernel selection) is the fix
+                restraints.append(Restraint(
+                    kind=RestraintKind.SCC_TIMING, op_uid=op.uid, state=e,
+                    scc_index=window.index, fits_fresh_state=False))
+            else:
+                restraints.append(Restraint(
+                    kind=RestraintKind.CARRIED_DEP, op_uid=op.uid, state=e,
+                    fits_fresh_state=False))
             return False, restraints
 
         accept_violation = (
             op.uid in self._forced_sccs
             or (self.options.accept_negative_slack
                 and e >= self.mobility[op.uid].alap))
+
+        if op.kind in (OpKind.LOAD, OpKind.STORE):
+            return self._try_bind_memory(op, e, restraints)
 
         if not needs_resource:
             timing = self.netlist.evaluate(
@@ -419,6 +484,98 @@ class _Pass:
                 op, e, dummy, arrival_probe, type_key))
         return False, restraints
 
+    def _try_bind_memory(self, op: Operation, e: int,
+                         restraints: List[Restraint]
+                         ) -> Tuple[bool, List[Restraint]]:
+        """Bind a LOAD/STORE to a RAM port of its memory at state ``e``.
+
+        RAM ports are shared instances: at most P accesses per bank per
+        state (P = ports per bank), honoring pipelining's equivalent
+        edges.  A static-bank access claims one port of its bank; a
+        dynamic access may address any bank, so it conservatively
+        reserves the same port index on *every* bank.  Timing (address
+        mux + array access + read-data capture) is charged through the
+        incremental engine against the primary port instance.
+        """
+        mem, _dynamic, bank = self._mem_shape[op.uid]
+        cfg = self.memories[mem]
+        if bank is not None:
+            candidate_sets = [[cfg.port_insts[bank][p]]
+                              for p in range(cfg.ports)]
+        else:
+            candidate_sets = [[cfg.port_insts[b][p]
+                               for b in range(cfg.banks)]
+                              for p in range(cfg.ports)]
+        busy = 0
+        best_slack: Optional[float] = None
+        for insts in candidate_sets:
+            primary = insts[0]
+            timing = self.netlist.evaluate(
+                op, primary, e, allow_multicycle=False)
+            if not timing.ok:
+                if best_slack is None or timing.slack_ps > best_slack:
+                    best_slack = timing.slack_ps
+                continue
+            needed = list(range(e, e + timing.cycles))
+            if needed[-1] > self.latency - 1:
+                restraints.append(Restraint(
+                    kind=RestraintKind.LATENCY, op_uid=op.uid, state=e,
+                    fits_fresh_state=True))
+                continue
+            window = window_of(self.windows, op.uid)
+            if window is not None and needed[-1] > window.end:
+                restraints.append(Restraint(
+                    kind=RestraintKind.SCC_TIMING, op_uid=op.uid, state=e,
+                    scc_index=window.index, fits_fresh_state=True))
+                continue
+            eq_states = _equivalent_states(needed, self.latency, self.ii)
+            if not all(inst.is_free(op, eq_states) for inst in insts):
+                busy += 1
+                continue
+            chain = self._chain_edges(op, primary, e)
+            if self.guard.would_cycle(chain):
+                restraints.append(Restraint(
+                    kind=RestraintKind.COMB_CYCLE, op_uid=op.uid, state=e,
+                    inst_name=primary.name))
+                continue
+            result = self.netlist.commit(op, primary, e, timing)
+            broken = result.broken(self.clock_ps)
+            if broken is not None:
+                broken_slack = self.netlist.slack_of(broken)
+                broken_arrival = self.netlist.worst_input_arrival(
+                    broken.op, broken.state)
+                self.netlist.rollback(result)
+                restraints.append(Restraint(
+                    kind=RestraintKind.NEG_SLACK, op_uid=broken.op.uid,
+                    state=broken.state, slack_ps=broken_slack,
+                    input_arrival_ps=broken_arrival))
+                continue
+            for inst in insts:
+                inst.occupy(op, needed)
+            self.guard.commit(chain)
+            self._on_bound(op.uid, needed[-1],
+                           multicycle=timing.cycles > 1)
+            return True, restraints
+
+        # a new state only provides fresh port slots while it grows the
+        # set of equivalence classes (sequential always; pipelined only
+        # below II states) -- mirrored by the add-state action
+        fresh_state_helps = self.ii is None or self.latency < self.ii
+        if busy:
+            restraints.append(Restraint(
+                kind=RestraintKind.MEM_PORT, op_uid=op.uid, state=e,
+                mem_name=mem, fits_fresh_state=fresh_state_helps))
+        if best_slack is not None:
+            budget = self.clock_ps * max(cfg.rtype.access_cycles, 1)
+            restraints.append(Restraint(
+                kind=RestraintKind.NEG_SLACK, op_uid=op.uid, state=e,
+                slack_ps=best_slack,
+                input_arrival_ps=self.netlist.worst_input_arrival(op, e),
+                fresh_instance_fails=True,
+                fits_fresh_state=registered_path_ps(
+                    self.library, cfg.rtype) <= budget))
+        return False, restraints
+
     def _timing_restraint(self, op: Operation, e: int,
                           timing: CandidateTiming, arrival: float,
                           type_key) -> Restraint:
@@ -441,6 +598,10 @@ class _Pass:
         lib = self.library
         if op.is_free or op.is_io or op.is_mux or op.kind is OpKind.STALL:
             return True
+        if op.is_memory:
+            rtype = self.memories[op.payload].rtype
+            budget = self.clock_ps * max(rtype.access_cycles, 1)
+            return registered_path_ps(lib, rtype) <= budget
         families = lib.families_for(op.kind)
         if not families:
             return False
@@ -586,6 +747,7 @@ def schedule_region(
                 passes=pass_no,
                 actions_taken=list(state.history),
                 speculated=frozenset(state.speculated),
+                memories=pass_run.memories,
             )
             if options.validate_result:
                 problems = schedule.validate(
@@ -603,6 +765,7 @@ def schedule_region(
             enable_scc_move=options.enable_scc_move,
             enable_speculation=options.enable_speculation,
             allow_grades=options.allow_grades,
+            allow_banking=options.allow_banking,
             resource_outlook=outlook)
         if not actions:
             diagnostics = [
@@ -621,8 +784,9 @@ def schedule_region(
         for extra in actions[1:]:
             if extra.name == actions[0].name:
                 continue
-            if extra.name.startswith(("add_resource:", "forbid:",
-                                      "speculate:", "move_scc:")):
+            if extra.name.startswith(("add_resource:", "add_bank:",
+                                      "forbid:", "speculate:",
+                                      "move_scc:")):
                 extra.apply(state)
     raise ScheduleError(
         f"{region.name}: pass budget ({options.max_passes}) exhausted",

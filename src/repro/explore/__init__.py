@@ -12,6 +12,7 @@ from repro.explore.microarch import (
     Microarch,
     PAPER_CLOCKS_PS,
     PAPER_MICROARCHS,
+    banked_microarchs,
 )
 from repro.explore.pareto import DesignPoint, group_by_microarch, pareto_front
 from repro.explore.record import read_json, write_csv, write_json
@@ -27,6 +28,7 @@ __all__ = [
     "PAPER_CLOCKS_PS",
     "PAPER_MICROARCHS",
     "SweepResult",
+    "banked_microarchs",
     "group_by_microarch",
     "read_json",
     "pareto_front",

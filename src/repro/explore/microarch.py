@@ -13,22 +13,73 @@ This module is dependency-free so both :mod:`repro.explore.sweep` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
 class Microarch:
-    """One microarchitecture: a fixed latency, optionally pipelined."""
+    """One microarchitecture: a fixed latency, optionally pipelined,
+    optionally with memory banking overrides.
+
+    ``banking`` maps memory names to cyclic banking factors applied on
+    top of the region's declarations -- the sweep axis that exposes
+    memory-port-constrained II (stored as a sorted tuple of pairs so
+    the microarchitecture stays hashable).
+    """
 
     name: str
     latency: int
     ii: Optional[int] = None  # None = non-pipelined
+    banking: Optional[Tuple[Tuple[str, int], ...]] = None
 
     @property
     def ii_effective(self) -> int:
         """Cycles between iterations."""
         return self.ii if self.ii is not None else self.latency
+
+    def with_banking(self, banking: Dict[str, int]) -> "Microarch":
+        """A copy with memory banking overrides (and a labeled name)."""
+        pairs = tuple(sorted(banking.items()))
+        label = ",".join(f"{mem}x{banks}" for mem, banks in pairs)
+        return replace(self, name=f"{self.name} [banks {label}]",
+                       banking=pairs)
+
+    def apply_banking(self, region) -> None:
+        """Rewrite the region's memory declarations in place.
+
+        Dependence edges are re-derived afterwards: banking relaxes
+        conflicts between accesses with distinct static banks, so the
+        swept point must carry exactly the edges a directly-declared
+        identical geometry would (same fingerprint, same schedule).
+        """
+        if not self.banking:
+            return
+        from repro.cdfg.memory import reemit_dependence_edges
+
+        for mem, banks in self.banking:
+            decl = region.memories.get(mem)
+            if decl is None:
+                raise KeyError(
+                    f"{self.name}: region has no memory {mem!r}")
+            region.memories[mem] = decl.with_banks(banks)
+        reemit_dependence_edges(region)
+
+
+def banked_microarchs(
+    base: Microarch,
+    memories: Sequence[str],
+    factors: Sequence[int],
+) -> Tuple[Microarch, ...]:
+    """One microarchitecture per banking factor, for sweep grids.
+
+    Every listed memory gets the same factor per point -- the common
+    "partition everything cyclically by N" exploration move.
+    """
+    return tuple(
+        base.with_banking({mem: factor for mem in memories})
+        for factor in factors
+    )
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,7 @@ from repro.explore.microarch import (
     Microarch,
     PAPER_CLOCKS_PS,
     PAPER_MICROARCHS,
+    banked_microarchs,
 )
 from repro.explore.pareto import DesignPoint
 from repro.tech.library import Library
@@ -37,6 +38,7 @@ __all__ = [
     "Microarch",
     "PAPER_CLOCKS_PS",
     "PAPER_MICROARCHS",
+    "banked_microarchs",
     "sweep_microarchitectures",
     "synthesize_point",
 ]

@@ -36,10 +36,13 @@ def region_fingerprint(region: Region) -> str:
 
     Covers everything scheduling observes: per-operation kind, widths,
     predicate literals, payload, pins, I/O striding; the full edge list
-    with ports and distances; and the region-level latency bounds, loop
-    flags and trip count.  Operation uids are allocated in insertion
-    order by :class:`~repro.cdfg.dfg.DFG`, so two regions built by the
-    same sequence of builder calls produce identical fingerprints.
+    with ports, distances and memory-ordering attributes; the memory
+    declarations (depth, width, banking, ports, initial contents --
+    banking changes the port-constraint problem, so it must miss the
+    cache); and the region-level latency bounds, loop flags and trip
+    count.  Operation uids are allocated in insertion order by
+    :class:`~repro.cdfg.dfg.DFG`, so two regions built by the same
+    sequence of builder calls produce identical fingerprints.
     """
     dfg = region.dfg
     ops = []
@@ -53,8 +56,15 @@ def region_fingerprint(region: Region) -> str:
             list(op.operand_widths), op.io_offset, op.io_stride,
         ])
         for edge in dfg.in_edges(op.uid):
-            edges.append([edge.src, edge.dst, edge.port, edge.distance])
+            edges.append([edge.src, edge.dst, edge.port, edge.distance,
+                          edge.order, edge.min_gap])
     edges.sort()
+    memories = [
+        [decl.name, decl.depth, decl.width, decl.banks, decl.ports,
+         list(decl.init) if decl.init is not None else None]
+        for decl in (region.memories[name]
+                     for name in sorted(region.memories))
+    ]
     payload = {
         "name": region.name,
         "is_loop": region.is_loop,
@@ -64,6 +74,7 @@ def region_fingerprint(region: Region) -> str:
         "trip_count": region.trip_count,
         "ops": ops,
         "edges": edges,
+        "memories": memories,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()

@@ -91,6 +91,7 @@ def synthesize_design_point(
     region = region_factory()
     region.min_latency = microarch.latency
     region.max_latency = microarch.latency
+    microarch.apply_banking(region)
     pipeline = PipelineSpec(ii=microarch.ii) \
         if microarch.ii is not None else None
     ctx = CompilationContext(

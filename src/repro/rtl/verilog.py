@@ -10,8 +10,11 @@ one operator per operation -- matching what the binder decided.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
+import math
+
+from repro.cdfg.memory import static_bank
 from repro.cdfg.ops import Operation, OpKind
 from repro.core.folding import FoldedPipeline
 from repro.core.registers import RegisterFile
@@ -83,6 +86,164 @@ class VerilogWriter:
             return self._wire(producer)  # combinational chain
         return self._reg_of_value.get(root, self._wire(producer))
 
+    def _phase_select(self, srcs: List[Tuple[int, str, str]]) -> str:
+        """State-steered select chain for a shared port.
+
+        ``srcs`` holds ``(phase, guard, expr)`` per user of the port.
+        Entries that share a kernel phase (predicate-disjoint operations
+        may legally share an instance on one state) are distinguished by
+        their guard -- the operation's predicate expression.
+        """
+        if len({expr for _p, _g, expr in srcs}) == 1:
+            return srcs[0][2]
+        phase_counts: Dict[int, int] = {}
+        for phase, _guard, _expr in srcs:
+            phase_counts[phase] = phase_counts.get(phase, 0) + 1
+        sel = srcs[-1][2]
+        for phase, guard, expr in reversed(srcs[:-1]):
+            cond = f"kstate == {self.fsm.state_bits}'d{phase}"
+            if phase_counts[phase] > 1 and guard != "1'b1":
+                cond += f" && ({guard})"
+            sel = f"({cond}) ? {expr} : {sel}"
+        return sel
+
+    # ------------------------------------------------------------------
+    # memory helpers
+    # ------------------------------------------------------------------
+    def _mem_bank_name(self, mem: str, bank: int) -> str:
+        return f"mem_{_ident(mem)}_b{bank}"
+
+    def _mem_addr_expr(self, op: Operation) -> str:
+        """The access's word address: dynamic operand or affine counter."""
+        if self.schedule.region.access_is_dynamic(op):
+            return self._operand_expr(op, 0)
+        stage = self.schedule.bindings[op.uid].state \
+            // self.schedule.ii_effective
+        iter_expr = f"(iter_count - {stage})" if stage else "iter_count"
+        if op.io_stride == 0:
+            return str(op.io_offset)
+        expr = iter_expr if op.io_stride == 1 \
+            else f"{iter_expr} * {op.io_stride}"
+        return f"({expr} + {op.io_offset})" if op.io_offset else expr
+
+    def _store_data_expr(self, op: Operation) -> str:
+        """RTL source of a store's write data (port 1 dynamic, 0 affine)."""
+        dynamic = self.schedule.region.access_is_dynamic(op)
+        return self._operand_expr(op, 1 if dynamic else 0)
+
+    def _memory_datapath(self) -> List[str]:
+        """RAM bank read ports: per-bank/port address muxes, load wires.
+
+        Every bank is a register array with its own address bus per
+        port; reads are asynchronous (data valid within the access
+        state, matching the timing model).  An access whose bank is not
+        static appears on its port of *every* bank and selects the read
+        data by ``address % banks``.
+        """
+        lines: List[str] = []
+        region = self.schedule.region
+        for name, cfg in sorted(self.schedule.memories.items()):
+            aw = max(1, math.ceil(math.log2(max(cfg.decl.depth, 2))))
+            #: (bank, port) -> [(phase, address expr)]
+            by_bank_port: Dict[Tuple[int, int], List[Tuple[int, str]]] = {}
+            loads: List[Operation] = []
+            for op in region.memory_accesses(name):
+                bound = self.schedule.bindings.get(op.uid)
+                if bound is None or op.kind is not OpKind.LOAD:
+                    continue
+                loads.append(op)
+                phase = bound.state % self.schedule.ii_effective
+                addr = self._mem_addr_expr(op)
+                sbank = static_bank(op, cfg.banks,
+                                    region.access_is_dynamic(op))
+                banks = [sbank] if sbank is not None else range(cfg.banks)
+                for bank in banks:
+                    by_bank_port.setdefault(
+                        (bank, bound.inst.port), []).append(
+                            (phase, self._predicate_expr(op), addr))
+            for (bank, port), srcs in sorted(by_bank_port.items()):
+                # the RAM port's address mux the timing engine charged
+                sel = self._phase_select(srcs)
+                addr = f"{_ident(name)}_b{bank}p{port}_addr"
+                local = f"({addr}) / {cfg.banks}" if cfg.banks > 1 else addr
+                lines.append(f"    wire [{aw - 1}:0] {addr} = {sel};")
+                lines.append(
+                    f"    wire signed [{cfg.decl.width - 1}:0] "
+                    f"{_ident(name)}_b{bank}p{port}_q = "
+                    f"{self._mem_bank_name(name, bank)}[{local}];")
+            for op in loads:
+                bound = self.schedule.bindings[op.uid]
+                port = bound.inst.port
+                sbank = static_bank(op, cfg.banks,
+                                    region.access_is_dynamic(op))
+                if sbank is not None:
+                    src = f"{_ident(name)}_b{sbank}p{port}_q"
+                else:
+                    # the bank varies per iteration: select by modulo
+                    addr = self._mem_addr_expr(op)
+                    src = f"{_ident(name)}_b{cfg.banks - 1}p{port}_q"
+                    for bank in range(cfg.banks - 1):
+                        q = f"{_ident(name)}_b{bank}p{port}_q"
+                        src = (f"(({addr}) % {cfg.banks} == {bank}) ? "
+                               f"{q} : {src}")
+                lines.append(
+                    f"    wire signed [{op.width - 1}:0] "
+                    f"{self._wire(op)} = {src};")
+        return lines
+
+    def _memory_writes(self) -> List[str]:
+        """Store commits inside the clocked block (RAM write ports)."""
+        lines: List[str] = []
+        region = self.schedule.region
+        for name, cfg in sorted(self.schedule.memories.items()):
+            for op in region.memory_accesses(name):
+                bound = self.schedule.bindings.get(op.uid)
+                if bound is None or op.kind is not OpKind.STORE:
+                    continue
+                cond = self._stage_phase(bound.end_state)
+                pred = self._predicate_expr(op)
+                if pred != "1'b1":
+                    cond += f" && ({pred})"
+                addr = self._mem_addr_expr(op)
+                data = self._store_data_expr(op)
+                dynamic = region.access_is_dynamic(op)
+                banks = range(cfg.banks) if dynamic or cfg.banks > 1 \
+                    else (0,)
+                for bank in banks:
+                    bank_cond = cond
+                    local = addr
+                    if cfg.banks > 1:
+                        bank_cond += f" && (({addr}) % {cfg.banks} == {bank})"
+                        local = f"({addr}) / {cfg.banks}"
+                    lines.append(
+                        f"                if ({bank_cond}) "
+                        f"{self._mem_bank_name(name, bank)}[{local}] "
+                        f"<= {data};")
+        return lines
+
+    def _memory_declarations(self) -> List[str]:
+        """Bank arrays, initial contents and the iteration counter."""
+        lines: List[str] = []
+        if not self.schedule.memories:
+            return lines
+        for name, cfg in sorted(self.schedule.memories.items()):
+            depth = cfg.decl.bank_depth
+            contents = cfg.decl.contents()
+            for bank in range(cfg.banks):
+                bname = self._mem_bank_name(name, bank)
+                lines.append(
+                    f"    reg signed [{cfg.decl.width - 1}:0] "
+                    f"{bname} [0:{depth - 1}];")
+            lines.append("    initial begin")
+            for word, value in enumerate(contents):
+                bank, local = word % cfg.banks, word // cfg.banks
+                lines.append(
+                    f"        {self._mem_bank_name(name, bank)}[{local}]"
+                    f" = {value};")
+            lines.append("    end")
+        lines.append("    reg signed [31:0] iter_count;")
+        return lines
+
     def _stage_phase(self, state: int) -> str:
         """Activation condition of a control step."""
         ii = self.schedule.ii_effective
@@ -138,6 +299,7 @@ class VerilogWriter:
                 suffix = f"_c{copy}" if reg.copies > 1 else ""
                 lines.append(
                     f"    reg signed [{reg.width - 1}:0] {name}{suffix};")
+        lines += self._memory_declarations()
         return lines
 
     def _datapath(self) -> List[str]:
@@ -162,14 +324,8 @@ class VerilogWriter:
                     state = self.schedule.bindings[o.uid].state
                     phase = state % self.schedule.ii_effective
                     expr = self._operand_expr(o, port)
-                    srcs.append((phase, expr))
-                if len({expr for _p, expr in srcs}) == 1:
-                    sel = srcs[0][1]
-                else:
-                    sel = srcs[-1][1]
-                    for phase, expr in reversed(srcs[:-1]):
-                        sel = (f"(kstate == {self.fsm.state_bits}'d{phase})"
-                               f" ? {expr} : {sel}")
+                    srcs.append((phase, self._predicate_expr(o), expr))
+                sel = self._phase_select(srcs)
                 lines.append(
                     f"    wire signed [{width - 1}:0] {unit}_i{port} = {sel};")
             symbol = _VERILOG_OPS.get(ops[0].kind)
@@ -186,11 +342,12 @@ class VerilogWriter:
                     f"    wire signed [{o.width - 1}:0] {self._wire(o)} = "
                     f"{unit}_y[{o.width - 1}:0];")
                 emitted.add(o.uid)
+        lines += self._memory_datapath()
         # dedicated logic: muxes, loop muxes, unshared conditions
         for uid, bound in sorted(self.schedule.bindings.items()):
             op = bound.op
             if uid in emitted or op.is_free or op.is_io \
-                    or op.kind is OpKind.STALL:
+                    or op.is_memory or op.kind is OpKind.STALL:
                 continue
             if op.kind is OpKind.MUX:
                 sel = self._operand_expr(op, 0)
@@ -229,6 +386,8 @@ class VerilogWriter:
                  f"            kstate <= {self.fsm.state_bits}'d0;",
                  "            running <= 1'b0;",
                  "            first_iter <= 1'b1;"]
+        if self.schedule.memories:
+            lines.append("            iter_count <= 32'd0;")
         if self.fsm.pipelined:
             lines.append(f"            stage_valid <= "
                          f"{self.fsm.n_stages}'d0;")
@@ -279,6 +438,15 @@ class VerilogWriter:
                     else "running <= 1'b0;")
             lines.append(f"                if ({cond} && "
                          f"!{self._wire(bound.op)}) {flag}")
+        lines += self._memory_writes()
+        if self.schedule.memories:
+            # one source iteration enters (or completes) per kernel wrap;
+            # affine addresses derive from this counter per stage
+            advance = f"kstate == {self.fsm.state_bits}'d{last}"
+            if self.fsm.pipelined:
+                advance += " && issue_enable"
+            lines.append(f"                if ({advance}) "
+                         "iter_count <= iter_count + 32'd1;")
         lines.append(f"                if (kstate == "
                      f"{self.fsm.state_bits}'d{last}) first_iter <= 1'b0;")
         lines += ["            end", "        end", "    end"]

@@ -106,6 +106,28 @@ def evaluate_op(op: Operation, operands: List[int]) -> int:
     raise ValueError(f"evaluate_op: unsupported kind {kind.value}")
 
 
+def memory_address(dfg, op: Operation, fetch, iteration: int) -> int:
+    """Effective address of a LOAD/STORE for one iteration.
+
+    Dynamic accesses read their address operand (port 0) through
+    ``fetch(uid)`` -- a callable so the cycle-accurate machine can
+    evaluate free wiring (consts, slices) lazily; affine accesses
+    compute ``iteration * io_stride + io_offset``.
+    """
+    from repro.cdfg.memory import has_dynamic_address
+
+    data_edges = dfg.data_in_edges(op.uid)
+    if has_dynamic_address(op, len(data_edges)):
+        return fetch(data_edges[0].src)
+    return iteration * op.io_stride + op.io_offset
+
+
+def store_data_edge(dfg, op: Operation):
+    """The edge feeding a STORE's write data (port 1 dynamic, 0 affine)."""
+    data_edges = dfg.data_in_edges(op.uid)
+    return data_edges[1] if len(data_edges) >= 2 else data_edges[0]
+
+
 def predicate_holds(op: Operation, values: Dict[int, int]) -> bool:
     """Evaluate an if-conversion predicate against condition values."""
     for cond_uid, polarity in op.predicate.literals:

@@ -16,7 +16,13 @@ from typing import Dict, List, Optional
 
 from repro.cdfg.ops import Operation, OpKind
 from repro.core.schedule import Schedule
-from repro.sim.evalops import evaluate_op, predicate_holds, wrap
+from repro.sim.evalops import (
+    evaluate_op,
+    memory_address,
+    predicate_holds,
+    store_data_edge,
+    wrap,
+)
 from repro.sim.reference import (
     InputSource,
     SimResult,
@@ -55,6 +61,15 @@ class ScheduledMachine:
         self.latency = schedule.latency
         self.ii = schedule.ii_effective
         self.stall_ticks = stall_ticks or {}
+        #: architectural memory state, shared by all in-flight iterations.
+        self.memories: Dict[str, List[int]] = {
+            name: list(decl.contents())
+            for name, decl in schedule.region.memories.items()}
+        #: stores buffered within the current cycle; the RAM commits
+        #: writes at the clock edge, so loads of the same cycle read the
+        #: old word (read-first semantics -- the scheduler's RAW gap of
+        #: one state guarantees no same-cycle read-after-write).
+        self._pending_stores: List[tuple] = []
         order = {op.uid: i
                  for i, op in enumerate(self.dfg.topological_order())}
         self._by_state: Dict[int, List[Operation]] = {}
@@ -100,6 +115,25 @@ class ScheduledMachine:
                     result.outputs.setdefault(op.payload, []).append(
                         wrap(value, op.width))
                     ctx.wrote = True
+                continue
+            if op.kind is OpKind.LOAD:
+                mem = self.memories[op.payload]
+                addr = memory_address(
+                    self.dfg, op, lambda uid: self._value_of(ctx, uid),
+                    ctx.index)
+                ctx.values[op.uid] = wrap(mem[addr % len(mem)], op.width)
+                continue
+            if op.kind is OpKind.STORE:
+                if predicate_holds(op, ctx.values):
+                    addr = memory_address(
+                        self.dfg, op,
+                        lambda uid: self._value_of(ctx, uid), ctx.index)
+                    data = self._value_of(
+                        ctx, store_data_edge(self.dfg, op).src)
+                    self._pending_stores.append(
+                        (ctx.index, op.uid, op.payload, addr,
+                         wrap(data, op.width)))
+                    ctx.wrote = True  # squash hazard: stores are writes
                 continue
             if op.kind is OpKind.STALL:
                 continue  # stall duration is injected at the cycle level
@@ -175,6 +209,18 @@ class ScheduledMachine:
                                     f"{k}'s exit resolved (squash hazard)")
                             other.squashed = True
                             result.squashed_iterations += 1
+            # the RAM commits this cycle's writes at the clock edge,
+            # after every in-flight iteration's reads (read-first);
+            # stores of iterations squashed this very cycle are dropped
+            if self._pending_stores:
+                for k, _uid, mem, addr, value in sorted(
+                        self._pending_stores):
+                    ctx = contexts.get(k)
+                    if ctx is not None and ctx.squashed:
+                        continue
+                    words = self.memories[mem]
+                    words[addr % len(words)] = value
+                self._pending_stores = []
             cycle += 1
             if not active and issued > 0:
                 done_issuing = (issued >= limit
@@ -185,6 +231,8 @@ class ScheduledMachine:
         result.iterations = (exit_iter + 1 if exit_iter is not None
                              else min(issued, limit))
         result.cycles = cycle + result.stalled_cycles
+        result.memories = {name: list(words)
+                           for name, words in self.memories.items()}
         return result
 
 

@@ -15,7 +15,13 @@ from typing import Callable, Dict, List, Optional, Union
 
 from repro.cdfg.ops import OpKind
 from repro.cdfg.region import Region
-from repro.sim.evalops import evaluate_op, predicate_holds, wrap
+from repro.sim.evalops import (
+    evaluate_op,
+    memory_address,
+    predicate_holds,
+    store_data_edge,
+    wrap,
+)
 
 InputSource = Union[Dict[str, List[int]], Callable[[str, int], int]]
 
@@ -29,6 +35,8 @@ class SimResult:
     cycles: int = 0  # filled by the cycle-accurate simulator
     squashed_iterations: int = 0
     stalled_cycles: int = 0
+    #: final contents of every declared memory after the run.
+    memories: Dict[str, List[int]] = field(default_factory=dict)
 
     def output(self, port: str) -> List[int]:
         """Committed writes to a port, in commit order."""
@@ -56,6 +64,12 @@ def simulate_reference(
     """Run the region's source semantics; the verification oracle."""
     dfg = region.dfg
     order = dfg.topological_order()
+    #: architectural memory state, shared across iterations; ordering
+    #: edges put same-iteration accesses in program order within the
+    #: topological traversal
+    memories: Dict[str, List[int]] = {
+        name: list(decl.contents())
+        for name, decl in region.memories.items()}
     #: per loop-mux: the carried-source value of every past iteration,
     #: so distances > 1 read the right generation
     carried_history: Dict[int, List[int]] = {}
@@ -89,6 +103,18 @@ def simulate_reference(
                 if predicate_holds(op, values):
                     result.outputs.setdefault(op.payload, []).append(
                         wrap(values[src.src], op.width))
+            elif op.kind is OpKind.LOAD:
+                mem = memories[op.payload]
+                addr = memory_address(dfg, op, values.__getitem__,
+                                      iteration)
+                values[op.uid] = wrap(mem[addr % len(mem)], op.width)
+            elif op.kind is OpKind.STORE:
+                if predicate_holds(op, values):
+                    mem = memories[op.payload]
+                    addr = memory_address(dfg, op, values.__getitem__,
+                                          iteration)
+                    data = values[store_data_edge(dfg, op).src]
+                    mem[addr % len(mem)] = wrap(data, op.width)
             elif op.kind is OpKind.STALL:
                 continue  # stalling affects timing, not values
             else:
@@ -105,4 +131,5 @@ def simulate_reference(
         if region.exit_op_uid is not None:
             if not values.get(region.exit_op_uid, 0):
                 break
+    result.memories = memories
     return result

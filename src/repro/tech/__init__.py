@@ -1,5 +1,5 @@
 """Technology library substrate: resource characterization, speed grades,
-instances for the binder, and the power model."""
+RAM macros, instances for the binder, and the power model."""
 
 from repro.tech.artisan90 import artisan90
 from repro.tech.generic45 import generic45
@@ -7,16 +7,25 @@ from repro.tech.library import (
     DEFAULT_GRADES,
     FlipFlopSpec,
     Library,
+    MemoryResource,
+    MemorySpec,
     MuxSpec,
     ResourceType,
     SpeedGrade,
 )
-from repro.tech.resources import ResourceInstance, ResourcePool
+from repro.tech.resources import (
+    MemoryPortInstance,
+    ResourceInstance,
+    ResourcePool,
+)
 
 __all__ = [
     "DEFAULT_GRADES",
     "FlipFlopSpec",
     "Library",
+    "MemoryPortInstance",
+    "MemoryResource",
+    "MemorySpec",
     "MuxSpec",
     "ResourceInstance",
     "ResourcePool",

@@ -9,7 +9,13 @@ Table 3 values (16094 / 24010 / 30491 area units for S / P2 / P1).
 from __future__ import annotations
 
 from repro.cdfg.ops import OpKind
-from repro.tech.library import FlipFlopSpec, Library, MuxSpec, make_family
+from repro.tech.library import (
+    FlipFlopSpec,
+    Library,
+    MemorySpec,
+    MuxSpec,
+    make_family,
+)
 
 #: area units per register bit (Table 3 calibration).
 _REG_AREA_PER_BIT = 30.0
@@ -64,4 +70,13 @@ def artisan90() -> Library:
         area3_per_bit=20.0,
         energy_per_bit_pj=0.008,
     )
-    return Library("artisan_90nm_typical", families, ff, mux)
+    # single-port SRAM macro: address-to-data comparable to (but below)
+    # the 32-bit multiply, bitcells far denser than flip-flops
+    mem = MemorySpec(
+        access_delay_ps=560.0,
+        area_per_bit=2.0,
+        periphery_area=900.0,
+        energy_per_access_pj=1.1,
+        leakage_per_bit_uw=0.004,
+    )
+    return Library("artisan_90nm_typical", families, ff, mux, mem=mem)

@@ -8,7 +8,13 @@ flow is library-agnostic.  Roughly a 45 nm generic node: ~2.2x faster and
 from __future__ import annotations
 
 from repro.cdfg.ops import OpKind
-from repro.tech.library import FlipFlopSpec, Library, MuxSpec, make_family
+from repro.tech.library import (
+    FlipFlopSpec,
+    Library,
+    MemorySpec,
+    MuxSpec,
+    make_family,
+)
 
 _SPEEDUP = 2.2
 _SHRINK = 0.45
@@ -65,5 +71,12 @@ def generic45() -> Library:
         area3_per_bit=20.0 * _SHRINK,
         energy_per_bit_pj=0.003,
     )
+    mem = MemorySpec(
+        access_delay_ps=560.0 / _SPEEDUP,
+        area_per_bit=2.0 * _SHRINK,
+        periphery_area=900.0 * _SHRINK,
+        energy_per_access_pj=0.45,
+        leakage_per_bit_uw=0.006,
+    )
     return Library("generic_45nm", families, ff, mux,
-                   leakage_per_area_uw=0.005)
+                   leakage_per_area_uw=0.005, mem=mem)

@@ -128,6 +128,94 @@ class MuxSpec:
 
 
 @dataclass(frozen=True)
+class MemorySpec:
+    """RAM macro characterization of a library.
+
+    ``access_delay_ps`` is the per-port address-to-data delay of a
+    single-port macro at the 256-word anchor depth; deeper macros pay a
+    logarithmic decode penalty, dual-port macros a fixed factor for the
+    second decoder.  ``access_cycles`` is the number of control steps a
+    port access occupies (1 = data within the access state, the
+    asynchronous-read model the rest of the timing engine assumes).
+    """
+
+    access_delay_ps: float
+    area_per_bit: float
+    periphery_area: float          # fixed per-bank decode/sense overhead
+    energy_per_access_pj: float
+    leakage_per_bit_uw: float
+    dual_port_delay_factor: float = 1.15
+    dual_port_area_factor: float = 1.7
+    access_cycles: int = 1
+
+    #: depth the access delay is characterized at.
+    ANCHOR_DEPTH: int = 256
+
+    def delay_ps(self, depth: int, ports: int) -> float:
+        """Address-to-data delay of one bank at ``depth`` words."""
+        depth = max(depth, 2)
+        scale = 0.6 + 0.05 * math.log2(depth)
+        delay = self.access_delay_ps * scale
+        if ports >= 2:
+            delay *= self.dual_port_delay_factor
+        return delay
+
+    def area(self, width: int, depth: int, ports: int) -> float:
+        """Area of one bank."""
+        bits = width * depth
+        area = bits * self.area_per_bit + self.periphery_area
+        if ports >= 2:
+            area *= self.dual_port_area_factor
+        return area
+
+
+@dataclass(frozen=True)
+class MemoryResource:
+    """A bindable RAM macro: one bank of a declared memory.
+
+    Duck-types the :class:`ResourceType` surface the timing engine and
+    binder touch (``delay_ps``, ``width``, ``area``, ``family``,
+    ``grade``, ``multicycle_ok``, :meth:`supports`), plus the
+    memory-specific ``depth``/``ports``/``access_cycles``.
+    """
+
+    name: str
+    width: int
+    depth: int
+    ports: int
+    delay_ps: float
+    area: float
+    energy_pj: float
+    leakage_uw: float
+    access_cycles: int = 1
+    grade: str = "typical"
+    multicycle_ok: bool = False
+
+    @property
+    def family(self) -> str:
+        """``ram1p`` / ``ram2p`` -- single- vs dual-port macros."""
+        return f"ram{self.ports}p"
+
+    def supports(self, kind: OpKind, width: int) -> bool:
+        """RAM ports implement loads and stores up to the word width."""
+        return kind in (OpKind.LOAD, OpKind.STORE) and width <= self.width
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: fallback RAM characterization for libraries built without one
+#: (calibrated alongside the 90 nm library).
+DEFAULT_MEMORY_SPEC = MemorySpec(
+    access_delay_ps=560.0,
+    area_per_bit=2.0,
+    periphery_area=900.0,
+    energy_per_access_pj=1.1,
+    leakage_per_bit_uw=0.004,
+)
+
+
+@dataclass(frozen=True)
 class _Family:
     """A scalable component family: anchors at 32 bits, scaling laws."""
 
@@ -158,14 +246,17 @@ class Library:
         mux: MuxSpec,
         grades: Sequence[SpeedGrade] = DEFAULT_GRADES,
         leakage_per_area_uw: float = 0.002,
+        mem: Optional[MemorySpec] = None,
     ) -> None:
         self.name = name
         self.ff = ff
         self.mux = mux
+        self.mem = mem if mem is not None else DEFAULT_MEMORY_SPEC
         self.grades: Tuple[SpeedGrade, ...] = tuple(grades)
         self._leak = leakage_per_area_uw
         self._families: Dict[str, _Family] = {f.family: f for f in families}
         self._types: Dict[Tuple[str, int, str], ResourceType] = {}
+        self._mem_types: Dict[Tuple[int, int, int], MemoryResource] = {}
         self._kind_index: Dict[OpKind, List[str]] = {}
         for fam in families:
             for kind in fam.op_kinds:
@@ -214,6 +305,34 @@ class Library:
             multicycle_ok=fam.multicycle_ok,
         )
         self._types[key] = rtype
+        return rtype
+
+    def memory_resource(self, width: int, depth: int,
+                        ports: int = 1) -> MemoryResource:
+        """The RAM macro for one bank: ``width`` x ``depth``, P ports.
+
+        Memory macros come in exact sizes (no width bucketing -- a RAM
+        compiler generates the requested geometry) and a single grade:
+        unlike logic, their timing is dominated by the bitcell array,
+        which logic synthesis cannot upsize.
+        """
+        key = (width, depth, ports)
+        cached = self._mem_types.get(key)
+        if cached is not None:
+            return cached
+        spec = self.mem
+        rtype = MemoryResource(
+            name=f"ram{ports}p_{width}x{depth}",
+            width=width,
+            depth=depth,
+            ports=ports,
+            delay_ps=spec.delay_ps(depth, ports),
+            area=spec.area(width, depth, ports),
+            energy_pj=spec.energy_per_access_pj * (width / 32.0),
+            leakage_uw=spec.leakage_per_bit_uw * width * depth,
+            access_cycles=spec.access_cycles,
+        )
+        self._mem_types[key] = rtype
         return rtype
 
     def bucket(self, width: int) -> int:

@@ -82,6 +82,8 @@ def estimate_power(schedule: Schedule,
     clock_mw = clock_pj_per_cycle / schedule.clock_ps * 1000.0
 
     leak_uw = sum(inst.rtype.leakage_uw for inst in schedule.pool.instances)
+    leak_uw += sum(cfg.banks * cfg.rtype.leakage_uw
+                   for cfg in schedule.memories.values())
     leak_uw += lib.ff.leakage_per_bit_uw * regs.total_bits
     area_report = schedule.area_report()
     leak_uw += 0.002 * (area_report.sharing_muxes

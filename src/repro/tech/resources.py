@@ -14,9 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.cdfg.memory import MemoryDecl
 from repro.cdfg.ops import Operation
 from repro.cdfg.predicates import Predicate
-from repro.tech.library import ResourceType
+from repro.tech.library import MemoryResource, ResourceType
 
 
 class ResourceInstance:
@@ -85,6 +86,80 @@ class ResourceInstance:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResourceInstance({self.name})"
+
+
+class MemoryPortInstance(ResourceInstance):
+    """One physical RAM port of one bank of a declared memory.
+
+    Each port is an exclusive per-state resource exactly like a shared
+    functional unit (predicate-disjoint accesses may share a port on
+    one state); a bank with P ports contributes P instances, which is
+    how "at most P accesses per bank per state" falls out of the
+    ordinary occupancy machinery.  The port's input muxes in the timing
+    engine are the RAM's address (and write-data) muxes.
+    """
+
+    def __init__(self, rtype: MemoryResource, memory: str,
+                 bank: int, port: int) -> None:
+        super().__init__(rtype, index=port)
+        self.memory = memory
+        self.bank = bank
+        self.port = port
+        self._base_name = f"ram_{memory}_b{bank}"
+        self._name = f"{self._base_name}p{port}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryPortInstance({self.name})"
+
+
+@dataclass
+class MemoryConfig:
+    """The physical realization of one declared memory in a schedule.
+
+    ``banks`` is the *effective* banking factor -- the declared one,
+    possibly raised by the relaxation driver's add-bank action.
+    """
+
+    decl: MemoryDecl
+    banks: int
+    rtype: MemoryResource
+    #: port instances indexed ``[bank][port]``.
+    port_insts: List[List[MemoryPortInstance]] = field(default_factory=list)
+
+    @property
+    def ports(self) -> int:
+        """RAM ports per bank."""
+        return self.decl.ports
+
+    @property
+    def area(self) -> float:
+        """Total area of the memory's RAM macros."""
+        return self.banks * self.rtype.area
+
+    def all_port_insts(self) -> List[MemoryPortInstance]:
+        """Every port instance, bank-major."""
+        return [inst for bank in self.port_insts for inst in bank]
+
+
+def build_memory_configs(
+    memories: Dict[str, MemoryDecl],
+    library,
+    bank_overrides: Optional[Dict[str, int]] = None,
+) -> Dict[str, MemoryConfig]:
+    """Materialize RAM banks and port instances for a region's memories."""
+    overrides = bank_overrides or {}
+    configs: Dict[str, MemoryConfig] = {}
+    for name, decl in sorted(memories.items()):
+        banks = max(decl.banks, overrides.get(name, decl.banks))
+        rtype = library.memory_resource(
+            decl.width, -(-decl.depth // banks), decl.ports)
+        port_insts = [
+            [MemoryPortInstance(rtype, name, b, p)
+             for p in range(decl.ports)]
+            for b in range(banks)
+        ]
+        configs[name] = MemoryConfig(decl, banks, rtype, port_insts)
+    return configs
 
 
 class ResourcePool:

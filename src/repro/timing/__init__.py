@@ -11,7 +11,11 @@ from repro.timing.engine import (
     TimingEngine,
     registered_path_ps,
 )
-from repro.timing.netlist import DatapathNetlist
+
+#: historical name of :class:`~repro.timing.engine.TimingEngine`, kept
+#: importable here (warning-free); the module path
+#: ``repro.timing.netlist`` is deprecated and warns on import.
+DatapathNetlist = TimingEngine
 from repro.timing.retime import retime
 from repro.timing.sta import (
     PathPoint,

@@ -208,7 +208,7 @@ class TimingEngine:
         for op in dfg.ops:
             self._in_info[op.uid] = self._flatten_edges(op.uid)
             for edge in dfg.in_edges(op.uid):
-                if edge.distance == 0:
+                if edge.distance == 0 and not edge.order:
                     consumers.setdefault(
                         self.resolve_source(edge.src), []).append(op.uid)
         self._chain_consumers = {root: tuple(uids)
@@ -224,9 +224,28 @@ class TimingEngine:
         values and port reads always launch registered at FF clk->q.
         ``None`` marks a dynamic input that must consult the producer's
         committed binding at query time.
+
+        Memory-ordering edges carry no value and are excluded: a RAW
+        dependence through a RAM does not chain combinationally -- the
+        load's path is address mux + array access, not the store's data
+        path.  An affine store's single data edge is reported on port 1
+        so that write-data never pools with addresses in the physical
+        port's sharing-mux (port 0 = address, port 1 = write data), and
+        every *affine* access contributes a synthetic address source
+        (derived from the iteration counter, registered, unique per
+        access) on port 0 -- so several affine accesses sharing a RAM
+        port grow a real address mux the path is charged for, exactly
+        the mux the RTL backend emits.
         """
+        op = self.dfg.op(uid)
+        data_edges = [e for e in self.dfg.in_edges(uid) if not e.order]
+        is_memory = op.kind in (OpKind.LOAD, OpKind.STORE)
+        affine_store = (op.kind is OpKind.STORE and len(data_edges) == 1)
+        affine_load = (op.kind is OpKind.LOAD and not data_edges)
         info: List[Tuple[int, int, Optional[float]]] = []
-        for edge in self.dfg.in_edges(uid):
+        if is_memory and (affine_load or affine_store):
+            info.append((0, -(uid + 1), self._ff_clk_q))
+        for edge in data_edges:
             root = self.resolve_source(edge.src)
             producer = self.dfg.op(root)
             static: Optional[float]
@@ -236,7 +255,8 @@ class TimingEngine:
                 static = self._ff_clk_q
             else:
                 static = None
-            info.append((edge.port, root, static))
+            port = 1 if affine_store else edge.port
+            info.append((port, root, static))
         return tuple(info)
 
     def _info(self, uid: int) -> Tuple[Tuple[int, int, Optional[float]], ...]:
@@ -370,10 +390,13 @@ class TimingEngine:
         """Delay from the op output to the capturing FF's D pin.
 
         Register sharing is anticipated with a 2-input mux, except after
-        MUX/LOOPMUX operations (they are the final select already) and
-        for port writes (output ports are not shared).
+        MUX/LOOPMUX operations (they are the final select already), for
+        port writes (output ports are not shared) and for memory stores
+        (the RAM array latches the write at the clock edge; its setup is
+        modeled like the FF's).
         """
-        if op.is_mux or op.kind is OpKind.WRITE or op.kind is OpKind.STALL:
+        if op.is_mux or op.kind in (OpKind.WRITE, OpKind.STALL,
+                                    OpKind.STORE):
             return self._ff_setup
         return self._mux2 + self._ff_setup
 
@@ -459,6 +482,21 @@ class TimingEngine:
         resource and record restraints.
         """
         out, capture, chained = self._path(op, inst, state)
+        fixed = getattr(inst.rtype, "access_cycles", 1) \
+            if inst is not None else 1
+        if fixed > 1:
+            # fixed-latency macro (registered-read RAM): occupies its
+            # port for ``fixed`` states and needs registered inputs
+            if chained:
+                return CandidateTiming(
+                    False, out, capture, self.clock_ps - capture,
+                    reason="chained input into a fixed-latency macro")
+            budget = fixed * self.clock_ps
+            return CandidateTiming(
+                capture <= budget, out, capture, budget - capture,
+                cycles=fixed,
+                reason="" if capture <= budget
+                else f"negative slack {budget - capture:.0f}ps")
         if capture <= self.clock_ps:
             return CandidateTiming(True, out, capture, self.clock_ps - capture)
         # try a multi-cycle binding: inputs must be registered

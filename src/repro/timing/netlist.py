@@ -1,16 +1,27 @@
-"""Backward-compatible alias of the unified timing engine.
+"""Deprecated import path for the unified timing engine.
 
 The incremental datapath netlist and the sign-off STA used to carry two
-hand-maintained copies of the delay arithmetic; both now live in
-:mod:`repro.timing.engine`.  This module keeps the historical import
-path (``DatapathNetlist``) working for schedulers, baselines and tests.
+hand-maintained copies of the delay arithmetic; both live in
+:mod:`repro.timing.engine` since PR 2, and every in-tree caller now
+imports from there.  Importing this module works but warns; it will be
+removed once downstream code has migrated.
 """
 
-from repro.timing.engine import (
+import warnings
+
+from repro.timing.engine import (  # noqa: F401  (re-exports)
     BoundOp,
     CandidateTiming,
     CommitResult,
     TimingEngine,
+)
+
+warnings.warn(
+    "repro.timing.netlist is deprecated: import BoundOp/CandidateTiming/"
+    "CommitResult/TimingEngine (a.k.a. DatapathNetlist) from "
+    "repro.timing.engine instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 #: historical name of :class:`~repro.timing.engine.TimingEngine`.

@@ -98,8 +98,8 @@ def trace_critical_path(netlist: TimingEngine,
         # find the chained producer with the latest arrival in this state
         best: Tuple[float, Optional[int]] = (-1.0, None)
         for edge in dfg.in_edges(uid):
-            if edge.distance >= 1:
-                continue
+            if edge.distance >= 1 or edge.order:
+                continue  # ordering edges carry no combinational path
             root = netlist.resolve_source(edge.src)
             pb = netlist.binding(root)
             if pb is None or pb.state != bound.state or pb.cycles > 1:

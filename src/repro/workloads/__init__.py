@@ -9,13 +9,27 @@ the CLI, flows and benchmarks resolve names through it, and
 from typing import Callable, Dict
 
 from repro.cdfg.region import Region
-from repro.workloads.conv2d import build_conv3x3
+from repro.workloads.conv2d import (
+    build_conv3x3,
+    build_conv3x3_mem,
+    reference_conv3x3_mem,
+)
 from repro.workloads.example1 import build_example1
 from repro.workloads.fft import build_fft8, build_fft_stage
 from repro.workloads.fir import build_fir, reference_fir
 from repro.workloads.idct import build_idct8, build_idct2d
-from repro.workloads.matmul import build_dot_product, reference_dot_product
-from repro.workloads.sobel import build_sobel, reference_sobel
+from repro.workloads.matmul import (
+    build_dot_product,
+    build_dot_product_mem,
+    reference_dot_product,
+    reference_dot_product_mem,
+)
+from repro.workloads.sobel import (
+    build_sobel,
+    build_sobel_mem,
+    reference_sobel,
+    reference_sobel_mem,
+)
 from repro.workloads.synthetic import (
     SyntheticSpec,
     build_timing_critical,
@@ -39,8 +53,11 @@ WORKLOAD_REGISTRY: Dict[str, Callable[[], Region]] = {
     "fft_stage": build_fft_stage,
     "fft8": build_fft8,
     "conv3x3": build_conv3x3,
+    "conv3x3_mem": build_conv3x3_mem,
     "matmul": build_dot_product,
+    "matmul_mem": build_dot_product_mem,
     "sobel": build_sobel,
+    "sobel_mem": build_sobel_mem,
     "synthetic": build_synthetic,
 }
 
@@ -64,7 +81,9 @@ __all__ = [
     "SyntheticSpec",
     "WORKLOAD_REGISTRY",
     "build_conv3x3",
+    "build_conv3x3_mem",
     "build_dot_product",
+    "build_dot_product_mem",
     "build_example1",
     "build_fft8",
     "build_fft_stage",
@@ -72,14 +91,18 @@ __all__ = [
     "build_idct2d",
     "build_idct8",
     "build_sobel",
+    "build_sobel_mem",
     "build_synthetic",
     "build_timing_critical",
     "generate_design",
     "get_workload",
     "industrial_suite",
     "register_workload",
+    "reference_conv3x3_mem",
     "reference_dot_product",
+    "reference_dot_product_mem",
     "reference_fir",
     "reference_sobel",
+    "reference_sobel_mem",
     "timing_critical_suite",
 ]

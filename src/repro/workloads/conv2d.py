@@ -1,5 +1,19 @@
-"""3x3 convolution over a streaming window (image-processing member of
-the Figure 9 population)."""
+"""3x3 convolution (image-processing member of the Figure 9 population).
+
+Two variants:
+
+* :func:`build_conv3x3` -- the historical *streaming* form: three row
+  input ports feed a shift-register window, so the scheduler never sees
+  a memory port.
+* :func:`build_conv3x3_mem` -- the *memory-backed* form: each image row
+  lives in an on-chip array and the loop computes ``unroll`` output
+  pixels per iteration, loading a sliding group of ``unroll + 2``
+  columns from every row array (``address = unroll * i + c``).  With
+  ``unroll`` a multiple of the banking factor the column accesses get
+  static banks and spread over the RAM macros; single-bank single-port
+  rows serialize the loads and inflate II -- the port-contention
+  behaviour the memory subsystem exists to expose.
+"""
 
 from __future__ import annotations
 
@@ -39,3 +53,76 @@ def build_conv3x3(kernel: Optional[List[int]] = None, width: int = 32,
     b.write("pix", acc)
     b.set_trip_count(trip_count)
     return b.build()
+
+
+def conv_rows(cols: int, seed: int = 11) -> List[List[int]]:
+    """Deterministic 3-row image for the memory-backed variant."""
+    rows = []
+    state = seed & 0xFFFF or 1
+    for _r in range(3):
+        row = []
+        for _c in range(cols):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            row.append(state % 61 - 30)
+        rows.append(row)
+    return rows
+
+
+def build_conv3x3_mem(kernel: Optional[List[int]] = None,
+                      cols: int = 18, unroll: int = 2,
+                      width: int = 32, banks: int = 1, ports: int = 1,
+                      max_latency: int = 32, seed: int = 11) -> Region:
+    """Memory-backed 3x3 convolution, ``unroll`` output pixels/iteration.
+
+    Iteration ``i`` produces pixels ``unroll*i .. unroll*i+unroll-1``,
+    each from a 3x3 window over the row arrays, so every row array
+    serves ``unroll + 2`` loads per iteration (shared columns are
+    single loads; offsets ``0..unroll+1`` at stride ``unroll``).
+    Outputs leave on ports ``pix0..pix{unroll-1}``.
+    """
+    coeffs = kernel if kernel is not None else list(DEFAULT_KERNEL)
+    if len(coeffs) != 9:
+        raise ValueError("conv3x3 needs exactly 9 coefficients")
+    if unroll < 1:
+        raise ValueError("unroll must be >= 1")
+    if (cols - 2) % unroll:
+        raise ValueError("cols - 2 must be divisible by unroll")
+    b = RegionBuilder(f"conv3x3_mem_u{unroll}", is_loop=True,
+                      max_latency=max_latency)
+    image = conv_rows(cols, seed)
+    mems = [b.array(f"row{r}", cols, width, banks=banks, ports=ports,
+                    init=image[r]) for r in range(3)]
+    #: column offset -> loaded value per row (windows share columns)
+    cols_needed = unroll + 2
+    loaded = [[b.load(mems[r], offset=c, stride=unroll,
+                      name=f"r{r}c{c}")
+               for c in range(cols_needed)] for r in range(3)]
+    for u in range(unroll):
+        acc = None
+        for i, coeff in enumerate(coeffs):
+            r, c = divmod(i, 3)
+            term = b.mul(loaded[r][c + u], b.const(coeff, 8),
+                         name=f"p{u}_k{i}")
+            acc = term if acc is None else b.add(acc, term,
+                                                 name=f"p{u}_acc{i}")
+        b.write(f"pix{u}", acc)
+    b.set_trip_count((cols - 2) // unroll)
+    return b.build()
+
+
+def reference_conv3x3_mem(kernel: Optional[List[int]] = None,
+                          cols: int = 18, unroll: int = 2,
+                          seed: int = 11):
+    """Oracle: per-port pixel streams keyed ``pix0..pix{unroll-1}``."""
+    coeffs = kernel if kernel is not None else list(DEFAULT_KERNEL)
+    image = conv_rows(cols, seed)
+    outputs = {f"pix{u}": [] for u in range(unroll)}
+    for i in range((cols - 2) // unroll):
+        for u in range(unroll):
+            base = unroll * i + u
+            acc = 0
+            for k, coeff in enumerate(coeffs):
+                r, c = divmod(k, 3)
+                acc += coeff * image[r][base + c]
+            outputs[f"pix{u}"].append(acc)
+    return outputs

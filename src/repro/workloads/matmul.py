@@ -4,9 +4,25 @@ One iteration multiplies a 1xK row slice against a Kx1 column slice and
 accumulates into a running dot product -- the inner loop of a blocked
 GEMM, with the accumulator SCC that makes pipelining interesting: at
 II=1 the accumulate chain must fit a single state.
+
+Two variants are provided:
+
+* :func:`build_dot_product` -- the historical *scalar* form: the K
+  operands arrive as K separate input ports per iteration, so memory
+  port contention is invisible to the scheduler.
+* :func:`build_dot_product_mem` -- the *memory-backed* form: the
+  vectors live in on-chip arrays and each iteration issues K loads per
+  array (``address = iteration * K + j``, the unrolled-by-K access
+  pattern).  With a single-bank single-port RAM the loads serialize and
+  bound II from below by K; cyclic banking by K (``banks=k``) gives
+  every load a static bank of its own and restores II=1 -- the
+  unroll-plus-partition transformation of memory-aware HLS.  A result
+  array additionally exercises the store path.
 """
 
 from __future__ import annotations
+
+from typing import List, Optional
 
 from repro.cdfg.builder import RegionBuilder
 from repro.cdfg.region import Region
@@ -15,7 +31,8 @@ from repro.cdfg.region import Region
 def build_dot_product(k: int = 4, width: int = 32,
                       max_latency: int = 16,
                       trip_count: int = 16) -> Region:
-    """K-wide dot-product accumulator: y += sum_i a_i * b_i."""
+    """K-wide dot-product accumulator: y += sum_i a_i * b_i (scalar
+    ports; kept as the port-streaming variant)."""
     if k < 1:
         raise ValueError("k must be >= 1")
     b = RegionBuilder(f"dot{k}", is_loop=True, max_latency=max_latency)
@@ -34,11 +51,77 @@ def build_dot_product(k: int = 4, width: int = 32,
     return b.build()
 
 
+def matmul_vectors(depth: int, seed: int = 7) -> List[int]:
+    """Deterministic array contents for the memory-backed variant."""
+    out = []
+    state = seed & 0xFFFF or 1
+    for _ in range(depth):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        out.append(state % 97 - 48)
+    return out
+
+
+def build_dot_product_mem(k: int = 2, depth: int = 16, width: int = 32,
+                          banks: int = 1, ports: int = 1,
+                          max_latency: int = 16,
+                          seed: int = 7) -> Region:
+    """Memory-backed K-wide dot product.
+
+    Vectors ``a`` and ``b`` live in RAM; iteration ``i`` loads words
+    ``k*i + j`` (j = 0..k-1) from each, multiplies pairwise and
+    accumulates.  The running sum streams out on port ``y`` and is also
+    stored into result array ``res`` (the store path).  ``banks`` and
+    ``ports`` set the declared RAM geometry of both vector arrays --
+    the knobs that move the memory-constrained II.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if depth % k:
+        raise ValueError("depth must be divisible by k")
+    b = RegionBuilder(f"dot{k}_mem", is_loop=True,
+                      max_latency=max_latency)
+    trip = depth // k
+    a = b.array("a", depth, width, banks=banks, ports=ports,
+                init=matmul_vectors(depth, seed))
+    bv = b.array("b", depth, width, banks=banks, ports=ports,
+                 init=matmul_vectors(depth, seed + 1))
+    res = b.array("res", trip, width)
+    acc = b.loop_var("acc", b.const(0, width))
+    total = None
+    for j in range(k):
+        av = b.load(a, offset=j, stride=k, name=f"a_ld{j}")
+        bw = b.load(bv, offset=j, stride=k, name=f"b_ld{j}")
+        term = b.mul(av, bw, name=f"prod{j}")
+        total = term if total is None else b.add(total, term,
+                                                 name=f"tsum{j}")
+    nxt = b.add(acc, total, name="acc_add")
+    acc.set_next(nxt)
+    b.store(res, nxt, offset=0, stride=1, name="res_st")
+    b.write("y", nxt)
+    b.set_trip_count(trip)
+    return b.build()
+
+
 def reference_dot_product(k: int, a_rows, b_rows):
     """Pure-python oracle: running dot-product partial sums."""
     out = []
     acc = 0
     for a_vec, b_vec in zip(a_rows, b_rows):
         acc += sum(x * y for x, y in zip(a_vec[:k], b_vec[:k]))
+        out.append(acc)
+    return out
+
+
+def reference_dot_product_mem(k: int = 2, depth: int = 16,
+                              seed: int = 7,
+                              a: Optional[List[int]] = None,
+                              b: Optional[List[int]] = None):
+    """Oracle for the memory-backed variant: partial sums per iteration."""
+    a = a if a is not None else matmul_vectors(depth, seed)
+    b = b if b is not None else matmul_vectors(depth, seed + 1)
+    out = []
+    acc = 0
+    for i in range(depth // k):
+        acc += sum(a[k * i + j] * b[k * i + j] for j in range(k))
         out.append(acc)
     return out

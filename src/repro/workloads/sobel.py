@@ -1,16 +1,22 @@
 """Sobel edge-detection workload (image processing, Figure 9 family).
 
-Computes |Gx| + |Gy| over a streaming 3x3 window.  The window shift
-registers are feedback-free, the gradient datapath is pure feedforward
-arithmetic with two comparison-select pairs (absolute values), so the
-kernel pipelines to II=1 -- while exercising the MUX/predicate paths of
-the scheduler harder than the plain convolution does.
+Computes |Gx| + |Gy| over a 3x3 window.  The gradient datapath is pure
+feedforward arithmetic with two comparison-select pairs (absolute
+values), exercising the MUX/predicate paths of the scheduler harder
+than the plain convolution does.
+
+:func:`build_sobel` is the historical *streaming* form (row ports plus
+a shift-register window); :func:`build_sobel_mem` keeps the image rows
+in on-chip arrays and computes ``unroll`` magnitudes per iteration, so
+RAM port contention -- and its banking cure -- shows up in the
+schedule.
 """
 
 from __future__ import annotations
 
 from repro.cdfg.builder import RegionBuilder, Value
 from repro.cdfg.region import Region
+from repro.workloads.conv2d import conv_rows
 
 #: Sobel gradients.
 _GX = [-1, 0, 1, -2, 0, 2, -1, 0, 1]
@@ -53,6 +59,73 @@ def build_sobel(width: int = 32, max_latency: int = 16,
     b.write("edge", magnitude)
     b.set_trip_count(trip_count)
     return b.build()
+
+
+def build_sobel_mem(cols: int = 18, unroll: int = 2, width: int = 32,
+                    banks: int = 1, ports: int = 1,
+                    max_latency: int = 32, seed: int = 13) -> Region:
+    """Memory-backed Sobel: rows in RAM, ``unroll`` magnitudes/iteration.
+
+    Each row array serves ``unroll + 2`` loads per iteration (offsets
+    ``0..unroll+1`` at stride ``unroll``); magnitudes additionally pass
+    through the absolute-value mux pairs, and the results are stored
+    into an output array ``edges`` as well as written to ports
+    ``edge0..edge{unroll-1}``.
+    """
+    if unroll < 1:
+        raise ValueError("unroll must be >= 1")
+    if (cols - 2) % unroll:
+        raise ValueError("cols - 2 must be divisible by unroll")
+    b = RegionBuilder(f"sobel_mem_u{unroll}", is_loop=True,
+                      max_latency=max_latency)
+    image = conv_rows(cols, seed)
+    mems = [b.array(f"row{r}", cols, width, banks=banks, ports=ports,
+                    init=image[r]) for r in range(3)]
+    out = b.array("edges", cols - 2, width, banks=max(1, unroll))
+    loaded = [[b.load(mems[r], offset=c, stride=unroll,
+                      name=f"r{r}c{c}")
+               for c in range(unroll + 2)] for r in range(3)]
+
+    def convolve(kernel, u, tag):
+        acc = None
+        for i, coeff in enumerate(kernel):
+            if coeff == 0:
+                continue
+            r, c = divmod(i, 3)
+            term = b.mul(loaded[r][c + u], b.const(coeff, 4),
+                         name=f"{tag}_k{i}")
+            acc = term if acc is None else b.add(acc, term,
+                                                 name=f"{tag}_s{i}")
+        return acc
+
+    for u in range(unroll):
+        gx = convolve(_GX, u, f"gx{u}")
+        gy = convolve(_GY, u, f"gy{u}")
+        mag = b.add(_abs(b, gx, f"gx{u}"), _abs(b, gy, f"gy{u}"),
+                    name=f"mag{u}")
+        b.store(out, mag, offset=u, stride=unroll, name=f"edge_st{u}")
+        b.write(f"edge{u}", mag)
+    b.set_trip_count((cols - 2) // unroll)
+    return b.build()
+
+
+def reference_sobel_mem(cols: int = 18, unroll: int = 2,
+                        seed: int = 13):
+    """Oracle: per-port magnitude streams and the output array."""
+    image = conv_rows(cols, seed)
+    outputs = {f"edge{u}": [] for u in range(unroll)}
+    edges = [0] * (cols - 2)
+    for i in range((cols - 2) // unroll):
+        for u in range(unroll):
+            base = unroll * i + u
+            window = [image[r][base + c]
+                      for r in range(3) for c in range(3)]
+            gx = sum(c * v for c, v in zip(_GX, window))
+            gy = sum(c * v for c, v in zip(_GY, window))
+            mag = abs(gx) + abs(gy)
+            outputs[f"edge{u}"].append(mag)
+            edges[base] = mag
+    return outputs, edges
 
 
 def reference_sobel(rows) -> list:

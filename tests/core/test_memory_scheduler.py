@@ -1,0 +1,196 @@
+"""Scheduling under RAM port constraints: capacity, banking, relaxation."""
+
+import pytest
+
+from repro.cdfg import PipelineSpec, RegionBuilder
+from repro.cdfg.memory import static_bank
+from repro.core.schedule import ScheduleError
+from repro.core.scheduler import SchedulerOptions, schedule_region
+from repro.tech import artisan90
+from repro.tech.library import MemorySpec
+from repro.workloads import build_dot_product_mem
+
+CLOCK = 1600.0
+PINNED = SchedulerOptions(allow_banking=False)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return artisan90()
+
+
+def _two_load_region(banks=1, ports=1):
+    """Two loads of one array per iteration (stride 2, offsets 0/1)."""
+    b = RegionBuilder("twoload", is_loop=True, max_latency=16)
+    a = b.array("a", 16, banks=banks, ports=ports,
+                init=list(range(16)))
+    acc = b.loop_var("acc", b.const(0, 32))
+    v0 = b.load(a, offset=0, stride=2)
+    v1 = b.load(a, offset=1, stride=2)
+    nxt = b.add(acc.value, b.add(v0, v1))
+    acc.set_next(nxt)
+    b.write("y", nxt)
+    b.set_trip_count(8)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# port capacity bounds the initiation interval
+# ----------------------------------------------------------------------
+def test_single_port_single_bank_serializes_loads(lib):
+    schedule = schedule_region(_two_load_region(), lib, CLOCK,
+                               options=PINNED)
+    states = [schedule.state_of(op.uid)
+              for op in schedule.region.memory_ops]
+    assert len(set(states)) == 2, "1 port forces distinct states"
+    assert schedule.validate() == []
+
+
+def test_memory_bound_ii_single_vs_dual_port(lib):
+    """Pinned example: dual-port RAM changes the achievable II.
+
+    Two loads per iteration on one array: a single-port bank caps the
+    pipeline at II=2; a dual-port bank serves both in one state, II=1.
+    """
+    with pytest.raises(ScheduleError):
+        schedule_region(_two_load_region(ports=1), lib, CLOCK,
+                        pipeline=PipelineSpec(ii=1), options=PINNED)
+    single = schedule_region(_two_load_region(ports=1), lib, CLOCK,
+                             pipeline=PipelineSpec(ii=2), options=PINNED)
+    dual = schedule_region(_two_load_region(ports=2), lib, CLOCK,
+                           pipeline=PipelineSpec(ii=1), options=PINNED)
+    assert single.ii_effective == 2
+    assert dual.ii_effective == 1
+    assert dual.validate() == []
+
+
+def test_banking_restores_ii(lib):
+    banked = schedule_region(_two_load_region(banks=2), lib, CLOCK,
+                             pipeline=PipelineSpec(ii=1), options=PINNED)
+    assert banked.ii_effective == 1
+    assert banked.memories["a"].banks == 2
+    assert banked.validate() == []
+
+
+def test_add_bank_relaxation_fires(lib):
+    """With banking allowed, the driver banks its way to the asked II."""
+    schedule = schedule_region(_two_load_region(), lib, CLOCK,
+                               pipeline=PipelineSpec(ii=1))
+    assert schedule.memories["a"].banks == 2
+    assert any(a.startswith("add_bank a") for a in schedule.actions_taken)
+    assert schedule.validate() == []
+
+
+def test_add_bank_not_proposed_for_dynamic_addresses(lib):
+    """Dynamic addresses pin every bank; banking cannot help them."""
+    def build():
+        b = RegionBuilder("dyn", is_loop=True, max_latency=16)
+        a = b.array("a", 16, init=list(range(16)))
+        i0 = b.read("i0", 4)
+        i1 = b.read("i1", 4)
+        v = b.add(b.load(a, i0), b.load(a, i1))
+        b.write("y", v)
+        b.set_trip_count(4)
+        return b.build()
+
+    with pytest.raises(ScheduleError):
+        schedule_region(build(), lib, CLOCK, pipeline=PipelineSpec(ii=1))
+
+
+def test_dynamic_access_reserves_every_bank(lib):
+    """A dynamic access occupies its port on all banks of the state."""
+    def build():
+        b = RegionBuilder("dynres", is_loop=True, max_latency=16)
+        a = b.array("a", 16, banks=2, init=list(range(16)))
+        idx = b.read("idx", 4)
+        dyn = b.load(a, idx, name="dyn")
+        fixed = b.load(a, offset=0, stride=2, name="fixed")
+        b.write("y", b.add(dyn, fixed))
+        b.set_trip_count(4)
+        return b.build()
+
+    # at II=1 there is one equivalence class: the dynamic access holds
+    # port 0 of *both* banks there, starving the static load -- banking
+    # cannot fix a dynamic address, so the point is infeasible
+    with pytest.raises(ScheduleError):
+        schedule_region(build(), lib, CLOCK,
+                        pipeline=PipelineSpec(ii=1), options=PINNED)
+    schedule = schedule_region(build(), lib, CLOCK,
+                               pipeline=PipelineSpec(ii=2),
+                               options=PINNED)
+    dyn = next(op for op in schedule.region.memory_ops
+               if op.name == "dyn")
+    fixed = next(op for op in schedule.region.memory_ops
+                 if op.name == "fixed")
+    assert schedule.bindings[dyn.uid].state % 2 \
+        != schedule.bindings[fixed.uid].state % 2
+    assert schedule.validate() == []
+
+
+def test_memory_ops_respect_raw_gap(lib):
+    """A store's reader in the next iteration never lands too early."""
+    def build():
+        b = RegionBuilder("rawgap", is_loop=True, max_latency=16)
+        a = b.array("a", 8, init=[3] * 8)
+        ld = b.load(a, 0, name="ld")
+        st = b.store(a, b.add(ld, 1), 0, name="st")
+        b.write("y", ld)
+        b.set_trip_count(6)
+        return b.build()
+
+    schedule = schedule_region(build(), lib, CLOCK, options=PINNED)
+    region = schedule.region
+    ld = next(op for op in region.memory_ops if op.name == "ld")
+    st = next(op for op in region.memory_ops if op.name == "st")
+    # same-iteration WAR: the store must not precede the load's state
+    assert schedule.state_of(st.uid) >= schedule.state_of(ld.uid)
+    assert schedule.validate() == []
+
+
+def test_validator_flags_port_overflow(lib):
+    """Forcing two same-bank accesses into one state trips validate()."""
+    schedule = schedule_region(_two_load_region(), lib, CLOCK,
+                               options=PINNED)
+    ops = schedule.region.memory_ops
+    early = min(schedule.bindings[op.uid].state for op in ops)
+    for op in ops:
+        schedule.bindings[op.uid].state = early
+    problems = schedule.validate()
+    assert any("exceed" in p and "port" in p for p in problems)
+
+
+def test_fixed_latency_macro_occupies_multiple_states(lib):
+    """A registered-read RAM (access_cycles=2) spans two states."""
+    from repro.tech.library import Library
+    base = lib
+    slow_mem = MemorySpec(
+        access_delay_ps=560.0, area_per_bit=2.0, periphery_area=900.0,
+        energy_per_access_pj=1.1, leakage_per_bit_uw=0.004,
+        access_cycles=2)
+    lib2 = Library(base.name + "_regread",
+                   list(base._families.values()),
+                   base.ff, base.mux, mem=slow_mem)
+
+    def build():
+        b = RegionBuilder("regread", is_loop=True, max_latency=16)
+        a = b.array("a", 8, init=list(range(8)))
+        v = b.load(a, offset=0, stride=1)
+        b.write("y", v)
+        b.set_trip_count(4)
+        return b.build()
+
+    schedule = schedule_region(build(), lib2, CLOCK, options=PINNED)
+    load = next(op for op in schedule.region.memory_ops)
+    assert schedule.bindings[load.uid].cycles == 2
+    assert schedule.validate() == []
+
+
+def test_mem_workload_sequential_and_area(lib):
+    schedule = schedule_region(build_dot_product_mem(), lib, CLOCK,
+                               options=PINNED)
+    report = schedule.area_report()
+    assert report.memories > 0
+    assert ("memories", report.memories) in report.rows()
+    summary = schedule.summary()
+    assert summary["memories"]["a"]["banks"] == 1
+    assert "ram1p" in summary["memories"]["a"]["macro"]

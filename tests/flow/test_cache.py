@@ -174,3 +174,60 @@ def test_timing_model_version_invalidates_cached_schedules(lib, monkeypatch):
                    clock_ps=1600.0, run_optimizer=False, cache=cache)
     assert cache.hits == 0
     assert ctx.schedule is not None
+
+
+def test_memory_banking_invalidates_cached_schedules(lib):
+    """The region fingerprint covers MemoryDecls: the same kernel at a
+    different banking (or port count, or contents) is a different
+    port-constraint problem and must miss the cache -- mirroring the
+    timing-model-version treatment."""
+    from repro.workloads import build_dot_product_mem
+
+    base = build_dot_product_mem(banks=1)
+    rebuilt = build_dot_product_mem(banks=1)
+    banked = build_dot_product_mem(banks=2)
+    dual = build_dot_product_mem(ports=2)
+    assert region_fingerprint(base) == region_fingerprint(rebuilt)
+    assert region_fingerprint(base) != region_fingerprint(banked)
+    assert region_fingerprint(base) != region_fingerprint(dual)
+    assert compilation_key(base, lib, 1600.0) \
+        != compilation_key(banked, lib, 1600.0)
+
+    cache = FlowCache()
+    run_flow("schedule", region=build_dot_product_mem(banks=1),
+             library=lib, clock_ps=1600.0, run_optimizer=False,
+             cache=cache)
+    assert (cache.hits, cache.misses) == (0, 1)
+    # identical geometry: served from cache
+    run_flow("schedule", region=build_dot_product_mem(banks=1),
+             library=lib, clock_ps=1600.0, run_optimizer=False,
+             cache=cache)
+    assert cache.hits == 1
+    # banked geometry: fresh compile, not the single-bank schedule
+    ctx = run_flow("schedule", region=build_dot_product_mem(banks=2),
+                   library=lib, clock_ps=1600.0, run_optimizer=False,
+                   cache=cache)
+    assert cache.hits == 1 and cache.misses == 2
+    assert ctx.schedule.memories["a"].banks == 2
+
+
+def test_mutated_init_contents_change_fingerprint():
+    """Initial contents are architectural state: they key the cache."""
+    from repro.workloads import build_dot_product_mem
+
+    base = build_dot_product_mem(seed=7)
+    other = build_dot_product_mem(seed=8)
+    assert region_fingerprint(base) != region_fingerprint(other)
+
+
+def test_swept_banking_matches_declared_banking():
+    """A banking sweep point is the *same* configuration as declaring
+    the banking directly: same dependence edges, same fingerprint."""
+    from repro.explore import Microarch
+    from repro.workloads import build_dot_product_mem
+
+    declared = build_dot_product_mem(banks=2)
+    swept = build_dot_product_mem(banks=1)
+    Microarch("p", 4, ii=2).with_banking(
+        {"a": 2, "b": 2}).apply_banking(swept)
+    assert region_fingerprint(swept) == region_fingerprint(declared)

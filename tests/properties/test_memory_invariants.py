@@ -1,0 +1,93 @@
+"""Property: no legal schedule ever oversubscribes a RAM bank's ports.
+
+Random memory-backed accumulator loops are scheduled (sequential and
+pipelined); per-bank per-state access counts are recomputed from the
+raw bindings -- independent of the binder's own occupancy bookkeeping
+-- and must never exceed the declared ports.  Schedules also stay
+equivalent to the reference interpreter.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg import PipelineSpec, RegionBuilder
+from repro.cdfg.memory import static_bank
+from repro.core.schedule import ScheduleError
+from repro.core.scheduler import SchedulerOptions, schedule_region
+from repro.sim import simulate_reference, simulate_schedule
+from repro.tech import artisan90
+from tests.conftest import property_examples
+
+CLOCK = 1600.0
+LIB = artisan90()
+PINNED = SchedulerOptions(allow_banking=False)
+
+
+def _build(n_loads, banks, ports, store, seed):
+    b = RegionBuilder("prop_mem", is_loop=True, max_latency=24)
+    depth = 4 * n_loads
+    a = b.array("a", depth, banks=banks, ports=ports,
+                init=[(seed * 7 + i * 13) % 41 - 20
+                      for i in range(depth)])
+    acc = b.loop_var("acc", b.const(0, 32))
+    total = None
+    for j in range(n_loads):
+        v = b.load(a, offset=j, stride=n_loads, name=f"ld{j}")
+        total = v if total is None else b.add(total, v)
+    nxt = b.add(acc.value, total)
+    acc.set_next(nxt)
+    if store:
+        out = b.array("out", 4, banks=1)
+        b.store(out, nxt, offset=0, stride=1)
+    b.write("y", nxt)
+    b.set_trip_count(4)
+    return b.build()
+
+
+def _max_port_usage(schedule):
+    """Worst per-(memory, class, bank) exclusive-access count."""
+    worst = 0
+    region = schedule.region
+    for name, cfg in schedule.memories.items():
+        usage = {}
+        for op in region.memory_accesses(name):
+            bound = schedule.bindings[op.uid]
+            bank = static_bank(op, cfg.banks,
+                               region.access_is_dynamic(op))
+            targets = [bank] if bank is not None else range(cfg.banks)
+            for state in range(bound.state, bound.end_state + 1):
+                key = state % schedule.ii if schedule.pipeline else state
+                for t in targets:
+                    usage.setdefault((key, t), 0)
+                    usage[(key, t)] += 1
+        if usage:
+            worst = max(worst, max(usage.values()) - cfg.ports)
+    return worst
+
+
+@settings(max_examples=property_examples(), deadline=None)
+@given(
+    n_loads=st.integers(min_value=1, max_value=4),
+    banks=st.sampled_from([1, 2, 4]),
+    ports=st.sampled_from([1, 2]),
+    store=st.booleans(),
+    ii=st.sampled_from([None, 1, 2, 4]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_schedule_never_exceeds_bank_port_capacity(
+        n_loads, banks, ports, store, ii, seed):
+    region = _build(n_loads, banks, ports, store, seed)
+    pipeline = PipelineSpec(ii=ii) if ii is not None else None
+    try:
+        schedule = schedule_region(region, LIB, CLOCK,
+                                   pipeline=pipeline, options=PINNED)
+    except ScheduleError:
+        return  # overconstrained points may be rejected, never mis-bound
+    assert _max_port_usage(schedule) <= 0
+    assert schedule.validate() == []
+    ref = simulate_reference(
+        _build(n_loads, banks, ports, store, seed), {})
+    out = simulate_schedule(schedule, {})
+    assert out.output("y") == ref.output("y")
+    if store:
+        assert out.memories["out"] == ref.memories["out"]

@@ -8,12 +8,15 @@ from repro.rtl import generate_verilog, lint_verilog
 from repro.tech import artisan90
 from repro.workloads import (
     build_conv3x3,
+    build_conv3x3_mem,
     build_dot_product,
+    build_dot_product_mem,
     build_example1,
     build_fft_stage,
     build_fir,
     build_idct8,
     build_sobel,
+    build_sobel_mem,
 )
 
 CLOCK = 1600.0
@@ -26,6 +29,9 @@ KERNELS = [
     ("idct8", build_idct8),
     ("sobel", build_sobel),
     ("dot4", build_dot_product),
+    ("dot_mem", build_dot_product_mem),
+    ("conv3x3_mem", build_conv3x3_mem),
+    ("sobel_mem", build_sobel_mem),
 ]
 
 
@@ -46,9 +52,21 @@ def test_sequential_verilog_lints(lib, name, factory):
     ("example1", build_example1),
     ("fir", build_fir),
     ("conv3x3", build_conv3x3),
+    ("dot_mem", lambda: build_dot_product_mem(banks=2)),
 ])
 def test_pipelined_verilog_lints(lib, name, factory):
     result = pipeline_loop(factory(), lib, CLOCK, ii=2)
     text = generate_verilog(result.schedule, result.folded)
     assert lint_verilog(text) == [], name
     assert "stage_valid" in text
+
+
+def test_memory_rtl_structure(lib):
+    """RAM banks, initial contents and store commits appear in the RTL."""
+    schedule = schedule_region(build_dot_product_mem(banks=2), lib, CLOCK)
+    text = generate_verilog(schedule)
+    assert "mem_a_b0" in text and "mem_a_b1" in text
+    assert "initial begin" in text
+    assert "iter_count" in text
+    assert "mem_res_b0[" in text  # store commit into the result array
+    assert lint_verilog(text) == []

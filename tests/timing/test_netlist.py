@@ -4,7 +4,7 @@ import pytest
 
 from repro.cdfg import OpKind, RegionBuilder
 from repro.tech import ResourcePool, artisan90
-from repro.timing.netlist import DatapathNetlist
+from repro.timing.engine import TimingEngine
 
 CLOCK = 1600.0
 
@@ -29,7 +29,7 @@ def _chain_region():
 def test_registered_mul_is_1230(lib):
     """The paper's Fig. 8a number: 40 + 110 + 930 + 110 + 40."""
     region = _chain_region()
-    netlist = DatapathNetlist(region.dfg, lib, CLOCK)
+    netlist = TimingEngine(region.dfg, lib, CLOCK)
     netlist.set_sharing_outlook({("mul", 32): 2}, {("mul", 32): 1})
     pool = ResourcePool()
     mul = pool.add(lib.typical(OpKind.MUL, 32))
@@ -43,7 +43,7 @@ def test_registered_mul_is_1230(lib):
 def test_chained_add_is_1580(lib):
     """Fig. 8b: 40 + 110 + 930 + 350 + 110 + 40 (add has no input mux)."""
     region = _chain_region()
-    netlist = DatapathNetlist(region.dfg, lib, CLOCK)
+    netlist = TimingEngine(region.dfg, lib, CLOCK)
     netlist.set_sharing_outlook({("mul", 32): 2, ("add", 32): 1},
                                 {("mul", 32): 1, ("add", 32): 1})
     pool = ResourcePool()
@@ -61,7 +61,7 @@ def test_second_mul_chained_fails(lib):
     """Two chained multiplications cannot fit 1600 ps (the Example 1
     relaxation argument)."""
     region = _chain_region()
-    netlist = DatapathNetlist(region.dfg, lib, CLOCK)
+    netlist = TimingEngine(region.dfg, lib, CLOCK)
     netlist.set_sharing_outlook({("mul", 32): 2, ("add", 32): 1},
                                 {("mul", 32): 2, ("add", 32): 1})
     pool = ResourcePool()
@@ -80,7 +80,7 @@ def test_second_mul_chained_fails(lib):
 
 def test_next_state_registers_inputs(lib):
     region = _chain_region()
-    netlist = DatapathNetlist(region.dfg, lib, CLOCK)
+    netlist = TimingEngine(region.dfg, lib, CLOCK)
     netlist.set_sharing_outlook({("mul", 32): 2}, {("mul", 32): 1})
     pool = ResourcePool()
     mul = pool.add(lib.typical(OpKind.MUL, 32))
@@ -100,7 +100,7 @@ def test_mux_ops_have_no_extra_capture_mux(lib):
     m = b.mux(sel, x, 0, name="m")
     b.write("out", m)
     region = b.build()
-    netlist = DatapathNetlist(region.dfg, lib, CLOCK)
+    netlist = TimingEngine(region.dfg, lib, CLOCK)
     ops = {op.name: op for op in region.dfg.ops}
     pool = ResourcePool()
     gt = pool.add(lib.typical(OpKind.GT, 32))
@@ -116,7 +116,7 @@ def test_multicycle_when_clock_too_fast(lib):
     m = b.mul(x, x, name="m")
     b.write("out", m)
     region = b.build()
-    netlist = DatapathNetlist(region.dfg, lib, 600.0)
+    netlist = TimingEngine(region.dfg, lib, 600.0)
     pool = ResourcePool()
     mul = pool.add(lib.typical(OpKind.MUL, 32))
     mop = next(op for op in region.dfg.ops if op.name == "m")
@@ -129,7 +129,7 @@ def test_multicycle_when_clock_too_fast(lib):
 
 def test_port_growth_detection(lib):
     region = _chain_region()
-    netlist = DatapathNetlist(region.dfg, lib, CLOCK)
+    netlist = TimingEngine(region.dfg, lib, CLOCK)
     netlist.set_sharing_outlook({("mul", 32): 2}, {("mul", 32): 1})
     pool = ResourcePool()
     mul = pool.add(lib.typical(OpKind.MUL, 32))
@@ -141,7 +141,7 @@ def test_port_growth_detection(lib):
 
 def test_uncommit_restores_port_sources(lib):
     region = _chain_region()
-    netlist = DatapathNetlist(region.dfg, lib, CLOCK)
+    netlist = TimingEngine(region.dfg, lib, CLOCK)
     netlist.set_sharing_outlook({("mul", 32): 2}, {("mul", 32): 1})
     pool = ResourcePool()
     mul = pool.add(lib.typical(OpKind.MUL, 32))
@@ -162,7 +162,7 @@ def test_resolve_source_through_free_ops(lib):
     wide = b.zext(piece, 32)
     b.write("out", b.add(wide, 1, name="s"))
     region = b.build()
-    netlist = DatapathNetlist(region.dfg, lib, CLOCK)
+    netlist = TimingEngine(region.dfg, lib, CLOCK)
     s = next(op for op in region.dfg.ops if op.name == "s")
     edge = region.dfg.in_edge(s.uid, 0)
     root = netlist.resolve_source(edge.src)
@@ -174,10 +174,24 @@ def test_anticipation_flag_controls_input_mux(lib):
     ops = {op.name: op for op in region.dfg.ops}
     pool = ResourcePool()
     mul = pool.add(lib.typical(OpKind.MUL, 32))
-    with_mux = DatapathNetlist(region.dfg, lib, CLOCK)
+    with_mux = TimingEngine(region.dfg, lib, CLOCK)
     with_mux.set_sharing_outlook({("mul", 32): 2}, {("mul", 32): 1})
-    without = DatapathNetlist(region.dfg, lib, CLOCK, anticipate_muxes=False)
+    without = TimingEngine(region.dfg, lib, CLOCK, anticipate_muxes=False)
     without.set_sharing_outlook({("mul", 32): 2}, {("mul", 32): 1})
     t_with = with_mux.evaluate(ops["m1"], mul, 0)
     t_without = without.evaluate(ops["m1"], mul, 0)
     assert t_with.capture_ps - t_without.capture_ps == pytest.approx(110.0)
+
+
+def test_netlist_module_is_deprecated():
+    """The historical import path still works but warns."""
+    import importlib
+    import sys
+    import warnings
+
+    sys.modules.pop("repro.timing.netlist", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        mod = importlib.import_module("repro.timing.netlist")
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    assert mod.DatapathNetlist is TimingEngine
