@@ -1,0 +1,81 @@
+"""Quickstart for the dataflow layer: a FIFO-connected two-stage pipeline.
+
+Builds the matmul+ReLU streaming pipeline (a dot-product accumulator
+pushing partial sums through a typed FIFO channel into a ReLU stage),
+compiles each stage independently through the flow engine, verifies the
+composition against its pure-python oracle in both simulators, and then
+walks the channel-depth axis to show the three facts that make bounded
+streaming work:
+
+* steady-state II is the *slowest stage's* II -- channels buffer, they
+  do not accelerate;
+* the analyzed minimum depth is exactly the shallowest stall-free FIFO;
+* below it, blocking back-pressure costs real cycles (and depth 0
+  deadlocks outright).
+
+Run:  python examples/streaming_pipeline.py
+"""
+
+from repro import artisan90
+from repro.dataflow import (
+    compile_pipeline,
+    simulate_pipeline_machine,
+    simulate_pipeline_reference,
+)
+from repro.flow import FlowCache
+from repro.sim.reference import SimulationError
+from repro.workloads import (
+    build_matmul_relu_stream,
+    matmul_relu_inputs,
+    reference_matmul_relu_stream,
+)
+
+K, TRIP, CLOCK_PS = 2, 16, 1600.0
+
+
+def main() -> None:
+    library = artisan90()
+    cache = FlowCache()
+    inputs = matmul_relu_inputs(K, TRIP)
+
+    composed = compile_pipeline(build_matmul_relu_stream(K, TRIP),
+                                library, CLOCK_PS, cache=cache)
+    print(f"matmul_relu_stream @ {CLOCK_PS:.0f} ps")
+    print(composed.table())
+
+    # pure-python oracle vs both simulators
+    a_rows = [[inputs[f"a{i}"][j] for i in range(K)] for j in range(TRIP)]
+    b_rows = [[inputs[f"b{i}"][j] for i in range(K)] for j in range(TRIP)]
+    oracle = reference_matmul_relu_stream(K, a_rows, b_rows)
+    tokens = simulate_pipeline_reference(
+        build_matmul_relu_stream(K, TRIP), inputs)
+    machine = simulate_pipeline_machine(composed, inputs)
+    assert tokens.output("y") == oracle, "token oracle mismatch"
+    assert machine.output("y") == oracle, "machine mismatch"
+    print(f"\nboth simulators match the oracle "
+          f"({machine.cycles} cycles, {machine.stalled_cycles} stalled)")
+
+    # the channel-depth axis
+    min_depth = composed.min_depths["s"]
+    print(f"\nchannel 's': analyzed minimum depth {min_depth}")
+    print(f"{'depth':>6} {'cycles':>9} {'producer stalls':>16}")
+    for depth in (0, min_depth - 1, min_depth, min_depth + 4):
+        if depth < 0:
+            continue
+        pipe = build_matmul_relu_stream(K, TRIP)
+        pipe.set_depth("s", depth)
+        point = compile_pipeline(pipe, library, CLOCK_PS, cache=cache)
+        try:
+            run = simulate_pipeline_machine(point, inputs)
+            stalls = run.stage_results["dot"].stalled_cycles
+            print(f"{depth:>6} {run.cycles:>9} {stalls:>16}")
+        except SimulationError:
+            print(f"{depth:>6} {'deadlock':>9} {'-':>16}")
+
+    print("\nback-pressure rate-matches every stage to the slowest one: "
+          "deepening the\nFIFO never improves II, undersizing it stalls "
+          "the producer, and an\nunbuffered channel deadlocks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,15 @@ from repro.core import (
     schedule_region,
 )
 from repro.core.folding import FoldedPipeline, fold_schedule
+from repro.dataflow import (
+    Channel,
+    ComposedPipeline,
+    Pipeline,
+    compile_pipeline,
+    generate_pipeline_verilog,
+    simulate_pipeline_machine,
+    simulate_pipeline_reference,
+)
 from repro.core.pipeline import (
     PipelineResult,
     explore_microarchitectures,
@@ -60,7 +69,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CFG",
+    "Channel",
     "CompilationContext",
+    "ComposedPipeline",
+    "Pipeline",
+    "compile_pipeline",
+    "generate_pipeline_verilog",
+    "simulate_pipeline_machine",
+    "simulate_pipeline_reference",
     "DFG",
     "DFGError",
     "Flow",

@@ -110,6 +110,9 @@ class RegionBuilder:
         #: per memory: (access op, dynamic?) in program order, for
         #: dependence-edge emission.
         self._mem_accesses: Dict[str, List[Tuple[Operation, bool]]] = {}
+        #: per (channel, kind): stream accesses in program order; token
+        #: indices (io_offset / io_stride) are assigned at build time.
+        self._stream_ops: Dict[Tuple[str, OpKind], List[Operation]] = {}
 
     # ------------------------------------------------------------------
     # predicate scoping (if-conversion)
@@ -400,6 +403,70 @@ class RegionBuilder:
         self._record_access(decl, op, dynamic)
         return op
 
+    # ------------------------------------------------------------------
+    # streaming channels
+    # ------------------------------------------------------------------
+    def pop(self, channel: str, width: int, name: str = "",
+            state: Optional[int] = None) -> Value:
+        """Blocking read of one token from a FIFO channel.
+
+        Within a single region a channel behaves like an input port with
+        consumption semantics: each iteration pops the next token(s) in
+        program order.  Composed into a :class:`repro.dataflow.Pipeline`,
+        the channel becomes a FIFO between two stages and an empty FIFO
+        stalls this whole stage.  Unpinned by default: the FIFO has one
+        read port, so several pops of one channel must serialize and the
+        scheduler needs the freedom to spread them over states.  Pops
+        must be unconditional (predicate the *uses*, not the pop --
+        conditional consumption would make FIFO contents data-dependent
+        and is rejected at :meth:`build`).
+
+        Example — a ReLU stage popping from ``c_in`` and pushing the
+        rectified value to ``c_out``::
+
+            >>> b = RegionBuilder("relu", is_loop=True)
+            >>> x = b.pop("c_in", 32)
+            >>> y = b.mux(b.lt(x, 0), b.const(0, 32), x, name="relu")
+            >>> _ = b.push("c_out", y)
+            >>> region = b.build()
+            >>> region.input_channels
+            ['c_in']
+            >>> region.output_channels
+            ['c_out']
+        """
+        op = self.dfg.add_op(OpKind.POP, width,
+                             name=name or f"{channel}_pop",
+                             payload=channel,
+                             predicate=self._current_predicate(),
+                             pinned_state=state)
+        self._stream_ops.setdefault((channel, OpKind.POP), []).append(op)
+        return Value(op)
+
+    def push(self, channel: str, value: ValueLike, name: str = "",
+             state: Optional[int] = None) -> Operation:
+        """Blocking write of one token into a FIFO channel.
+
+        The stage-level dual of :meth:`pop`: within one region it acts
+        like an output port; composed into a pipeline, a full FIFO
+        stalls this whole stage (back-pressure).  Unpinned by default so
+        data dependencies place it, like :meth:`write`.
+
+            >>> b = RegionBuilder("doubler", is_loop=True)
+            >>> x = b.read("x", 32)
+            >>> op = b.push("c", b.add(x, x))
+            >>> op.kind.value
+            'push'
+        """
+        val = self._as_value(value, 32)
+        op = self.dfg.add_op(OpKind.PUSH, val.width,
+                             name=name or f"{channel}_push",
+                             payload=channel,
+                             predicate=self._current_predicate(),
+                             pinned_state=state)
+        self.dfg.connect(val.op, op, 0)
+        self._stream_ops.setdefault((channel, OpKind.PUSH), []).append(op)
+        return op
+
     def loop_var(self, name: str, init: ValueLike) -> LoopVar:
         """A loop-carried variable; call ``set_next`` to close the cycle."""
         if not self.is_loop:
@@ -444,6 +511,12 @@ class RegionBuilder:
         for name, accesses in self._mem_accesses.items():
             emit_dependence_edges(self.dfg, self._memories[name],
                                   accesses, self.is_loop)
+        # token indexing: iteration k's i-th access of a channel touches
+        # token k * stride + i, so the simulators can replay the exact
+        # FIFO order (several pops/pushes per iteration are legal).
+        for (_channel, _kind), ops in self._stream_ops.items():
+            for index, op in enumerate(ops):
+                op.io_offset, op.io_stride = index, len(ops)
         region = Region(
             name=self.name,
             dfg=self.dfg,

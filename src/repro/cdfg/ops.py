@@ -56,6 +56,9 @@ class OpKind(str, enum.Enum):
     # memory (payload: memory name; see repro.cdfg.memory)
     LOAD = "load"        # inputs: (address) when dynamic, () when affine
     STORE = "store"      # inputs: (address, data) dynamic, (data) affine
+    # streaming (payload: channel name; see repro.dataflow)
+    POP = "pop"          # blocking FIFO read; no inputs
+    PUSH = "push"        # blocking FIFO write; single data input
 
 
 #: kinds that are pure wiring / constants and never occupy a datapath
@@ -70,10 +73,18 @@ FREE_KINDS = frozenset({
 #: after them).
 MUX_KINDS = frozenset({OpKind.MUX, OpKind.LOOPMUX})
 
+#: kinds that access a streaming FIFO channel between dataflow stages;
+#: like port I/O they occupy no functional unit, but they additionally
+#: carry blocking semantics: a POP on an empty channel (or a PUSH on a
+#: full one) stalls the whole stage until the FIFO can serve it.
+STREAM_KINDS = frozenset({OpKind.POP, OpKind.PUSH})
+
 #: kinds that interact with the environment; they are pinned to control
 #: steps as written in the source (paper section IV: "I/O operations are
 #: scheduled at the very same states where they are specified").
-IO_KINDS = frozenset({OpKind.READ, OpKind.WRITE})
+#: Channel POP/PUSH are I/O at the single-stage level: the value enters
+#: or leaves the region through a named port (the FIFO's data bus).
+IO_KINDS = frozenset({OpKind.READ, OpKind.WRITE}) | STREAM_KINDS
 
 #: kinds that access a declared on-chip memory; they bind to RAM bank
 #: ports (at most P accesses per bank per state) instead of functional
@@ -106,6 +117,7 @@ _ARITY = {
     OpKind.MOVE: 1, OpKind.CALL: None, OpKind.STALL: 1,
     # 0/1 data inputs (affine address) or 1/2 (dynamic address)
     OpKind.LOAD: None, OpKind.STORE: None,
+    OpKind.POP: 0, OpKind.PUSH: 1,
 }
 
 
@@ -191,6 +203,11 @@ class Operation:
     def is_memory(self) -> bool:
         """Whether the operation accesses a declared memory."""
         return self.kind in MEMORY_KINDS
+
+    @property
+    def is_stream(self) -> bool:
+        """Whether the operation accesses a streaming FIFO channel."""
+        return self.kind in STREAM_KINDS
 
     @property
     def is_mux(self) -> bool:

@@ -78,6 +78,28 @@ class Region:
                 raise DFGError(
                     f"{self.name}: loop-carried edges in non-loop region: "
                     f"{[op.name for op in carried]}")
+        for name in set(self.input_channels) & set(self.output_channels):
+            raise DFGError(
+                f"{self.name}: channel {name!r} both popped and pushed "
+                f"inside one region (a FIFO joins two distinct stages)")
+        for op in self.pops:
+            # a conditionally-consuming pop would make FIFO contents
+            # depend on data (the simulators and the RTL could not
+            # agree on token positions); pushes may be predicated --
+            # they gate the commit, not a consumption
+            if not op.predicate.is_true:
+                raise DFGError(
+                    f"{self.name}: {op.name} pops under a predicate "
+                    f"(conditional consumption is not supported; pop "
+                    f"unconditionally and predicate the uses)")
+        for ops in (self.pops, self.pushes):
+            widths: Dict[str, int] = {}
+            for op in ops:
+                prev = widths.setdefault(op.payload, op.width)
+                if op.width != prev:
+                    raise DFGError(
+                        f"{self.name}: channel {op.payload!r} accessed at "
+                        f"widths {prev} and {op.width}")
         for op in self.memory_ops:
             decl = self.memories.get(op.payload)
             if decl is None:
@@ -116,6 +138,39 @@ class Region:
             if op.payload not in seen:
                 seen.append(op.payload)
         return seen
+
+    @property
+    def pops(self) -> List:
+        """Channel-pop operations, in insertion order."""
+        return self.dfg.ops_of_kind(OpKind.POP)
+
+    @property
+    def pushes(self) -> List:
+        """Channel-push operations, in insertion order."""
+        return self.dfg.ops_of_kind(OpKind.PUSH)
+
+    @property
+    def input_channels(self) -> List[str]:
+        """Names of all channels popped by this region (deduplicated)."""
+        seen: List[str] = []
+        for op in self.pops:
+            if op.payload not in seen:
+                seen.append(op.payload)
+        return seen
+
+    @property
+    def output_channels(self) -> List[str]:
+        """Names of all channels pushed by this region (deduplicated)."""
+        seen: List[str] = []
+        for op in self.pushes:
+            if op.payload not in seen:
+                seen.append(op.payload)
+        return seen
+
+    def channel_accesses(self, name: str, kind: OpKind) -> List:
+        """POP (or PUSH) operations touching one channel, in order."""
+        return [op for op in self.dfg.ops_of_kind(kind)
+                if op.payload == name]
 
     @property
     def memory_ops(self) -> List:

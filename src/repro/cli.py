@@ -4,9 +4,10 @@ Commands
 --------
 schedule   compile a mini-language source file and schedule its loops
 sweep      run a microarchitecture/clock exploration on a named workload
+stream     compose, verify and report a named streaming pipeline
 table      print a paper table (1, 2 or 3) from the calibrated library
 verilog    compile + schedule + emit RTL to stdout or a file
-workloads  list the named kernels in the workload registry
+workloads  list the named kernels and streaming pipelines
 
 The CLI is a thin veneer over the unified compilation pipeline
 (:mod:`repro.flow`) so shell users (and CI scripts) can exercise the
@@ -30,7 +31,12 @@ from repro.frontend import compile_source
 from repro.rtl import schedule_report
 from repro.rtl.reports import format_table, pareto_header
 from repro.tech import Library, artisan90, generic45
-from repro.workloads import WORKLOAD_REGISTRY, build_example1
+from repro.workloads import (
+    PIPELINE_INPUTS,
+    PIPELINE_REGISTRY,
+    WORKLOAD_REGISTRY,
+    build_example1,
+)
 
 #: workloads addressable from the command line (the shared registry).
 WORKLOADS: Dict[str, Callable[[], Region]] = WORKLOAD_REGISTRY
@@ -185,7 +191,54 @@ def cmd_workloads(args: argparse.Namespace) -> int:
                      "loop" if region.is_loop else "block"])
     print(format_table(
         ["workload", "region", "ops", "edges", "latency", "kind"], rows))
+    rows = []
+    for name in sorted(PIPELINE_REGISTRY):
+        pipe = PIPELINE_REGISTRY[name]()
+        rows.append([name, len(pipe.stages), len(pipe.channels),
+                     " -> ".join(pipe.stages)])
+    print()
+    print(format_table(["pipeline", "stages", "channels", "topology"],
+                       rows))
     return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Compose a named streaming pipeline, verify it, print the report."""
+    from repro.dataflow import (
+        compile_pipeline,
+        generate_pipeline_verilog,
+        simulate_pipeline_machine,
+        simulate_pipeline_reference,
+    )
+
+    library = _library(args.library)
+    factory = PIPELINE_REGISTRY.get(args.pipeline)
+    if factory is None:
+        raise SystemExit(f"unknown pipeline {args.pipeline!r}; "
+                         f"choose from {sorted(PIPELINE_REGISTRY)}")
+    pipeline = factory()
+    composed = compile_pipeline(pipeline, library, clock_ps=args.clock)
+    inputs = PIPELINE_INPUTS.get(args.pipeline, dict)()
+    oracle = simulate_pipeline_reference(factory(), inputs)
+    machine = simulate_pipeline_machine(composed, inputs)
+    verified = machine.outputs == oracle.outputs
+    if args.json:
+        summary = composed.summary()
+        summary["cycles"] = machine.cycles
+        summary["stalled_cycles"] = machine.stalled_cycles
+        summary["verified"] = verified
+        print(json.dumps(summary, indent=2))
+    else:
+        print(composed.table())
+        print(f"machine simulation: {machine.cycles} cycles, "
+              f"{machine.stalled_cycles} stalled; outputs "
+              f"{'MATCH' if verified else 'DIFFER from'} the token oracle")
+    if args.output:
+        text = generate_pipeline_verilog(composed)
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    return 0 if verified else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -223,6 +276,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the full sweep record as JSON")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("stream",
+                       help="compose + verify a streaming pipeline")
+    p.add_argument("pipeline", help="pipeline name (see `workloads`)")
+    p.add_argument("--clock", type=float, default=1600.0)
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--output", default=None,
+                   help="also write the composed Verilog here")
+    p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser("table", help="print a paper table")
     p.add_argument("number", type=int, choices=(1, 2, 3))

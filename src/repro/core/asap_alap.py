@@ -64,7 +64,7 @@ def _memory_delay(op: Operation, library: Library) -> float:
 
 def _optimistic_delay(op: Operation, library: Library) -> float:
     """The op's combinational delay, ignoring sharing muxes (paper IV.A)."""
-    if op.is_free or op.kind in (OpKind.READ, OpKind.WRITE, OpKind.STALL):
+    if op.is_free or op.is_io or op.kind is OpKind.STALL:
         return 0.0
     if op.is_mux:
         return library.mux.delay2_ps
@@ -80,7 +80,7 @@ def _optimistic_delay(op: Operation, library: Library) -> float:
 
 def _fastest_delay(op: Operation, library: Library) -> float:
     """Best achievable delay at the highest speed grade."""
-    if op.is_free or op.kind in (OpKind.READ, OpKind.WRITE, OpKind.STALL):
+    if op.is_free or op.is_io or op.kind is OpKind.STALL:
         return 0.0
     if op.is_mux:
         return library.mux.delay2_ps

@@ -112,8 +112,8 @@ def compute_lifetimes(
     for uid, bound in sorted(bindings.items()):
         op = bound.op
         if op.is_free or op.kind in (OpKind.WRITE, OpKind.STALL,
-                                     OpKind.STORE):
-            continue  # stores produce no value (the RAM array holds it)
+                                     OpKind.STORE, OpKind.PUSH):
+            continue  # stores/pushes produce no value (RAM/FIFO holds it)
         def_state = bound.end_state
         last_need = def_state
         for cons, dist in _resolved_consumers(dfg, uid):

@@ -145,7 +145,8 @@ def propose_actions(
                     demand, count = outlook.get(r.type_key, (0, 1))
                     needed = -(-demand // max(count, 1))
                     jump = max(jump, needed - state.latency)
-            elif r.kind is RestraintKind.MEM_PORT:
+            elif r.kind in (RestraintKind.MEM_PORT,
+                            RestraintKind.CHAN_PORT):
                 # like NO_RESOURCE: a new state only provides fresh port
                 # slots while it grows the set of equivalence classes
                 if ii is None or state.latency < ii:

@@ -30,6 +30,10 @@ class RestraintKind(str, enum.Enum):
     #: every RAM port of the accessed bank(s) was busy on the state --
     #: memory port starvation; solvable by banking or by adding states.
     MEM_PORT = "mem_port"
+    #: the FIFO channel's single read (or write) port was busy on the
+    #: state -- stream port starvation; solvable by adding states (each
+    #: channel endpoint is one physical FIFO port).
+    CHAN_PORT = "chan_port"
     #: the binding violated the clock period.
     NEG_SLACK = "neg_slack"
     #: the binding would have closed a false combinational cycle.
@@ -76,6 +80,8 @@ class Restraint:
     cond_uid: Optional[int] = None
     #: memory name for RAM-port starvation restraints.
     mem_name: Optional[str] = None
+    #: channel name for FIFO-port starvation restraints.
+    chan_name: Optional[str] = None
     #: worst chained input arrival observed at the failing state; lets the
     #: relaxation engine probe whether a faster grade would fit in place.
     input_arrival_ps: float = 0.0
@@ -132,7 +138,7 @@ class RestraintLog:
             else:
                 base = 0.3
             key = (r.kind, r.op_uid, r.type_key, r.scc_index, r.inst_name,
-                   r.mem_name)
+                   r.mem_name, r.chan_name)
             if key in merged:
                 merged[key].weight += 0.5 * base
                 merged[key].slack_ps = min(merged[key].slack_ps, r.slack_ps)

@@ -25,7 +25,9 @@ class ScheduleError(RuntimeError):
         super().__init__(message)
         self.diagnostics = diagnostics or []
 
-    #: diagnostics rendered by ``str()`` before eliding the rest.
+    #: diagnostics rendered by ``str()`` before eliding the rest; the
+    #: full list is always available via ``.diagnostics`` (see the
+    #: "Diagnostics" section of docs/ARCHITECTURE.md for the format).
     MAX_SHOWN = 12
 
     def __str__(self) -> str:
@@ -36,7 +38,8 @@ class ScheduleError(RuntimeError):
         text = head + "".join(f"\n  - {line}" for line in shown)
         hidden = len(self.diagnostics) - len(shown)
         if hidden:
-            text += f"\n  ... (+{hidden} more)"
+            text += (f"\n  ... and {hidden} more "
+                     f"(all {len(self.diagnostics)} in .diagnostics)")
         return text
 
 
@@ -71,7 +74,30 @@ class AreaReport:
 
 @dataclass
 class Schedule:
-    """A complete scheduling + binding result for one region."""
+    """A complete scheduling + binding result for one region.
+
+    Produced by :func:`~repro.core.scheduler.schedule_region`; the
+    single artifact every backend consumes (RTL, simulators, power,
+    reports).  ``bindings`` maps op uid to its (state, instance,
+    cycles, arrival) record; ``netlist`` is the incremental timing
+    engine the bindings were admitted against, so
+    :meth:`timing_report` signs off with the very arithmetic that
+    admitted each path.
+
+    Example::
+
+        from repro import RegionBuilder, artisan90, schedule_region
+
+        b = RegionBuilder("mac", is_loop=True, max_latency=4)
+        x = b.read("x", 32)
+        acc = b.loop_var("acc", b.const(0, 32))
+        acc.set_next(b.add(acc, b.mul(x, x)))
+        b.write("y", acc.value)
+        schedule = schedule_region(b.build(), artisan90(), 1600.0)
+        assert schedule.validate() == []          # structurally sound
+        assert schedule.timing_report().met       # and meets timing
+        print(schedule.table())                   # paper Table 2 grid
+    """
 
     region: Region
     library: Library
@@ -296,6 +322,7 @@ class Schedule:
                                 f"{inst.name}: {a.name} and {b.name} clash "
                                 f"on equivalent edges (class {key})")
         problems.extend(self._validate_memory_ports())
+        problems.extend(self._validate_stream_ports())
         for window in self.scc_windows:
             for uid in window.ops:
                 bound = self.bindings.get(uid)
@@ -314,6 +341,32 @@ class Schedule:
             timing = self.timing_report()
             if not timing.met:
                 problems.append(f"timing not met: WNS {timing.wns_ps:.0f}ps")
+        return problems
+
+    def _validate_stream_ports(self) -> List[str]:
+        """Check that no FIFO channel port serves two accesses per state.
+
+        A channel endpoint is one physical FIFO port: at most one pop
+        (and one push) per channel per equivalence class, except for
+        predicate-exclusive accesses (only one of them executes).
+        """
+        problems: List[str] = []
+        usage: Dict[Tuple[str, OpKind, int], List] = {}
+        for op in self.region.dfg.ops_of_kind(OpKind.POP, OpKind.PUSH):
+            bound = self.bindings.get(op.uid)
+            if bound is None:
+                continue
+            key = bound.state % self.ii if self.pipeline else bound.state
+            usage.setdefault((op.payload, op.kind, key), []).append(op)
+        for (chan, kind, key), ops in sorted(
+                usage.items(), key=lambda kv: (kv[0][0], kv[0][1].value,
+                                               kv[0][2])):
+            for i, a in enumerate(ops):
+                for b in ops[i + 1:]:
+                    if not a.predicate.disjoint(b.predicate):
+                        problems.append(
+                            f"channel {chan}: {a.name} and {b.name} clash "
+                            f"on the {kind.value} port (class {key})")
         return problems
 
     def _validate_memory_ports(self) -> List[str]:

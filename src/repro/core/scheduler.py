@@ -364,6 +364,15 @@ class _Pass:
             or (self.options.accept_negative_slack
                 and e >= self.mobility[op.uid].alap))
 
+        if op.is_stream and not self._stream_port_free(op, e):
+            # the channel endpoint is one physical FIFO port: at most
+            # one pop (and one push) per channel per equivalence class
+            restraints.append(Restraint(
+                kind=RestraintKind.CHAN_PORT, op_uid=op.uid, state=e,
+                chan_name=op.payload,
+                fits_fresh_state=self.ii is None or self.latency < self.ii))
+            return False, restraints
+
         if op.kind in (OpKind.LOAD, OpKind.STORE):
             return self._try_bind_memory(op, e, restraints)
 
@@ -483,6 +492,25 @@ class _Pass:
             restraints.append(self._timing_restraint(
                 op, e, dummy, arrival_probe, type_key))
         return False, restraints
+
+    def _stream_port_free(self, op: Operation, e: int) -> bool:
+        """Whether ``op``'s channel port is free at state ``e``.
+
+        A FIFO exposes one read and one write port; accesses of the same
+        direction on one channel serialize across (equivalence classes
+        of) states.  Predicate-disjoint accesses may share the port --
+        only one of them executes per iteration.
+        """
+        eq = set(_equivalent_states([e], self.latency, self.ii))
+        for other in self.region.channel_accesses(op.payload, op.kind):
+            if other.uid == op.uid:
+                continue
+            ob = self.netlist.binding(other.uid)
+            if ob is None:
+                continue
+            if ob.state in eq and not op.predicate.disjoint(other.predicate):
+                return False
+        return True
 
     def _try_bind_memory(self, op: Operation, e: int,
                          restraints: List[Restraint]

@@ -1,0 +1,166 @@
+"""Steady-state rate and channel-depth analysis.
+
+Given the per-stage schedules, the composition's performance questions
+reduce to token arithmetic:
+
+* **Steady-state throughput.**  Back-pressure rate-matches every stage
+  to the slowest one, so the composed initiation interval is simply the
+  maximum stage II (de Fine Licht et al.: "the throughput of a
+  dataflow region is limited by its slowest stage").  Multi-rate
+  stages (e.g. a decimator popping two tokens per iteration) are
+  normalized by their trip counts: a stage that runs half as many
+  iterations per frame may take twice as long per iteration without
+  slowing the frame.
+
+* **Minimum channel depth.**  A token pushed at cycle ``P`` occupies a
+  FIFO slot until its pop at cycle ``Q``; the minimum stall-free depth
+  of a channel is the peak number of in-flight tokens at any push
+  instant.  Under-sizing below this bound provably stalls the producer
+  (at depth 0 a blocking pair deadlocks outright); over-sizing never
+  improves throughput -- the bottleneck stage does not get faster by
+  buffering more of its backlog.
+
+Times are computed with exact rational arithmetic (`fractions`) because
+multi-rate steady intervals are generally non-integral.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.cdfg.ops import OpKind
+from repro.dataflow.channel import DataflowError
+from repro.dataflow.pipeline import Pipeline, Stage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.schedule import Schedule
+
+#: analysis horizon: tokens examined per channel (the occupancy pattern
+#: is periodic with the frame, so a bounded prefix finds the peak).
+_MAX_TOKENS = 256
+
+
+def steady_state_ii(schedules: Dict[str, "Schedule"]) -> int:
+    """Composed initiation interval: the slowest stage sets the pace."""
+    return max(s.ii_effective for s in schedules.values())
+
+
+def frame_cycles(pipeline: Pipeline,
+                 schedules: Dict[str, "Schedule"]) -> int:
+    """Cycles per *frame* (one full run's worth of iterations) at the
+    steady state, ignoring warm-up: ``max over stages of trip x II``."""
+    worst = 0
+    for name, stage in pipeline.stages.items():
+        trip = _trip(stage)
+        worst = max(worst, trip * schedules[name].ii_effective)
+    return worst
+
+
+def _trip(stage: Stage) -> int:
+    trip = stage.region.trip_count
+    if trip is None:
+        raise DataflowError(
+            f"stage {stage.name}: rate analysis needs a trip count "
+            f"(set_trip_count) on every stage")
+    return trip
+
+
+def steady_intervals(pipeline: Pipeline,
+                     schedules: Dict[str, "Schedule"]) -> Dict[str, Fraction]:
+    """Steady-state cycles between iteration starts, per stage.
+
+    The bottleneck normalizes everything: with ``frame = max(trip x
+    II)``, stage ``s`` issues every ``frame / trip_s`` cycles -- its own
+    II when it *is* the bottleneck, slower (stalled by back-pressure or
+    starvation) otherwise.
+    """
+    frame = frame_cycles(pipeline, schedules)
+    return {name: Fraction(frame, _trip(stage))
+            for name, stage in pipeline.stages.items()}
+
+
+def _access_states(stage: Stage, schedule: "Schedule", channel: str,
+                   kind: OpKind) -> List[int]:
+    """Bound states of a channel's accesses, in token order."""
+    ops = sorted(stage.region.channel_accesses(channel, kind),
+                 key=lambda op: op.io_offset)
+    return [schedule.state_of(op.uid) for op in ops]
+
+
+def stage_offsets(pipeline: Pipeline,
+                  schedules: Dict[str, "Schedule"]) -> Dict[str, int]:
+    """Earliest steady-state issue offset of each stage's iteration 0.
+
+    A consumer cannot start an iteration before the tokens it pops are
+    in the FIFO; a token pushed in cycle ``P`` commits at the clock
+    edge and becomes visible in cycle ``P + 1``.  Offsets bound the
+    end-to-end latency of the composition (first-frame fill time).
+    """
+    intervals = steady_intervals(pipeline, schedules)
+    offsets: Dict[str, Fraction] = {}
+    for stage in pipeline.topo_order():
+        earliest = Fraction(0)
+        for channel in stage.region.input_channels:
+            prod = pipeline.producer_of(channel)
+            push_states = _access_states(prod, schedules[prod.name],
+                                         channel, OpKind.PUSH)
+            pop_states = _access_states(stage, schedules[stage.name],
+                                        channel, OpKind.POP)
+            t_prod = intervals[prod.name]
+            for i, pop_state in enumerate(pop_states):
+                # token i of the channel: pushed by producer iteration
+                # i // n_p, its (i % n_p)-th push of the channel
+                pushed = (offsets[prod.name]
+                          + (i // len(push_states)) * t_prod
+                          + push_states[i % len(push_states)])
+                earliest = max(earliest, pushed + 1 - pop_state)
+        offsets[stage.name] = earliest
+    # math.ceil is exact on Fraction (integer arithmetic, no float)
+    return {name: math.ceil(off) for name, off in offsets.items()}
+
+
+def min_channel_depths(pipeline: Pipeline,
+                       schedules: Dict[str, "Schedule"]) -> Dict[str, int]:
+    """Minimum stall-free FIFO depth per channel at the steady state.
+
+    For every token the analysis derives its push instant ``P`` (it
+    occupies a slot from ``P`` on: the machine model stages pushes
+    within the cycle and commits them at the edge) and its pop instant
+    ``Q`` (the slot frees after the pop's cycle).  The required depth
+    is the peak occupancy observed at any push instant; a producer
+    pushing into a FIFO shallower than this bound finds it full and
+    stalls, degrading the composed II below ``max(stage II)``.
+    """
+    intervals = steady_intervals(pipeline, schedules)
+    offsets = {name: Fraction(off) for name, off
+               in stage_offsets(pipeline, schedules).items()}
+    depths: Dict[str, int] = {}
+    for name in sorted(pipeline.channels):
+        prod = pipeline.producer_of(name)
+        cons = pipeline.consumer_of(name)
+        push_states = _access_states(prod, schedules[prod.name],
+                                     name, OpKind.PUSH)
+        pop_states = _access_states(cons, schedules[cons.name],
+                                    name, OpKind.POP)
+        n_p, n_c = len(push_states), len(pop_states)
+        total = min(_trip(prod) * n_p, _MAX_TOKENS)
+        push_at: List[Fraction] = []
+        pop_at: List[Fraction] = []
+        for t in range(total):
+            push_at.append(offsets[prod.name]
+                           + (t // n_p) * intervals[prod.name]
+                           + push_states[t % n_p])
+            pop_at.append(offsets[cons.name]
+                          + (t // n_c) * intervals[cons.name]
+                          + pop_states[t % n_c])
+        peak = 1
+        for t in range(total):
+            # occupancy the instant token t is pushed: everything pushed
+            # no later whose pop has not completed yet
+            live = sum(1 for u in range(total)
+                       if push_at[u] <= push_at[t] < pop_at[u] + 1)
+            peak = max(peak, live)
+        depths[name] = peak
+    return depths

@@ -1,0 +1,66 @@
+"""Typed FIFO channels between dataflow stages.
+
+A :class:`Channel` is the only way two kernel stages of a
+:class:`~repro.dataflow.pipeline.Pipeline` communicate: the producer
+stage pushes tokens with :meth:`~repro.cdfg.builder.RegionBuilder.push`,
+the consumer pops them with
+:meth:`~repro.cdfg.builder.RegionBuilder.pop`, and the hardware between
+them is a depth-bounded FIFO with valid/ready handshakes.  Blocking
+semantics close the loop: a pop on an empty FIFO (or a push on a full
+one) freezes the whole issuing stage for that cycle, which is how
+back-pressure propagates and why system throughput settles at the
+slowest stage's initiation interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+class DataflowError(ValueError):
+    """Raised on malformed pipelines (dangling channels, rate bugs...)."""
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One FIFO connecting a producer stage to a consumer stage.
+
+    Attributes
+    ----------
+    name:
+        The channel's name; ``push``/``pop`` operations address it by
+        this string (their payload).
+    width:
+        Token width in bits.  Must match every push and pop touching
+        the channel.
+    depth:
+        FIFO capacity in tokens.  ``None`` means *auto*: composition
+        sizes the channel to the minimum depth that avoids stalls at
+        the analyzed steady state (see
+        :func:`repro.dataflow.analysis.min_channel_depths`).  An
+        explicit depth is honored even when it is smaller -- that is
+        the knob the under-sizing experiments turn.
+
+    Example::
+
+        >>> Channel("c", width=16).with_depth(4)
+        Channel(name='c', width=16, depth=4)
+    """
+
+    name: str
+    width: int = 32
+    depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise DataflowError(f"channel {self.name}: width must be > 0")
+        if self.depth is not None and self.depth < 0:
+            raise DataflowError(
+                f"channel {self.name}: depth must be >= 0 (0 models an "
+                f"unbuffered wire, which always deadlocks a blocking "
+                f"producer/consumer pair)")
+
+    def with_depth(self, depth: int) -> "Channel":
+        """A copy of this channel at another FIFO capacity."""
+        return replace(self, depth=depth)

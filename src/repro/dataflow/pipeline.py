@@ -1,0 +1,230 @@
+"""Multi-kernel dataflow pipelines.
+
+A :class:`Pipeline` composes named kernel *stages* -- each an ordinary
+:class:`~repro.cdfg.region.Region` -- into a DAG connected by typed FIFO
+:class:`~repro.dataflow.channel.Channel`\\ s.  Connectivity is by name:
+a region that pushes channel ``"c"`` is the producer of ``c``, the
+region that pops ``"c"`` is its consumer, and validation checks the
+result is a single-producer/single-consumer acyclic graph with
+consistent widths and token rates.
+
+Each stage is scheduled and pipelined *independently* through the
+existing compilation flows (:func:`repro.dataflow.compose.compile_pipeline`);
+the composition only has to reason about rates and FIFO depths, which
+is the whole point of the dataflow discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cdfg.ops import OpKind
+from repro.cdfg.region import PipelineSpec, Region
+from repro.dataflow.channel import Channel, DataflowError
+
+
+@dataclass
+class Stage:
+    """One kernel stage: a region plus its pipelining directive.
+
+    ``ii=None`` leaves the stage sequential (II = latency); an integer
+    pipelines it at that designer II, exactly like a standalone
+    compilation would.
+    """
+
+    name: str
+    region: Region
+    ii: Optional[int] = None
+
+    @property
+    def pipeline(self) -> Optional[PipelineSpec]:
+        """The stage's pipelining directive (None = sequential)."""
+        return PipelineSpec(ii=self.ii) if self.ii is not None else None
+
+    def pushes_per_iter(self, channel: str) -> int:
+        """Tokens this stage pushes into ``channel`` per iteration."""
+        return len(self.region.channel_accesses(channel, OpKind.PUSH))
+
+    def pops_per_iter(self, channel: str) -> int:
+        """Tokens this stage pops from ``channel`` per iteration."""
+        return len(self.region.channel_accesses(channel, OpKind.POP))
+
+
+class Pipeline:
+    """A DAG of FIFO-connected kernel stages.
+
+    Example -- a two-stage producer/consumer::
+
+        >>> from repro.cdfg.builder import RegionBuilder
+        >>> b = RegionBuilder("prod", is_loop=True)
+        >>> _ = b.push("c", b.add(b.read("x", 32), 1))
+        >>> b.set_trip_count(8)
+        >>> producer = b.build()
+        >>> b = RegionBuilder("cons", is_loop=True)
+        >>> _ = b.write("y", b.mul(b.pop("c", 32), 3))
+        >>> b.set_trip_count(8)
+        >>> consumer = b.build()
+        >>> pipe = Pipeline("pair")
+        >>> _ = pipe.add_stage("prod", producer, ii=1)
+        >>> _ = pipe.add_stage("cons", consumer, ii=1)
+        >>> pipe.validate()
+        >>> [s.name for s in pipe.topo_order()]
+        ['prod', 'cons']
+        >>> sorted(pipe.channels)
+        ['c']
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: stages by name, in insertion order.
+        self.stages: Dict[str, Stage] = {}
+        #: explicitly declared channels by name (auto-completed by
+        #: :meth:`channels` for connections only implied by the regions).
+        self._declared: Dict[str, Channel] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_stage(self, name: str, region: Region,
+                  ii: Optional[int] = None) -> Stage:
+        """Add a kernel stage; connectivity is implied by channel names."""
+        if name in self.stages:
+            raise DataflowError(f"{self.name}: duplicate stage {name!r}")
+        stage = Stage(name=name, region=region, ii=ii)
+        self.stages[name] = stage
+        return stage
+
+    def channel(self, name: str, width: int = 32,
+                depth: Optional[int] = None) -> Channel:
+        """Explicitly declare a channel (to set its width or depth).
+
+        Channels not declared here are auto-created by :meth:`channels`
+        with the width of their accesses and ``depth=None`` (auto-sized
+        at composition).
+        """
+        if name in self._declared:
+            raise DataflowError(f"{self.name}: duplicate channel {name!r}")
+        chan = Channel(name=name, width=width, depth=depth)
+        self._declared[name] = chan
+        return chan
+
+    def set_depth(self, name: str, depth: int) -> None:
+        """Override one channel's FIFO depth (the sweep/experiment knob)."""
+        chan = self.channels.get(name)
+        if chan is None:
+            raise DataflowError(f"{self.name}: no channel {name!r}")
+        self._declared[name] = chan.with_depth(depth)
+
+    # ------------------------------------------------------------------
+    # derived structure
+    # ------------------------------------------------------------------
+    @property
+    def channels(self) -> Dict[str, Channel]:
+        """All channels: declared ones plus those implied by the regions."""
+        out: Dict[str, Channel] = dict(self._declared)
+        for stage in self.stages.values():
+            for op in stage.region.pushes + stage.region.pops:
+                if op.payload not in out:
+                    out[op.payload] = Channel(name=op.payload,
+                                              width=op.width)
+        return out
+
+    def producer_of(self, channel: str) -> Optional[Stage]:
+        """The unique stage pushing into ``channel`` (None if external)."""
+        for stage in self.stages.values():
+            if channel in stage.region.output_channels:
+                return stage
+        return None
+
+    def consumer_of(self, channel: str) -> Optional[Stage]:
+        """The unique stage popping from ``channel`` (None if external)."""
+        for stage in self.stages.values():
+            if channel in stage.region.input_channels:
+                return stage
+        return None
+
+    def topo_order(self) -> List[Stage]:
+        """Stages in dataflow order (producers before consumers)."""
+        indeg: Dict[str, int] = {name: 0 for name in self.stages}
+        succs: Dict[str, List[str]] = {name: [] for name in self.stages}
+        for name in self.channels:
+            prod, cons = self.producer_of(name), self.consumer_of(name)
+            if prod is not None and cons is not None:
+                succs[prod.name].append(cons.name)
+                indeg[cons.name] += 1
+        ready = [name for name in self.stages if indeg[name] == 0]
+        order: List[Stage] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(self.stages[name])
+            for succ in succs[name]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.stages):
+            cyclic = sorted(set(self.stages) - {s.name for s in order})
+            raise DataflowError(
+                f"{self.name}: channel cycle through stages {cyclic} "
+                f"(dataflow pipelines must be acyclic)")
+        return order
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the composition invariants; raises :class:`DataflowError`.
+
+        Covers: at least one stage; every channel has exactly one
+        producer and one consumer stage; widths agree between the
+        declaration, the pushes and the pops; the stage graph is
+        acyclic; output port names are unique across stages; and token
+        rates balance (``trip x pushes/iter == trip x pops/iter``
+        whenever both trip counts are known).
+        """
+        if not self.stages:
+            raise DataflowError(f"{self.name}: pipeline has no stages")
+        for stage in self.stages.values():
+            stage.region.validate()
+        for name, chan in sorted(self.channels.items()):
+            producers = [s for s in self.stages.values()
+                         if name in s.region.output_channels]
+            consumers = [s for s in self.stages.values()
+                         if name in s.region.input_channels]
+            if len(producers) != 1 or len(consumers) != 1:
+                raise DataflowError(
+                    f"{self.name}: channel {name!r} needs exactly one "
+                    f"producer and one consumer stage, found "
+                    f"{[s.name for s in producers]} -> "
+                    f"{[s.name for s in consumers]}")
+            prod, cons = producers[0], consumers[0]
+            for op in (prod.region.channel_accesses(name, OpKind.PUSH)
+                       + cons.region.channel_accesses(name, OpKind.POP)):
+                if op.width != chan.width:
+                    raise DataflowError(
+                        f"{self.name}: channel {name!r} is {chan.width} "
+                        f"bits but {op.name} accesses it at {op.width}")
+            if (prod.region.trip_count is not None
+                    and cons.region.trip_count is not None):
+                produced = prod.region.trip_count \
+                    * prod.pushes_per_iter(name)
+                consumed = cons.region.trip_count \
+                    * cons.pops_per_iter(name)
+                if produced != consumed:
+                    raise DataflowError(
+                        f"{self.name}: channel {name!r} rate mismatch: "
+                        f"{prod.name} produces {produced} tokens, "
+                        f"{cons.name} consumes {consumed}")
+        ports: Dict[str, str] = {}
+        for stage in self.stages.values():
+            for port in stage.region.output_ports:
+                if port in ports:
+                    raise DataflowError(
+                        f"{self.name}: output port {port!r} written by "
+                        f"both {ports[port]} and {stage.name}")
+                ports[port] = stage.name
+        self.topo_order()  # raises on cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Pipeline({self.name}, stages={list(self.stages)}, "
+                f"channels={sorted(self.channels)})")

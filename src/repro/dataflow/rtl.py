@@ -1,0 +1,151 @@
+"""RTL emission for composed pipelines.
+
+One Verilog module per stage (the ordinary
+:func:`~repro.rtl.verilog.generate_verilog` output, extended with FIFO
+handshake ports), one shift-register FIFO module per channel, and a top
+module wiring stages to FIFOs with valid/ready handshakes.  The FIFO is
+the textbook shift-register implementation: tokens shift in at index 0,
+the oldest token is read at ``count - 1``, ``full``/``empty`` derive
+from the occupancy counter, and simultaneous push+pop is legal (count
+holds, data shifts through).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.dataflow.compose import ComposedPipeline
+from repro.rtl.verilog import VerilogWriter, _ident
+
+
+def _fifo_module(module: str, width: int, depth: int) -> str:
+    """Render one shift-register FIFO module."""
+    lines = [f"module {module} ("]
+    lines += ["    input  wire clk,", "    input  wire rst,",
+              "    input  wire wr_en,",
+              f"    input  wire signed [{width - 1}:0] din,",
+              "    output wire full,", "    input  wire rd_en,",
+              f"    output wire signed [{width - 1}:0] dout,",
+              "    output wire empty", ");"]
+    if depth == 0:
+        # an unbuffered channel: nothing can ever be transferred -- the
+        # degenerate case the depth analysis guards against
+        lines += ["    assign full = 1'b1;", "    assign empty = 1'b1;",
+                  f"    assign dout = {width}'d0;", "endmodule"]
+        return "\n".join(lines) + "\n"
+    cbits = max(1, math.ceil(math.log2(depth + 1)))
+    lines += [
+        f"    reg signed [{width - 1}:0] slots [0:{depth - 1}];",
+        f"    reg [{cbits - 1}:0] count;",
+        "    integer i;",
+        f"    assign full = (count == {cbits}'d{depth});",
+        f"    assign empty = (count == {cbits}'d0);",
+        "    assign dout = slots[count - 1'b1];",
+        "    always @(posedge clk) begin",
+        "        if (rst) begin",
+        f"            count <= {cbits}'d0;",
+        "        end else begin",
+        "            if (wr_en) begin",
+        f"                for (i = {depth - 1}; i > 0; i = i - 1)",
+        "                    slots[i] <= slots[i - 1];",
+        "                slots[0] <= din;",
+        "            end",
+        # 1-bit enables zero-extend against the counter width; no
+        # concatenation (a zero-width {0'd0, ...} part is illegal)
+        "            count <= (count + wr_en) - rd_en;",
+        "        end",
+        "    end",
+        "endmodule",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def generate_pipeline_verilog(composed: ComposedPipeline) -> str:
+    """Emit the full RTL of a composed pipeline.
+
+    Output layout: every stage module (named ``<pipeline>_<stage>``),
+    every FIFO module (``<pipeline>_fifo_<channel>``), then the top
+    module (``<pipeline>``) exposing external ports and ``done``.
+    """
+    pipe = composed.pipeline
+    top = _ident(pipe.name)
+    chunks: List[str] = []
+    writers = {}
+    for name, result in composed.stages.items():
+        writer = VerilogWriter(result.schedule, result.folded,
+                               module_name=f"{top}_{_ident(name)}")
+        writers[name] = writer
+        chunks.append(writer.emit())
+    for name, chan in sorted(composed.channels.items()):
+        chunks.append(_fifo_module(f"{top}_fifo_{_ident(name)}",
+                                   chan.width, chan.depth or 0))
+
+    # ---------------------------------------------------------------- top
+    lines = [f"// Composed dataflow pipeline: {pipe.name}",
+             f"// steady-state II {composed.steady_state_ii}, latency "
+             f"{composed.latency}, {len(composed.stages)} stages, "
+             f"{len(composed.channels)} channels",
+             f"module {top} ("]
+    ports = ["    input  wire clk,", "    input  wire rst,",
+             "    input  wire start,"]
+    # several stages may read the same external port: declare it once,
+    # at the widest access (outputs are validated unique per pipeline)
+    in_widths: Dict[str, int] = {}
+    for result in composed.stages.values():
+        region = result.stage.region
+        for port in region.input_ports:
+            width = max(op.width for op in region.reads
+                        if op.payload == port)
+            in_widths[port] = max(in_widths.get(port, 0), width)
+    for port, width in in_widths.items():
+        ports.append(f"    input  wire signed [{width - 1}:0] "
+                     f"{_ident(port)},")
+    for result in composed.stages.values():
+        region = result.stage.region
+        for port in region.output_ports:
+            width = max(op.width for op in region.writes
+                        if op.payload == port)
+            ports.append(f"    output wire signed [{width - 1}:0] "
+                         f"{_ident(port)},")
+    ports.append("    output wire done")
+    lines += ports + [");"]
+    for name, chan in sorted(composed.channels.items()):
+        cid = _ident(name)
+        lines += [
+            f"    wire signed [{chan.width - 1}:0] {cid}_din;",
+            f"    wire signed [{chan.width - 1}:0] {cid}_dout;",
+            f"    wire {cid}_wr_en, {cid}_rd_en;",
+            f"    wire {cid}_full, {cid}_empty;",
+            f"    {top}_fifo_{cid} u_fifo_{cid} (.clk(clk), .rst(rst), "
+            f".wr_en({cid}_wr_en), .din({cid}_din), .full({cid}_full), "
+            f".rd_en({cid}_rd_en), .dout({cid}_dout), "
+            f".empty({cid}_empty));",
+        ]
+    done_terms: List[str] = []
+    for name, result in composed.stages.items():
+        region = result.stage.region
+        sid = _ident(name)
+        conns = [".clk(clk)", ".rst(rst)", ".start(start)"]
+        for port in region.input_ports:
+            conns.append(f".{_ident(port)}({_ident(port)})")
+        for chan in region.input_channels:
+            cid = _ident(chan)
+            conns += [f".{cid}_dout({cid}_dout)",
+                      f".{cid}_empty({cid}_empty)",
+                      f".{cid}_rd_en({cid}_rd_en)"]
+        for chan in region.output_channels:
+            cid = _ident(chan)
+            conns += [f".{cid}_din({cid}_din)",
+                      f".{cid}_full({cid}_full)",
+                      f".{cid}_wr_en({cid}_wr_en)"]
+        for port in region.output_ports:
+            conns.append(f".{_ident(port)}({_ident(port)})")
+        lines.append(f"    wire {sid}_done;")
+        conns.append(f".done({sid}_done)")
+        lines.append(f"    {top}_{sid} u_{sid} ({', '.join(conns)});")
+        done_terms.append(f"{sid}_done")
+    lines.append(f"    assign done = {' && '.join(done_terms)};")
+    lines.append("endmodule")
+    chunks.append("\n".join(lines) + "\n")
+    return "\n".join(chunks)

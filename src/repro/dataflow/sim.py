@@ -1,0 +1,254 @@
+"""Simulation of composed dataflow pipelines.
+
+Two levels, mirroring the single-kernel simulators:
+
+* :func:`simulate_pipeline_reference` -- *token-stream* semantics: each
+  stage runs under the golden sequential interpreter in dataflow order,
+  and the token streams it pushes become the input streams of its
+  consumers (unbounded FIFOs, no timing).  This is the oracle.
+
+* :func:`simulate_pipeline_machine` -- *cycle-accurate* execution: every
+  stage is a :class:`~repro.sim.machine.ScheduledMachine` ticked in
+  lock-step; channels are depth-bounded FIFOs with single-cycle commit
+  latency, a pop on an empty FIFO or a push on a full one freezes the
+  issuing stage for the cycle (back-pressure as stall states), and FIFO
+  occupancy high-water marks are recorded.  A composition that makes no
+  progress for a grace window while work remains is reported as
+  deadlocked -- which is exactly what an under-sized reconvergent
+  channel (or a depth-0 channel) produces in hardware.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cdfg.ops import OpKind, Operation
+from repro.dataflow.compose import ComposedPipeline
+from repro.dataflow.pipeline import Pipeline
+from repro.sim.machine import ScheduledMachine, _IterationCtx
+from repro.sim.reference import (
+    InputSource,
+    SimResult,
+    SimulationError,
+    simulate_reference,
+)
+
+
+@dataclass
+class PipelineSimResult:
+    """Outputs and occupancy statistics of a composed simulation."""
+
+    #: committed writes per external output port, in commit order.
+    outputs: Dict[str, List[int]] = field(default_factory=dict)
+    #: total cycles until the composition drained.
+    cycles: int = 0
+    #: per-stage results (iterations, stalled cycles, memories...).
+    stage_results: Dict[str, SimResult] = field(default_factory=dict)
+    #: per-channel FIFO occupancy high-water mark.
+    peak_occupancy: Dict[str, int] = field(default_factory=dict)
+
+    def output(self, port: str) -> List[int]:
+        """Committed writes to an external port, in commit order."""
+        return self.outputs.get(port, [])
+
+    @property
+    def stalled_cycles(self) -> int:
+        """Back-pressure/starvation stalls summed over all stages."""
+        return sum(r.stalled_cycles for r in self.stage_results.values())
+
+
+class _Fifo:
+    """A depth-bounded FIFO with clock-edge commit semantics.
+
+    Pushes are staged during the cycle and become visible at the edge
+    (`commit`), so a same-cycle consumer never sees them -- matching
+    the RTL's registered FIFO.  Staged tokens already occupy slots for
+    the full/free accounting (the hardware reserves the write slot).
+    """
+
+    def __init__(self, name: str, depth: int) -> None:
+        self.name = name
+        self.depth = depth
+        self.queue: deque = deque()
+        self.staged: List[int] = []
+        self.peak = 0
+
+    @property
+    def available(self) -> int:
+        """Tokens a pop can take this cycle."""
+        return len(self.queue)
+
+    @property
+    def free(self) -> int:
+        """Slots a push can take this cycle."""
+        return self.depth - len(self.queue) - len(self.staged)
+
+    def pop(self) -> int:
+        """Consume the oldest committed token."""
+        return self.queue.popleft()
+
+    def push(self, value: int) -> None:
+        """Stage one token for the coming clock edge."""
+        self.staged.append(value)
+
+    def commit(self) -> None:
+        """Clock edge: staged tokens become visible."""
+        if self.staged:
+            self.queue.extend(self.staged)
+            self.staged.clear()
+        self.peak = max(self.peak, len(self.queue))
+
+
+class _StageMachine(ScheduledMachine):
+    """A stage machine whose channel accesses hit real FIFOs."""
+
+    def __init__(self, schedule, inputs: InputSource,
+                 fifos: Dict[str, _Fifo]) -> None:
+        super().__init__(schedule, inputs)
+        self._fifos = fifos
+
+    def _pop_token(self, ctx: _IterationCtx, op: Operation) -> int:
+        fifo = self._fifos.get(op.payload)
+        if fifo is None:
+            return super()._pop_token(ctx, op)
+        return fifo.pop()
+
+    def _push_token(self, ctx: _IterationCtx, op: Operation, value: int,
+                    result: SimResult) -> None:
+        fifo = self._fifos.get(op.payload)
+        if fifo is None:
+            super()._push_token(ctx, op, value, result)
+            return
+        fifo.push(value)
+
+    def _stream_blocked(self, pending: List[Operation]) -> bool:
+        # predicated pushes are counted even when their predicate would
+        # evaluate false this iteration (the condition may not be
+        # computed yet at stall-check time): a conservative stall the
+        # RTL's pred-gated stall_req would skip -- value-exact, at most
+        # cycle-pessimistic
+        need: Dict[tuple, int] = {}
+        for op in pending:
+            if op.payload in self._fifos:
+                key = (op.payload, op.kind)
+                need[key] = need.get(key, 0) + 1
+        for (channel, kind), count in need.items():
+            fifo = self._fifos[channel]
+            if kind is OpKind.POP and fifo.available < count:
+                return True
+            if kind is OpKind.PUSH and fifo.free < count:
+                return True
+        return False
+
+
+def simulate_pipeline_machine(
+    composed: ComposedPipeline,
+    inputs: Optional[InputSource] = None,
+    max_cycles: Optional[int] = None,
+) -> PipelineSimResult:
+    """Cycle-accurate run of a composed pipeline until it drains.
+
+    Raises :class:`~repro.sim.reference.SimulationError` when the
+    composition deadlocks: no stage makes progress for a full grace
+    window although iterations remain -- the blocking-FIFO failure mode
+    of an under-sized channel.
+    """
+    inputs = inputs or {}
+    fifos = {name: _Fifo(name, chan.depth or 0)
+             for name, chan in composed.channels.items()}
+    machines: Dict[str, _StageMachine] = {}
+    order = [s.name for s in composed.pipeline.topo_order()]
+    for name in order:
+        machines[name] = _StageMachine(
+            composed.stages[name].schedule, inputs, fifos)
+        machines[name]._begin(None)
+    grace = sum(m.latency for m in machines.values()) + 16
+    if max_cycles is None:
+        budget = sum(m._limit * max(m.ii, 1) + m.latency
+                     for m in machines.values())
+        max_cycles = 4 * budget + grace
+    result = PipelineSimResult()
+    cycle = 0
+    idle_streak = 0
+    done: Dict[str, bool] = {name: False for name in order}
+    while cycle < max_cycles:
+        progressed = False
+        for name in order:
+            status = machines[name].tick()
+            if status == "done":
+                done[name] = True
+            if status in ("running",):
+                progressed = True
+        for fifo in fifos.values():
+            fifo.commit()
+        cycle += 1
+        if all(done.values()):
+            break
+        idle_streak = 0 if progressed else idle_streak + 1
+        if idle_streak > grace:
+            stalled = [name for name in order if not done[name]]
+            raise SimulationError(
+                f"{composed.pipeline.name}: deadlock after {cycle} "
+                f"cycles -- stages {stalled} blocked on full/empty "
+                f"channels (occupancy "
+                f"{ {f.name: len(f.queue) for f in fifos.values()} })")
+    else:
+        raise SimulationError(
+            f"{composed.pipeline.name}: did not drain within "
+            f"{max_cycles} cycles")
+    for name in order:
+        stage_result = machines[name]._finish()
+        result.stage_results[name] = stage_result
+        for port, values in stage_result.outputs.items():
+            if port in composed.channels:
+                continue  # FIFO traffic, not an external output
+            result.outputs.setdefault(port, []).extend(values)
+    result.cycles = cycle
+    result.peak_occupancy = {name: fifo.peak
+                             for name, fifo in fifos.items()}
+    return result
+
+
+def simulate_pipeline_reference(
+    pipeline: Pipeline,
+    inputs: Optional[InputSource] = None,
+    max_iterations: Optional[int] = None,
+) -> PipelineSimResult:
+    """Token-stream oracle: stages run sequentially in dataflow order.
+
+    Channels are unbounded token lists; stage ``v`` simply sees the
+    stream stage ``u`` pushed.  Timing-free by construction, this is
+    the semantics every cycle-accurate composition must match on
+    committed external outputs.
+    """
+    inputs = inputs or {}
+    tokens: Dict[str, List[int]] = {}
+    result = PipelineSimResult()
+    for stage in pipeline.topo_order():
+        region = stage.region
+
+        def stage_input(port: str, index: int,
+                        _tokens=tokens) -> int:
+            if port in _tokens:
+                stream = _tokens[port]
+                if not stream:
+                    return 0
+                return stream[min(index, len(stream) - 1)]
+            if callable(inputs):
+                return inputs(port, index)
+            stream = inputs.get(port, [])
+            if not stream:
+                return 0
+            return stream[min(index, len(stream) - 1)]
+
+        res = simulate_reference(region, stage_input,
+                                 max_iterations=max_iterations)
+        result.stage_results[stage.name] = res
+        for port, values in res.outputs.items():
+            if port in pipeline.channels:
+                tokens[port] = values
+            else:
+                result.outputs.setdefault(port, []).extend(values)
+    return result

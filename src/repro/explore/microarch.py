@@ -20,18 +20,30 @@ from typing import Dict, Optional, Sequence, Tuple
 @dataclass(frozen=True)
 class Microarch:
     """One microarchitecture: a fixed latency, optionally pipelined,
-    optionally with memory banking overrides.
+    optionally with memory banking and/or FIFO depth overrides.
 
     ``banking`` maps memory names to cyclic banking factors applied on
     top of the region's declarations -- the sweep axis that exposes
-    memory-port-constrained II (stored as a sorted tuple of pairs so
-    the microarchitecture stays hashable).
+    memory-port-constrained II; ``channel_depths`` does the same for a
+    dataflow composition's FIFO capacities.  Both are stored as sorted
+    tuples of pairs so the microarchitecture stays hashable (sweep
+    grids key on it).
+
+    Example::
+
+        base = Microarch("Pipelined 16", 16, ii=8)
+        banked = base.with_banking({"a": 4})          # memory axis
+        deep = base.with_channel_depth({"s": 3})      # dataflow axis
+        assert base.ii_effective == 8
     """
 
     name: str
     latency: int
     ii: Optional[int] = None  # None = non-pipelined
     banking: Optional[Tuple[Tuple[str, int], ...]] = None
+    #: FIFO depth overrides for dataflow compositions: channel name ->
+    #: depth (sorted tuple of pairs, keeping the microarch hashable).
+    channel_depths: Optional[Tuple[Tuple[str, int], ...]] = None
 
     @property
     def ii_effective(self) -> int:
@@ -44,6 +56,26 @@ class Microarch:
         label = ",".join(f"{mem}x{banks}" for mem, banks in pairs)
         return replace(self, name=f"{self.name} [banks {label}]",
                        banking=pairs)
+
+    def with_channel_depth(self, depths: Dict[str, int]) -> "Microarch":
+        """A copy with FIFO depth overrides (and a labeled name).
+
+        The dataflow analogue of :meth:`with_banking`: the channel-depth
+        axis of a streaming sweep
+        (:func:`repro.dataflow.sweep_channel_depths`).
+        """
+        pairs = tuple(sorted(depths.items()))
+        label = ",".join(f"{chan}={depth}" for chan, depth in pairs)
+        return replace(self, name=f"{self.name} [depth {label}]",
+                       channel_depths=pairs)
+
+    def apply_channel_depths(self, pipeline) -> None:
+        """Rewrite a :class:`~repro.dataflow.Pipeline`'s channel depths
+        in place (raises ``DataflowError`` on unknown channels)."""
+        if not self.channel_depths:
+            return
+        for chan, depth in self.channel_depths:
+            pipeline.set_depth(chan, depth)
 
     def apply_banking(self, region) -> None:
         """Rewrite the region's memory declarations in place.

@@ -26,7 +26,29 @@ from repro.flow.passes import FlowPass, get_pass
 
 
 class Flow:
-    """An ordered pass composition with per-pass instrumentation."""
+    """An ordered pass composition with per-pass instrumentation.
+
+    A flow is just a list of registered pass names validated for
+    artifact ordering; running one threads a single
+    :class:`~repro.flow.context.CompilationContext` through every pass,
+    timing each and stopping at the first error diagnostic.
+
+    Example -- compile a prebuilt region to RTL through the stock
+    ``verilog`` flow::
+
+        from repro import artisan90
+        from repro.flow import run_flow
+        from repro.workloads import get_workload
+
+        ctx = run_flow("verilog", region=get_workload("fir")(),
+                       library=artisan90(), clock_ps=1600.0)
+        assert not ctx.failed
+        print(ctx.schedule.summary()["ii"], len(ctx.rtl.splitlines()))
+
+    Custom compositions register once and run anywhere::
+
+        register_flow(Flow("sched_only", ["frontend", "schedule"]))
+    """
 
     def __init__(self, name: str,
                  passes: Sequence[Union[str, FlowPass]]) -> None:

@@ -244,6 +244,76 @@ class VerilogWriter:
         lines.append("    reg signed [31:0] iter_count;")
         return lines
 
+    def _stream_datapath(self) -> List[str]:
+        """FIFO handshake logic: pop data taps, ``stall_req``, enables.
+
+        The stage self-stalls: ``stall_req`` is high whenever a pop
+        executing this cycle finds its FIFO empty or a push finds its
+        FIFO full; the sequential block freezes on it (whole-stage
+        stall, the composed machine model), and the read/write enables
+        only fire on un-stalled cycles.
+        """
+        region = self.schedule.region
+        if not (region.input_channels or region.output_channels):
+            return []
+        lines: List[str] = []
+        stall_terms: List[str] = []
+        assigns: List[str] = []
+        for chan in region.input_channels:
+            name = _ident(chan)
+            exec_terms: List[str] = []
+            for op in region.channel_accesses(chan, OpKind.POP):
+                bound = self.schedule.bindings.get(op.uid)
+                if bound is None:
+                    continue
+                cond = self._stage_phase(bound.state)
+                pred = self._predicate_expr(op)
+                if pred != "1'b1":
+                    cond += f" && ({pred})"
+                exec_terms.append(f"({cond})")
+                lines.append(
+                    f"    wire signed [{op.width - 1}:0] "
+                    f"{self._wire(op)} = {name}_dout;")
+            if not exec_terms:
+                continue
+            any_exec = " || ".join(exec_terms)
+            stall_terms.append(f"(({any_exec}) && {name}_empty)")
+            assigns.append(f"    assign {name}_rd_en = running && "
+                           f"!stall_req && ({any_exec});")
+        for chan in region.output_channels:
+            name = _ident(chan)
+            exec_terms = []
+            srcs: List[Tuple[int, str, str]] = []
+            for op in region.channel_accesses(chan, OpKind.PUSH):
+                bound = self.schedule.bindings.get(op.uid)
+                if bound is None:
+                    continue
+                cond = self._stage_phase(bound.state)
+                pred = self._predicate_expr(op)
+                if pred != "1'b1":
+                    cond += f" && ({pred})"
+                exec_terms.append(f"({cond})")
+                phase = bound.state % self.schedule.ii_effective
+                srcs.append((phase, pred, self._operand_expr(op, 0)))
+            if not exec_terms:
+                continue
+            any_exec = " || ".join(exec_terms)
+            stall_terms.append(f"(({any_exec}) && {name}_full)")
+            assigns.append(
+                f"    assign {name}_din = {self._phase_select(srcs)};")
+            assigns.append(f"    assign {name}_wr_en = running && "
+                           f"!stall_req && ({any_exec});")
+        lines.append("    wire stall_req = "
+                     + (" || ".join(stall_terms) if stall_terms
+                        else "1'b0") + ";")
+        lines += assigns
+        return lines
+
+    @property
+    def _has_streams(self) -> bool:
+        region = self.schedule.region
+        return bool(region.input_channels or region.output_channels)
+
     def _stage_phase(self, state: int) -> str:
         """Activation condition of a control step."""
         ii = self.schedule.ii_effective
@@ -278,6 +348,24 @@ class VerilogWriter:
                         if op.payload == port)
             lines.append(
                 f"    input  wire signed [{width - 1}:0] {_ident(port)},")
+        # FIFO handshake ports per channel: the stage is the FIFO's
+        # consumer (dout/empty/rd_en) or producer (din/full/wr_en)
+        for chan in region.input_channels:
+            width = max(op.width for op in region.pops
+                        if op.payload == chan)
+            name = _ident(chan)
+            lines.append(
+                f"    input  wire signed [{width - 1}:0] {name}_dout,")
+            lines.append(f"    input  wire {name}_empty,")
+            lines.append(f"    output wire {name}_rd_en,")
+        for chan in region.output_channels:
+            width = max(op.width for op in region.pushes
+                        if op.payload == chan)
+            name = _ident(chan)
+            lines.append(
+                f"    output wire signed [{width - 1}:0] {name}_din,")
+            lines.append(f"    output wire {name}_wr_en,")
+            lines.append(f"    input  wire {name}_full,")
         for port in region.output_ports:
             width = max(op.width for op in region.writes
                         if op.payload == port)
@@ -343,6 +431,7 @@ class VerilogWriter:
                     f"{unit}_y[{o.width - 1}:0];")
                 emitted.add(o.uid)
         lines += self._memory_datapath()
+        lines += self._stream_datapath()
         # dedicated logic: muxes, loop muxes, unshared conditions
         for uid, bound in sorted(self.schedule.bindings.items()):
             op = bound.op
@@ -392,9 +481,12 @@ class VerilogWriter:
             lines.append(f"            stage_valid <= "
                          f"{self.fsm.n_stages}'d0;")
             lines.append("            issue_enable <= 1'b1;")
+        # a stage with FIFO channels freezes wholesale while any of its
+        # pops/pushes would block (back-pressure as stall states)
+        gate = "running && !stall_req" if self._has_streams else "running"
         lines += ["        end else begin",
                   "            if (start) running <= 1'b1;",
-                  "            if (running) begin"]
+                  f"            if ({gate}) begin"]
         last = self.fsm.kernel_states - 1
         lines.append(f"                kstate <= (kstate == "
                      f"{self.fsm.state_bits}'d{last}) ? "

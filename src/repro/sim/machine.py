@@ -61,6 +61,9 @@ class ScheduledMachine:
         self.latency = schedule.latency
         self.ii = schedule.ii_effective
         self.stall_ticks = stall_ticks or {}
+        #: whether the region contains channel pops/pushes (fast-path
+        #: guard: regions without streams never consult the FIFO hooks).
+        self._has_streams = any(op.is_stream for op in self.dfg.ops)
         #: architectural memory state, shared by all in-flight iterations.
         self.memories: Dict[str, List[int]] = {
             name: list(decl.contents())
@@ -135,6 +138,18 @@ class ScheduledMachine:
                          wrap(data, op.width)))
                     ctx.wrote = True  # squash hazard: stores are writes
                 continue
+            if op.kind is OpKind.POP:
+                ctx.values[op.uid] = wrap(self._pop_token(ctx, op),
+                                          op.width)
+                continue
+            if op.kind is OpKind.PUSH:
+                src = self.dfg.in_edge(op.uid, 0)
+                value = self._value_of(ctx, src.src)
+                if predicate_holds(op, ctx.values):
+                    self._push_token(ctx, op, wrap(value, op.width),
+                                     result)
+                    ctx.wrote = True
+                continue
             if op.kind is OpKind.STALL:
                 continue  # stall duration is injected at the cycle level
             if op.kind is OpKind.LOOPMUX:
@@ -158,82 +173,166 @@ class ScheduledMachine:
         return exit_value
 
     # ------------------------------------------------------------------
-    def run(self, max_iterations: Optional[int] = None) -> SimResult:
-        """Simulate until the loop drains; returns committed outputs."""
+    # stream hooks (overridden by the dataflow composition simulator)
+    # ------------------------------------------------------------------
+    def _pop_token(self, ctx: _IterationCtx, op: Operation) -> int:
+        """Source of one popped token.
+
+        Standalone stages treat a channel like an input port stream:
+        iteration ``k``'s i-th pop of a channel consumes token
+        ``k * stride + i``.  The composed simulator overrides this to
+        read from the connecting FIFO.
+        """
+        index = ctx.index * op.io_stride + op.io_offset
+        return _input_value(self.inputs, op.payload, index)
+
+    def _push_token(self, ctx: _IterationCtx, op: Operation, value: int,
+                    result: SimResult) -> None:
+        """Sink of one pushed token (standalone: an output stream)."""
+        result.outputs.setdefault(op.payload, []).append(value)
+
+    def _stream_blocked(self, pending: List[Operation]) -> bool:
+        """Would any of this cycle's pops/pushes block on its FIFO?
+
+        Standalone stages never block (channels act as plain ports);
+        the composed simulator consults real FIFO occupancy here, which
+        is what turns back-pressure into whole-stage stall cycles.
+        """
+        return False
+
+    def _pending_stream_ops(self, issue: bool) -> List[Operation]:
+        """Stream operations that would execute in the current cycle."""
+        out: List[Operation] = []
+        states = []
+        for ctx in self._contexts.values():
+            if not ctx.squashed:
+                states.append(self._cycle - ctx.start_cycle)
+        if issue:
+            states.append(0)
+        for state in states:
+            if not 0 <= state < self.latency:
+                continue
+            out.extend(op for op in self._by_state.get(state, ())
+                       if op.is_stream)
+        return out
+
+    # ------------------------------------------------------------------
+    def _begin(self, max_iterations: Optional[int]) -> SimResult:
+        """Reset the machine state ahead of a run (or external ticking)."""
         region = self.schedule.region
+        # architectural memory restarts from the declared contents so a
+        # second run() on the same machine stays independent
+        self.memories = {name: list(decl.contents())
+                         for name, decl in region.memories.items()}
+        self._pending_stores = []
         limit = max_iterations
         if limit is None:
             limit = (region.trip_count if region.trip_count is not None
                      else 1024)
         if not region.is_loop:
             limit = 1
-        result = SimResult()
-        contexts: Dict[int, _IterationCtx] = {}
-        exit_iter: Optional[int] = None
-        issued = 0
-        stall_budget = 0
-        cycle = 0  # logical cycle: stalled cycles counted separately
-        max_cycles = limit * max(self.ii, 1) + self.latency + 16
+        self._limit = limit
+        self._result = SimResult()
+        self._contexts: Dict[int, _IterationCtx] = {}
+        self._exit_iter: Optional[int] = None
+        self._issued = 0
+        self._stall_budget = 0
+        self._cycle = 0  # logical cycle: stalled cycles counted separately
+        return self._result
 
-        while cycle < max_cycles:
-            if stall_budget > 0:
-                stall_budget -= 1
+    def tick(self) -> str:
+        """Advance one clock; ``'stalled' | 'running' | 'idle' | 'done'``.
+
+        ``'done'`` means the loop has drained: issuing is finished and no
+        iteration is in flight.  ``'idle'`` covers warm-up/drain cycles
+        with nothing to execute but issuing still pending (e.g. a stalled
+        upstream producer in a composed pipeline).
+        """
+        result = self._result
+        if self._stall_budget > 0:
+            self._stall_budget -= 1
+            result.stalled_cycles += 1
+            return "stalled"
+        cycle = self._cycle
+        issue = (cycle % self.ii == 0 and self._issued < self._limit
+                 and (self._exit_iter is None
+                      or self._issued <= self._exit_iter))
+        if self._has_streams:
+            pending = self._pending_stream_ops(issue)
+            if pending and self._stream_blocked(pending):
+                # back-pressure: freeze the whole stage this cycle (the
+                # stalling-loop semantics of paper section V, step I.1)
                 result.stalled_cycles += 1
+                return "stalled"
+        if issue:
+            self._contexts[self._issued] = _IterationCtx(self._issued, cycle)
+            self._issued += 1
+        contexts = self._contexts
+        active = False
+        for k in sorted(contexts):
+            ctx = contexts[k]
+            if ctx.squashed:
                 continue
-            if (cycle % self.ii == 0 and issued < limit
-                    and (exit_iter is None or issued <= exit_iter)):
-                contexts[issued] = _IterationCtx(issued, cycle)
-                issued += 1
-            active = False
-            for k in sorted(contexts):
-                ctx = contexts[k]
-                if ctx.squashed:
+            state = cycle - ctx.start_cycle
+            if not 0 <= state < self.latency:
+                continue
+            active = True
+            exit_value = self._execute_state(ctx, state, contexts, result)
+            for uid, ticks in self.stall_ticks.items():
+                bound = self.schedule.bindings.get(uid)
+                if (bound is not None and bound.state == state
+                        and k < len(ticks)):
+                    self._stall_budget = max(self._stall_budget, ticks[k])
+            if exit_value is False and self._exit_iter is None:
+                self._exit_iter = k
+                for kk, other in contexts.items():
+                    if kk > k and not other.squashed:
+                        if other.wrote:
+                            raise SimulationError(
+                                f"iteration {kk} wrote before iteration "
+                                f"{k}'s exit resolved (squash hazard)")
+                        other.squashed = True
+                        result.squashed_iterations += 1
+        # the RAM commits this cycle's writes at the clock edge,
+        # after every in-flight iteration's reads (read-first);
+        # stores of iterations squashed this very cycle are dropped
+        if self._pending_stores:
+            for k, _uid, mem, addr, value in sorted(
+                    self._pending_stores):
+                ctx = contexts.get(k)
+                if ctx is not None and ctx.squashed:
                     continue
-                state = cycle - ctx.start_cycle
-                if not 0 <= state < self.latency:
-                    continue
-                active = True
-                exit_value = self._execute_state(ctx, state, contexts, result)
-                for uid, ticks in self.stall_ticks.items():
-                    bound = self.schedule.bindings.get(uid)
-                    if (bound is not None and bound.state == state
-                            and k < len(ticks)):
-                        stall_budget = max(stall_budget, ticks[k])
-                if exit_value is False and exit_iter is None:
-                    exit_iter = k
-                    for kk, other in contexts.items():
-                        if kk > k and not other.squashed:
-                            if other.wrote:
-                                raise SimulationError(
-                                    f"iteration {kk} wrote before iteration "
-                                    f"{k}'s exit resolved (squash hazard)")
-                            other.squashed = True
-                            result.squashed_iterations += 1
-            # the RAM commits this cycle's writes at the clock edge,
-            # after every in-flight iteration's reads (read-first);
-            # stores of iterations squashed this very cycle are dropped
-            if self._pending_stores:
-                for k, _uid, mem, addr, value in sorted(
-                        self._pending_stores):
-                    ctx = contexts.get(k)
-                    if ctx is not None and ctx.squashed:
-                        continue
-                    words = self.memories[mem]
-                    words[addr % len(words)] = value
-                self._pending_stores = []
-            cycle += 1
-            if not active and issued > 0:
-                done_issuing = (issued >= limit
-                                or (exit_iter is not None
-                                    and issued > exit_iter))
-                if done_issuing:
-                    break
-        result.iterations = (exit_iter + 1 if exit_iter is not None
-                             else min(issued, limit))
-        result.cycles = cycle + result.stalled_cycles
+                words = self.memories[mem]
+                words[addr % len(words)] = value
+            self._pending_stores = []
+        self._cycle += 1
+        if not active and self._issued > 0:
+            done_issuing = (self._issued >= self._limit
+                            or (self._exit_iter is not None
+                                and self._issued > self._exit_iter))
+            if done_issuing:
+                return "done"
+        return "running" if active else "idle"
+
+    def _finish(self) -> SimResult:
+        """Fill in the result's summary figures after the last tick."""
+        result = self._result
+        result.iterations = (self._exit_iter + 1
+                             if self._exit_iter is not None
+                             else min(self._issued, self._limit))
+        result.cycles = self._cycle + result.stalled_cycles
         result.memories = {name: list(words)
-                           for name, words in self.memories.items()}
+                          for name, words in self.memories.items()}
         return result
+
+    def run(self, max_iterations: Optional[int] = None) -> SimResult:
+        """Simulate until the loop drains; returns committed outputs."""
+        self._begin(max_iterations)
+        max_cycles = self._limit * max(self.ii, 1) + self.latency + 16
+        while self._cycle < max_cycles:
+            if self.tick() == "done":
+                break
+        return self._finish()
 
 
 def simulate_schedule(

@@ -82,13 +82,24 @@ def simulate_reference(
 
     for iteration in range(limit):
         values: Dict[int, int] = {}
+        #: pushes of this iteration, committed in token order at the end
+        #: (topological order may interleave channels arbitrarily).
+        pushed: List[tuple] = []
         for op in order:
             if op.kind is OpKind.CONST:
                 values[op.uid] = wrap(op.payload, op.width)
-            elif op.kind is OpKind.READ:
+            elif op.kind in (OpKind.READ, OpKind.POP):
+                # a standalone region treats a channel like an input
+                # port stream: the i-th pop of iteration k consumes
+                # token k * stride + i
                 index = iteration * op.io_stride + op.io_offset
                 values[op.uid] = wrap(
                     _input_value(inputs, op.payload, index), op.width)
+            elif op.kind is OpKind.PUSH:
+                src = dfg.in_edge(op.uid, 0)
+                if predicate_holds(op, values):
+                    pushed.append((op.payload, op.io_offset,
+                                   wrap(values[src.src], op.width)))
             elif op.kind is OpKind.LOOPMUX:
                 distance = dfg.in_edge(op.uid, 1).distance
                 donor = iteration - distance
@@ -121,6 +132,8 @@ def simulate_reference(
                 operands = [values[e.src] for e in dfg.in_edges(op.uid)
                             if e.distance == 0]
                 values[op.uid] = evaluate_op(op, operands)
+        for channel, _index, value in sorted(pushed):
+            result.outputs.setdefault(channel, []).append(value)
         # latch loop-carried values for future iterations
         for op in order:
             if op.kind is OpKind.LOOPMUX:

@@ -251,7 +251,10 @@ class TimingEngine:
             static: Optional[float]
             if producer.kind is OpKind.CONST:
                 static = 0.0
-            elif edge.distance >= 1 or producer.kind is OpKind.READ:
+            elif edge.distance >= 1 or producer.kind in (OpKind.READ,
+                                                         OpKind.POP):
+                # port reads and channel pops launch registered: the
+                # input pad / FIFO output register drives at FF clk->q
                 static = self._ff_clk_q
             else:
                 static = None
@@ -396,7 +399,7 @@ class TimingEngine:
         modeled like the FF's).
         """
         if op.is_mux or op.kind in (OpKind.WRITE, OpKind.STALL,
-                                    OpKind.STORE):
+                                    OpKind.STORE, OpKind.PUSH):
             return self._ff_setup
         return self._mux2 + self._ff_setup
 

@@ -30,6 +30,17 @@ from repro.workloads.sobel import (
     reference_sobel,
     reference_sobel_mem,
 )
+from repro.workloads.streaming import (
+    build_fir_decimate_stream,
+    build_matmul_relu_stream,
+    build_sobel_threshold_stream,
+    fir_samples,
+    matmul_relu_inputs,
+    reference_fir_decimate_stream,
+    reference_matmul_relu_stream,
+    reference_sobel_threshold_stream,
+    sobel_rows,
+)
 from repro.workloads.synthetic import (
     SyntheticSpec,
     build_timing_critical,
@@ -62,6 +73,24 @@ WORKLOAD_REGISTRY: Dict[str, Callable[[], Region]] = {
 }
 
 
+#: streaming pipelines addressable by name (factories return a
+#: :class:`repro.dataflow.Pipeline`, not a Region -- they compose
+#: several of them).
+PIPELINE_REGISTRY: Dict[str, Callable[[], "Pipeline"]] = {  # noqa: F821
+    "matmul_relu_stream": build_matmul_relu_stream,
+    "sobel_threshold_stream": build_sobel_threshold_stream,
+    "fir_decimate_stream": build_fir_decimate_stream,
+}
+
+#: deterministic input streams per registered pipeline (simulation and
+#: CLI demos share them).
+PIPELINE_INPUTS: Dict[str, Callable[[], Dict[str, list]]] = {
+    "matmul_relu_stream": matmul_relu_inputs,
+    "sobel_threshold_stream": sobel_rows,
+    "fir_decimate_stream": fir_samples,
+}
+
+
 def register_workload(name: str,
                       factory: Callable[[], Region]) -> None:
     """Add (or replace) a named workload in the registry."""
@@ -77,7 +106,23 @@ def get_workload(name: str) -> Callable[[], Region]:
                        f"choose from {sorted(WORKLOAD_REGISTRY)}") from None
 
 
+def register_pipeline(name: str, factory) -> None:
+    """Add (or replace) a named streaming pipeline in the registry."""
+    PIPELINE_REGISTRY[name] = factory
+
+
+def get_pipeline(name: str):
+    """Resolve a pipeline factory; raises ``KeyError`` with choices."""
+    try:
+        return PIPELINE_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown pipeline {name!r}; "
+                       f"choose from {sorted(PIPELINE_REGISTRY)}") from None
+
+
 __all__ = [
+    "PIPELINE_INPUTS",
+    "PIPELINE_REGISTRY",
     "SyntheticSpec",
     "WORKLOAD_REGISTRY",
     "build_conv3x3",
@@ -88,21 +133,32 @@ __all__ = [
     "build_fft8",
     "build_fft_stage",
     "build_fir",
+    "build_fir_decimate_stream",
     "build_idct2d",
     "build_idct8",
+    "build_matmul_relu_stream",
     "build_sobel",
     "build_sobel_mem",
+    "build_sobel_threshold_stream",
     "build_synthetic",
     "build_timing_critical",
+    "fir_samples",
     "generate_design",
+    "get_pipeline",
     "get_workload",
     "industrial_suite",
+    "matmul_relu_inputs",
+    "register_pipeline",
     "register_workload",
     "reference_conv3x3_mem",
     "reference_dot_product",
     "reference_dot_product_mem",
     "reference_fir",
+    "reference_fir_decimate_stream",
+    "reference_matmul_relu_stream",
     "reference_sobel",
     "reference_sobel_mem",
+    "reference_sobel_threshold_stream",
+    "sobel_rows",
     "timing_critical_suite",
 ]

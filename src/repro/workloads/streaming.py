@@ -1,0 +1,277 @@
+"""Streaming multi-kernel workloads (dataflow compositions).
+
+Three pipelines exercising the dataflow layer end to end, each with a
+pure-python oracle:
+
+* :func:`build_matmul_relu_stream` -- a dot-product accumulator feeding
+  a ReLU stage through one channel: the canonical linear
+  producer/consumer pair (GEMM + activation).
+* :func:`build_sobel_threshold_stream` -- the Sobel gradient kernel
+  feeding a thresholding stage: image pipeline composition.
+* :func:`build_fir_decimate_stream` -- three stages: an FIR filter, a
+  2:1 decimator (two pops per iteration -- a genuine multi-rate
+  boundary) and an output scaler.
+
+All stages are ordinary regions built with ``push``/``pop``; the
+pipelines are addressable through :data:`repro.workloads.PIPELINE_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cdfg.builder import RegionBuilder
+from repro.dataflow.pipeline import Pipeline
+from repro.sim.evalops import unsigned, wrap
+from repro.workloads.fir import DEFAULT_TAPS
+from repro.workloads.sobel import _GX, _GY, _abs
+
+#: width of every stream token in these workloads.
+WIDTH = 32
+
+
+# ----------------------------------------------------------------------
+# matmul + ReLU
+# ----------------------------------------------------------------------
+def build_matmul_relu_stream(k: int = 2, trip_count: int = 16,
+                             dot_ii: int = 1,
+                             relu_ii: int = 1) -> Pipeline:
+    """Dot-product partial sums streamed through a ReLU stage.
+
+    Stage ``dot`` multiplies K port pairs per iteration and accumulates;
+    the running sum is pushed into channel ``s``.  Stage ``relu`` pops
+    ``s`` and writes ``max(0, x)`` to port ``y``.  The composed steady
+    state II is ``max(dot_ii, relu_ii)`` -- the slowest stage paces the
+    pipeline, whatever the channel depth.
+    """
+    b = RegionBuilder("dot_stream", is_loop=True, max_latency=16)
+    a_ports = [b.read(f"a{i}", WIDTH) for i in range(k)]
+    b_ports = [b.read(f"b{i}", WIDTH) for i in range(k)]
+    acc = b.loop_var("acc", b.const(0, WIDTH))
+    total = None
+    for i in range(k):
+        term = b.mul(a_ports[i], b_ports[i], name=f"prod{i}")
+        total = term if total is None else b.add(total, term,
+                                                 name=f"tsum{i}")
+    nxt = b.add(acc, total, name="acc_add")
+    acc.set_next(nxt)
+    b.push("s", nxt, name="s_push")
+    b.set_trip_count(trip_count)
+    dot = b.build()
+
+    b = RegionBuilder("relu_stream", is_loop=True, max_latency=8)
+    x = b.pop("s", WIDTH, name="s_pop")
+    is_neg = b.lt(x, b.const(0, WIDTH), name="is_neg")
+    y = b.mux(is_neg, b.const(0, WIDTH), x, name="relu")
+    b.write("y", y)
+    b.set_trip_count(trip_count)
+    relu = b.build()
+
+    pipe = Pipeline("matmul_relu_stream")
+    pipe.channel("s", width=WIDTH)
+    pipe.add_stage("dot", dot, ii=dot_ii)
+    pipe.add_stage("relu", relu, ii=relu_ii)
+    return pipe
+
+
+def reference_matmul_relu_stream(k: int, a_rows, b_rows) -> List[int]:
+    """Oracle: rectified running dot-product partial sums."""
+    out = []
+    acc = 0
+    for a_vec, b_vec in zip(a_rows, b_rows):
+        acc += sum(x * y for x, y in zip(a_vec[:k], b_vec[:k]))
+        out.append(max(0, acc))
+    return out
+
+
+def matmul_relu_inputs(k: int = 2,
+                       trip_count: int = 16) -> Dict[str, List[int]]:
+    """Deterministic port streams for the matmul+ReLU pipeline.
+
+    Signs alternate so the running sum crosses zero and the ReLU
+    actually clips -- an always-positive stream would never exercise
+    the rectifier path.
+    """
+    streams: Dict[str, List[int]] = {}
+    for i in range(k):
+        streams[f"a{i}"] = [((7 * n + 3 * i) % 23) - 11
+                            for n in range(trip_count)]
+        streams[f"b{i}"] = [((5 * n + i) % 19) - 9
+                            for n in range(trip_count)]
+    return streams
+
+
+# ----------------------------------------------------------------------
+# Sobel + threshold
+# ----------------------------------------------------------------------
+def build_sobel_threshold_stream(trip_count: int = 32,
+                                 threshold: int = 300,
+                                 sobel_ii: int = 1,
+                                 thresh_ii: int = 1) -> Pipeline:
+    """Sobel gradient magnitudes streamed through a threshold stage.
+
+    Stage ``sobel`` is the streaming 3x3 Sobel kernel (row ports plus a
+    shift-register window) pushing ``|Gx| + |Gy|`` into channel ``m``;
+    stage ``thresh`` keeps magnitudes above ``threshold`` and writes
+    zero otherwise (a binary-ish edge map) to port ``edge``.
+    """
+    b = RegionBuilder("sobel_stream", is_loop=True, max_latency=16)
+    rows = [b.read(f"row{r}", WIDTH) for r in range(3)]
+    window = []
+    for r in range(3):
+        c1 = b.loop_var(f"w{r}1", b.const(0, WIDTH))
+        c2 = b.loop_var(f"w{r}2", b.const(0, WIDTH))
+        c2.set_next(c1.value)
+        c1.set_next(rows[r])
+        window.extend([rows[r], c1.value, c2.value])
+
+    def convolve(kernel, tag):
+        acc = None
+        for i, coeff in enumerate(kernel):
+            if coeff == 0:
+                continue
+            term = b.mul(window[i], b.const(coeff, 4), name=f"{tag}_k{i}")
+            acc = term if acc is None else b.add(acc, term,
+                                                 name=f"{tag}_s{i}")
+        return acc
+
+    gx = convolve(_GX, "gx")
+    gy = convolve(_GY, "gy")
+    magnitude = b.add(_abs(b, gx, "gx"), _abs(b, gy, "gy"), name="mag")
+    b.push("m", magnitude, name="m_push")
+    b.set_trip_count(trip_count)
+    sobel = b.build()
+
+    b = RegionBuilder("thresh_stream", is_loop=True, max_latency=8)
+    mag = b.pop("m", WIDTH, name="m_pop")
+    keep = b.gt(mag, b.const(threshold, WIDTH), name="keep")
+    out = b.mux(keep, mag, b.const(0, WIDTH), name="edge_sel")
+    b.write("edge", out)
+    b.set_trip_count(trip_count)
+    thresh = b.build()
+
+    pipe = Pipeline("sobel_threshold_stream")
+    pipe.channel("m", width=WIDTH)
+    pipe.add_stage("sobel", sobel, ii=sobel_ii)
+    pipe.add_stage("thresh", thresh, ii=thresh_ii)
+    return pipe
+
+
+def reference_sobel_threshold_stream(rows, threshold: int = 300
+                                     ) -> List[int]:
+    """Oracle over three equal-length row streams."""
+    out = []
+    history = [[0, 0, 0] for _ in range(3)]
+    for col in zip(*rows):
+        for r in range(3):
+            history[r] = [col[r]] + history[r][:2]
+        window = [history[r][c] for r in range(3) for c in range(3)]
+        gx = sum(c * v for c, v in zip(_GX, window))
+        gy = sum(c * v for c, v in zip(_GY, window))
+        mag = abs(gx) + abs(gy)
+        out.append(mag if mag > threshold else 0)
+    return out
+
+
+def sobel_rows(trip_count: int = 32) -> Dict[str, List[int]]:
+    """Deterministic row streams for the Sobel pipeline.
+
+    Alternating flat and steep stripes, so some magnitudes clear the
+    default threshold and some do not -- both threshold branches run.
+    """
+    def pixel(n: int, r: int) -> int:
+        stripe = (n // 3) % 2
+        return stripe * 120 + ((5 * n + 7 * r) % 13)
+
+    return {f"row{r}": [pixel(n, r) for n in range(trip_count)]
+            for r in range(3)}
+
+
+# ----------------------------------------------------------------------
+# FIR + decimate + scale (3 stages, multi-rate)
+# ----------------------------------------------------------------------
+def build_fir_decimate_stream(taps: Optional[List[int]] = None,
+                              trip_count: int = 32, gain: int = 3,
+                              fir_ii: int = 1, decim_ii: int = 2,
+                              scale_ii: int = 1) -> Pipeline:
+    """FIR filter -> 2:1 decimator -> output scaler.
+
+    The decimator pops *two* tokens per iteration from channel ``f``
+    (averaging them), so its iteration consumes two producer
+    iterations' worth of tokens: a genuine multi-rate boundary.  The
+    FIFO read port serializes the two pops across states, which is why
+    ``decim_ii`` must be at least 2 -- and why channel ``f`` needs
+    depth >= 2 to run stall-free.
+    """
+    coeffs = taps if taps is not None else list(DEFAULT_TAPS[:4])
+    if trip_count % 2:
+        raise ValueError("trip_count must be even (2:1 decimation)")
+    b = RegionBuilder("fir_stream", is_loop=True, max_latency=16)
+    x = b.read("x", WIDTH)
+    line = [x]
+    taps_vars = []
+    for i in range(1, len(coeffs)):
+        z = b.loop_var(f"z{i}", b.const(0, WIDTH))
+        taps_vars.append(z)
+        line.append(z.value)
+    for i in range(len(coeffs) - 1, 0, -1):
+        taps_vars[i - 1].set_next(line[i - 1])
+    acc = None
+    for i, coeff in enumerate(coeffs):
+        term = b.mul(line[i], b.const(coeff, 16), name=f"tap{i}")
+        acc = term if acc is None else b.add(acc, term, name=f"sum{i}")
+    b.push("f", acc, name="f_push")
+    b.set_trip_count(trip_count)
+    fir = b.build()
+
+    b = RegionBuilder("decim_stream", is_loop=True, min_latency=2,
+                      max_latency=8)
+    even = b.pop("f", WIDTH, name="f_pop0")
+    odd = b.pop("f", WIDTH, name="f_pop1")
+    avg = b.shr(b.add(even, odd, name="pair_sum"), b.const(1, WIDTH),
+                name="pair_avg")
+    b.push("d", avg, name="d_push")
+    b.set_trip_count(trip_count // 2)
+    decim = b.build()
+
+    b = RegionBuilder("scale_stream", is_loop=True, max_latency=8)
+    v = b.pop("d", WIDTH, name="d_pop")
+    b.write("y", b.mul(v, b.const(gain, WIDTH), name="scaled"))
+    b.set_trip_count(trip_count // 2)
+    scale = b.build()
+
+    pipe = Pipeline("fir_decimate_stream")
+    pipe.channel("f", width=WIDTH)
+    pipe.channel("d", width=WIDTH)
+    pipe.add_stage("fir", fir, ii=fir_ii)
+    pipe.add_stage("decim", decim, ii=decim_ii)
+    pipe.add_stage("scale", scale, ii=scale_ii)
+    return pipe
+
+
+def reference_fir_decimate_stream(samples: List[int],
+                                  taps: Optional[List[int]] = None,
+                                  gain: int = 3) -> List[int]:
+    """Oracle: FIR, average adjacent pairs, scale.
+
+    Bit-accurate with the hardware: the pair average is a *logical*
+    shift of the wrapped 32-bit sum (SHR semantics), not Python's
+    arithmetic ``>>``.
+    """
+    coeffs = taps if taps is not None else list(DEFAULT_TAPS[:4])
+    history = [0] * len(coeffs)
+    filtered = []
+    for sample in samples:
+        history = [sample] + history[:-1]
+        filtered.append(sum(c * v for c, v in zip(coeffs, history)))
+    out = []
+    for i in range(0, len(filtered) - 1, 2):
+        pair_sum = wrap(filtered[i] + filtered[i + 1], WIDTH)
+        avg = wrap(unsigned(pair_sum, WIDTH) >> 1, WIDTH)
+        out.append(wrap(avg * gain, WIDTH))
+    return out
+
+
+def fir_samples(trip_count: int = 32) -> Dict[str, List[int]]:
+    """Deterministic sample stream for the FIR pipeline."""
+    return {"x": [((11 * n) % 41) - 20 for n in range(trip_count)]}

@@ -1,0 +1,98 @@
+"""Builder/region semantics of streaming channel accesses (POP/PUSH)."""
+
+import pytest
+
+from repro.cdfg import DFGError, OpKind, RegionBuilder
+from repro.flow.cache import region_fingerprint
+
+
+def _producer(trip=8, channel="c"):
+    b = RegionBuilder("prod", is_loop=True)
+    x = b.read("x", 32)
+    b.push(channel, b.add(x, 1), name="out_push")
+    b.set_trip_count(trip)
+    return b.build()
+
+
+def test_pop_push_ops_created_with_payload():
+    b = RegionBuilder("stage", is_loop=True)
+    v = b.pop("in", 16)
+    op = b.push("out", b.add(v, 1))
+    region = b.build()
+    assert v.op.kind is OpKind.POP
+    assert v.op.payload == "in"
+    assert v.op.width == 16
+    assert op.kind is OpKind.PUSH
+    assert op.payload == "out"
+    assert region.input_channels == ["in"]
+    assert region.output_channels == ["out"]
+
+
+def test_stream_ops_are_io_not_resources():
+    b = RegionBuilder("stage", is_loop=True)
+    v = b.pop("in", 32)
+    op = b.push("out", v)
+    b.build()
+    assert v.op.is_io and v.op.is_stream and not v.op.is_memory
+    assert op.is_io and op.is_stream
+
+
+def test_token_indexing_assigned_at_build():
+    """Two pops of one channel index tokens 2k and 2k+1."""
+    b = RegionBuilder("decim", is_loop=True)
+    even = b.pop("f", 32)
+    odd = b.pop("f", 32)
+    b.push("d", b.add(even, odd))
+    region = b.build()
+    pops = region.channel_accesses("f", OpKind.POP)
+    assert [(op.io_offset, op.io_stride) for op in pops] == [(0, 2), (1, 2)]
+    pushes = region.channel_accesses("d", OpKind.PUSH)
+    assert [(op.io_offset, op.io_stride) for op in pushes] == [(0, 1)]
+
+
+def test_pop_and_push_same_channel_rejected():
+    b = RegionBuilder("bad", is_loop=True)
+    v = b.pop("c", 32)
+    b.push("c", v)
+    with pytest.raises(DFGError, match="both popped and pushed"):
+        b.build()
+
+
+def test_channel_width_mismatch_rejected():
+    b = RegionBuilder("bad", is_loop=True)
+    a = b.pop("c", 32)
+    bb = b.pop("c", 16)
+    b.push("out", b.add(a, b.zext(bb, 32)))
+    with pytest.raises(DFGError, match="widths"):
+        b.build()
+
+
+def test_fingerprint_covers_channel_names():
+    """Renaming a channel must miss the flow cache."""
+    one = _producer(channel="c1")
+    two = _producer(channel="c2")
+    assert region_fingerprint(one) != region_fingerprint(two)
+
+
+def test_fingerprint_stable_across_identical_builds():
+    assert region_fingerprint(_producer()) == region_fingerprint(_producer())
+
+
+def test_predicated_pop_rejected():
+    b = RegionBuilder("cond", is_loop=True)
+    sel = b.pop("sel", 1)
+    with b.under(sel):
+        b.pop("data", 32)
+    b.push("out", b.const(0, 32))
+    with pytest.raises(DFGError, match="pops under a predicate"):
+        b.build()
+
+
+def test_predicated_push_allowed():
+    b = RegionBuilder("cond", is_loop=True)
+    v = b.pop("data", 32)
+    flag = b.gt(v, b.const(0, 32))
+    with b.under(flag):
+        b.push("out", v)
+    region = b.build()
+    assert region.pushes[0].predicate.literals

@@ -1,0 +1,74 @@
+"""Scheduler semantics of channel ports: one pop/push per channel per
+equivalence class, CHAN_PORT restraints, add-state relaxation."""
+
+import pytest
+
+from repro.cdfg import PipelineSpec, RegionBuilder
+from repro.core.schedule import ScheduleError
+from repro.core.scheduler import schedule_region
+
+CLOCK = 1600.0
+
+
+def _two_pop_region(max_latency=8):
+    b = RegionBuilder("decim", is_loop=True, max_latency=max_latency)
+    even = b.pop("f", 32, name="pop0")
+    odd = b.pop("f", 32, name="pop1")
+    b.push("d", b.add(even, odd, name="pair"), name="d_push")
+    b.set_trip_count(8)
+    return b.build()
+
+
+def test_two_pops_serialize_sequentially(lib):
+    """The FIFO read port forces the pops into distinct states."""
+    schedule = schedule_region(_two_pop_region(), lib, CLOCK)
+    states = {schedule.state_of(op.uid)
+              for op in schedule.region.pops}
+    assert len(states) == 2, "pops of one channel must serialize"
+    assert not schedule.validate()
+
+
+def test_two_pops_pipeline_ii2_uses_both_classes(lib):
+    """At II=2 the two pops land in different equivalence classes."""
+    schedule = schedule_region(_two_pop_region(), lib, CLOCK,
+                               pipeline=PipelineSpec(ii=2))
+    s0, s1 = [schedule.state_of(op.uid) for op in schedule.region.pops]
+    assert s0 % 2 != s1 % 2
+    assert not schedule.validate()
+
+
+def test_two_pops_pipeline_ii1_infeasible(lib):
+    """II=1 folds every state onto one class: the single FIFO read port
+    cannot serve two pops per cycle, and no relaxation can fix that."""
+    with pytest.raises(ScheduleError):
+        schedule_region(_two_pop_region(), lib, CLOCK,
+                        pipeline=PipelineSpec(ii=1))
+
+
+def test_push_and_pop_value_flow_through_registers(lib):
+    """A pop consumed two states later must be held in a register."""
+    b = RegionBuilder("hold", is_loop=True, max_latency=8)
+    v = b.pop("in", 32, name="the_pop")
+    w = b.mul(v, v, name="sq")
+    b.push("out", b.mul(w, v, name="cube"), name="out_push")
+    b.set_trip_count(4)
+    schedule = schedule_region(b.build(), lib, CLOCK)
+    regs = schedule.register_file()
+    held = {uid for reg in regs.registers for uid in reg.values}
+    pop_op = schedule.region.pops[0]
+    if schedule.state_of(pop_op.uid) < max(
+            schedule.state_of(op.uid)
+            for op in schedule.region.dfg.ops if not op.is_free):
+        assert pop_op.uid in held
+    # pushes sink into the FIFO, never into a datapath register
+    push_uids = {op.uid for op in schedule.region.pushes}
+    assert not (push_uids & held)
+
+
+def test_schedule_error_elision_says_how_many_more():
+    err = ScheduleError("boom", [f"diag {i}" for i in range(20)])
+    text = str(err)
+    assert "diag 0" in text and "diag 11" in text
+    assert "diag 12" not in text
+    assert "and 8 more" in text
+    assert "20" in text  # total count surfaced

@@ -1,0 +1,95 @@
+"""Composition pass: per-stage flows, cache reuse, system metrics."""
+
+import pytest
+
+from repro.core.schedule import ScheduleError
+from repro.dataflow import compile_pipeline, fifo_bits
+from repro.flow.cache import FlowCache
+from repro.tech.power import estimate_power
+from repro.workloads import (
+    build_fir_decimate_stream,
+    build_matmul_relu_stream,
+)
+
+CLOCK = 1600.0
+
+
+def test_steady_state_ii_is_max_stage_ii(lib):
+    composed = compile_pipeline(
+        build_matmul_relu_stream(dot_ii=2, relu_ii=1), lib, CLOCK)
+    assert composed.stages["dot"].schedule.ii_effective == 2
+    assert composed.stages["relu"].schedule.ii_effective == 1
+    assert composed.steady_state_ii == 2
+
+
+def test_every_stage_scheduled_independently(lib):
+    composed = compile_pipeline(build_fir_decimate_stream(), lib, CLOCK)
+    assert set(composed.stages) == {"fir", "decim", "scale"}
+    for result in composed.stages.values():
+        assert not result.schedule.validate()
+
+
+def test_flow_cache_shared_across_compositions(lib):
+    cache = FlowCache()
+    compile_pipeline(build_matmul_relu_stream(), lib, CLOCK, cache=cache)
+    misses = cache.misses
+    compile_pipeline(build_matmul_relu_stream(), lib, CLOCK, cache=cache)
+    assert cache.misses == misses, "second composition must be all hits"
+    assert cache.hits > 0
+
+
+def test_offsets_respect_dataflow_order(lib):
+    composed = compile_pipeline(build_fir_decimate_stream(), lib, CLOCK)
+    assert composed.stages["fir"].offset == 0
+    assert composed.stages["decim"].offset > 0
+    assert composed.stages["scale"].offset > composed.stages["decim"].offset
+    assert composed.latency >= composed.stages["scale"].offset
+
+
+def test_auto_depth_resolves_to_min_depth(lib):
+    composed = compile_pipeline(build_matmul_relu_stream(), lib, CLOCK)
+    for name, chan in composed.channels.items():
+        assert chan.depth == composed.min_depths[name]
+
+
+def test_explicit_depth_honored_even_below_min(lib):
+    pipe = build_matmul_relu_stream()
+    pipe.set_depth("s", 1)
+    composed = compile_pipeline(pipe, lib, CLOCK)
+    assert composed.channels["s"].depth == 1
+    assert composed.min_depths["s"] >= 1
+
+
+def test_area_and_power_include_fifos(lib):
+    composed = compile_pipeline(build_matmul_relu_stream(), lib, CLOCK)
+    stage_area = sum(r.schedule.area for r in composed.stages.values())
+    assert composed.area > stage_area
+    assert composed.fifo_area > 0
+    stage_power = sum(estimate_power(r.schedule).total_mw
+                      for r in composed.stages.values())
+    assert composed.power().total_mw > stage_power
+
+
+def test_fifo_bits_model():
+    assert fifo_bits(32, 0) == 0
+    assert fifo_bits(32, 1) == 32 + 1 + 1
+    assert fifo_bits(32, 4) > fifo_bits(32, 2)
+
+
+def test_summary_shape(lib):
+    composed = compile_pipeline(build_fir_decimate_stream(), lib, CLOCK)
+    summary = composed.summary()
+    assert summary["steady_state_ii"] == composed.steady_state_ii
+    assert set(summary["stages"]) == {"fir", "decim", "scale"}
+    assert set(summary["channels"]) == {"f", "d"}
+    assert summary["channels"]["f"]["min_depth"] >= 2
+    text = composed.table()
+    assert "steady-state II" in text
+
+
+def test_failing_stage_names_the_stage(lib):
+    """An overconstrained stage surfaces with the pipeline/stage name."""
+    pipe = build_matmul_relu_stream(k=4, dot_ii=1)
+    pipe.stages["dot"].region.max_latency = 1  # impossible under II=1
+    with pytest.raises(ScheduleError, match="matmul_relu_stream/dot"):
+        compile_pipeline(pipe, lib, CLOCK)

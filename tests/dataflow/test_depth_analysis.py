@@ -1,0 +1,78 @@
+"""Rate/occupancy analysis: intervals, offsets, minimum depths."""
+
+from fractions import Fraction
+
+from repro.dataflow import (
+    compile_pipeline,
+    frame_cycles,
+    min_channel_depths,
+    simulate_pipeline_machine,
+    stage_offsets,
+    steady_intervals,
+    steady_state_ii,
+)
+from repro.workloads import (
+    PIPELINE_REGISTRY,
+    build_fir_decimate_stream,
+    build_matmul_relu_stream,
+    matmul_relu_inputs,
+)
+
+CLOCK = 1600.0
+
+
+def test_steady_intervals_normalize_multirate(lib):
+    composed = compile_pipeline(build_fir_decimate_stream(), lib, CLOCK)
+    schedules = composed.schedules
+    intervals = steady_intervals(composed.pipeline, schedules)
+    # fir: 32 iterations, II 1 -> frame 32; decim/scale: 16 iterations
+    assert frame_cycles(composed.pipeline, schedules) == 32
+    assert intervals["fir"] == Fraction(1)
+    assert intervals["decim"] == Fraction(2)
+    assert intervals["scale"] == Fraction(2)
+    assert steady_state_ii(schedules) == 2
+
+
+def test_decimator_channel_needs_depth_two(lib):
+    """Two pops per consumer iteration require at least two slots."""
+    composed = compile_pipeline(build_fir_decimate_stream(), lib, CLOCK)
+    assert composed.min_depths["f"] >= 2
+
+
+def test_offsets_are_first_token_arrival_times(lib):
+    composed = compile_pipeline(build_matmul_relu_stream(), lib, CLOCK)
+    offsets = stage_offsets(composed.pipeline, composed.schedules)
+    push_state = composed.stages["dot"].schedule.state_of(
+        composed.pipeline.stages["dot"].region.pushes[0].uid)
+    pop_state = composed.stages["relu"].schedule.state_of(
+        composed.pipeline.stages["relu"].region.pops[0].uid)
+    assert offsets["dot"] == 0
+    assert offsets["relu"] == push_state + 1 - pop_state
+
+
+def test_min_depths_match_direct_analysis(lib):
+    composed = compile_pipeline(build_matmul_relu_stream(), lib, CLOCK)
+    direct = min_channel_depths(composed.pipeline, composed.schedules)
+    assert direct == composed.min_depths
+
+
+def test_deepening_never_improves_throughput(lib):
+    """Adding FIFO slots beyond the minimum changes nothing: the
+    bottleneck stage sets the composed II."""
+    inputs = matmul_relu_inputs()
+    baseline = None
+    min_depth = None
+    for extra in (0, 1, 2, 6):
+        pipe = PIPELINE_REGISTRY["matmul_relu_stream"]()
+        composed = compile_pipeline(pipe, lib, CLOCK)
+        if min_depth is None:
+            min_depth = composed.min_depths["s"]
+        deep = PIPELINE_REGISTRY["matmul_relu_stream"]()
+        deep.set_depth("s", min_depth + extra)
+        composed = compile_pipeline(deep, lib, CLOCK)
+        run = simulate_pipeline_machine(composed, inputs)
+        assert composed.steady_state_ii == 1
+        if baseline is None:
+            baseline = run.cycles
+        assert run.cycles == baseline, \
+            f"depth {min_depth + extra} changed cycle count"

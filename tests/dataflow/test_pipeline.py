@@ -1,0 +1,125 @@
+"""Pipeline/Channel construction and validation."""
+
+import pytest
+
+from repro.cdfg import RegionBuilder
+from repro.dataflow import Channel, DataflowError, Pipeline
+
+
+def _producer(channel="c", trip=8, width=32):
+    b = RegionBuilder(f"prod_{channel}", is_loop=True)
+    x = b.read("x", width)
+    b.push(channel, b.add(x, 1))
+    b.set_trip_count(trip)
+    return b.build()
+
+
+def _consumer(channel="c", trip=8, width=32, port="y"):
+    b = RegionBuilder(f"cons_{channel}", is_loop=True)
+    b.write(port, b.mul(b.pop(channel, width), 3))
+    b.set_trip_count(trip)
+    return b.build()
+
+
+def _pair():
+    pipe = Pipeline("pair")
+    pipe.add_stage("prod", _producer())
+    pipe.add_stage("cons", _consumer())
+    return pipe
+
+
+def test_channels_implied_by_regions():
+    pipe = _pair()
+    assert sorted(pipe.channels) == ["c"]
+    assert pipe.channels["c"].width == 32
+    assert pipe.channels["c"].depth is None  # auto-sized at composition
+    assert pipe.producer_of("c").name == "prod"
+    assert pipe.consumer_of("c").name == "cons"
+    pipe.validate()
+
+
+def test_topo_order_linear():
+    pipe = _pair()
+    assert [s.name for s in pipe.topo_order()] == ["prod", "cons"]
+
+
+def test_set_depth_and_explicit_channel():
+    pipe = _pair()
+    pipe.set_depth("c", 4)
+    assert pipe.channels["c"].depth == 4
+    with pytest.raises(DataflowError, match="no channel"):
+        pipe.set_depth("nope", 2)
+
+
+def test_channel_depth_zero_allowed_negative_rejected():
+    assert Channel("c", depth=0).depth == 0
+    with pytest.raises(DataflowError):
+        Channel("c", depth=-1)
+    with pytest.raises(DataflowError):
+        Channel("c", width=0)
+
+
+def test_dangling_channel_rejected():
+    pipe = Pipeline("dangling")
+    pipe.add_stage("prod", _producer())
+    with pytest.raises(DataflowError, match="exactly one producer"):
+        pipe.validate()
+
+
+def test_two_consumers_rejected():
+    pipe = Pipeline("fanout")
+    pipe.add_stage("prod", _producer())
+    pipe.add_stage("cons1", _consumer(port="y1"))
+    pipe.add_stage("cons2", _consumer(port="y2"))
+    with pytest.raises(DataflowError, match="exactly one"):
+        pipe.validate()
+
+
+def test_rate_mismatch_rejected():
+    pipe = Pipeline("rates")
+    pipe.add_stage("prod", _producer(trip=8))
+    pipe.add_stage("cons", _consumer(trip=5))
+    with pytest.raises(DataflowError, match="rate mismatch"):
+        pipe.validate()
+
+
+def test_width_mismatch_rejected():
+    pipe = Pipeline("widths")
+    pipe.channel("c", width=16)
+    pipe.add_stage("prod", _producer(width=32))
+    pipe.add_stage("cons", _consumer(width=32))
+    with pytest.raises(DataflowError, match="bits"):
+        pipe.validate()
+
+
+def test_output_port_collision_rejected():
+    pipe = Pipeline("ports")
+    pipe.add_stage("prod", _producer("c1"))
+    pipe.add_stage("mid", _consumer("c1", port="y"))
+    pipe.add_stage("prod2", _producer("c2"))
+    pipe.add_stage("cons2", _consumer("c2", port="y"))
+    with pytest.raises(DataflowError, match="output port"):
+        pipe.validate()
+
+
+def test_channel_cycle_rejected():
+    b = RegionBuilder("a2b", is_loop=True)
+    b.push("ab", b.add(b.pop("ba", 32), 1))
+    b.set_trip_count(4)
+    a2b = b.build()
+    b = RegionBuilder("b2a", is_loop=True)
+    b.push("ba", b.add(b.pop("ab", 32), 1))
+    b.set_trip_count(4)
+    b2a = b.build()
+    pipe = Pipeline("loop")
+    pipe.add_stage("a", a2b)
+    pipe.add_stage("b", b2a)
+    with pytest.raises(DataflowError, match="cycle"):
+        pipe.validate()
+
+
+def test_duplicate_stage_rejected():
+    pipe = Pipeline("dup")
+    pipe.add_stage("s", _producer())
+    with pytest.raises(DataflowError, match="duplicate stage"):
+        pipe.add_stage("s", _consumer())

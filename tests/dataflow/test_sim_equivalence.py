@@ -1,0 +1,127 @@
+"""System-level correctness: machine == token oracle == pure python."""
+
+import pytest
+
+from repro.dataflow import (
+    compile_pipeline,
+    simulate_pipeline_machine,
+    simulate_pipeline_reference,
+)
+from repro.sim.reference import SimulationError
+from repro.workloads import (
+    PIPELINE_INPUTS,
+    PIPELINE_REGISTRY,
+    fir_samples,
+    matmul_relu_inputs,
+    reference_fir_decimate_stream,
+    reference_matmul_relu_stream,
+    reference_sobel_threshold_stream,
+    sobel_rows,
+)
+
+CLOCK = 1600.0
+
+
+@pytest.mark.parametrize("name", sorted(PIPELINE_REGISTRY))
+def test_machine_matches_token_oracle(name, lib):
+    """Both simulators agree on every registered pipeline's outputs."""
+    factory = PIPELINE_REGISTRY[name]
+    inputs = PIPELINE_INPUTS[name]()
+    composed = compile_pipeline(factory(), lib, CLOCK)
+    reference = simulate_pipeline_reference(factory(), inputs)
+    machine = simulate_pipeline_machine(composed, inputs)
+    assert machine.outputs == reference.outputs
+    assert machine.outputs, "pipelines must produce external outputs"
+
+
+def test_matmul_relu_matches_pure_python(lib):
+    k, n = 2, 16
+    inputs = matmul_relu_inputs(k, n)
+    a_rows = [[inputs[f"a{i}"][j] for i in range(k)] for j in range(n)]
+    b_rows = [[inputs[f"b{i}"][j] for i in range(k)] for j in range(n)]
+    oracle = reference_matmul_relu_stream(k, a_rows, b_rows)
+    assert any(v == 0 for v in oracle), "inputs must exercise the ReLU"
+    factory = PIPELINE_REGISTRY["matmul_relu_stream"]
+    composed = compile_pipeline(factory(), lib, CLOCK)
+    assert simulate_pipeline_machine(composed, inputs).output("y") == oracle
+    assert simulate_pipeline_reference(
+        factory(), inputs).output("y") == oracle
+
+
+def test_sobel_threshold_matches_pure_python(lib):
+    inputs = sobel_rows()
+    oracle = reference_sobel_threshold_stream(
+        [inputs[f"row{r}"] for r in range(3)])
+    assert any(v == 0 for v in oracle) and any(v > 0 for v in oracle)
+    factory = PIPELINE_REGISTRY["sobel_threshold_stream"]
+    composed = compile_pipeline(factory(), lib, CLOCK)
+    assert simulate_pipeline_machine(composed, inputs).output("edge") \
+        == oracle
+
+
+def test_fir_decimate_matches_pure_python(lib):
+    inputs = fir_samples()
+    oracle = reference_fir_decimate_stream(inputs["x"])
+    factory = PIPELINE_REGISTRY["fir_decimate_stream"]
+    composed = compile_pipeline(factory(), lib, CLOCK)
+    machine = simulate_pipeline_machine(composed, inputs)
+    assert machine.output("y") == oracle
+    # the decimator (II=2) halves the token rate, so the II=1 scaler
+    # starves every other cycle -- starvation shows up as stalls
+    assert machine.stage_results["scale"].stalled_cycles > 0
+
+
+def test_peak_occupancy_bounded_by_depth(lib):
+    factory = PIPELINE_REGISTRY["fir_decimate_stream"]
+    composed = compile_pipeline(factory(), lib, CLOCK)
+    machine = simulate_pipeline_machine(composed, fir_samples())
+    for name, peak in machine.peak_occupancy.items():
+        assert peak <= composed.channels[name].depth
+
+
+def test_depth_zero_deadlocks(lib):
+    """An unbuffered blocking channel can never transfer a token."""
+    pipe = PIPELINE_REGISTRY["matmul_relu_stream"]()
+    pipe.set_depth("s", 0)
+    composed = compile_pipeline(pipe, lib, CLOCK)
+    with pytest.raises(SimulationError, match="deadlock"):
+        simulate_pipeline_machine(composed, matmul_relu_inputs())
+
+
+def test_undersized_channel_degrades_throughput(lib):
+    """Below the computed minimum the producer provably stalls."""
+    inputs = matmul_relu_inputs()
+    at_min = compile_pipeline(
+        PIPELINE_REGISTRY["matmul_relu_stream"](), lib, CLOCK)
+    min_depth = at_min.min_depths["s"]
+    assert min_depth >= 2
+    baseline = simulate_pipeline_machine(at_min, inputs)
+    assert baseline.stage_results["dot"].stalled_cycles == 0
+
+    shallow_pipe = PIPELINE_REGISTRY["matmul_relu_stream"]()
+    shallow_pipe.set_depth("s", min_depth - 1)
+    shallow = simulate_pipeline_machine(
+        compile_pipeline(shallow_pipe, lib, CLOCK), inputs)
+    assert shallow.outputs == baseline.outputs  # still correct...
+    assert shallow.cycles > baseline.cycles  # ...but slower
+    assert shallow.stage_results["dot"].stalled_cycles > 0
+
+
+def test_machine_run_is_reentrant(lib):
+    """A second run() on one machine starts from fresh state."""
+    from repro.core.scheduler import schedule_region
+    from repro.sim.machine import ScheduledMachine
+    from repro.cdfg import RegionBuilder
+
+    b = RegionBuilder("accmem", is_loop=True, max_latency=8)
+    m = b.array("m", 4)
+    v = b.load(m, 0)
+    b.store(m, b.add(v, b.read("x", 32)), 0)
+    b.write("y", b.add(v, b.read("x", 32)))
+    b.set_trip_count(4)
+    schedule = schedule_region(b.build(), lib, 1600.0)
+    machine = ScheduledMachine(schedule, {"x": [1, 1, 1, 1]})
+    first = machine.run()
+    second = machine.run()
+    assert first.outputs == second.outputs
+    assert first.memories == second.memories

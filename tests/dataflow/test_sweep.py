@@ -1,0 +1,48 @@
+"""Channel-depth sweeps and the Microarch depth axis."""
+
+from repro.dataflow import sweep_channel_depths
+from repro.explore import Microarch
+from repro.flow.cache import FlowCache
+from repro.workloads import (
+    build_matmul_relu_stream,
+    matmul_relu_inputs,
+)
+
+
+def test_with_channel_depth_labels_and_hashes():
+    base = Microarch("Pipelined 4", 4, ii=2)
+    micro = base.with_channel_depth({"s": 3, "t": 1})
+    assert micro.channel_depths == (("s", 3), ("t", 1))
+    assert "depth s=3,t=1" in micro.name
+    assert hash(micro) != hash(base)
+
+
+def test_apply_channel_depths_rewrites_pipeline():
+    micro = Microarch("m", 1).with_channel_depth({"s": 5})
+    pipe = build_matmul_relu_stream()
+    micro.apply_channel_depths(pipe)
+    assert pipe.channels["s"].depth == 5
+
+
+def test_depth_sweep_grid(lib):
+    cache = FlowCache()
+    points = sweep_channel_depths(
+        build_matmul_relu_stream, lib,
+        depth_points=[{"s": 0}, {"s": 1}, {"s": 2}, {"s": 4}],
+        clocks_ps=(1600.0,),
+        inputs=matmul_relu_inputs(),
+        cache=cache)
+    assert len(points) == 4
+    by_depth = {p.depths["s"]: p for p in points}
+    assert by_depth[0].deadlocked
+    assert not by_depth[2].deadlocked
+    # below the minimum: stalls and extra cycles; beyond: no change
+    assert by_depth[1].cycles > by_depth[2].cycles
+    assert by_depth[1].stalled_cycles > by_depth[2].stalled_cycles
+    assert by_depth[4].cycles == by_depth[2].cycles
+    # II is a composition property, independent of the depth axis
+    assert {p.steady_state_ii for p in points} == {1}
+    # the stage schedules were computed once and served from cache
+    assert cache.hits > 0
+    row = by_depth[0].row()
+    assert "deadlock" in row

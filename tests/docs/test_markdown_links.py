@@ -1,0 +1,42 @@
+"""Markdown link check over README.md and docs/.
+
+Thin pytest wrapper around ``tools/check_markdown_links.py`` (the
+dependency-free script the CI docs job runs directly), so tier-1 also
+fails on a broken doc link.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_markdown_links", REPO / "tools" / "check_markdown_links.py")
+checker = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(checker)
+
+
+@pytest.mark.parametrize("doc", checker.documents(),
+                         ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    problems = checker.check_document(doc)
+    assert not problems, "\n".join(problems)
+
+
+def test_architecture_and_restraints_linked_from_readme():
+    text = (REPO / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in text
+    assert "docs/RESTRAINTS.md" in text
+
+
+def test_docs_cross_reference_each_other():
+    assert "RESTRAINTS.md" in (REPO / "docs" / "ARCHITECTURE.md").read_text()
+    assert "ARCHITECTURE.md" in (REPO / "docs" / "RESTRAINTS.md").read_text()
+
+
+def test_checker_main_is_clean(capsys):
+    assert checker.main() == 0

@@ -106,3 +106,36 @@ def test_generic45_library(capsys):
     assert main(["--library", "generic45", "table", "1"]) == 0
     out = capsys.readouterr().out
     assert "423" in out  # 930 / 2.2 rounded
+
+
+def test_workloads_command_lists_pipelines(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("matmul_relu_stream", "sobel_threshold_stream",
+                 "fir_decimate_stream"):
+        assert name in out
+    assert "fir -> decim -> scale" in out
+
+
+def test_stream_command_verifies_pipeline(capsys):
+    assert main(["stream", "matmul_relu_stream"]) == 0
+    out = capsys.readouterr().out
+    assert "steady-state II" in out
+    assert "MATCH" in out
+
+
+def test_stream_command_json_and_verilog(tmp_path, capsys):
+    target = tmp_path / "pipe.v"
+    assert main(["stream", "fir_decimate_stream", "--json",
+                 "--output", str(target)]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[:out.rindex("}") + 1])
+    assert payload["verified"] is True
+    assert payload["steady_state_ii"] == 2
+    assert target.exists()
+    assert "module fir_decimate_stream" in target.read_text()
+
+
+def test_stream_unknown_pipeline():
+    with pytest.raises(SystemExit):
+        main(["stream", "nonexistent"])

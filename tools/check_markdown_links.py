@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Markdown link check over README.md and docs/ (no dependencies).
+
+Every relative link must resolve to an existing file, and ``#anchor``
+fragments must match a heading of the target document (GitHub slug
+rules, simplified).  Absolute URLs are never fetched.  Exit status 0
+means every link resolves; 1 lists the broken ones.
+
+Run:  python tools/check_markdown_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO = Path(__file__).resolve().parent.parent
+
+_LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#+\s+(.*)$", re.M)
+
+
+def documents() -> List[Path]:
+    """Every markdown file the check covers."""
+    return [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+
+def anchor_slug(heading: str) -> str:
+    """GitHub-style anchor slug of a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def check_document(doc: Path) -> List[str]:
+    """Broken-link messages for one markdown file (empty = clean)."""
+    problems: List[str] = []
+    for target in _LINK.findall(doc.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        dest = doc.parent / base if base else doc
+        if not dest.exists():
+            problems.append(f"{doc.name}: broken link -> {target}")
+            continue
+        if fragment and dest.suffix == ".md":
+            anchors = {anchor_slug(h)
+                       for h in _HEADING.findall(dest.read_text())}
+            if fragment not in anchors:
+                problems.append(f"{doc.name}: missing anchor -> {target}")
+    return problems
+
+
+def main() -> int:
+    """Check every document; print problems; 0 = clean."""
+    problems: List[str] = []
+    for doc in documents():
+        problems += check_document(doc)
+    for line in problems:
+        print(line, file=sys.stderr)
+    print(f"checked {len(documents())} files, "
+          f"{len(problems)} broken links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
