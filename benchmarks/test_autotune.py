@@ -1,0 +1,86 @@
+"""Autotuner budget and warm-start pins on the Figure 10 grid (IDCT).
+
+The acceptance-level contract of :mod:`repro.dse`: on the paper's 5x5
+microarchitecture/clock grid, the goal-directed strategies must find a
+constraint-meeting winner that the exhaustive sweep's Pareto front does
+not dominate while evaluating at most 60% of the grid -- and a second
+tuning run against a warm on-disk store must perform zero fresh
+synthesis evaluations.  Evaluated-point counts and winner QoR land in
+``BENCH_results.json`` through the ``bench_metrics`` fixture.
+"""
+
+from __future__ import annotations
+
+from repro.dse import Goal, ResultStore, tune
+from repro.explore.pareto import dominates
+from repro.workloads.idct import build_idct8
+
+from benchmarks.conftest import banner
+
+#: delay budget on the Figure 10 grid: reachable by several curves but
+#: not by the slowest configurations (NP32 prunes away analytically).
+TARGET_DELAY_PS = 26000.0
+
+#: goal-directed strategies must beat this fraction of the grid.
+BUDGET_FRACTION = 0.60
+
+
+def test_goal_directed_beats_exhaustive_budget(lib, bench_metrics):
+    """greedy/bisect: undominated winner at <= 60% of the grid."""
+    banner("Autotune: goal-directed vs exhaustive on the IDCT "
+           "Figure 10 grid")
+    goal = Goal.build(objective="area", delay_ps=TARGET_DELAY_PS)
+    exhaustive = tune(build_idct8, lib, goal, strategy="exhaustive")
+    assert exhaustive.satisfied
+    front = exhaustive.front
+    print(f"goal       : {goal.describe()}")
+    print(f"exhaustive : {exhaustive.evaluated:3d} evaluations -> "
+          f"{exhaustive.winner.label} (area {exhaustive.winner.area:.1f})")
+    bench_metrics["grid_size"] = exhaustive.grid_size
+    bench_metrics["exhaustive_evaluations"] = exhaustive.evaluated
+    bench_metrics["winner_label"] = exhaustive.winner.label
+    bench_metrics["winner_delay_ps"] = exhaustive.winner.delay_ps
+    bench_metrics["winner_area"] = exhaustive.winner.area
+    bench_metrics["winner_power_mw"] = exhaustive.winner.power_mw
+
+    budget = BUDGET_FRACTION * exhaustive.evaluated
+    for strategy in ("greedy", "bisect", "halving"):
+        report = tune(build_idct8, lib, goal, strategy=strategy)
+        w = report.winner
+        print(f"{strategy:<11}: {report.evaluated:3d} evaluations -> "
+              f"{w.label} (area {w.area:.1f})")
+        bench_metrics[f"{strategy}_evaluations"] = report.evaluated
+        bench_metrics[f"{strategy}_winner_area"] = w.area
+        assert goal.satisfied(w), strategy
+        assert not any(dominates(q, w) for q in front), \
+            f"{strategy} winner {w.label} dominated by the front"
+        assert goal.score(w) == goal.score(exhaustive.winner), strategy
+        if strategy in ("greedy", "bisect"):
+            assert report.evaluated <= budget, (
+                f"{strategy} evaluated {report.evaluated} points, "
+                f"budget is {budget:.0f} of {exhaustive.evaluated}")
+
+
+def test_warm_store_performs_zero_fresh_evaluations(lib, tmp_path,
+                                                    bench_metrics):
+    """Second tune run against the on-disk store: no synthesis at all."""
+    banner("Autotune: persistent-store warm start (IDCT, greedy)")
+    goal = Goal.build(objective="area", delay_ps=TARGET_DELAY_PS)
+    path = tmp_path / "idct.jsonl"
+    cold = tune(build_idct8, lib, goal, strategy="greedy",
+                store=ResultStore(path))
+    warm = tune(build_idct8, lib, goal, strategy="greedy",
+                store=ResultStore(path))  # fresh instance = new process
+    print(f"cold: {cold.fresh_evaluations} fresh, "
+          f"{cold.store_hits} store hits "
+          f"({cold.elapsed_s * 1e3:.1f} ms)")
+    print(f"warm: {warm.fresh_evaluations} fresh, "
+          f"{warm.store_hits} store hits "
+          f"({warm.elapsed_s * 1e3:.1f} ms)")
+    bench_metrics["cold_fresh"] = cold.fresh_evaluations
+    bench_metrics["warm_fresh"] = warm.fresh_evaluations
+    bench_metrics["warm_store_hits"] = warm.store_hits
+    assert cold.fresh_evaluations > 0
+    assert warm.fresh_evaluations == 0
+    assert warm.store_hits == cold.evaluated
+    assert warm.winner == cold.winner

@@ -6,12 +6,18 @@ schedule   compile a mini-language source file and schedule its loops
 sweep      run a microarchitecture/clock exploration on a named workload
 stream     compose, verify and report a named streaming pipeline
 table      print a paper table (1, 2 or 3) from the calibrated library
+tune       goal-directed autotuning (delay/area/power constraints)
 verilog    compile + schedule + emit RTL to stdout or a file
 workloads  list the named kernels and streaming pipelines
 
 The CLI is a thin veneer over the unified compilation pipeline
 (:mod:`repro.flow`) so shell users (and CI scripts) can exercise the
 flows without writing Python.
+
+Conventions every subcommand follows: ``--json`` switches the output to
+a machine-readable record on stdout, and the exit status is nonzero
+when the requested work failed or produced no feasible result (0 =
+success, 1 = infeasible/failed, 2 = argparse usage errors).
 """
 
 from __future__ import annotations
@@ -110,12 +116,23 @@ def cmd_verilog(args: argparse.Namespace) -> int:
     (ctx,) = _source_contexts(args, library, run_optimizer=False)
     get_flow("verilog").run(ctx)
     if ctx.failed:
-        _print_failure(ctx)
+        if args.json:
+            print(json.dumps(ctx.summary(), indent=2))
+        else:
+            _print_failure(ctx)
         return 1
     text = ctx.rtl
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
+    if args.json:
+        print(json.dumps({
+            "module": ctx.region.name,
+            "lines": len(text.splitlines()),
+            "output": args.output,
+            "rtl": None if args.output else text,
+        }, indent=2))
+    elif args.output:
         print(f"wrote {args.output} ({len(text.splitlines())} lines)")
     else:
         print(text)
@@ -135,6 +152,15 @@ def _parse_microarchs(spec_text: Optional[str]) -> List[Microarch]:
     return micros
 
 
+def _load_cache(path: Optional[str]):
+    """A FlowCache warmed from ``path`` (fresh when absent/None)."""
+    from repro.flow import FlowCache
+
+    if path is None:
+        return None
+    return FlowCache.load(path)
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Microarchitecture x clock exploration on a named workload."""
     library = _library(args.library)
@@ -144,16 +170,58 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                          f"choose from {sorted(WORKLOADS)}")
     clocks = [float(c) for c in args.clocks.split(",")]
     micros = _parse_microarchs(args.latencies)
-    result = run_sweep(factory, library, micros, clocks, jobs=args.jobs)
+    cache = _load_cache(args.cache)
+    result = run_sweep(factory, library, micros, clocks, jobs=args.jobs,
+                       cache=cache)
+    if cache is not None:
+        cache.save(args.cache)
+    status = 0 if result.points else 1  # an all-infeasible grid failed
     if args.json:
         print(json.dumps(result.summary(), indent=2))
-        return 0
+        return status
     print(format_table(pareto_header(), [p.row() for p in result.points]))
     print(f"\n{len(result.points)} of {result.total} configurations "
           f"feasible ({len(result.infeasible)} infeasible)")
     for q in result.infeasible:
         print(f"  {q.describe()}")
-    return 0
+    return status
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Goal-directed autotuning over the microarch x clock space."""
+    from repro.dse import DesignSpace, Goal, GoalError, ResultStore, tune
+
+    library = _library(args.library)
+    factory = WORKLOADS.get(args.workload)
+    if factory is None:
+        raise SystemExit(f"unknown workload {args.workload!r}; "
+                         f"choose from {sorted(WORKLOADS)}")
+    objective = args.objective
+    if objective is None:
+        # a delay budget usually means "smallest design meeting it";
+        # otherwise chase speed under the remaining budgets.
+        objective = "area" if args.delay_ps is not None else "delay"
+    try:
+        goal = Goal.build(objective=objective, delay_ps=args.delay_ps,
+                          max_area=args.max_area,
+                          max_power_mw=args.max_power_mw)
+    except GoalError as exc:
+        raise SystemExit(f"invalid goal: {exc}")
+    space = DesignSpace(
+        tuple(_parse_microarchs(args.latencies)),
+        tuple(float(c) for c in args.clocks.split(",")))
+    store = ResultStore(args.store) if args.store else None
+    cache = _load_cache(args.cache)
+    report = tune(factory, library, goal, space=space,
+                  strategy=args.strategy, cache=cache, store=store,
+                  jobs=args.jobs)
+    if cache is not None:
+        cache.save(args.cache)
+    if args.json:
+        print(json.dumps(report.summary(), indent=2))
+    else:
+        print(report.table())
+    return 0 if report.satisfied else 1
 
 
 def cmd_table(args: argparse.Namespace) -> int:
@@ -161,21 +229,39 @@ def cmd_table(args: argparse.Namespace) -> int:
     library = _library(args.library)
     if args.number == 1:
         row = library.table1()
-        print(format_table(list(row), [list(row.values())]))
+        if args.json:
+            print(json.dumps({"table": 1, "row": row}, indent=2))
+        else:
+            print(format_table(list(row), [list(row.values())]))
         return 0
     if args.number == 2:
         schedule = schedule_region(build_example1(), library, 1600.0)
-        print(schedule.table())
+        if args.json:
+            print(json.dumps({"table": 2,
+                              "schedule": schedule.summary()}, indent=2))
+        else:
+            print(schedule.table())
         return 0
     if args.number == 3:
         seq = schedule_region(build_example1(), library, 1600.0)
         p2 = pipeline_loop(build_example1(), library, 1600.0, ii=2).schedule
         p1 = pipeline_loop(build_example1(), library, 1600.0, ii=1).schedule
-        print(format_table(
-            ["", "S", "P2", "P1"],
-            [["cycles/iter", seq.ii_effective, p2.ii_effective,
-              p1.ii_effective],
-             ["area", round(seq.area), round(p2.area), round(p1.area)]]))
+        if args.json:
+            print(json.dumps({"table": 3, "columns": {
+                "S": {"cycles_per_iter": seq.ii_effective,
+                      "area": round(seq.area)},
+                "P2": {"cycles_per_iter": p2.ii_effective,
+                       "area": round(p2.area)},
+                "P1": {"cycles_per_iter": p1.ii_effective,
+                       "area": round(p1.area)},
+            }}, indent=2))
+        else:
+            print(format_table(
+                ["", "S", "P2", "P1"],
+                [["cycles/iter", seq.ii_effective, p2.ii_effective,
+                  p1.ii_effective],
+                 ["area", round(seq.area), round(p2.area),
+                  round(p1.area)]]))
         return 0
     raise SystemExit("table number must be 1, 2 or 3")
 
@@ -189,16 +275,26 @@ def cmd_workloads(args: argparse.Namespace) -> int:
         rows.append([name, region.name, stats["total"], stats["edges"],
                      f"{region.min_latency}..{region.max_latency}",
                      "loop" if region.is_loop else "block"])
-    print(format_table(
-        ["workload", "region", "ops", "edges", "latency", "kind"], rows))
-    rows = []
+    pipe_rows = []
     for name in sorted(PIPELINE_REGISTRY):
         pipe = PIPELINE_REGISTRY[name]()
-        rows.append([name, len(pipe.stages), len(pipe.channels),
-                     " -> ".join(pipe.stages)])
+        pipe_rows.append([name, len(pipe.stages), len(pipe.channels),
+                          " -> ".join(pipe.stages)])
+    if args.json:
+        print(json.dumps({
+            "workloads": {r[0]: {
+                "region": r[1], "ops": r[2], "edges": r[3],
+                "latency": r[4], "kind": r[5]} for r in rows},
+            "pipelines": {r[0]: {
+                "stages": r[1], "channels": r[2], "topology": r[3]}
+                for r in pipe_rows},
+        }, indent=2))
+        return 0
+    print(format_table(
+        ["workload", "region", "ops", "edges", "latency", "kind"], rows))
     print()
     print(format_table(["pipeline", "stages", "channels", "topology"],
-                       rows))
+                       pipe_rows))
     return 0
 
 
@@ -264,6 +360,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clock", type=float, default=1600.0)
     p.add_argument("--ii", type=int, default=None)
     p.add_argument("--output", default=None)
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable record instead of RTL")
     p.set_defaults(func=cmd_verilog)
 
     p = sub.add_parser("sweep", help="microarchitecture/clock exploration")
@@ -273,9 +371,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="e.g. 8,16,32:16 (lat or lat:ii, comma separated)")
     p.add_argument("--jobs", type=int, default=1,
                    help="parallel scheduling workers (default 1 = serial)")
+    p.add_argument("--cache", default=None,
+                   help="persist the flow cache here across runs")
     p.add_argument("--json", action="store_true",
                    help="emit the full sweep record as JSON")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "tune", help="goal-directed autotuning over microarch x clock")
+    p.add_argument("workload")
+    p.add_argument("--delay-ps", type=float, default=None,
+                   help="constraint: delay <= this many picoseconds")
+    p.add_argument("--max-area", type=float, default=None,
+                   help="constraint: area <= this many library units")
+    p.add_argument("--max-power-mw", type=float, default=None,
+                   help="constraint: average power <= this many mW")
+    p.add_argument("--objective", default=None,
+                   choices=("area", "delay", "power"),
+                   help="metric to minimize (default: area when a delay"
+                        " budget is given, delay otherwise)")
+    p.add_argument("--strategy", default="greedy",
+                   choices=("exhaustive", "bisect", "greedy", "halving"),
+                   help="search strategy (default greedy)")
+    p.add_argument("--clocks", default="1000,1250,1600,2100,2800")
+    p.add_argument("--latencies", default=None,
+                   help="e.g. 8,16,32:16 (lat or lat:ii, comma separated)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel scheduling workers for batched waves")
+    p.add_argument("--store", default=None,
+                   help="persistent JSONL result store (warm-starts "
+                        "tuning across processes)")
+    p.add_argument("--cache", default=None,
+                   help="persist the flow cache here across runs")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full tuning report as JSON")
+    p.set_defaults(func=cmd_tune)
 
     p = sub.add_parser("stream",
                        help="compose + verify a streaming pipeline")
@@ -288,9 +418,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table", help="print a paper table")
     p.add_argument("number", type=int, choices=(1, 2, 3))
+    p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_table)
 
     p = sub.add_parser("workloads", help="list the workload registry")
+    p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_workloads)
     return parser
 

@@ -1,0 +1,195 @@
+"""Declarative tuning goals: constraints plus one objective.
+
+A :class:`Goal` is the user-facing specification of a performance-
+constrained synthesis request -- the paper's premise turned into a
+datatype: "delay <= X ps, minimize area", "area <= A, minimize delay",
+optionally with a power budget riding along.  Every metric is
+minimized; constraints are upper bounds.  Goals validate eagerly so a
+typo'd metric or a negative budget fails at construction, not three
+strategies deep into a search.
+
+The comparison key (:meth:`Goal.key`) is deliberately lexicographic
+over *all* metrics (objective first): two candidates with equal
+objective scores are ordered by the remaining axes, which is what lets
+the search strategies guarantee their winner is never dominated by the
+exhaustive sweep's Pareto front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.explore.pareto import DesignPoint
+
+#: metrics a goal may bound or optimize; all are minimized.
+METRICS: Tuple[str, ...] = ("delay_ps", "area", "power_mw")
+
+#: CLI-friendly spellings of the metric names.
+METRIC_ALIASES: Dict[str, str] = {
+    "delay": "delay_ps",
+    "delay_ps": "delay_ps",
+    "area": "area",
+    "power": "power_mw",
+    "power_mw": "power_mw",
+}
+
+#: absolute slack when comparing float metrics against bounds.
+TOLERANCE = 1e-9
+
+
+class GoalError(ValueError):
+    """A malformed goal specification (unknown metric, bad bound...)."""
+
+
+def canonical_metric(name: str) -> str:
+    """Resolve a metric spelling (``delay``/``power``/...) to its
+    canonical :data:`METRICS` name; raises :class:`GoalError`."""
+    try:
+        return METRIC_ALIASES[name]
+    except KeyError:
+        raise GoalError(f"unknown metric {name!r}; "
+                        f"choose from {sorted(METRIC_ALIASES)}") from None
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An upper bound on one metric: ``metric <= bound``."""
+
+    metric: str
+    bound: float
+
+    def __post_init__(self) -> None:
+        if self.metric not in METRICS:
+            raise GoalError(f"unknown constraint metric {self.metric!r}; "
+                            f"choose from {METRICS}")
+        if not isinstance(self.bound, (int, float)) \
+                or not self.bound == self.bound:  # NaN check
+            raise GoalError(f"{self.metric}: bound must be a number, "
+                            f"got {self.bound!r}")
+        if self.bound <= 0:
+            raise GoalError(f"{self.metric}: bound must be positive, "
+                            f"got {self.bound!r}")
+
+    def satisfied_by(self, point: DesignPoint) -> bool:
+        """Whether the point meets this bound (with float tolerance)."""
+        return getattr(point, self.metric) <= self.bound + TOLERANCE
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``delay_ps <= 26000``."""
+        return f"{self.metric} <= {self.bound:g}"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """The metric to minimize once every constraint is met."""
+
+    metric: str = "area"
+
+    def __post_init__(self) -> None:
+        if self.metric not in METRICS:
+            raise GoalError(f"unknown objective metric {self.metric!r}; "
+                            f"choose from {METRICS}")
+
+    def score(self, point: DesignPoint) -> float:
+        """The objective value of a design point."""
+        return float(getattr(point, self.metric))
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``minimize area``."""
+        return f"minimize {self.metric}"
+
+
+@dataclass(frozen=True)
+class Goal:
+    """One declarative tuning request: constraints + objective.
+
+    Example::
+
+        goal = Goal.build(objective="area", delay_ps=26000.0)
+        assert goal.describe() == "minimize area s.t. delay_ps <= 26000"
+    """
+
+    objective: Objective = Objective("area")
+    constraints: Tuple[Constraint, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for constraint in self.constraints:
+            if constraint.metric in seen:
+                raise GoalError(
+                    f"duplicate constraint on {constraint.metric!r}")
+            seen.add(constraint.metric)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, objective: str = "area",
+              delay_ps: Optional[float] = None,
+              max_area: Optional[float] = None,
+              max_power_mw: Optional[float] = None) -> "Goal":
+        """The common goal shapes, from plain keyword arguments."""
+        constraints: List[Constraint] = []
+        if delay_ps is not None:
+            constraints.append(Constraint("delay_ps", float(delay_ps)))
+        if max_area is not None:
+            constraints.append(Constraint("area", float(max_area)))
+        if max_power_mw is not None:
+            constraints.append(Constraint("power_mw", float(max_power_mw)))
+        return cls(Objective(canonical_metric(objective)),
+                   tuple(constraints))
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def bound(self, metric: str) -> Optional[float]:
+        """The constraint bound on ``metric``, or None if unconstrained."""
+        for constraint in self.constraints:
+            if constraint.metric == metric:
+                return constraint.bound
+        return None
+
+    def satisfied(self, point: DesignPoint) -> bool:
+        """Whether a point meets every constraint."""
+        return all(c.satisfied_by(point) for c in self.constraints)
+
+    def score(self, point: DesignPoint) -> float:
+        """The objective value of a point."""
+        return self.objective.score(point)
+
+    def key(self, point: DesignPoint) -> Tuple[float, ...]:
+        """Total comparison order: objective first, then the remaining
+        metrics as deterministic tie-breakers (see module docstring)."""
+        rest = [float(getattr(point, m)) for m in METRICS
+                if m != self.objective.metric]
+        return (self.score(point), *rest)
+
+    def better(self, a: DesignPoint, b: DesignPoint) -> bool:
+        """Whether ``a`` strictly precedes ``b`` under :meth:`key`."""
+        return self.key(a) < self.key(b)
+
+    def best(self, points: Iterable[DesignPoint]) -> Optional[DesignPoint]:
+        """The satisfying point with the smallest key, or None."""
+        candidates = [p for p in points if self.satisfied(p)]
+        if not candidates:
+            return None
+        return min(candidates, key=self.key)
+
+    # ------------------------------------------------------------------
+    # reports
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line rendering of the whole goal."""
+        head = self.objective.describe()
+        if not self.constraints:
+            return head
+        return head + " s.t. " + \
+            ", ".join(c.describe() for c in self.constraints)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-friendly record of the goal."""
+        return {
+            "objective": self.objective.metric,
+            "constraints": {c.metric: c.bound for c in self.constraints},
+        }

@@ -1,0 +1,125 @@
+"""Tuning traces and reports: what was evaluated, what won, and why.
+
+Every unique configuration a strategy evaluates becomes one
+:class:`Evaluation` trace entry (repeat queries hit the in-process memo
+and add nothing).  :class:`TuningReport` bundles the trace with the
+winner, the Pareto front of everything evaluated, and the evaluation
+accounting (fresh syntheses vs. persistent-store hits) that the
+warm-start guarantees are asserted against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dse.goals import Goal
+from repro.explore.microarch import InfeasiblePoint
+from repro.explore.pareto import DesignPoint, pareto_front
+
+#: trace-entry provenance values.
+SOURCES = ("synth", "store")
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One evaluated configuration in strategy order."""
+
+    microarch: str
+    clock_ps: float
+    #: "synth" = fresh synthesis, "store" = persistent-store hit.
+    source: str
+    point: Optional[DesignPoint] = None
+    infeasible: Optional[InfeasiblePoint] = None
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the scheduler realized the configuration."""
+        return self.point is not None
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-friendly trace entry."""
+        out: Dict[str, object] = {
+            "microarch": self.microarch,
+            "clock_ps": self.clock_ps,
+            "source": self.source,
+        }
+        if self.point is not None:
+            out["point"] = self.point.to_json()
+        if self.infeasible is not None:
+            out["infeasible"] = self.infeasible.to_json()
+        return out
+
+    def describe(self) -> str:
+        """One trace line for text reports."""
+        head = f"{self.microarch} @ {self.clock_ps:.0f} ps [{self.source}]"
+        if self.point is None:
+            reason = self.infeasible.reason if self.infeasible else "?"
+            return f"{head}  infeasible -- {reason}"
+        p = self.point
+        return (f"{head}  delay {p.delay_ps:.0f} ps, area {p.area:.1f}, "
+                f"power {p.power_mw:.3f} mW")
+
+
+@dataclass
+class TuningReport:
+    """Everything one :func:`repro.dse.tune` run produced."""
+
+    goal: Goal
+    strategy: str
+    grid_size: int
+    winner: Optional[DesignPoint]
+    trace: List[Evaluation] = field(default_factory=list)
+    fresh_evaluations: int = 0
+    store_hits: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def evaluated(self) -> int:
+        """Unique configurations evaluated (fresh + store hits)."""
+        return len(self.trace)
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether a constraint-meeting winner was found."""
+        return self.winner is not None
+
+    @property
+    def front(self) -> List[DesignPoint]:
+        """Pareto front (delay, area) of every feasible evaluation."""
+        feasible = [e.point for e in self.trace if e.point is not None]
+        return pareto_front(feasible, x="delay_ps", y="area")
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly record of the whole tuning run."""
+        return {
+            "goal": self.goal.to_json(),
+            "strategy": self.strategy,
+            "grid_size": self.grid_size,
+            "evaluated": self.evaluated,
+            "fresh_evaluations": self.fresh_evaluations,
+            "store_hits": self.store_hits,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "satisfied": self.satisfied,
+            "winner": self.winner.to_json() if self.winner else None,
+            "front": [p.to_json() for p in self.front],
+            "trace": [e.to_json() for e in self.trace],
+        }
+
+    def table(self) -> str:
+        """Text report: goal, trace, accounting, winner."""
+        lines = [f"goal      {self.goal.describe()}",
+                 f"strategy  {self.strategy}  "
+                 f"({self.evaluated}/{self.grid_size} grid points "
+                 f"evaluated; {self.fresh_evaluations} fresh, "
+                 f"{self.store_hits} from store)"]
+        for entry in self.trace:
+            lines.append(f"  {entry.describe()}")
+        if self.winner is None:
+            lines.append("winner    none -- no feasible point meets "
+                         "the constraints")
+        else:
+            w = self.winner
+            lines.append(f"winner    {w.label}: delay {w.delay_ps:.0f} ps,"
+                         f" area {w.area:.1f}, power {w.power_mw:.3f} mW")
+        return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Persistent on-disk result store: tuning warm-starts across processes.
+
+The store is an append-only JSONL file.  Each line is one evaluated
+configuration -- a :class:`~repro.explore.DesignPoint` or an
+:class:`~repro.explore.InfeasiblePoint` -- keyed by a SHA-256 over the
+*content* of the configuration: the region's structural fingerprint
+(the same one :mod:`repro.flow.cache` uses), the technology library,
+the timing-model version, the microarchitecture fields, the clock and
+the scheduler options.  Two processes tuning the same kernel therefore
+share results even though they never shared memory, and a result
+computed under an older timing model is silently ignored rather than
+served stale.
+
+Robustness rules:
+
+* unreadable or missing files load as an empty store;
+* corrupt lines (truncated writes, merge scars) are skipped, not fatal;
+* lines with a different :data:`STORE_VERSION` or timing-model version
+  are skipped -- the file never needs migrating, stale entries simply
+  stop matching and fresh ones append after them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.scheduler import SchedulerOptions
+from repro.explore.microarch import InfeasiblePoint, Microarch
+from repro.explore.pareto import DesignPoint
+from repro.timing import engine as timing_engine
+
+#: bump when the line schema changes; old lines are skipped on load.
+STORE_VERSION = 1
+
+#: one stored outcome: a feasible point or an explicit infeasibility.
+StoredResult = Union[DesignPoint, InfeasiblePoint]
+
+
+def candidate_key(region_fingerprint: str, library_name: str,
+                  microarch: Microarch, clock_ps: float,
+                  options: Optional[SchedulerOptions] = None) -> str:
+    """Content hash of one tuning configuration.
+
+    Mirrors :func:`repro.flow.cache.compilation_key` but keys on the
+    *microarchitecture* (latency, II, banking, channel depths) instead
+    of a mutated region, so it can be computed without building the
+    candidate region -- which is what makes store lookups free.
+    """
+    payload = {
+        "store": STORE_VERSION,
+        "timing_model": timing_engine.TIMING_MODEL_VERSION,
+        "region": region_fingerprint,
+        "library": library_name,
+        "microarch": {
+            "latency": microarch.latency,
+            "ii": microarch.ii,
+            "banking": microarch.banking,
+            "channel_depths": microarch.channel_depths,
+            "unroll": microarch.unroll,
+        },
+        "clock_ps": repr(float(clock_ps)),
+        "options": asdict(options) if options is not None
+        else asdict(SchedulerOptions()),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _encode(result: StoredResult) -> Dict[str, object]:
+    if isinstance(result, InfeasiblePoint):
+        return {"infeasible": result.to_json()}
+    return {"point": result.to_json()}
+
+
+def _decode(entry: Dict[str, object]) -> Optional[StoredResult]:
+    if "infeasible" in entry:
+        return InfeasiblePoint.from_json(entry["infeasible"])
+    if "point" in entry:
+        return DesignPoint.from_json(entry["point"])
+    return None
+
+
+class ResultStore:
+    """Append-only JSONL store of evaluated design points.
+
+    Open it on a path (created lazily on the first :meth:`put`); all
+    valid entries load eagerly so :meth:`get` is a dict lookup.  Writes
+    append one line and flush, so concurrent readers see every complete
+    line and a crash costs at most the line being written.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, StoredResult] = {}
+        self.skipped_lines = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        model = timing_engine.TIMING_MODEL_VERSION
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                if not isinstance(entry, dict) \
+                        or entry.get("v") != STORE_VERSION \
+                        or entry.get("timing_model") != model:
+                    self.skipped_lines += 1
+                    continue
+                key = entry["key"]
+                result = _decode(entry)
+            except (ValueError, KeyError, TypeError):
+                self.skipped_lines += 1
+                continue
+            if isinstance(key, str) and result is not None:
+                self._entries[key] = result
+            else:
+                self.skipped_lines += 1
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[StoredResult]:
+        """The stored result for a key, or None."""
+        return self._entries.get(key)
+
+    def put(self, key: str, result: StoredResult) -> None:
+        """Record one result; appends a line unless the key is known."""
+        if key in self._entries:
+            return
+        self._entries[key] = result
+        entry = {"v": STORE_VERSION,
+                 "timing_model": timing_engine.TIMING_MODEL_VERSION,
+                 "key": key}
+        entry.update(_encode(result))
+        line = json.dumps(entry, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:  # read-only checkouts keep the in-memory entry
+            pass
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def stats(self) -> Dict[str, int]:
+        """Entry/skip counters for reports."""
+        return {"entries": len(self._entries),
+                "skipped_lines": self.skipped_lines}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultStore({str(self.path)!r}, "
+                f"entries={len(self._entries)})")

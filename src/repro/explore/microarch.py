@@ -20,20 +20,23 @@ from typing import Dict, Optional, Sequence, Tuple
 @dataclass(frozen=True)
 class Microarch:
     """One microarchitecture: a fixed latency, optionally pipelined,
-    optionally with memory banking and/or FIFO depth overrides.
+    optionally with unroll, memory banking and/or FIFO depth overrides.
 
     ``banking`` maps memory names to cyclic banking factors applied on
     top of the region's declarations -- the sweep axis that exposes
     memory-port-constrained II; ``channel_depths`` does the same for a
     dataflow composition's FIFO capacities.  Both are stored as sorted
     tuples of pairs so the microarchitecture stays hashable (sweep
-    grids key on it).
+    grids key on it).  ``unroll`` replicates the loop body before
+    scheduling (one region iteration then performs ``unroll`` source
+    iterations).
 
     Example::
 
         base = Microarch("Pipelined 16", 16, ii=8)
         banked = base.with_banking({"a": 4})          # memory axis
         deep = base.with_channel_depth({"s": 3})      # dataflow axis
+        wide = base.with_unroll(2)                    # unroll axis
         assert base.ii_effective == 8
     """
 
@@ -44,6 +47,8 @@ class Microarch:
     #: FIFO depth overrides for dataflow compositions: channel name ->
     #: depth (sorted tuple of pairs, keeping the microarch hashable).
     channel_depths: Optional[Tuple[Tuple[str, int], ...]] = None
+    #: loop-unroll factor applied before scheduling (None/1 = as built).
+    unroll: Optional[int] = None
 
     @property
     def ii_effective(self) -> int:
@@ -76,6 +81,26 @@ class Microarch:
             return
         for chan, depth in self.channel_depths:
             pipeline.set_depth(chan, depth)
+
+    def with_unroll(self, factor: int) -> "Microarch":
+        """A copy with a loop-unroll factor (and a labeled name)."""
+        if factor < 1:
+            raise ValueError(f"unroll factor must be >= 1, got {factor}")
+        return replace(self, name=f"{self.name} [unroll x{factor}]",
+                       unroll=factor)
+
+    def apply_unroll(self, region):
+        """The region the scheduler should see: unrolled when asked.
+
+        Unlike :meth:`apply_banking` this returns a (possibly new)
+        region -- :func:`repro.cdfg.transforms.unroll.unroll_loop`
+        rebuilds the DFG rather than mutating it.
+        """
+        if self.unroll is None or self.unroll == 1:
+            return region
+        from repro.cdfg.transforms.unroll import unroll_loop
+
+        return unroll_loop(region, self.unroll)
 
     def apply_banking(self, region) -> None:
         """Rewrite the region's memory declarations in place.
@@ -126,6 +151,19 @@ class InfeasiblePoint:
         """One-line report entry (shared by the CLI and examples)."""
         return (f"infeasible: {self.microarch} @ {self.clock_ps:.0f} ps "
                 f"-- {self.reason}")
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-friendly record (stable field set, round-trips through
+        :meth:`from_json`; the dse result store and the CLI share it)."""
+        return {"microarch": self.microarch, "clock_ps": self.clock_ps,
+                "reason": self.reason}
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "InfeasiblePoint":
+        """Rebuild a point from :meth:`to_json` output."""
+        return cls(microarch=str(payload["microarch"]),
+                   clock_ps=float(payload["clock_ps"]),
+                   reason=str(payload["reason"]))
 
 
 #: the paper's Figure 10 microarchitecture set.

@@ -21,9 +21,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import pickle
 import threading
 from dataclasses import asdict
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
 
 from repro.cdfg.region import PipelineSpec, Region
 from repro.core.scheduler import SchedulerOptions
@@ -105,6 +108,11 @@ def compilation_key(
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+#: bump when the on-disk cache layout changes; mismatched files load
+#: as an empty cache instead of failing.
+CACHE_FILE_VERSION = 1
+
+
 class FlowCache:
     """A thread-safe artifact store keyed by (compilation key, stage).
 
@@ -156,6 +164,66 @@ class FlowCache:
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
                     "entries": len(self._data)}
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the cache to ``path`` (pickle, written atomically).
+
+        The file carries :data:`CACHE_FILE_VERSION` and the current
+        timing-model version; :meth:`load` refuses both mismatches, so
+        a stale file silently stops matching instead of serving
+        artifacts scheduled under an older delay model.
+        """
+        path = Path(path)
+        with self._lock:
+            data = dict(self._data)
+        payload = {
+            "version": CACHE_FILE_VERSION,
+            "timing_model": timing_engine.TIMING_MODEL_VERSION,
+            "data": data,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path],
+             max_entries: int = 4096) -> "FlowCache":
+        """A cache warmed from ``path``; empty on any problem.
+
+        Tolerant by design: a missing, truncated, corrupt or
+        version-mismatched file (including a bumped
+        ``TIMING_MODEL_VERSION``) yields a working empty cache --
+        persistence is an optimization, never a failure mode.
+        """
+        cache = cls(max_entries=max_entries)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if not isinstance(payload, dict) \
+                    or payload.get("version") != CACHE_FILE_VERSION \
+                    or payload.get("timing_model") \
+                    != timing_engine.TIMING_MODEL_VERSION:
+                return cache
+            data = payload.get("data")
+            if not isinstance(data, dict):
+                return cache
+            entries = {}
+            for key, artifact in data.items():
+                if (isinstance(key, tuple) and len(key) == 2
+                        and all(isinstance(k, str) for k in key)):
+                    entries[key] = artifact
+            with cache._lock:
+                for key, artifact in list(entries.items())[-max_entries:]:
+                    cache._data[key] = artifact
+        except Exception:  # corrupt pickle, unreadable file, ...
+            return cls(max_entries=max_entries)
+        return cache
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         s = self.stats()

@@ -21,6 +21,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.cdfg.dfg import DFGError
 from repro.cdfg.region import PipelineSpec, Region
 from repro.core.scheduler import SchedulerOptions
 from repro.explore.microarch import (
@@ -88,7 +89,13 @@ def synthesize_design_point(
     carrying the scheduler's reason when the configuration is
     overconstrained.
     """
-    region = region_factory()
+    try:
+        region = microarch.apply_unroll(region_factory())
+    except DFGError as exc:
+        # an unrollable-as-asked region (indivisible trip count,
+        # distance>1 carried edges, ...) is an overconstrained grid
+        # point like any other, not a sweep-aborting error
+        return InfeasiblePoint(microarch.name, clock_ps, str(exc))
     region.min_latency = microarch.latency
     region.max_latency = microarch.latency
     microarch.apply_banking(region)

@@ -58,6 +58,7 @@ def build_synthetic() -> Region:
 #: workloads addressable by name from the CLI, flows and sweeps.
 WORKLOAD_REGISTRY: Dict[str, Callable[[], Region]] = {
     "example1": build_example1,
+    "idct": build_idct8,  # the paper's Figure 10/11 kernel (alias)
     "idct8": build_idct8,
     "idct2d": build_idct2d,
     "fir": build_fir,

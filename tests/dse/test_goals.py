@@ -1,0 +1,79 @@
+"""Goal specification: validation, satisfaction, ordering."""
+
+import pytest
+
+from repro.dse import Constraint, Goal, GoalError, Objective
+from repro.explore import DesignPoint
+
+
+def _pt(delay, area, power=1.0, label="p"):
+    return DesignPoint(label=label, microarch=label, clock_ps=1000.0,
+                       ii=1, latency=1, delay_ps=delay, area=area,
+                       power_mw=power)
+
+
+def test_build_canonicalizes_metrics():
+    goal = Goal.build(objective="power", delay_ps=2000.0, max_area=50.0)
+    assert goal.objective.metric == "power_mw"
+    assert goal.bound("delay_ps") == 2000.0
+    assert goal.bound("area") == 50.0
+    assert goal.bound("power_mw") is None
+
+
+def test_describe_renders_constraints():
+    goal = Goal.build(objective="area", delay_ps=26000.0)
+    assert goal.describe() == "minimize area s.t. delay_ps <= 26000"
+    assert Goal.build(objective="delay").describe() == "minimize delay_ps"
+
+
+def test_unknown_metric_rejected():
+    with pytest.raises(GoalError):
+        Goal.build(objective="speed")
+    with pytest.raises(GoalError):
+        Constraint("delay", 5.0)  # must use the canonical name
+    with pytest.raises(GoalError):
+        Objective("frequency")
+
+
+def test_nonpositive_bound_rejected():
+    with pytest.raises(GoalError):
+        Constraint("area", 0.0)
+    with pytest.raises(GoalError):
+        Constraint("delay_ps", -3.0)
+    with pytest.raises(GoalError):
+        Constraint("area", float("nan"))
+
+
+def test_duplicate_constraints_rejected():
+    with pytest.raises(GoalError):
+        Goal(Objective("area"),
+             (Constraint("delay_ps", 1.0), Constraint("delay_ps", 2.0)))
+
+
+def test_satisfied_and_score():
+    goal = Goal.build(objective="area", delay_ps=2000.0)
+    assert goal.satisfied(_pt(delay=2000.0, area=10.0))
+    assert not goal.satisfied(_pt(delay=2500.0, area=10.0))
+    assert goal.score(_pt(delay=1.0, area=42.0)) == 42.0
+
+
+def test_best_filters_then_minimizes():
+    goal = Goal.build(objective="area", delay_ps=2000.0)
+    pts = [_pt(1500.0, 30.0, label="a"), _pt(1800.0, 20.0, label="b"),
+           _pt(9000.0, 5.0, label="c")]  # c violates the delay bound
+    assert goal.best(pts).label == "b"
+    assert goal.best([_pt(9000.0, 5.0)]) is None
+
+
+def test_key_breaks_objective_ties_deterministically():
+    goal = Goal.build(objective="area")
+    slow = _pt(delay=2000.0, area=10.0, label="slow")
+    fast = _pt(delay=1000.0, area=10.0, label="fast")
+    assert goal.better(fast, slow)
+    assert goal.best([slow, fast]).label == "fast"
+
+
+def test_to_json():
+    goal = Goal.build(objective="delay", max_area=77.0)
+    assert goal.to_json() == {"objective": "delay_ps",
+                              "constraints": {"area": 77.0}}

@@ -1,0 +1,128 @@
+"""Persistent result store: round-trips, tolerance, invalidation."""
+
+import json
+
+from repro.core.scheduler import SchedulerOptions
+from repro.dse import ResultStore, candidate_key
+from repro.explore import DesignPoint, InfeasiblePoint, Microarch
+
+
+def _pt(label="p", area=10.0):
+    return DesignPoint(label=label, microarch="m", clock_ps=1000.0,
+                       ii=2, latency=4, delay_ps=2000.0, area=area,
+                       power_mw=1.5)
+
+
+def test_round_trip_across_instances(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.put("k1", _pt("a"))
+    store.put("k2", InfeasiblePoint("m", 500.0, "too tight"))
+    assert len(store) == 2
+
+    warm = ResultStore(path)  # a fresh process re-reading the file
+    assert warm.get("k1") == _pt("a")
+    assert warm.get("k2") == InfeasiblePoint("m", 500.0, "too tight")
+    assert warm.get("missing") is None
+    assert warm.skipped_lines == 0
+
+
+def test_duplicate_puts_append_once(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.put("k", _pt())
+    store.put("k", _pt(area=99.0))  # ignored: key already recorded
+    assert store.get("k").area == 10.0
+    assert len(path.read_text().splitlines()) == 1
+
+
+def test_missing_file_loads_empty(tmp_path):
+    store = ResultStore(tmp_path / "nope" / "store.jsonl")
+    assert len(store) == 0
+
+
+def test_corrupt_lines_skipped_not_fatal(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.put("good", _pt())
+    with path.open("a") as handle:
+        handle.write("{truncated\n")
+        handle.write("[1, 2, 3]\n")
+        handle.write('{"v": 1, "key": 7}\n')  # key must be a string
+    warm = ResultStore(path)
+    assert len(warm) == 1
+    assert warm.get("good") == _pt()
+    assert warm.skipped_lines == 3
+
+
+def test_store_version_mismatch_skipped(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.put("k", _pt())
+    text = path.read_text().replace('"v":1', '"v":999')
+    path.write_text(text)
+    assert len(ResultStore(path)) == 0
+
+
+def test_timing_model_mismatch_skipped(tmp_path, monkeypatch):
+    import repro.timing.engine as engine_mod
+
+    path = tmp_path / "store.jsonl"
+    ResultStore(path).put("k", _pt())
+    monkeypatch.setattr(engine_mod, "TIMING_MODEL_VERSION",
+                        engine_mod.TIMING_MODEL_VERSION + 1)
+    stale = ResultStore(path)
+    assert len(stale) == 0
+    assert stale.skipped_lines == 1
+    # fresh entries under the new model append after the stale ones
+    stale.put("k2", _pt("b"))
+    assert len(ResultStore(path)) == 1
+
+
+def test_candidate_key_covers_all_axes():
+    base = candidate_key("fp", "artisan90", Microarch("m", 8), 1600.0)
+    assert base == candidate_key("fp", "artisan90",
+                                 Microarch("renamed", 8), 1600.0)
+    assert base != candidate_key("fp2", "artisan90",
+                                 Microarch("m", 8), 1600.0)
+    assert base != candidate_key("fp", "generic45",
+                                 Microarch("m", 8), 1600.0)
+    assert base != candidate_key("fp", "artisan90",
+                                 Microarch("m", 16), 1600.0)
+    assert base != candidate_key("fp", "artisan90",
+                                 Microarch("m", 8, ii=4), 1600.0)
+    assert base != candidate_key("fp", "artisan90",
+                                 Microarch("m", 8), 1250.0)
+    assert base != candidate_key(
+        "fp", "artisan90", Microarch("m", 8).with_banking({"a": 2}),
+        1600.0)
+    assert base != candidate_key(
+        "fp", "artisan90", Microarch("m", 8).with_channel_depth({"s": 2}),
+        1600.0)
+    assert base != candidate_key(
+        "fp", "artisan90", Microarch("m", 8), 1600.0,
+        SchedulerOptions(enable_scc_move=False))
+
+
+def test_key_ignores_display_name_only(tmp_path):
+    """Two differently-labeled but structurally identical microarchs
+    share results -- the store is content-addressed, not name-based."""
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    k1 = candidate_key("fp", "lib", Microarch("spelled one way", 8),
+                       1600.0)
+    k2 = candidate_key("fp", "lib", Microarch("spelled another", 8),
+                       1600.0)
+    assert k1 == k2
+    store.put(k1, _pt())
+    assert store.get(k2) is not None
+
+
+def test_lines_are_self_describing_json(tmp_path):
+    path = tmp_path / "store.jsonl"
+    ResultStore(path).put("k", _pt())
+    (line,) = path.read_text().splitlines()
+    entry = json.loads(line)
+    assert entry["v"] == 1
+    assert "timing_model" in entry
+    assert entry["point"]["label"] == "p"

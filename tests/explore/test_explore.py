@@ -1,15 +1,18 @@
 """Design-space exploration: sweeps and Pareto analysis."""
 
+from hypothesis import given, settings, strategies as st
 import pytest
 
 from repro.explore import (
     DesignPoint,
+    InfeasiblePoint,
     Microarch,
     group_by_microarch,
     pareto_front,
     sweep_microarchitectures,
     synthesize_point,
 )
+from repro.explore.pareto import dominates
 from repro.tech import artisan90
 from repro.workloads.fir import build_fir
 
@@ -25,6 +28,14 @@ def _pt(label, delay, area, power=1.0):
                        power_mw=power)
 
 
+def _naive_front(points, metrics):
+    """The quadratic reference implementation the sweep replaced."""
+    out = [p for p in points
+           if not any(dominates(q, p, metrics) for q in points)]
+    out.sort(key=lambda p: getattr(p, metrics[0]))
+    return out
+
+
 def test_pareto_front_filters_dominated():
     pts = [_pt("a", 10, 10), _pt("b", 20, 5), _pt("c", 20, 20),
            _pt("d", 5, 30)]
@@ -35,6 +46,58 @@ def test_pareto_front_filters_dominated():
 def test_pareto_front_keeps_ties():
     pts = [_pt("a", 10, 10), _pt("b", 10, 10)]
     assert len(pareto_front(pts)) == 2
+
+
+def test_pareto_front_empty():
+    assert pareto_front([]) == []
+
+
+def test_pareto_front_third_objective_power():
+    # b is (delay, area)-dominated by a but survives on low power
+    pts = [_pt("a", 10, 10, power=5.0), _pt("b", 10, 12, power=1.0),
+           _pt("c", 10, 12, power=5.0)]
+    assert [p.label for p in pareto_front(pts)] == ["a"]
+    front3 = pareto_front(pts, z="power_mw")
+    assert [p.label for p in front3] == ["a", "b"]
+
+
+@given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8),
+                          st.integers(0, 8)), max_size=40))
+@settings(max_examples=120, deadline=None)
+def test_pareto_front_matches_naive_reference(coords):
+    pts = [_pt(f"p{i}", float(d), float(a), float(w))
+           for i, (d, a, w) in enumerate(coords)]
+    fast2 = pareto_front(pts)
+    assert {p.label for p in fast2} == \
+        {p.label for p in _naive_front(pts, ("delay_ps", "area"))}
+    fast3 = pareto_front(pts, z="power_mw")
+    assert {p.label for p in fast3} == {
+        p.label for p in
+        _naive_front(pts, ("delay_ps", "area", "power_mw"))}
+
+
+def test_dominates_requires_strict_improvement():
+    assert dominates(_pt("a", 1, 1), _pt("b", 1, 2))
+    assert not dominates(_pt("a", 1, 1), _pt("b", 1, 1))
+    assert not dominates(_pt("a", 1, 5), _pt("b", 5, 1))
+
+
+def test_design_point_json_round_trip():
+    point = _pt("a", 10.0, 20.0, power=1.25)
+    assert DesignPoint.from_json(point.to_json()) == point
+
+
+def test_infeasible_point_json_round_trip():
+    point = InfeasiblePoint("Pipelined 16", 1250.0,
+                            "II 8 unreachable: port conflict")
+    payload = point.to_json()
+    assert payload == {"microarch": "Pipelined 16", "clock_ps": 1250.0,
+                       "reason": "II 8 unreachable: port conflict"}
+    assert InfeasiblePoint.from_json(payload) == point
+    # stable through an actual JSON encode/decode cycle
+    import json
+    assert InfeasiblePoint.from_json(
+        json.loads(json.dumps(payload))) == point
 
 
 def test_group_by_microarch_sorts_by_delay():
@@ -63,6 +126,32 @@ def test_synthesize_point_pipelined(lib):
 def test_infeasible_point_is_none(lib):
     micro = Microarch("NP-1", 1)  # FIR cannot finish in one state
     assert synthesize_point(build_fir, lib, micro, 400.0) is None
+
+
+def test_with_unroll_labels_and_validates():
+    base = Microarch("NP8", 8)
+    wide = base.with_unroll(2)
+    assert wide.unroll == 2
+    assert wide.name == "NP8 [unroll x2]"
+    with pytest.raises(ValueError):
+        base.with_unroll(0)
+
+
+def test_synthesize_point_unrolled(lib):
+    """The unroll axis: one region iteration does two source
+    iterations, visible as doubled I/O striding in the built region."""
+    micro = Microarch("NP8", 8).with_unroll(2)
+    point = synthesize_point(build_fir, lib, micro, 1600.0)
+    assert point is not None
+    assert point.latency == 8
+    base = synthesize_point(build_fir, lib, Microarch("NP8", 8), 1600.0)
+    assert point.area > base.area  # replicated body costs hardware
+
+
+def test_apply_unroll_identity_for_factor_one():
+    region = build_fir()
+    assert Microarch("m", 8).apply_unroll(region) is region
+    assert Microarch("m", 8, unroll=1).apply_unroll(region) is region
 
 
 def test_sweep_returns_points(lib):

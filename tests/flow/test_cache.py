@@ -220,6 +220,77 @@ def test_mutated_init_contents_change_fingerprint():
     assert region_fingerprint(base) != region_fingerprint(other)
 
 
+# ----------------------------------------------------------------------
+# persistence (save / load)
+# ----------------------------------------------------------------------
+def test_cache_save_load_round_trip(lib, tmp_path):
+    """A warmed cache reloaded from disk serves the same artifacts."""
+    path = tmp_path / "flow.cache"
+    cache = FlowCache()
+    first = run_flow("sweep", region=build_example1(), library=lib,
+                     clock_ps=1600.0, run_optimizer=False, cache=cache)
+    assert cache.save(path) == path
+
+    warm = FlowCache.load(path)
+    assert len(warm) == len(cache) > 0
+    assert warm.stats()["hits"] == 0  # counters do not persist
+    second = run_flow("sweep", region=build_example1(), library=lib,
+                      clock_ps=1600.0, run_optimizer=False, cache=warm)
+    assert warm.hits == 2 and warm.misses == 0
+    assert second.schedule.summary() == first.schedule.summary()
+
+
+def test_cache_load_missing_file_is_empty(tmp_path):
+    cache = FlowCache.load(tmp_path / "never-written.cache")
+    assert len(cache) == 0
+
+
+def test_cache_load_corrupt_file_is_empty(tmp_path):
+    path = tmp_path / "flow.cache"
+    path.write_bytes(b"\x80\x04 definitely not a cache")
+    assert len(FlowCache.load(path)) == 0
+    path.write_bytes(b"")
+    assert len(FlowCache.load(path)) == 0
+
+
+def test_cache_load_rejects_timing_model_mismatch(tmp_path, monkeypatch):
+    """Artifacts persisted under an older delay model must not load."""
+    import repro.timing.engine as engine_mod
+
+    path = tmp_path / "flow.cache"
+    cache = FlowCache()
+    cache.put("k", "schedule", 42)
+    cache.save(path)
+    assert len(FlowCache.load(path)) == 1
+    monkeypatch.setattr(engine_mod, "TIMING_MODEL_VERSION",
+                        engine_mod.TIMING_MODEL_VERSION + 1)
+    assert len(FlowCache.load(path)) == 0
+
+
+def test_cache_load_rejects_file_version_mismatch(tmp_path, monkeypatch):
+    import repro.flow.cache as cache_mod
+
+    path = tmp_path / "flow.cache"
+    cache = FlowCache()
+    cache.put("k", "schedule", 42)
+    cache.save(path)
+    monkeypatch.setattr(cache_mod, "CACHE_FILE_VERSION",
+                        cache_mod.CACHE_FILE_VERSION + 1)
+    assert len(FlowCache.load(path)) == 0
+
+
+def test_cache_load_respects_entry_bound(tmp_path):
+    cache = FlowCache()
+    for i in range(6):
+        cache.put(f"k{i}", "schedule", i)
+    path = tmp_path / "flow.cache"
+    cache.save(path)
+    small = FlowCache.load(path, max_entries=3)
+    assert len(small) == 3
+    # the newest entries survive the bound (FIFO semantics)
+    assert small.get("k5", "schedule") == 5
+
+
 def test_swept_banking_matches_declared_banking():
     """A banking sweep point is the *same* configuration as declaring
     the banking directly: same dependence edges, same fingerprint."""

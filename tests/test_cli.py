@@ -139,3 +139,135 @@ def test_stream_command_json_and_verilog(tmp_path, capsys):
 def test_stream_unknown_pipeline():
     with pytest.raises(SystemExit):
         main(["stream", "nonexistent"])
+
+
+# ----------------------------------------------------------------------
+# tune: goal-directed autotuning
+# ----------------------------------------------------------------------
+TUNE_ARGS = ["tune", "fir", "--delay-ps", "8000",
+             "--clocks", "1600,2400", "--latencies", "3,4:2"]
+
+
+def test_tune_finds_winner(capsys):
+    assert main(TUNE_ARGS + ["--strategy", "greedy"]) == 0
+    out = capsys.readouterr().out
+    assert "minimize area s.t. delay_ps <= 8000" in out
+    assert "winner" in out
+
+
+def test_tune_json_and_store_warm_start(tmp_path, capsys):
+    store = str(tmp_path / "store.jsonl")
+    assert main(TUNE_ARGS + ["--store", store, "--json"]) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["satisfied"] is True
+    assert cold["winner"]["delay_ps"] <= 8000
+    assert cold["fresh_evaluations"] > 0
+    # second process against the warm store: zero fresh synthesis
+    assert main(TUNE_ARGS + ["--store", store, "--json"]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["fresh_evaluations"] == 0
+    assert warm["store_hits"] == warm["evaluated"] > 0
+    assert warm["winner"] == cold["winner"]
+
+
+def test_tune_strategies_agree(capsys):
+    winners = set()
+    for strategy in ("exhaustive", "bisect", "greedy", "halving"):
+        assert main(TUNE_ARGS + ["--strategy", strategy, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        winners.add(data["winner"]["label"])
+        assert data["evaluated"] <= data["grid_size"]
+    assert len(winners) == 1
+
+
+def test_tune_infeasible_goal_exits_nonzero(capsys):
+    assert main(["tune", "fir", "--delay-ps", "10", "--json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["satisfied"] is False
+    assert data["winner"] is None
+
+
+def test_tune_objective_defaults():
+    import repro.cli as cli
+
+    parser = cli.build_parser()
+    args = parser.parse_args(["tune", "fir"])
+    assert args.objective is None  # resolved to delay (no budget)
+    with pytest.raises(SystemExit):
+        parser.parse_args(["tune", "fir", "--objective", "speed"])
+
+
+def test_tune_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["tune", "nonexistent"])
+
+
+def test_tune_invalid_bound_is_clean_usage_error():
+    """A non-positive budget exits with a message, not a traceback."""
+    with pytest.raises(SystemExit, match="invalid goal"):
+        main(["tune", "fir", "--delay-ps", "-5"])
+    with pytest.raises(SystemExit, match="invalid goal"):
+        main(["tune", "fir", "--max-area", "0"])
+
+
+# ----------------------------------------------------------------------
+# --json / exit-code consistency across subcommands
+# ----------------------------------------------------------------------
+def test_sweep_all_infeasible_exits_nonzero(capsys):
+    assert main(["sweep", "fir", "--clocks", "1600",
+                 "--latencies", "1"]) == 1
+    capsys.readouterr()  # drain the table rendering
+    assert main(["sweep", "fir", "--clocks", "1600",
+                 "--latencies", "1", "--json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["feasible"] == 0
+    assert data["infeasible_points"][0]["microarch"] == "NP1"
+
+
+def test_verilog_json(capsys):
+    assert main(["verilog", "example1", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["module"] == "example1"
+    assert data["lines"] > 10
+    assert "module example1" in data["rtl"]
+
+
+def test_verilog_json_with_output_file(tmp_path, capsys):
+    dest = tmp_path / "out.v"
+    assert main(["verilog", "example1", "--json",
+                 "--output", str(dest)]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["output"] == str(dest)
+    assert data["rtl"] is None
+    assert "endmodule" in dest.read_text()
+
+
+def test_table_json_all_numbers(capsys):
+    assert main(["table", "1", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["table"] == 1 and "mux2" in data["row"]
+    assert main(["table", "2", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["schedule"]["region"] == "example1"
+    assert main(["table", "3", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["columns"]["P1"]["cycles_per_iter"] == 1
+
+
+def test_workloads_json(capsys):
+    assert main(["workloads", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["workloads"]["idct"]["kind"] == "loop"
+    assert data["pipelines"]["fir_decimate_stream"]["stages"] == 3
+
+
+def test_sweep_cache_persists_across_runs(tmp_path, capsys):
+    cache = str(tmp_path / "flow.cache")
+    args = ["sweep", "fir", "--clocks", "1600", "--latencies", "3",
+            "--cache", cache, "--json"]
+    assert main(args) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["cache_misses"] > 0 and cold["cache_hits"] == 0
+    assert main(args) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["cache_misses"] == 0 and warm["cache_hits"] > 0
