@@ -49,10 +49,15 @@ def test_mux_anticipation(lib, benchmark):
 
     def run_variant(anticipate):
         rollbacks["n"] = 0
+        # fast_paths off: the commit-outcome cache would serve repeated
+        # broken bindings without the commit+rollback excursion, hiding
+        # exactly the churn this ablation measures.  Decisions are
+        # bit-identical either way (tests/core/test_scheduler_equivalence.py).
         schedule = schedule_region(
             build_idct2d(columns=1), lib, TIGHT_CLOCK_PS,
             options=SchedulerOptions(anticipate_muxes=anticipate,
-                                     validate_result=False))
+                                     validate_result=False,
+                                     fast_paths=False))
         return schedule, rollbacks["n"]
 
     TimingEngine.rollback = counting_rollback

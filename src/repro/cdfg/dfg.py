@@ -20,7 +20,7 @@ from repro.cdfg.ops import Operation, OpKind, arity_of
 from repro.cdfg.predicates import Predicate
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataEdge:
     """A data dependency: ``src`` output feeds ``dst`` input ``port``.
 
@@ -60,6 +60,31 @@ class DFG:
         self._in_edges: Dict[int, List[DataEdge]] = {}
         self._out_edges: Dict[int, List[DataEdge]] = {}
         self._next_uid = 0
+        #: bumped on every structural mutation; external caches key on it.
+        self._version = 0
+        # derived-structure caches, all invalidated by _mutated(); the
+        # scheduler re-queries these per pass, so caching them is the
+        # difference between O(passes * V log V) and O(V log V) total
+        self._in_sorted: Dict[int, List[DataEdge]] = {}
+        self._data_in_sorted: Dict[int, List[DataEdge]] = {}
+        self._topo_cache: Optional[List[Operation]] = None
+        self._sccs_cache: Optional[List[Set[int]]] = None
+        self._fanin_masks_cache: Optional[Dict[int, int]] = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic structure version (bumped on every mutation)."""
+        return self._version
+
+    def _mutated(self) -> None:
+        self._version += 1
+        if self._in_sorted:
+            self._in_sorted.clear()
+        if self._data_in_sorted:
+            self._data_in_sorted.clear()
+        self._topo_cache = None
+        self._sccs_cache = None
+        self._fanin_masks_cache = None
 
     # ------------------------------------------------------------------
     # construction
@@ -92,6 +117,7 @@ class DFG:
         self._ops[uid] = op
         self._in_edges[uid] = []
         self._out_edges[uid] = []
+        self._mutated()
         return op
 
     def connect(self, src: Operation, dst: Operation, port: int, distance: int = 0) -> DataEdge:
@@ -107,6 +133,7 @@ class DFG:
         edge = DataEdge(src.uid, dst.uid, port, distance)
         self._in_edges[dst.uid].append(edge)
         self._out_edges[src.uid].append(edge)
+        self._mutated()
         return edge
 
     def connect_order(self, src: Operation, dst: Operation,
@@ -129,12 +156,14 @@ class DFG:
                         order=True, min_gap=min_gap)
         self._in_edges[dst.uid].append(edge)
         self._out_edges[src.uid].append(edge)
+        self._mutated()
         return edge
 
     def disconnect(self, edge: DataEdge) -> None:
         """Remove a previously added edge."""
         self._in_edges[edge.dst].remove(edge)
         self._out_edges[edge.src].remove(edge)
+        self._mutated()
 
     def replace_input(self, dst: Operation, port: int, new_src: Operation) -> None:
         """Re-drive ``dst``'s input ``port`` from ``new_src`` (same distance)."""
@@ -151,6 +180,7 @@ class DFG:
         del self._ops[op.uid]
         del self._in_edges[op.uid]
         del self._out_edges[op.uid]
+        self._mutated()
 
     # ------------------------------------------------------------------
     # queries
@@ -179,14 +209,26 @@ class DFG:
         """Incoming edges of an operation, in port order.
 
         Includes ordering edges (port -1, sorted first); callers that
-        collect operand *values* use :meth:`data_in_edges`.
+        collect operand *values* use :meth:`data_in_edges`.  The returned
+        list is a cache shared between calls -- treat it as read-only.
         """
-        return sorted(self._in_edges[uid], key=lambda e: e.port)
+        edges = self._in_sorted.get(uid)
+        if edges is None:
+            edges = self._in_sorted[uid] = sorted(
+                self._in_edges[uid], key=lambda e: e.port)
+        return edges
 
     def data_in_edges(self, uid: int) -> List[DataEdge]:
-        """Incoming value-carrying edges only, in port order."""
-        return sorted((e for e in self._in_edges[uid] if not e.order),
-                      key=lambda e: e.port)
+        """Incoming value-carrying edges only, in port order.
+
+        Returns a shared cached list -- treat it as read-only.
+        """
+        edges = self._data_in_sorted.get(uid)
+        if edges is None:
+            edges = self._data_in_sorted[uid] = sorted(
+                (e for e in self._in_edges[uid] if not e.order),
+                key=lambda e: e.port)
+        return edges
 
     def order_in_edges(self, uid: int) -> List[DataEdge]:
         """Incoming memory-dependence edges only."""
@@ -245,8 +287,11 @@ class DFG:
         Predicate conditions count as producers too: a predicated
         operation's commit depends on its branch condition even though no
         data edge connects them.  Raises :class:`DFGError` if the
-        resulting graph has a cycle.
+        resulting graph has a cycle.  The returned list is a cache shared
+        between calls until the next mutation -- treat it as read-only.
         """
+        if self._topo_cache is not None:
+            return self._topo_cache
         indeg = {uid: 0 for uid in self._ops}
         pred_consumers: Dict[int, List[int]] = {}
         for uid, op in self._ops.items():
@@ -275,6 +320,7 @@ class DFG:
                     queue.append(waiter)
         if len(order) != len(self._ops):
             raise DFGError("topological_order: intra-iteration cycle in DFG")
+        self._topo_cache = order
         return order
 
     def sccs(self) -> List[Set[int]]:
@@ -284,8 +330,11 @@ class DFG:
         cycle necessarily goes through at least one loop-carried edge.
         Returns components with more than one node, or with a self loop.
         These are the operation groups that must fit within II states when
-        pipelining (paper section V, step I.3a).
+        pipelining (paper section V, step I.3a).  Cached until the next
+        mutation; treat the result as read-only.
         """
+        if self._sccs_cache is not None:
+            return self._sccs_cache
         graph = nx.DiGraph()
         graph.add_nodes_from(self._ops)
         for edges in self._out_edges.values():
@@ -300,7 +349,29 @@ class DFG:
                 if graph.has_edge(only, only):
                     result.append({only})
         result.sort(key=lambda comp: min(comp))
+        self._sccs_cache = result
         return result
+
+    def fanin_masks(self) -> Dict[int, int]:
+        """Transitive distance-0 fanin closure per op, as uid bitmasks.
+
+        ``masks[v]`` has bit ``u`` set iff ``u == v`` or ``u`` reaches
+        ``v`` through distance-0 edges (including ordering edges, same as
+        :meth:`topological_order`'s edge set).  Restraint cone analysis
+        ORs a handful of these masks instead of BFS-walking the graph per
+        failed pass.  Cached until the next mutation.
+        """
+        if self._fanin_masks_cache is not None:
+            return self._fanin_masks_cache
+        masks: Dict[int, int] = {}
+        for op in self.topological_order():
+            mask = 1 << op.uid
+            for edge in self._in_edges[op.uid]:
+                if edge.distance == 0:
+                    mask |= masks.get(edge.src, 0)
+            masks[op.uid] = mask
+        self._fanin_masks_cache = masks
+        return masks
 
     def to_networkx(self) -> nx.MultiDiGraph:
         """Export to a networkx multigraph (for analysis / debugging)."""

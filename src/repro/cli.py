@@ -2,6 +2,7 @@
 
 Commands
 --------
+profile    schedule a named workload under cProfile + scheduler counters
 schedule   compile a mini-language source file and schedule its loops
 sweep      run a microarchitecture/clock exploration on a named workload
 stream     compose, verify and report a named streaming pipeline
@@ -27,8 +28,10 @@ import json
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro import profiling
 from repro.cdfg.region import PipelineSpec, Region
 from repro.core.pipeline import pipeline_loop
+from repro.core.schedule import ScheduleError
 from repro.core.scheduler import schedule_region
 from repro.explore import PAPER_MICROARCHS, Microarch
 from repro.flow import get_flow, run_sweep
@@ -96,18 +99,85 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     """Compile and schedule a source file (or a named workload)."""
     library = _library(args.library)
     flow = get_flow("pipeline")
+    if args.profile:
+        profiling.reset()
     for ctx in _source_contexts(args, library,
                                 run_optimizer=not args.no_optimize):
         flow.run(ctx)
         if ctx.failed:
             _print_failure(ctx)
+            if args.profile:
+                print(profiling.report(), file=sys.stderr)
             return 1
         if args.json:
             print(json.dumps(ctx.schedule.summary(), indent=2))
         else:
             print(schedule_report(ctx.schedule))
             print()
+    if args.profile:
+        # stderr, so --json stdout stays machine-readable
+        print(profiling.report(), file=sys.stderr)
     return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Schedule a named workload under cProfile and report both the
+    Python-level hot spots and the scheduler's own phase counters."""
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    library = _library(args.library)
+    factory = WORKLOADS.get(args.workload)
+    if factory is None:
+        raise SystemExit(f"unknown workload {args.workload!r}; "
+                         f"choose from {sorted(WORKLOADS)}")
+    region = factory()
+    pipeline = PipelineSpec(ii=args.ii) if args.ii is not None else None
+    profiling.reset()
+    prof = cProfile.Profile()
+    error: Optional[ScheduleError] = None
+    schedule = None
+    start = time.perf_counter()
+    prof.enable()
+    try:
+        schedule = schedule_region(region, library, args.clock,
+                                   pipeline=pipeline)
+    except ScheduleError as exc:
+        error = exc
+    finally:
+        prof.disable()
+    wall = time.perf_counter() - start
+    table = profiling.snapshot()
+    if args.json:
+        record = {
+            "workload": args.workload,
+            "clock_ps": args.clock,
+            "wall_s": round(wall, 4),
+            "feasible": schedule is not None,
+            "counters": dict(sorted(table.items())),
+        }
+        if schedule is not None:
+            record["passes"] = schedule.passes
+            record["latency"] = schedule.latency
+        else:
+            record["error"] = str(error)
+        print(json.dumps(record, indent=2))
+    else:
+        stream = io.StringIO()
+        pstats.Stats(prof, stream=stream) \
+            .sort_stats("cumulative").print_stats(args.top)
+        print(stream.getvalue().rstrip())
+        print()
+        print(profiling.report(table))
+        if schedule is not None:
+            print(f"\n{args.workload}: {schedule.passes} passes, "
+                  f"latency {schedule.latency}, {wall:.3f}s")
+        else:
+            print(f"\n{args.workload}: FAILED after {wall:.3f}s -- {error}",
+                  file=sys.stderr)
+    return 0 if schedule is not None else 1
 
 
 def cmd_verilog(args: argparse.Namespace) -> int:
@@ -353,7 +423,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ii", type=int, default=None)
     p.add_argument("--json", action="store_true")
     p.add_argument("--no-optimize", action="store_true")
+    p.add_argument("--profile", action="store_true",
+                   help="print the scheduler's phase counters (stderr)")
     p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser(
+        "profile", help="profile scheduling a named workload")
+    p.add_argument("workload", help="workload name (see `workloads`)")
+    p.add_argument("--clock", type=float, default=1600.0)
+    p.add_argument("--ii", type=int, default=None)
+    p.add_argument("--top", type=int, default=15,
+                   help="cProfile rows to print (default 15)")
+    p.add_argument("--json", action="store_true",
+                   help="emit wall time + counters as JSON (no cProfile)")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("verilog", help="emit RTL")
     p.add_argument("source", help="source file or workload name")

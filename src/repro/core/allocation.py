@@ -57,23 +57,64 @@ def type_key_for(op: Operation, library: Library) -> Optional[TypeKey]:
     return (families[0], library.bucket(op.resource_width))
 
 
+def _self_contradictory(literals) -> bool:
+    """Whether a predicate requires both polarities of one condition."""
+    for uid, pol in literals:
+        if (uid, not pol) in literals:
+            return True
+    return False
+
+
 def _exclusive_groups(ops: List[Operation]) -> int:
     """Greedy count of predicate-exclusive groups.
 
     Operations in one group are pairwise mutually exclusive, so a single
     resource slot can serve the whole group.  The count of groups is the
     effective demand.
+
+    Equivalent to the naive greedy scan (first group whose members are
+    all disjoint with the op wins), with the two dominant cases resolved
+    in O(1) instead of a pairwise walk: an unconditional op is disjoint
+    *only* with self-contradictory predicates (tracked per group by an
+    all-contradictory flag), and a self-contradictory op is disjoint
+    with everything (it always joins the first group).
     """
     groups: List[List[Operation]] = []
+    all_contra: List[bool] = []
+    contra_idxs: List[int] = []  # sorted indices of all-contra groups
     for op in ops:
-        placed = False
-        for group in groups:
-            if all(op.predicate.disjoint(other.predicate) for other in group):
-                group.append(op)
-                placed = True
-                break
-        if not placed:
-            groups.append([op])
+        pred = op.predicate
+        lits = pred.literals
+        if not lits:
+            # unconditional: joins the first all-contradictory group
+            if contra_idxs:
+                idx = contra_idxs.pop(0)
+                groups[idx].append(op)
+                all_contra[idx] = False
+            else:
+                groups.append([op])
+                all_contra.append(False)
+        elif _self_contradictory(lits):
+            # never satisfiable: disjoint with everything
+            if groups:
+                groups[0].append(op)
+            else:
+                groups.append([op])
+                all_contra.append(True)
+                contra_idxs.append(0)
+        else:
+            placed = False
+            for idx, group in enumerate(groups):
+                if all(pred.disjoint(other.predicate) for other in group):
+                    group.append(op)
+                    if all_contra[idx]:
+                        all_contra[idx] = False
+                        contra_idxs.remove(idx)
+                    placed = True
+                    break
+            if not placed:
+                groups.append([op])
+                all_contra.append(False)
     return len(groups)
 
 

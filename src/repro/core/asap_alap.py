@@ -30,7 +30,7 @@ class InfeasibleTiming(RuntimeError):
         self.uid = uid
 
 
-@dataclass
+@dataclass(slots=True)
 class Mobility:
     """Scheduling freedom of one operation.
 
@@ -49,6 +49,11 @@ class Mobility:
     def mobility(self) -> int:
         """Slack in states between the earliest and latest start."""
         return self.alap - self.asap
+
+    def copy(self) -> "Mobility":
+        """An independent copy (SCC window clamping mutates in place)."""
+        return Mobility(self.asap, self.alap, self.cycles,
+                        self.asap_arrival_ps)
 
 
 def _memory_delay(op: Operation, library: Library) -> float:

@@ -57,3 +57,27 @@ def priority_key(
         -fanout,
         op.uid,
     )
+
+
+def priority_statics(
+    op: Operation,
+    heights: Dict[int, float],
+    dfg: DFG,
+    library: Library,
+) -> Tuple[float, float, int, int]:
+    """The pass-invariant tail of :func:`priority_key`.
+
+    Complexity, height and fanout depend only on the DFG and library;
+    between relaxation passes only the leading mobility component
+    changes, so the scheduler memoizes this tail per operation and
+    prepends the current mobility:
+    ``(mobility,) + priority_statics(...) == priority_key(...)``.
+    """
+    complexity = _optimistic_delay(op, library)
+    fanout = len(dfg.out_edges(op.uid))
+    return (
+        -complexity,
+        -heights.get(op.uid, 0.0),
+        -fanout,
+        op.uid,
+    )

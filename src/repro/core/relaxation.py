@@ -17,9 +17,11 @@ timing-driven kernel selection (section V, Example 3; ablated in Table 4).
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro import profiling
 from repro.cdfg.region import PipelineSpec, Region
 from repro.core.restraints import Restraint, RestraintKind
 from repro.tech.library import Library, ResourceType
@@ -296,3 +298,122 @@ def propose_actions(
 
     actions.sort(key=lambda a: (-a.gain, a.name))
     return actions
+
+
+#: action families that are independent of each other and of any winner:
+#: resource/bank additions, binding prohibitions, speculations and SCC
+#: shifts neither interact with the winner nor with each other, so the
+#: driver applies them together and saves whole scheduling passes.
+BATCHABLE_PREFIXES = ("add_resource:", "add_bank:", "forbid:",
+                      "speculate:", "move_scc:")
+
+
+def apply_action_batch(actions: List[Action], chosen: int,
+                       state: DriverState) -> None:
+    """Apply ``actions[chosen]`` plus the independent batchable extras.
+
+    This is the driver's single action-application rule: the chosen
+    action first, then every *other* batchable action that is not a
+    duplicate of the winner, in proposal order.  The serial driver always
+    picks ``chosen=0``; the relaxation race hands each worker a different
+    index, so branch 0 is bit-identical to the serial path by
+    construction.
+    """
+    winner = actions[chosen]
+    winner.apply(state)
+    for i, extra in enumerate(actions):
+        if i == chosen or extra.name == winner.name:
+            continue
+        if extra.name.startswith(BATCHABLE_PREFIXES):
+            extra.apply(state)
+
+
+def _race_worker(payload: Tuple) -> Tuple[int, bool, DriverState,
+                                          Dict[str, int]]:
+    """One race branch: re-derive actions, apply branch ``b``, run a pass.
+
+    Runs in a worker process.  ``Action.apply`` closures do not pickle,
+    so the worker re-derives the action list with :func:`propose_actions`
+    -- which is deterministic, yielding exactly the parent's list -- and
+    applies the batch for its assigned index.  Returns the branch index,
+    whether the pass succeeded, the post-application driver state, and
+    the worker's profiling counters for the parent to merge.
+    """
+    (branch, region, library, clock_ps, pipeline, allocation,
+     restraints, state, options, outlook) = payload
+    from repro.core.scheduler import _Pass  # deferred: circular import
+
+    profiling.reset()  # forked workers inherit the parent's table
+    try:
+        actions = propose_actions(
+            region, library, clock_ps, restraints, state, pipeline,
+            enable_scc_move=options.enable_scc_move,
+            enable_speculation=options.enable_speculation,
+            allow_grades=options.allow_grades,
+            allow_banking=options.allow_banking,
+            resource_outlook=outlook)
+        if branch >= len(actions):
+            return branch, False, state, profiling.snapshot()
+        apply_action_batch(actions, branch, state)
+        pass_run = _Pass(region, library, clock_ps, state.latency,
+                         pipeline, allocation, state, options)
+        outcome = pass_run.run()
+        return branch, outcome.success, state, profiling.snapshot()
+    except Exception:
+        return branch, False, state, profiling.snapshot()
+
+
+def race_relaxation(
+    region: Region,
+    library: Library,
+    clock_ps: float,
+    pipeline: Optional[PipelineSpec],
+    allocation,
+    restraints: List[Restraint],
+    state: DriverState,
+    options,
+    resource_outlook: Dict[Tuple[str, int], Tuple[int, int]],
+    n_actions: int,
+) -> Optional[DriverState]:
+    """Try the top relaxation actions concurrently; lowest feasible wins.
+
+    Each of the first ``min(jobs, n_actions)`` actions is applied (with
+    the usual batch of independent extras) in its own process, followed
+    by one scheduling pass.  The winner is the successful branch with the
+    lowest action index -- a deterministic tie-break, so repeated runs
+    take the same trajectory.  When no branch succeeds, branch 0's
+    post-application state is adopted, which is exactly what the serial
+    driver would have done.  Returns ``None`` on any infrastructure
+    failure (unpicklable payload, worker crash); the caller then falls
+    back to the serial path.
+    """
+    branches = min(options.jobs, n_actions)
+    if branches < 2:
+        return None
+    payloads = [
+        (b, region, library, clock_ps, pipeline, allocation,
+         restraints, state, options, resource_outlook)
+        for b in range(branches)
+    ]
+    results = []
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=branches) as pool:
+            futures = [pool.submit(_race_worker, p) for p in payloads]
+            for fut in futures:
+                results.append(fut.result())
+    except Exception:
+        profiling.bump("race.fallback")
+        return None
+    profiling.bump("race.calls")
+    profiling.bump("race.branches", len(results))
+    winner: Optional[DriverState] = None
+    for branch, success, new_state, snap in results:
+        profiling.merge(snap)
+        if success and winner is None:
+            winner = new_state
+            profiling.bump("race.win")
+    if winner is None:
+        profiling.bump("race.no_winner")
+        return results[0][2]
+    return winner

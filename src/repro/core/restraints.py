@@ -18,6 +18,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import profiling
 from repro.cdfg.dfg import DFG
 
 
@@ -49,7 +50,7 @@ class RestraintKind(str, enum.Enum):
     PREDICATE_ORDER = "predicate_order"
 
 
-@dataclass
+@dataclass(slots=True)
 class Restraint:
     """One recorded failure, with solver-relevant detail."""
 
@@ -89,16 +90,58 @@ class Restraint:
     weight: float = 1.0
 
 
+#: memoized weight sequences, keyed by base weight: entry ``k`` is the
+#: result of ``k`` sequential ``w += 0.5 * base`` additions starting at
+#: ``base``.  Only three bases exist (1.0 / 0.6 / 0.3), so replaying a
+#: merge group's duplicate count costs O(max count) floats total instead
+#: of one addition per recorded duplicate -- while reproducing the
+#: reference's sequential rounding bit-for-bit (the folds in ``analyze``
+#: never touch ``weight``, so a group's final weight is a pure function
+#: of its base and its duplicate count).
+_WEIGHT_SEQ: Dict[float, List[float]] = {}
+
+
+def _accumulated_weight(base: float, extra: int) -> float:
+    """Weight after ``extra`` sequential ``+= 0.5 * base`` additions."""
+    seq = _WEIGHT_SEQ.get(base)
+    if seq is None:
+        seq = _WEIGHT_SEQ[base] = [base]
+    if extra >= len(seq):
+        w = seq[-1]
+        inc = 0.5 * base
+        for _ in range(extra - len(seq) + 1):
+            w += inc
+            seq.append(w)
+    return seq[extra]
+
+
 class RestraintLog:
     """Accumulates restraints during one scheduling pass."""
 
     def __init__(self) -> None:
         self.restraints: List[Restraint] = []
+        #: multiplicity of each entry: the binder deliberately re-records
+        #: one Restraint object per identical in-walk failure (one per
+        #: candidate instance) so repeated hits gain weight; collapsing
+        #: *all* re-records of the same object into a count keeps the
+        #: log short without changing what analysis sees -- the folds in
+        #: :meth:`analyze` are idempotent and order-independent, and the
+        #: first occurrence (which fixes merge-key order) is preserved.
+        self._counts: List[int] = []
+        #: id(restraint) -> index into the two lists above; entries stay
+        #: alive in ``self.restraints``, so ids are stable and unique.
+        self._index: Dict[int, int] = {}
         self.failed_ops: Set[int] = set()
 
     def record(self, restraint: Restraint) -> None:
-        """Append one restraint."""
+        """Append one restraint (same-object repeats just bump a count)."""
+        idx = self._index.get(id(restraint))
+        if idx is not None:
+            self._counts[idx] += 1
+            return
+        self._index[id(restraint)] = len(self.restraints)
         self.restraints.append(restraint)
+        self._counts.append(1)
 
     def mark_failed(self, op_uid: int) -> None:
         """Mark an operation as terminally failed in this pass."""
@@ -119,49 +162,63 @@ class RestraintLog:
         repeatedly-hit restraints matter more, echoing the paper's "the
         number of failures they help solve".
         """
-        cones: Set[int] = set()
+        # the fanin cones of all failed ops, as one int bitmask: the
+        # DFG's memoized per-op fanin masks (distance-0 closure) are
+        # OR-combined over every in-edge of every failed op, turning the
+        # per-pass BFS into a handful of word-parallel set unions
+        profiling.bump("restraints.analyze")
+        masks = dfg.fanin_masks()
+        cone_mask = 0
         for uid in self.failed_ops:
-            stack = [e.src for e in dfg.in_edges(uid)]
-            while stack:
-                cur = stack.pop()
-                if cur in cones:
-                    continue
-                cones.add(cur)
-                stack.extend(e.src for e in dfg.in_edges(cur)
-                             if e.distance == 0)
+            for e in dfg.in_edges(uid):
+                cone_mask |= masks[e.src]
         merged: Dict[Tuple, Restraint] = {}
-        for r in self.restraints:
-            if r.op_uid in self.failed_ops:
-                base = 1.0
-            elif r.op_uid in cones:
-                base = 0.6
-            else:
-                base = 0.3
-            key = (r.kind, r.op_uid, r.type_key, r.scc_index, r.inst_name,
-                   r.mem_name, r.chan_name)
-            if key in merged:
-                merged[key].weight += 0.5 * base
-                merged[key].slack_ps = min(merged[key].slack_ps, r.slack_ps)
-                merged[key].fresh_instance_fails = (
-                    merged[key].fresh_instance_fails and r.fresh_instance_fails)
-                merged[key].fits_fresh_state = (
-                    merged[key].fits_fresh_state or r.fits_fresh_state)
+        adds: Dict[Tuple, int] = {}
+        # :meth:`record` collapses same-object re-records, so each entry
+        # here is a distinct object; different objects can still share a
+        # merge key and fold together
+        for r, n in zip(self.restraints, self._counts):
+            key = (
+                r.kind, r.op_uid, r.type_key, r.scc_index, r.inst_name,
+                r.mem_name, r.chan_name)
+            m = merged.get(key)
+            if m is not None:
+                adds[key] += n
+                m.slack_ps = min(m.slack_ps, r.slack_ps)
+                m.fresh_instance_fails = (
+                    m.fresh_instance_fails and r.fresh_instance_fails)
+                m.fits_fresh_state = (
+                    m.fits_fresh_state or r.fits_fresh_state)
                 # keep the most favorable arrival: the relaxation engine
                 # probes whether a fresh resource could fit *somewhere*,
                 # and a later state with registered inputs is exactly
                 # that somewhere (keeping the first -- often chained --
                 # arrival made add_resource look futile and sent the
                 # driver into an add-state death spiral)
-                merged[key].input_arrival_ps = min(
-                    merged[key].input_arrival_ps, r.input_arrival_ps)
+                m.input_arrival_ps = min(
+                    m.input_arrival_ps, r.input_arrival_ps)
             else:
-                r.weight = base
                 merged[key] = r
+                adds[key] = n - 1
+        failed = self.failed_ops
+        for key, m in merged.items():
+            uid = m.op_uid
+            if uid in failed:
+                base = 1.0
+            elif uid >= 0 and (cone_mask >> uid) & 1:
+                base = 0.6
+            else:
+                base = 0.3
+            # 0.5*base per recorded duplicate; the memoized sequence
+            # replicates the reference's one-addition-per-duplicate
+            # rounding bit-for-bit (base*(1 + 0.5*n) would round
+            # differently)
+            m.weight = _accumulated_weight(base, adds[key])
         return sorted(merged.values(), key=lambda r: -r.weight)
 
     def summary(self) -> Dict[str, int]:
         """Counts per restraint kind (for diagnostics and tests)."""
         out: Dict[str, int] = {}
-        for r in self.restraints:
-            out[r.kind.value] = out.get(r.kind.value, 0) + 1
+        for r, n in zip(self.restraints, self._counts):
+            out[r.kind.value] = out.get(r.kind.value, 0) + n
         return out

@@ -23,14 +23,20 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import profiling
 from repro.cdfg.dfg import DFG
 from repro.cdfg.memory import static_bank
 from repro.cdfg.ops import Operation, OpKind
 from repro.cdfg.region import PipelineSpec, Region
 from repro.core.allocation import AllocationResult, build_pool, lower_bound, type_key_for
 from repro.core.asap_alap import InfeasibleTiming, Mobility, compute_mobility
-from repro.core.priorities import compute_heights, priority_key
-from repro.core.relaxation import DriverState, propose_actions
+from repro.core.priorities import compute_heights, priority_key, priority_statics
+from repro.core.relaxation import (
+    DriverState,
+    apply_action_batch,
+    propose_actions,
+    race_relaxation,
+)
 from repro.core.restraints import Restraint, RestraintKind, RestraintLog
 from repro.core.scc import SCCWindow, apply_windows, find_scc_windows, window_of
 from repro.core.schedule import Schedule, ScheduleError
@@ -46,6 +52,7 @@ from repro.timing.cycles import CombCycleGuard
 from repro.timing.engine import (
     CandidateTiming,
     TimingEngine,
+    TimingStatics,
     registered_path_ps,
 )
 
@@ -76,6 +83,51 @@ class SchedulerOptions:
     #: has to buy the slack back with area (see rtl.compensation).
     accept_negative_slack: bool = False
     trace: bool = False
+    #: the scheduler-core optimizations (commit-outcome cache, pass-to-pass
+    #: carryover of mobility/heights/dependency maps, memoized priorities
+    #: and candidate lists).  Every one of them is decision-neutral --
+    #: bindings, restraints and actions are bit-identical either way --
+    #: and ``False`` exists purely as the reference path the equivalence
+    #: test suite compares against.
+    fast_paths: bool = True
+    #: relaxation race width: with ``jobs > 1``, after a failed pass the
+    #: top actions are tried concurrently in worker processes and the
+    #: lowest-indexed feasible branch wins (deterministic tie-break).
+    #: ``jobs=1`` is the exact serial path.
+    jobs: int = 1
+
+
+class _RegionCache:
+    """Pass-to-pass carryover for one ``schedule_region`` call.
+
+    The relaxation driver re-runs the pass scheduler dozens of times per
+    region while only *constraints* change (latency, resource set,
+    forbidden pairs, speculation).  Everything derivable from the region
+    + library alone -- heights, engine static structure, type keys,
+    priority statics -- is computed once; mobility and the dependency
+    maps are memoized on the constraint subset they actually depend on
+    (latency and the speculated set) and handed out as fresh copies when
+    a pass would mutate them in place.
+    """
+
+    def __init__(self, region: Region, library: Library) -> None:
+        self.statics = TimingStatics(region.dfg, library)
+        self.heights: Optional[Dict[int, float]] = None
+        #: (latency, frozenset(speculated)) -> pristine mobility map,
+        #: or the InfeasibleTiming it raised.
+        self.mobility: Dict[Tuple, object] = {}
+        #: frozenset(speculated) -> (unresolved, consumers) dependency maps.
+        self.depmaps: Dict[frozenset, Tuple[Dict[int, int],
+                                            Dict[int, List[Tuple[int, int]]]]] = {}
+        self.type_keys: Dict[int, Optional[Tuple[str, int]]] = {}
+        #: uid -> static tail of the priority key (complexity, height,
+        #: fanout, uid); only mobility varies between passes.
+        self.prio_static: Dict[int, Tuple] = {}
+        #: uid -> fits-fresh-state verdict (non-memory ops only: memory
+        #: budgets depend on the pass's banking configuration).
+        self.fits_fresh: Dict[int, bool] = {}
+        #: uid -> (root, producer op) pairs for combinational chain edges.
+        self.chain_roots: Dict[int, List[Tuple[int, Operation]]] = {}
 
 
 @dataclass
@@ -92,6 +144,12 @@ class PassOutcome:
 
 def _node_name(op: Operation, inst: Optional[ResourceInstance]) -> str:
     return inst.name if inst is not None else f"op{op.uid}"
+
+
+def _cand_key(inst: ResourceInstance) -> Tuple[float, int]:
+    """Per-call candidate sort key over a base list pre-sorted by
+    (area, index); stability supplies the index tie-break."""
+    return (inst.rtype.area, -len(inst._ops_map))
 
 
 def _equivalent_states(needed: List[int], latency: int,
@@ -116,6 +174,7 @@ class _Pass:
         allocation: AllocationResult,
         state: DriverState,
         options: SchedulerOptions,
+        cache: Optional[_RegionCache] = None,
     ) -> None:
         self.region = region
         self.dfg = region.dfg
@@ -126,6 +185,7 @@ class _Pass:
         self.ii = pipeline.ii if pipeline else None
         self.state = state
         self.options = options
+        self.cache = cache if options.fast_paths else None
         self.log = RestraintLog()
         self.pool = build_pool(allocation, library)
         for rtype in state.extra_types:
@@ -143,7 +203,9 @@ class _Pass:
                 op.payload, dynamic, static_bank(op, banks, dynamic))
         self.netlist = TimingEngine(
             self.dfg, library, clock_ps,
-            anticipate_muxes=options.anticipate_muxes)
+            anticipate_muxes=options.anticipate_muxes,
+            statics=self.cache.statics if self.cache else None)
+        self.netlist.use_commit_cache = options.fast_paths
         demand = {key: n for key, n in allocation.demand.items()}
         counts = {key: self.pool.count(*key) for key in demand}
         # RAM address-mux anticipation: more accesses than physical
@@ -169,16 +231,53 @@ class _Pass:
         #: SCC members force-placed by the timing-blind ablation; their
         #: bindings are accepted even with negative slack.
         self._forced_sccs: Set[int] = set()
+        # fast-path memos (all decision-neutral; see SchedulerOptions)
+        self._window_map: Optional[Dict[int, SCCWindow]] = None
+        self._compat: Dict[Tuple[OpKind, int], List[ResourceInstance]] = {}
+        #: sorted candidate order per compatibility key:
+        #: ``[log position, order, member names]``.  Revalidated against
+        #: the pool's mutation log -- only mutations of a group's own
+        #: members force a re-sort.
+        self._cand_cache: Dict[Tuple[OpKind, int], List] = {}
+        self._n_priority_keys = 0
 
     # ------------------------------------------------------------------
     # setup
     # ------------------------------------------------------------------
+    def _mobility(self) -> Dict[int, Mobility]:
+        """This pass's mobility map, via the carryover cache when enabled.
+
+        The cache stores the pristine result per (latency, speculated
+        set) and hands out per-op copies: SCC window clamping and the
+        timing-blind anchor ablation mutate Mobility records in place.
+        """
+        if self.cache is None:
+            return compute_mobility(
+                self.region, self.library, self.clock_ps, self.latency,
+                self.state.speculated)
+        key = (self.latency, frozenset(self.state.speculated))
+        cached = self.cache.mobility.get(key)
+        if cached is None:
+            try:
+                cached = compute_mobility(
+                    self.region, self.library, self.clock_ps, self.latency,
+                    self.state.speculated)
+            except InfeasibleTiming as exc:
+                self.cache.mobility[key] = exc
+                raise
+            self.cache.mobility[key] = cached
+            profiling.bump("mobility.compute")
+        elif isinstance(cached, InfeasibleTiming):
+            profiling.bump("mobility.cache_hit")
+            raise cached
+        else:
+            profiling.bump("mobility.cache_hit")
+        return {uid: mob.copy() for uid, mob in cached.items()}
+
     def _prepare(self) -> bool:
         """Mobility + SCC windows; returns False (with restraints) on failure."""
         try:
-            self.mobility = compute_mobility(
-                self.region, self.library, self.clock_ps, self.latency,
-                self.state.speculated)
+            self.mobility = self._mobility()
         except InfeasibleTiming as exc:
             uid = exc.uid if exc.uid is not None else -1
             self.log.record(Restraint(
@@ -230,6 +329,19 @@ class _Pass:
         return True
 
     def _build_dependency_maps(self) -> None:
+        if self.cache is not None:
+            spec_key = frozenset(self.state.speculated)
+            cached = self.cache.depmaps.get(spec_key)
+            if cached is not None:
+                unresolved, consumers = cached
+                # unresolved is decremented as producers bind: copy.
+                # consumers is only ever read (never mutated): share.
+                self._unresolved = dict(unresolved)
+                self._consumers = consumers
+                self._earliest = {uid: self.mobility[uid].asap
+                                  for uid in unresolved}
+                profiling.bump("depmaps.cache_hit")
+                return
         resolve = self.netlist.resolve_source
         for op in self.dfg.ops:
             if op.is_free:
@@ -258,13 +370,26 @@ class _Pass:
             for cond in conds:
                 self._consumers.setdefault(cond, []).append((op.uid, 0))
             self._earliest[op.uid] = self.mobility[op.uid].asap
+        if self.cache is not None:
+            self.cache.depmaps[frozenset(self.state.speculated)] = (
+                dict(self._unresolved), self._consumers)
+            profiling.bump("depmaps.compute")
 
     def _push_ready(self, uid: int) -> None:
         if uid in self._in_heap:
             return
         op = self.dfg.op(uid)
-        key = priority_key(op, self.mobility[uid], self._heights,
-                           self.dfg, self.library)
+        self._n_priority_keys += 1
+        if self.cache is None:
+            key = priority_key(op, self.mobility[uid], self._heights,
+                               self.dfg, self.library)
+        else:
+            tail = self.cache.prio_static.get(uid)
+            if tail is None:
+                tail = priority_statics(op, self._heights,
+                                        self.dfg, self.library)
+                self.cache.prio_static[uid] = tail
+            key = (self.mobility[uid].mobility,) + tail
         heapq.heappush(self._ready_heap, (self._earliest[uid], key, uid))
         self._in_heap.add(uid)
 
@@ -283,14 +408,81 @@ class _Pass:
     # binding
     # ------------------------------------------------------------------
     def _candidates(self, op: Operation) -> List[ResourceInstance]:
-        insts = [inst for inst in self.pool.compatible(op)
-                 if (op.uid, inst.name) not in self.state.forbidden]
+        if self.cache is None:
+            insts = [inst for inst in self.pool.compatible(op)
+                     if (op.uid, inst.name) not in self.state.forbidden]
+        else:
+            # pool membership is fixed for the whole pass, so the
+            # compatibility scan depends only on (kind, width)
+            ckey = (op.kind, op.resource_width)
+            log = self.pool._order_log
+            epoch = len(log)
+            order: Optional[List[ResourceInstance]] = None
+            ent = self._cand_cache.get(ckey)
+            if ent is not None:
+                last, order, members = ent
+                if last != epoch:
+                    for name in log[last:]:
+                        if name in members or name == "*":
+                            order = None
+                            break
+                    else:
+                        ent[0] = epoch
+            if order is None:
+                base = self._compat.get(ckey)
+                if base is None:
+                    # pre-sorted by (area, index): the stable re-sort
+                    # on (area, occupancy) below then yields exactly
+                    # the reference (area, -n_ops_bound, index) order
+                    base = sorted(self.pool.compatible(op),
+                                  key=lambda i: (i.rtype.area, i.index))
+                    self._compat[ckey] = base
+                order = list(base)
+                order.sort(key=_cand_key)
+                self._cand_cache[ckey] = [
+                    epoch, order, {i.name for i in base}]
+            forbidden = self.state.forbidden
+            if forbidden:
+                # the sort key is a unique total order, so filtering the
+                # sorted list equals sorting the filtered list
+                return [inst for inst in order
+                        if (op.uid, inst.name) not in forbidden]
+            # callers only iterate the returned list
+            return order
         # cheapest grade first; within a grade prefer instances already
         # hosting operations, so sharing consolidates and over-allocated
         # instances stay empty (they are pruned after the pass succeeds)
-        insts.sort(key=lambda i: (i.rtype.area,
-                                  -len(i.ops_bound()), i.index))
+        insts.sort(key=lambda i: (i.rtype.area, -i.n_ops_bound, i.index))
         return insts
+
+    def _chain_sources(self, op: Operation, state: int) -> List[str]:
+        """Connection-graph names of committed producers chained into
+        ``op`` at ``state``.
+
+        Depends only on the committed netlist, never on the candidate
+        instance, so one list serves a whole candidate walk (the walk
+        restores the netlist between candidates).
+        """
+        roots = self.cache.chain_roots.get(op.uid)
+        if roots is None:
+            roots = []
+            for edge in self.dfg.in_edges(op.uid):
+                if edge.distance >= 1 or edge.order:
+                    continue
+                root = self.netlist.resolve_source(edge.src)
+                producer = self.dfg.op(root)
+                if producer.is_free or producer.kind is OpKind.READ:
+                    continue
+                roots.append((root, producer))
+            self.cache.chain_roots[op.uid] = roots
+        srcs: List[str] = []
+        if roots:
+            bound_map = self.netlist._bound
+            for root, producer in roots:
+                pb = bound_map.get(root)
+                if pb is not None and pb.state == state and pb.cycles == 1:
+                    srcs.append(_node_name(producer, pb.inst))
+        return srcs
 
     def _chain_edges(self, op: Operation,
                      inst: Optional[ResourceInstance],
@@ -298,6 +490,8 @@ class _Pass:
         """Combinational connection edges this binding adds."""
         edges: List[Tuple[str, str]] = []
         dst = _node_name(op, inst)
+        if self.cache is not None:
+            return [(src, dst) for src in self._chain_sources(op, state)]
         for edge in self.dfg.in_edges(op.uid):
             if edge.distance >= 1 or edge.order:
                 continue  # ordering edges carry no combinational path
@@ -342,10 +536,24 @@ class _Pass:
     def _try_bind(self, op: Operation, e: int) -> Tuple[bool, List[Restraint]]:
         """Attempt to bind ``op`` at state ``e``; returns (bound, restraints)."""
         restraints: List[Restraint] = []
-        needs_resource = type_key_for(op, self.library) is not None
-        arrival_probe = self.netlist.worst_input_arrival(op, e)
+        needs_resource = self._type_key(op) is not None
+        # the input-arrival probe only feeds restraint payloads; it reads
+        # (never mutates) the netlist, and every consumer below runs with
+        # the netlist in exactly the state it has here (failed commits
+        # are rolled back, successful ones return early), so computing it
+        # on demand is bit-exact while skipping the probe entirely on the
+        # overwhelmingly common successful binds
+        probe_memo: List[float] = []
+
+        def arrival_probe() -> float:
+            if not probe_memo:
+                probe_memo.append(self.netlist.worst_input_arrival(op, e))
+            return probe_memo[0]
+
+        if self.cache is None:
+            arrival_probe()  # eager, mirroring the reference path
         if not self._check_carried(op, e):
-            window = window_of(self.windows, op.uid)
+            window = self._window_of(op.uid)
             if window is not None:
                 # a windowed op blocked by modulo causality means the
                 # whole SCC sits too early: moving the window (the
@@ -381,7 +589,7 @@ class _Pass:
                 op, None, e, allow_multicycle=False)
             if not timing.ok and not accept_violation:
                 restraints.append(self._timing_restraint(
-                    op, e, timing, arrival_probe, None))
+                    op, e, timing, arrival_probe(), None))
                 return False, restraints
             chain = self._chain_edges(op, None, e)
             if self.guard.would_cycle(chain):
@@ -397,7 +605,7 @@ class _Pass:
         busy = 0
         best_slack: Optional[float] = None
         fallback: Optional[Tuple[ResourceInstance, CandidateTiming]] = None
-        type_key = type_key_for(op, self.library)
+        type_key = self._type_key(op)
         candidates = self._candidates(op)
         if not candidates:
             # no instance at all (everything forbidden, or the pool lacks
@@ -406,63 +614,164 @@ class _Pass:
             restraints.append(Restraint(
                 kind=RestraintKind.NO_RESOURCE, op_uid=op.uid, state=e,
                 type_key=type_key,
-                input_arrival_ps=arrival_probe,
+                input_arrival_ps=arrival_probe(),
                 fresh_instance_fails=not fresh.ok,
                 fits_fresh_state=self._fits_fresh_state(op)))
             return False, restraints
+        # loop-invariant lookups hoisted out of the candidate walk: the
+        # SCC window depends only on the op, and the equivalence class of
+        # a single-cycle binding only on (state, latency, ii)
+        window = self._window_of(op.uid)
+        eq_single: Optional[List[int]] = None
+        # identical in-walk failures re-record ONE Restraint object (the
+        # log counts repeats); constructing a fresh copy per candidate
+        # was pure allocation overhead with the same analysis outcome
+        lat_r: Optional[Restraint] = None
+        scc_r: Optional[Restraint] = None
+        last_broken: Optional[Tuple[Tuple, Restraint]] = None
+        # raw input arrivals are candidate-independent and the netlist
+        # is restored between candidates, so one profile serves the walk
+        prof = self.netlist.input_profile(op, e) \
+            if self.cache is not None else None
+        # chained-producer names are likewise walk-invariant; only the
+        # destination node differs per candidate
+        chain_srcs = self._chain_sources(op, e) \
+            if self.cache is not None else None
+        # within one candidate walk, every still-empty instance of one
+        # grade is indistinguishable to the timing model (no occupants
+        # means no sources and no sharing mux), so evaluate once per
+        # grade and reuse the verdict for its empty siblings.  The empty
+        # verdict also bounds the occupied siblings: sharing muxes only
+        # grow arrivals (mux delay is monotone in fanin; anticipation is
+        # a per-grade flag) and the multicycle/chained rescue conditions
+        # are grade-invariant, so when the empty sibling fails timing
+        # non-rescuably every occupied sibling fails too, with a smaller
+        # slack -- skip their evaluations outright.  Only exact when the
+        # empty sibling is itself in the walk (it then contributes the
+        # grade's dominant best_slack), and never under accept_violation
+        # (the fallback choice needs the per-instance timings).
+        empty_eval: Dict[int, CandidateTiming] = {}
+        empty_member: Dict[int, ResourceInstance] = {}
+        if self.cache is not None and not accept_violation:
+            for inst in candidates:
+                if not inst._ops_map:
+                    empty_member.setdefault(id(inst.rtype), inst)
         for inst in candidates:
-            timing = self.netlist.evaluate(
-                op, inst, e,
-                allow_multicycle=self.options.allow_multicycle)
+            if self.cache is not None and not inst._ops_map:
+                ekey = id(inst.rtype)
+                timing = empty_eval.get(ekey)
+                if timing is None:
+                    timing = self.netlist.evaluate(
+                        op, inst, e,
+                        allow_multicycle=self.options.allow_multicycle,
+                        profile=prof)
+                    empty_eval[ekey] = timing
+            else:
+                em = empty_member.get(id(inst.rtype))
+                if em is not None:
+                    ekey = id(inst.rtype)
+                    base = empty_eval.get(ekey)
+                    if base is None:
+                        base = self.netlist.evaluate(
+                            op, em, e,
+                            allow_multicycle=self.options.allow_multicycle,
+                            profile=prof)
+                        empty_eval[ekey] = base
+                    if not base.ok:
+                        continue
+                timing = self.netlist.evaluate(
+                    op, inst, e,
+                    allow_multicycle=self.options.allow_multicycle,
+                    profile=prof)
             if not timing.ok:
                 if best_slack is None or timing.slack_ps > best_slack:
                     best_slack = timing.slack_ps
                 if accept_violation:
-                    eq = _equivalent_states([e], self.latency, self.ii)
-                    if inst.is_free(op, eq) and not self.guard.would_cycle(
-                            self._chain_edges(op, inst, e)):
+                    if eq_single is None:
+                        eq_single = _equivalent_states(
+                            [e], self.latency, self.ii)
+                    if inst.is_free(op, eq_single) \
+                            and not self.guard.would_cycle(
+                                self._chain_edges(op, inst, e)):
                         if (fallback is None
                                 or timing.slack_ps > fallback[1].slack_ps):
                             fallback = (inst, timing)
                 continue
-            needed = list(range(e, e + timing.cycles))
-            if needed[-1] > self.latency - 1:
-                restraints.append(Restraint(
-                    kind=RestraintKind.LATENCY, op_uid=op.uid, state=e,
-                    type_key=type_key, fits_fresh_state=True))
+            if timing.cycles == 1:
+                needed = [e]
+                last = e
+                if eq_single is None:
+                    eq_single = _equivalent_states([e], self.latency,
+                                                   self.ii)
+                eq_states = eq_single
+            else:
+                needed = list(range(e, e + timing.cycles))
+                last = needed[-1]
+                eq_states = None
+            if last > self.latency - 1:
+                if lat_r is None:
+                    lat_r = Restraint(
+                        kind=RestraintKind.LATENCY, op_uid=op.uid, state=e,
+                        type_key=type_key, fits_fresh_state=True)
+                restraints.append(lat_r)
                 continue
-            window = window_of(self.windows, op.uid)
-            if window is not None and needed[-1] > window.end:
-                restraints.append(Restraint(
-                    kind=RestraintKind.SCC_TIMING, op_uid=op.uid, state=e,
-                    scc_index=window.index, fits_fresh_state=True))
+            if window is not None and last > window.end:
+                if scc_r is None:
+                    scc_r = Restraint(
+                        kind=RestraintKind.SCC_TIMING, op_uid=op.uid,
+                        state=e, scc_index=window.index,
+                        fits_fresh_state=True)
+                restraints.append(scc_r)
                 continue
-            eq_states = _equivalent_states(needed, self.latency, self.ii)
-            if not inst.is_free(op, eq_states):
-                busy += 1
-                continue
-            chain = self._chain_edges(op, inst, e)
-            if self.guard.would_cycle(chain):
+            if eq_states is None:
+                eq_states = _equivalent_states(needed, self.latency, self.ii)
+            # inlined ResourceInstance.is_free (keep in sync): one call
+            # per candidate, a million times per heavy design
+            occ = inst._occupancy
+            if occ:
+                pred = op.predicate
+                free = True
+                for s in eq_states:
+                    others = occ.get(s)
+                    if others:
+                        for other in others:
+                            if not pred.disjoint(other.predicate):
+                                free = False
+                                break
+                        if not free:
+                            break
+                if not free:
+                    busy += 1
+                    continue
+            if chain_srcs is not None:
+                dst_name = _node_name(op, inst) if chain_srcs else ""
+                chain = [(src, dst_name) for src in chain_srcs]
+            else:
+                chain = self._chain_edges(op, inst, e)
+            if chain and self.guard.would_cycle(chain):
                 restraints.append(Restraint(
                     kind=RestraintKind.COMB_CYCLE, op_uid=op.uid, state=e,
                     type_key=type_key, inst_name=inst.name))
                 continue
             # the commit re-times every binding the new sharing mux (or
-            # chain) disturbs; roll back if a neighbour's path breaks
-            result = self.netlist.commit(op, inst, e, timing)
-            broken = result.broken(self.clock_ps)
-            if broken is not None:
-                # probe the broken op's own arrival before rolling back,
-                # while the mux growth that broke it is still in place
-                broken_slack = self.netlist.slack_of(broken)
-                broken_arrival = self.netlist.worst_input_arrival(
-                    broken.op, broken.state)
-                self.netlist.rollback(result)
-                restraints.append(Restraint(
-                    kind=RestraintKind.NEG_SLACK, op_uid=broken.op.uid,
-                    state=broken.state, type_key=type_key,
-                    slack_ps=broken_slack,
-                    input_arrival_ps=broken_arrival))
+            # chain) disturbs; rolled back (inside try_commit, which also
+            # memoizes the doomed outcomes) if a neighbour's path breaks
+            result, broken_info = self.netlist.try_commit(op, inst, e,
+                                                          timing)
+            if broken_info is not None:
+                if last_broken is not None \
+                        and last_broken[0] == broken_info:
+                    restraints.append(last_broken[1])
+                else:
+                    broken_uid, broken_state, broken_slack, \
+                        broken_arrival = broken_info
+                    br = Restraint(
+                        kind=RestraintKind.NEG_SLACK, op_uid=broken_uid,
+                        state=broken_state, type_key=type_key,
+                        slack_ps=broken_slack,
+                        input_arrival_ps=broken_arrival)
+                    last_broken = (broken_info, br)
+                    restraints.append(br)
                 continue
             inst.occupy(op, needed)
             self.guard.commit(chain)
@@ -484,13 +793,13 @@ class _Pass:
             restraints.append(Restraint(
                 kind=RestraintKind.NO_RESOURCE, op_uid=op.uid, state=e,
                 type_key=type_key,
-                input_arrival_ps=arrival_probe,
+                input_arrival_ps=arrival_probe(),
                 fresh_instance_fails=not fresh.ok,
                 fits_fresh_state=self._fits_fresh_state(op)))
         if best_slack is not None:
             dummy = CandidateTiming(False, 0.0, 0.0, best_slack)
             restraints.append(self._timing_restraint(
-                op, e, dummy, arrival_probe, type_key))
+                op, e, dummy, arrival_probe(), type_key))
         return False, restraints
 
     def _stream_port_free(self, op: Operation, e: int) -> bool:
@@ -550,7 +859,7 @@ class _Pass:
                     kind=RestraintKind.LATENCY, op_uid=op.uid, state=e,
                     fits_fresh_state=True))
                 continue
-            window = window_of(self.windows, op.uid)
+            window = self._window_of(op.uid)
             if window is not None and needed[-1] > window.end:
                 restraints.append(Restraint(
                     kind=RestraintKind.SCC_TIMING, op_uid=op.uid, state=e,
@@ -566,16 +875,14 @@ class _Pass:
                     kind=RestraintKind.COMB_CYCLE, op_uid=op.uid, state=e,
                     inst_name=primary.name))
                 continue
-            result = self.netlist.commit(op, primary, e, timing)
-            broken = result.broken(self.clock_ps)
-            if broken is not None:
-                broken_slack = self.netlist.slack_of(broken)
-                broken_arrival = self.netlist.worst_input_arrival(
-                    broken.op, broken.state)
-                self.netlist.rollback(result)
+            result, broken_info = self.netlist.try_commit(op, primary, e,
+                                                          timing)
+            if broken_info is not None:
+                broken_uid, broken_state, broken_slack, broken_arrival = \
+                    broken_info
                 restraints.append(Restraint(
-                    kind=RestraintKind.NEG_SLACK, op_uid=broken.op.uid,
-                    state=broken.state, slack_ps=broken_slack,
+                    kind=RestraintKind.NEG_SLACK, op_uid=broken_uid,
+                    state=broken_state, slack_ps=broken_slack,
                     input_arrival_ps=broken_arrival))
                 continue
             for inst in insts:
@@ -607,7 +914,7 @@ class _Pass:
     def _timing_restraint(self, op: Operation, e: int,
                           timing: CandidateTiming, arrival: float,
                           type_key) -> Restraint:
-        window = window_of(self.windows, op.uid)
+        window = self._window_of(op.uid)
         kind = RestraintKind.NEG_SLACK
         if window is not None:
             # the paper distinguishes SCC timing failures from ordinary
@@ -621,8 +928,46 @@ class _Pass:
             fresh_instance_fails=not self.netlist.evaluate_fresh(op, e).ok,
             fits_fresh_state=self._fits_fresh_state(op))
 
+    def _window_of(self, uid: int) -> Optional[SCCWindow]:
+        """SCC window containing ``uid`` (first in list order), if any."""
+        if self.cache is None:
+            return window_of(self.windows, uid)
+        if self._window_map is None:
+            wmap: Dict[int, SCCWindow] = {}
+            for window in self.windows:
+                for wuid in window.ops:
+                    if wuid not in wmap:
+                        wmap[wuid] = window
+            self._window_map = wmap
+        return self._window_map.get(uid)
+
+    def _type_key(self, op: Operation):
+        """Memoized :func:`type_key_for` (pure in kind/width/library)."""
+        if self.cache is None:
+            return type_key_for(op, self.library)
+        try:
+            return self.cache.type_keys[op.uid]
+        except KeyError:
+            key = type_key_for(op, self.library)
+            self.cache.type_keys[op.uid] = key
+            return key
+
     def _fits_fresh_state(self, op: Operation) -> bool:
-        """Would the op fit a state where all its inputs are registered?"""
+        """Would the op fit a state where all its inputs are registered?
+
+        Memory accesses depend on the pass's banking configuration; for
+        everything else the verdict is a pure function of library, clock
+        and options, so it carries over between passes.
+        """
+        if self.cache is not None and not op.is_memory:
+            cached = self.cache.fits_fresh.get(op.uid)
+            if cached is None:
+                cached = self._fits_fresh_state_impl(op)
+                self.cache.fits_fresh[op.uid] = cached
+            return cached
+        return self._fits_fresh_state_impl(op)
+
+    def _fits_fresh_state_impl(self, op: Operation) -> bool:
         lib = self.library
         if op.is_free or op.is_io or op.is_mux or op.kind is OpKind.STALL:
             return True
@@ -643,10 +988,30 @@ class _Pass:
     # ------------------------------------------------------------------
     def run(self) -> PassOutcome:
         """Execute the pass; restraints accumulate in ``self.log``."""
+        try:
+            return self._run()
+        finally:
+            profiling.bump("pass.count")
+            profiling.bump("engine.evaluate", self.netlist.n_evaluate)
+            profiling.bump("engine.commit", self.netlist.n_commit)
+            profiling.bump("engine.rollback", self.netlist.n_rollback)
+            profiling.bump("engine.propagated", self.netlist.n_propagated)
+            profiling.bump("engine.commit_cache_hit",
+                           self.netlist.n_cache_hits)
+            profiling.bump("engine.commit_cache_miss",
+                           self.netlist.n_cache_misses)
+            profiling.bump("scheduler.priority_keys", self._n_priority_keys)
+
+    def _run(self) -> PassOutcome:
         if not self._prepare():
             return PassOutcome(False, self.netlist, self.pool,
                                self.windows, self.mobility, self.log)
-        self._heights = compute_heights(self.dfg, self.library)
+        if self.cache is not None:
+            if self.cache.heights is None:
+                self.cache.heights = compute_heights(self.dfg, self.library)
+            self._heights = self.cache.heights
+        else:
+            self._heights = compute_heights(self.dfg, self.library)
         self._build_dependency_maps()
         for uid, count in self._unresolved.items():
             if count == 0:
@@ -747,10 +1112,11 @@ def schedule_region(
         pipeline.ii if pipeline else None)
 
     state = DriverState(latency=min_latency)
+    cache = _RegionCache(region, library) if options.fast_paths else None
     outcome: Optional[PassOutcome] = None
     for pass_no in range(1, options.max_passes + 1):
         pass_run = _Pass(region, library, clock_ps, state.latency,
-                         pipeline, allocation, state, options)
+                         pipeline, allocation, state, options, cache=cache)
         outcome = pass_run.run()
         if options.trace:
             print(f"[pass {pass_no}] latency={state.latency} "
@@ -804,18 +1170,19 @@ def schedule_region(
             raise ScheduleError(
                 f"{region.name}: overconstrained, no relaxation action "
                 f"after pass {pass_no}", diagnostics)
-        actions[0].apply(state)
-        # batch independent secondary actions: resource additions for
-        # other types, binding prohibitions and speculations neither
-        # interact with the winner nor with each other, so applying them
-        # together saves whole scheduling passes on large designs
-        for extra in actions[1:]:
-            if extra.name == actions[0].name:
+        if options.jobs > 1 and len(actions) > 1:
+            raced = race_relaxation(
+                region, library, clock_ps, pipeline, allocation,
+                analyzed, state, options, outlook, len(actions))
+            if raced is not None:
+                state = raced
                 continue
-            if extra.name.startswith(("add_resource:", "add_bank:",
-                                      "forbid:", "speculate:",
-                                      "move_scc:")):
-                extra.apply(state)
+        # apply the winning action plus the batch of independent
+        # secondary actions (resource additions for other types, binding
+        # prohibitions, speculations): they interact with neither the
+        # winner nor each other, so applying them together saves whole
+        # scheduling passes on large designs
+        apply_action_batch(actions, 0, state)
     raise ScheduleError(
         f"{region.name}: pass budget ({options.max_passes}) exhausted",
         state.history)

@@ -29,16 +29,25 @@ class ResourceInstance:
         #: stable identity independent of speed grade, so post-schedule
         #: regrading (slack compensation) does not invalidate netlist keys.
         self._base_name = f"{rtype.family}_{rtype.width}"
-        self._name = f"{self._base_name}#{index}"
+        #: stable instance name used in reports (``mul_32#0``); a plain
+        #: attribute (not a property) because the timing engine reads it
+        #: millions of times per pass.
+        self.name = f"{self._base_name}#{index}"
         #: per-state occupancy: state -> list of (operation, predicate).
         #: Several operations may legally share a state when their
         #: predicates are mutually exclusive.
         self._occupancy: Dict[int, List[Operation]] = {}
-
-    @property
-    def name(self) -> str:
-        """Stable instance name used in reports (``mul_32#0``)."""
-        return self._name
+        #: incrementally maintained distinct-occupant index (uid -> op):
+        #: the binder sorts candidate instances by occupant count on
+        #: every binding attempt, so this must be O(1), not a rebuild.
+        self._ops_map: Dict[int, Operation] = {}
+        #: shared mutation log: the name of every instance whose
+        #: candidate-ordering inputs (occupant count, grade) change is
+        #: appended here ("*" means everything changed).  The pool
+        #: aliases every member's log to its own, so the binder's
+        #: sorted-candidates memo can tell exactly which compatibility
+        #: groups a mutation invalidated (log length = epoch).
+        self._order_log: List[str] = []
 
     def occupants(self, state: int) -> List[Operation]:
         """Operations occupying this instance at a state."""
@@ -48,13 +57,14 @@ class ResourceInstance:
         """All states where this instance is occupied."""
         return sorted(self._occupancy)
 
+    @property
+    def n_ops_bound(self) -> int:
+        """Number of distinct operations bound to this instance."""
+        return len(self._ops_map)
+
     def ops_bound(self) -> List[Operation]:
         """All operations bound to this instance (deduplicated)."""
-        seen: Dict[int, Operation] = {}
-        for ops in self._occupancy.values():
-            for op in ops:
-                seen[op.uid] = op
-        return [seen[uid] for uid in sorted(seen)]
+        return [self._ops_map[uid] for uid in sorted(self._ops_map)]
 
     def is_free(self, op: Operation, states: List[int]) -> bool:
         """Whether ``op`` may occupy this instance on all ``states``.
@@ -63,8 +73,11 @@ class ResourceInstance:
         Occupied states are still usable when every current occupant's
         predicate is mutually exclusive with ``op``'s.
         """
+        occupancy = self._occupancy
+        if not occupancy:
+            return True
         for state in states:
-            for other in self._occupancy.get(state, ()):
+            for other in occupancy.get(state, ()):
                 if not op.predicate.disjoint(other.predicate):
                     return False
         return True
@@ -75,6 +88,9 @@ class ResourceInstance:
             raise ValueError(f"{self.name}: conflict binding {op.name}")
         for state in states:
             self._occupancy.setdefault(state, []).append(op)
+        if op.uid not in self._ops_map:
+            self._order_log.append(self.name)
+        self._ops_map[op.uid] = op
 
     def release(self, op: Operation) -> None:
         """Undo a previous :meth:`occupy` of ``op`` (backtracking)."""
@@ -83,6 +99,8 @@ class ResourceInstance:
                 o for o in self._occupancy[state] if o.uid != op.uid]
             if not self._occupancy[state]:
                 del self._occupancy[state]
+        if self._ops_map.pop(op.uid, None) is not None:
+            self._order_log.append(self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResourceInstance({self.name})"
@@ -106,7 +124,7 @@ class MemoryPortInstance(ResourceInstance):
         self.bank = bank
         self.port = port
         self._base_name = f"ram_{memory}_b{bank}"
-        self._name = f"{self._base_name}p{port}"
+        self.name = f"{self._base_name}p{port}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MemoryPortInstance({self.name})"
@@ -173,6 +191,9 @@ class ResourcePool:
     def __init__(self) -> None:
         self._instances: List[ResourceInstance] = []
         self._counters: Dict[str, int] = {}
+        #: guards the binder's sorted-candidates memo (see
+        #: :class:`ResourceInstance`); every member instance aliases it.
+        self._order_log: List[str] = []
 
     def add(self, rtype: ResourceType) -> ResourceInstance:
         """Allocate one more instance of ``rtype``."""
@@ -180,12 +201,15 @@ class ResourcePool:
         idx = self._counters.get(key, 0)
         self._counters[key] = idx + 1
         inst = ResourceInstance(rtype, idx)
+        inst._order_log = self._order_log
+        self._order_log.append("*")
         self._instances.append(inst)
         return inst
 
     def remove(self, inst: ResourceInstance) -> None:
         """Drop an instance (only used by allocation refinement)."""
         self._instances.remove(inst)
+        self._order_log.append("*")
 
     @property
     def instances(self) -> List[ResourceInstance]:
@@ -209,12 +233,15 @@ class ResourcePool:
         """Release all bindings (between scheduling passes)."""
         for inst in self._instances:
             inst._occupancy.clear()
+            inst._ops_map.clear()
+        self._order_log.append("*")
 
     def regrade(self, inst: ResourceInstance, rtype: ResourceType) -> None:
         """Swap an instance's type for a different grade of the family."""
         if rtype.family != inst.rtype.family or rtype.width != inst.rtype.width:
             raise ValueError("regrade must stay within the family/width")
         inst.rtype = rtype
+        self._order_log.append(inst.name)
 
     def __len__(self) -> int:
         return len(self._instances)

@@ -32,12 +32,23 @@ class CombCycleGuard:
         self._succs: Dict[str, Set[str]] = {}
         #: reference counts so bindings can be retracted
         self._edges: Dict[Tuple[str, str], int] = {}
+        #: memoized single-edge ``would_cycle`` verdicts, cleared on any
+        #: graph mutation.  A verdict is a pure function of the current
+        #: graph, and failing walks never mutate the graph -- so when a
+        #: doomed operation retries the same candidate chain at each
+        #: successive state, the identical reachability question repeats
+        #: thousands of times between commits.
+        self._memo: Dict[Tuple[str, str], bool] = {}
 
     def _reachable(self, src: str, dst: str) -> bool:
         if src == dst:
             return True
-        seen: Set[str] = set()
-        stack = [src]
+        succs = self._succs
+        first = succs.get(src)
+        if not first:
+            return False
+        seen: Set[str] = {src}
+        stack = list(first)
         while stack:
             cur = stack.pop()
             if cur == dst:
@@ -45,7 +56,9 @@ class CombCycleGuard:
             if cur in seen:
                 continue
             seen.add(cur)
-            stack.extend(self._succs.get(cur, ()))
+            nxt = succs.get(cur)
+            if nxt:
+                stack.extend(nxt)
         return False
 
     def would_cycle(self, new_edges: List[Tuple[str, str]]) -> bool:
@@ -54,6 +67,18 @@ class CombCycleGuard:
         Self edges (chaining two ops on one instance within a state is
         impossible anyway) are reported as cycles.
         """
+        # fast paths: no chaining at all, or a single new connection
+        # (no compound-edge interaction to simulate)
+        if not new_edges:
+            return False
+        if len(new_edges) == 1:
+            edge = new_edges[0]
+            hit = self._memo.get(edge)
+            if hit is not None:
+                return hit
+            src, dst = edge
+            verdict = self._memo[edge] = self._reachable(dst, src)
+            return verdict
         # check against existing graph plus the earlier new edges
         added: List[Tuple[str, str]] = []
         try:
@@ -68,10 +93,14 @@ class CombCycleGuard:
                 self._remove(src, dst)
 
     def _add(self, src: str, dst: str) -> None:
+        if self._memo:
+            self._memo.clear()
         self._succs.setdefault(src, set()).add(dst)
         self._edges[(src, dst)] = self._edges.get((src, dst), 0) + 1
 
     def _remove(self, src: str, dst: str) -> None:
+        if self._memo:
+            self._memo.clear()
         count = self._edges.get((src, dst), 0) - 1
         if count <= 0:
             self._edges.pop((src, dst), None)

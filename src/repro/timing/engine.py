@@ -64,9 +64,14 @@ EPS = 1e-9
 _FREE_KINDS = (OpKind.SLICE, OpKind.ZEXT, OpKind.SEXT, OpKind.MOVE)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class CandidateTiming:
-    """Outcome of evaluating one candidate binding."""
+    """Outcome of evaluating one candidate binding.
+
+    Treated as immutable by convention; not ``frozen=True`` because the
+    scheduler constructs one per candidate evaluation (millions per
+    pass) and a frozen dataclass pays ``object.__setattr__`` per field.
+    """
 
     ok: bool
     out_arrival_ps: float
@@ -76,7 +81,7 @@ class CandidateTiming:
     reason: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class BoundOp:
     """A committed binding of an operation.
 
@@ -150,74 +155,65 @@ def registered_path_ps(library: Library, rtype: ResourceType) -> float:
             + library.mux.delay2_ps + library.ff.setup_ps)
 
 
-class TimingEngine:
-    """The incrementally maintained datapath timing model for one pass.
+class TimingStatics:
+    """The scheduling-state-independent half of the timing model.
 
-    Also importable as ``DatapathNetlist`` (its historical name) from
-    :mod:`repro.timing.netlist`.
-
-    Contract: every operation a binding is committed for must exist in
-    the DFG when the engine is constructed -- the chaining-fanout and
-    topological-order caches that drive re-propagation are built once.
-    The lazy structure fallbacks (:meth:`resolve_source`, the flattened
-    input info) only serve read-only queries on ops added later, e.g.
-    RTL emission resolving sources against a finished schedule.
+    Everything here is a pure memo over ``(dfg, library)``: flattened
+    input-edge info, free-wiring source resolution, chaining fanout,
+    per-op capture overhead, mux-delay and fastest-grade tables, and the
+    topological index.  One instance is legally shared by every
+    :class:`TimingEngine` built over the same region -- the relaxation
+    driver runs dozens to hundreds of passes per schedule, and
+    re-deriving this structure per pass used to be pure waste.
     """
 
-    def __init__(self, dfg: DFG, library: Library, clock_ps: float,
-                 anticipate_muxes: bool = True) -> None:
+    def __init__(self, dfg: DFG, library: Library) -> None:
         self.dfg = dfg
         self.library = library
-        self.clock_ps = clock_ps
-        self.anticipate_muxes = anticipate_muxes
-        self._bound: Dict[int, BoundOp] = {}
-        #: sources per (instance name, port): set of root value uids.
-        self._port_sources: Dict[Tuple[str, int], Set[int]] = {}
-        #: how many compatible operations exist per (family, width bucket),
-        #: set by the scheduler so anticipation can compare demand with
-        #: the allocated instance count.
-        self._type_demand: Dict[Tuple[str, int], int] = {}
-        self._type_count: Dict[Tuple[str, int], int] = {}
-        # -- memoized structure ----------------------------------------
         self._ff_clk_q = library.ff.clk_to_q_ps
         self._ff_setup = library.ff.setup_ps
         self._mux2 = library.mux.delay2_ps
-        self._mux_delay: Dict[int, float] = {}
-        self._resolved: Dict[int, int] = {}
+        self.mux_delay: Dict[int, float] = {}
+        self.resolved: Dict[int, int] = {}
         #: per-op flattened inputs: (port, root uid, static arrival) tuples.
-        self._in_info: Dict[int, Tuple[Tuple[int, int, Optional[float]], ...]] = {}
-        self._fresh: Dict[Tuple[OpKind, int], Optional[ResourceType]] = {}
+        self.in_info: Dict[int, Tuple[Tuple[int, int, Optional[float]], ...]] = {}
+        self.fresh: Dict[Tuple[OpKind, int], Optional[ResourceType]] = {}
         #: per-op (is_mux, capture overhead) -- both static per operation.
-        self._op_flags: Dict[int, Tuple[bool, float]] = {}
-        #: per-instance-name anticipation verdict (cleared when the
-        #: sharing outlook changes).
-        self._ant_cache: Dict[str, bool] = {}
-        #: committed non-mux op uids hosted per instance name.
-        self._inst_ops: Dict[str, Set[int]] = {}
-        self._topo_index: Optional[Dict[int, int]] = None
+        self.op_flags: Dict[int, Tuple[bool, float]] = {}
         #: static chaining fanout: root uid -> uids that read it at distance 0.
-        self._chain_consumers: Dict[int, Tuple[int, ...]] = {}
-        self._build_structure()
+        self.chain_consumers: Dict[int, Tuple[int, ...]] = {}
+        self._topo_index: Optional[Dict[int, int]] = None
+        self._build()
 
-    # ------------------------------------------------------------------
-    # static structure caches
-    # ------------------------------------------------------------------
-    def _build_structure(self) -> None:
+    def _build(self) -> None:
         dfg = self.dfg
         consumers: Dict[int, List[int]] = {}
         for op in dfg.ops:
-            self._in_info[op.uid] = self._flatten_edges(op.uid)
+            self.in_info[op.uid] = self._flatten(op.uid)
             for edge in dfg.in_edges(op.uid):
                 if edge.distance == 0 and not edge.order:
                     consumers.setdefault(
                         self.resolve_source(edge.src), []).append(op.uid)
-        self._chain_consumers = {root: tuple(uids)
-                                 for root, uids in consumers.items()}
+        self.chain_consumers = {root: tuple(uids)
+                                for root, uids in consumers.items()}
         for op in dfg.ops:
-            self._op_flags[op.uid] = (op.is_mux, self._capture_overhead(op))
+            self.op_flags[op.uid] = (op.is_mux, self.capture_overhead(op))
 
-    def _flatten_edges(self, uid: int) -> Tuple[Tuple[int, int, Optional[float]], ...]:
-        """(port, root, static arrival) per input edge, in port order.
+    def resolve_source(self, uid: int) -> int:
+        """Follow free wiring ops (slice/zext/move) back to the producer."""
+        root = self.resolved.get(uid)
+        if root is None:
+            cur = self.dfg.op(uid)
+            while cur.kind in _FREE_KINDS:
+                edge = self.dfg.in_edge(cur.uid, 0)
+                if edge is None:
+                    break
+                cur = self.dfg.op(edge.src)
+            root = self.resolved[uid] = cur.uid
+        return root
+
+    def flatten_edges(self, uid: int) -> Tuple[Tuple[int, int, Optional[float]], ...]:
+        """(port, root, static arrival) per input edge, memoized.
 
         The static arrival is pre-resolved for values whose launch never
         depends on scheduling state: constants contribute 0, and carried
@@ -237,6 +233,12 @@ class TimingEngine:
         port grow a real address mux the path is charged for, exactly
         the mux the RTL backend emits.
         """
+        info = self.in_info.get(uid)
+        if info is None:
+            info = self.in_info[uid] = self._flatten(uid)
+        return info
+
+    def _flatten(self, uid: int) -> Tuple[Tuple[int, int, Optional[float]], ...]:
         op = self.dfg.op(uid)
         data_edges = [e for e in self.dfg.in_edges(uid) if not e.order]
         is_memory = op.kind in (OpKind.LOAD, OpKind.STORE)
@@ -262,17 +264,134 @@ class TimingEngine:
             info.append((port, root, static))
         return tuple(info)
 
-    def _info(self, uid: int) -> Tuple[Tuple[int, int, Optional[float]], ...]:
-        info = self._in_info.get(uid)
-        if info is None:  # op added after engine construction
-            info = self._in_info[uid] = self._flatten_edges(uid)
-        return info
+    def capture_overhead(self, op: Operation) -> float:
+        """Delay from the op output to the capturing FF's D pin.
 
-    def _topo(self) -> Dict[int, int]:
+        Register sharing is anticipated with a 2-input mux, except after
+        MUX/LOOPMUX operations (they are the final select already), for
+        port writes (output ports are not shared) and for memory stores
+        (the RAM array latches the write at the clock edge; its setup is
+        modeled like the FF's).
+        """
+        if op.is_mux or op.kind in (OpKind.WRITE, OpKind.STALL,
+                                    OpKind.STORE, OpKind.PUSH):
+            return self._ff_setup
+        return self._mux2 + self._ff_setup
+
+    def topo(self) -> Dict[int, int]:
+        """Topological index per uid, built on first use."""
         if self._topo_index is None:
             self._topo_index = {op.uid: i for i, op in
                                 enumerate(self.dfg.topological_order())}
         return self._topo_index
+
+
+class TimingEngine:
+    """The incrementally maintained datapath timing model for one pass.
+
+    Also importable as ``DatapathNetlist`` (its historical name) from
+    :mod:`repro.timing.netlist`.
+
+    Contract: every operation a binding is committed for must exist in
+    the DFG when the engine is constructed -- the chaining-fanout and
+    topological-order caches that drive re-propagation are built once.
+    The lazy structure fallbacks (:meth:`resolve_source`, the flattened
+    input info) only serve read-only queries on ops added later, e.g.
+    RTL emission resolving sources against a finished schedule.
+    """
+
+    def __init__(self, dfg: DFG, library: Library, clock_ps: float,
+                 anticipate_muxes: bool = True,
+                 statics: Optional["TimingStatics"] = None) -> None:
+        self.dfg = dfg
+        self.library = library
+        self.clock_ps = clock_ps
+        self.anticipate_muxes = anticipate_muxes
+        self._bound: Dict[int, BoundOp] = {}
+        #: sources per instance name, then per port: set of root value
+        #: uids.  Nested (rather than ``(name, port)``-tuple keyed) so the
+        #: per-candidate hot loops hoist one instance lookup and then
+        #: probe small int-keyed dicts, with no tuple allocation per port.
+        self._port_sources: Dict[str, Dict[int, Set[int]]] = {}
+        #: how many compatible operations exist per (family, width bucket),
+        #: set by the scheduler so anticipation can compare demand with
+        #: the allocated instance count.
+        self._type_demand: Dict[Tuple[str, int], int] = {}
+        self._type_count: Dict[Tuple[str, int], int] = {}
+        # -- memoized structure ----------------------------------------
+        self._ff_clk_q = library.ff.clk_to_q_ps
+        self._ff_setup = library.ff.setup_ps
+        self._mux2 = library.mux.delay2_ps
+        #: per-instance-name anticipation verdict (cleared when the
+        #: sharing outlook changes).
+        self._ant_cache: Dict[str, bool] = {}
+        #: fixed access latency per resource-type object (``id(rtype)``
+        #: keyed; grade objects are library-owned and live for the whole
+        #: session, so ids are stable): avoids a slow ``getattr`` with
+        #: default on every candidate evaluation.
+        self._fixed_lat: Dict[int, int] = {}
+        #: whether the sharing-mux delay changes going from ``n`` to
+        #: ``n + 1`` port sources, keyed by (anticipation flag, n);
+        #: :meth:`_port_mux_delay` depends on the instance only through
+        #: that flag, so this memo is exact.
+        self._mux_step: Dict[Tuple[bool, int], bool] = {}
+        #: committed non-mux op uids hosted per instance name.
+        self._inst_ops: Dict[str, Set[int]] = {}
+        if statics is None:
+            statics = TimingStatics(dfg, library)
+        self._statics = statics
+        # aliases into the (shareable) static structure; all of these are
+        # pure memos over dfg + library, so passes over the same region
+        # legally share one copy instead of re-deriving it per pass
+        self._mux_delay = statics.mux_delay
+        self._resolved = statics.resolved
+        self._in_info = statics.in_info
+        self._fresh = statics.fresh
+        self._op_flags = statics.op_flags
+        self._chain_consumers = statics.chain_consumers
+        # -- commit-outcome cache ---------------------------------------
+        #: serve repeated doomed commits (the ~96%-rollback candidate
+        #: walks) from a memo instead of re-propagating the netlist; see
+        #: :meth:`try_commit`.  Entries are invalidated eagerly: every
+        #: *kept* commit deletes the entries whose recorded read footprint
+        #: it touches (via the reverse dependency maps below), so a probe
+        #: is a single dict lookup.  Rollbacks restore the netlist
+        #: exactly, so provisional commit/rollback pairs never invalidate.
+        self.use_commit_cache = True
+        self._broken_cache: Dict[Tuple, Tuple] = {}
+        #: footprint uid -> cache keys depending on it (stale keys are
+        #: tolerated: invalidation pops with a default).
+        self._dep_uid: Dict[int, Set[Tuple]] = {}
+        #: instance name -> cache keys depending on its sharing state.
+        self._dep_inst: Dict[str, Set[Tuple]] = {}
+        #: (op uid, instance name) -> (instance version, growth
+        #: signature); the signature only changes when the instance's
+        #: port sources do, which the version counter tracks.
+        self._sig_cache: Dict[Tuple[int, str], Tuple[int, Tuple]] = {}
+        self._uid_ver: Dict[int, int] = {}
+        self._inst_ver: Dict[str, int] = {}
+        # -- profiling counters (folded into repro.profiling per pass) --
+        self.n_evaluate = 0
+        self.n_commit = 0
+        self.n_rollback = 0
+        self.n_propagated = 0
+        self.n_cache_hits = 0
+        self.n_cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # static structure caches (delegated to the shareable statics)
+    # ------------------------------------------------------------------
+    def _flatten_edges(self, uid: int) -> Tuple[Tuple[int, int, Optional[float]], ...]:
+        return self._statics.flatten_edges(uid)
+
+    def _info(self, uid: int) -> Tuple[Tuple[int, int, Optional[float]], ...]:
+        info = self._in_info.get(uid)
+        if info is None:  # op added after engine construction
+            info = self._statics.flatten_edges(uid)
+        return info
+
+    def _topo(self) -> Dict[int, int]:
+        return self._statics.topo()
 
     def _mux(self, fanin: int) -> float:
         delay = self._mux_delay.get(fanin)
@@ -299,6 +418,7 @@ class TimingEngine:
         self._type_demand = dict(demand)
         self._type_count = dict(counts)
         self._ant_cache.clear()
+        self._clear_commit_cache()
 
     # ------------------------------------------------------------------
     # value resolution
@@ -307,13 +427,7 @@ class TimingEngine:
         """Follow free wiring ops (slice/zext/move) back to the real producer."""
         root = self._resolved.get(uid)
         if root is None:  # op added after engine construction
-            cur = self.dfg.op(uid)
-            while cur.kind in _FREE_KINDS:
-                edge = self.dfg.in_edge(cur.uid, 0)
-                if edge is None:
-                    break
-                cur = self.dfg.op(edge.src)
-            root = self._resolved[uid] = cur.uid
+            root = self._statics.resolve_source(uid)
         return root
 
     def binding(self, uid: int) -> Optional[BoundOp]:
@@ -328,8 +442,9 @@ class TimingEngine:
     def port_sources(self) -> Dict[Tuple[str, int], Set[int]]:
         """Sources per (instance name, port); sharing muxes live where
         a port has two or more."""
-        return {key: set(sources)
-                for key, sources in self._port_sources.items()}
+        return {(iname, port): set(sources)
+                for iname, by_port in self._port_sources.items()
+                for port, sources in by_port.items()}
 
     # ------------------------------------------------------------------
     # arrival computation
@@ -367,7 +482,8 @@ class TimingEngine:
     def port_fanin(self, inst: ResourceInstance, port: int,
                    extra_source: Optional[int] = None) -> int:
         """Number of distinct sources at an instance input port."""
-        sources = self._port_sources.get((inst.name, port))
+        by_port = self._port_sources.get(inst.name)
+        sources = by_port.get(port) if by_port is not None else None
         if sources is None:
             return 0 if extra_source is None else 1
         if extra_source is not None and extra_source not in sources:
@@ -376,8 +492,12 @@ class TimingEngine:
 
     def _port_mux_delay(self, inst: ResourceInstance, fanin: int) -> float:
         """Sharing-mux delay for a port at ``fanin`` distinct sources."""
-        if self._anticipated(inst) and fanin < 2:
-            fanin = 2
+        if fanin < 2:
+            flag = self._ant_cache.get(inst.name)
+            if flag is None:
+                flag = self._anticipated(inst)
+            if flag:
+                fanin = 2
         return self._mux(fanin)
 
     def _resource_delay(self, op: Operation,
@@ -390,58 +510,79 @@ class TimingEngine:
         return inst.rtype.delay_ps
 
     def _capture_overhead(self, op: Operation) -> float:
-        """Delay from the op output to the capturing FF's D pin.
+        """Delay from the op output to the capturing FF's D pin."""
+        return self._statics.capture_overhead(op)
 
-        Register sharing is anticipated with a 2-input mux, except after
-        MUX/LOOPMUX operations (they are the final select already), for
-        port writes (output ports are not shared) and for memory stores
-        (the RAM array latches the write at the clock edge; its setup is
-        modeled like the FF's).
-        """
-        if op.is_mux or op.kind in (OpKind.WRITE, OpKind.STALL,
-                                    OpKind.STORE, OpKind.PUSH):
-            return self._ff_setup
-        return self._mux2 + self._ff_setup
+    def input_profile(
+            self, op: Operation,
+            state: int) -> List[Tuple[int, int, float, bool]]:
+        """Per-input ``(port, root, raw arrival, chained?)`` of ``op`` at
+        ``state``, before sharing muxes.
 
-    def _path(self, op: Operation, inst: Optional[ResourceInstance],
-              state: int) -> Tuple[float, float, bool]:
-        """(out arrival, capture, chained?) of ``op`` on ``inst`` at ``state``.
-
-        The innermost loop of every scheduling pass: candidate
-        evaluation, committed re-propagation and the sign-off audit all
-        land here, which is why the structure lookups are pre-flattened
-        and the loop body is inlined.
+        Raw arrivals depend only on the producers' committed bindings --
+        never on the candidate instance -- and the scheduler restores the
+        netlist to the same committed state between candidates of one
+        walk (failed try_commits roll back, successful ones end the
+        walk), so one profile legally serves every candidate evaluation
+        of that walk via :meth:`evaluate`'s ``profile`` argument.
         """
         uid = op.uid
         info = self._in_info.get(uid)
         if info is None:
             info = self._info(uid)
+        clk_q = self._ff_clk_q
+        bound_map = self._bound
+        out: List[Tuple[int, int, float, bool]] = []
+        for port, root, static_arr in info:
+            if static_arr is None:
+                b = bound_map.get(root)
+                if b is not None and b.state == state and b.cycles == 1:
+                    arr = b.out_arrival_ps
+                    out.append((port, root, arr, arr > clk_q))
+                else:
+                    out.append((port, root, clk_q, False))
+            else:
+                out.append((port, root, static_arr, False))
+        return out
+
+    def _path(self, op: Operation, inst: Optional[ResourceInstance],
+              state: int,
+              profile: Optional[List[Tuple[int, int, float, bool]]] = None,
+              ) -> Tuple[float, float, bool]:
+        """(out arrival, capture, chained?) of ``op`` on ``inst`` at ``state``.
+
+        The innermost loop of every scheduling pass: candidate
+        evaluation, committed re-propagation and the sign-off audit all
+        land here, which is why the structure lookups are pre-flattened
+        and the loop body is inlined.  ``profile`` optionally supplies
+        the raw input arrivals (see :meth:`input_profile`) so a candidate
+        walk resolves producers once instead of once per candidate.
+
+        :meth:`evaluate` carries an inlined copy of this body (the call
+        frame is measurable at millions of calls) -- keep them in sync.
+        """
+        uid = op.uid
         flags = self._op_flags.get(uid)
         if flags is None:  # op added after engine construction
             flags = self._op_flags[uid] = (op.is_mux,
                                            self._capture_overhead(op))
         is_mux, overhead = flags
         clk_q = self._ff_clk_q
-        bound_map = self._bound
-        worst_in = clk_q if not info else 0.0
+        if profile is None:
+            profile = self.input_profile(op, state)
+        worst_in = clk_q if not profile else 0.0
         chained = False
         if inst is not None and not is_mux:
             iname = inst.name
-            psources = self._port_sources
-            anticipated = self._anticipated(inst)
+            by_port = self._port_sources.get(iname)
+            anticipated = self._ant_cache.get(iname)
+            if anticipated is None:
+                anticipated = self._anticipated(inst)
             mux_delays = self._mux_delay
-            for port, root, static_arr in info:
-                if static_arr is None:
-                    b = bound_map.get(root)
-                    if b is not None and b.state == state and b.cycles == 1:
-                        arr = b.out_arrival_ps
-                        if arr > clk_q:
-                            chained = True
-                    else:
-                        arr = clk_q
-                else:
-                    arr = static_arr
-                sources = psources.get((iname, port))
+            for port, root, arr, ch in profile:
+                if ch:
+                    chained = True
+                sources = by_port.get(port) if by_port is not None else None
                 if sources is None:
                     fanin = 1
                 elif root in sources:
@@ -457,17 +598,9 @@ class TimingEngine:
                     worst_in = arr
             out = worst_in + inst.rtype.delay_ps
         else:
-            for _port, root, static_arr in info:
-                if static_arr is None:
-                    b = bound_map.get(root)
-                    if b is not None and b.state == state and b.cycles == 1:
-                        arr = b.out_arrival_ps
-                        if arr > clk_q:
-                            chained = True
-                    else:
-                        arr = clk_q
-                else:
-                    arr = static_arr
+            for _port, _root, arr, ch in profile:
+                if ch:
+                    chained = True
                 if arr > worst_in:
                     worst_in = arr
             out = worst_in + (self._mux2 if is_mux else 0.0)
@@ -477,16 +610,72 @@ class TimingEngine:
     # candidate evaluation
     # ------------------------------------------------------------------
     def evaluate(self, op: Operation, inst: Optional[ResourceInstance],
-                 state: int, allow_multicycle: bool = True) -> CandidateTiming:
+                 state: int, allow_multicycle: bool = True,
+                 profile: Optional[List[Tuple[int, int, float, bool]]] = None,
+                 ) -> CandidateTiming:
         """Timing of binding ``op`` to ``inst`` at ``state``.
 
         Returns a failed :class:`CandidateTiming` (with the violation in
         ``reason``) instead of raising, so the scheduler can try the next
         resource and record restraints.
         """
-        out, capture, chained = self._path(op, inst, state)
-        fixed = getattr(inst.rtype, "access_cycles", 1) \
-            if inst is not None else 1
+        self.n_evaluate += 1
+        # --- inlined copy of :meth:`_path` (keep the two in sync): this
+        # pair is the hottest call in a pass (one per candidate
+        # evaluation), and the call frame alone is measurable ---
+        uid = op.uid
+        flags = self._op_flags.get(uid)
+        if flags is None:  # op added after engine construction
+            flags = self._op_flags[uid] = (op.is_mux,
+                                           self._capture_overhead(op))
+        is_mux, overhead = flags
+        clk_q = self._ff_clk_q
+        if profile is None:
+            profile = self.input_profile(op, state)
+        worst_in = clk_q if not profile else 0.0
+        chained = False
+        if inst is not None and not is_mux:
+            iname = inst.name
+            by_port = self._port_sources.get(iname)
+            anticipated = self._ant_cache.get(iname)
+            if anticipated is None:
+                anticipated = self._anticipated(inst)
+            mux_delays = self._mux_delay
+            for port, root, arr, ch in profile:
+                if ch:
+                    chained = True
+                sources = by_port.get(port) if by_port is not None else None
+                if sources is None:
+                    fanin = 1
+                elif root in sources:
+                    fanin = len(sources)
+                else:
+                    fanin = len(sources) + 1
+                if anticipated and fanin < 2:
+                    fanin = 2
+                if fanin > 1:
+                    delay = mux_delays.get(fanin)
+                    arr += delay if delay is not None else self._mux(fanin)
+                if arr > worst_in:
+                    worst_in = arr
+            out = worst_in + inst.rtype.delay_ps
+        else:
+            for _port, _root, arr, ch in profile:
+                if ch:
+                    chained = True
+                if arr > worst_in:
+                    worst_in = arr
+            out = worst_in + (self._mux2 if is_mux else 0.0)
+        capture = out + overhead
+        # --- end inlined _path ---
+        if inst is None:
+            fixed = 1
+        else:
+            rt = inst.rtype
+            fixed = self._fixed_lat.get(id(rt))
+            if fixed is None:
+                fixed = self._fixed_lat[id(rt)] = getattr(
+                    rt, "access_cycles", 1)
         if fixed > 1:
             # fixed-latency macro (registered-read RAM): occupies its
             # port for ``fixed`` states and needs registered inputs
@@ -614,14 +803,22 @@ class TimingEngine:
     # commit / rollback with incremental re-propagation
     # ------------------------------------------------------------------
     def commit(self, op: Operation, inst: Optional[ResourceInstance],
-               state: int, timing: CandidateTiming) -> CommitResult:
+               state: int, timing: CandidateTiming,
+               _visited: Optional[List[int]] = None,
+               _provisional: bool = False) -> CommitResult:
         """Record an accepted binding and re-time everything it disturbs.
 
         The returned :class:`CommitResult` lists the other committed
         bindings whose stored arrivals changed; callers that must
         guarantee timing check :meth:`CommitResult.broken` and
         :meth:`uncommit` on violation.
+
+        ``_provisional`` suppresses commit-outcome-cache invalidation:
+        :meth:`try_commit` sets it and invalidates itself only when the
+        commit is kept, so its commit/rollback probes stay invisible to
+        the cache.
         """
+        self.n_commit += 1
         bound = BoundOp(op, inst, state, timing.cycles,
                         timing.out_arrival_ps, timing.capture_ps,
                         waived=not timing.ok)
@@ -631,17 +828,22 @@ class TimingEngine:
         if inst is not None and not op.is_mux:
             iname = inst.name
             hosted = self._inst_ops.setdefault(iname, set())
+            by_port = self._port_sources.get(iname)
             for port, root, _static in self._info(op.uid):
-                key = (iname, port)
-                sources = self._port_sources.setdefault(key, set())
-                if root in sources:
+                if by_port is None:
+                    by_port = self._port_sources[iname] = {}
+                sources = by_port.get(port)
+                if sources is None:
+                    sources = by_port[port] = set()
+                elif root in sources:
                     continue
                 before = self._port_mux_delay(inst, len(sources))
                 sources.add(root)
-                added.append((key, root))
+                added.append(((iname, port), root))
                 if self._port_mux_delay(inst, len(sources)) != before:
                     dirty.update(hosted)
             hosted.add(op.uid)
+            self._inst_ver[iname] = self._inst_ver.get(iname, 0) + 1
         # a single-cycle producer now chains combinationally into any
         # committed same-state consumer that previously assumed it
         # registered
@@ -651,7 +853,18 @@ class TimingEngine:
                 cb = self._bound.get(cons)
                 if cb is not None and cb.state == state:
                     dirty.add(cons)
-        retimed = self._propagate(dirty)
+        retimed = self._propagate(dirty, _visited)
+        uid_ver = self._uid_ver
+        uid_ver[op.uid] = uid_ver.get(op.uid, 0) + 1
+        for other, _out, _capture in retimed:
+            uid = other.op.uid
+            uid_ver[uid] = uid_ver.get(uid, 0) + 1
+        if not _provisional and self._broken_cache:
+            changed = [op.uid]
+            changed.extend(o.op.uid for o, _out, _cap in retimed)
+            self._invalidate_commit_cache(
+                changed,
+                inst.name if (inst is not None and not op.is_mux) else None)
         return CommitResult(bound, tuple(added), tuple(retimed))
 
     def rollback(self, result: CommitResult) -> None:
@@ -660,23 +873,234 @@ class TimingEngine:
         Only valid while ``result`` is the most recent commit (the
         scheduler's reject-on-violation path); anything older must go
         through :meth:`uncommit`.
+
+        Version counters are decremented back to their pre-commit values,
+        so a commit+rollback pair is invisible to the commit-outcome
+        cache -- doomed candidate walks must not invalidate it.
         """
+        self.n_rollback += 1
         bound = result.bound
         self._bound.pop(bound.op.uid, None)
+        uid_ver = self._uid_ver
+        uid_ver[bound.op.uid] = uid_ver.get(bound.op.uid, 0) - 1
+        if bound.inst is not None and not bound.op.is_mux:
+            iname = bound.inst.name
+            self._inst_ver[iname] = self._inst_ver.get(iname, 0) - 1
         if bound.inst is not None:
             hosted = self._inst_ops.get(bound.inst.name)
             if hosted is not None:
                 hosted.discard(bound.op.uid)
-        for key, root in result.undo_sources:
-            sources = self._port_sources.get(key)
+        for (iname, port), root in result.undo_sources:
+            by_port = self._port_sources.get(iname)
+            if by_port is None:
+                continue
+            sources = by_port.get(port)
             if sources is None:
                 continue
             sources.discard(root)
             if not sources:
-                del self._port_sources[key]
+                del by_port[port]
+                if not by_port:
+                    del self._port_sources[iname]
         for other, out, capture in result.undo_timing:
             other.out_arrival_ps = out
             other.capture_ps = capture
+            uid = other.op.uid
+            uid_ver[uid] = uid_ver.get(uid, 0) - 1
+
+    # ------------------------------------------------------------------
+    # speculative commit with the commit-outcome cache
+    # ------------------------------------------------------------------
+    def _growth_signature(self, op: Operation,
+                          inst: ResourceInstance) -> Tuple:
+        """Which instance ports this binding's sources would slow down.
+
+        Simulates the source additions :meth:`commit` would perform and
+        returns ``(port, final fanin)`` for every port whose sharing-mux
+        delay changes.  Two candidate bindings with the same signature on
+        the same instance disturb the committed netlist identically --
+        the re-timed paths only read the per-port mux *delays*, which the
+        signature pins exactly.
+        """
+        iname = inst.name
+        by_port = self._port_sources.get(iname)
+        anticipated = self._ant_cache.get(iname)
+        if anticipated is None:
+            anticipated = self._anticipated(inst)
+        step = self._mux_step
+        # fast path: every real op shape feeds each input port at most
+        # once, so per-port bookkeeping degenerates to one added root;
+        # a repeated port falls back to the general accumulation below
+        added: Dict[int, int] = {}
+        changed: List[Tuple[int, int]] = []
+        for port, root, _static in self._info(op.uid):
+            sources = by_port.get(port) if by_port is not None else None
+            if sources is not None and root in sources:
+                continue
+            if port in added:
+                if added[port] == root:
+                    continue
+                return self._growth_signature_multi(op, inst)
+            n = len(sources) if sources is not None else 0
+            skey = (anticipated, n)
+            chg = step.get(skey)
+            if chg is None:
+                chg = step[skey] = (self._port_mux_delay(inst, n + 1)
+                                    != self._port_mux_delay(inst, n))
+            if chg:
+                changed.append((port, n + 1))
+            added[port] = root
+        changed.sort()
+        return tuple(changed)
+
+    def _growth_signature_multi(self, op: Operation,
+                                inst: ResourceInstance) -> Tuple:
+        """General form of :meth:`_growth_signature` for the rare op
+        shape that feeds one port from several distinct roots."""
+        iname = inst.name
+        by_port = self._port_sources.get(iname)
+        if by_port is None:
+            by_port = {}
+        anticipated = self._ant_cache.get(iname)
+        if anticipated is None:
+            anticipated = self._anticipated(inst)
+        step = self._mux_step
+        sig: List[Tuple[int, int]] = []
+        added: Dict[int, Set[int]] = {}
+        changed: Set[int] = set()
+        for port, root, _static in self._info(op.uid):
+            sources = by_port.get(port)
+            extra = added.setdefault(port, set())
+            if (sources is not None and root in sources) or root in extra:
+                continue
+            n = (len(sources) if sources is not None else 0) + len(extra)
+            skey = (anticipated, n)
+            chg = step.get(skey)
+            if chg is None:
+                chg = step[skey] = (self._port_mux_delay(inst, n + 1)
+                                    != self._port_mux_delay(inst, n))
+            if chg:
+                changed.add(port)
+            extra.add(root)
+        for port in sorted(changed):
+            base = by_port.get(port)
+            final = (len(base) if base is not None else 0) + len(added[port])
+            sig.append((port, final))
+        return tuple(sig)
+
+    def try_commit(self, op: Operation, inst: Optional[ResourceInstance],
+                   state: int, timing: CandidateTiming,
+                   ) -> Tuple[Optional[CommitResult],
+                              Optional[Tuple[int, int, float, float]]]:
+        """Commit unless the re-propagation breaks a committed binding.
+
+        Returns ``(result, broken_info)`` where exactly one side is set:
+
+        * ``result`` -- the commit was kept (nothing broke); the caller
+          proceeds exactly as after :meth:`commit`.
+        * ``broken_info`` -- ``(broken uid, broken state, slack after
+          retime, worst input arrival with the mux growth in place)``;
+          the engine is back in its pre-call state.  This is precisely
+          the payload of the scheduler's NEG_SLACK restraint.
+
+        Doomed outcomes are memoized per ``(instance, growth signature)``.
+        Each entry records the read footprint of the walk that produced
+        it in reverse dependency maps, and every *kept* commit eagerly
+        deletes the entries it touches -- so a probe is a single dict
+        lookup.  Provisional commit/rollback pairs restore the netlist
+        exactly and never invalidate.  Bindings whose producer would
+        newly chain into a committed same-state consumer bypass the
+        cache: their disturbance depends on the candidate itself.
+        """
+        cache_key = None
+        if self.use_commit_cache and inst is not None and not op.is_mux:
+            chain_dirt = False
+            if (timing.cycles == 1 and op.kind is not OpKind.READ
+                    and not op.is_io):
+                for cons in self._chain_consumers.get(op.uid, ()):
+                    cb = self._bound.get(cons)
+                    if cb is not None and cb.state == state:
+                        chain_dirt = True
+                        break
+            if not chain_dirt:
+                iname = inst.name
+                skey = (op.uid, iname)
+                iver = self._inst_ver.get(iname, 0)
+                cached_sig = self._sig_cache.get(skey)
+                if cached_sig is not None and cached_sig[0] == iver:
+                    sig = cached_sig[1]
+                else:
+                    sig = self._growth_signature(op, inst)
+                    self._sig_cache[skey] = (iver, sig)
+                if sig:
+                    cache_key = (iname, sig)
+                    info = self._broken_cache.get(cache_key)
+                    if info is not None:
+                        self.n_cache_hits += 1
+                        return None, info
+        visited: Optional[List[int]] = [] if cache_key is not None else None
+        result = self.commit(op, inst, state, timing, _visited=visited,
+                             _provisional=True)
+        broken = result.broken(self.clock_ps)
+        if broken is None:
+            if self._broken_cache:
+                changed = [op.uid]
+                changed.extend(o.op.uid for o, _out, _cap
+                               in result.undo_timing)
+                self._invalidate_commit_cache(
+                    changed,
+                    inst.name if (inst is not None and not op.is_mux)
+                    else None)
+            return result, None
+        slack = self.slack_of(broken)
+        arrival = self.worst_input_arrival(broken.op, broken.state)
+        self.rollback(result)
+        info = (broken.op.uid, broken.state, slack, arrival)
+        if cache_key is not None:
+            self.n_cache_misses += 1
+            # footprint: every binding the doomed walk read -- the
+            # re-timed/visited uids, the roots their paths consulted, the
+            # chain consumers examined for cascading, and the broken
+            # op's own inputs (for the arrival probe)
+            fp_uids: Set[int] = set(visited or ())
+            for uid in list(fp_uids):
+                for _port, root, static in self._info(uid):
+                    if static is None:
+                        fp_uids.add(root)
+                for cons in self._chain_consumers.get(uid, ()):
+                    fp_uids.add(cons)
+            for _port, root, static in self._info(broken.op.uid):
+                if static is None:
+                    fp_uids.add(root)
+            self._broken_cache[cache_key] = info
+            dep_uid = self._dep_uid
+            for uid in fp_uids:
+                dep_uid.setdefault(uid, set()).add(cache_key)
+            self._dep_inst.setdefault(inst.name, set()).add(cache_key)
+        return None, info
+
+    def _invalidate_commit_cache(self, uids: List[int],
+                                 iname: Optional[str]) -> None:
+        """Drop cache entries whose footprint a kept commit touched."""
+        cache = self._broken_cache
+        dep_uid = self._dep_uid
+        for uid in uids:
+            keys = dep_uid.pop(uid, None)
+            if keys:
+                for key in keys:
+                    cache.pop(key, None)
+        if iname is not None:
+            keys = self._dep_inst.pop(iname, None)
+            if keys:
+                for key in keys:
+                    cache.pop(key, None)
+
+    def _clear_commit_cache(self) -> None:
+        """Wholesale reset (outlook changes, uncommit, retime_all)."""
+        self._broken_cache.clear()
+        self._dep_uid.clear()
+        self._dep_inst.clear()
+        self._sig_cache.clear()
 
     def uncommit(self, op: Operation) -> List[BoundOp]:
         """Remove a binding (pass restarts, backtracking) and re-time the
@@ -684,6 +1108,9 @@ class TimingEngine:
         bound = self._bound.pop(op.uid, None)
         if bound is None:
             return []
+        # uncommit does not maintain the version counters; drop the
+        # commit-outcome memo wholesale instead
+        self._clear_commit_cache()
         dirty: Set[int] = set()
         inst = bound.inst
         if inst is not None and not op.is_mux:
@@ -691,20 +1118,20 @@ class TimingEngine:
             if hosted is not None:
                 hosted.discard(op.uid)
             # rebuild the instance's port source sets from survivors
-            stale = [k for k in self._port_sources if k[0] == inst.name]
-            before = {k: self._port_mux_delay(inst, len(self._port_sources[k]))
-                      for k in stale}
-            for key in stale:
-                del self._port_sources[key]
+            old_ports = self._port_sources.pop(inst.name, {})
+            before = {port: self._port_mux_delay(inst, len(sources))
+                      for port, sources in old_ports.items()}
+            rebuilt: Dict[int, Set[int]] = {}
             for other in self._bound.values():
                 if other.inst is not inst or other.op.is_mux:
                     continue
                 for port, root, _static in self._info(other.op.uid):
-                    key = (inst.name, port)
-                    self._port_sources.setdefault(key, set()).add(root)
-            for key, old_delay in before.items():
+                    rebuilt.setdefault(port, set()).add(root)
+            if rebuilt:
+                self._port_sources[inst.name] = rebuilt
+            for port, old_delay in before.items():
                 now = self._port_mux_delay(
-                    inst, len(self._port_sources.get(key, ())))
+                    inst, len(rebuilt.get(port, ())))
                 if now != old_delay:
                     dirty.update(u for u in self._inst_ops.get(inst.name, ())
                                  if u != op.uid)
@@ -716,12 +1143,16 @@ class TimingEngine:
                     dirty.add(cons)
         return [b for b, _out, _cap in self._propagate(dirty)]
 
-    def _propagate(self, dirty: Set[int]) -> List[Tuple[BoundOp, float, float]]:
+    def _propagate(self, dirty: Set[int],
+                   visited: Optional[List[int]] = None,
+                   ) -> List[Tuple[BoundOp, float, float]]:
         """Re-time dirty bindings in topological order, cascading arrival
         changes through same-state combinational chains.
 
         Returns each changed binding with its previous (out, capture)
-        so the caller can build an undo record.
+        so the caller can build an undo record.  ``visited`` (when given)
+        collects every binding examined -- changed or not -- so
+        :meth:`try_commit` can record the read footprint of the walk.
         """
         if not dirty:
             return []
@@ -732,6 +1163,9 @@ class TimingEngine:
         retimed: List[Tuple[BoundOp, float, float]] = []
         while order:
             _idx, uid = heapq.heappop(order)
+            self.n_propagated += 1
+            if visited is not None:
+                visited.append(uid)
             bound = self._bound.get(uid)
             if bound is None:
                 continue
@@ -766,6 +1200,7 @@ class TimingEngine:
         cached arrival at once (resource regrading during slack
         compensation); incremental propagation handles everything else.
         """
+        self._clear_commit_cache()
         for op in self.dfg.topological_order():
             bound = self._bound.get(op.uid)
             if bound is None:

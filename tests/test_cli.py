@@ -142,6 +142,49 @@ def test_stream_unknown_pipeline():
 
 
 # ----------------------------------------------------------------------
+# profile: cProfile + scheduler counters
+# ----------------------------------------------------------------------
+def test_profile_json(capsys):
+    assert main(["profile", "fir", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["feasible"] is True
+    assert data["passes"] >= 1
+    assert data["counters"]["pass.count"] == data["passes"]
+    assert data["counters"]["engine.commit"] > 0
+    assert data["wall_s"] > 0
+
+
+def test_profile_human_report(capsys):
+    assert main(["profile", "fir"]) == 0
+    out = capsys.readouterr().out
+    assert "cumtime" in out  # the cProfile table
+    assert "profile counters:" in out
+    assert "pass.count" in out
+
+
+def test_profile_infeasible_exits_nonzero(capsys):
+    # II=1 on fft8 at 400 ps is infeasible: exit 1, error field
+    assert main(["profile", "fft8", "--clock", "400",
+                 "--ii", "1", "--json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["feasible"] is False
+    assert "error" in data
+
+
+def test_profile_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["profile", "nonexistent"])
+
+
+def test_schedule_profile_flag_reports_counters(capsys):
+    assert main(["schedule", "example1", "--json", "--profile"]) == 0
+    captured = capsys.readouterr()
+    json.loads(captured.out)  # stdout stays machine-readable
+    assert "profile counters:" in captured.err
+    assert "pass.count" in captured.err
+
+
+# ----------------------------------------------------------------------
 # tune: goal-directed autotuning
 # ----------------------------------------------------------------------
 TUNE_ARGS = ["tune", "fir", "--delay-ps", "8000",
