@@ -230,6 +230,21 @@ class RegionBuilder:
         """Division."""
         return self._binary(OpKind.DIV, a, b, width, name)
 
+    def mod(self, a: ValueLike, b: ValueLike, width: Optional[int] = None,
+            name: str = "") -> Value:
+        """Remainder (truncating, like DIV; binds to divider resources)."""
+        return self._binary(OpKind.MOD, a, b, width, name)
+
+    def neg(self, a: ValueLike, width: Optional[int] = None,
+            name: str = "") -> Value:
+        """Two's-complement negation (binds to adder resources)."""
+        va = self._as_value(a, width or 32)
+        op = self.dfg.add_op(OpKind.NEG, width or va.width, name=name,
+                             predicate=self._current_predicate())
+        op.operand_widths = (va.width,)
+        self.dfg.connect(va.op, op, 0)
+        return Value(op)
+
     def shl(self, a: ValueLike, b: ValueLike, width: Optional[int] = None,
             name: str = "") -> Value:
         """Logical shift left."""
@@ -307,6 +322,35 @@ class RegionBuilder:
                              predicate=self._current_predicate())
         self.dfg.connect(va.op, op, 0)
         return Value(op)
+
+    def sext(self, a: ValueLike, width: int, name: str = "") -> Value:
+        """Sign extension (free wiring)."""
+        va = self._as_value(a, width)
+        op = self.dfg.add_op(OpKind.SEXT, width, name=name,
+                             predicate=self._current_predicate())
+        self.dfg.connect(va.op, op, 0)
+        return Value(op)
+
+    def ashr(self, a: ValueLike, shift: Union[int, "Value"],
+             name: str = "") -> Value:
+        """Arithmetic shift right.
+
+        A constant shift is free wiring (slice the high bits and
+        sign-extend); a dynamic shift uses the sign-replication identity
+        ``(a >>l n ^ t) - t`` with ``t = MIN_INT >>l n``.
+        """
+        va = self._as_value(a, 32)
+        width = va.width
+        if isinstance(shift, int):
+            if shift <= 0:
+                return va
+            lo = min(shift, width - 1)
+            return self.sext(self.slice_(va, width - 1, lo), width,
+                             name=name)
+        logical = self.shr(va, shift, width=width)
+        sign = self.shr(self.const(-(1 << (width - 1)), width), shift,
+                        width=width)
+        return self.sub(self.xor(logical, sign), sign, name=name)
 
     def call(self, ip_name: str, args: List[ValueLike], width: int,
              name: str = "") -> Value:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -36,7 +37,7 @@ from repro.core.scheduler import schedule_region
 from repro.explore import PAPER_MICROARCHS, Microarch
 from repro.flow import get_flow, run_sweep
 from repro.flow.context import CompilationContext
-from repro.frontend import compile_source
+from repro.frontend import FrontendError, compile_source
 from repro.rtl import schedule_report
 from repro.rtl.reports import format_table, pareto_header
 from repro.tech import Library, artisan90, generic45
@@ -72,6 +73,20 @@ def _print_failure(ctx: CompilationContext) -> None:
             print(f"  {line}", file=sys.stderr)
 
 
+def _compile_file(path: str):
+    """Compile a source file of either kind (legacy or ``.py``).
+
+    Raises :class:`FrontendError` (with the caret diagnostic attached)
+    on bad source, ``SystemExit`` on unreadable files.
+    """
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    return compile_source(text, filename=path)
+
+
 def _source_contexts(args: argparse.Namespace, library: Library,
                      run_optimizer: bool) -> List[CompilationContext]:
     """One unrun context per loop of the source file / named workload."""
@@ -84,9 +99,7 @@ def _source_contexts(args: argparse.Namespace, library: Library,
             else None,
             run_optimizer=run_optimizer))
         return contexts
-    with open(args.source) as handle:
-        text = handle.read()
-    for loop in compile_source(text):
+    for loop in _compile_file(args.source):
         pipeline = PipelineSpec(ii=args.ii) if args.ii is not None \
             else loop.pipeline
         contexts.append(CompilationContext(
@@ -95,14 +108,45 @@ def _source_contexts(args: argparse.Namespace, library: Library,
     return contexts
 
 
+def _resolve_workload(spec: str) -> Callable[[], Region]:
+    """A region factory from a workload name or a source file path.
+
+    Source files must contain exactly one kernel (sweeps and tuning
+    operate on a single region).  The factory recompiles per call so
+    every invocation gets a fresh, unmutated region; fingerprints stay
+    identical across calls, so caching still works.
+    """
+    factory = WORKLOADS.get(spec)
+    if factory is not None:
+        return factory
+    if not (spec.endswith(".py") or os.path.exists(spec)):
+        raise SystemExit(f"unknown workload {spec!r}; choose from "
+                         f"{sorted(WORKLOADS)} or pass a source file")
+    try:
+        units = _compile_file(spec)
+    except FrontendError as exc:
+        print(exc.render(), file=sys.stderr)
+        raise SystemExit(1)
+    if len(units) != 1:
+        raise SystemExit(
+            f"{spec}: sweeps need exactly one kernel, found "
+            f"{[u.region.name for u in units]}")
+    return lambda: _compile_file(spec)[0].region
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     """Compile and schedule a source file (or a named workload)."""
     library = _library(args.library)
     flow = get_flow("pipeline")
     if args.profile:
         profiling.reset()
-    for ctx in _source_contexts(args, library,
-                                run_optimizer=not args.no_optimize):
+    try:
+        contexts = _source_contexts(args, library,
+                                    run_optimizer=not args.no_optimize)
+    except FrontendError as exc:
+        print(exc.render(), file=sys.stderr)
+        return 1
+    for ctx in contexts:
         flow.run(ctx)
         if ctx.failed:
             _print_failure(ctx)
@@ -129,11 +173,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     import time
 
     library = _library(args.library)
-    factory = WORKLOADS.get(args.workload)
-    if factory is None:
-        raise SystemExit(f"unknown workload {args.workload!r}; "
-                         f"choose from {sorted(WORKLOADS)}")
-    region = factory()
+    region = _resolve_workload(args.workload)()
     pipeline = PipelineSpec(ii=args.ii) if args.ii is not None else None
     profiling.reset()
     prof = cProfile.Profile()
@@ -183,7 +223,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_verilog(args: argparse.Namespace) -> int:
     """Compile, schedule and emit Verilog RTL."""
     library = _library(args.library)
-    (ctx,) = _source_contexts(args, library, run_optimizer=False)
+    try:
+        (ctx,) = _source_contexts(args, library, run_optimizer=False)
+    except FrontendError as exc:
+        print(exc.render(), file=sys.stderr)
+        return 1
     get_flow("verilog").run(ctx)
     if ctx.failed:
         if args.json:
@@ -234,10 +278,7 @@ def _load_cache(path: Optional[str]):
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Microarchitecture x clock exploration on a named workload."""
     library = _library(args.library)
-    factory = WORKLOADS.get(args.workload)
-    if factory is None:
-        raise SystemExit(f"unknown workload {args.workload!r}; "
-                         f"choose from {sorted(WORKLOADS)}")
+    factory = _resolve_workload(args.workload)
     clocks = [float(c) for c in args.clocks.split(",")]
     micros = _parse_microarchs(args.latencies)
     cache = _load_cache(args.cache)
@@ -262,10 +303,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
     from repro.dse import DesignSpace, Goal, GoalError, ResultStore, tune
 
     library = _library(args.library)
-    factory = WORKLOADS.get(args.workload)
-    if factory is None:
-        raise SystemExit(f"unknown workload {args.workload!r}; "
-                         f"choose from {sorted(WORKLOADS)}")
+    factory = _resolve_workload(args.workload)
     objective = args.objective
     if objective is None:
         # a delay budget usually means "smallest design meeting it";
@@ -418,7 +456,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("schedule", help="compile and schedule")
-    p.add_argument("source", help="source file or workload name")
+    p.add_argument("source", help="source file (mini-language or .py "
+                                  "Python subset) or workload name")
     p.add_argument("--clock", type=float, default=1600.0)
     p.add_argument("--ii", type=int, default=None)
     p.add_argument("--json", action="store_true")
@@ -439,7 +478,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("verilog", help="emit RTL")
-    p.add_argument("source", help="source file or workload name")
+    p.add_argument("source", help="source file (mini-language or .py "
+                                  "Python subset) or workload name")
     p.add_argument("--clock", type=float, default=1600.0)
     p.add_argument("--ii", type=int, default=None)
     p.add_argument("--output", default=None)
@@ -448,7 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_verilog)
 
     p = sub.add_parser("sweep", help="microarchitecture/clock exploration")
-    p.add_argument("workload")
+    p.add_argument("workload", help="workload name or .py source file")
     p.add_argument("--clocks", default="1000,1250,1600,2100,2800")
     p.add_argument("--latencies", default=None,
                    help="e.g. 8,16,32:16 (lat or lat:ii, comma separated)")
@@ -462,7 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "tune", help="goal-directed autotuning over microarch x clock")
-    p.add_argument("workload")
+    p.add_argument("workload", help="workload name or .py source file")
     p.add_argument("--delay-ps", type=float, default=None,
                    help="constraint: delay <= this many picoseconds")
     p.add_argument("--max-area", type=float, default=None,

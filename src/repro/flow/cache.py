@@ -68,6 +68,7 @@ def region_fingerprint(region: Region) -> str:
         for decl in (region.memories[name]
                      for name in sorted(region.memories))
     ]
+    frontend = region.metadata.get("frontend")
     payload = {
         "name": region.name,
         "is_loop": region.is_loop,
@@ -75,6 +76,13 @@ def region_fingerprint(region: Region) -> str:
         "max_latency": region.max_latency,
         "exit_op_uid": region.exit_op_uid,
         "trip_count": region.trip_count,
+        # which compiler produced the region, and at which version:
+        # bumping a frontend's version tag invalidates every cached
+        # artifact compiled from that frontend's sources (structurally
+        # identical output notwithstanding), while builder-made and
+        # other-frontend regions keep hitting.  None for regions built
+        # directly through RegionBuilder.
+        "frontend": list(frontend) if frontend is not None else None,
         "ops": ops,
         "edges": edges,
         "memories": memories,

@@ -125,7 +125,7 @@ def frontend_pass(ctx: CompilationContext) -> Optional[str]:
     try:
         loops = compile_source(ctx.source)
     except FrontendError as exc:
-        ctx.error("frontend", str(exc))
+        ctx.error("frontend", exc.headline(), details=tuple(exc.excerpt()))
         return None
     ctx.elaborated = loops
     loop = loops[0]

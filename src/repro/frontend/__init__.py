@@ -1,18 +1,60 @@
-"""Behavioral frontend: the SystemC-like mini-language of the paper's
-Figure 1, from text to schedulable regions."""
+"""Behavioral frontends, from source text to schedulable regions.
 
-from repro.frontend.astnodes import Module, Port, Thread
-from repro.frontend.elaborate import ElaboratedLoop, elaborate_module
-from repro.frontend.lexer import FrontendError, Token, tokenize
-from repro.frontend.parser import parse_source
+Two source kinds hang off one entry point, :func:`compile_source`:
+
+* the **legacy** SystemC-like mini-language of the paper's Figure 1
+  (:mod:`repro.frontend.legacy`), and
+* **pyfront**, an ``ast``-based compiler for a typed Python subset
+  (:mod:`repro.frontend.pyfront`) whose oracle is the function itself
+  running under CPython.
+
+Both produce :class:`ElaboratedLoop` values (a region plus an optional
+pipeline directive) and raise :class:`FrontendError` with full source
+positions, so everything downstream is frontend-agnostic.
+"""
+
+from typing import List, Optional
+
+from repro.frontend.errors import FrontendError
+from repro.frontend.legacy import (
+    ElaboratedLoop,
+    Module,
+    Port,
+    Thread,
+    Token,
+    compile_legacy_source,
+    elaborate_module,
+    parse_source,
+    tokenize,
+)
+from repro.frontend.pyfront import (
+    compile_python_function,
+    compile_python_source,
+    looks_like_python,
+)
 
 
-def compile_source(source: str):
-    """Parse and elaborate: source text -> list of elaborated loops."""
-    loops = []
-    for module in parse_source(source):
-        loops.extend(elaborate_module(module))
-    return loops
+def compile_source(source: str, *, filename: Optional[str] = None,
+                   kind: Optional[str] = None) -> List[ElaboratedLoop]:
+    """Compile source text of either kind into elaborated loops.
+
+    ``kind`` forces ``"legacy"`` or ``"pyfront"``; when omitted the kind
+    is inferred from the filename (``.py`` -> pyfront) or, failing that,
+    sniffed from the text (legacy sources start with ``module``).  Any
+    :class:`FrontendError` leaves with the source text attached so
+    callers can print the caret-annotated diagnostic.
+    """
+    if kind is None:
+        kind = "pyfront" if looks_like_python(source, filename) else "legacy"
+    if kind not in ("legacy", "pyfront"):
+        raise ValueError(f"unknown source kind {kind!r}")
+    try:
+        if kind == "pyfront":
+            return compile_python_source(source,
+                                         filename or "<pyfront>")
+        return compile_legacy_source(source)
+    except FrontendError as exc:
+        raise exc.attach(source, filename)
 
 
 __all__ = [
@@ -22,8 +64,12 @@ __all__ = [
     "Port",
     "Thread",
     "Token",
+    "compile_legacy_source",
+    "compile_python_function",
+    "compile_python_source",
     "compile_source",
     "elaborate_module",
+    "looks_like_python",
     "parse_source",
     "tokenize",
 ]

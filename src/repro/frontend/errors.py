@@ -1,0 +1,73 @@
+"""Frontend diagnostics shared by every source language.
+
+Both frontends (the legacy SystemC-like mini-language and the
+``pyfront`` Python-subset compiler) raise :class:`FrontendError`.  The
+error carries the full source position -- file, line, column -- and,
+once :meth:`attach` has seen the source text, renders a caret-annotated
+excerpt the way modern compilers do::
+
+    examples/bad.py:3:13: unsupported expression: float literal
+        acc = acc + 1.5
+                    ^
+
+``compile_source`` attaches the text automatically, so CLI users and
+flow diagnostics always get the annotated form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class FrontendError(SyntaxError):
+    """Lexing/parsing/elaboration error with a full source position.
+
+    The constructor keeps the historical ``(message, line, column)``
+    shape used throughout the legacy frontend; ``filename`` and
+    ``source_text`` are attached by the compile entry points so the
+    rendered diagnostic can include the offending line.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0, *,
+                 filename: Optional[str] = None,
+                 source_text: Optional[str] = None) -> None:
+        self.raw_message = message
+        self.line = line
+        self.column = column
+        self.filename = filename
+        self.source_text = source_text
+        super().__init__(self.headline())
+
+    # ------------------------------------------------------------------
+    def headline(self) -> str:
+        """The one-line ``file:line:col: message`` form."""
+        prefix = f"{self.filename}:" if self.filename else ""
+        return f"{prefix}{self.line}:{self.column}: {self.raw_message}"
+
+    def excerpt(self) -> List[str]:
+        """Source line plus caret marker (empty without attached text)."""
+        if not self.source_text or self.line < 1:
+            return []
+        lines = self.source_text.splitlines()
+        if self.line > len(lines):
+            return []
+        text = lines[self.line - 1]
+        caret_col = max(self.column, 1)
+        return ["    " + text, "    " + " " * (caret_col - 1) + "^"]
+
+    def render(self) -> str:
+        """Headline plus caret excerpt, newline-joined."""
+        return "\n".join([self.headline()] + self.excerpt())
+
+    def attach(self, source_text: str,
+               filename: Optional[str] = None) -> "FrontendError":
+        """Fill in source text/filename (idempotent); returns self.
+
+        Re-synthesizes ``args`` so ``str(exc)`` shows the filename too.
+        """
+        if self.source_text is None:
+            self.source_text = source_text
+        if self.filename is None and filename is not None:
+            self.filename = filename
+        self.args = (self.headline(),)
+        return self

@@ -1,0 +1,43 @@
+"""The legacy SystemC-like mini-language of the paper's Figure 1.
+
+Kept fully working as one of the two source kinds behind
+:func:`repro.frontend.compile_source`; new workloads should prefer the
+:mod:`repro.frontend.pyfront` Python-subset compiler.
+"""
+
+from repro.frontend.errors import FrontendError
+from repro.frontend.legacy.astnodes import Module, Port, Thread
+from repro.frontend.legacy.elaborate import ElaboratedLoop, elaborate_module
+from repro.frontend.legacy.lexer import Token, TokenStream, tokenize
+from repro.frontend.legacy.parser import parse_source
+
+#: frontend version tag recorded in region metadata (and therefore in
+#: flow-cache fingerprints); bump when the lowering changes meaning.
+LEGACY_VERSION = 1
+
+
+def compile_legacy_source(source: str):
+    """Parse and elaborate mini-language text -> elaborated loops."""
+    loops = []
+    for module in parse_source(source):
+        loops.extend(elaborate_module(module))
+    for loop in loops:
+        loop.region.metadata.setdefault(
+            "frontend", ("legacy", LEGACY_VERSION))
+    return loops
+
+
+__all__ = [
+    "ElaboratedLoop",
+    "FrontendError",
+    "LEGACY_VERSION",
+    "Module",
+    "Port",
+    "Thread",
+    "Token",
+    "TokenStream",
+    "compile_legacy_source",
+    "elaborate_module",
+    "parse_source",
+    "tokenize",
+]

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.cdfg.builder import RegionBuilder, Value
 from repro.cdfg.ops import OpKind
 from repro.cdfg.region import PipelineSpec, Region
-from repro.frontend.astnodes import (
+from repro.frontend.legacy.astnodes import (
     AssignStmt,
     BinaryExpr,
     DeclStmt,
@@ -34,7 +34,7 @@ from repro.frontend.astnodes import (
     UnaryExpr,
     WaitStmt,
 )
-from repro.frontend.lexer import FrontendError
+from repro.frontend.errors import FrontendError
 
 _BINARY_KINDS = {
     "+": OpKind.ADD, "-": OpKind.SUB, "*": OpKind.MUL, "/": OpKind.DIV,

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from repro.frontend.errors import FrontendError
+
 KEYWORDS = {
     "module", "in", "out", "int", "uint", "thread", "do", "while", "if",
     "else", "wait", "repeat", "stall", "true", "false",
@@ -22,15 +24,6 @@ SYMBOLS = [
     "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
     "(", ")", "{", "}", ";", ",", "@",
 ]
-
-
-class FrontendError(SyntaxError):
-    """Lexing/parsing/elaboration error with source position."""
-
-    def __init__(self, message: str, line: int, column: int) -> None:
-        super().__init__(f"{line}:{column}: {message}")
-        self.line = line
-        self.column = column
 
 
 @dataclass(frozen=True)

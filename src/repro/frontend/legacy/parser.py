@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.frontend.astnodes import (
+from repro.frontend.legacy.astnodes import (
     AssignStmt,
     BinaryExpr,
     DeclStmt,
@@ -41,7 +41,7 @@ from repro.frontend.astnodes import (
     UnaryExpr,
     WaitStmt,
 )
-from repro.frontend.lexer import FrontendError, Token, TokenStream, tokenize
+from repro.frontend.legacy.lexer import FrontendError, Token, TokenStream, tokenize
 
 #: binary operator precedence (higher binds tighter).
 _PRECEDENCE = {

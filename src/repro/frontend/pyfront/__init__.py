@@ -1,0 +1,31 @@
+"""``pyfront``: an ``ast``-based compiler for a typed Python subset.
+
+Workloads are written as plain Python functions -- ``def`` with int
+parameters and returns, ``if``/``elif``/``else``, ``while``,
+``for i in range(...)``, int locals, and int-array parameters/locals
+that lower to :class:`~repro.cdfg.memory.MemoryDecl` plus
+``load``/``store`` operations.  Helper calls are inlined.  The lowering
+goes through the existing :class:`~repro.cdfg.builder.RegionBuilder`,
+so every downstream layer (scheduler, timing engine, memory binding,
+simulators, RTL, flows, DSE) consumes pyfront regions unchanged.
+
+The decisive property of this frontend is that the **oracle is the
+function itself**: the same ``def`` that compiles to hardware also runs
+under CPython, and the cycle-accurate simulation of the scheduled
+machine must be bit-equal to that execution (32-bit two's-complement
+semantics; see ``docs/FRONTEND.md`` for the exact rules).
+"""
+
+from repro.frontend.pyfront.compiler import (
+    PYFRONT_VERSION,
+    compile_python_function,
+    compile_python_source,
+    looks_like_python,
+)
+
+__all__ = [
+    "PYFRONT_VERSION",
+    "compile_python_function",
+    "compile_python_source",
+    "looks_like_python",
+]

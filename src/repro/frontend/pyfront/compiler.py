@@ -1,0 +1,1102 @@
+"""The pyfront lowering: Python ``ast`` -> schedulable regions.
+
+Source model
+------------
+A module holds ``def``s and integer constants.  Functions that are
+called by other functions are *helpers* and are inlined at their call
+sites; the remaining functions are *kernels*, each lowered to one
+:class:`~repro.cdfg.region.Region`:
+
+* scalar ``int`` parameters become input ports (sampled at iteration
+  start, like the legacy frontend's port reads);
+* array parameters (``"i32[64]"`` annotations) and local array literals
+  become on-chip memories (:class:`~repro.cdfg.memory.MemoryDecl`)
+  accessed through ``load``/``store`` operations;
+* the single top-level ``for``/``while`` loop becomes the region loop:
+  counted ``range`` loops carry a trip count, ``while`` loops (and
+  ``range`` loops with data-dependent bounds) are predicate-converted
+  and exit through a do/while test;
+* nested constant-``range`` loops are fully unrolled, ``if`` chains are
+  if-converted exactly like the legacy elaborator;
+* ``return expr`` writes the per-iteration value of ``expr`` to port
+  ``ret``; the committed value of the final iteration is the function's
+  return value.
+
+Semantics are 32-bit two's complement.  ``//``/``%`` lower with a
+floor-division correction and ``>>`` as an arithmetic shift so that the
+hardware is bit-equal to CPython whenever intermediate values stay in
+range (the oracle contract; see ``docs/FRONTEND.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+import textwrap
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cdfg.builder import LoopVar, MemoryHandle, RegionBuilder, Value
+from repro.cdfg.ops import CONDITION_KINDS
+from repro.cdfg.region import PipelineSpec
+from repro.frontend.errors import FrontendError
+from repro.frontend.legacy.elaborate import ElaboratedLoop
+
+#: bump when the lowering changes meaning; recorded in region metadata
+#: and therefore part of every flow-cache / result-store fingerprint,
+#: so artifacts compiled by an older pyfront stop matching.
+PYFRONT_VERSION = 1
+
+#: default scalar width (Python ``int`` annotation).
+WORD = 32
+
+#: nested constant loops unroll up to this many iterations per loop.
+UNROLL_LIMIT = 64
+
+#: inline depth guard (catches recursion through helpers).
+INLINE_DEPTH_LIMIT = 8
+
+_ARRAY_RE = re.compile(r"^i(\d+)\[(\d+)\]$")
+_SCALAR_RE = re.compile(r"^i(\d+)$")
+
+EnvValue = Union[int, Value]
+
+
+def looks_like_python(source: str, filename: Optional[str] = None) -> bool:
+    """Source-kind sniffing for :func:`repro.frontend.compile_source`."""
+    if filename and filename.endswith(".py"):
+        return True
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("#", "//", "/*")):
+            continue
+        if stripped.startswith(("def ", "@", "import ", "from ")):
+            return True
+        if stripped.startswith("module"):
+            return False
+        # first significant line decides; Python subset files start
+        # with a def, a decorator or a NAME = constant binding
+        return bool(re.match(r"^[A-Za-z_][A-Za-z_0-9]*\s*=", stripped))
+    return False
+
+
+@dataclass(frozen=True)
+class _ArrayType:
+    width: int
+    depth: int
+
+
+@dataclass(frozen=True)
+class _ScalarType:
+    width: int
+
+
+def _parse_annotation(node: Optional[ast.expr], where: ast.AST,
+                      err) -> Union[_ArrayType, _ScalarType]:
+    if node is None:
+        return _ScalarType(WORD)
+    if isinstance(node, ast.Name) and node.id == "int":
+        return _ScalarType(WORD)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.replace(" ", "")
+        m = _ARRAY_RE.match(text)
+        if m:
+            return _ArrayType(int(m.group(1)), int(m.group(2)))
+        m = _SCALAR_RE.match(text)
+        if m:
+            return _ScalarType(int(m.group(1)))
+    raise err(where, "unsupported annotation; use int, 'iN' or 'iN[depth]'")
+
+
+def _assigned_names(stmts: Sequence[ast.stmt]) -> List[str]:
+    """Names (re)bound anywhere below ``stmts``, in first-seen order."""
+    seen: List[str] = []
+
+    def note(name: str) -> None:
+        if name not in seen:
+            seen.append(name)
+
+    def walk(body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                    else [stmt.target]
+                for tgt in targets:
+                    if isinstance(tgt, ast.Name):
+                        note(tgt.id)
+            elif isinstance(stmt, ast.For):
+                if isinstance(stmt.target, ast.Name):
+                    note(stmt.target.id)
+                walk(stmt.body)
+            elif isinstance(stmt, (ast.While,)):
+                walk(stmt.body)
+            elif isinstance(stmt, ast.If):
+                walk(stmt.body)
+                walk(stmt.orelse)
+    walk(stmts)
+    return seen
+
+
+class _FunctionLowerer:
+    """Lowers one kernel ``def`` into a region builder."""
+
+    def __init__(self, fdef: ast.FunctionDef,
+                 funcs: Dict[str, ast.FunctionDef],
+                 module_consts: Dict[str, int],
+                 arrays: Dict[str, Sequence[int]],
+                 filename: str, source: str,
+                 min_latency: int, max_latency: int) -> None:
+        self.fdef = fdef
+        self.funcs = funcs
+        self.module_consts = dict(module_consts)
+        self.arrays = dict(arrays or {})
+        self.filename = filename
+        self.source = source
+        self.b = RegionBuilder(fdef.name, is_loop=True,
+                               min_latency=min_latency,
+                               max_latency=max_latency)
+        #: scalar environment: name -> int (compile-time) or Value
+        self.env: Dict[str, EnvValue] = {}
+        self.mems: Dict[str, MemoryHandle] = {}
+        self.loop_vars: Dict[str, LoopVar] = {}
+        self._param_reads: Dict[str, Value] = {}
+        self._inline_depth = 0
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def err(self, node: ast.AST, message: str) -> FrontendError:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0) + 1
+        return FrontendError(message, line, col, filename=self.filename,
+                             source_text=self.source)
+
+    # ------------------------------------------------------------------
+    # value coercion
+    # ------------------------------------------------------------------
+    def _to_value(self, val: EnvValue, node: ast.AST) -> Value:
+        if isinstance(val, Value):
+            return val
+        if isinstance(val, bool):
+            val = int(val)
+        if isinstance(val, int):
+            if not -(1 << (WORD - 1)) <= val < (1 << (WORD - 1)):
+                raise self.err(node, f"constant {val} exceeds {WORD}-bit "
+                                     f"two's-complement range")
+            return self.b.const(val, WORD)
+        raise self.err(node, f"expected an int value, got {type(val).__name__}")
+
+    # ------------------------------------------------------------------
+    # entry
+    # ------------------------------------------------------------------
+    def lower(self) -> ElaboratedLoop:
+        self._bind_params()
+        body = [s for s in self.fdef.body if not self._is_docstring(s)]
+        loop_at = next((i for i, s in enumerate(body)
+                        if isinstance(s, (ast.For, ast.While))), None)
+        returns_value = False
+        if loop_at is None:
+            # straight-line function: a single-iteration "loop"
+            tail = body
+            if tail and isinstance(tail[-1], ast.Return):
+                self._walk(tail[:-1])
+                returns_value = self._emit_return(tail[-1])
+            else:
+                self._walk(tail)
+            self.b.set_trip_count(1)
+        else:
+            self._prelude(body[:loop_at])
+            loop = body[loop_at]
+            rest = body[loop_at + 1:]
+            if len(rest) > 1 or (rest and not isinstance(rest[0], ast.Return)):
+                raise self.err(rest[0] if rest else loop,
+                               "only a final return may follow the "
+                               "top-level loop")
+            if isinstance(loop, ast.For):
+                self._top_for(loop)
+            else:
+                self._top_while(loop)
+            if rest:
+                returns_value = self._emit_return(rest[0])
+        pipeline, _bounds = _decorator_directives(self.fdef, self.err)
+        region = self.b.build()
+        region.metadata["frontend"] = ("pyfront", PYFRONT_VERSION)
+        region.metadata["pyfront"] = {
+            "function": self.fdef.name,
+            "returns_value": returns_value,
+            "arrays": sorted(self.mems),
+        }
+        return ElaboratedLoop(region=region, pipeline=pipeline)
+
+    @staticmethod
+    def _is_docstring(stmt: ast.stmt) -> bool:
+        return (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str))
+
+    def _bind_params(self) -> None:
+        args = self.fdef.args
+        if (args.vararg or args.kwarg or args.kwonlyargs
+                or args.posonlyargs or args.defaults):
+            raise self.err(self.fdef, "kernel parameters must be plain "
+                                      "positional names without defaults")
+        for arg in args.args:
+            ty = _parse_annotation(arg.annotation, arg, self.err)
+            if isinstance(ty, _ArrayType):
+                init = list(self.arrays.get(arg.arg, ()))
+                if len(init) > ty.depth:
+                    raise self.err(arg, f"initial contents for {arg.arg!r} "
+                                        f"exceed depth {ty.depth}")
+                self.mems[arg.arg] = self.b.array(
+                    arg.arg, ty.depth, ty.width, init=init or None)
+            else:
+                value = self.b.read(arg.arg, ty.width)
+                self._param_reads[arg.arg] = value
+                self.env[arg.arg] = value
+
+    def _emit_return(self, node: ast.Return) -> bool:
+        if node.value is None:
+            return False
+        value = self._to_value(self._eval(node.value), node)
+        self.b.write("ret", value, name="ret_write")
+        return True
+
+    # ------------------------------------------------------------------
+    # prelude (statements before the top-level loop)
+    # ------------------------------------------------------------------
+    def _prelude(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                target, value = self._single_target(stmt)
+                if isinstance(target, ast.Name) \
+                        and self._array_literal(value) is not None:
+                    init = self._array_literal(value)
+                    if target.id in self.mems:
+                        raise self.err(stmt, f"array {target.id!r} already "
+                                             f"declared")
+                    self.mems[target.id] = self.b.array(
+                        target.id, len(init), WORD, init=init)
+                    continue
+            self._walk([stmt])
+
+    def _array_literal(self, node: ast.expr) -> Optional[List[int]]:
+        """``[c0, c1, ...]`` or ``[c] * N`` with constant elements."""
+        if isinstance(node, ast.List):
+            try:
+                return [self._const_int(e) for e in node.elts]
+            except _NotConst:
+                return None
+        if (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult)):
+            for seq, count in ((node.left, node.right),
+                               (node.right, node.left)):
+                if isinstance(seq, ast.List):
+                    try:
+                        elems = [self._const_int(e) for e in seq.elts]
+                        n = self._const_int(count)
+                    except _NotConst:
+                        return None
+                    return elems * n
+        return None
+
+    def _const_int(self, node: ast.expr) -> int:
+        """Strict compile-time integer (literals and module constants)."""
+        value = self._static_eval(node)
+        if value is None:
+            raise _NotConst()
+        return value
+
+    def _static_eval(self, node: ast.expr) -> Optional[int]:
+        try:
+            result = self._eval(node, static_only=True)
+        except FrontendError:
+            return None
+        except _NotConst:
+            return None
+        return result if isinstance(result, int) else None
+
+    # ------------------------------------------------------------------
+    # the top-level loop
+    # ------------------------------------------------------------------
+    def _range_parts(self, node: ast.For) -> Tuple[EnvValue, EnvValue, int]:
+        it = node.iter
+        if not (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                and it.func.id == "range" and not it.keywords
+                and 1 <= len(it.args) <= 3):
+            raise self.err(node, "for loops must iterate over range(...)")
+        parts = [self._eval(a) for a in it.args]
+        if len(parts) == 1:
+            start, stop, step = 0, parts[0], 1
+        elif len(parts) == 2:
+            start, stop, step = parts[0], parts[1], 1
+        else:
+            start, stop, step = parts
+        if not isinstance(step, int) or step == 0:
+            raise self.err(node, "range step must be a nonzero constant")
+        return start, stop, step
+
+    def _loop_index(self, node: ast.For) -> str:
+        if not isinstance(node.target, ast.Name):
+            raise self.err(node, "loop index must be a plain name")
+        return node.target.id
+
+    def _make_loop_vars(self, body: Sequence[ast.stmt],
+                        extra: Sequence[str] = ()) -> None:
+        """Promote pre-loop names reassigned inside ``body`` to carried
+        loop variables (the pyfront twin of the legacy carried-name
+        analysis; dead loop muxes are pruned after the walk)."""
+        carried = [n for n in _assigned_names(body)
+                   if n in self.env and n not in extra]
+        for name in carried:
+            init = self._to_value(self.env[name], self.fdef)
+            lv = self.b.loop_var(name, init)
+            self.loop_vars[name] = lv
+            self.env[name] = lv.value
+
+    def _close_loop_vars(self) -> None:
+        for name, lv in self.loop_vars.items():
+            lv.set_next(self._to_value(self.env[name], self.fdef))
+        self._prune_dead_loopmuxes()
+
+    def _prune_dead_loopmuxes(self) -> None:
+        dfg = self.b.dfg
+        for lv in list(self.loop_vars.values()):
+            mux = lv.mux
+            if not dfg.out_edges(mux.uid):
+                for edge in list(dfg.in_edges(mux.uid)):
+                    dfg.disconnect(edge)
+                dfg.remove_op(mux)
+
+    def _top_for(self, node: ast.For) -> None:
+        if node.orelse:
+            raise self.err(node, "for/else is not supported")
+        start, stop, step = self._range_parts(node)
+        index = self._loop_index(node)
+        if isinstance(start, int) and isinstance(stop, int):
+            trip = len(range(start, stop, step))
+            if trip < 1:
+                raise self.err(node, "top-level loop has zero constant "
+                                     "iterations")
+            lv = self.b.loop_var(index, self.b.const(start, WORD))
+            self.loop_vars[index] = lv
+            self.env[index] = lv.value
+            self._make_loop_vars(node.body, extra=(index,))
+            self._walk(node.body)
+            self.env[index] = self.b.add(lv.value, self.b.const(step, WORD),
+                                         name=f"{index}_next")
+            self._close_loop_vars()
+            self.b.set_trip_count(trip)
+            return
+        # data-dependent bound: predicate-converted do/while lowering
+        lv = self.b.loop_var(index, self._to_value(start, node))
+        self.loop_vars[index] = lv
+        self.env[index] = lv.value
+        self._make_loop_vars(node.body, extra=(index,))
+        stop_v = self._to_value(stop, node)
+        compare = self.b.lt if step > 0 else self.b.gt
+        cond = compare(lv.value, stop_v, name=f"{index}_in_range")
+        body = list(node.body) + [_IndexStep(index, step, node)]
+        self._predicated_body(cond, body, node)
+        self.b.exit_when_false(cond)
+        self._close_loop_vars()
+
+    def _top_while(self, node: ast.While) -> None:
+        if node.orelse:
+            raise self.err(node, "while/else is not supported")
+        self._make_loop_vars(node.body)
+        cond = self._condition(node.test)
+        if not isinstance(cond, Value):
+            raise self.err(node, "while condition must depend on run-time "
+                                 "values")
+        self._predicated_body(cond, node.body, node)
+        self.b.exit_when_false(cond)
+        self._close_loop_vars()
+
+    def _predicated_body(self, cond: Value, body: Sequence[ast.stmt],
+                         node: ast.AST) -> None:
+        """Walk ``body`` under predicate ``cond`` and merge the scalar
+        environment through muxes (branchless while-loop conversion)."""
+        base_env = dict(self.env)
+        with self.b.under(cond, polarity=True):
+            self._walk(body)
+        taken = self.env
+        merged = dict(base_env)
+        for name in taken:
+            new = taken[name]
+            old = base_env.get(name)
+            if old is None:
+                # body-local: visible only when the loop body ran; any
+                # later read without a pre-loop init is an error there
+                continue
+            if new is old or (isinstance(new, int) and new == old):
+                merged[name] = old
+            else:
+                merged[name] = self.b.mux(
+                    cond, self._to_value(new, node), self._to_value(old, node),
+                    name=f"{name}_keep")
+        self.env = merged
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _walk(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, _IndexStep):
+                self.env[stmt.name] = self._binop_value(
+                    ast.Add(), self.env[stmt.name], stmt.step, stmt.node)
+            elif self._is_docstring(stmt) or isinstance(stmt, ast.Pass):
+                continue
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                self._assign(stmt)
+            elif isinstance(stmt, ast.AugAssign):
+                self._aug_assign(stmt)
+            elif isinstance(stmt, ast.If):
+                self._if(stmt)
+            elif isinstance(stmt, ast.For):
+                self._unroll_for(stmt)
+            elif isinstance(stmt, ast.While):
+                raise self.err(stmt, "while loops may only appear as the "
+                                     "single top-level loop")
+            elif isinstance(stmt, ast.Expr):
+                value = stmt.value
+                if isinstance(value, ast.Call):
+                    self._eval_call(value, allow_void=True)
+                else:
+                    raise self.err(stmt, "expression statements must be "
+                                         "helper calls")
+            elif isinstance(stmt, ast.Return):
+                raise self.err(stmt, "return must be the final statement, "
+                                     "after the top-level loop")
+            elif isinstance(stmt, (ast.Break, ast.Continue)):
+                raise self.err(stmt, "break/continue are not supported; "
+                                     "restructure with conditions")
+            else:
+                raise self.err(stmt, f"unsupported statement "
+                                     f"{type(stmt).__name__}")
+
+    def _single_target(self, stmt) -> Tuple[ast.expr, ast.expr]:
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is None:
+                raise self.err(stmt, "annotated declarations need a value")
+            return stmt.target, stmt.value
+        if len(stmt.targets) != 1:
+            raise self.err(stmt, "chained assignment is not supported")
+        return stmt.targets[0], stmt.value
+
+    def _assign(self, stmt) -> None:
+        target, value_node = self._single_target(stmt)
+        if isinstance(target, ast.Name):
+            if target.id in self.mems:
+                raise self.err(stmt, f"cannot rebind array {target.id!r}")
+            if self._array_literal(value_node) is not None:
+                raise self.err(stmt, "array literals are only allowed "
+                                     "before the top-level loop")
+            self.env[target.id] = self._eval(value_node)
+            return
+        if isinstance(target, ast.Subscript):
+            mem = self._subscript_memory(target)
+            addr = self._eval(target.slice)
+            value = self._to_value(self._eval(value_node), stmt)
+            if isinstance(addr, int):
+                self.b.store(mem, value, addr=addr)
+            else:
+                self.b.store(mem, value, addr=addr)
+            return
+        raise self.err(stmt, "unsupported assignment target")
+
+    def _aug_assign(self, stmt: ast.AugAssign) -> None:
+        if isinstance(stmt.target, ast.Name):
+            current = self._lookup(stmt.target.id, stmt)
+            self.env[stmt.target.id] = self._binop_value(
+                stmt.op, current, self._eval(stmt.value), stmt)
+            return
+        if isinstance(stmt.target, ast.Subscript):
+            mem = self._subscript_memory(stmt.target)
+            addr = self._eval(stmt.target.slice)
+            loaded = self._load(mem, addr, stmt)
+            updated = self._binop_value(stmt.op, loaded,
+                                        self._eval(stmt.value), stmt)
+            self.b.store(mem, self._to_value(updated, stmt), addr=addr)
+            return
+        raise self.err(stmt, "unsupported augmented-assignment target")
+
+    def _if(self, stmt: ast.If) -> None:
+        static = self._static_condition(stmt.test)
+        if static is not None:
+            self._walk(stmt.body if static else stmt.orelse)
+            return
+        cond = self._condition(stmt.test)
+        base_env = dict(self.env)
+        with self.b.under(cond, polarity=True):
+            self._walk(stmt.body)
+        then_env = self.env
+        self.env = dict(base_env)
+        with self.b.under(cond, polarity=False):
+            self._walk(stmt.orelse)
+        else_env = self.env
+        merged = dict(base_env)
+        changed = {n for n in then_env
+                   if not _same(then_env.get(n), base_env.get(n))}
+        changed |= {n for n in else_env
+                    if not _same(else_env.get(n), base_env.get(n))}
+        for name in sorted(changed):
+            t_val = then_env.get(name, base_env.get(name))
+            f_val = else_env.get(name, base_env.get(name))
+            if t_val is None or f_val is None:
+                raise self.err(stmt, f"{name!r} assigned in only one branch "
+                                     f"without a prior definition")
+            if _same(t_val, f_val):
+                merged[name] = t_val
+            else:
+                merged[name] = self.b.mux(cond, self._to_value(t_val, stmt),
+                                          self._to_value(f_val, stmt),
+                                          name=f"{name}_sel")
+        self.env = merged
+
+    def _unroll_for(self, stmt: ast.For) -> None:
+        if stmt.orelse:
+            raise self.err(stmt, "for/else is not supported")
+        start, stop, step = self._range_parts(stmt)
+        if not (isinstance(start, int) and isinstance(stop, int)):
+            raise self.err(stmt, "nested loops must have constant range "
+                                 "bounds (only the top-level loop may be "
+                                 "data-dependent)")
+        index = self._loop_index(stmt)
+        values = list(range(start, stop, step))
+        if len(values) > UNROLL_LIMIT:
+            raise self.err(stmt, f"nested range({len(values)}) exceeds the "
+                                 f"unroll limit of {UNROLL_LIMIT}")
+        saved = self.env.get(index, None)
+        for value in values:
+            self.env[index] = value
+            self._walk(stmt.body)
+        if saved is not None:
+            self.env[index] = saved
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _lookup(self, name: str, node: ast.AST) -> EnvValue:
+        if name in self.env:
+            return self.env[name]
+        if name in self.module_consts:
+            return self.module_consts[name]
+        if name in self.mems:
+            raise self.err(node, f"array {name!r} used without a subscript")
+        raise self.err(node, f"unknown name {name!r}")
+
+    def _subscript_memory(self, node: ast.Subscript) -> MemoryHandle:
+        if not isinstance(node.value, ast.Name):
+            raise self.err(node, "only named arrays can be subscripted")
+        mem = self.mems.get(node.value.id)
+        if mem is None:
+            raise self.err(node, f"unknown array {node.value.id!r}")
+        return mem
+
+    def _load(self, mem: MemoryHandle, addr: EnvValue,
+              node: ast.AST) -> Value:
+        if isinstance(addr, int):
+            if not 0 <= addr < mem.decl.depth:
+                raise self.err(node, f"constant index {addr} out of range "
+                                     f"for {mem.name!r}[{mem.decl.depth}]")
+            return self.b.load(mem, addr=addr)
+        return self.b.load(mem, addr=addr)
+
+    def _eval(self, node: ast.expr, static_only: bool = False) -> EnvValue:
+        """Evaluate an expression to a compile-time int (Python
+        semantics -- exact constant folding) or a DFG :class:`Value`."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return int(node.value)
+            if isinstance(node.value, int):
+                return node.value
+            raise self.err(node, f"unsupported literal "
+                                 f"{type(node.value).__name__}; the subset "
+                                 f"is integer-only")
+        if isinstance(node, ast.Name):
+            if static_only:
+                if node.id in self.module_consts:
+                    return self.module_consts[node.id]
+                val = self.env.get(node.id)
+                if isinstance(val, int):
+                    return val
+                raise _NotConst()
+            return self._lookup(node.id, node)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, static_only)
+            right = self._eval(node.right, static_only)
+            return self._binop_value(node.op, left, right, node)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, static_only)
+            if isinstance(node.op, ast.USub):
+                if isinstance(operand, int):
+                    return -operand
+                return self.b.sub(self.b.const(0, operand.width), operand)
+            if isinstance(node.op, ast.UAdd):
+                return operand
+            if isinstance(node.op, ast.Invert):
+                if isinstance(operand, int):
+                    return ~operand
+                return self.b.xor(operand,
+                                  self.b.const(-1, operand.width))
+            if isinstance(node.op, ast.Not):
+                if isinstance(operand, int):
+                    return int(not operand)
+                return self.b.eq(operand, self.b.const(0, operand.width))
+            raise self.err(node, "unsupported unary operator")
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise self.err(node, "chained comparisons are not supported")
+            left = self._eval(node.left, static_only)
+            right = self._eval(node.comparators[0], static_only)
+            op = node.ops[0]
+            if isinstance(left, int) and isinstance(right, int):
+                table = {ast.Lt: left < right, ast.Gt: left > right,
+                         ast.LtE: left <= right, ast.GtE: left >= right,
+                         ast.Eq: left == right, ast.NotEq: left != right}
+                for cls, result in table.items():
+                    if isinstance(op, cls):
+                        return int(result)
+                raise self.err(node, "unsupported comparison")
+            lowered = {ast.Lt: self.b.lt, ast.Gt: self.b.gt,
+                       ast.LtE: self.b.le, ast.GtE: self.b.ge,
+                       ast.Eq: self.b.eq, ast.NotEq: self.b.neq}
+            for cls, fn in lowered.items():
+                if isinstance(op, cls):
+                    return fn(self._to_value(left, node),
+                              self._to_value(right, node))
+            raise self.err(node, "unsupported comparison (is/in are not "
+                                 "part of the subset)")
+        if isinstance(node, ast.BoolOp):
+            values = [self._condition(v) for v in node.values]
+            if any(isinstance(v, int) for v in values):
+                # mixed static/dynamic and/or: fold the static side
+                static_vals = [v for v in values if isinstance(v, int)]
+                dynamic = [v for v in values if isinstance(v, Value)]
+                if isinstance(node.op, ast.And):
+                    if not all(static_vals):
+                        return 0
+                else:
+                    if any(static_vals):
+                        return 1
+                if not dynamic:
+                    return 1 if isinstance(node.op, ast.And) else 0
+                values = dynamic
+            result = values[0]
+            combine = self.b.and_ if isinstance(node.op, ast.And) \
+                else self.b.or_
+            for nxt in values[1:]:
+                result = combine(result, nxt)
+            return result
+        if isinstance(node, ast.IfExp):
+            static = self._static_condition(node.test)
+            if static is not None:
+                return self._eval(node.body if static else node.orelse,
+                                  static_only)
+            cond = self._condition(node.test)
+            t = self._eval(node.body, static_only)
+            f = self._eval(node.orelse, static_only)
+            return self.b.mux(cond, self._to_value(t, node),
+                              self._to_value(f, node))
+        if isinstance(node, ast.Subscript):
+            if static_only:
+                raise _NotConst()
+            mem = self._subscript_memory(node)
+            addr = self._eval(node.slice)
+            return self._load(mem, addr, node)
+        if isinstance(node, ast.Call):
+            if static_only:
+                raise _NotConst()
+            result = self._eval_call(node, allow_void=False)
+            assert result is not None
+            return result
+        raise self.err(node, f"unsupported expression "
+                             f"{type(node).__name__}")
+
+    def _static_condition(self, node: ast.expr) -> Optional[int]:
+        value = self._static_eval(node)
+        if value is None:
+            # distinguish "not static" from "statically falsy"
+            try:
+                probed = self._eval(node, static_only=True)
+            except (_NotConst, FrontendError):
+                return None
+            return int(bool(probed)) if isinstance(probed, int) else None
+        return int(bool(value))
+
+    def _condition(self, node: ast.expr) -> Union[int, Value]:
+        """A 1-bit truth value (or a folded 0/1 int)."""
+        value = self._eval(node)
+        if isinstance(value, int):
+            return int(bool(value))
+        if value.width == 1 and value.op.kind in CONDITION_KINDS:
+            return value
+        return self.b.neq(value, self.b.const(0, value.width))
+
+    # -- arithmetic lowering -------------------------------------------
+    def _binop_value(self, op: ast.operator, left: EnvValue,
+                     right: EnvValue, node: ast.AST) -> EnvValue:
+        if isinstance(left, int) and isinstance(right, int):
+            return self._fold_binop(op, left, right, node)
+        lv = self._to_value(left, node)
+        rv = self._to_value(right, node)
+        if isinstance(op, ast.Add):
+            return self.b.add(lv, rv)
+        if isinstance(op, ast.Sub):
+            return self.b.sub(lv, rv)
+        if isinstance(op, ast.Mult):
+            return self.b.mul(lv, rv)
+        if isinstance(op, ast.FloorDiv):
+            return self._floor_div(lv, rv)
+        if isinstance(op, ast.Mod):
+            return self._floor_mod(lv, rv)
+        if isinstance(op, ast.LShift):
+            return self.b.shl(lv, rv)
+        if isinstance(op, ast.RShift):
+            return self._arith_shift_right(lv, rv, right)
+        if isinstance(op, ast.BitAnd):
+            return self.b.and_(lv, rv)
+        if isinstance(op, ast.BitOr):
+            return self.b.or_(lv, rv)
+        if isinstance(op, ast.BitXor):
+            return self.b.xor(lv, rv)
+        if isinstance(op, ast.Div):
+            raise self.err(node, "true division is not in the subset; "
+                                 "use // (floor division)")
+        raise self.err(node, f"unsupported operator {type(op).__name__}")
+
+    def _fold_binop(self, op: ast.operator, left: int, right: int,
+                    node: ast.AST) -> int:
+        try:
+            if isinstance(op, ast.Add):
+                return left + right
+            if isinstance(op, ast.Sub):
+                return left - right
+            if isinstance(op, ast.Mult):
+                return left * right
+            if isinstance(op, ast.FloorDiv):
+                return left // right if right else 0
+            if isinstance(op, ast.Mod):
+                return left % right if right else 0
+            if isinstance(op, ast.LShift):
+                return left << right
+            if isinstance(op, ast.RShift):
+                return left >> right
+            if isinstance(op, ast.BitAnd):
+                return left & right
+            if isinstance(op, ast.BitOr):
+                return left | right
+            if isinstance(op, ast.BitXor):
+                return left ^ right
+        except ValueError as exc:  # negative shift counts
+            raise self.err(node, str(exc))
+        raise self.err(node, f"unsupported operator {type(op).__name__}")
+
+    def _floor_div(self, a: Value, b: Value) -> Value:
+        """Python floor division from the truncating DIV/MOD resources."""
+        q = self.b.div(a, b)
+        corr = self._floor_correction(self.b.mod(a, b), b)
+        return self.b.sub(q, self.b.mux(corr, self.b.const(1, WORD),
+                                        self.b.const(0, WORD)))
+
+    def _floor_mod(self, a: Value, b: Value) -> Value:
+        r = self.b.mod(a, b)
+        corr = self._floor_correction(r, b)
+        return self.b.add(r, self.b.mux(corr, b, self.b.const(0, WORD)))
+
+    def _floor_correction(self, r: Value, b: Value) -> Value:
+        """1 when truncation and floor differ: the truncating remainder
+        ``r`` is nonzero and its sign disagrees with the divisor's."""
+        nonzero = self.b.neq(r, self.b.const(0, r.width))
+        signs = self.b.xor(self.b.lt(r, self.b.const(0, r.width)),
+                           self.b.lt(b, self.b.const(0, b.width)))
+        return self.b.and_(nonzero, signs)
+
+    def _arith_shift_right(self, value: Value, shift: Value,
+                           raw_shift: EnvValue) -> Value:
+        """Python's ``>>`` is arithmetic; SHR resources are logical, so
+        lower through :meth:`RegionBuilder.ashr`."""
+        if isinstance(raw_shift, int):
+            if raw_shift < 0:
+                raise FrontendError("negative shift count",
+                                    filename=self.filename,
+                                    source_text=self.source)
+            return self.b.ashr(value, raw_shift)
+        return self.b.ashr(value, shift)
+
+    # -- calls ----------------------------------------------------------
+    def _eval_call(self, node: ast.Call,
+                   allow_void: bool) -> Optional[EnvValue]:
+        if not isinstance(node.func, ast.Name):
+            raise self.err(node, "only plain function calls are supported")
+        if node.keywords:
+            raise self.err(node, "keyword arguments are not supported")
+        name = node.func.id
+        if name in ("abs", "min", "max", "len"):
+            return self._builtin(name, node)
+        fdef = self.funcs.get(name)
+        if fdef is None:
+            raise self.err(node, f"unknown function {name!r}")
+        result = self._inline(fdef, node)
+        if result is None and not allow_void:
+            raise self.err(node, f"helper {name!r} returns no value")
+        return result
+
+    def _builtin(self, name: str, node: ast.Call) -> EnvValue:
+        if name == "len":  # before arg evaluation: takes a bare array name
+            if len(node.args) == 1 and isinstance(node.args[0], ast.Name) \
+                    and node.args[0].id in self.mems:
+                return self.mems[node.args[0].id].decl.depth
+            raise self.err(node, "len() only applies to declared arrays")
+        args = [self._eval(a) for a in node.args]
+        if all(isinstance(a, int) for a in args):
+            return {"abs": abs, "min": min, "max": max}[name](*args)
+        if name == "abs" and len(args) == 1:
+            v = self._to_value(args[0], node)
+            neg = self.b.sub(self.b.const(0, v.width), v)
+            return self.b.mux(self.b.lt(v, self.b.const(0, v.width)), neg, v)
+        if name in ("min", "max") and len(args) == 2:
+            a = self._to_value(args[0], node)
+            c = self._to_value(args[1], node)
+            test = self.b.lt(a, c) if name == "min" else self.b.gt(a, c)
+            return self.b.mux(test, a, c)
+        raise self.err(node, f"unsupported builtin call {name}"
+                             f"({len(args)} args)")
+
+    def _inline(self, fdef: ast.FunctionDef,
+                call: ast.Call) -> Optional[EnvValue]:
+        """Inline a helper call: arguments bind to a fresh scalar scope,
+        arrays pass by reference, the trailing return's value is the
+        call's value."""
+        if self._inline_depth >= INLINE_DEPTH_LIMIT:
+            raise self.err(call, f"helper inlining exceeds depth "
+                                 f"{INLINE_DEPTH_LIMIT} (recursive helpers "
+                                 f"are not supported)")
+        params = fdef.args.args
+        if len(params) != len(call.args):
+            raise self.err(call, f"{fdef.name}() takes {len(params)} "
+                                 f"arguments, got {len(call.args)}")
+        new_env: Dict[str, EnvValue] = {}
+        new_mems: Dict[str, MemoryHandle] = {}
+        for param, arg in zip(params, call.args):
+            ty = _parse_annotation(param.annotation, param, self.err)
+            if isinstance(ty, _ArrayType) or (
+                    isinstance(arg, ast.Name) and arg.id in self.mems):
+                if not isinstance(arg, ast.Name) or arg.id not in self.mems:
+                    raise self.err(arg, f"argument for array parameter "
+                                        f"{param.arg!r} must be a declared "
+                                        f"array")
+                new_mems[param.arg] = self.mems[arg.id]
+            else:
+                new_env[param.arg] = self._eval(arg)
+        saved = (self.env, self.mems)
+        self.env, self.mems = new_env, new_mems
+        self._inline_depth += 1
+        try:
+            body = [s for s in fdef.body if not self._is_docstring(s)]
+            trailing_return = (body and isinstance(body[-1], ast.Return))
+            self._walk(body[:-1] if trailing_return else body)
+            if trailing_return and body[-1].value is not None:
+                return self._eval(body[-1].value)
+            return None
+        finally:
+            self._inline_depth -= 1
+            self.env, self.mems = saved
+
+
+class _NotConst(Exception):
+    """Internal: expression is not a compile-time constant."""
+
+
+class _IndexStep(ast.stmt):
+    """Synthetic statement: advance a data-dependent loop index."""
+
+    def __init__(self, name: str, step: int, node: ast.AST) -> None:
+        self.name = name
+        self.step = step
+        self.node = node
+
+
+def _same(a: Optional[EnvValue], b: Optional[EnvValue]) -> bool:
+    if isinstance(a, int) and isinstance(b, int):
+        return a == b
+    return a is b
+
+
+def _decorator_directives(fdef: ast.FunctionDef, err):
+    """Recognize ``@pipeline(ii)`` and ``@latency(lo, hi)`` decorators
+    (anything else -- e.g. ``@pyfunc_workload`` -- is ignored)."""
+    pipeline = None
+    bounds = None
+    for deco in fdef.decorator_list:
+        if not (isinstance(deco, ast.Call)
+                and isinstance(deco.func, ast.Name)):
+            continue
+        name = deco.func.id
+        args = deco.args
+        if name == "pipeline" and len(args) == 1 \
+                and isinstance(args[0], ast.Constant):
+            pipeline = PipelineSpec(ii=int(args[0].value))
+        elif name == "latency" and len(args) == 2 \
+                and all(isinstance(a, ast.Constant) for a in args):
+            bounds = (int(args[0].value), int(args[1].value))
+    return pipeline, bounds
+
+
+# ----------------------------------------------------------------------
+# module-level compilation
+# ----------------------------------------------------------------------
+def _module_environment(tree: ast.Module, filename: str,
+                        source: str) -> Tuple[Dict[str, int],
+                                              Dict[str, ast.FunctionDef]]:
+    consts: Dict[str, int] = {}
+    funcs: Dict[str, ast.FunctionDef] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.FunctionDef):
+            funcs[stmt.name] = stmt
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            try:
+                value = ast.literal_eval(stmt.value)
+            except (ValueError, SyntaxError):
+                raise FrontendError(
+                    "module-level assignments must be integer constants",
+                    stmt.lineno, stmt.col_offset + 1,
+                    filename=filename, source_text=source)
+            if isinstance(value, bool):
+                value = int(value)
+            if not isinstance(value, int):
+                raise FrontendError(
+                    "module-level constants must be integers",
+                    stmt.lineno, stmt.col_offset + 1,
+                    filename=filename, source_text=source)
+            consts[stmt.targets[0].id] = value
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            continue  # tolerated so workload modules stay importable
+        elif isinstance(stmt, ast.Expr) \
+                and isinstance(stmt.value, ast.Constant):
+            continue  # module docstring
+        elif isinstance(stmt, (ast.If, ast.ClassDef, ast.AnnAssign)):
+            raise FrontendError(
+                f"unsupported module-level statement "
+                f"{type(stmt).__name__}",
+                stmt.lineno, stmt.col_offset + 1,
+                filename=filename, source_text=source)
+    return consts, funcs
+
+
+def _called_names(fdef: ast.FunctionDef) -> List[str]:
+    """Function names called in the body (decorators excluded -- e.g.
+    ``@pyfunc_workload(...)`` must not be mistaken for a helper)."""
+    names = []
+    for stmt in fdef.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name):
+                names.append(node.func.id)
+    return names
+
+
+def _lower_kernel(fdef: ast.FunctionDef, funcs: Dict[str, ast.FunctionDef],
+                  consts: Dict[str, int],
+                  arrays: Optional[Dict[str, Sequence[int]]],
+                  filename: str, source: str,
+                  max_latency: int) -> ElaboratedLoop:
+    def bail(node, message):  # uniform error builder for the helpers
+        return FrontendError(message, getattr(node, "lineno", 0),
+                             getattr(node, "col_offset", 0) + 1,
+                             filename=filename, source_text=source)
+
+    _pipeline, bounds = _decorator_directives(fdef, bail)
+    min_latency, top_latency = bounds if bounds else (1, max_latency)
+    lowerer = _FunctionLowerer(fdef, funcs, consts, arrays or {},
+                               filename, source, min_latency, top_latency)
+    return lowerer.lower()
+
+
+def compile_python_source(
+    source: str,
+    filename: str = "<pyfront>",
+    *,
+    arrays: Optional[Dict[str, Dict[str, Sequence[int]]]] = None,
+    max_latency: int = 64,
+) -> List[ElaboratedLoop]:
+    """Compile every kernel ``def`` of a Python-subset module.
+
+    Functions called by other functions are helpers (inlined, not
+    compiled standalone); each remaining function becomes one region.
+    ``arrays`` optionally maps ``{kernel: {array_param: contents}}``.
+    """
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        raise FrontendError(exc.msg or "invalid syntax", exc.lineno or 0,
+                            exc.offset or 1, filename=filename,
+                            source_text=source) from None
+    consts, funcs = _module_environment(tree, filename, source)
+    if not funcs:
+        raise FrontendError("no function definitions found", 1, 1,
+                            filename=filename, source_text=source)
+    called = set()
+    for fdef in funcs.values():
+        called.update(n for n in _called_names(fdef) if n in funcs)
+    kernels = [f for name, f in funcs.items() if name not in called]
+    if not kernels:
+        raise FrontendError("all functions call each other; no kernel "
+                            "entry point", 1, 1, filename=filename,
+                            source_text=source)
+    units = []
+    for fdef in kernels:
+        per_kernel = (arrays or {}).get(fdef.name, {})
+        units.append(_lower_kernel(fdef, funcs, consts, per_kernel,
+                                   filename, source, max_latency))
+    return units
+
+
+def compile_python_function(
+    fn: Callable,
+    *,
+    arrays: Optional[Dict[str, Sequence[int]]] = None,
+    max_latency: int = 64,
+) -> ElaboratedLoop:
+    """Compile one Python function object (helpers and integer constants
+    are resolved from ``fn.__globals__``)."""
+    source = textwrap.dedent(inspect.getsource(fn))
+    filename = inspect.getsourcefile(fn) or "<pyfront>"
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:  # pragma: no cover - inspect gave us code
+        raise FrontendError(exc.msg or "invalid syntax", exc.lineno or 0,
+                            exc.offset or 1, filename=filename,
+                            source_text=source) from None
+    fdef = tree.body[0]
+    if not isinstance(fdef, ast.FunctionDef):
+        raise FrontendError(f"{fn!r} is not a plain function", 1, 1,
+                            filename=filename, source_text=source)
+    funcs: Dict[str, ast.FunctionDef] = {fdef.name: fdef}
+    consts: Dict[str, int] = {}
+    pending = [fdef]
+    while pending:
+        current = pending.pop()
+        for name in _called_names(current):
+            if name in funcs or name in ("range", "abs", "min", "max",
+                                         "len"):
+                continue
+            target = fn.__globals__.get(name)
+            if not callable(target):
+                continue
+            helper_src = textwrap.dedent(inspect.getsource(target))
+            helper_def = ast.parse(helper_src).body[0]
+            if isinstance(helper_def, ast.FunctionDef):
+                funcs[name] = helper_def
+                pending.append(helper_def)
+        for stmt in current.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) \
+                        and isinstance(node.ctx, ast.Load):
+                    value = fn.__globals__.get(node.id)
+                    if isinstance(value, int) \
+                            and not isinstance(value, bool):
+                        consts.setdefault(node.id, value)
+    return _lower_kernel(fdef, funcs, consts, arrays, filename, source,
+                         max_latency)

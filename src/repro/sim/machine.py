@@ -28,6 +28,7 @@ from repro.sim.reference import (
     SimResult,
     SimulationError,
     _input_value,
+    initial_memories,
 )
 
 
@@ -54,20 +55,22 @@ class ScheduledMachine:
     """
 
     def __init__(self, schedule: Schedule, inputs: InputSource,
-                 stall_ticks: Optional[Dict[int, List[int]]] = None) -> None:
+                 stall_ticks: Optional[Dict[int, List[int]]] = None,
+                 memory_init: Optional[Dict[str, List[int]]] = None) -> None:
         self.schedule = schedule
         self.dfg = schedule.region.dfg
         self.inputs = inputs
         self.latency = schedule.latency
         self.ii = schedule.ii_effective
         self.stall_ticks = stall_ticks or {}
+        #: optional per-memory override of the declared init contents.
+        self.memory_init = memory_init
         #: whether the region contains channel pops/pushes (fast-path
         #: guard: regions without streams never consult the FIFO hooks).
         self._has_streams = any(op.is_stream for op in self.dfg.ops)
         #: architectural memory state, shared by all in-flight iterations.
-        self.memories: Dict[str, List[int]] = {
-            name: list(decl.contents())
-            for name, decl in schedule.region.memories.items()}
+        self.memories: Dict[str, List[int]] = initial_memories(
+            schedule.region, memory_init)
         #: stores buffered within the current cycle; the RAM commits
         #: writes at the clock edge, so loads of the same cycle read the
         #: old word (read-first semantics -- the scheduler's RAW gap of
@@ -220,10 +223,10 @@ class ScheduledMachine:
     def _begin(self, max_iterations: Optional[int]) -> SimResult:
         """Reset the machine state ahead of a run (or external ticking)."""
         region = self.schedule.region
-        # architectural memory restarts from the declared contents so a
-        # second run() on the same machine stays independent
-        self.memories = {name: list(decl.contents())
-                         for name, decl in region.memories.items()}
+        # architectural memory restarts from the declared contents (or
+        # the construction-time override) so a second run() on the same
+        # machine stays independent
+        self.memories = initial_memories(region, self.memory_init)
         self._pending_stores = []
         limit = max_iterations
         if limit is None:
@@ -340,7 +343,8 @@ def simulate_schedule(
     inputs: InputSource,
     max_iterations: Optional[int] = None,
     stall_ticks: Optional[Dict[int, List[int]]] = None,
+    memory_init: Optional[Dict[str, List[int]]] = None,
 ) -> SimResult:
     """Cycle-accurate run of a scheduled (possibly pipelined) design."""
-    machine = ScheduledMachine(schedule, inputs, stall_ticks)
+    machine = ScheduledMachine(schedule, inputs, stall_ticks, memory_init)
     return machine.run(max_iterations)

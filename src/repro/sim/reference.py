@@ -56,10 +56,36 @@ def _input_value(inputs: InputSource, port: str, iteration: int) -> int:
     return stream[min(iteration, len(stream) - 1)]
 
 
+def initial_memories(region: Region,
+                     memory_init: Optional[Dict[str, List[int]]] = None,
+                     ) -> Dict[str, List[int]]:
+    """Starting contents per declared memory.
+
+    ``memory_init`` overrides the declared init of named memories
+    (padded with zeros to depth), so one compiled region can be
+    simulated against many array inputs -- the property tests reuse a
+    single schedule across Hypothesis examples this way.
+    """
+    memories = {name: list(decl.contents())
+                for name, decl in region.memories.items()}
+    for name, contents in (memory_init or {}).items():
+        decl = region.memories.get(name)
+        if decl is None:
+            raise SimulationError(f"memory_init: unknown memory {name!r}")
+        if len(contents) > decl.depth:
+            raise SimulationError(
+                f"memory_init: {name!r} takes {decl.depth} words, "
+                f"got {len(contents)}")
+        words = [wrap(v, decl.width) for v in contents]
+        memories[name] = words + [0] * (decl.depth - len(words))
+    return memories
+
+
 def simulate_reference(
     region: Region,
     inputs: InputSource,
     max_iterations: Optional[int] = None,
+    memory_init: Optional[Dict[str, List[int]]] = None,
 ) -> SimResult:
     """Run the region's source semantics; the verification oracle."""
     dfg = region.dfg
@@ -67,9 +93,7 @@ def simulate_reference(
     #: architectural memory state, shared across iterations; ordering
     #: edges put same-iteration accesses in program order within the
     #: topological traversal
-    memories: Dict[str, List[int]] = {
-        name: list(decl.contents())
-        for name, decl in region.memories.items()}
+    memories = initial_memories(region, memory_init)
     #: per loop-mux: the carried-source value of every past iteration,
     #: so distances > 1 read the right generation
     carried_history: Dict[int, List[int]] = {}

@@ -13,8 +13,8 @@ from repro.timing.engine import (
 )
 
 #: historical name of :class:`~repro.timing.engine.TimingEngine`, kept
-#: importable here (warning-free); the module path
-#: ``repro.timing.netlist`` is deprecated and warns on import.
+#: importable here for old call sites; the deprecated module path
+#: ``repro.timing.netlist`` has been removed.
 DatapathNetlist = TimingEngine
 from repro.timing.retime import retime
 from repro.timing.sta import (

@@ -290,7 +290,7 @@ class TimingEngine:
     """The incrementally maintained datapath timing model for one pass.
 
     Also importable as ``DatapathNetlist`` (its historical name) from
-    :mod:`repro.timing.netlist`.
+    :mod:`repro.timing`.
 
     Contract: every operation a binding is committed for must exist in
     the DFG when the engine is constructed -- the chaining-fanout and

@@ -107,6 +107,21 @@ def get_workload(name: str) -> Callable[[], Region]:
                        f"choose from {sorted(WORKLOAD_REGISTRY)}") from None
 
 
+# imported after the registry above exists: the @pyfunc_workload
+# decorators in chstone register themselves via register_workload
+from repro.workloads.pyfunc import (  # noqa: E402
+    PYFUNC_REGISTRY,
+    PyfuncWorkload,
+    check_against_oracle,
+    pyfunc_workload,
+)
+from repro.workloads.chstone import (  # noqa: E402
+    adpcm_encode,
+    jpeg_dct,
+    mips_vm,
+)
+
+
 def register_pipeline(name: str, factory) -> None:
     """Add (or replace) a named streaming pipeline in the registry."""
     PIPELINE_REGISTRY[name] = factory
@@ -124,8 +139,15 @@ def get_pipeline(name: str):
 __all__ = [
     "PIPELINE_INPUTS",
     "PIPELINE_REGISTRY",
+    "PYFUNC_REGISTRY",
+    "PyfuncWorkload",
     "SyntheticSpec",
     "WORKLOAD_REGISTRY",
+    "adpcm_encode",
+    "check_against_oracle",
+    "jpeg_dct",
+    "mips_vm",
+    "pyfunc_workload",
     "build_conv3x3",
     "build_conv3x3_mem",
     "build_dot_product",

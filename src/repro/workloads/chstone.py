@@ -1,0 +1,265 @@
+"""CHStone-class kernels written in the pyfront Python subset.
+
+Three classic HLS benchmark shapes, each a plain Python function whose
+CPython execution is the verification oracle:
+
+* :func:`adpcm_encode` -- IMA ADPCM step-adaptive speech encoder
+  (data-dependent table lookups, saturation, carried predictor state);
+* :func:`jpeg_dct` -- an 8x8 two-pass fixed-point DCT with JPEG-style
+  reciprocal-multiply quantization (butterfly arithmetic, dynamic
+  addressing of a scratch array, if-converted row/column passes);
+* :func:`mips_vm` -- a fetch/decode/execute interpreter over a small
+  encoded instruction memory (a ``while`` loop with a data-dependent
+  exit, register-file and data-memory traffic every iteration).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.pyfunc import pyfunc_workload
+
+# ----------------------------------------------------------------------
+# ADPCM: IMA step-adaptive differential PCM, 16 samples per block
+# ----------------------------------------------------------------------
+
+#: a deterministic speech-like test block (decaying oscillation).
+ADPCM_SAMPLES = [0, 620, 1120, 1370, 1310, 960, 380, -280,
+                 -850, -1190, -1230, -970, -480, 120, 660, 1020]
+
+
+@pyfunc_workload("adpcm",
+                 arrays={"x": ADPCM_SAMPLES, "out": [0] * 16},
+                 description="IMA ADPCM encoder, 16-sample block")
+def adpcm_encode(x: "i32[16]", out: "i32[16]") -> int:
+    """Encode 16 PCM samples to 4-bit ADPCM codes; returns the final
+    predictor value."""
+    step_table = [
+        7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+        19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+        50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+        130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+        337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+        876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+        2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+        5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+        15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+    ]
+    index_table = [-1, -1, -1, -1, 2, 4, 6, 8]
+    valpred = 0
+    index = 0
+    for i in range(16):
+        sample = x[i]
+        step = step_table[index]
+        diff = sample - valpred
+        if diff < 0:
+            sign = 8
+            diff = -diff
+        else:
+            sign = 0
+        delta = 0
+        vpdiff = step >> 3
+        if diff >= step:
+            delta = 4
+            diff = diff - step
+            vpdiff = vpdiff + step
+        half = step >> 1
+        if diff >= half:
+            delta = delta | 2
+            diff = diff - half
+            vpdiff = vpdiff + half
+        quarter = step >> 2
+        if diff >= quarter:
+            delta = delta | 1
+            vpdiff = vpdiff + quarter
+        if sign != 0:
+            valpred = valpred - vpdiff
+        else:
+            valpred = valpred + vpdiff
+        valpred = max(-32768, min(valpred, 32767))
+        index = index + index_table[delta]
+        index = max(0, min(index, 88))
+        out[i] = delta | sign
+    return valpred
+
+
+# ----------------------------------------------------------------------
+# JPEG: 8x8 fixed-point DCT (row pass + column pass) with quantization
+# ----------------------------------------------------------------------
+
+#: ITU-T T.81 luminance quantization table, row-major.
+JPEG_QUANT = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+#: quantization as a reciprocal multiply: q = (f * recip) >> 15.
+JPEG_RECIP = [32768 // q for q in JPEG_QUANT]
+
+#: a deterministic level-shifted test block (diagonal gradient).
+JPEG_BLOCK = [((r * 8 + c * 5) % 256) - 128
+              for r in range(8) for c in range(8)]
+
+
+@pyfunc_workload("jpeg_dct",
+                 arrays={"blk": JPEG_BLOCK, "out": [0] * 64,
+                         "recip": JPEG_RECIP},
+                 description="8x8 fixed-point DCT + quantize, two passes")
+def jpeg_dct(blk: "i32[64]", out: "i32[64]", recip: "i32[64]") -> int:
+    """Two-pass 8x8 DCT: iterations 0-7 transform rows of ``blk`` into
+    a scratch array, iterations 8-15 transform its columns and quantize
+    by reciprocal multiplication into ``out``.  Returns the DC term."""
+    tmp = [0] * 64
+    dc = 0
+    for t in range(16):
+        row = t < 8
+        r = t if row else t - 8
+        # gather: row r of blk, or column r of tmp
+        s0 = blk[r * 8 + 0] if row else tmp[r + 0]
+        s1 = blk[r * 8 + 1] if row else tmp[r + 8]
+        s2 = blk[r * 8 + 2] if row else tmp[r + 16]
+        s3 = blk[r * 8 + 3] if row else tmp[r + 24]
+        s4 = blk[r * 8 + 4] if row else tmp[r + 32]
+        s5 = blk[r * 8 + 5] if row else tmp[r + 40]
+        s6 = blk[r * 8 + 6] if row else tmp[r + 48]
+        s7 = blk[r * 8 + 7] if row else tmp[r + 56]
+        # butterflies
+        t0 = s0 + s7
+        t7 = s0 - s7
+        t1 = s1 + s6
+        t6 = s1 - s6
+        t2 = s2 + s5
+        t5 = s2 - s5
+        t3 = s3 + s4
+        t4 = s3 - s4
+        # even part (c4 = 1024*cos(pi/4), c2/c6 pair rotation)
+        e0 = t0 + t3
+        e3 = t0 - t3
+        e1 = t1 + t2
+        e2 = t1 - t2
+        f0 = ((e0 + e1) * 724) >> 10
+        f4 = ((e0 - e1) * 724) >> 10
+        f2 = (e3 * 946 + e2 * 392) >> 10
+        f6 = (e3 * 392 - e2 * 946) >> 10
+        # odd part (direct 4-point product with 1024*cos(k*pi/16))
+        f1 = (t7 * 1004 + t6 * 851 + t5 * 569 + t4 * 200) >> 10
+        f3 = (t7 * 851 - t6 * 200 - t5 * 1004 - t4 * 569) >> 10
+        f5 = (t7 * 569 - t6 * 1004 + t5 * 200 + t4 * 851) >> 10
+        f7 = (t7 * 200 - t6 * 569 + t5 * 851 - t4 * 1004) >> 10
+        if row:
+            # scatter row r of the scratch array
+            tmp[r * 8 + 0] = f0
+            tmp[r * 8 + 1] = f1
+            tmp[r * 8 + 2] = f2
+            tmp[r * 8 + 3] = f3
+            tmp[r * 8 + 4] = f4
+            tmp[r * 8 + 5] = f5
+            tmp[r * 8 + 6] = f6
+            tmp[r * 8 + 7] = f7
+        else:
+            # scatter column r of the output, quantized
+            out[r + 0] = (f0 * recip[r + 0]) >> 15
+            out[r + 8] = (f1 * recip[r + 8]) >> 15
+            out[r + 16] = (f2 * recip[r + 16]) >> 15
+            out[r + 24] = (f3 * recip[r + 24]) >> 15
+            out[r + 32] = (f4 * recip[r + 32]) >> 15
+            out[r + 40] = (f5 * recip[r + 40]) >> 15
+            out[r + 48] = (f6 * recip[r + 48]) >> 15
+            out[r + 56] = (f7 * recip[r + 56]) >> 15
+            if r == 0:
+                dc = (f0 * recip[0]) >> 15
+    return dc
+
+
+# ----------------------------------------------------------------------
+# MIPS: a fetch/decode/execute interpreter over an encoded program
+# ----------------------------------------------------------------------
+
+def _encode(op: int, rd: int, rs: int, rt: int) -> int:
+    """Pack one 16-bit instruction: [15:12] op, [11:8] rd, [7:4] rs,
+    [3:0] rt-or-imm."""
+    return (op << 12) | (rd << 8) | (rs << 4) | rt
+
+
+#: sum dmem[0..7] into r1, store the total at dmem[8], halt.
+MIPS_PROGRAM = [
+    _encode(1, 1, 0, 0),   # 0: addi r1, r0, 0    (sum)
+    _encode(1, 2, 0, 0),   # 1: addi r2, r0, 0    (i)
+    _encode(1, 3, 0, 8),   # 2: addi r3, r0, 8    (limit)
+    _encode(4, 4, 2, 0),   # 3: ld   r4, (r2)
+    _encode(2, 1, 1, 4),   # 4: add  r1, r1, r4
+    _encode(1, 2, 2, 1),   # 5: addi r2, r2, 1
+    _encode(7, 3, 2, 3),   # 6: bne  r2, r3 -> 3
+    _encode(5, 0, 2, 1),   # 7: st   r1, (r2)     (dmem[8] = sum)
+    _encode(0, 0, 0, 0),   # 8: halt
+] + [0] * 7
+
+#: eight data words to sum (deliberately mixed-sign).
+MIPS_DATA = [3, -1, 4, 1, -5, 9, 2, 6] + [0] * 8
+
+
+@pyfunc_workload("mips",
+                 arrays={"imem": MIPS_PROGRAM, "dmem": MIPS_DATA,
+                         "regs": [0] * 8},
+                 description="fetch/decode/execute interpreter")
+def mips_vm(imem: "i32[16]", dmem: "i32[16]", regs: "i32[8]") -> int:
+    """Interpret the encoded program until a halt opcode; returns the
+    number of executed instructions."""
+    pc = 0
+    running = 1
+    steps = 0
+    while running == 1:
+        instr = imem[pc]
+        op = (instr >> 12) & 15
+        rd = (instr >> 8) & 15
+        rs = (instr >> 4) & 15
+        rt = instr & 15
+        va = regs[rs & 7]
+        vb = regs[rt & 7]
+        nxt = pc + 1
+        val = 0
+        wr = 0
+        if op == 1:            # addi rd, rs, imm4
+            val = va + rt
+            wr = 1
+        elif op == 2:          # add rd, rs, rt
+            val = va + vb
+            wr = 1
+        elif op == 3:          # sub rd, rs, rt
+            val = va - vb
+            wr = 1
+        elif op == 4:          # ld rd, (rs)
+            val = dmem[va & 15]
+            wr = 1
+        elif op == 5:          # st rt -> (rs)
+            dmem[va & 15] = vb
+        elif op == 6:          # beq rs, rt -> rd
+            if va == vb:
+                nxt = rd
+        elif op == 7:          # bne rs, rt -> rd
+            if va != vb:
+                nxt = rd
+        else:                  # halt (op 0 and anything undefined)
+            running = 0
+        if wr == 1:
+            regs[rd & 7] = val
+        pc = nxt & 15
+        steps = steps + 1
+    return steps
+
+
+__all__ = [
+    "ADPCM_SAMPLES",
+    "JPEG_BLOCK",
+    "JPEG_QUANT",
+    "JPEG_RECIP",
+    "MIPS_DATA",
+    "MIPS_PROGRAM",
+    "adpcm_encode",
+    "jpeg_dct",
+    "mips_vm",
+]

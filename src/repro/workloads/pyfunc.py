@@ -1,0 +1,181 @@
+"""Workloads defined as plain Python functions (pyfront kernels).
+
+``@pyfunc_workload`` registers a function whose hardware lowering goes
+through :func:`repro.frontend.pyfront.compile_python_function` and whose
+**oracle is the function itself**: executing it under CPython yields the
+exact return value and final array contents the scheduled machine must
+reproduce, bit for bit, under 32-bit two's-complement semantics.
+
+The decorated function stays a normal callable, so tests can feed it
+Hypothesis-random inputs and compare against the simulators directly.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cdfg.region import Region
+from repro.frontend.legacy.elaborate import ElaboratedLoop
+from repro.frontend.pyfront import compile_python_function
+from repro.sim.evalops import wrap
+from repro.sim.machine import simulate_schedule
+from repro.sim.reference import SimResult
+
+#: catalog of function-defined workloads, by name.
+PYFUNC_REGISTRY: Dict[str, "PyfuncWorkload"] = {}
+
+
+@dataclass
+class OracleRun:
+    """What one CPython execution of a kernel produced."""
+
+    #: the function's return value (wrapped to 32 bits), or None.
+    value: Optional[int]
+    #: final contents per array parameter, zero-padded to the declared
+    #: depth (directly comparable to ``SimResult.memories``).
+    memories: Dict[str, List[int]]
+
+
+@dataclass
+class PyfuncWorkload:
+    """A named kernel written in the pyfront Python subset.
+
+    ``scalars`` are the default values of the int parameters and
+    ``arrays`` the default contents of the array parameters; both can be
+    overridden per run, which is how the property tests randomize.
+    """
+
+    name: str
+    fn: Callable
+    arrays: Dict[str, List[int]] = field(default_factory=dict)
+    scalars: Dict[str, int] = field(default_factory=dict)
+    description: str = ""
+
+    # -- compilation ----------------------------------------------------
+    def compile(self) -> ElaboratedLoop:
+        """Lower the function through pyfront (fresh every call, so
+        downstream passes may mutate the region freely)."""
+        return compile_python_function(self.fn, arrays=self.arrays)
+
+    def build(self) -> Region:
+        """Workload-registry factory: the compiled region."""
+        return self.compile().region
+
+    # -- run description ------------------------------------------------
+    def _param_kinds(self):
+        """``[(name, is_array), ...]`` in declaration order."""
+        params = inspect.signature(self.fn).parameters
+        return [(p.name, isinstance(p.annotation, str)
+                 and "[" in p.annotation)
+                for p in params.values()]
+
+    def sim_inputs(self, scalars: Optional[Dict[str, int]] = None,
+                   ) -> Dict[str, List[int]]:
+        """Port input streams for the simulators (scalar params only)."""
+        merged = dict(self.scalars)
+        merged.update(scalars or {})
+        return {name: [merged.get(name, 0)]
+                for name, is_array in self._param_kinds() if not is_array}
+
+    def memory_init(self, arrays: Optional[Dict[str, List[int]]] = None,
+                    ) -> Dict[str, List[int]]:
+        """Memory override for the simulators (array params only)."""
+        merged = dict(self.arrays)
+        merged.update(arrays or {})
+        return {name: list(contents) for name, contents in merged.items()}
+
+    # -- the oracle -----------------------------------------------------
+    def oracle(self, scalars: Optional[Dict[str, int]] = None,
+               arrays: Optional[Dict[str, List[int]]] = None,
+               depths: Optional[Dict[str, int]] = None) -> OracleRun:
+        """Run the function under CPython with the given inputs.
+
+        ``depths`` pads each final array to the hardware depth; when
+        omitted it is taken from a fresh compile.
+        """
+        if depths is None:
+            region = self.build()
+            depths = {name: decl.depth
+                      for name, decl in region.memories.items()}
+        scalar_vals = dict(self.scalars)
+        scalar_vals.update(scalars or {})
+        array_vals = self.memory_init(arrays)
+        args = []
+        live_arrays: Dict[str, List[int]] = {}
+        for name, is_array in self._param_kinds():
+            if is_array:
+                depth = depths.get(name, len(array_vals.get(name, [])))
+                words = list(array_vals.get(name, []))
+                words += [0] * (depth - len(words))
+                live_arrays[name] = words
+                args.append(words)
+            else:
+                args.append(scalar_vals.get(name, 0))
+        value = self.fn(*args)
+        return OracleRun(
+            value=wrap(value, 32) if value is not None else None,
+            memories={name: [wrap(v, 32) for v in words]
+                      for name, words in live_arrays.items()})
+
+
+def pyfunc_workload(name: Optional[str] = None, *,
+                    arrays: Optional[Dict[str, List[int]]] = None,
+                    scalars: Optional[Dict[str, int]] = None,
+                    description: str = "") -> Callable:
+    """Decorator registering a pyfront kernel as a named workload.
+
+    The function is returned unchanged (it stays the oracle); the
+    workload object lands in :data:`PYFUNC_REGISTRY` and its region
+    factory in the global workload registry.
+    """
+    def register(fn: Callable) -> Callable:
+        workload = PyfuncWorkload(
+            name=name or fn.__name__, fn=fn,
+            arrays={k: list(v) for k, v in (arrays or {}).items()},
+            scalars=dict(scalars or {}),
+            description=description or (fn.__doc__ or "").strip())
+        PYFUNC_REGISTRY[workload.name] = workload
+        # late import: this module is imported while repro.workloads is
+        # still initializing its own registry
+        from repro.workloads import register_workload
+        register_workload(workload.name, workload.build)
+        return fn
+    return register
+
+
+def check_against_oracle(workload: PyfuncWorkload, schedule,
+                         scalars: Optional[Dict[str, int]] = None,
+                         arrays: Optional[Dict[str, List[int]]] = None,
+                         ) -> Dict[str, object]:
+    """Simulate a schedule of the workload and compare with CPython.
+
+    Returns a report dict with ``ok`` plus the two sides; used by the
+    equivalence tests and the CI smoke lane.
+    """
+    region = schedule.region
+    sim: SimResult = simulate_schedule(
+        schedule, workload.sim_inputs(scalars),
+        memory_init=workload.memory_init(arrays))
+    depths = {n: d.depth for n, d in region.memories.items()}
+    want = workload.oracle(scalars, arrays, depths=depths)
+    returns_value = bool(
+        region.metadata.get("pyfront", {}).get("returns_value"))
+    got_value = sim.output("ret")[-1] if returns_value \
+        and sim.output("ret") else None
+    ok = (got_value == want.value
+          and all(sim.memories.get(name) == words
+                  for name, words in want.memories.items()))
+    return {"ok": ok, "value": got_value, "expected_value": want.value,
+            "memories": sim.memories, "expected_memories": want.memories,
+            "cycles": sim.cycles, "iterations": sim.iterations}
+
+
+__all__ = [
+    "OracleRun",
+    "PYFUNC_REGISTRY",
+    "PyfuncWorkload",
+    "check_against_oracle",
+    "pyfunc_workload",
+]

@@ -59,7 +59,7 @@ class TestExample1Sequential:
 
         The paper evaluates mul1 at 1230 ps and the mul+add chain at
         1580 ps with the *anticipated* 2-input sharing mux (the unit
-        tests in tests/timing/test_netlist.py pin those candidate
+        tests in tests/timing/test_timing_engine.py pin those candidate
         numbers).  In the finished schedule all three multiplications
         share one resource, so each mul port really carries a 3-input
         mux (115 ps instead of 110): the committed captures are kept

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.frontend import FrontendError, parse_source, tokenize
-from repro.frontend.astnodes import (
+from repro.frontend.legacy.astnodes import (
     AssignStmt,
     BinaryExpr,
     DeclStmt,

@@ -1,0 +1,254 @@
+"""The pyfront Python-subset compiler: lowering, semantics, diagnostics.
+
+Semantic tests follow the frontend's oracle contract: executing the
+same function under CPython must match the reference simulation of the
+compiled region, bit for bit (32-bit two's-complement values).
+"""
+
+import pytest
+
+from repro.frontend import FrontendError, compile_source, looks_like_python
+from repro.frontend.pyfront import (
+    PYFRONT_VERSION,
+    compile_python_function,
+    compile_python_source,
+)
+from repro.sim import simulate_reference
+
+
+def _run(fn, scalars=None, arrays=None, **kw):
+    """Compile ``fn`` and reference-simulate one activation."""
+    loop = compile_python_function(fn, arrays=arrays or {}, **kw)
+    inputs = {name: [value] for name, value in (scalars or {}).items()}
+    return simulate_reference(loop.region, inputs)
+
+
+def _ret(fn, scalars=None, arrays=None, **kw):
+    res = _run(fn, scalars, arrays, **kw)
+    return res.output("ret")[-1]
+
+
+# ----------------------------------------------------------------------
+# lowering + semantics
+# ----------------------------------------------------------------------
+def test_straight_line_if_else():
+    def clip(x: int) -> int:
+        if x > 100:
+            y = 100
+        elif x < -100:
+            y = -100
+        else:
+            y = x
+        return y
+
+    for x in (-2000, -100, 0, 37, 100, 101):
+        assert _ret(clip, {"x": x}) == clip(x)
+
+
+def test_while_loop_gcd():
+    def gcd(a: int, b: int) -> int:
+        while b != 0:
+            t = a % b
+            a = b
+            b = t
+        return a
+
+    for a, b in ((48, 36), (17, 5), (0, 9), (9, 0), (270, 192)):
+        assert _ret(gcd, {"a": a, "b": b}) == gcd(a, b)
+
+
+def test_zero_trip_while_leaves_state():
+    def f(n: int) -> int:
+        acc = 7
+        while n > 0:
+            acc = acc + n
+            n = n - 1
+        return acc
+
+    assert _ret(f, {"n": 0}) == 7
+    assert _ret(f, {"n": 4}) == f(4)
+
+
+def test_for_range_with_arrays():
+    def dot(a: "i32[8]", b: "i32[8]") -> int:
+        acc = 0
+        for i in range(8):
+            acc = acc + a[i] * b[i]
+        return acc
+
+    va = [1, -2, 3, -4, 5, -6, 7, -8]
+    vb = [2, 2, 2, 2, 3, 3, 3, 3]
+    loop = compile_python_function(dot, arrays={"a": va, "b": vb})
+    res = simulate_reference(loop.region, {})
+    assert res.output("ret")[-1] == dot(list(va), list(vb))
+    # memory_init overrides reuse the same compiled region
+    res2 = simulate_reference(loop.region, {},
+                              memory_init={"a": vb, "b": vb})
+    assert res2.output("ret")[-1] == dot(list(vb), list(vb))
+
+
+def test_array_stores_visible_in_memories():
+    def double(x: "i32[4]", out: "i32[4]") -> int:
+        for i in range(4):
+            out[i] = 2 * x[i]
+        return out[3]
+
+    loop = compile_python_function(
+        double, arrays={"x": [1, 2, 3, 4], "out": [0, 0, 0, 0]})
+    res = simulate_reference(loop.region, {})
+    assert res.memories["out"] == [2, 4, 6, 8]
+
+
+def test_floor_division_and_modulo_match_python():
+    def f(a: int, b: int) -> int:
+        return a // b * 100 + a % b
+
+    for a, b in ((7, 3), (-7, 3), (7, -3), (-7, -3), (6, 3), (-6, 3)):
+        assert _ret(f, {"a": a, "b": b}) == f(a, b)
+
+
+def test_arithmetic_shift_right():
+    def const_shift(x: int) -> int:
+        return x >> 3
+
+    def dyn_shift(x: int, n: int) -> int:
+        return x >> n
+
+    for x in (-8, -1, 0, 5, 1 << 20, -(1 << 20)):
+        assert _ret(const_shift, {"x": x}) == const_shift(x)
+        for n in (0, 1, 7, 31):
+            assert _ret(dyn_shift, {"x": x, "n": n}) == dyn_shift(x, n)
+
+
+def test_helper_inlining():
+    def source():
+        def sq(v: int) -> int:
+            return v * v
+
+        def kernel(x: int, y: int) -> int:
+            return sq(x) + sq(y + 1)
+        return kernel
+
+    text = ("def sq(v: int) -> int:\n"
+            "    return v * v\n"
+            "def kernel(x: int, y: int) -> int:\n"
+            "    return sq(x) + sq(y + 1)\n")
+    loops = compile_python_source(text, "helpers.py")
+    assert [l.region.name for l in loops] == ["kernel"]
+    res = simulate_reference(loops[0].region, {"x": [3], "y": [4]})
+    assert res.output("ret")[-1] == 3 * 3 + 5 * 5
+
+
+def test_nested_const_loops_unroll():
+    def mat(acc: int) -> int:
+        for i in range(3):
+            for j in range(3):
+                acc = acc + i * j
+        return acc
+
+    loop = compile_python_function(mat)
+    assert loop.region.trip_count == 3  # outer loop; inner unrolled
+    assert _ret(mat, {"acc": 10}) == mat(10)
+
+
+def test_builtins_abs_min_max():
+    def f(a: int, b: int) -> int:
+        return abs(a - b) + min(a, b) * max(a, 2)
+
+    for a, b in ((5, -3), (-5, 3), (0, 0), (2, 2)):
+        assert _ret(f, {"a": a, "b": b}) == f(a, b)
+
+
+def test_module_constants_and_len():
+    text = ("SCALE = 3\n"
+            "def kernel(x: 'i32[4]') -> int:\n"
+            "    acc = 0\n"
+            "    for i in range(len(x)):\n"
+            "        acc = acc + x[i] * SCALE\n"
+            "    return acc\n")
+    loops = compile_python_source(text, "k.py",
+                                  arrays={"kernel": {"x": [1, 2, 3, 4]}})
+    res = simulate_reference(loops[0].region, {})
+    assert res.output("ret")[-1] == 30
+
+
+def test_pipeline_decorator_becomes_spec():
+    text = ("@pipeline(2)\n"
+            "def k(x: int) -> int:\n"
+            "    acc = 0\n"
+            "    for i in range(4):\n"
+            "        acc = acc + x\n"
+            "    return acc\n")
+    loop = compile_python_source(text, "k.py")[0]
+    assert loop.pipeline is not None and loop.pipeline.ii == 2
+
+
+def test_metadata_tags_frontend_and_version():
+    def k(x: int) -> int:
+        return x + 1
+
+    region = compile_python_function(k).region
+    assert region.metadata["frontend"] == ("pyfront", PYFRONT_VERSION)
+    assert region.metadata["pyfront"]["returns_value"] is True
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+def test_looks_like_python():
+    assert looks_like_python("def f(x: int) -> int:\n    return x", None)
+    assert looks_like_python("anything", "kernel.py")
+    assert not looks_like_python("module m { }", None)
+
+
+def test_compile_source_dispatch():
+    pyloops = compile_source("def k(x: int) -> int:\n    return x + 1\n",
+                             filename="k.py")
+    assert pyloops[0].region.metadata["frontend"][0] == "pyfront"
+
+
+# ----------------------------------------------------------------------
+# diagnostics
+# ----------------------------------------------------------------------
+def _error(text):
+    with pytest.raises(FrontendError) as info:
+        compile_source(text, filename="bad.py")
+    return info.value
+
+
+def test_float_literal_is_located():
+    exc = _error("def f(x: int) -> int:\n    return x + 1.5\n")
+    assert exc.line == 2
+    assert exc.filename == "bad.py"
+    rendered = exc.render()
+    assert "bad.py:2:" in rendered
+    assert "^" in rendered  # caret excerpt attached
+
+
+def test_true_division_is_rejected():
+    exc = _error("def f(x: int) -> int:\n    return x / 2\n")
+    assert "//" in exc.raw_message
+
+
+def test_break_is_rejected():
+    exc = _error("def f(x: int) -> int:\n"
+                 "    acc = 0\n"
+                 "    while x > 0:\n"
+                 "        break\n"
+                 "    return acc\n")
+    assert exc.line == 4
+
+
+def test_unannotated_param_defaults_to_word():
+    loops = compile_source("def f(x) -> int:\n    return x\n",
+                           kind="pyfront")
+    res = simulate_reference(loops[0].region, {"x": [-7]})
+    assert res.output("ret")[-1] == -7
+
+
+def test_branch_only_name_is_rejected():
+    exc = _error("def f(x: int) -> int:\n"
+                 "    if x > 0:\n"
+                 "        y = 1\n"
+                 "    return y\n")
+    assert exc.line >= 2

@@ -1,0 +1,93 @@
+"""CLI coverage for Python-subset (.py) sources and pyfunc workloads."""
+
+import json
+
+from repro.cli import main
+
+GOOD_SOURCE = """\
+def scale_acc(x: int, k: int) -> int:
+    acc = 0
+    for i in range(4):
+        acc = acc + x * k
+    return acc
+"""
+
+BAD_SOURCE = """\
+def broken(x: int) -> int:
+    return x + 1.5
+"""
+
+
+def test_schedule_python_source(tmp_path, capsys):
+    src = tmp_path / "scale.py"
+    src.write_text(GOOD_SOURCE)
+    assert main(["schedule", str(src)]) == 0
+    out = capsys.readouterr().out
+    assert "scale_acc" in out
+
+
+def test_schedule_python_source_json(tmp_path, capsys):
+    src = tmp_path / "scale.py"
+    src.write_text(GOOD_SOURCE)
+    assert main(["schedule", str(src), "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["region"] == "scale_acc"
+
+
+def test_schedule_bad_source_renders_caret(tmp_path, capsys):
+    src = tmp_path / "broken.py"
+    src.write_text(BAD_SOURCE)
+    assert main(["schedule", str(src)]) == 1
+    err = capsys.readouterr().err
+    assert "broken.py:2:" in err  # file:line: headline
+    assert "^" in err  # caret excerpt
+    assert "return x + 1.5" in err  # offending source line
+
+
+def test_verilog_bad_source_renders_caret(tmp_path, capsys):
+    src = tmp_path / "broken.py"
+    src.write_text(BAD_SOURCE)
+    assert main(["verilog", str(src)]) == 1
+    assert "broken.py:2:" in capsys.readouterr().err
+
+
+def test_workloads_lists_chstone_kernels(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("adpcm", "jpeg_dct", "mips"):
+        assert name in out
+
+
+def test_schedule_chstone_by_name(capsys):
+    assert main(["schedule", "adpcm", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["region"] == "adpcm_encode"  # the kernel function's name
+
+
+def test_sweep_python_source(tmp_path, capsys):
+    src = tmp_path / "scale.py"
+    src.write_text(GOOD_SOURCE)
+    assert main(["sweep", str(src), "--clocks", "1600",
+                 "--latencies", "2,3", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["points"] or data["infeasible"]
+
+
+def test_sweep_bad_python_source_exits_cleanly(tmp_path, capsys):
+    src = tmp_path / "broken.py"
+    src.write_text(BAD_SOURCE)
+    try:
+        code = main(["sweep", str(src)])
+    except SystemExit as exc:
+        code = exc.code
+    assert code == 1
+    assert "broken.py:2:" in capsys.readouterr().err
+
+
+def test_tune_pyfunc_workload(capsys):
+    assert main(["tune", "adpcm", "--delay-ps", "120000",
+                 "--strategy", "greedy", "--clocks", "1600",
+                 "--latencies", "12,16", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["satisfied"] is True
+    assert data["winner"] is not None

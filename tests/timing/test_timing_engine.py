@@ -1,4 +1,4 @@
-"""The incremental datapath netlist and its delay model."""
+"""The unified incremental timing engine and its delay model."""
 
 import pytest
 
@@ -183,15 +183,8 @@ def test_anticipation_flag_controls_input_mux(lib):
     assert t_with.capture_ps - t_without.capture_ps == pytest.approx(110.0)
 
 
-def test_netlist_module_is_deprecated():
-    """The historical import path still works but warns."""
-    import importlib
-    import sys
-    import warnings
+def test_historical_alias_is_the_engine():
+    """``DatapathNetlist`` (the pre-unification name) is TimingEngine."""
+    from repro.timing import DatapathNetlist
 
-    sys.modules.pop("repro.timing.netlist", None)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        mod = importlib.import_module("repro.timing.netlist")
-    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-    assert mod.DatapathNetlist is TimingEngine
+    assert DatapathNetlist is TimingEngine

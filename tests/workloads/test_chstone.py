@@ -1,0 +1,55 @@
+"""CHStone-class pyfront workloads: registry presence and bit-exact
+equivalence between the scheduled machine and the CPython oracle."""
+
+import pytest
+
+from repro.core.scheduler import schedule_region
+from repro.sim import simulate_reference
+from repro.tech import artisan90, generic45
+from repro.workloads import (
+    PYFUNC_REGISTRY,
+    WORKLOAD_REGISTRY,
+    check_against_oracle,
+)
+
+KERNELS = ("adpcm", "jpeg_dct", "mips")
+
+
+def test_kernels_are_registered_workloads():
+    for name in KERNELS:
+        assert name in PYFUNC_REGISTRY
+        assert name in WORKLOAD_REGISTRY
+        region = WORKLOAD_REGISTRY[name]()
+        assert region.metadata["frontend"][0] == "pyfront"
+
+
+def test_reference_sim_matches_oracle():
+    """Frontend-level check, independent of the scheduler."""
+    for name in KERNELS:
+        workload = PYFUNC_REGISTRY[name]
+        region = workload.build()
+        res = simulate_reference(region, workload.sim_inputs())
+        want = workload.oracle(
+            depths={n: d.depth for n, d in region.memories.items()})
+        assert res.output("ret")[-1] == want.value, name
+        for mem, words in want.memories.items():
+            assert res.memories[mem] == words, (name, mem)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("lib_factory", [artisan90, generic45],
+                         ids=["artisan90", "generic45"])
+def test_scheduled_machine_matches_oracle(kernel, lib_factory):
+    workload = PYFUNC_REGISTRY[kernel]
+    schedule = schedule_region(workload.build(), lib_factory(), 1600.0)
+    report = check_against_oracle(workload, schedule)
+    assert report["ok"], report
+
+
+def test_pinned_results():
+    """The kernels' documented outputs (guards against silent edits)."""
+    assert PYFUNC_REGISTRY["adpcm"].oracle().value == 1033
+    assert PYFUNC_REGISTRY["jpeg_dct"].oracle().value == -166
+    assert PYFUNC_REGISTRY["mips"].oracle().value == 37
+    # the MIPS program sums dmem[0..7] into dmem[8]
+    assert PYFUNC_REGISTRY["mips"].oracle().memories["dmem"][8] == 19
