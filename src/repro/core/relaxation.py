@@ -50,6 +50,10 @@ class Action:
     cost: float
     solved_weight: float
     apply: Callable[[DriverState], None]
+    #: the resource type an ``add_resource`` action appends (None for
+    #: every other family); lets the driver's fixpoint detector reason
+    #: about what a batch did without unpicking the apply closure.
+    rtype: Optional[ResourceType] = None
 
     @property
     def gain(self) -> float:
@@ -213,6 +217,7 @@ def propose_actions(
                 cost=0.5 + rtype.area / 4000.0,
                 solved_weight=solved,
                 apply=add_resource,
+                rtype=rtype,
             ))
             break  # cheapest fitting grade is enough per type
 
@@ -308,6 +313,22 @@ BATCHABLE_PREFIXES = ("add_resource:", "add_bank:", "forbid:",
                       "speculate:", "move_scc:")
 
 
+def applied_actions(actions: List[Action], chosen: int) -> List[Action]:
+    """The actions :func:`apply_action_batch` applies, in order.
+
+    Factored out so the driver's fixpoint detector can reason about
+    exactly the batch that will be (repeatedly) applied.
+    """
+    winner = actions[chosen]
+    batch = [winner]
+    for i, extra in enumerate(actions):
+        if i == chosen or extra.name == winner.name:
+            continue
+        if extra.name.startswith(BATCHABLE_PREFIXES):
+            batch.append(extra)
+    return batch
+
+
 def apply_action_batch(actions: List[Action], chosen: int,
                        state: DriverState) -> None:
     """Apply ``actions[chosen]`` plus the independent batchable extras.
@@ -319,13 +340,30 @@ def apply_action_batch(actions: List[Action], chosen: int,
     index, so branch 0 is bit-identical to the serial path by
     construction.
     """
-    winner = actions[chosen]
-    winner.apply(state)
-    for i, extra in enumerate(actions):
-        if i == chosen or extra.name == winner.name:
-            continue
-        if extra.name.startswith(BATCHABLE_PREFIXES):
-            extra.apply(state)
+    for action in applied_actions(actions, chosen):
+        action.apply(state)
+
+
+def _restraint_fingerprint(r: Restraint) -> Tuple:
+    """Every field of one analyzed restraint, exact floats included."""
+    return (r.kind, r.op_uid, r.state, r.type_key, r.slack_ps,
+            r.fresh_instance_fails, r.fits_fresh_state, r.scc_index,
+            r.window_overflow, r.inst_name, r.cond_uid, r.mem_name,
+            r.chan_name, r.input_arrival_ps, r.weight)
+
+
+def driver_fingerprint(analyzed: List[Restraint],
+                       actions: List[Action]) -> Tuple:
+    """Everything the relaxation driver's decision depends on, one pass.
+
+    Two consecutive failed passes with equal fingerprints are the
+    trigger condition for the fixpoint fast-forward in
+    ``schedule_region``: the analyzed restraint set (all fields, exact
+    float values) plus the scored action list fully determine the batch
+    the driver applies next.
+    """
+    return (tuple(_restraint_fingerprint(r) for r in analyzed),
+            tuple((a.name, a.cost, a.solved_weight) for a in actions))
 
 
 def _race_worker(payload: Tuple) -> Tuple[int, bool, DriverState,

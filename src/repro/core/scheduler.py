@@ -34,6 +34,8 @@ from repro.core.priorities import compute_heights, priority_key, priority_static
 from repro.core.relaxation import (
     DriverState,
     apply_action_batch,
+    applied_actions,
+    driver_fingerprint,
     propose_actions,
     race_relaxation,
 )
@@ -90,6 +92,16 @@ class SchedulerOptions:
     #: and ``False`` exists purely as the reference path the equivalence
     #: test suite compares against.
     fast_paths: bool = True
+    #: fast-forward relaxation death spirals: when two consecutive failed
+    #: passes produce identical analyzed restraints and identical scored
+    #: actions, and the applied batch provably cannot change any future
+    #: pass (add_resource-only additions whose instances stay empty and
+    #: whose sharing outlook is already saturated), the driver synthesizes
+    #: the remaining identical iterations instead of executing them.  The
+    #: raised budget-exhausted error (message, history, state) is
+    #: bit-identical to the cold path; ``False`` is the reference path the
+    #: equivalence suite compares against.
+    fixpoint_ffwd: bool = True
     #: relaxation race width: with ``jobs > 1``, after a failed pass the
     #: top actions are tried concurrently in worker processes and the
     #: lowest-indexed feasible branch wins (deterministic tie-break).
@@ -98,7 +110,7 @@ class SchedulerOptions:
 
 
 class _RegionCache:
-    """Pass-to-pass carryover for one ``schedule_region`` call.
+    """Pass-to-pass (and point-to-point) scheduling carryover.
 
     The relaxation driver re-runs the pass scheduler dozens of times per
     region while only *constraints* change (latency, resource set,
@@ -106,15 +118,20 @@ class _RegionCache:
     + library alone -- heights, engine static structure, type keys,
     priority statics -- is computed once; mobility and the dependency
     maps are memoized on the constraint subset they actually depend on
-    (latency and the speculated set) and handed out as fresh copies when
-    a pass would mutate them in place.
+    (clock, latency and the speculated set) and handed out as fresh
+    copies when a pass would mutate them in place.
+
+    Clock-dependent entries carry the clock in their key, so one cache
+    may outlive a single ``schedule_region`` call and serve every design
+    point of a sweep that shares the region structure (the sweep
+    engine's ``SweepContext`` does exactly that).
     """
 
     def __init__(self, region: Region, library: Library) -> None:
         self.statics = TimingStatics(region.dfg, library)
         self.heights: Optional[Dict[int, float]] = None
-        #: (latency, frozenset(speculated)) -> pristine mobility map,
-        #: or the InfeasibleTiming it raised.
+        #: (clock_ps, latency, frozenset(speculated)) -> pristine
+        #: mobility map, or the InfeasibleTiming it raised.
         self.mobility: Dict[Tuple, object] = {}
         #: frozenset(speculated) -> (unresolved, consumers) dependency maps.
         self.depmaps: Dict[frozenset, Tuple[Dict[int, int],
@@ -123,9 +140,9 @@ class _RegionCache:
         #: uid -> static tail of the priority key (complexity, height,
         #: fanout, uid); only mobility varies between passes.
         self.prio_static: Dict[int, Tuple] = {}
-        #: uid -> fits-fresh-state verdict (non-memory ops only: memory
-        #: budgets depend on the pass's banking configuration).
-        self.fits_fresh: Dict[int, bool] = {}
+        #: (clock_ps, uid) -> fits-fresh-state verdict (non-memory ops
+        #: only: memory budgets depend on the pass's banking config).
+        self.fits_fresh: Dict[Tuple[float, int], bool] = {}
         #: uid -> (root, producer op) pairs for combinational chain edges.
         self.chain_roots: Dict[int, List[Tuple[int, Operation]]] = {}
 
@@ -255,7 +272,7 @@ class _Pass:
             return compute_mobility(
                 self.region, self.library, self.clock_ps, self.latency,
                 self.state.speculated)
-        key = (self.latency, frozenset(self.state.speculated))
+        key = (self.clock_ps, self.latency, frozenset(self.state.speculated))
         cached = self.cache.mobility.get(key)
         if cached is None:
             try:
@@ -960,10 +977,11 @@ class _Pass:
         and options, so it carries over between passes.
         """
         if self.cache is not None and not op.is_memory:
-            cached = self.cache.fits_fresh.get(op.uid)
+            key = (self.clock_ps, op.uid)
+            cached = self.cache.fits_fresh.get(key)
             if cached is None:
                 cached = self._fits_fresh_state_impl(op)
-                self.cache.fits_fresh[op.uid] = cached
+                self.cache.fits_fresh[key] = cached
             return cached
         return self._fits_fresh_state_impl(op)
 
@@ -1075,17 +1093,60 @@ class _Pass:
                            self.windows, self.mobility, self.log)
 
 
+def _ffwd_stable(batch, pool, netlist) -> bool:
+    """Whether repeating ``batch`` forever cannot change a future pass.
+
+    Sound only for pure ``add_resource`` batches: every other action
+    family mutates monotone driver state (forbidden pairs, speculation,
+    SCC shifts, bank overrides) that feeds back into the next proposal.
+    For resource additions, two conditions make the extra instances
+    invisible to the candidate walk (the empty-sibling argument behind
+    the PR 6 fast paths):
+
+    - at least one instance of each added type stayed empty through the
+      whole observed pass, so the binder never needed instances beyond
+      the ones both passes shared; and
+    - the type's sharing outlook is already saturated
+      (``demand <= count`` with the engine's memory-port adjustments),
+      so the anticipation flag -- the one timing input that reads the
+      pool *size* -- cannot flip as copies pile up.
+    """
+    for action in batch:
+        if action.rtype is None or \
+                not action.name.startswith("add_resource:"):
+            return False
+    demand = netlist._type_demand
+    counts = netlist._type_count
+    for action in batch:
+        rt = action.rtype
+        key = (rt.family, rt.width)
+        if demand.get(key, 0) > counts.get(key, 1):
+            return False
+        if not any(inst.rtype.name == rt.name and not inst.ops_bound()
+                   for inst in pool.instances):
+            return False
+    return True
+
+
 def schedule_region(
     region: Region,
     library: Library,
     clock_ps: float,
     pipeline: Optional[PipelineSpec] = None,
     options: Optional[SchedulerOptions] = None,
+    carryover: Optional[_RegionCache] = None,
 ) -> Schedule:
     """Schedule and bind a region; the paper's full iterative flow.
 
     Raises :class:`~repro.core.schedule.ScheduleError` when the design is
     overconstrained and no relaxation action remains.
+
+    ``carryover`` is the sweep engine's cross-point hook: a
+    :class:`_RegionCache` built for this exact region + library that
+    outlives the call, letting design points that share the region
+    structure reuse timing statics, heights, priority orders and
+    clock-keyed mobility skeletons.  Every cached entry is
+    decision-neutral, so results are bit-identical with or without it.
     """
     options = options or SchedulerOptions()
     region.validate()
@@ -1112,8 +1173,12 @@ def schedule_region(
         pipeline.ii if pipeline else None)
 
     state = DriverState(latency=min_latency)
-    cache = _RegionCache(region, library) if options.fast_paths else None
+    if carryover is not None and options.fast_paths:
+        cache = carryover
+    else:
+        cache = _RegionCache(region, library) if options.fast_paths else None
     outcome: Optional[PassOutcome] = None
+    prev_fp = None
     for pass_no in range(1, options.max_passes + 1):
         pass_run = _Pass(region, library, clock_ps, state.latency,
                          pipeline, allocation, state, options, cache=cache)
@@ -1176,7 +1241,32 @@ def schedule_region(
                 analyzed, state, options, outlook, len(actions))
             if raced is not None:
                 state = raced
+                prev_fp = None  # raced state may diverge from branch 0
                 continue
+        # relaxation fixpoint fast-forward: when this failed pass is an
+        # exact replay of the previous one (same analyzed restraints,
+        # same scored actions) and the batch about to be applied provably
+        # cannot perturb any future pass, every remaining iteration up to
+        # the pass budget is the same pass again -- synthesize their
+        # state/history updates and exhaust the budget without running
+        # them.  Death-spiral points (the dominant cost of infeasible
+        # sweeps) collapse from hundreds of passes to the spiral prefix.
+        if options.fixpoint_ffwd and cache is not None:
+            fp = driver_fingerprint(analyzed, actions)
+            if fp == prev_fp:
+                if _ffwd_stable(applied_actions(actions, 0), outcome.pool,
+                                outcome.netlist):
+                    remaining = options.max_passes - pass_no + 1
+                    profiling.bump("scheduler.ffwd")
+                    profiling.bump("scheduler.ffwd_passes", remaining - 1)
+                    for _ in range(remaining):
+                        apply_action_batch(actions, 0, state)
+                    break
+                # an exact replay whose batch could still perturb a
+                # future pass: stay on the cold path (and count it, so
+                # sweep reports can show accepted vs rejected fixpoints)
+                profiling.bump("scheduler.ffwd_reject")
+            prev_fp = fp
         # apply the winning action plus the batch of independent
         # secondary actions (resource additions for other types, binding
         # prohibitions, speculations): they interact with neither the

@@ -189,7 +189,10 @@ class FlowEvaluator(Evaluator):
 
     def evaluate_many(self,
                       cands: Sequence[Candidate]) -> List[StoredResult]:
-        from repro.flow.executor import run_sweep
+        """One :func:`~repro.flow.executor.run_points` dispatch for all
+        memo/store misses -- whatever mixture of curves the strategy
+        queued, the sweep engine's pool sees it as a single batch."""
+        from repro.flow.executor import run_points
 
         misses: List[Candidate] = []
         queued = set()
@@ -199,24 +202,14 @@ class FlowEvaluator(Evaluator):
                 continue
             queued.add(key)
             misses.append(cand)
-        groups: Dict[str, Tuple[Microarch, List[float]]] = {}
-        for cand in misses:
-            groups.setdefault(cand.microarch.name,
-                              (cand.microarch, []))[1].append(cand.clock_ps)
-        for microarch, clocks in groups.values():
-            sweep = run_sweep(self.region_factory, self.library,
-                              [microarch], clocks, options=self.options,
-                              jobs=self.jobs, cache=self.cache)
-            by_clock: Dict[float, StoredResult] = {}
-            for p in sweep.points:
-                by_clock[p.clock_ps] = p
-            for q in sweep.infeasible:
-                by_clock[q.clock_ps] = q
-            for clock in clocks:
-                cand = Candidate(microarch, clock)
-                key = self._key(cand)
-                result = by_clock[clock]
+        if misses:
+            results = run_points(
+                self.region_factory, self.library,
+                [(c.microarch, c.clock_ps) for c in misses],
+                options=self.options, jobs=self.jobs, cache=self.cache)
+            for cand, result in zip(misses, results):
                 self.fresh_evaluations += 1
+                key = self._key(cand)
                 if self.store is not None:
                     self.store.put(key, result)
                 self._record(cand, key, result, "synth")
@@ -370,31 +363,46 @@ class BisectStrategy(Strategy):
 
     def run(self, space, goal, evaluator):
         delay_bound = goal.bound("delay_ps")
+        curves = [(m, admissible_clocks(space, m, delay_bound))
+                  for m in space.microarchs]
+        curves = [(m, clocks) for m, clocks in curves if clocks]
+        if not curves:
+            return None
+        # the most relaxed admissible clock is each curve's easiest
+        # point: infeasible or violating there => the curve is out.
+        # Every curve probes it unconditionally, so it is one batch.
+        first = evaluator.evaluate_many(
+            [Candidate(m, clocks[-1]) for m, clocks in curves])
         per_curve = []
-        for m in space.microarchs:
-            clocks = admissible_clocks(space, m, delay_bound)
-            if not clocks:
-                continue
-            # the most relaxed admissible clock is each curve's easiest
-            # point: infeasible or violating there => the curve is out.
-            result = evaluator.evaluate(Candidate(m, clocks[-1]))
+        active: List[List] = []  # [m, clocks, lo, hi, best]
+        for (m, clocks), result in zip(curves, first):
             if not _ok(goal, result):
                 continue
             if goal.objective.metric != "delay_ps":
                 # area/power are minimal at the most relaxed clock.
                 per_curve.append((m, clocks, len(clocks) - 1, result))
-                continue
-            # minimize delay: leftmost (fastest) satisfying clock; the
-            # predicate is monotone along the axis, so bisect.
-            lo, hi, best = 0, len(clocks) - 1, result
-            while lo < hi:
+            else:
+                active.append([m, clocks, 0, len(clocks) - 1, result])
+        # minimize delay: leftmost (fastest) satisfying clock; the
+        # predicate is monotone along the axis, so bisect -- curves are
+        # independent, so every round's midpoints form one batch (the
+        # probe set is exactly the sequential one).
+        while any(lo < hi for _, _, lo, hi, _ in active):
+            evaluator.evaluate_many(
+                [Candidate(m, clocks[(lo + hi) // 2])
+                 for m, clocks, lo, hi, _ in active if lo < hi])
+            for entry in active:
+                m, clocks, lo, hi, best = entry
+                if lo >= hi:
+                    continue
                 mid = (lo + hi) // 2
                 probe = evaluator.evaluate(Candidate(m, clocks[mid]))
                 if _ok(goal, probe):
-                    hi, best = mid, probe
+                    entry[3], entry[4] = mid, probe
                 else:
-                    lo = mid + 1
-            per_curve.append((m, clocks, hi, best))
+                    entry[2] = mid + 1
+        per_curve.extend(
+            (m, clocks, hi, best) for m, clocks, _, hi, best in active)
         return _finish(per_curve, goal, evaluator)
 
 
@@ -409,11 +417,15 @@ class GreedyStrategy(Strategy):
             return self._descend_delay(space, goal, evaluator,
                                        delay_bound)
         best: Optional[DesignPoint] = None
-        for m in space.microarchs:
-            clocks = admissible_clocks(space, m, delay_bound)
-            if not clocks:
-                continue
-            result = evaluator.evaluate(Candidate(m, clocks[-1]))
+        curves = [(m, admissible_clocks(space, m, delay_bound))
+                  for m in space.microarchs]
+        curves = [(m, clocks) for m, clocks in curves if clocks]
+        # every curve's most-relaxed clock is probed unconditionally:
+        # one batch keeps the pool saturated before the (sequential,
+        # data-dependent) plateau walks
+        first = evaluator.evaluate_many(
+            [Candidate(m, clocks[-1]) for m, clocks in curves])
+        for (m, clocks), result in zip(curves, first):
             if not _ok(goal, result):
                 continue  # curve's best point fails => whole curve out
             point = _walk_plateau(evaluator, goal, m, clocks,
@@ -495,7 +507,28 @@ class HalvingStrategy(Strategy):
             alive.sort()
             keep = [name for _, name in
                     alive[:max(1, math.ceil(len(alive) / 2))]]
+            # one batched wave per rung: each kept curve contributes its
+            # next <= budget untried clocks (pre-truncated against the
+            # rung-entry incumbent).  Batching can evaluate points a
+            # strictly sequential walk would have skipped after a
+            # mid-rung incumbent improvement; that only adds work, never
+            # error -- culling stays bound-based and the walk below
+            # still stops at each curve's fastest satisfying clock.
+            spans: List[Tuple[str, List[int]]] = []
+            wave: List[Candidate] = []
             for name in keep:
+                m, clocks, idx = pending[name]
+                span = []
+                for j in range(idx, min(idx + budget, len(clocks))):
+                    if incumbent is not None \
+                            and m.ii_effective * clocks[j] \
+                            > incumbent.delay_ps + TIE_EPS:
+                        break
+                    span.append(j)
+                spans.append((name, span))
+                wave.extend(Candidate(m, clocks[j]) for j in span)
+            evaluator.evaluate_many(wave)
+            for name, span in spans:
                 m, clocks, idx = pending[name]
                 resolved = False
                 for j in range(idx, min(idx + budget, len(clocks))):

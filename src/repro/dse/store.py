@@ -18,6 +18,13 @@ Robustness rules:
 * lines with a different :data:`STORE_VERSION` or timing-model version
   are skipped -- the file never needs migrating, stale entries simply
   stop matching and fresh ones append after them.
+
+Concurrency: a single JSONL file appended by many processes risks
+interleaved partial lines.  ``shard_per_process=True`` routes this
+process's appends to a private ``<name>.<pid>.shard`` sibling instead;
+loading always merges the base file with every sibling shard (results
+are content-addressed, so merge order cannot matter), and
+:meth:`ResultStore.compact` folds the shards back into the base file.
 """
 
 from __future__ import annotations
@@ -94,15 +101,36 @@ class ResultStore:
     line and a crash costs at most the line being written.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path],
+                 shard_per_process: bool = False) -> None:
         self.path = Path(path)
+        #: where this instance appends: the base file, or a private
+        #: per-process shard when several writers share the path.
+        self.write_path = self.path if not shard_per_process else \
+            self.path.parent / f"{self.path.name}.{os.getpid()}.shard"
         self._entries: Dict[str, StoredResult] = {}
         self.skipped_lines = 0
         self._load()
 
-    def _load(self) -> None:
+    def _shard_paths(self) -> list:
+        """Every sibling shard of the base file, stably ordered."""
         try:
-            text = self.path.read_text()
+            return sorted(
+                self.path.parent.glob(f"{self.path.name}.*.shard"))
+        except OSError:
+            return []
+
+    def _load(self) -> None:
+        self._load_file(self.path)
+        # merge-on-load: shards left by per-process writers.  Results
+        # are content-addressed, so any merge order yields equivalent
+        # entries (first writer wins per key).
+        for shard in self._shard_paths():
+            self._load_file(shard)
+
+    def _load_file(self, path: Path) -> None:
+        try:
+            text = path.read_text()
         except OSError:
             return
         model = timing_engine.TIMING_MODEL_VERSION
@@ -123,7 +151,7 @@ class ResultStore:
                 self.skipped_lines += 1
                 continue
             if isinstance(key, str) and result is not None:
-                self._entries[key] = result
+                self._entries.setdefault(key, result)
             else:
                 self.skipped_lines += 1
 
@@ -146,13 +174,48 @@ class ResultStore:
         line = json.dumps(entry, sort_keys=True,
                           separators=(",", ":")) + "\n"
         try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a") as handle:
+            self.write_path.parent.mkdir(parents=True, exist_ok=True)
+            with self.write_path.open("a") as handle:
                 handle.write(line)
                 handle.flush()
                 os.fsync(handle.fileno())
         except OSError:  # read-only checkouts keep the in-memory entry
             pass
+
+    def compact(self) -> int:
+        """Fold every shard into the base file; returns shards removed.
+
+        Rewrites the base file with the full merged entry set (written
+        atomically next to it, then renamed over it) and deletes the
+        shard files afterwards.  Safe to call while other writers are
+        appending to *their* shards: their files are untouched unless
+        already read, and a shard deleted here has its entries in the
+        new base file.
+        """
+        shards = self._shard_paths()
+        model = timing_engine.TIMING_MODEL_VERSION
+        lines = []
+        for key, result in self._entries.items():
+            entry = {"v": STORE_VERSION, "timing_model": model,
+                     "key": key}
+            entry.update(_encode(result))
+            lines.append(json.dumps(entry, sort_keys=True,
+                                    separators=(",", ":")))
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.parent / f"{self.path.name}.{os.getpid()}.tmp"
+            tmp.write_text("".join(line + "\n" for line in lines))
+            os.replace(tmp, self.path)
+        except OSError:
+            return 0
+        removed = 0
+        for shard in shards:
+            try:
+                shard.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -10,8 +10,11 @@ compilations:
   named flows (``schedule``, ``pipeline``, ``verilog``, ``sweep``);
 * :class:`FlowCache` -- content-addressed result cache keyed by a
   deterministic hash of (region structure, library, clock, options);
-* :func:`run_sweep` -- the parallel grid executor behind the Figure
-  10/11 experiments, with explicit infeasible-point records.
+* :func:`run_sweep` / :func:`run_points` -- the sweep engine behind
+  the Figure 10/11 experiments and the DSE layer's batched
+  evaluations: three decision-identical backends (``context``,
+  ``process``, ``thread``), cross-point carryover via
+  :class:`SweepContext`, and explicit infeasible-point records.
 
 The legacy entry points (``pipeline_loop``, ``sweep_microarchitectures``,
 the CLI commands) are thin shims over this package.
@@ -20,11 +23,14 @@ the CLI commands) are thin shims over this package.
 from repro.flow.cache import FlowCache, compilation_key, region_fingerprint
 from repro.flow.context import CompilationContext, Diagnostic, PassTiming
 from repro.flow.executor import (
+    BACKENDS,
     PointResult,
     SweepResult,
+    run_points,
     run_sweep,
     synthesize_design_point,
 )
+from repro.flow.sweepctx import SweepContext, SweepVariant
 from repro.flow.flow import (
     FLOW_REGISTRY,
     Flow,
@@ -40,6 +46,7 @@ from repro.flow.passes import (
 )
 
 __all__ = [
+    "BACKENDS",
     "CompilationContext",
     "Diagnostic",
     "FLOW_REGISTRY",
@@ -49,7 +56,9 @@ __all__ = [
     "PASS_REGISTRY",
     "PassTiming",
     "PointResult",
+    "SweepContext",
     "SweepResult",
+    "SweepVariant",
     "compilation_key",
     "get_flow",
     "get_pass",
@@ -57,6 +66,7 @@ __all__ = [
     "register_flow",
     "register_pass",
     "run_flow",
+    "run_points",
     "run_sweep",
     "synthesize_design_point",
 ]

@@ -121,6 +121,33 @@ def compilation_key(
 CACHE_FILE_VERSION = 1
 
 
+def _load_entries(path: Union[str, Path]) -> Dict[Tuple[str, str], object]:
+    """Tolerantly read a cache file's entries; empty dict on any problem.
+
+    Shared by :meth:`FlowCache.load` and the merge step of
+    :meth:`FlowCache.save` -- version or timing-model mismatches, a
+    missing file and a corrupt pickle all read as "nothing on disk".
+    """
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except Exception:  # missing, truncated, corrupt, unreadable ...
+        return {}
+    if not isinstance(payload, dict) \
+            or payload.get("version") != CACHE_FILE_VERSION \
+            or payload.get("timing_model") \
+            != timing_engine.TIMING_MODEL_VERSION:
+        return {}
+    data = payload.get("data")
+    if not isinstance(data, dict):
+        return {}
+    return {
+        key: artifact for key, artifact in data.items()
+        if (isinstance(key, tuple) and len(key) == 2
+            and all(isinstance(k, str) for k in key))
+    }
+
+
 class FlowCache:
     """A thread-safe artifact store keyed by (compilation key, stage).
 
@@ -156,6 +183,37 @@ class FlowCache:
             while len(self._data) > self.max_entries:
                 self._data.pop(next(iter(self._data)))
 
+    def peek(self, key: str, stage: str) -> bool:
+        """Whether (key, stage) is cached, without touching hit/miss
+        counters -- the sweep executor's dispatch probe (counters must
+        reflect the flow's own lookups, identically to a serial run)."""
+        with self._lock:
+            return (key, stage) in self._data
+
+    def entries(self) -> Dict[Tuple[str, str], object]:
+        """A snapshot of every entry (what a sweep worker sends back)."""
+        with self._lock:
+            return dict(self._data)
+
+    def absorb(self, entries: Dict[Tuple[str, str], object]) -> int:
+        """Merge another cache's entries; first writer wins per key.
+
+        Artifacts are content-addressed, so two processes that computed
+        the same (key, stage) computed equivalent artifacts -- keeping
+        the incumbent makes repeated merges idempotent.  Returns the
+        number of newly added entries.
+        """
+        added = 0
+        with self._lock:
+            for key, artifact in entries.items():
+                if artifact is None or key in self._data:
+                    continue
+                self._data[key] = artifact
+                added += 1
+            while len(self._data) > self.max_entries:
+                self._data.pop(next(iter(self._data)))
+        return added
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)
@@ -179,6 +237,17 @@ class FlowCache:
     def save(self, path: Union[str, Path]) -> Path:
         """Persist the cache to ``path`` (pickle, written atomically).
 
+        Saving *merges* with whatever already sits at ``path``: the
+        on-disk entries are read back (tolerantly, with the usual
+        version checks) and united with this cache's entries, our
+        entries winning on conflict.  Two processes saving to the same
+        file therefore both land their work -- the last writer decides
+        conflicts, but no longer silently discards the other writer's
+        disjoint entries.  The atomic ``os.replace`` keeps readers safe
+        at every instant; the read-merge-write window is not a
+        transaction, which is fine for a cache (a lost entry costs a
+        recompute, never correctness).
+
         The file carries :data:`CACHE_FILE_VERSION` and the current
         timing-model version; :meth:`load` refuses both mismatches, so
         a stale file silently stops matching instead of serving
@@ -187,13 +256,15 @@ class FlowCache:
         path = Path(path)
         with self._lock:
             data = dict(self._data)
+        merged = dict(_load_entries(path))
+        merged.update(data)
         payload = {
             "version": CACHE_FILE_VERSION,
             "timing_model": timing_engine.TIMING_MODEL_VERSION,
-            "data": data,
+            "data": merged,
         }
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + ".tmp")
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         with open(tmp, "wb") as handle:
             pickle.dump(payload, handle)
         os.replace(tmp, path)
@@ -210,27 +281,10 @@ class FlowCache:
         persistence is an optimization, never a failure mode.
         """
         cache = cls(max_entries=max_entries)
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-            if not isinstance(payload, dict) \
-                    or payload.get("version") != CACHE_FILE_VERSION \
-                    or payload.get("timing_model") \
-                    != timing_engine.TIMING_MODEL_VERSION:
-                return cache
-            data = payload.get("data")
-            if not isinstance(data, dict):
-                return cache
-            entries = {}
-            for key, artifact in data.items():
-                if (isinstance(key, tuple) and len(key) == 2
-                        and all(isinstance(k, str) for k in key)):
-                    entries[key] = artifact
-            with cache._lock:
-                for key, artifact in list(entries.items())[-max_entries:]:
-                    cache._data[key] = artifact
-        except Exception:  # corrupt pickle, unreadable file, ...
-            return cls(max_entries=max_entries)
+        entries = _load_entries(path)
+        with cache._lock:
+            for key, artifact in list(entries.items())[-max_entries:]:
+                cache._data[key] = artifact
         return cache
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -68,6 +68,11 @@ class CompilationContext:
     run_optimizer: bool = True
     #: result cache shared across contexts; None disables caching.
     cache: Optional["FlowCache"] = None  # noqa: F821 - see flow.cache
+    #: cross-point scheduling carryover (a ``_RegionCache`` owned by the
+    #: sweep engine's :class:`~repro.flow.sweepctx.SweepContext`); every
+    #: cached entry is decision-neutral, so it is transient state -- it
+    #: never enters the compilation cache key.
+    scheduler_carryover: Optional[object] = None
 
     # -- artifacts, filled in by passes ---------------------------------
     elaborated: Optional[list] = None

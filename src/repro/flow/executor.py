@@ -1,26 +1,48 @@
-"""Parallel sweep executor.
+"""The sweep engine: process-parallel, cross-point-incremental grids.
 
 Runs the microarchitecture x clock grid of the paper's Figures 10/11
-through the ``sweep`` flow.  Each grid point is independent, so the
-executor fans them out over a thread pool (``jobs`` workers) while
-keeping the result order deterministic -- identical, point for point, to
-the serial traversal (microarchitecture-major, then clock).  Infeasible
-configurations are first-class :class:`InfeasiblePoint` results instead
-of being silently dropped, and a shared
-:class:`~repro.flow.cache.FlowCache` makes repeated grids near-free.
+through the ``sweep`` flow.  Three backends share one contract -- every
+scheduling decision is bit-identical to the serial cold path, point for
+point, diagnostics included:
 
-Threads rather than processes: regions are built per-worker by the
-factory, the scheduler touches only per-run state, and factories are
-frequently closures that do not pickle.
+``context`` (default for ``jobs <= 1``)
+    Serial traversal over a :class:`~repro.flow.sweepctx.SweepContext`:
+    the region factory runs once, each microarchitecture variant
+    (unroll + latency clamp + banking) is built once, and all clocks of
+    a variant share one scheduler carryover cache (timing statics,
+    heights, priority orders, clock-keyed ASAP/ALAP skeletons).
+
+``process`` (default for ``jobs > 1``)
+    The context engine sharded over worker processes.  Points are
+    batched per variant, each batch shipping its prebuilt region to the
+    worker as one pickle blob (not one per point); workers keep a
+    private :class:`~repro.flow.cache.FlowCache` whose entries are
+    merged back into the shared cache on completion.  Points already
+    present in the shared cache are served in the parent, so warm
+    re-sweeps never pay worker dispatch.  Any pool-level failure falls
+    back to the ``context`` backend for the remaining points.
+
+``thread``
+    The seed executor, preserved verbatim as the benchmark baseline and
+    the fallback of last resort: per-point factory rebuilds fanned out
+    over a GIL-bound thread pool.
+
+Infeasible configurations are first-class :class:`InfeasiblePoint`
+results instead of being silently dropped.  Result ordering is the
+serial traversal order (microarchitecture-major, then clock) under
+every backend.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import profiling
 from repro.cdfg.dfg import DFGError
 from repro.cdfg.region import PipelineSpec, Region
 from repro.core.scheduler import SchedulerOptions
@@ -31,12 +53,16 @@ from repro.explore.microarch import (
     PAPER_MICROARCHS,
 )
 from repro.explore.pareto import DesignPoint
-from repro.flow.cache import FlowCache
+from repro.flow.cache import FlowCache, compilation_key
 from repro.flow.context import CompilationContext
 from repro.flow.flow import get_flow
+from repro.flow.sweepctx import SweepContext, SweepVariant
 from repro.tech.library import Library
 
 PointResult = Union[DesignPoint, InfeasiblePoint]
+
+#: sweep backends; ``None`` picks ``context`` or ``process`` by jobs.
+BACKENDS = ("context", "process", "thread")
 
 
 @dataclass
@@ -48,6 +74,11 @@ class SweepResult:
     elapsed_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    backend: str = "context"
+    jobs: int = 1
+    #: sweep-layer profile: worker utilization, pickled bytes, warm
+    #: accepts/fallbacks, per-worker cache traffic (process backend).
+    profile: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -62,6 +93,9 @@ class SweepResult:
             "elapsed_s": round(self.elapsed_s, 4),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "profile": dict(self.profile),
             "points": [
                 {"label": p.label, "microarch": p.microarch,
                  "clock_ps": p.clock_ps, "ii": p.ii, "latency": p.latency,
@@ -71,6 +105,25 @@ class SweepResult:
                 {"microarch": q.microarch, "clock_ps": q.clock_ps,
                  "reason": q.reason} for q in self.infeasible],
         }
+
+
+def _point_result(ctx: CompilationContext, microarch: Microarch,
+                  clock_ps: float) -> PointResult:
+    """Translate a finished flow context into a grid point record."""
+    if ctx.failed:
+        return InfeasiblePoint(microarch.name, clock_ps,
+                               ctx.errors[0].message)
+    schedule = ctx.schedule
+    return DesignPoint(
+        label=f"{microarch.name}@{clock_ps:.0f}",
+        microarch=microarch.name,
+        clock_ps=clock_ps,
+        ii=schedule.ii_effective,
+        latency=schedule.latency,
+        delay_ps=schedule.delay_ps,
+        area=schedule.area,
+        power_mw=ctx.power.total_mw,
+    )
 
 
 def synthesize_design_point(
@@ -83,11 +136,11 @@ def synthesize_design_point(
 ) -> PointResult:
     """One HLS run through the ``sweep`` flow.
 
-    The region is built fresh (schedules bind operation state), clamped
-    to the microarchitecture's latency, and scheduled/power-estimated.
-    Returns a :class:`DesignPoint`, or an :class:`InfeasiblePoint`
-    carrying the scheduler's reason when the configuration is
-    overconstrained.
+    The region is built fresh (the single-point entry has no sweep
+    context to share structure with), clamped to the microarchitecture's
+    latency, and scheduled/power-estimated.  Returns a
+    :class:`DesignPoint`, or an :class:`InfeasiblePoint` carrying the
+    scheduler's reason when the configuration is overconstrained.
     """
     try:
         region = microarch.apply_unroll(region_factory())
@@ -107,20 +160,237 @@ def synthesize_design_point(
     if options is not None:
         ctx.options = options
     get_flow("sweep").run(ctx)
-    if ctx.failed:
-        return InfeasiblePoint(microarch.name, clock_ps,
-                               ctx.errors[0].message)
-    schedule = ctx.schedule
-    return DesignPoint(
-        label=f"{microarch.name}@{clock_ps:.0f}",
-        microarch=microarch.name,
-        clock_ps=clock_ps,
-        ii=schedule.ii_effective,
-        latency=schedule.latency,
-        delay_ps=schedule.delay_ps,
-        area=schedule.area,
-        power_mw=ctx.power.total_mw,
-    )
+    return _point_result(ctx, microarch, clock_ps)
+
+
+def _variant_point(
+    variant: SweepVariant,
+    library: Library,
+    clock_ps: float,
+    options: Optional[SchedulerOptions],
+    cache: Optional[FlowCache],
+) -> PointResult:
+    """One grid point against a prebuilt variant (context/process path)."""
+    if variant.region is None:
+        return InfeasiblePoint(variant.microarch.name, clock_ps,
+                               variant.error or "variant build failed")
+    ctx = CompilationContext(
+        region=variant.region, library=library, clock_ps=clock_ps,
+        pipeline=variant.pipeline, run_optimizer=False, cache=cache)
+    ctx.scheduler_carryover = variant.carryover
+    if options is not None:
+        ctx.options = options
+    get_flow("sweep").run(ctx)
+    return _point_result(ctx, variant.microarch, clock_ps)
+
+
+# ----------------------------------------------------------------------
+# process backend
+# ----------------------------------------------------------------------
+def _sweep_worker(payload: Tuple) -> Tuple:
+    """One worker batch: a variant region blob plus its clock list.
+
+    Runs in a worker process.  The region arrives as a single pickle
+    blob shared by every point of the batch; the worker schedules its
+    clocks against a private :class:`FlowCache` (entries travel back to
+    the parent for merging) and returns its profiling counters and busy
+    time so the parent can report utilization.
+    """
+    (chunk_id, blob, error, microarch, clocks, options, library) = payload
+    profiling.reset()  # forked workers inherit the parent's table
+    start = time.perf_counter()
+    region = pickle.loads(blob) if blob is not None else None
+    variant = SweepVariant(microarch, region, error, library)
+    local_cache = FlowCache()
+    results = [
+        _variant_point(variant, library, clock, options, local_cache)
+        for clock in clocks
+    ]
+    busy_s = time.perf_counter() - start
+    return (chunk_id, results, local_cache.entries(), local_cache.stats(),
+            profiling.snapshot(), busy_s)
+
+
+def _chunk_clocks(idxs: List[int], n_chunks: int) -> List[List[int]]:
+    """Split one variant's grid indexes into up to ``n_chunks`` batches."""
+    n_chunks = max(1, min(n_chunks, len(idxs)))
+    size = -(-len(idxs) // n_chunks)
+    return [idxs[i:i + size] for i in range(0, len(idxs), size)]
+
+
+def _run_process_backend(
+    sctx: SweepContext,
+    grid: List[Tuple[Microarch, float]],
+    results: List[Optional[PointResult]],
+    library: Library,
+    options: Optional[SchedulerOptions],
+    jobs: int,
+    cache: Optional[FlowCache],
+    profile: Dict[str, object],
+) -> None:
+    """Fill ``results`` for every index still None, via worker processes."""
+    by_variant: Dict[Microarch, List[int]] = {}
+    for idx, (microarch, _) in enumerate(grid):
+        if results[idx] is None:
+            by_variant.setdefault(microarch, []).append(idx)
+    if not by_variant:
+        return
+    per_variant = max(1, jobs // len(by_variant))
+    workers: List[Dict[str, object]] = []
+    # more processes than cores only adds fork + scheduling overhead;
+    # chunking already bounds useful parallelism at one batch per
+    # variant-chunk
+    max_workers = min(jobs, max(1, os.cpu_count() or 1))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = []
+        chunk_map: List[List[int]] = []
+        # build + submit variant by variant so the first worker starts
+        # while the parent is still constructing later variants
+        for microarch, idxs in by_variant.items():
+            variant = sctx.variant(microarch)
+            blob = variant.blob() if variant.region is not None else None
+            for chunk_idxs in _chunk_clocks(idxs, per_variant):
+                payload = (len(chunk_map), blob, variant.error, microarch,
+                           [grid[i][1] for i in chunk_idxs], options,
+                           library)
+                futures.append(pool.submit(_sweep_worker, payload))
+                chunk_map.append(chunk_idxs)
+        for future, chunk_idxs in zip(futures, chunk_map):
+            (_, chunk_results, entries, stats, counters,
+             busy_s) = future.result()
+            for idx, result in zip(chunk_idxs, chunk_results):
+                results[idx] = result
+            profiling.merge(counters)
+            if cache is not None:
+                cache.absorb(entries)
+                # fold the worker's flow lookups into the shared
+                # counters: the sweep's hit/miss totals then match the
+                # serial traversal exactly
+                cache.hits += stats["hits"]
+                cache.misses += stats["misses"]
+            workers.append({
+                "points": len(chunk_idxs),
+                "busy_s": round(busy_s, 4),
+                "cache_hits": stats["hits"],
+                "cache_misses": stats["misses"],
+            })
+    profile["workers"] = workers
+
+
+def _run_sweep_threads(
+    region_factory: Callable[[], Region],
+    library: Library,
+    grid: List[Tuple[Microarch, float]],
+    options: Optional[SchedulerOptions],
+    jobs: int,
+    cache: Optional[FlowCache],
+) -> List[PointResult]:
+    """The seed thread-pool path (benchmark baseline, GIL-bound)."""
+    def one(item: Tuple[Microarch, float]) -> PointResult:
+        microarch, clock = item
+        return synthesize_design_point(
+            region_factory, library, microarch, clock, options, cache)
+
+    if jobs <= 1:
+        return [one(item) for item in grid]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(one, grid))
+
+
+def _execute_grid(
+    region_factory: Callable[[], Region],
+    library: Library,
+    grid: List[Tuple[Microarch, float]],
+    options: Optional[SchedulerOptions],
+    jobs: int,
+    cache: Optional[FlowCache],
+    backend: Optional[str],
+) -> Tuple[List[PointResult], SweepResult]:
+    """Execute an explicit (microarch, clock) list on the sweep engine.
+
+    The shared core of :func:`run_sweep` (cross-product grids) and
+    :func:`run_points` (ragged point lists).  Returns the per-point
+    results in input order plus the accounting record.
+    """
+    if backend is None:
+        # a process pool on a single-core host is pure fork/pickle
+        # overhead -- the context engine does the same work in-process
+        # (backends are decision-identical, so the choice is invisible)
+        backend = "process" if jobs > 1 and (os.cpu_count() or 1) > 1 \
+            else "context"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown sweep backend {backend!r}; choose from {BACKENDS}")
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+    ffwd0 = profiling.counters.get("scheduler.ffwd", 0)
+    reject0 = profiling.counters.get("scheduler.ffwd_reject", 0)
+    profile: Dict[str, object] = {}
+    start = time.perf_counter()
+
+    if backend == "thread":
+        results: List[Optional[PointResult]] = _run_sweep_threads(
+            region_factory, library, grid, options, jobs, cache)
+    else:
+        sctx = SweepContext(region_factory, library)
+        results = [None] * len(grid)
+        if backend == "process" and jobs > 1:
+            # serve points the shared cache already covers in the
+            # parent (the flow's own get() calls do the hit counting),
+            # then dispatch the rest to workers
+            parent_served = 0
+            for idx, (microarch, clock) in enumerate(grid):
+                if cache is None:
+                    break
+                variant = sctx.variant(microarch)
+                if variant.region is None:
+                    continue
+                key = compilation_key(
+                    variant.region, library, clock,
+                    options or SchedulerOptions(), variant.pipeline)
+                if cache.peek(key, "schedule"):
+                    results[idx] = _variant_point(
+                        variant, library, clock, options, cache)
+                    parent_served += 1
+            profile["parent_served"] = parent_served
+            try:
+                _run_process_backend(sctx, grid, results, library,
+                                     options, jobs, cache, profile)
+            except Exception:
+                # pool-level failure (unpicklable payload, broken
+                # worker): finish on the in-process context engine
+                profiling.bump("sweep.process_fallback")
+                profile["process_fallback"] = True
+        for idx, (microarch, clock) in enumerate(grid):
+            if results[idx] is None:
+                results[idx] = _variant_point(
+                    sctx.variant(microarch), library, clock, options,
+                    cache)
+
+    elapsed = time.perf_counter() - start
+    out = SweepResult(elapsed_s=elapsed, backend=backend, jobs=jobs,
+                      profile=profile)
+    for result in results:
+        if isinstance(result, InfeasiblePoint):
+            out.infeasible.append(result)
+        else:
+            out.points.append(result)
+    if cache is not None:
+        out.cache_hits = cache.hits - hits0
+        out.cache_misses = cache.misses - misses0
+    counters = profiling.counters
+    profile["warm_accepts"] = counters.get("scheduler.ffwd", 0) - ffwd0
+    profile["warm_fallbacks"] = \
+        counters.get("scheduler.ffwd_reject", 0) - reject0
+    profile["pickle_bytes"] = counters.get("sweep.pickle_bytes", 0)
+    workers = profile.get("workers")
+    if workers and elapsed > 0:
+        busy = sum(w["busy_s"] for w in workers)
+        profile["worker_utilization"] = round(
+            busy / (elapsed * max(jobs, 1)), 4)
+    profiling.bump("sweep.points", len(grid))
+    profiling.bump(f"sweep.backend.{backend}")
+    return results, out
 
 
 def run_sweep(
@@ -131,37 +401,40 @@ def run_sweep(
     options: Optional[SchedulerOptions] = None,
     jobs: int = 1,
     cache: Optional[FlowCache] = None,
+    backend: Optional[str] = None,
 ) -> SweepResult:
-    """The full grid, serially (``jobs=1``) or on a worker pool.
+    """The full microarch x clock grid, on the sweep engine.
 
-    Result ordering is deterministic and identical in both modes:
-    ``ThreadPoolExecutor.map`` yields in submission order, which is the
-    serial traversal order.
+    ``backend`` selects ``context`` / ``process`` / ``thread``
+    explicitly; by default ``jobs`` decides (``context`` serially,
+    ``process`` for ``jobs > 1`` on multicore hosts).  Result ordering
+    and every scheduling decision are identical across backends.
     """
     grid: List[Tuple[Microarch, float]] = [
         (m, float(c)) for m in microarchs for c in clocks_ps]
-    hits0 = cache.hits if cache is not None else 0
-    misses0 = cache.misses if cache is not None else 0
-    start = time.perf_counter()
-
-    def one(item: Tuple[Microarch, float]) -> PointResult:
-        microarch, clock = item
-        return synthesize_design_point(
-            region_factory, library, microarch, clock, options, cache)
-
-    if jobs <= 1:
-        results = [one(item) for item in grid]
-    else:
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
-            results = list(pool.map(one, grid))
-
-    out = SweepResult(elapsed_s=time.perf_counter() - start)
-    for result in results:
-        if isinstance(result, InfeasiblePoint):
-            out.infeasible.append(result)
-        else:
-            out.points.append(result)
-    if cache is not None:
-        out.cache_hits = cache.hits - hits0
-        out.cache_misses = cache.misses - misses0
+    _, out = _execute_grid(region_factory, library, grid, options, jobs,
+                           cache, backend)
     return out
+
+
+def run_points(
+    region_factory: Callable[[], Region],
+    library: Library,
+    points: Sequence[Tuple[Microarch, float]],
+    options: Optional[SchedulerOptions] = None,
+    jobs: int = 1,
+    cache: Optional[FlowCache] = None,
+    backend: Optional[str] = None,
+) -> List[PointResult]:
+    """A ragged (microarch, clock) list through the sweep engine.
+
+    The batched evaluation entry the DSE strategies use: one dispatch
+    covers every queued candidate, whatever mixture of curves they come
+    from, so the worker pool stays saturated between search decisions.
+    Results come back in input order, one per requested point, with the
+    same bit-identical-to-serial guarantee as :func:`run_sweep`.
+    """
+    grid = [(m, float(c)) for m, c in points]
+    results, _ = _execute_grid(region_factory, library, grid, options,
+                               jobs, cache, backend)
+    return results

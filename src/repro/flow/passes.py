@@ -161,7 +161,8 @@ def schedule_pass(ctx: CompilationContext) -> Optional[str]:
     try:
         ctx.schedule = schedule_region(
             ctx.region, ctx.library, ctx.clock_ps,
-            pipeline=ctx.pipeline, options=ctx.options)
+            pipeline=ctx.pipeline, options=ctx.options,
+            carryover=ctx.scheduler_carryover)
     except ScheduleError as exc:
         # args[0] is the bare message; str(exc) would repeat the
         # diagnostics that go into the structured details

@@ -126,3 +126,72 @@ def test_lines_are_self_describing_json(tmp_path):
     assert entry["v"] == 1
     assert "timing_model" in entry
     assert entry["point"]["label"] == "p"
+
+
+# ----------------------------------------------------------------------
+# per-process sharding (concurrent writers)
+# ----------------------------------------------------------------------
+def test_shard_writer_appends_to_private_shard(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path, shard_per_process=True)
+    store.put("k1", _pt("a"))
+    assert not path.exists()  # the base file is never touched
+    assert store.write_path.name.endswith(".shard")
+    assert store.write_path.exists()
+
+
+def test_shards_merge_on_load(tmp_path):
+    path = tmp_path / "store.jsonl"
+    base = ResultStore(path)
+    base.put("k0", _pt("base"))
+    # two "processes": distinct shard files next to the base
+    for pid, key in ((111, "k1"), (222, "k2")):
+        shard = ResultStore(path)
+        shard.write_path = path.parent / f"{path.name}.{pid}.shard"
+        shard.put(key, _pt(f"w{pid}"))
+
+    merged = ResultStore(path)
+    assert len(merged) == 3
+    assert merged.get("k0") == _pt("base")
+    assert merged.get("k1") == _pt("w111")
+    assert merged.get("k2") == _pt("w222")
+
+
+def test_shard_conflicts_resolve_first_writer_wins(tmp_path):
+    path = tmp_path / "store.jsonl"
+    base = ResultStore(path)
+    base.put("k", _pt(area=10.0))
+    shard = ResultStore(path)
+    shard.write_path = path.parent / f"{path.name}.999.shard"
+    shard._entries.clear()  # simulate a writer that raced the base
+    shard.put("k", _pt(area=99.0))
+
+    merged = ResultStore(path)
+    assert merged.get("k").area == 10.0  # base (loaded first) wins
+
+
+def test_compact_folds_shards_into_base(tmp_path):
+    path = tmp_path / "store.jsonl"
+    for pid, key in ((111, "k1"), (222, "k2")):
+        shard = ResultStore(path)
+        shard.write_path = path.parent / f"{path.name}.{pid}.shard"
+        shard.put(key, _pt(f"w{pid}"))
+
+    merged = ResultStore(path)
+    assert merged.compact() == 2
+    assert not list(path.parent.glob("*.shard"))
+    # the base file alone now serves every entry
+    rebuilt = ResultStore(path)
+    assert len(rebuilt) == 2
+    assert rebuilt.get("k1") == _pt("w111")
+    assert rebuilt.get("k2") == _pt("w222")
+
+
+def test_corrupt_shard_skipped_not_fatal(tmp_path):
+    path = tmp_path / "store.jsonl"
+    base = ResultStore(path)
+    base.put("k1", _pt("a"))
+    (path.parent / f"{path.name}.7.shard").write_text("{half a lin")
+    merged = ResultStore(path)
+    assert len(merged) == 1
+    assert merged.skipped_lines == 1

@@ -302,3 +302,79 @@ def test_swept_banking_matches_declared_banking():
     Microarch("p", 4, ii=2).with_banking(
         {"a": 2, "b": 2}).apply_banking(swept)
     assert region_fingerprint(swept) == region_fingerprint(declared)
+
+
+# ----------------------------------------------------------------------
+# concurrent writers: merge-on-save, peek/entries/absorb
+# ----------------------------------------------------------------------
+def test_save_merges_with_existing_file(tmp_path):
+    """Two caches saving disjoint entries to the same path must both
+    land their work -- the seed's last-writer-wins overwrite silently
+    discarded the first writer's entries."""
+    path = tmp_path / "flow.cache"
+    a = FlowCache()
+    a.put("ka", "schedule", "artifact-a")
+    a.save(path)
+    b = FlowCache()
+    b.put("kb", "schedule", "artifact-b")
+    b.save(path)  # second writer: must merge, not clobber
+
+    merged = FlowCache.load(path)
+    assert merged.peek("ka", "schedule")
+    assert merged.peek("kb", "schedule")
+    assert len(merged) == 2
+
+
+def test_save_conflicts_resolve_to_the_saving_cache(tmp_path):
+    """On a key held by both sides the saving cache wins (its artifact
+    is at least as fresh); nothing else is lost."""
+    path = tmp_path / "flow.cache"
+    a = FlowCache()
+    a.put("shared", "schedule", "old")
+    a.put("only-a", "schedule", 1)
+    a.save(path)
+    b = FlowCache()
+    b.put("shared", "schedule", "new")
+    b.save(path)
+    merged = FlowCache.load(path)
+    assert merged.get("shared", "schedule") == "new"
+    assert merged.get("only-a", "schedule") == 1
+
+
+def test_save_merge_tolerates_corrupt_incumbent(tmp_path):
+    """A corrupt file at the save path reads as empty: save still
+    succeeds and the result is loadable."""
+    path = tmp_path / "flow.cache"
+    path.write_bytes(b"not a pickle at all")
+    cache = FlowCache()
+    cache.put("k", "schedule", 7)
+    cache.save(path)
+    assert FlowCache.load(path).get("k", "schedule") == 7
+
+
+def test_peek_does_not_touch_counters():
+    cache = FlowCache()
+    cache.put("k", "schedule", 1)
+    assert cache.peek("k", "schedule")
+    assert not cache.peek("missing", "schedule")
+    assert cache.stats() == {"hits": 0, "misses": 0, "entries": 1}
+
+
+def test_absorb_first_writer_wins_and_reports_added():
+    cache = FlowCache()
+    cache.put("k1", "schedule", "incumbent")
+    added = cache.absorb({("k1", "schedule"): "challenger",
+                          ("k2", "schedule"): "fresh",
+                          ("k3", "power"): None})
+    assert added == 1
+    assert cache.get("k1", "schedule") == "incumbent"
+    assert cache.get("k2", "schedule") == "fresh"
+
+
+def test_entries_snapshot_roundtrips_through_absorb():
+    a = FlowCache()
+    a.put("k1", "schedule", 1)
+    a.put("k2", "power", 2)
+    b = FlowCache()
+    assert b.absorb(a.entries()) == 2
+    assert b.entries() == a.entries()
