@@ -4,8 +4,10 @@ Commands
 --------
 profile    schedule a named workload under cProfile + scheduler counters
 schedule   compile a mini-language source file and schedule its loops
-sweep      run a microarchitecture/clock exploration on a named workload
+serve      boot the synthesis-as-a-service HTTP job server
 stream     compose, verify and report a named streaming pipeline
+submit     submit a job to a running service (and optionally wait)
+sweep      run a microarchitecture/clock exploration on a named workload
 table      print a paper table (1, 2 or 3) from the calibrated library
 tune       goal-directed autotuning (delay/area/power constraints)
 verilog    compile + schedule + emit RTL to stdout or a file
@@ -16,9 +18,26 @@ The CLI is a thin veneer over the unified compilation pipeline
 flows without writing Python.
 
 Conventions every subcommand follows: ``--json`` switches the output to
-a machine-readable record on stdout, and the exit status is nonzero
-when the requested work failed or produced no feasible result (0 =
-success, 1 = infeasible/failed, 2 = argparse usage errors).
+a machine-readable record on stdout (including on *every* failure
+path: errors print a ``{"error": {...}}`` record), and the exit status
+is one of the taxonomy below -- distinct per failure mode so shell
+pipelines can branch without parsing messages:
+
+====  =================================================================
+code  meaning
+====  =================================================================
+0     success
+1     the work ran but failed on its own terms (infeasible schedule,
+      all-infeasible sweep, unsatisfied goal, unverified pipeline,
+      failed/cancelled service job)
+2     argparse usage errors (unknown flags, missing arguments)
+3     bad input (unknown workload/library/pipeline/strategy, malformed
+      microarch or clock spec, invalid goal, unreadable file, wrong
+      kernel count) -- rejected before any work ran
+4     frontend errors (the source file failed to compile)
+5     service unreachable / HTTP transport failure (``submit``)
+6     deadline expired waiting for a service job (``submit --wait``)
+====  =================================================================
 """
 
 from __future__ import annotations
@@ -34,7 +53,7 @@ from repro.cdfg.region import PipelineSpec, Region
 from repro.core.pipeline import pipeline_loop
 from repro.core.schedule import ScheduleError
 from repro.core.scheduler import schedule_region
-from repro.explore import PAPER_MICROARCHS, Microarch
+from repro.explore import Microarch
 from repro.flow import get_flow, run_sweep
 from repro.flow.context import CompilationContext
 from repro.frontend import FrontendError, compile_source
@@ -56,13 +75,44 @@ LIBRARIES: Dict[str, Callable[[], Library]] = {
     "generic45": generic45,
 }
 
+# the exit-code taxonomy (see the module docstring).
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_USAGE = 2
+EXIT_BAD_INPUT = 3
+EXIT_FRONTEND = 4
+EXIT_SERVICE = 5
+EXIT_TIMEOUT = 6
+
+
+class CLIError(Exception):
+    """A rejected invocation: carries the exit code + a JSON record.
+
+    Raised by any subcommand for problems detected before (or outside)
+    the actual synthesis work; :func:`main` turns it into a message on
+    stderr, an ``{"error": ...}`` record on stdout under ``--json``,
+    and the taxonomy exit code.
+    """
+
+    def __init__(self, message: str, code: int = EXIT_BAD_INPUT,
+                 reason: str = "bad-input", **extra) -> None:
+        super().__init__(message)
+        self.code = code
+        self.reason = reason
+        self.extra = extra
+
+    def record(self) -> dict:
+        return {"error": dict(self.extra, code=self.code,
+                              reason=self.reason, message=str(self))}
+
 
 def _library(name: str) -> Library:
     try:
         return LIBRARIES[name]()
     except KeyError:
-        raise SystemExit(f"unknown library {name!r}; "
-                         f"choose from {sorted(LIBRARIES)}")
+        raise CLIError(f"unknown library {name!r}; "
+                       f"choose from {sorted(LIBRARIES)}",
+                       reason="unknown-library")
 
 
 def _print_failure(ctx: CompilationContext) -> None:
@@ -77,13 +127,14 @@ def _compile_file(path: str):
     """Compile a source file of either kind (legacy or ``.py``).
 
     Raises :class:`FrontendError` (with the caret diagnostic attached)
-    on bad source, ``SystemExit`` on unreadable files.
+    on bad source, :class:`CLIError` on unreadable files.
     """
     try:
         with open(path) as handle:
             text = handle.read()
     except OSError as exc:
-        raise SystemExit(f"cannot read {path}: {exc}")
+        raise CLIError(f"cannot read {path}: {exc}",
+                       reason="unreadable-source")
     return compile_source(text, filename=path)
 
 
@@ -120,17 +171,15 @@ def _resolve_workload(spec: str) -> Callable[[], Region]:
     if factory is not None:
         return factory
     if not (spec.endswith(".py") or os.path.exists(spec)):
-        raise SystemExit(f"unknown workload {spec!r}; choose from "
-                         f"{sorted(WORKLOADS)} or pass a source file")
-    try:
-        units = _compile_file(spec)
-    except FrontendError as exc:
-        print(exc.render(), file=sys.stderr)
-        raise SystemExit(1)
+        raise CLIError(f"unknown workload {spec!r}; choose from "
+                       f"{sorted(WORKLOADS)} or pass a source file",
+                       reason="unknown-workload")
+    units = _compile_file(spec)  # FrontendError propagates to main()
     if len(units) != 1:
-        raise SystemExit(
+        raise CLIError(
             f"{spec}: sweeps need exactly one kernel, found "
-            f"{[u.region.name for u in units]}")
+            f"{[u.region.name for u in units]}",
+            reason="kernel-count")
     return lambda: _compile_file(spec)[0].region
 
 
@@ -140,19 +189,21 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     flow = get_flow("pipeline")
     if args.profile:
         profiling.reset()
-    try:
-        contexts = _source_contexts(args, library,
-                                    run_optimizer=not args.no_optimize)
-    except FrontendError as exc:
-        print(exc.render(), file=sys.stderr)
-        return 1
+    contexts = _source_contexts(args, library,
+                                run_optimizer=not args.no_optimize)
     for ctx in contexts:
         flow.run(ctx)
         if ctx.failed:
+            if args.json:
+                print(json.dumps({"error": {
+                    "code": EXIT_FAILED, "reason": "infeasible",
+                    "message": "scheduling failed",
+                    "diagnostics": [str(d) for d in ctx.errors],
+                }}, indent=2))
             _print_failure(ctx)
             if args.profile:
                 print(profiling.report(), file=sys.stderr)
-            return 1
+            return EXIT_FAILED
         if args.json:
             print(json.dumps(ctx.schedule.summary(), indent=2))
         else:
@@ -171,7 +222,7 @@ def _profile_sweep(args: argparse.Namespace, library) -> int:
     import time
 
     factory = _resolve_workload(args.workload)
-    clocks = [float(c) for c in args.clocks.split(",")]
+    clocks = _parse_clocks(args.clocks)
     micros = _parse_microarchs(args.latencies)
     profiling.reset()
     start = time.perf_counter()
@@ -258,18 +309,18 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_verilog(args: argparse.Namespace) -> int:
     """Compile, schedule and emit Verilog RTL."""
     library = _library(args.library)
-    try:
-        (ctx,) = _source_contexts(args, library, run_optimizer=False)
-    except FrontendError as exc:
-        print(exc.render(), file=sys.stderr)
-        return 1
+    (ctx,) = _source_contexts(args, library, run_optimizer=False)
     get_flow("verilog").run(ctx)
     if ctx.failed:
         if args.json:
-            print(json.dumps(ctx.summary(), indent=2))
+            print(json.dumps({"error": {
+                "code": EXIT_FAILED, "reason": "infeasible",
+                "message": "scheduling failed",
+                "context": ctx.summary(),
+            }}, indent=2))
         else:
             _print_failure(ctx)
-        return 1
+        return EXIT_FAILED
     text = ctx.rtl
     if args.output:
         with open(args.output, "w") as handle:
@@ -289,16 +340,27 @@ def cmd_verilog(args: argparse.Namespace) -> int:
 
 
 def _parse_microarchs(spec_text: Optional[str]) -> List[Microarch]:
-    if not spec_text:
-        return list(PAPER_MICROARCHS)
-    micros: List[Microarch] = []
-    for spec in spec_text.split(","):
-        if ":" in spec:
-            lat, ii = spec.split(":")
-            micros.append(Microarch(f"P{lat}/{ii}", int(lat), ii=int(ii)))
-        else:
-            micros.append(Microarch(f"NP{spec}", int(spec)))
-    return micros
+    """Microarch axis from a ``lat[,lat:ii,...]`` spec (shared with the
+    service's job-body validation, so both reject identically)."""
+    from repro.service.execution import parse_microarchs
+    from repro.service.jobs import JobError
+
+    try:
+        return parse_microarchs(spec_text)
+    except JobError as exc:
+        raise CLIError(str(exc), reason="bad-microarch")
+
+
+def _parse_clocks(spec_text: str) -> List[float]:
+    try:
+        clocks = [float(c) for c in spec_text.split(",") if c.strip()]
+    except ValueError:
+        raise CLIError(f"bad clock list {spec_text!r} "
+                       f"(want comma-separated picoseconds)",
+                       reason="bad-clock")
+    if not clocks:
+        raise CLIError("empty clock list", reason="bad-clock")
+    return clocks
 
 
 def _load_cache(path: Optional[str]):
@@ -314,7 +376,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     """Microarchitecture x clock exploration on a named workload."""
     library = _library(args.library)
     factory = _resolve_workload(args.workload)
-    clocks = [float(c) for c in args.clocks.split(",")]
+    clocks = _parse_clocks(args.clocks)
     micros = _parse_microarchs(args.latencies)
     cache = _load_cache(args.cache)
     result = run_sweep(factory, library, micros, clocks, jobs=args.jobs,
@@ -349,10 +411,10 @@ def cmd_tune(args: argparse.Namespace) -> int:
                           max_area=args.max_area,
                           max_power_mw=args.max_power_mw)
     except GoalError as exc:
-        raise SystemExit(f"invalid goal: {exc}")
+        raise CLIError(f"invalid goal: {exc}", reason="invalid-goal")
     space = DesignSpace(
         tuple(_parse_microarchs(args.latencies)),
-        tuple(float(c) for c in args.clocks.split(",")))
+        tuple(_parse_clocks(args.clocks)))
     store = ResultStore(args.store) if args.store else None
     cache = _load_cache(args.cache)
     report = tune(factory, library, goal, space=space,
@@ -406,7 +468,8 @@ def cmd_table(args: argparse.Namespace) -> int:
                  ["area", round(seq.area), round(p2.area),
                   round(p1.area)]]))
         return 0
-    raise SystemExit("table number must be 1, 2 or 3")
+    raise CLIError("table number must be 1, 2 or 3",
+                   reason="bad-table")
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:
@@ -453,8 +516,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
     library = _library(args.library)
     factory = PIPELINE_REGISTRY.get(args.pipeline)
     if factory is None:
-        raise SystemExit(f"unknown pipeline {args.pipeline!r}; "
-                         f"choose from {sorted(PIPELINE_REGISTRY)}")
+        raise CLIError(f"unknown pipeline {args.pipeline!r}; "
+                       f"choose from {sorted(PIPELINE_REGISTRY)}",
+                       reason="unknown-pipeline")
     pipeline = factory()
     composed = compile_pipeline(pipeline, library, clock_ps=args.clock)
     inputs = PIPELINE_INPUTS.get(args.pipeline, dict)()
@@ -466,6 +530,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         summary["cycles"] = machine.cycles
         summary["stalled_cycles"] = machine.stalled_cycles
         summary["verified"] = verified
+        summary["output"] = args.output
         print(json.dumps(summary, indent=2))
     else:
         print(composed.table())
@@ -476,8 +541,120 @@ def cmd_stream(args: argparse.Namespace) -> int:
         text = generate_pipeline_verilog(composed)
         with open(args.output, "w") as handle:
             handle.write(text)
-        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+        if not args.json:
+            print(f"wrote {args.output} "
+                  f"({len(text.splitlines())} lines)")
     return 0 if verified else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the synthesis-as-a-service HTTP job server (blocking)."""
+    from repro.service import ReproService
+
+    service = ReproService(
+        host=args.host, port=args.port, workers=args.workers,
+        mode=args.mode, job_timeout_s=args.timeout,
+        max_retries=args.retries, store_path=args.store,
+        cache_path=args.cache)
+    service.start()
+    print(f"serving on {service.url} -- {args.workers} workers, "
+          f"mode {service.engine.mode} (ctrl-c to stop)",
+          file=sys.stderr)
+    if args.json:
+        print(json.dumps({"url": service.url, "port": service.port,
+                          "workers": args.workers,
+                          "mode": service.engine.mode}), flush=True)
+    import signal
+    import threading
+    stop = threading.Event()
+    # SIGTERM (docker stop, systemd) must shut down as cleanly as
+    # ctrl-c: stop the engine and compact the result store shards
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return EXIT_OK
+
+
+def _submit_params(args: argparse.Namespace) -> dict:
+    """A job body from ``repro submit`` flags (kind-appropriate)."""
+    params: dict = {"library": args.library}
+    if args.kind == "stream":
+        params["pipeline"] = args.target
+        params["clock_ps"] = args.clock
+        return params
+    if args.target.endswith(".py") or os.path.exists(args.target):
+        # ship the text, not the path: the server has no file access
+        try:
+            with open(args.target) as handle:
+                params["source"] = handle.read()
+        except OSError as exc:
+            raise CLIError(f"cannot read {args.target}: {exc}",
+                           reason="unreadable-source")
+    else:
+        params["workload"] = args.target
+    if args.kind == "schedule":
+        params["clock_ps"] = args.clock
+        params["ii"] = args.ii
+    else:  # sweep / tune share the grid axes
+        params["clocks_ps"] = args.clocks
+        params["latencies"] = args.latencies
+    if args.kind == "tune":
+        params.update(strategy=args.strategy, delay_ps=args.delay_ps,
+                      max_area=args.max_area,
+                      max_power_mw=args.max_power_mw,
+                      objective=args.objective)
+    return params
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running service; optionally wait + fetch."""
+    from urllib.error import URLError
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    params = _submit_params(args)
+    try:
+        job = client.submit(args.kind, priority=args.priority, **params)
+        if args.no_wait:
+            print(json.dumps(job, indent=2) if args.json
+                  else f"{job['id']} {job['state']}"
+                       + (" (deduplicated)" if job.get("deduplicated")
+                          else ""))
+            return EXIT_OK
+        final = client.wait(job["id"], timeout=args.timeout)
+        state = final["state"]
+        if state == "done":
+            payload = client.result(job["id"])
+            payload["deduplicated"] = job.get("deduplicated", False)
+            print(json.dumps(payload, indent=2) if args.json
+                  else f"{job['id']} done")
+            return EXIT_OK
+        # failed / cancelled: the status record carries the error
+        if args.json:
+            print(json.dumps(final, indent=2))
+        else:
+            error = final.get("error") or {}
+            print(f"{job['id']} {state}: "
+                  f"{error.get('reason', state)}", file=sys.stderr)
+        return EXIT_FAILED
+    except ServiceError as err:
+        if err.status == 400:
+            raise CLIError(str(err), reason="rejected",
+                           detail=err.payload)
+        raise CLIError(f"service error HTTP {err.status}: {err}",
+                       code=EXIT_SERVICE, reason="service-error",
+                       detail=err.payload)
+    except TimeoutError as err:
+        raise CLIError(str(err), code=EXIT_TIMEOUT,
+                       reason="deadline")
+    except (URLError, ConnectionError, OSError) as err:
+        raise CLIError(f"cannot reach service at {args.url}: {err}",
+                       code=EXIT_SERVICE, reason="unreachable")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -590,6 +767,61 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the composed Verilog here")
     p.set_defaults(func=cmd_stream)
 
+    p = sub.add_parser(
+        "serve", help="boot the synthesis-as-a-service job server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8473,
+                   help="bind port (0 = ephemeral; default 8473)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent jobs (supervisor threads)")
+    p.add_argument("--mode", default="process",
+                   choices=("process", "inline"),
+                   help="worker isolation (default: process)")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-attempt wall budget in seconds")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts after a worker crash/timeout")
+    p.add_argument("--store", default=None,
+                   help="shared JSONL result store path")
+    p.add_argument("--cache", default=None,
+                   help="shared flow-cache pickle path")
+    p.add_argument("--json", action="store_true",
+                   help="print a bound-address record once serving")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a job to a running service")
+    p.add_argument("kind", choices=("schedule", "sweep", "tune",
+                                    "stream"))
+    p.add_argument("target", help="workload name, .py source file, or "
+                                  "pipeline name (kind=stream)")
+    p.add_argument("--url", default="http://127.0.0.1:8473",
+                   help="service base URL")
+    p.add_argument("--priority", type=int, default=0,
+                   help="larger runs earlier (default 0)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="return after submission instead of waiting")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="deadline for --wait polling (seconds)")
+    p.add_argument("--clock", type=float, default=1600.0,
+                   help="clock for schedule/stream jobs")
+    p.add_argument("--ii", type=int, default=None,
+                   help="initiation interval for schedule jobs")
+    p.add_argument("--clocks", default=None,
+                   help="clock axis for sweep/tune jobs")
+    p.add_argument("--latencies", default=None,
+                   help="microarch axis for sweep/tune jobs")
+    p.add_argument("--strategy", default="greedy",
+                   choices=("exhaustive", "bisect", "greedy",
+                            "halving"))
+    p.add_argument("--delay-ps", type=float, default=None)
+    p.add_argument("--max-area", type=float, default=None)
+    p.add_argument("--max-power-mw", type=float, default=None)
+    p.add_argument("--objective", default=None,
+                   choices=("area", "delay", "power"))
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_submit)
+
     p = sub.add_parser("table", help="print a paper table")
     p.add_argument("number", type=int, choices=(1, 2, 3))
     p.add_argument("--json", action="store_true")
@@ -602,9 +834,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point."""
+    """Entry point: run the subcommand, map errors to the taxonomy.
+
+    Every failure mode exits through here with a distinct code, and
+    under ``--json`` also prints a machine-readable ``{"error": ...}``
+    record on stdout (argparse usage errors excepted -- those stay on
+    argparse's native exit 2).
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    wants_json = bool(getattr(args, "json", False))
+    try:
+        return args.func(args)
+    except CLIError as err:
+        if wants_json:
+            print(json.dumps(err.record(), indent=2))
+        print(f"error: {err}", file=sys.stderr)
+        return err.code
+    except FrontendError as exc:
+        if wants_json:
+            print(json.dumps({"error": {
+                "code": EXIT_FRONTEND, "reason": "frontend",
+                "message": str(exc)}}, indent=2))
+        print(exc.render(), file=sys.stderr)
+        return EXIT_FRONTEND
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -130,7 +130,9 @@ class ResultStore:
 
     def _load_file(self, path: Path) -> None:
         try:
-            text = path.read_text()
+            # errors="replace": binary garbage in a corrupted shard
+            # must degrade to skipped lines, not an unreadable store
+            text = path.read_text(errors="replace")
         except OSError:
             return
         model = timing_engine.TIMING_MODEL_VERSION
@@ -182,17 +184,21 @@ class ResultStore:
         except OSError:  # read-only checkouts keep the in-memory entry
             pass
 
-    def compact(self) -> int:
-        """Fold every shard into the base file; returns shards removed.
+    def refresh(self) -> int:
+        """Re-read the base file and every shard from disk.
 
-        Rewrites the base file with the full merged entry set (written
-        atomically next to it, then renamed over it) and deletes the
-        shard files afterwards.  Safe to call while other writers are
-        appending to *their* shards: their files are untouched unless
-        already read, and a shard deleted here has its entries in the
-        new base file.
+        Folds in entries *other* processes appended since this store
+        last read the path (first writer wins per key, as everywhere).
+        Long-running drivers (the job service) call this between jobs
+        so one process's warm-start view tracks the whole fleet.
+        Returns the number of newly learned entries.
         """
-        shards = self._shard_paths()
+        before = len(self._entries)
+        self._load()
+        return len(self._entries) - before
+
+    def _write_base(self) -> bool:
+        """Atomically rewrite the base file from the in-memory entries."""
         model = timing_engine.TIMING_MODEL_VERSION
         lines = []
         for key, result in self._entries.items():
@@ -207,7 +213,50 @@ class ResultStore:
             tmp.write_text("".join(line + "\n" for line in lines))
             os.replace(tmp, self.path)
         except OSError:
+            return False
+        return True
+
+    def compact(self) -> int:
+        """Fold every shard into the base file; returns shards removed.
+
+        Crash- and concurrency-consistent by re-reading at compact
+        time: the base file and every shard are read *fresh* from disk
+        (not served from the entries loaded at construction, which go
+        stale the moment another writer appends), the merged set is
+        written atomically next to the base file and renamed over it,
+        and only then are the shards deleted.  Before each deletion the
+        shard is size-checked and re-read once more, so a line another
+        process appended between the first read and the rewrite is
+        folded into a second rewrite instead of vanishing with the
+        shard.  A writer SIGKILLed mid-append leaves a partial trailing
+        line; the loader skips it (counted in ``skipped_lines``) and the
+        rewrite drops the scar, so survivors always load cleanly.
+        """
+        # fresh view: everything any writer has made durable by now
+        self._load_file(self.path)
+        shards = self._shard_paths()
+        sizes: Dict[Path, int] = {}
+        for shard in shards:
+            try:
+                sizes[shard] = shard.stat().st_size
+            except OSError:
+                sizes[shard] = -1
+            self._load_file(shard)
+        if not self._write_base():
             return 0
+        # appends that raced the rewrite: fold and rewrite once more
+        grown = []
+        for shard in shards:
+            try:
+                if shard.stat().st_size != sizes[shard]:
+                    grown.append(shard)
+            except OSError:
+                pass
+        if grown:
+            for shard in grown:
+                self._load_file(shard)
+            if not self._write_base():
+                return 0
         removed = 0
         for shard in shards:
             try:

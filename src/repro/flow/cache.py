@@ -264,7 +264,10 @@ class FlowCache:
             "data": merged,
         }
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        # pid + thread id: two threads of one process saving the same
+        # path must not interleave writes into one tmp file
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
         with open(tmp, "wb") as handle:
             pickle.dump(payload, handle)
         os.replace(tmp, path)

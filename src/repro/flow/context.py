@@ -13,7 +13,7 @@ serialize failures uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.cdfg.region import PipelineSpec, Region
 from repro.core.folding import FoldedPipeline
@@ -73,6 +73,17 @@ class CompilationContext:
     #: cached entry is decision-neutral, so it is transient state -- it
     #: never enters the compilation cache key.
     scheduler_carryover: Optional[object] = None
+    #: progress hook called as ``progress_cb(pass_name, event)`` with
+    #: ``event`` in {"start", "done", "cached"} around every pass; long
+    #: drivers (the job service) use it for live status.  Exceptions
+    #: raised by the hook are swallowed: observation must never change
+    #: a compilation's outcome.
+    progress_cb: Optional[Callable[[str, str], None]] = None
+    #: cooperative cancellation: any object with ``is_set() -> bool``
+    #: (e.g. ``threading.Event``).  Checked between passes by
+    #: :meth:`~repro.flow.flow.Flow.run`; a set event stops the flow
+    #: with a ``cancelled`` error diagnostic instead of an artifact.
+    cancel_event: Optional[object] = None
 
     # -- artifacts, filled in by passes ---------------------------------
     elaborated: Optional[list] = None
@@ -114,6 +125,24 @@ class CompilationContext:
     def failed(self) -> bool:
         """Whether any pass reported an error."""
         return any(d.severity == "error" for d in self.diagnostics)
+
+    @property
+    def cancel_requested(self) -> bool:
+        """Whether the attached cancellation event (if any) is set."""
+        event = self.cancel_event
+        try:
+            return event is not None and bool(event.is_set())
+        except Exception:
+            return False
+
+    def notify(self, pass_name: str, event: str) -> None:
+        """Invoke the progress hook, swallowing observer failures."""
+        if self.progress_cb is None:
+            return
+        try:
+            self.progress_cb(pass_name, event)
+        except Exception:
+            pass
 
     @property
     def errors(self) -> List[Diagnostic]:

@@ -74,13 +74,25 @@ class Flow:
             produced.update(p.provides)
 
     def run(self, ctx: CompilationContext) -> CompilationContext:
-        """Execute the passes in order; stops at the first error."""
+        """Execute the passes in order; stops at the first error.
+
+        Between passes the flow honors the context's cancellation
+        event (a set event yields a ``cancelled`` error diagnostic
+        instead of further artifacts) and reports pass boundaries
+        through the context's progress hook -- the checkpoints the job
+        service relies on for live status and cooperative aborts.
+        """
         for p in self.passes:
+            if ctx.cancel_requested:
+                ctx.error("flow", f"cancelled before pass {p.name!r}")
+                break
+            ctx.notify(p.name, "start")
             start = time.perf_counter()
             outcome = p.run(ctx)
             elapsed = time.perf_counter() - start
             ctx.timings.append(
                 PassTiming(p.name, elapsed, cached=outcome == "cached"))
+            ctx.notify(p.name, "cached" if outcome == "cached" else "done")
             if ctx.failed:
                 break
         return ctx

@@ -1,0 +1,101 @@
+"""A tiny stdlib HTTP client for the job service.
+
+Used by ``repro submit``, the throughput benchmark, the CI smoke
+driver and the test suite -- anything that talks to a running
+:class:`~repro.service.server.ReproService` without pulling in a
+dependency.  Every method returns the decoded JSON payload; HTTP error
+statuses raise :class:`ServiceError` carrying the status code and the
+decoded body, so callers branch on ``err.status`` instead of parsing
+exception strings.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.service.jobs import TERMINAL
+
+
+class ServiceError(Exception):
+    """An HTTP-level failure (status >= 400) from the service."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        self.status = status
+        self.payload = payload
+        message = payload.get("error", {}).get("message") \
+            if isinstance(payload.get("error"), dict) else None
+        super().__init__(message or f"HTTP {status}")
+
+
+class ServiceClient:
+    """Submit/status/result/cancel against one service URL."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(req,
+                                        timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode() or "{}")
+        except urllib.error.HTTPError as err:
+            try:
+                payload = json.loads(err.read().decode() or "{}")
+            except ValueError:
+                payload = {}
+            raise ServiceError(err.code, payload) from None
+
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, priority: int = 0, **params) -> dict:
+        """POST /jobs; returns the accepted job's status record."""
+        body = dict(params, kind=kind, priority=priority)
+        return self._request("POST", "/jobs", body)
+
+    def status(self, job_id: str) -> dict:
+        """GET /jobs/<id>."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """GET /jobs/<id>/result (raises ServiceError unless done)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        """DELETE /jobs/<id>."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def stats(self) -> dict:
+        """GET /stats."""
+        return self._request("GET", "/stats")
+
+    def healthz(self) -> dict:
+        """GET /healthz."""
+        return self._request("GET", "/healthz")
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll_s: float = 0.05) -> dict:
+        """Poll the status endpoint until the job is terminal.
+
+        Returns the final status record; raises ``TimeoutError`` when
+        the deadline passes first (the job keeps running server-side).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL:
+                return status
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} "
+                    f"after {timeout:.1f}s")
+            time.sleep(poll_s)

@@ -1,0 +1,237 @@
+"""Synthesis-as-a-service: the HTTP front of the job engine.
+
+Endpoints (all JSON)::
+
+    POST   /jobs             submit {kind, workload|source|pipeline,
+                             priority, ...}  -> 202 {id, state, ...}
+    GET    /jobs/<id>        status           -> 200 (404 unknown)
+    GET    /jobs/<id>/result result payload   -> 200 done
+                                                 202 queued/running
+                                                 410 cancelled
+                                                 500 failed (+error)
+                                                 404 unknown
+    DELETE /jobs/<id>        cancel           -> 200 (409 if terminal,
+                                                 404 unknown)
+    GET    /healthz          liveness + degradation flag
+    GET    /stats            queue depth, dedup hits, cache hit rate,
+                             served jobs/sec, per-state job counts
+
+The result-status mapping mirrors the CLI exit codes (0 -> 200,
+infeasible/failed -> 500, bad input -> 400), so a shell pipeline and an
+HTTP client observe the same failure taxonomy -- see docs/SERVICE.md.
+
+Built on stdlib ``http.server.ThreadingHTTPServer``: one thread per
+connection in front of the engine's own worker pool; no new
+dependencies.  :class:`ReproService` bundles engine + server with
+``start()``/``stop()`` and context-manager support; ``port=0`` binds an
+ephemeral port (the bound address is in ``.url``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.service.engine import JobEngine
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JobError,
+    QUEUED,
+    RUNNING,
+)
+
+#: request body size cap (sources are small; grids are tiny JSON).
+MAX_BODY = 1 << 20
+
+
+class _Server(ThreadingHTTPServer):
+    """ThreadingHTTPServer with a backlog sized for bursty clients.
+
+    The stdlib default ``request_queue_size`` of 5 resets connections
+    the moment a handful of clients connect at once; a job server's
+    whole point is absorbing such bursts into its queue.
+    """
+
+    request_queue_size = 64
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto ``self.server.engine``; JSON in, JSON out."""
+
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt, *args):  # noqa: D102 - quiet by default
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(fmt, *args)
+
+    @property
+    def engine(self) -> JobEngine:
+        return self.server.engine
+
+    def _send(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str, **extra) -> None:
+        self._send(code, {"error": dict(extra, message=message)})
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY:
+            raise JobError(f"request body over {MAX_BODY} bytes")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode() or "{}")
+        except (ValueError, UnicodeDecodeError):
+            raise JobError("request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise JobError("request body must be a JSON object")
+        return payload
+
+    def _job_path(self) -> Optional[Tuple[str, bool]]:
+        """``/jobs/<id>[/result]`` -> (id, wants_result); else None."""
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 2 and parts[0] == "jobs":
+            return parts[1], False
+        if len(parts) == 3 and parts[0] == "jobs" \
+                and parts[2] == "result":
+            return parts[1], True
+        return None
+
+    # -- routes --------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?")[0] != "/jobs":
+            return self._error(404, f"no such endpoint {self.path!r}")
+        try:
+            body = self._read_body()
+            kind = body.pop("kind", None)
+            priority = body.pop("priority", 0)
+            try:
+                priority = int(priority)
+            except (TypeError, ValueError):
+                raise JobError(f"bad priority {priority!r}")
+            job = self.engine.submit(kind, body, priority=priority)
+        except JobError as err:
+            return self._error(400, str(err))
+        payload = job.status()
+        payload["deduplicated"] = job.dedup_of is not None
+        self._send(202, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?")[0]
+        if path == "/healthz":
+            return self._send(200, self.engine.healthz())
+        if path == "/stats":
+            return self._send(200, self.engine.stats())
+        target = self._job_path()
+        if target is None:
+            return self._error(404, f"no such endpoint {self.path!r}")
+        job_id, wants_result = target
+        job = self.engine.queue.get(job_id)
+        if job is None:
+            return self._error(404, f"unknown job {job_id!r}")
+        if not wants_result:
+            return self._send(200, job.status())
+        if job.state == DONE:
+            return self._send(200, {"id": job.id, "state": job.state,
+                                    "result": job.result,
+                                    "stats": job.stats})
+        if job.state in (QUEUED, RUNNING):
+            return self._send(202, job.status())
+        if job.state == CANCELLED:
+            return self._send(410, job.status())
+        # FAILED: the error record is the payload
+        return self._send(500, job.status())
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        target = self._job_path()
+        if target is None or target[1]:
+            return self._error(404, f"no such endpoint {self.path!r}")
+        job_id = target[0]
+        job = self.engine.queue.get(job_id)
+        if job is None:
+            return self._error(404, f"unknown job {job_id!r}")
+        was_terminal = job.state in (DONE, FAILED, CANCELLED)
+        job = self.engine.cancel(job_id)
+        if was_terminal:
+            return self._send(409, job.status())
+        return self._send(200, job.status())
+
+
+class ReproService:
+    """Engine + HTTP server, bundled for one-call boot.
+
+    >>> service = ReproService(port=0, workers=1, mode="inline")
+    >>> url = service.start().url            # doctest: +SKIP
+    >>> service.stop()                       # doctest: +SKIP
+
+    ``start()`` spins the engine's worker threads and a daemon thread
+    running ``serve_forever``; ``stop()`` shuts both down and compacts
+    the result store.  Usable as a context manager.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 engine: Optional[JobEngine] = None,
+                 **engine_kwargs) -> None:
+        self.host = host
+        self._requested_port = port
+        self.engine = engine if engine is not None \
+            else JobEngine(**engine_kwargs)
+        self._httpd: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running service."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproService":
+        """Bind, start serving and start the engine (idempotent)."""
+        if self._httpd is not None:
+            return self
+        self.engine.start()
+        self._httpd = _Server(
+            (self.host, self._requested_port), _Handler)
+        self._httpd.engine = self.engine
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-service-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving, stop the engine, compact the store."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.engine.stop()
+
+    def __enter__(self) -> "ReproService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

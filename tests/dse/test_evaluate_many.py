@@ -1,0 +1,93 @@
+"""FlowEvaluator.evaluate_many batch surfaces (PR 8).
+
+The batched path must behave like ``evaluate`` called in a loop for
+*any* batch the strategies can queue: empty, a single candidate, ragged
+mixtures of curves with in-batch duplicates, and batches partially
+warmed by earlier evaluations or a shared store.  Results align
+positionally with the request, duplicates never synthesize twice, and
+decisions are bit-identical to the serial path.
+"""
+
+from __future__ import annotations
+
+from repro.dse import Candidate, FlowEvaluator, ResultStore
+from repro.explore import Microarch
+from repro.workloads.fir import build_fir
+
+
+def _evaluator(lib, **kwargs):
+    return FlowEvaluator(build_fir, lib, **kwargs)
+
+
+def _grid(*specs):
+    return [Candidate(Microarch(name, lat, ii=ii), clock)
+            for name, lat, ii, clock in specs]
+
+
+RAGGED = _grid(("NP3", 3, None, 1600.0),   # two clocks of one curve...
+               ("NP3", 3, None, 2400.0),
+               ("NP4", 4, None, 1600.0),   # ...one of another...
+               ("P4:2", 4, 2, 2400.0),     # ...a pipelined stray...
+               ("NP1", 1, None, 1600.0))   # ...and an infeasible point
+
+
+def test_empty_batch_is_a_noop(lib):
+    ev = _evaluator(lib)
+    assert ev.evaluate_many([]) == []
+    assert ev.evaluated == 0
+    assert ev.fresh_evaluations == 0
+
+
+def test_singleton_batch_equals_serial_evaluate(lib):
+    cand = Candidate(Microarch("NP4", 4), 1600.0)
+    (batched,) = _evaluator(lib).evaluate_many([cand])
+    serial = _evaluator(lib).evaluate(cand)
+    assert batched == serial
+    assert repr(batched) == repr(serial)  # bit-equal rendering
+
+
+def test_ragged_batch_aligns_positionally_with_request(lib):
+    ev = _evaluator(lib)
+    results = ev.evaluate_many(RAGGED)
+    assert len(results) == len(RAGGED)
+    for cand, result in zip(RAGGED, results):
+        assert result.microarch == cand.microarch.name
+        assert result.clock_ps == cand.clock_ps
+    # the batched decisions match evaluate() one at a time, bit-equal
+    serial = _evaluator(lib)
+    assert [repr(r) for r in results] == \
+        [repr(serial.evaluate(c)) for c in RAGGED]
+    assert ev.fresh_evaluations == len(RAGGED)
+
+
+def test_in_batch_duplicates_synthesize_once(lib):
+    cand = Candidate(Microarch("NP3", 3), 1600.0)
+    other = Candidate(Microarch("NP4", 4), 2400.0)
+    ev = _evaluator(lib)
+    results = ev.evaluate_many([cand, other, cand, cand])
+    assert len(results) == 4
+    assert results[0] is results[2] is results[3]  # one memo entry
+    assert ev.fresh_evaluations == 2  # duplicates cost nothing
+    assert ev.evaluated == 2
+
+
+def test_partially_memoized_batch_only_runs_the_misses(lib):
+    ev = _evaluator(lib)
+    warm = ev.evaluate(RAGGED[0])
+    before_batch = ev.fresh_evaluations
+    results = ev.evaluate_many(RAGGED)
+    assert results[0] is warm  # served from the memo, not re-run
+    assert ev.fresh_evaluations - before_batch == len(RAGGED) - 1
+
+
+def test_store_backed_batch_is_zero_fresh_synthesis(lib, tmp_path):
+    store_path = tmp_path / "store.jsonl"
+    cold = _evaluator(lib, store=ResultStore(store_path))
+    first = cold.evaluate_many(RAGGED)
+    assert cold.fresh_evaluations == len(RAGGED)
+    # a new evaluator (new process, same store): every point served
+    warm = _evaluator(lib, store=ResultStore(store_path))
+    second = warm.evaluate_many(RAGGED)
+    assert warm.fresh_evaluations == 0
+    assert warm.store_hits == len(RAGGED)
+    assert [repr(r) for r in second] == [repr(r) for r in first]

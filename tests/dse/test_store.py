@@ -195,3 +195,45 @@ def test_corrupt_shard_skipped_not_fatal(tmp_path):
     merged = ResultStore(path)
     assert len(merged) == 1
     assert merged.skipped_lines == 1
+
+
+def test_simultaneous_compact_and_append_loses_nothing(tmp_path):
+    """An append racing compact() lands in the second rewrite.
+
+    compact() snapshots every shard's size, rewrites the base, then
+    re-checks the sizes: a line another process appended between the
+    snapshot and the rewrite must be folded in by the second rewrite --
+    not vanish when the shard is deleted.  Injecting the append from
+    inside ``_write_base`` pins the race deterministically at its worst
+    possible moment.
+    """
+    path = tmp_path / "store.jsonl"
+    writer = ResultStore(path, shard_per_process=True)
+    writer.put("early", _pt("early"))
+
+    class CompactsDuringAppend(ResultStore):
+        raced = False
+
+        def _write_base(self):
+            if not CompactsDuringAppend.raced:
+                CompactsDuringAppend.raced = True
+                writer.put("racing", _pt("racing"))  # grows the shard
+            return super()._write_base()
+
+    compactor = CompactsDuringAppend(path)
+    assert compactor.compact() == 1  # the shard was still removed
+    assert not list(tmp_path.glob("*.shard"))
+
+    rebuilt = ResultStore(path)
+    assert rebuilt.skipped_lines == 0
+    assert rebuilt.get("early") == _pt("early")
+    assert rebuilt.get("racing") == _pt("racing")  # survived the race
+    assert len(rebuilt) == 2
+
+
+def test_compact_is_idempotent_when_no_shards_exist(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.put("k", _pt("a"))
+    assert store.compact() == 0
+    assert ResultStore(path).get("k") == _pt("a")

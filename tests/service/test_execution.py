@@ -1,0 +1,152 @@
+"""Job-body validation and content-key identity.
+
+The job key is the dedup contract: it must be deterministic, depend
+only on design structure + normalized parameters, and collide for a
+registry workload vs. the same kernel submitted as source text.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.service.execution import (
+    JOB_KINDS,
+    execute_job,
+    job_key,
+    normalize_params,
+    parse_microarchs,
+)
+from repro.service.jobs import JobError
+
+FIR_SOURCE = '''\
+def fir(x: int, k: int) -> int:
+    acc = 0
+    for i in range(4):
+        acc = acc + x * k
+    return acc
+'''
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+BAD_BODIES = [
+    ("nope", {"workload": "fir"}, "unknown job kind"),
+    ("schedule", {"workload": "nope"}, "unknown workload"),
+    ("schedule", {}, "exactly one of"),
+    ("schedule", {"workload": "fir", "source": "x"}, "exactly one of"),
+    ("schedule", {"workload": "fir", "library": "tsmc"},
+     "unknown library"),
+    ("sweep", {"workload": "fir", "latencies": "3,x"},
+     "bad microarch"),
+    ("sweep", {"workload": "fir", "clocks_ps": "fast"}, "bad clocks"),
+    ("sweep", {"workload": "fir", "clocks_ps": []}, "empty clock"),
+    ("tune", {"workload": "fir", "strategy": "magic"},
+     "unknown strategy"),
+    ("tune", {"workload": "fir", "objective": "speed"},
+     "unknown objective"),
+    ("stream", {"pipeline": "nope"}, "unknown pipeline"),
+    ("schedule", {"source": "def f(:"}, "frontend error"),
+]
+
+
+@pytest.mark.parametrize("kind,params,fragment", BAD_BODIES,
+                         ids=[c[2] for c in BAD_BODIES])
+def test_bad_bodies_raise_job_error(kind, params, fragment):
+    with pytest.raises(JobError, match=fragment):
+        normalize_params(kind, params)
+
+
+def test_normalize_fills_defaults_deterministically():
+    a = normalize_params("tune", {"workload": "fir"})
+    b = normalize_params("tune", {"workload": "fir",
+                                  "library": "artisan90",
+                                  "strategy": "greedy"})
+    assert a == b  # spelled-out defaults normalize identically
+    assert a["objective"] == "delay"  # no delay budget -> chase speed
+    with_budget = normalize_params("tune", {"workload": "fir",
+                                            "delay_ps": 9000})
+    assert with_budget["objective"] == "area"
+
+
+def test_parse_microarchs_defaults_to_paper_set():
+    micros = parse_microarchs(None)
+    assert [(m.latency, m.ii) for m in micros] == \
+        [(8, None), (16, None), (32, None), (16, 8), (32, 16)]
+    lat3, pipelined = parse_microarchs("3,4:2")
+    assert (lat3.latency, lat3.ii) == (3, None)
+    assert (pipelined.latency, pipelined.ii) == (4, 2)
+
+
+# ----------------------------------------------------------------------
+# key identity
+# ----------------------------------------------------------------------
+REFORMATTED_FIR_SOURCE = '''\
+# same kernel, different spelling: comments + blank lines only
+
+def fir(x: int, k: int) -> int:
+    acc = 0
+
+    for i in range(4):
+        # multiply-accumulate
+        acc = acc + x * k
+    return acc
+'''
+
+
+def test_job_key_is_structural_not_textual():
+    """The service's dedup promise: identity is design *structure*."""
+    original = normalize_params("schedule", {"source": FIR_SOURCE})
+    reformatted = normalize_params(
+        "schedule", {"source": REFORMATTED_FIR_SOURCE})
+    assert original["source"] != reformatted["source"]
+    assert job_key("schedule", original) == \
+        job_key("schedule", reformatted)
+
+
+def test_job_key_separates_kinds_and_parameters():
+    base = normalize_params("schedule", {"workload": "fir"})
+    sweep = normalize_params("sweep", {"workload": "fir"})
+    other_clock = normalize_params("schedule", {"workload": "fir",
+                                                "clock_ps": 2100})
+    other_design = normalize_params("schedule", {"workload": "adpcm"})
+    keys = {job_key("schedule", base), job_key("sweep", sweep),
+            job_key("schedule", other_clock),
+            job_key("schedule", other_design)}
+    assert len(keys) == 4
+
+
+@given(st.sampled_from(["fir", "adpcm", "fft8"]),
+       st.sampled_from(JOB_KINDS[:3]),
+       st.sampled_from([1250.0, 1600.0, 2100.0]))
+def test_job_key_is_deterministic(workload, kind, clock):
+    params = {"workload": workload}
+    if kind == "schedule":
+        params["clock_ps"] = clock
+    else:
+        params["clocks_ps"] = [clock]
+    normalized = normalize_params(kind, params)
+    assert job_key(kind, normalized) == \
+        job_key(kind, normalize_params(kind, params))
+
+
+# ----------------------------------------------------------------------
+# execution results are deterministic payloads
+# ----------------------------------------------------------------------
+def test_execute_schedule_twice_is_bit_identical():
+    params = normalize_params("schedule", {"workload": "fir"})
+    ok1, result1, _ = execute_job("schedule", params)
+    ok2, result2, _ = execute_job("schedule", params)
+    assert ok1 and ok2
+    assert result1 == result2  # no wall times, no cache counters
+    assert "power_mw" in result1
+
+
+def test_execute_infeasible_schedule_reports_diagnostics():
+    params = normalize_params("schedule", {"workload": "fft8",
+                                           "clock_ps": 400, "ii": 1})
+    ok, result, _ = execute_job("schedule", params)
+    assert not ok
+    assert result["diagnostics"]

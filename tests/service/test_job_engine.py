@@ -1,0 +1,148 @@
+"""JobEngine tests: lifecycle, dedup identity, degradation, store
+integration.  Process-isolation fault injection lives in
+test_faults.py; everything here runs inline for speed.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.dse.store import ResultStore
+from repro.service import JobEngine
+from repro.service.jobs import CANCELLED, DONE, FAILED, JobError
+
+
+def test_engine_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        JobEngine(mode="cluster")
+
+
+def test_full_lifecycle_inline(engine):
+    job = engine.submit("schedule", {"workload": "fir"})
+    final = engine.wait(job.id, timeout=60)
+    assert final.state == DONE
+    assert final.result["schedule"]["region"] == "fir"
+    assert final.result["power_mw"] > 0
+    assert final.attempts == 1
+    assert final.progress.get("event") == "done"  # per-pass hooks fired
+    stats = engine.stats()
+    assert stats["completed"] == 1
+    assert stats["jobs"]["done"] == 1
+    assert engine.healthz()["ok"] is True
+
+
+def test_bad_submission_raises_before_enqueue(engine):
+    with pytest.raises(JobError):
+        engine.submit("schedule", {"workload": "nope"})
+    assert engine.stats()["queue_depth"] == 0
+
+
+def test_unsatisfied_work_fails_with_diagnostics(engine):
+    job = engine.submit("schedule", {"workload": "fft8",
+                                     "clock_ps": 400, "ii": 1})
+    final = engine.wait(job.id, timeout=60)
+    assert final.state == FAILED
+    assert final.error["reason"] == "unsatisfied"
+    assert final.error["detail"]["diagnostics"]
+
+
+def test_dedup_duplicate_submission_is_bit_identical(engine):
+    params = {"workload": "fir", "clocks_ps": [1600.0, 2400.0],
+              "latencies": "3,4"}
+    first = engine.submit("sweep", params)
+    second = engine.submit("sweep", params)
+    done_first = engine.wait(first.id, timeout=60)
+    done_second = engine.wait(second.id, timeout=60)
+    assert done_first.state == done_second.state == DONE
+    assert done_second.dedup_of is not None
+    # the shared-execution contract: the very same result object
+    assert done_first.result is done_second.result
+    assert engine.stats()["dedup_hits"] == 1
+    # a third submission after completion: served, not re-executed
+    third = engine.submit("sweep", dict(params))
+    assert third.state == DONE
+    assert third.result is done_first.result
+    assert copy.deepcopy(third.result) == done_first.result  # bit-equal
+    assert engine.stats()["dedup_hits"] == 2
+
+
+def test_cancel_queued_job_never_runs(tmp_path):
+    engine = JobEngine(workers=1, mode="inline")
+    # not started: everything stays queued
+    job = engine.submit("schedule", {"workload": "fir"})
+    cancelled = engine.cancel(job.id)
+    assert cancelled.state == CANCELLED
+    engine.start()
+    try:
+        assert engine.wait(job.id, timeout=5).state == CANCELLED
+        assert engine.stats()["cancelled"] == 1
+    finally:
+        engine.stop()
+
+
+def test_degrades_to_inline_when_spawn_fails(tmp_path, monkeypatch):
+    """The pool dying must not fail jobs: serial in-process fallback."""
+    engine = JobEngine(workers=1, mode="process",
+                       store_path=str(tmp_path / "s.jsonl"))
+
+    class DeadPool:
+        def Pipe(self):
+            raise OSError("no more pipes")
+
+        def Process(self, *a, **k):  # pragma: no cover - unreached
+            raise OSError("fork failed")
+
+    monkeypatch.setattr(engine, "_mp", DeadPool())
+    engine.start()
+    try:
+        job = engine.submit("schedule", {"workload": "fir"})
+        final = engine.wait(job.id, timeout=60)
+        assert final.state == DONE  # completed despite the dead pool
+        assert engine.degraded is True
+        assert engine.healthz()["degraded"] is True
+        assert engine.stats()["degraded"] is True
+    finally:
+        engine.stop()
+
+
+def test_sweep_results_persist_and_warm_start(tmp_path):
+    store = str(tmp_path / "store.jsonl")
+    params = {"workload": "fir", "clocks_ps": [1600.0],
+              "latencies": "3,4"}
+    with JobEngine(workers=1, mode="inline", store_path=store) as eng:
+        cold = eng.wait(eng.submit("sweep", params).id, timeout=60)
+        assert cold.state == DONE
+        assert cold.stats["fresh_points"] == 2
+    # a NEW engine against the same store: zero fresh synthesis
+    with JobEngine(workers=1, mode="inline", store_path=store) as eng:
+        warm = eng.wait(eng.submit("sweep", params).id, timeout=60)
+        assert warm.state == DONE
+        assert warm.stats["store_hits"] == 2
+        assert warm.stats["fresh_points"] == 0
+        assert warm.result == cold.result  # across processes: bit-equal
+
+
+def test_corrupted_store_shard_is_skipped_not_fatal(tmp_path):
+    """Fault injection: a garbage shard must not take the service down."""
+    store = str(tmp_path / "store.jsonl")
+    params = {"workload": "fir", "clocks_ps": [1600.0],
+              "latencies": "3"}
+    with JobEngine(workers=1, mode="inline", store_path=store) as eng:
+        assert eng.wait(eng.submit("sweep", params).id,
+                        timeout=60).state == DONE
+    # corrupt the world: binary garbage shard + truncated base line
+    (tmp_path / "store.jsonl.99999.shard").write_bytes(
+        b"\x00\xffnot json at all\n{\"v\": 1, \"trunca")
+    with open(store, "a") as handle:
+        handle.write('{"v": 1, "timing_model": "x", "key": "tru')
+    with JobEngine(workers=1, mode="inline", store_path=store) as eng:
+        job = eng.wait(eng.submit("sweep", params).id, timeout=60)
+        assert job.state == DONE
+        assert job.stats["store_hits"] == 1  # good entries survived
+        assert eng.stats()["store"]["skipped_lines"] >= 2
+    # stop() compacted: the store loads cleanly afterwards
+    survivor = ResultStore(store)
+    assert survivor.skipped_lines == 0
+    assert len(survivor) == 1

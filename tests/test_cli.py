@@ -92,14 +92,14 @@ def test_workloads_command_lists_registry(capsys):
         assert name in out
 
 
-def test_unknown_workload():
-    with pytest.raises(SystemExit):
-        main(["sweep", "nonexistent"])
+def test_unknown_workload(capsys):
+    assert main(["sweep", "nonexistent"]) == 3
+    assert "unknown workload" in capsys.readouterr().err
 
 
-def test_unknown_library():
-    with pytest.raises(SystemExit):
-        main(["--library", "tsmc", "table", "1"])
+def test_unknown_library(capsys):
+    assert main(["--library", "tsmc", "table", "1"]) == 3
+    assert "unknown library" in capsys.readouterr().err
 
 
 def test_generic45_library(capsys):
@@ -136,9 +136,9 @@ def test_stream_command_json_and_verilog(tmp_path, capsys):
     assert "module fir_decimate_stream" in target.read_text()
 
 
-def test_stream_unknown_pipeline():
-    with pytest.raises(SystemExit):
-        main(["stream", "nonexistent"])
+def test_stream_unknown_pipeline(capsys):
+    assert main(["stream", "nonexistent"]) == 3
+    assert "unknown pipeline" in capsys.readouterr().err
 
 
 # ----------------------------------------------------------------------
@@ -171,9 +171,9 @@ def test_profile_infeasible_exits_nonzero(capsys):
     assert "error" in data
 
 
-def test_profile_unknown_workload():
-    with pytest.raises(SystemExit):
-        main(["profile", "nonexistent"])
+def test_profile_unknown_workload(capsys):
+    assert main(["profile", "nonexistent"]) == 3
+    assert "unknown workload" in capsys.readouterr().err
 
 
 def test_schedule_profile_flag_reports_counters(capsys):
@@ -240,17 +240,20 @@ def test_tune_objective_defaults():
         parser.parse_args(["tune", "fir", "--objective", "speed"])
 
 
-def test_tune_unknown_workload():
-    with pytest.raises(SystemExit):
-        main(["tune", "nonexistent"])
+def test_tune_unknown_workload(capsys):
+    assert main(["tune", "nonexistent"]) == 3
+    assert "unknown workload" in capsys.readouterr().err
 
 
-def test_tune_invalid_bound_is_clean_usage_error():
-    """A non-positive budget exits with a message, not a traceback."""
-    with pytest.raises(SystemExit, match="invalid goal"):
-        main(["tune", "fir", "--delay-ps", "-5"])
-    with pytest.raises(SystemExit, match="invalid goal"):
-        main(["tune", "fir", "--max-area", "0"])
+def test_tune_invalid_bound_is_clean_usage_error(capsys):
+    """A non-positive budget exits 3 with a message, not a traceback."""
+    assert main(["tune", "fir", "--delay-ps", "-5"]) == 3
+    assert "invalid goal" in capsys.readouterr().err
+    assert main(["tune", "fir", "--max-area", "0", "--json"]) == 3
+    captured = capsys.readouterr()
+    assert "invalid goal" in captured.err
+    record = json.loads(captured.out)["error"]
+    assert record["code"] == 3 and record["reason"] == "invalid-goal"
 
 
 # ----------------------------------------------------------------------

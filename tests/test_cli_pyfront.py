@@ -37,7 +37,7 @@ def test_schedule_python_source_json(tmp_path, capsys):
 def test_schedule_bad_source_renders_caret(tmp_path, capsys):
     src = tmp_path / "broken.py"
     src.write_text(BAD_SOURCE)
-    assert main(["schedule", str(src)]) == 1
+    assert main(["schedule", str(src)]) == 4  # frontend exit code
     err = capsys.readouterr().err
     assert "broken.py:2:" in err  # file:line: headline
     assert "^" in err  # caret excerpt
@@ -47,7 +47,7 @@ def test_schedule_bad_source_renders_caret(tmp_path, capsys):
 def test_verilog_bad_source_renders_caret(tmp_path, capsys):
     src = tmp_path / "broken.py"
     src.write_text(BAD_SOURCE)
-    assert main(["verilog", str(src)]) == 1
+    assert main(["verilog", str(src)]) == 4
     assert "broken.py:2:" in capsys.readouterr().err
 
 
@@ -76,11 +76,7 @@ def test_sweep_python_source(tmp_path, capsys):
 def test_sweep_bad_python_source_exits_cleanly(tmp_path, capsys):
     src = tmp_path / "broken.py"
     src.write_text(BAD_SOURCE)
-    try:
-        code = main(["sweep", str(src)])
-    except SystemExit as exc:
-        code = exc.code
-    assert code == 1
+    assert main(["sweep", str(src)]) == 4
     assert "broken.py:2:" in capsys.readouterr().err
 
 
