@@ -61,6 +61,15 @@ def bench_metrics(request):
     return metrics
 
 
+def _peak_rss_kb() -> int:
+    """Peak RSS of this process so far, in KiB (0 where unavailable)."""
+    try:
+        import resource
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX
+        return 0
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_makereport(item, call):
     outcome = yield
@@ -70,6 +79,13 @@ def pytest_runtest_makereport(item, call):
     _RESULTS[item.nodeid] = {
         "outcome": report.outcome,
         "wall_s": round(report.duration, 6),
+        # environment stamp: when it ran, on how wide a host, and the
+        # session's high-water memory mark at that point -- so a
+        # regression in the trajectory can be told apart from a change
+        # of machine
+        "unix_time": int(time.time()),
+        "cpus": os.cpu_count() or 1,
+        "peak_rss_kb": _peak_rss_kb(),
     }
 
 

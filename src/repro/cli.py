@@ -9,6 +9,7 @@ stream     compose, verify and report a named streaming pipeline
 submit     submit a job to a running service (and optionally wait)
 sweep      run a microarchitecture/clock exploration on a named workload
 table      print a paper table (1, 2 or 3) from the calibrated library
+trace      schedule a workload with tracing on; write + summarize spans
 tune       goal-directed autotuning (delay/area/power constraints)
 verilog    compile + schedule + emit RTL to stdout or a file
 workloads  list the named kernels and streaming pipelines
@@ -50,6 +51,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro import profiling
 from repro.cdfg.region import PipelineSpec, Region
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import Tracer
 from repro.core.pipeline import pipeline_loop
 from repro.core.schedule import ScheduleError
 from repro.core.scheduler import schedule_region
@@ -183,15 +186,27 @@ def _resolve_workload(spec: str) -> Callable[[], Region]:
     return lambda: _compile_file(spec)[0].region
 
 
+def _write_trace(tracer: Optional[Tracer],
+                 path: Optional[str]) -> None:
+    """Write + announce a ``--trace FILE`` capture (stderr, so JSON
+    stdout stays machine-readable)."""
+    if tracer is None or path is None:
+        return
+    tracer.write(path)
+    print(f"wrote trace {path} ({len(tracer)} spans)", file=sys.stderr)
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     """Compile and schedule a source file (or a named workload)."""
     library = _library(args.library)
     flow = get_flow("pipeline")
     if args.profile:
         profiling.reset()
+    tracer = Tracer() if args.trace else None
     contexts = _source_contexts(args, library,
                                 run_optimizer=not args.no_optimize)
     for ctx in contexts:
+        ctx.tracer = tracer
         flow.run(ctx)
         if ctx.failed:
             if args.json:
@@ -203,7 +218,8 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             _print_failure(ctx)
             if args.profile:
                 print(profiling.report(), file=sys.stderr)
-            return EXIT_FAILED
+            _write_trace(tracer, args.trace)  # a failing run's trace
+            return EXIT_FAILED                # is the interesting one
         if args.json:
             print(json.dumps(ctx.schedule.summary(), indent=2))
         else:
@@ -212,6 +228,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     if args.profile:
         # stderr, so --json stdout stays machine-readable
         print(profiling.report(), file=sys.stderr)
+    _write_trace(tracer, args.trace)
     return 0
 
 
@@ -236,6 +253,8 @@ def _profile_sweep(args: argparse.Namespace, library) -> int:
             "wall_s": round(wall, 4),
             "sweep": result.summary(),
             "counters": dict(sorted(table.items())),
+            "gauges": REGISTRY.gauges(),
+            "histograms": REGISTRY.histogram_summaries(),
         }, indent=2))
     else:
         print(profiling.report(table))
@@ -283,6 +302,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
             "wall_s": round(wall, 4),
             "feasible": schedule is not None,
             "counters": dict(sorted(table.items())),
+            "gauges": REGISTRY.gauges(),
+            "histograms": REGISTRY.histogram_summaries(),
         }
         if schedule is not None:
             record["passes"] = schedule.passes
@@ -379,10 +400,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     clocks = _parse_clocks(args.clocks)
     micros = _parse_microarchs(args.latencies)
     cache = _load_cache(args.cache)
+    tracer = Tracer() if args.trace else None
     result = run_sweep(factory, library, micros, clocks, jobs=args.jobs,
-                       cache=cache, backend=args.backend)
+                       cache=cache, backend=args.backend, tracer=tracer)
     if cache is not None:
         cache.save(args.cache)
+    _write_trace(tracer, args.trace)
     status = 0 if result.points else 1  # an all-infeasible grid failed
     if args.json:
         print(json.dumps(result.summary(), indent=2))
@@ -417,16 +440,59 @@ def cmd_tune(args: argparse.Namespace) -> int:
         tuple(_parse_clocks(args.clocks)))
     store = ResultStore(args.store) if args.store else None
     cache = _load_cache(args.cache)
+    tracer = Tracer() if args.trace else None
     report = tune(factory, library, goal, space=space,
                   strategy=args.strategy, cache=cache, store=store,
-                  jobs=args.jobs)
+                  jobs=args.jobs, tracer=tracer)
     if cache is not None:
         cache.save(args.cache)
+    _write_trace(tracer, args.trace)
     if args.json:
         print(json.dumps(report.summary(), indent=2))
     else:
         print(report.table())
     return 0 if report.satisfied else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Schedule a workload with tracing on; write + summarize spans."""
+    library = _library(args.library)
+    flow = get_flow("pipeline")
+    tracer = Tracer()
+    contexts = _source_contexts(args, library,
+                                run_optimizer=not args.no_optimize)
+    failed = False
+    for ctx in contexts:
+        ctx.tracer = tracer
+        flow.run(ctx)
+        if ctx.failed:
+            failed = True
+            _print_failure(ctx)
+    base = os.path.basename(args.source).rsplit(".", 1)[0]
+    out = args.output or f"{base}.trace.json"
+    tracer.write(out)
+    by_name: Dict[str, Dict[str, float]] = {}
+    for span in tracer.export():
+        rec = by_name.setdefault(span["name"],
+                                 {"count": 0, "total_s": 0.0})
+        rec["count"] += 1
+        rec["total_s"] += span["dur"]
+    if args.json:
+        print(json.dumps({
+            "source": args.source,
+            "spans": len(tracer),
+            "output": out,
+            "failed": failed,
+            "by_name": {name: {"count": int(rec["count"]),
+                               "total_s": round(rec["total_s"], 6)}
+                        for name, rec in sorted(by_name.items())},
+        }, indent=2))
+    else:
+        rows = [[name, int(rec["count"]), f"{rec['total_s']:.4f}"]
+                for name, rec in sorted(by_name.items())]
+        print(format_table(["span", "count", "total_s"], rows))
+        print(f"\nwrote {out} ({len(tracer)} spans)")
+    return EXIT_FAILED if failed else EXIT_OK
 
 
 def cmd_table(args: argparse.Namespace) -> int:
@@ -676,7 +742,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-optimize", action="store_true")
     p.add_argument("--profile", action="store_true",
                    help="print the scheduler's phase counters (stderr)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a span trace here (.jsonl for the line "
+                        "format, anything else for Chrome trace_event)")
     p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser(
+        "trace", help="schedule with tracing on; write + summarize "
+                      "the span tree")
+    p.add_argument("source", help="source file (mini-language or .py "
+                                  "Python subset) or workload name")
+    p.add_argument("--clock", type=float, default=1600.0)
+    p.add_argument("--ii", type=int, default=None)
+    p.add_argument("--no-optimize", action="store_true")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="trace file (default <workload>.trace.json; "
+                        ".jsonl selects the line format)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the span summary as JSON")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "profile", help="profile scheduling a named workload")
@@ -726,6 +810,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persist the flow cache here across runs")
     p.add_argument("--json", action="store_true",
                    help="emit the full sweep record as JSON")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a span trace here (.jsonl for the line "
+                        "format, anything else for Chrome trace_event)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -756,6 +843,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persist the flow cache here across runs")
     p.add_argument("--json", action="store_true",
                    help="emit the full tuning report as JSON")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a span trace here (.jsonl for the line "
+                        "format, anything else for Chrome trace_event)")
     p.set_defaults(func=cmd_tune)
 
     p = sub.add_parser("stream",

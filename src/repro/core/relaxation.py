@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro import profiling
 from repro.cdfg.region import PipelineSpec, Region
 from repro.core.restraints import Restraint, RestraintKind
+from repro.obs.trace import Tracer
 from repro.tech.library import Library, ResourceType
 
 
@@ -367,21 +368,25 @@ def driver_fingerprint(analyzed: List[Restraint],
 
 
 def _race_worker(payload: Tuple) -> Tuple[int, bool, DriverState,
-                                          Dict[str, int]]:
+                                          Dict[str, int], List[dict]]:
     """One race branch: re-derive actions, apply branch ``b``, run a pass.
 
     Runs in a worker process.  ``Action.apply`` closures do not pickle,
     so the worker re-derives the action list with :func:`propose_actions`
     -- which is deterministic, yielding exactly the parent's list -- and
     applies the batch for its assigned index.  Returns the branch index,
-    whether the pass succeeded, the post-application driver state, and
-    the worker's profiling counters for the parent to merge.
+    whether the pass succeeded, the post-application driver state, the
+    worker's profiling counters for the parent to merge, and (when the
+    parent traces) the worker's exported spans -- this return tuple is
+    the race's merge-back channel, so spans ride it home like the
+    counters do.
     """
     (branch, region, library, clock_ps, pipeline, allocation,
-     restraints, state, options, outlook) = payload
+     restraints, state, options, outlook, traced) = payload
     from repro.core.scheduler import _Pass  # deferred: circular import
 
     profiling.reset()  # forked workers inherit the parent's table
+    tracer = Tracer() if traced else None
     try:
         actions = propose_actions(
             region, library, clock_ps, restraints, state, pipeline,
@@ -391,14 +396,27 @@ def _race_worker(payload: Tuple) -> Tuple[int, bool, DriverState,
             allow_banking=options.allow_banking,
             resource_outlook=outlook)
         if branch >= len(actions):
-            return branch, False, state, profiling.snapshot()
+            return (branch, False, state, profiling.snapshot(),
+                    tracer.export() if tracer else [])
         apply_action_batch(actions, branch, state)
-        pass_run = _Pass(region, library, clock_ps, state.latency,
-                         pipeline, allocation, state, options)
-        outcome = pass_run.run()
-        return branch, outcome.success, state, profiling.snapshot()
+        if tracer is None:
+            pass_run = _Pass(region, library, clock_ps, state.latency,
+                             pipeline, allocation, state, options)
+            outcome = pass_run.run()
+        else:
+            with tracer.span("scheduler.race_branch", branch=branch,
+                             action=actions[branch].name,
+                             latency=state.latency) as span:
+                pass_run = _Pass(region, library, clock_ps,
+                                 state.latency, pipeline, allocation,
+                                 state, options)
+                outcome = pass_run.run()
+                span.set("success", outcome.success)
+        return (branch, outcome.success, state, profiling.snapshot(),
+                tracer.export() if tracer else [])
     except Exception:
-        return branch, False, state, profiling.snapshot()
+        return (branch, False, state, profiling.snapshot(),
+                tracer.export() if tracer else [])
 
 
 def race_relaxation(
@@ -412,7 +430,8 @@ def race_relaxation(
     options,
     resource_outlook: Dict[Tuple[str, int], Tuple[int, int]],
     n_actions: int,
-) -> Optional[DriverState]:
+    tracer: Optional[Tracer] = None,
+) -> Optional[Tuple[Optional[int], DriverState]]:
     """Try the top relaxation actions concurrently; lowest feasible wins.
 
     Each of the first ``min(jobs, n_actions)`` actions is applied (with
@@ -421,16 +440,23 @@ def race_relaxation(
     lowest action index -- a deterministic tie-break, so repeated runs
     take the same trajectory.  When no branch succeeds, branch 0's
     post-application state is adopted, which is exactly what the serial
-    driver would have done.  Returns ``None`` on any infrastructure
-    failure (unpicklable payload, worker crash); the caller then falls
-    back to the serial path.
+    driver would have done.  Returns ``(winning branch index, state)``
+    -- the index is ``None`` when no branch succeeded -- or ``None`` on
+    any infrastructure failure (unpicklable payload, worker crash); the
+    caller then falls back to the serial path.
+
+    With a ``tracer``, each worker's spans come back over the result
+    tuple and are re-parented under the caller's open span, so the race
+    branches appear in the parent's exported trace with their worker
+    pids intact.
     """
     branches = min(options.jobs, n_actions)
     if branches < 2:
         return None
     payloads = [
         (b, region, library, clock_ps, pipeline, allocation,
-         restraints, state, options, resource_outlook)
+         restraints, state, options, resource_outlook,
+         tracer is not None)
         for b in range(branches)
     ]
     results = []
@@ -445,13 +471,15 @@ def race_relaxation(
         return None
     profiling.bump("race.calls")
     profiling.bump("race.branches", len(results))
-    winner: Optional[DriverState] = None
-    for branch, success, new_state, snap in results:
+    winner: Optional[Tuple[int, DriverState]] = None
+    for branch, success, new_state, snap, spans in results:
         profiling.merge(snap)
+        if tracer is not None:
+            tracer.absorb(spans)
         if success and winner is None:
-            winner = new_state
+            winner = (branch, new_state)
             profiling.bump("race.win")
     if winner is None:
         profiling.bump("race.no_winner")
-        return results[0][2]
+        return None, results[0][2]
     return winner

@@ -40,6 +40,7 @@ from repro.core.relaxation import (
     race_relaxation,
 )
 from repro.core.restraints import Restraint, RestraintKind, RestraintLog
+from repro.obs.trace import Tracer, maybe_span
 from repro.core.scc import SCCWindow, apply_windows, find_scc_windows, window_of
 from repro.core.schedule import Schedule, ScheduleError
 from repro.tech.library import Library
@@ -1128,6 +1129,15 @@ def _ffwd_stable(batch, pool, netlist) -> bool:
     return True
 
 
+#: counters whose per-pass deltas annotate ``scheduler.pass`` spans.
+#: Timing-engine commits stay aggregated at pass granularity on
+#: purpose: per-commit spans would blow the tracing overhead budget
+#: (try_commit runs orders of magnitude more often than passes).
+_ENGINE_SPAN_KEYS = ("engine.evaluate", "engine.commit",
+                     "engine.rollback", "engine.commit_cache_hit",
+                     "engine.commit_cache_miss")
+
+
 def schedule_region(
     region: Region,
     library: Library,
@@ -1135,6 +1145,7 @@ def schedule_region(
     pipeline: Optional[PipelineSpec] = None,
     options: Optional[SchedulerOptions] = None,
     carryover: Optional[_RegionCache] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Schedule:
     """Schedule and bind a region; the paper's full iterative flow.
 
@@ -1147,6 +1158,12 @@ def schedule_region(
     structure reuse timing statics, heights, priority orders and
     clock-keyed mobility skeletons.  Every cached entry is
     decision-neutral, so results are bit-identical with or without it.
+
+    ``tracer`` records one ``scheduler.pass`` span per relaxation pass
+    (success flag, engine counter deltas, dominant restraint kind and
+    slack, the chosen action) -- observation only, never steering: a
+    traced run's decisions are bit-identical to an untraced one, which
+    the equivalence suite pins.
     """
     options = options or SchedulerOptions()
     region.validate()
@@ -1180,99 +1197,152 @@ def schedule_region(
     outcome: Optional[PassOutcome] = None
     prev_fp = None
     for pass_no in range(1, options.max_passes + 1):
-        pass_run = _Pass(region, library, clock_ps, state.latency,
-                         pipeline, allocation, state, options, cache=cache)
-        outcome = pass_run.run()
-        if options.trace:
-            print(f"[pass {pass_no}] latency={state.latency} "
-                  f"success={outcome.success} "
-                  f"restraints={outcome.log.summary()}")
-        if outcome.success:
-            # prune instances the binder never used (batched resource
-            # additions may overshoot; unused copies cost only area)
-            for inst in list(outcome.pool.instances):
-                if not inst.ops_bound():
-                    outcome.pool.remove(inst)
-            schedule = Schedule(
-                region=region,
-                library=library,
-                clock_ps=clock_ps,
-                latency=state.latency,
-                pipeline=pipeline,
-                bindings=outcome.netlist.bindings,
-                pool=outcome.pool,
-                netlist=outcome.netlist,
-                scc_windows=outcome.windows,
-                passes=pass_no,
-                actions_taken=list(state.history),
-                speculated=frozenset(state.speculated),
-                memories=pass_run.memories,
-            )
-            if options.validate_result:
-                problems = schedule.validate(
-                    allow_negative_slack=options.accept_negative_slack)
-                if problems:
-                    raise ScheduleError(
-                        f"{region.name}: internal validation failed",
-                        problems)
-            return schedule
-        analyzed = outcome.log.analyze(region.dfg)
-        outlook = {key: (demand, outcome.pool.count(*key))
-                   for key, demand in allocation.demand.items()}
-        actions = propose_actions(
-            region, library, clock_ps, analyzed, state, pipeline,
-            enable_scc_move=options.enable_scc_move,
-            enable_speculation=options.enable_speculation,
-            allow_grades=options.allow_grades,
-            allow_banking=options.allow_banking,
-            resource_outlook=outlook)
-        if not actions:
-            diagnostics = [
-                f"{r.kind.value}: op {region.dfg.op(r.op_uid).name} at "
-                f"s{r.state + 1} (weight {r.weight:.1f})"
-                for r in analyzed[:10] if r.op_uid in region.dfg
-            ]
-            raise ScheduleError(
-                f"{region.name}: overconstrained, no relaxation action "
-                f"after pass {pass_no}", diagnostics)
-        if options.jobs > 1 and len(actions) > 1:
-            raced = race_relaxation(
-                region, library, clock_ps, pipeline, allocation,
-                analyzed, state, options, outlook, len(actions))
-            if raced is not None:
-                state = raced
-                prev_fp = None  # raced state may diverge from branch 0
-                continue
-        # relaxation fixpoint fast-forward: when this failed pass is an
-        # exact replay of the previous one (same analyzed restraints,
-        # same scored actions) and the batch about to be applied provably
-        # cannot perturb any future pass, every remaining iteration up to
-        # the pass budget is the same pass again -- synthesize their
-        # state/history updates and exhaust the budget without running
-        # them.  Death-spiral points (the dominant cost of infeasible
-        # sweeps) collapse from hundreds of passes to the spiral prefix.
-        if options.fixpoint_ffwd and cache is not None:
-            fp = driver_fingerprint(analyzed, actions)
-            if fp == prev_fp:
-                if _ffwd_stable(applied_actions(actions, 0), outcome.pool,
-                                outcome.netlist):
-                    remaining = options.max_passes - pass_no + 1
-                    profiling.bump("scheduler.ffwd")
-                    profiling.bump("scheduler.ffwd_passes", remaining - 1)
-                    for _ in range(remaining):
-                        apply_action_batch(actions, 0, state)
-                    break
-                # an exact replay whose batch could still perturb a
-                # future pass: stay on the cold path (and count it, so
-                # sweep reports can show accepted vs rejected fixpoints)
-                profiling.bump("scheduler.ffwd_reject")
-            prev_fp = fp
-        # apply the winning action plus the batch of independent
-        # secondary actions (resource additions for other types, binding
-        # prohibitions, speculations): they interact with neither the
-        # winner nor each other, so applying them together saves whole
-        # scheduling passes on large designs
-        apply_action_batch(actions, 0, state)
+        with maybe_span(tracer, "scheduler.pass", pass_no=pass_no,
+                        region=region.name,
+                        latency=state.latency) as pspan:
+            if pspan is not None:
+                eng_before = {key: profiling.counters.get(key, 0)
+                              for key in _ENGINE_SPAN_KEYS}
+            pass_run = _Pass(region, library, clock_ps, state.latency,
+                             pipeline, allocation, state, options,
+                             cache=cache)
+            outcome = pass_run.run()
+            if pspan is not None:
+                pspan.set("success", outcome.success)
+                for key in _ENGINE_SPAN_KEYS:
+                    pspan.set(key.replace(".", "_"),
+                              profiling.counters.get(key, 0)
+                              - eng_before[key])
+            if options.trace:
+                print(f"[pass {pass_no}] latency={state.latency} "
+                      f"success={outcome.success} "
+                      f"restraints={outcome.log.summary()}")
+            if outcome.success:
+                # prune instances the binder never used (batched
+                # resource additions may overshoot; unused copies cost
+                # only area)
+                for inst in list(outcome.pool.instances):
+                    if not inst.ops_bound():
+                        outcome.pool.remove(inst)
+                schedule = Schedule(
+                    region=region,
+                    library=library,
+                    clock_ps=clock_ps,
+                    latency=state.latency,
+                    pipeline=pipeline,
+                    bindings=outcome.netlist.bindings,
+                    pool=outcome.pool,
+                    netlist=outcome.netlist,
+                    scc_windows=outcome.windows,
+                    passes=pass_no,
+                    actions_taken=list(state.history),
+                    speculated=frozenset(state.speculated),
+                    memories=pass_run.memories,
+                )
+                if options.validate_result:
+                    problems = schedule.validate(
+                        allow_negative_slack=options.
+                        accept_negative_slack)
+                    if problems:
+                        raise ScheduleError(
+                            f"{region.name}: internal validation "
+                            f"failed", problems)
+                return schedule
+            analyzed = outcome.log.analyze(region.dfg)
+            outlook = {key: (demand, outcome.pool.count(*key))
+                       for key, demand in allocation.demand.items()}
+            if pspan is not None and analyzed:
+                # the dominant (highest-weight) restraint drives the
+                # relaxation choice; its slack is the admission margin
+                # the failed binding missed by
+                top = analyzed[0]
+                pspan.set("restraint_kind", top.kind.value)
+                pspan.set("restraint_weight", top.weight)
+                if top.slack_ps is not None:
+                    pspan.set("slack_ps", top.slack_ps)
+                kinds: Dict[str, int] = {}
+                for r in analyzed:
+                    kinds[r.kind.value] = kinds.get(r.kind.value, 0) + 1
+                pspan.set("restraints", kinds)
+            actions = propose_actions(
+                region, library, clock_ps, analyzed, state, pipeline,
+                enable_scc_move=options.enable_scc_move,
+                enable_speculation=options.enable_speculation,
+                allow_grades=options.allow_grades,
+                allow_banking=options.allow_banking,
+                resource_outlook=outlook)
+            if not actions:
+                if pspan is not None:
+                    pspan.set("action", None)
+                    pspan.set("action_outcome", "overconstrained")
+                diagnostics = [
+                    f"{r.kind.value}: op "
+                    f"{region.dfg.op(r.op_uid).name} at "
+                    f"s{r.state + 1} (weight {r.weight:.1f})"
+                    for r in analyzed[:10] if r.op_uid in region.dfg
+                ]
+                raise ScheduleError(
+                    f"{region.name}: overconstrained, no relaxation "
+                    f"action after pass {pass_no}", diagnostics)
+            if pspan is not None:
+                pspan.set("action", actions[0].name)
+                pspan.set("action_gain", actions[0].gain)
+                pspan.set("action_outcome", "accepted")
+            if options.jobs > 1 and len(actions) > 1:
+                raced = race_relaxation(
+                    region, library, clock_ps, pipeline, allocation,
+                    analyzed, state, options, outlook, len(actions),
+                    tracer=tracer)
+                if raced is not None:
+                    branch, state = raced
+                    if pspan is not None:
+                        pspan.set("raced", True)
+                        pspan.set("race_winner", branch)
+                        pspan.set("action",
+                                  actions[branch].name
+                                  if branch is not None
+                                  else actions[0].name)
+                    prev_fp = None  # may diverge from branch 0
+                    continue
+            # relaxation fixpoint fast-forward: when this failed pass
+            # is an exact replay of the previous one (same analyzed
+            # restraints, same scored actions) and the batch about to
+            # be applied provably cannot perturb any future pass,
+            # every remaining iteration up to the pass budget is the
+            # same pass again -- synthesize their state/history
+            # updates and exhaust the budget without running them.
+            # Death-spiral points (the dominant cost of infeasible
+            # sweeps) collapse from hundreds of passes to the spiral
+            # prefix.
+            if options.fixpoint_ffwd and cache is not None:
+                fp = driver_fingerprint(analyzed, actions)
+                if fp == prev_fp:
+                    if _ffwd_stable(applied_actions(actions, 0),
+                                    outcome.pool, outcome.netlist):
+                        remaining = options.max_passes - pass_no + 1
+                        profiling.bump("scheduler.ffwd")
+                        profiling.bump("scheduler.ffwd_passes",
+                                       remaining - 1)
+                        if pspan is not None:
+                            pspan.set("ffwd", "accepted")
+                            pspan.set("ffwd_passes", remaining - 1)
+                        for _ in range(remaining):
+                            apply_action_batch(actions, 0, state)
+                        break
+                    # an exact replay whose batch could still perturb
+                    # a future pass: stay on the cold path (and count
+                    # it, so sweep reports can show accepted vs
+                    # rejected fixpoints)
+                    profiling.bump("scheduler.ffwd_reject")
+                    if pspan is not None:
+                        pspan.set("ffwd", "rejected")
+                prev_fp = fp
+            # apply the winning action plus the batch of independent
+            # secondary actions (resource additions for other types,
+            # binding prohibitions, speculations): they interact with
+            # neither the winner nor each other, so applying them
+            # together saves whole scheduling passes on large designs
+            apply_action_batch(actions, 0, state)
     raise ScheduleError(
         f"{region.name}: pass budget ({options.max_passes}) exhausted",
         state.history)

@@ -165,7 +165,7 @@ class FlowEvaluator(Evaluator):
     def __init__(self, region_factory: Callable, library: Library,
                  options=None, cache=None,
                  store: Optional[ResultStore] = None,
-                 jobs: int = 1) -> None:
+                 jobs: int = 1, tracer=None) -> None:
         from repro.flow.cache import FlowCache, region_fingerprint
 
         super().__init__(store)
@@ -174,6 +174,10 @@ class FlowEvaluator(Evaluator):
         self.options = options
         self.cache = cache if cache is not None else FlowCache()
         self.jobs = jobs
+        #: optional :class:`repro.obs.trace.Tracer`; each batched
+        #: dispatch becomes one ``dse.wave`` span with the per-point
+        #: spans (worker processes included) nested under it.
+        self.tracer = tracer
         self._fingerprint = region_fingerprint(region_factory())
 
     def _key(self, cand: Candidate) -> str:
@@ -185,7 +189,7 @@ class FlowEvaluator(Evaluator):
 
         return synthesize_design_point(
             self.region_factory, self.library, cand.microarch,
-            cand.clock_ps, self.options, self.cache)
+            cand.clock_ps, self.options, self.cache, self.tracer)
 
     def evaluate_many(self,
                       cands: Sequence[Candidate]) -> List[StoredResult]:
@@ -193,6 +197,7 @@ class FlowEvaluator(Evaluator):
         memo/store misses -- whatever mixture of curves the strategy
         queued, the sweep engine's pool sees it as a single batch."""
         from repro.flow.executor import run_points
+        from repro.obs.trace import maybe_span
 
         misses: List[Candidate] = []
         queued = set()
@@ -203,10 +208,18 @@ class FlowEvaluator(Evaluator):
             queued.add(key)
             misses.append(cand)
         if misses:
-            results = run_points(
-                self.region_factory, self.library,
-                [(c.microarch, c.clock_ps) for c in misses],
-                options=self.options, jobs=self.jobs, cache=self.cache)
+            with maybe_span(self.tracer, "dse.wave",
+                            requested=len(cands),
+                            misses=len(misses)) as span:
+                results = run_points(
+                    self.region_factory, self.library,
+                    [(c.microarch, c.clock_ps) for c in misses],
+                    options=self.options, jobs=self.jobs,
+                    cache=self.cache, tracer=self.tracer)
+                if span is not None:
+                    span.set("feasible", sum(
+                        1 for r in results
+                        if not isinstance(r, InfeasiblePoint)))
             for cand, result in zip(misses, results):
                 self.fresh_evaluations += 1
                 key = self._key(cand)
@@ -591,18 +604,21 @@ def _run(strategy: str, space: DesignSpace, goal: Goal,
 def tune(region_factory: Callable, library: Library, goal: Goal,
          space: Optional[DesignSpace] = None, strategy: str = "greedy",
          options=None, cache=None, store: Optional[ResultStore] = None,
-         jobs: int = 1) -> TuningReport:
+         jobs: int = 1, tracer=None) -> TuningReport:
     """Search a design space for the best goal-satisfying point.
 
     The main entry of the autotuner: builds a
     :class:`FlowEvaluator` (cache- and store-aware, ``jobs``-parallel
     batches), runs the named strategy, and returns a
     :class:`~repro.dse.report.TuningReport` with the winner, the
-    evaluation trace and the accounting.
+    evaluation trace and the accounting.  An optional ``tracer``
+    records one ``dse.wave`` span per batched dispatch with the
+    per-point spans nested underneath.
     """
     space = space if space is not None else paper_space()
     evaluator = FlowEvaluator(region_factory, library, options=options,
-                              cache=cache, store=store, jobs=jobs)
+                              cache=cache, store=store, jobs=jobs,
+                              tracer=tracer)
     return _run(strategy, space, goal, evaluator)
 
 

@@ -84,6 +84,12 @@ class CompilationContext:
     #: :meth:`~repro.flow.flow.Flow.run`; a set event stops the flow
     #: with a ``cancelled`` error diagnostic instead of an artifact.
     cancel_event: Optional[object] = None
+    #: structured trace sink (a :class:`repro.obs.trace.Tracer`); the
+    #: flow emits one span per pass and the scheduler nests its
+    #: relaxation-pass spans underneath.  Like ``progress_cb``,
+    #: tracing is decision-neutral: ``None`` (the default) costs one
+    #: check per pass and an attached tracer never changes an outcome.
+    tracer: Optional["Tracer"] = None  # noqa: F821 - see repro.obs
 
     # -- artifacts, filled in by passes ---------------------------------
     elaborated: Optional[list] = None

@@ -57,6 +57,8 @@ from repro.flow.cache import FlowCache, compilation_key
 from repro.flow.context import CompilationContext
 from repro.flow.flow import get_flow
 from repro.flow.sweepctx import SweepContext, SweepVariant
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import Tracer, maybe_span
 from repro.tech.library import Library
 
 PointResult = Union[DesignPoint, InfeasiblePoint]
@@ -133,6 +135,7 @@ def synthesize_design_point(
     clock_ps: float,
     options: Optional[SchedulerOptions] = None,
     cache: Optional[FlowCache] = None,
+    tracer: Optional[Tracer] = None,
 ) -> PointResult:
     """One HLS run through the ``sweep`` flow.
 
@@ -156,7 +159,8 @@ def synthesize_design_point(
         if microarch.ii is not None else None
     ctx = CompilationContext(
         region=region, library=library, clock_ps=clock_ps,
-        pipeline=pipeline, run_optimizer=False, cache=cache)
+        pipeline=pipeline, run_optimizer=False, cache=cache,
+        tracer=tracer)
     if options is not None:
         ctx.options = options
     get_flow("sweep").run(ctx)
@@ -169,19 +173,27 @@ def _variant_point(
     clock_ps: float,
     options: Optional[SchedulerOptions],
     cache: Optional[FlowCache],
+    tracer: Optional[Tracer] = None,
 ) -> PointResult:
     """One grid point against a prebuilt variant (context/process path)."""
     if variant.region is None:
         return InfeasiblePoint(variant.microarch.name, clock_ps,
                                variant.error or "variant build failed")
-    ctx = CompilationContext(
-        region=variant.region, library=library, clock_ps=clock_ps,
-        pipeline=variant.pipeline, run_optimizer=False, cache=cache)
-    ctx.scheduler_carryover = variant.carryover
-    if options is not None:
-        ctx.options = options
-    get_flow("sweep").run(ctx)
-    return _point_result(ctx, variant.microarch, clock_ps)
+    with maybe_span(tracer, "sweep.point",
+                    microarch=variant.microarch.name,
+                    clock_ps=clock_ps) as span:
+        ctx = CompilationContext(
+            region=variant.region, library=library, clock_ps=clock_ps,
+            pipeline=variant.pipeline, run_optimizer=False, cache=cache,
+            tracer=tracer)
+        ctx.scheduler_carryover = variant.carryover
+        if options is not None:
+            ctx.options = options
+        get_flow("sweep").run(ctx)
+        result = _point_result(ctx, variant.microarch, clock_ps)
+        if span is not None:
+            span.set("feasible", not isinstance(result, InfeasiblePoint))
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -194,21 +206,29 @@ def _sweep_worker(payload: Tuple) -> Tuple:
     blob shared by every point of the batch; the worker schedules its
     clocks against a private :class:`FlowCache` (entries travel back to
     the parent for merging) and returns its profiling counters and busy
-    time so the parent can report utilization.
+    time so the parent can report utilization.  When the parent traces
+    (``traced`` in the payload), the worker records its points into a
+    private :class:`Tracer` and ships the exported spans home on the
+    same return tuple the cache entries ride -- the sweep's existing
+    merge-back channel.
     """
-    (chunk_id, blob, error, microarch, clocks, options, library) = payload
+    (chunk_id, blob, error, microarch, clocks, options, library,
+     traced) = payload
     profiling.reset()  # forked workers inherit the parent's table
+    tracer = Tracer() if traced else None
     start = time.perf_counter()
     region = pickle.loads(blob) if blob is not None else None
     variant = SweepVariant(microarch, region, error, library)
     local_cache = FlowCache()
     results = [
-        _variant_point(variant, library, clock, options, local_cache)
+        _variant_point(variant, library, clock, options, local_cache,
+                       tracer)
         for clock in clocks
     ]
     busy_s = time.perf_counter() - start
     return (chunk_id, results, local_cache.entries(), local_cache.stats(),
-            profiling.snapshot(), busy_s)
+            profiling.snapshot(), busy_s,
+            tracer.export() if tracer else [])
 
 
 def _chunk_clocks(idxs: List[int], n_chunks: int) -> List[List[int]]:
@@ -227,6 +247,7 @@ def _run_process_backend(
     jobs: int,
     cache: Optional[FlowCache],
     profile: Dict[str, object],
+    tracer: Optional[Tracer] = None,
 ) -> None:
     """Fill ``results`` for every index still None, via worker processes."""
     by_variant: Dict[Microarch, List[int]] = {}
@@ -252,15 +273,18 @@ def _run_process_backend(
             for chunk_idxs in _chunk_clocks(idxs, per_variant):
                 payload = (len(chunk_map), blob, variant.error, microarch,
                            [grid[i][1] for i in chunk_idxs], options,
-                           library)
+                           library, tracer is not None)
                 futures.append(pool.submit(_sweep_worker, payload))
                 chunk_map.append(chunk_idxs)
         for future, chunk_idxs in zip(futures, chunk_map):
             (_, chunk_results, entries, stats, counters,
-             busy_s) = future.result()
+             busy_s, spans) = future.result()
             for idx, result in zip(chunk_idxs, chunk_results):
                 results[idx] = result
             profiling.merge(counters)
+            if tracer is not None:
+                tracer.absorb(spans)
+            REGISTRY.observe("sweep.worker_busy_seconds", busy_s)
             if cache is not None:
                 cache.absorb(entries)
                 # fold the worker's flow lookups into the shared
@@ -284,12 +308,14 @@ def _run_sweep_threads(
     options: Optional[SchedulerOptions],
     jobs: int,
     cache: Optional[FlowCache],
+    tracer: Optional[Tracer] = None,
 ) -> List[PointResult]:
     """The seed thread-pool path (benchmark baseline, GIL-bound)."""
     def one(item: Tuple[Microarch, float]) -> PointResult:
         microarch, clock = item
         return synthesize_design_point(
-            region_factory, library, microarch, clock, options, cache)
+            region_factory, library, microarch, clock, options, cache,
+            tracer)
 
     if jobs <= 1:
         return [one(item) for item in grid]
@@ -305,6 +331,7 @@ def _execute_grid(
     jobs: int,
     cache: Optional[FlowCache],
     backend: Optional[str],
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[List[PointResult], SweepResult]:
     """Execute an explicit (microarch, clock) list on the sweep engine.
 
@@ -328,44 +355,49 @@ def _execute_grid(
     profile: Dict[str, object] = {}
     start = time.perf_counter()
 
-    if backend == "thread":
-        results: List[Optional[PointResult]] = _run_sweep_threads(
-            region_factory, library, grid, options, jobs, cache)
-    else:
-        sctx = SweepContext(region_factory, library)
-        results = [None] * len(grid)
-        if backend == "process" and jobs > 1:
-            # serve points the shared cache already covers in the
-            # parent (the flow's own get() calls do the hit counting),
-            # then dispatch the rest to workers
-            parent_served = 0
+    with maybe_span(tracer, "sweep.run", backend=backend, jobs=jobs,
+                    points=len(grid)):
+        if backend == "thread":
+            results: List[Optional[PointResult]] = _run_sweep_threads(
+                region_factory, library, grid, options, jobs, cache,
+                tracer)
+        else:
+            sctx = SweepContext(region_factory, library)
+            results = [None] * len(grid)
+            if backend == "process" and jobs > 1:
+                # serve points the shared cache already covers in the
+                # parent (the flow's own get() calls do the hit
+                # counting), then dispatch the rest to workers
+                parent_served = 0
+                for idx, (microarch, clock) in enumerate(grid):
+                    if cache is None:
+                        break
+                    variant = sctx.variant(microarch)
+                    if variant.region is None:
+                        continue
+                    key = compilation_key(
+                        variant.region, library, clock,
+                        options or SchedulerOptions(), variant.pipeline)
+                    if cache.peek(key, "schedule"):
+                        results[idx] = _variant_point(
+                            variant, library, clock, options, cache,
+                            tracer)
+                        parent_served += 1
+                profile["parent_served"] = parent_served
+                try:
+                    _run_process_backend(sctx, grid, results, library,
+                                         options, jobs, cache, profile,
+                                         tracer)
+                except Exception:
+                    # pool-level failure (unpicklable payload, broken
+                    # worker): finish on the in-process context engine
+                    profiling.bump("sweep.process_fallback")
+                    profile["process_fallback"] = True
             for idx, (microarch, clock) in enumerate(grid):
-                if cache is None:
-                    break
-                variant = sctx.variant(microarch)
-                if variant.region is None:
-                    continue
-                key = compilation_key(
-                    variant.region, library, clock,
-                    options or SchedulerOptions(), variant.pipeline)
-                if cache.peek(key, "schedule"):
+                if results[idx] is None:
                     results[idx] = _variant_point(
-                        variant, library, clock, options, cache)
-                    parent_served += 1
-            profile["parent_served"] = parent_served
-            try:
-                _run_process_backend(sctx, grid, results, library,
-                                     options, jobs, cache, profile)
-            except Exception:
-                # pool-level failure (unpicklable payload, broken
-                # worker): finish on the in-process context engine
-                profiling.bump("sweep.process_fallback")
-                profile["process_fallback"] = True
-        for idx, (microarch, clock) in enumerate(grid):
-            if results[idx] is None:
-                results[idx] = _variant_point(
-                    sctx.variant(microarch), library, clock, options,
-                    cache)
+                        sctx.variant(microarch), library, clock,
+                        options, cache, tracer)
 
     elapsed = time.perf_counter() - start
     out = SweepResult(elapsed_s=elapsed, backend=backend, jobs=jobs,
@@ -388,8 +420,15 @@ def _execute_grid(
         busy = sum(w["busy_s"] for w in workers)
         profile["worker_utilization"] = round(
             busy / (elapsed * max(jobs, 1)), 4)
+        REGISTRY.set_gauge("sweep.worker_utilization",
+                           profile["worker_utilization"])
     profiling.bump("sweep.points", len(grid))
     profiling.bump(f"sweep.backend.{backend}")
+    # the profile dict stays the public per-sweep record; the registry
+    # carries the same figures for live consumers (/metrics, profile
+    # --json) without another counter table
+    REGISTRY.observe("sweep.elapsed_seconds", elapsed)
+    REGISTRY.set_gauge("sweep.last_points", len(grid))
     return results, out
 
 
@@ -402,18 +441,22 @@ def run_sweep(
     jobs: int = 1,
     cache: Optional[FlowCache] = None,
     backend: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SweepResult:
     """The full microarch x clock grid, on the sweep engine.
 
     ``backend`` selects ``context`` / ``process`` / ``thread``
     explicitly; by default ``jobs`` decides (``context`` serially,
     ``process`` for ``jobs > 1`` on multicore hosts).  Result ordering
-    and every scheduling decision are identical across backends.
+    and every scheduling decision are identical across backends --
+    including with a ``tracer`` attached, which collects per-point
+    spans (worker-process spans come home over the cache merge-back
+    channel) without steering anything.
     """
     grid: List[Tuple[Microarch, float]] = [
         (m, float(c)) for m in microarchs for c in clocks_ps]
     _, out = _execute_grid(region_factory, library, grid, options, jobs,
-                           cache, backend)
+                           cache, backend, tracer)
     return out
 
 
@@ -425,6 +468,7 @@ def run_points(
     jobs: int = 1,
     cache: Optional[FlowCache] = None,
     backend: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
 ) -> List[PointResult]:
     """A ragged (microarch, clock) list through the sweep engine.
 
@@ -436,5 +480,5 @@ def run_points(
     """
     grid = [(m, float(c)) for m, c in points]
     results, _ = _execute_grid(region_factory, library, grid, options,
-                               jobs, cache, backend)
+                               jobs, cache, backend, tracer)
     return results

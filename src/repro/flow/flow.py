@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence, Union
 
 from repro.flow.context import CompilationContext, PassTiming
 from repro.flow.passes import FlowPass, get_pass
+from repro.obs.trace import maybe_span
 
 
 class Flow:
@@ -82,19 +83,32 @@ class Flow:
         through the context's progress hook -- the checkpoints the job
         service relies on for live status and cooperative aborts.
         """
-        for p in self.passes:
-            if ctx.cancel_requested:
-                ctx.error("flow", f"cancelled before pass {p.name!r}")
-                break
-            ctx.notify(p.name, "start")
-            start = time.perf_counter()
-            outcome = p.run(ctx)
-            elapsed = time.perf_counter() - start
-            ctx.timings.append(
-                PassTiming(p.name, elapsed, cached=outcome == "cached"))
-            ctx.notify(p.name, "cached" if outcome == "cached" else "done")
-            if ctx.failed:
-                break
+        with maybe_span(ctx.tracer, "flow.run", flow=self.name,
+                        region=ctx.region.name if ctx.region else None,
+                        clock_ps=ctx.clock_ps) as flow_span:
+            for p in self.passes:
+                if ctx.cancel_requested:
+                    ctx.error("flow",
+                              f"cancelled before pass {p.name!r}")
+                    break
+                ctx.notify(p.name, "start")
+                with maybe_span(ctx.tracer, "flow.pass",
+                                name=p.name) as pass_span:
+                    start = time.perf_counter()
+                    outcome = p.run(ctx)
+                    elapsed = time.perf_counter() - start
+                    if pass_span is not None:
+                        pass_span.set("outcome", outcome or "computed")
+                        pass_span.set("failed", ctx.failed)
+                ctx.timings.append(
+                    PassTiming(p.name, elapsed,
+                               cached=outcome == "cached"))
+                ctx.notify(p.name,
+                           "cached" if outcome == "cached" else "done")
+                if ctx.failed:
+                    break
+            if flow_span is not None:
+                flow_span.set("failed", ctx.failed)
         return ctx
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

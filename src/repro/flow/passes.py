@@ -162,7 +162,7 @@ def schedule_pass(ctx: CompilationContext) -> Optional[str]:
         ctx.schedule = schedule_region(
             ctx.region, ctx.library, ctx.clock_ps,
             pipeline=ctx.pipeline, options=ctx.options,
-            carryover=ctx.scheduler_carryover)
+            carryover=ctx.scheduler_carryover, tracer=ctx.tracer)
     except ScheduleError as exc:
         # args[0] is the bare message; str(exc) would repeat the
         # diagnostics that go into the structured details

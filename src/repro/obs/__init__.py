@@ -1,0 +1,29 @@
+"""Unified observability: structured trace spans + a metrics registry.
+
+One substrate serves every layer.  :mod:`repro.obs.trace` provides the
+span-based tracer threaded through ``CompilationContext`` (flow passes,
+scheduler relaxation passes, sweep points, DSE waves, service jobs all
+emit nested spans, collected across process boundaries over the
+existing merge-back channels).  :mod:`repro.obs.metrics` provides the
+registry -- counters, gauges, fixed-bucket histograms -- that
+``repro.profiling`` now shims onto and that the service's ``/metrics``
+endpoint renders in Prometheus text format.
+
+Observation is decision-neutral by contract: a traced compilation makes
+bit-identical scheduling decisions to an untraced one (pinned by the
+equivalence suite) and the enabled-path overhead stays within the
+budget pinned in ``benchmarks/test_obs_overhead.py``.  See
+docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.metrics import (  # noqa: F401
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs.trace import (  # noqa: F401
+    Span,
+    Tracer,
+    maybe_span,
+    spans_to_chrome,
+)

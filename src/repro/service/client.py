@@ -74,9 +74,23 @@ class ServiceClient:
         """DELETE /jobs/<id>."""
         return self._request("DELETE", f"/jobs/{job_id}")
 
+    def trace(self, job_id: str) -> dict:
+        """GET /jobs/<id>/trace (Chrome ``trace_event`` JSON)."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
+
     def stats(self) -> dict:
         """GET /stats."""
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """GET /metrics (Prometheus text exposition, not JSON)."""
+        req = urllib.request.Request(self.url + "/metrics")
+        try:
+            with urllib.request.urlopen(req,
+                                        timeout=self.timeout) as resp:
+                return resp.read().decode()
+        except urllib.error.HTTPError as err:  # pragma: no cover
+            raise ServiceError(err.code, {}) from None
 
     def healthz(self) -> dict:
         """GET /healthz."""

@@ -40,6 +40,8 @@ from typing import Dict, Optional
 
 from repro.dse.store import ResultStore
 from repro.flow.cache import FlowCache
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import Tracer
 from repro.service import execution as exe
 from repro.service.jobs import (
     CANCELLED,
@@ -56,19 +58,24 @@ POLL_S = 0.02
 
 def _child_main(conn, kind: str, params: dict,
                 cache_path: Optional[str],
-                store_path: Optional[str]) -> None:
+                store_path: Optional[str],
+                traced: bool = True) -> None:
     """Worker-process entry: run one job, stream messages back.
 
     Messages: ``("progress", dict)`` any number of times, then exactly
     one of ``("done", ok, result, stats)`` / ``("cancelled",)`` /
     ``("job_error", message)`` / ``("crash", repr)``.
-    """
-    from repro import profiling
 
-    profiling.reset()  # forked children inherit the parent's counters
+    Observability rides the ``done`` message: ``stats["spans"]`` holds
+    the job's trace (when ``traced``) and ``stats["registry"]`` the
+    child's metrics snapshot; the supervisor pops both before they can
+    reach any client-facing result payload.
+    """
+    REGISTRY.reset()  # forked children inherit the parent's metrics
     cache = FlowCache.load(cache_path) if cache_path else FlowCache()
     store = ResultStore(store_path, shard_per_process=True) \
         if store_path else None
+    tracer = Tracer() if traced else None
 
     def progress(info: dict) -> None:
         try:
@@ -77,11 +84,21 @@ def _child_main(conn, kind: str, params: dict,
             pass
 
     try:
-        ok, result, stats = exe.execute_job(kind, params, cache=cache,
-                                            store=store,
-                                            progress=progress)
+        if tracer is not None:
+            with tracer.span("service.job", kind=kind) as span:
+                ok, result, stats = exe.execute_job(
+                    kind, params, cache=cache, store=store,
+                    progress=progress, tracer=tracer)
+                span.set("ok", ok)
+        else:
+            ok, result, stats = exe.execute_job(kind, params,
+                                                cache=cache, store=store,
+                                                progress=progress)
         stats = dict(stats)
         stats["cache"] = cache.stats()
+        if tracer is not None:
+            stats["spans"] = tracer.export()
+        stats["registry"] = REGISTRY.snapshot()
         if cache_path:
             cache.save(cache_path)
         conn.send(("done", ok, result, stats))
@@ -120,13 +137,16 @@ class JobEngine:
     def __init__(self, workers: int = 2, mode: str = "process",
                  job_timeout_s: float = 120.0, max_retries: int = 1,
                  store_path: Optional[str] = None,
-                 cache_path: Optional[str] = None) -> None:
+                 cache_path: Optional[str] = None,
+                 trace_jobs: bool = True) -> None:
         if mode not in ("process", "inline"):
             raise ValueError(f"unknown engine mode {mode!r}")
         self.queue = JobQueue()
         self.mode = mode
         self.job_timeout_s = job_timeout_s
         self.max_retries = max_retries
+        #: record per-job span traces (served at /jobs/<id>/trace).
+        self.trace_jobs = bool(trace_jobs)
         self.store_path = store_path
         self.cache_path = cache_path
         #: in-memory shared cache (inline/degraded execution path).
@@ -142,6 +162,7 @@ class JobEngine:
             "submitted": 0, "completed": 0, "failed": 0, "cancelled": 0,
             "retries": 0, "worker_crashes": 0, "timeouts": 0,
             "cache_hits": 0, "cache_misses": 0, "store_hits": 0,
+            "store_misses": 0,
         }
         self.started_at = time.time()
         try:
@@ -233,8 +254,24 @@ class JobEngine:
         hits = out["cache_hits"] + cache["hits"]
         out["cache_hit_rate"] = round(hits / lookups, 4) if lookups \
             else 0.0
+        store_lookups = out["store_hits"] + out["store_misses"]
+        out["store_hit_rate"] = round(
+            out["store_hits"] / store_lookups, 4) if store_lookups \
+            else 0.0
         if self._store is not None:
             out["store"] = self._store.stats()
+        prefix = "service.job_seconds."
+        out["job_latency"] = {
+            name[len(prefix):]: {
+                "count": int(summary["count"]),
+                "mean_s": round(summary["mean"], 6),
+                "p50_s": round(summary["p50"], 6),
+                "p90_s": round(summary["p90"], 6),
+                "p99_s": round(summary["p99"], 6),
+            }
+            for name, summary in REGISTRY.histogram_summaries().items()
+            if name.startswith(prefix)
+        }
         return out
 
     def healthz(self) -> dict:
@@ -251,8 +288,12 @@ class JobEngine:
             execution = self.queue.next_execution(timeout=0.1)
             if execution is None:
                 continue
+            t0 = time.perf_counter()
             try:
                 self._run_execution(execution)
+                REGISTRY.observe(
+                    f"service.job_seconds.{execution.kind}",
+                    time.perf_counter() - t0)
             except Exception as err:  # defensive: never kill the loop
                 self.queue.finish(
                     execution, ok=False,
@@ -313,17 +354,26 @@ class JobEngine:
 
     def _finish_done(self, execution: Execution, attempt: _Attempt) -> None:
         stats = attempt.stats
+        # observability payloads ride the stats dict over the pipe;
+        # pop them here so they never leak into /jobs/<id>/result
+        spans = stats.pop("spans", None)
+        registry_snap = stats.pop("registry", None)
+        if registry_snap:
+            REGISTRY.merge(registry_snap)
         cache_stats = stats.get("cache")
         if cache_stats:
             self._bump("cache_hits", cache_stats.get("hits", 0))
             self._bump("cache_misses", cache_stats.get("misses", 0))
         self._bump("store_hits", stats.get("store_hits", 0))
+        self._bump("store_misses",
+                   stats.get("fresh_points",
+                             stats.get("fresh_evaluations", 0)))
         if self._store is not None:
             # fold worker shards into this process's warm view
             self._store.refresh()
         if attempt.ok:
             self.queue.finish(execution, ok=True, result=attempt.result,
-                              stats=stats)
+                              stats=stats, trace=spans)
             self._bump("completed")
         else:
             self.queue.finish(
@@ -332,7 +382,7 @@ class JobEngine:
                        "message": "the job ran but did not meet its "
                                   "goal (infeasible/unverified)",
                        "detail": attempt.result},
-                stats=stats)
+                stats=stats, trace=spans)
             self._bump("failed")
 
     # -- process-isolated attempt --------------------------------------
@@ -342,7 +392,8 @@ class JobEngine:
             proc = self._mp.Process(
                 target=_child_main,
                 args=(child_conn, execution.kind, execution.params,
-                      self.cache_path, self.store_path),
+                      self.cache_path, self.store_path,
+                      self.trace_jobs),
                 daemon=True)
             proc.start()
         except (OSError, ValueError) as err:
@@ -419,11 +470,23 @@ class JobEngine:
         store = None
         if self.store_path:
             store = ResultStore(self.store_path, shard_per_process=True)
+        tracer = Tracer() if self.trace_jobs else None
         try:
-            ok, result, stats = exe.execute_job(
-                execution.kind, execution.params, cache=self.cache,
-                store=store, progress=progress,
-                cancel_event=execution.cancel_event)
+            if tracer is not None:
+                with tracer.span("service.job",
+                                 kind=execution.kind) as span:
+                    ok, result, stats = exe.execute_job(
+                        execution.kind, execution.params,
+                        cache=self.cache, store=store,
+                        progress=progress,
+                        cancel_event=execution.cancel_event,
+                        tracer=tracer)
+                    span.set("ok", ok)
+            else:
+                ok, result, stats = exe.execute_job(
+                    execution.kind, execution.params, cache=self.cache,
+                    store=store, progress=progress,
+                    cancel_event=execution.cancel_event)
         except JobCancelled:
             return _Attempt("cancelled")
         except JobError as err:
@@ -433,4 +496,9 @@ class JobEngine:
                             message=f"{type(err).__name__}: {err}")
         if self._store is not None:
             self._store.refresh()
-        return _Attempt("done", ok=ok, result=result, stats=dict(stats))
+        stats = dict(stats)
+        if tracer is not None:
+            # inline runs observe the global registry directly, so only
+            # the spans need the stats channel
+            stats["spans"] = tracer.export()
+        return _Attempt("done", ok=ok, result=result, stats=stats)

@@ -229,7 +229,7 @@ def _checkpoint(cancel_event) -> None:
 
 
 def _run_schedule(params: dict, cache, progress,
-                  cancel_event) -> Tuple[bool, dict, dict]:
+                  cancel_event, tracer) -> Tuple[bool, dict, dict]:
     from repro.cdfg.region import PipelineSpec
 
     factory, _ = _region_factory(params)
@@ -238,7 +238,8 @@ def _run_schedule(params: dict, cache, progress,
         clock_ps=params["clock_ps"],
         pipeline=PipelineSpec(ii=params["ii"])
         if params["ii"] is not None else None,
-        run_optimizer=False, cache=cache, cancel_event=cancel_event)
+        run_optimizer=False, cache=cache, cancel_event=cancel_event,
+        tracer=tracer)
     if progress is not None:
         ctx.progress_cb = lambda name, event: progress(
             {"pass": name, "event": event})
@@ -255,7 +256,7 @@ def _run_schedule(params: dict, cache, progress,
 
 
 def _run_sweep(params: dict, cache, store, progress,
-               cancel_event) -> Tuple[bool, dict, dict]:
+               cancel_event, tracer) -> Tuple[bool, dict, dict]:
     from repro.core.scheduler import SchedulerOptions
     from repro.dse.store import candidate_key
     from repro.explore.pareto import DesignPoint
@@ -284,7 +285,8 @@ def _run_sweep(params: dict, cache, store, progress,
         _checkpoint(cancel_event)
         wave = pending[base:base + SWEEP_WAVE]
         fresh = run_points(factory, library, [grid[i] for i in wave],
-                           options=options, jobs=1, cache=cache)
+                           options=options, jobs=1, cache=cache,
+                           tracer=tracer)
         for idx, result in zip(wave, fresh):
             results[idx] = result
             if store is not None:
@@ -306,7 +308,7 @@ def _run_sweep(params: dict, cache, store, progress,
 
 
 def _run_tune(params: dict, cache, store, progress,
-              cancel_event) -> Tuple[bool, dict, dict]:
+              cancel_event, tracer) -> Tuple[bool, dict, dict]:
     from repro.dse import DesignSpace, Goal, GoalError, tune
 
     factory, _ = _region_factory(params)
@@ -325,7 +327,7 @@ def _run_tune(params: dict, cache, store, progress,
         progress({"phase": "tune", "grid_size": space.size})
     report = tune(factory, library, goal, space=space,
                   strategy=params["strategy"], cache=cache, store=store,
-                  jobs=1)
+                  jobs=1, tracer=tracer)
     _checkpoint(cancel_event)
     summary = report.summary()
     summary.pop("elapsed_s", None)  # keep the payload deterministic
@@ -335,27 +337,33 @@ def _run_tune(params: dict, cache, store, progress,
 
 
 def _run_stream(params: dict, cache, progress,
-                cancel_event) -> Tuple[bool, dict, dict]:
+                cancel_event, tracer) -> Tuple[bool, dict, dict]:
     from repro.dataflow import (
         compile_pipeline,
         simulate_pipeline_machine,
         simulate_pipeline_reference,
     )
+    from repro.obs.trace import maybe_span
 
     library = _library(params["library"])
     factory = PIPELINE_REGISTRY[params["pipeline"]]
     _checkpoint(cancel_event)
     if progress is not None:
         progress({"phase": "compose"})
-    composed = compile_pipeline(factory(), library,
-                                clock_ps=params["clock_ps"], cache=cache)
+    with maybe_span(tracer, "stream.compose",
+                    pipeline=params["pipeline"]):
+        composed = compile_pipeline(factory(), library,
+                                    clock_ps=params["clock_ps"],
+                                    cache=cache)
     _checkpoint(cancel_event)
     if progress is not None:
         progress({"phase": "simulate"})
-    inputs = PIPELINE_INPUTS.get(params["pipeline"], dict)()
-    oracle = simulate_pipeline_reference(factory(), inputs)
-    machine = simulate_pipeline_machine(composed, inputs)
-    verified = machine.outputs == oracle.outputs
+    with maybe_span(tracer, "stream.simulate",
+                    pipeline=params["pipeline"]):
+        inputs = PIPELINE_INPUTS.get(params["pipeline"], dict)()
+        oracle = simulate_pipeline_reference(factory(), inputs)
+        machine = simulate_pipeline_machine(composed, inputs)
+        verified = machine.outputs == oracle.outputs
     summary = composed.summary()
     summary["cycles"] = machine.cycles
     summary["stalled_cycles"] = machine.stalled_cycles
@@ -367,7 +375,8 @@ def execute_job(kind: str, params: dict,
                 cache: Optional[FlowCache] = None,
                 store=None,
                 progress: Optional[Callable[[dict], None]] = None,
-                cancel_event=None) -> Tuple[bool, dict, dict]:
+                cancel_event=None,
+                tracer=None) -> Tuple[bool, dict, dict]:
     """Run one normalized job; returns ``(ok, result, stats)``.
 
     ``result`` is deterministic (dedup identity is asserted on it);
@@ -377,14 +386,22 @@ def execute_job(kind: str, params: dict,
     ``ok`` means the work ran but failed on its own terms (infeasible
     schedule, unsatisfied goal, simulation mismatch); ``result`` then
     carries the diagnostic payload.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) records the job's
+    spans; like ``progress``, it observes and never steers -- results
+    are bit-identical traced or not.
     """
     _checkpoint(cancel_event)
     if kind == "schedule":
-        return _run_schedule(params, cache, progress, cancel_event)
+        return _run_schedule(params, cache, progress, cancel_event,
+                             tracer)
     if kind == "sweep":
-        return _run_sweep(params, cache, store, progress, cancel_event)
+        return _run_sweep(params, cache, store, progress, cancel_event,
+                          tracer)
     if kind == "tune":
-        return _run_tune(params, cache, store, progress, cancel_event)
+        return _run_tune(params, cache, store, progress, cancel_event,
+                         tracer)
     if kind == "stream":
-        return _run_stream(params, cache, progress, cancel_event)
+        return _run_stream(params, cache, progress, cancel_event,
+                           tracer)
     raise JobError(f"unknown job kind {kind!r}")

@@ -89,6 +89,10 @@ class Job:
         #: nondeterministic accounting (wall times, cache traffic);
         #: deliberately outside ``result`` so dedup identity holds.
         self.stats: dict = {}
+        #: structured span dicts recorded while the execution ran
+        #: (``repro.obs.trace``); like ``stats``, observability data is
+        #: kept outside ``result`` so dedup identity holds.
+        self.trace: Optional[List[dict]] = None
 
     def status(self) -> dict:
         """The JSON the status endpoint serves."""
@@ -126,6 +130,7 @@ class Execution:
         self.cancel_event = threading.Event()
         self.result: Optional[dict] = None
         self.error: Optional[dict] = None
+        self.trace: Optional[List[dict]] = None
         #: pid of the worker process currently running this execution
         #: (fault-injection tests target it; None when inline/queued).
         self.worker_pid: Optional[int] = None
@@ -188,6 +193,7 @@ class JobQueue:
                 job.state = DONE
                 job.started_at = job.finished_at = time.time()
                 job.result = existing.result
+                job.trace = existing.trace
             else:
                 execution = Execution(kind, params, key, priority)
                 execution.jobs.append(job)
@@ -234,7 +240,8 @@ class JobQueue:
     def finish(self, execution: Execution, ok: bool,
                result: Optional[dict] = None,
                error: Optional[dict] = None,
-               stats: Optional[dict] = None) -> None:
+               stats: Optional[dict] = None,
+               trace: Optional[List[dict]] = None) -> None:
         """Terminal transition; propagates to every subscribed job."""
         with self._cond:
             if execution.state in TERMINAL:
@@ -242,6 +249,7 @@ class JobQueue:
             execution.state = DONE if ok else FAILED
             execution.result = result
             execution.error = error
+            execution.trace = trace
             execution.worker_pid = None
             now = time.time()
             for job in execution.jobs:
@@ -249,6 +257,7 @@ class JobQueue:
                 job.finished_at = now
                 job.result = result
                 job.error = error
+                job.trace = trace
                 if stats:
                     job.stats.update(stats)
             self._cond.notify_all()

@@ -12,13 +12,25 @@ Endpoints (all JSON)::
                                                  404 unknown
     DELETE /jobs/<id>        cancel           -> 200 (409 if terminal,
                                                  404 unknown)
+    GET    /jobs/<id>/trace  Chrome trace_event JSON of the job's
+                             spans -> 200 terminal-with-trace
+                                      202 queued/running
+                                      410 cancelled
+                                      404 unknown / tracing disabled
     GET    /healthz          liveness + degradation flag
-    GET    /stats            queue depth, dedup hits, cache hit rate,
-                             served jobs/sec, per-state job counts
+    GET    /stats            queue depth, dedup hits, cache + store
+                             hit rates, per-kind job latency
+                             percentiles, served jobs/sec,
+                             per-state job counts
+    GET    /metrics          the metrics registry in Prometheus text
+                             exposition format
 
 The result-status mapping mirrors the CLI exit codes (0 -> 200,
 infeasible/failed -> 500, bad input -> 400), so a shell pipeline and an
 HTTP client observe the same failure taxonomy -- see docs/SERVICE.md.
+Error bodies carry the same ``{"error": {code, reason, message}}``
+object the CLI prints with ``--json``: ``code`` is the CLI exit code
+the condition maps to, ``reason`` a stable machine-readable slug.
 
 Built on stdlib ``http.server.ThreadingHTTPServer``: one thread per
 connection in front of the engine's own worker pool; no new
@@ -34,6 +46,8 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import spans_to_chrome
 from repro.service.engine import JobEngine
 from repro.service.jobs import (
     CANCELLED,
@@ -46,6 +60,16 @@ from repro.service.jobs import (
 
 #: request body size cap (sources are small; grids are tiny JSON).
 MAX_BODY = 1 << 20
+
+#: HTTP status -> (CLI exit code, reason slug) for error bodies; the
+#: same taxonomy ``repro --json`` renders on stderr (EXIT_BAD_INPUT=3,
+#: EXIT_FAILED=1).
+ERROR_TAXONOMY = {
+    400: (3, "bad-input"),
+    404: (3, "not-found"),
+    409: (1, "conflict"),
+    410: (1, "cancelled"),
+}
 
 
 class _Server(ThreadingHTTPServer):
@@ -82,8 +106,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, code: int, message: str, **extra) -> None:
-        self._send(code, {"error": dict(extra, message=message)})
+    def _error_body(self, status: int, message: str, **extra) -> dict:
+        """The ``{"error": {code, reason, message}}`` object for one
+        HTTP status, per :data:`ERROR_TAXONOMY`."""
+        code, reason = ERROR_TAXONOMY.get(status, (1, "failed"))
+        return {"error": dict(extra, code=code, reason=reason,
+                              message=message)}
+
+    def _error(self, status: int, message: str, **extra) -> None:
+        self._send(status, self._error_body(status, message, **extra))
+
+    def _send_text(self, code: int, body: str,
+                   content_type: str) -> None:
+        raw = body.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -98,14 +138,17 @@ class _Handler(BaseHTTPRequestHandler):
             raise JobError("request body must be a JSON object")
         return payload
 
-    def _job_path(self) -> Optional[Tuple[str, bool]]:
-        """``/jobs/<id>[/result]`` -> (id, wants_result); else None."""
+    def _job_path(self) -> Optional[Tuple[str, str]]:
+        """``/jobs/<id>[/result|/trace]`` -> (id, view); else None.
+
+        ``view`` is ``"status"``, ``"result"`` or ``"trace"``.
+        """
         parts = [p for p in self.path.split("?")[0].split("/") if p]
         if len(parts) == 2 and parts[0] == "jobs":
-            return parts[1], False
+            return parts[1], "status"
         if len(parts) == 3 and parts[0] == "jobs" \
-                and parts[2] == "result":
-            return parts[1], True
+                and parts[2] in ("result", "trace"):
+            return parts[1], parts[2]
         return None
 
     # -- routes --------------------------------------------------------
@@ -133,15 +176,19 @@ class _Handler(BaseHTTPRequestHandler):
             return self._send(200, self.engine.healthz())
         if path == "/stats":
             return self._send(200, self.engine.stats())
+        if path == "/metrics":
+            return self._metrics()
         target = self._job_path()
         if target is None:
             return self._error(404, f"no such endpoint {self.path!r}")
-        job_id, wants_result = target
+        job_id, view = target
         job = self.engine.queue.get(job_id)
         if job is None:
             return self._error(404, f"unknown job {job_id!r}")
-        if not wants_result:
+        if view == "status":
             return self._send(200, job.status())
+        if view == "trace":
+            return self._trace(job)
         if job.state == DONE:
             return self._send(200, {"id": job.id, "state": job.state,
                                     "result": job.result,
@@ -149,13 +196,51 @@ class _Handler(BaseHTTPRequestHandler):
         if job.state in (QUEUED, RUNNING):
             return self._send(202, job.status())
         if job.state == CANCELLED:
-            return self._send(410, job.status())
+            payload = job.status()
+            payload.update(self._error_body(
+                410, f"job {job.id} was cancelled"))
+            return self._send(410, payload)
         # FAILED: the error record is the payload
         return self._send(500, job.status())
 
+    def _metrics(self) -> None:
+        """``/metrics``: the registry + engine gauges as Prometheus
+        text exposition (scrape-ready, no JSON wrapper)."""
+        stats = self.engine.stats()
+        extra = {
+            "service.queue_depth": stats["queue_depth"],
+            "service.jobs_running": stats["running"],
+            "service.uptime_seconds": stats["uptime_s"],
+            "service.workers": stats["workers"],
+            "service.degraded": 1.0 if stats["degraded"] else 0.0,
+            "service.cache_hit_rate": stats["cache_hit_rate"],
+            "service.store_hit_rate": stats["store_hit_rate"],
+        }
+        for counter in ("submitted", "completed", "failed", "cancelled",
+                        "retries", "worker_crashes", "timeouts"):
+            extra[f"service.jobs_{counter}"] = stats[counter]
+        extra["service.dedup_hits"] = stats["dedup_hits"]
+        body = REGISTRY.render_prometheus(extra_gauges=extra)
+        self._send_text(200, body, "text/plain; version=0.0.4")
+
+    def _trace(self, job) -> None:
+        """``/jobs/<id>/trace``: the job's spans as a Chrome trace."""
+        if job.state in (QUEUED, RUNNING):
+            return self._send(202, job.status())
+        if job.state == CANCELLED:
+            payload = job.status()
+            payload.update(self._error_body(
+                410, f"job {job.id} was cancelled"))
+            return self._send(410, payload)
+        if job.trace is None:
+            return self._error(
+                404, f"no trace recorded for job {job.id} "
+                     "(tracing disabled on this engine)")
+        return self._send(200, spans_to_chrome(job.trace))
+
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
         target = self._job_path()
-        if target is None or target[1]:
+        if target is None or target[1] != "status":
             return self._error(404, f"no such endpoint {self.path!r}")
         job_id = target[0]
         job = self.engine.queue.get(job_id)
@@ -164,7 +249,10 @@ class _Handler(BaseHTTPRequestHandler):
         was_terminal = job.state in (DONE, FAILED, CANCELLED)
         job = self.engine.cancel(job_id)
         if was_terminal:
-            return self._send(409, job.status())
+            payload = job.status()
+            payload.update(self._error_body(
+                409, f"job {job.id} is already {job.state}"))
+            return self._send(409, payload)
         return self._send(200, job.status())
 
 

@@ -16,6 +16,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.cdfg import RegionBuilder
 from repro.core import ScheduleError, SchedulerOptions, schedule_region
+from repro.obs.trace import Tracer
 from repro.tech import artisan90
 from repro.workloads import WORKLOAD_REGISTRY
 from repro.workloads.synthetic import industrial_suite
@@ -99,6 +100,36 @@ def test_relaxation_race_bit_identical_on_industrial_design():
     serial = _schedule(_industrial(3)[1], jobs=1)
     raced = _schedule(_industrial(3)[1], jobs=2)
     assert fingerprint(raced) == fingerprint(serial)
+
+
+@pytest.mark.parametrize("name", PAPER_WORKLOADS)
+def test_tracing_bit_identical_on_paper_examples(name):
+    """Tracing observes, it never steers: a traced schedule must
+    fingerprint-equal the untraced one, while actually recording the
+    relaxation loop (the decision-neutrality half of the obs layer's
+    contract; the overhead half lives in benchmarks)."""
+    plain = _schedule(WORKLOAD_REGISTRY[name]())
+    tracer = Tracer()
+    traced = schedule_region(WORKLOAD_REGISTRY[name](), LIB, CLOCK,
+                             tracer=tracer)
+    assert fingerprint(traced) == fingerprint(plain)
+    spans = tracer.export()
+    assert spans and all(s["name"] == "scheduler.pass" for s in spans)
+    # the last pass is the accepting one and records its decision
+    assert spans[-1]["attrs"].get("success") is True
+
+
+def test_tracing_bit_identical_with_relaxation_race():
+    """Traced + raced: worker branch spans come home over the race
+    return channel and the schedule stays bit-identical."""
+    serial = _schedule(_industrial(3)[1], jobs=1)
+    tracer = Tracer()
+    traced = schedule_region(
+        _industrial(3)[1], LIB, CLOCK,
+        options=SchedulerOptions(jobs=2), tracer=tracer)
+    assert fingerprint(traced) == fingerprint(serial)
+    names = [s["name"] for s in tracer.export()]
+    assert "scheduler.race_branch" in names
 
 
 def _random_region(seed: int, n_ops: int):

@@ -1,0 +1,118 @@
+"""The metrics registry: counters, gauges, histograms, merge, render."""
+
+import pytest
+
+from repro import profiling
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    REGISTRY,
+)
+
+
+def test_counters_and_gauges():
+    reg = MetricsRegistry()
+    reg.inc("pass.count")
+    reg.inc("pass.count", 4)
+    reg.set_gauge("sweep.worker_utilization", 0.75)
+    reg.set_gauge("sweep.worker_utilization", 0.5)  # latest wins
+    assert reg.counters["pass.count"] == 5
+    assert reg.gauges() == {"sweep.worker_utilization": 0.5}
+
+
+def test_histogram_percentiles_and_summary():
+    reg = MetricsRegistry()
+    for value in (0.002, 0.002, 0.02, 0.02, 0.2, 2.0):
+        reg.observe("job_seconds", value)
+    summary = reg.histogram_summaries()["job_seconds"]
+    assert summary["count"] == 6
+    assert summary["sum"] == pytest.approx(2.244)
+    assert 0.0 < summary["p50"] <= 0.05
+    assert summary["p99"] <= DEFAULT_LATENCY_BUCKETS[-1]
+    # the overflow bucket pins to the largest finite edge
+    reg.observe("job_seconds", 10_000.0)
+    assert reg.percentile("job_seconds", 99.9) \
+        == DEFAULT_LATENCY_BUCKETS[-1]
+
+
+def test_percentile_of_absent_or_empty():
+    reg = MetricsRegistry()
+    assert reg.percentile("nope", 50) == 0.0
+
+
+def test_custom_buckets_fixed_at_first_observe():
+    reg = MetricsRegistry()
+    reg.observe("sizes", 3, buckets=(1, 5, 10))
+    reg.observe("sizes", 7, buckets=(2, 4))  # ignored: edges are fixed
+    snap = reg.snapshot()
+    assert snap["histograms"]["sizes"]["edges"] == [1.0, 5.0, 10.0]
+    assert snap["histograms"]["sizes"]["count"] == 2
+
+
+def test_bad_bucket_edges_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.observe("x", 1.0, buckets=(5, 1))
+
+
+def test_snapshot_merge_adds_counts():
+    parent, worker = MetricsRegistry(), MetricsRegistry()
+    parent.inc("a", 2)
+    parent.observe("lat", 0.01)
+    worker.inc("a", 3)
+    worker.inc("b")
+    worker.observe("lat", 0.5)
+    worker.set_gauge("g", 7)
+    parent.merge(worker.snapshot())
+    assert parent.counters == {"a": 5, "b": 1}
+    assert parent.gauges()["g"] == 7.0
+    assert parent.histogram_summaries()["lat"]["count"] == 2
+
+
+def test_merge_mismatched_edges_drops_incoming():
+    parent, worker = MetricsRegistry(), MetricsRegistry()
+    parent.observe("lat", 0.01, buckets=(1, 2))
+    worker.observe("lat", 0.5, buckets=(3, 4))
+    parent.merge(worker.snapshot())
+    assert parent.histogram_summaries()["lat"]["count"] == 1
+
+
+def test_reset_clears_counter_dict_in_place():
+    reg = MetricsRegistry()
+    alias = reg.counters  # the profiling shim holds such a reference
+    reg.inc("a")
+    reg.observe("h", 1.0)
+    reg.set_gauge("g", 1)
+    reg.reset()
+    assert alias == {} and reg.counters is alias
+    assert reg.gauges() == {} and reg.histogram_summaries() == {}
+
+
+def test_render_prometheus_text():
+    reg = MetricsRegistry()
+    reg.inc("pass.count", 3)
+    reg.set_gauge("sweep.worker_utilization", 0.5)
+    reg.observe("job_seconds", 0.3, buckets=(0.1, 1.0))
+    text = reg.render_prometheus(extra_gauges={"queue.depth": 2})
+    assert "# TYPE pass_count_total counter" in text
+    assert "pass_count_total 3" in text
+    assert "sweep_worker_utilization 0.5" in text
+    assert "queue_depth 2" in text
+    assert '# TYPE job_seconds histogram' in text
+    assert 'job_seconds_bucket{le="0.1"} 0' in text
+    assert 'job_seconds_bucket{le="1"} 1' in text
+    assert 'job_seconds_bucket{le="+Inf"} 1' in text
+    assert "job_seconds_sum 0.3" in text
+    assert "job_seconds_count 1" in text
+
+
+def test_profiling_shim_aliases_global_registry():
+    """``repro.profiling`` is now a veneer over the registry: the
+    counter table is the *same dict*, and reset preserves the alias."""
+    profiling.reset()
+    assert profiling.counters is REGISTRY.counters
+    profiling.bump("x.y", 2)
+    assert REGISTRY.counters["x.y"] == 2
+    profiling.reset()
+    assert profiling.counters is REGISTRY.counters
+    assert "x.y" not in REGISTRY.counters

@@ -1,0 +1,144 @@
+"""The tracer: nesting, absorb re-parenting, both export formats."""
+
+import json
+import os
+import threading
+
+from repro.obs.trace import TRACE_SCHEMA, Tracer, maybe_span, \
+    spans_to_chrome
+
+
+def test_nesting_parents_per_thread():
+    tracer = Tracer()
+    with tracer.span("outer", depth=0):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner"):
+            pass
+    spans = tracer.export()
+    # completion order: inner, inner, outer
+    assert [s["name"] for s in spans] == ["inner", "inner", "outer"]
+    outer = spans[-1]
+    assert outer["parent"] is None
+    assert outer["attrs"] == {"depth": 0}
+    assert all(s["parent"] == outer["id"] for s in spans[:2])
+    assert all(s["pid"] == os.getpid() for s in spans)
+
+
+def test_span_attrs_settable_while_open():
+    tracer = Tracer()
+    with tracer.span("work") as span:
+        span.set("outcome", "accepted")
+    assert tracer.export()[0]["attrs"]["outcome"] == "accepted"
+
+
+def test_span_records_even_when_body_raises():
+    tracer = Tracer()
+    try:
+        with tracer.span("failing"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert len(tracer) == 1
+    # and the nesting stack unwound: a new root really is a root
+    with tracer.span("after"):
+        pass
+    assert tracer.export()[-1]["parent"] is None
+
+
+def test_threads_nest_independently():
+    tracer = Tracer()
+
+    def worker():
+        with tracer.span("thread_root"):
+            pass
+
+    with tracer.span("main_root"):
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    roots = [s for s in tracer.export() if s["parent"] is None]
+    assert {s["name"] for s in roots} == {"thread_root", "main_root"}
+
+
+def test_absorb_remaps_and_reparents():
+    """Worker span ids (each worker counts from 1) come home remapped
+    into the parent's id space, roots hung under the open span."""
+    worker_a, worker_b = Tracer(), Tracer()
+    with worker_a.span("point"):
+        with worker_a.span("pass"):
+            pass
+    with worker_b.span("point"):
+        pass
+    parent = Tracer()
+    with parent.span("dispatch") as dispatch:
+        parent.absorb(worker_a.export())
+        parent.absorb(worker_b.export())
+        dispatch_id = dispatch.span_id
+    spans = {s["id"]: s for s in parent.export()}
+    assert len(spans) == 4  # ids unique despite both workers using 1..
+    points = [s for s in spans.values() if s["name"] == "point"]
+    assert all(s["parent"] == dispatch_id for s in points)
+    (inner,) = [s for s in spans.values() if s["name"] == "pass"]
+    assert spans[inner["parent"]]["name"] == "point"
+
+
+def test_absorb_preserves_worker_pid():
+    worker = Tracer()
+    with worker.span("remote"):
+        pass
+    exported = worker.export()
+    exported[0]["pid"] = 12345  # as if from another process
+    parent = Tracer()
+    parent.absorb(exported)
+    assert parent.export()[0]["pid"] == 12345
+
+
+def test_jsonl_export_roundtrips():
+    tracer = Tracer()
+    with tracer.span("a", k=1):
+        pass
+    lines = tracer.to_jsonl().splitlines()
+    assert json.loads(lines[0]) == {"trace_schema": TRACE_SCHEMA}
+    span = json.loads(lines[1])
+    assert span["name"] == "a" and span["attrs"] == {"k": 1}
+
+
+def test_chrome_export_shape():
+    tracer = Tracer()
+    with tracer.span("flow.pass", outcome="computed"):
+        pass
+    doc = tracer.to_chrome()
+    (event,) = doc["traceEvents"]
+    assert event["ph"] == "X" and event["cat"] == "flow"
+    assert event["args"]["outcome"] == "computed"
+    assert event["args"]["span_id"] == 1
+    assert event["dur"] >= 0 and event["ts"] > 1e15  # microseconds
+    assert doc["otherData"]["trace_schema"] == TRACE_SCHEMA
+    # the module-level renderer serves stored span lists identically
+    assert spans_to_chrome(tracer.export()) == doc
+
+
+def test_write_picks_format_by_extension(tmp_path):
+    tracer = Tracer()
+    with tracer.span("x"):
+        pass
+    jsonl = tmp_path / "t.jsonl"
+    chrome = tmp_path / "t.json"
+    tracer.write(str(jsonl))
+    tracer.write(str(chrome))
+    assert "trace_schema" in jsonl.read_text().splitlines()[0]
+    assert "traceEvents" in json.loads(chrome.read_text())
+
+
+def test_maybe_span_none_tracer_is_noop():
+    with maybe_span(None, "anything", k=1) as span:
+        assert span is None
+
+
+def test_maybe_span_name_positional_only():
+    """Callers pass ``name=`` as a span *attribute* (flow passes do)."""
+    tracer = Tracer()
+    with maybe_span(tracer, "flow.pass", name="schedule"):
+        pass
+    assert tracer.export()[0]["attrs"] == {"name": "schedule"}

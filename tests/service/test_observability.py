@@ -1,0 +1,227 @@
+"""Service telemetry: /metrics, /jobs/<id>/trace, /stats schema, and
+the ``{"error": {code, reason, message}}`` taxonomy on error bodies."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.service import JobEngine, ReproService, ServiceClient
+from repro.service.client import ServiceError
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+
+
+def _error_of(err: ServiceError) -> dict:
+    error = err.payload.get("error")
+    assert isinstance(error, dict), err.payload
+    return error
+
+
+# ----------------------------------------------------------------------
+# error taxonomy: every error body carries {code, reason, message}
+# ----------------------------------------------------------------------
+def test_400_bad_submission_body(service):
+    _, client = service
+    with pytest.raises(ServiceError) as exc:
+        client.submit("schedule", workload="no-such-kernel")
+    assert exc.value.status == 400
+    error = _error_of(exc.value)
+    assert error["code"] == 3 and error["reason"] == "bad-input"
+    assert "no-such-kernel" in error["message"]
+
+
+def test_404_unknown_job_and_endpoint(service):
+    _, client = service
+    for path_err in ("status", "result", "trace"):
+        with pytest.raises(ServiceError) as exc:
+            getattr(client, path_err if path_err != "status"
+                    else "status")("nonexistent")
+        assert exc.value.status == 404
+        error = _error_of(exc.value)
+        assert error["code"] == 3 and error["reason"] == "not-found"
+        assert "message" in error
+
+
+def test_409_cancel_terminal_job(service):
+    _, client = service
+    job = client.submit("schedule", workload="fir", clock_ps=1600)
+    client.wait(job["id"], timeout=60)
+    with pytest.raises(ServiceError) as exc:
+        client.cancel(job["id"])
+    assert exc.value.status == 409
+    error = _error_of(exc.value)
+    assert error["code"] == 1 and error["reason"] == "conflict"
+    # the body still carries the job status alongside the error
+    assert exc.value.payload["state"] == "done"
+
+
+def test_410_cancelled_job_result_and_trace(service):
+    svc, client = service
+    # saturate the workers so the target stays queued
+    blockers = [client.submit("sweep", workload="adpcm",
+                              clocks_ps=",".join(str(900 + i * 3 + j)
+                                                 for i in range(30)),
+                              latencies="12")
+                for j in range(2)]
+    target = client.submit("schedule", workload="fft8", clock_ps=1600)
+    client.cancel(target["id"])
+    for fetch in (client.result, client.trace):
+        with pytest.raises(ServiceError) as exc:
+            fetch(target["id"])
+        assert exc.value.status == 410
+        error = _error_of(exc.value)
+        assert error["code"] == 1 and error["reason"] == "cancelled"
+    for b in blockers:
+        try:
+            client.cancel(b["id"])
+        except ServiceError:
+            pass
+    svc.engine.queue.wait(blockers[-1]["id"], timeout=60)
+
+
+# ----------------------------------------------------------------------
+# /stats schema
+# ----------------------------------------------------------------------
+def test_stats_schema(service):
+    _, client = service
+    job = client.submit("schedule", workload="fir", clock_ps=1600)
+    client.wait(job["id"], timeout=60)
+    stats = client.stats()
+    # scalar counters/rates the dashboard scrapes
+    for key in ("submitted", "completed", "failed", "cancelled",
+                "retries", "worker_crashes", "timeouts",
+                "cache_hits", "cache_misses", "store_hits",
+                "store_misses", "queue_depth", "running",
+                "dedup_hits", "served_jobs", "workers"):
+        assert isinstance(stats[key], int), key
+    for key in ("cache_hit_rate", "store_hit_rate", "jobs_per_sec",
+                "uptime_s"):
+        assert isinstance(stats[key], float), key
+        assert stats[key] >= 0.0
+    assert 0.0 <= stats["cache_hit_rate"] <= 1.0
+    assert 0.0 <= stats["store_hit_rate"] <= 1.0
+    assert isinstance(stats["degraded"], bool)
+    assert stats["mode"] in ("process", "inline")
+    assert set(stats["jobs"]) == {"queued", "running", "done",
+                                  "failed", "cancelled"}
+    assert set(stats["store"]) == {"entries", "skipped_lines"}
+    # per-kind latency percentiles come from the metrics registry
+    latency = stats["job_latency"]
+    assert "schedule" in latency
+    entry = latency["schedule"]
+    assert set(entry) == {"count", "mean_s", "p50_s", "p90_s", "p99_s"}
+    assert entry["count"] >= 1
+    assert entry["p50_s"] <= entry["p90_s"] <= entry["p99_s"]
+
+
+def test_stats_store_hit_rate_counts_warm_tune(tmp_path):
+    """Two identical tune jobs: the second is served from the result
+    store, which /stats surfaces as a nonzero store hit rate."""
+    eng = JobEngine(workers=1, mode="inline",
+                    store_path=str(tmp_path / "store.jsonl"))
+    body = dict(workload="fir", clocks_ps="1600,2400", latencies="3,4",
+                objective="area", delay_ps=9000.0, strategy="greedy")
+    with eng:
+        first = eng.submit("tune", body)
+        eng.wait(first.id, timeout=60)
+        # same params dedup against the DONE execution; vary priority
+        # is not enough -- resubmit with a fresh delay to force work
+        body2 = dict(body, delay_ps=9100.0)
+        second = eng.submit("tune", body2)
+        eng.wait(second.id, timeout=60)
+        stats = eng.stats()
+    assert stats["store_hits"] > 0
+    assert stats["store_hit_rate"] > 0.0
+
+
+# ----------------------------------------------------------------------
+# /metrics
+# ----------------------------------------------------------------------
+def test_metrics_prometheus_exposition(service):
+    _, client = service
+    job = client.submit("schedule", workload="fir", clock_ps=1600)
+    client.wait(job["id"], timeout=60)
+    text = client.metrics()
+    assert "# TYPE service_job_seconds_schedule histogram" in text
+    assert 'service_job_seconds_schedule_bucket{le="+Inf"} ' in text
+    assert "service_job_seconds_schedule_count " in text
+    for gauge in ("service_queue_depth", "service_jobs_running",
+                  "service_uptime_seconds", "service_workers",
+                  "service_degraded", "service_cache_hit_rate",
+                  "service_store_hit_rate", "service_jobs_submitted",
+                  "service_jobs_completed", "service_dedup_hits"):
+        assert f"\n{gauge} " in text or text.startswith(f"{gauge} "), \
+            gauge
+    # exposition-format sanity: every non-comment line is "name value"
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        assert name and (value == "+Inf" or float(value) is not None)
+
+
+# ----------------------------------------------------------------------
+# /jobs/<id>/trace
+# ----------------------------------------------------------------------
+def test_trace_endpoint_serves_chrome_trace(service):
+    _, client = service
+    job = client.submit("schedule", workload="fir", clock_ps=1600)
+    client.wait(job["id"], timeout=60)
+    doc = client.trace(job["id"])
+    events = doc["traceEvents"]
+    assert events and all(e["ph"] == "X" for e in events)
+    names = {e["name"] for e in events}
+    assert {"service.job", "flow.run", "scheduler.pass"} <= names
+    (root,) = [e for e in events if e["name"] == "service.job"]
+    assert root["args"]["kind"] == "schedule"
+    assert root["args"]["ok"] is True
+
+
+def test_trace_collected_across_process_boundary(tmp_path):
+    """Process-mode jobs run in a forked worker; the trace served by
+    the parent must carry the *worker's* pid -- the spans crossed the
+    pipe inside the done message."""
+    svc = ReproService(port=0, workers=1, mode="process",
+                       job_timeout_s=60.0)
+    with svc:
+        client = ServiceClient(svc.url)
+        job = client.submit("schedule", workload="fir", clock_ps=1600)
+        client.wait(job["id"], timeout=60)
+        events = client.trace(job["id"])["traceEvents"]
+    assert events
+    assert all(e["pid"] != os.getpid() for e in events)
+
+
+def test_trace_dedup_subscriber_shares_trace(service):
+    _, client = service
+    body = dict(workload="fir", clocks_ps="1600,2400", latencies="3,4")
+    first = client.submit("sweep", **body)
+    client.wait(first["id"], timeout=60)
+    second = client.submit("sweep", **body)  # served from DONE
+    assert client.trace(second["id"]) == client.trace(first["id"])
+
+
+def test_trace_disabled_engine_404s(tmp_path):
+    svc = ReproService(port=0, workers=1, mode="inline",
+                       trace_jobs=False)
+    with svc:
+        client = ServiceClient(svc.url)
+        job = client.submit("schedule", workload="fir", clock_ps=1600)
+        client.wait(job["id"], timeout=60)
+        assert "schedule" in client.result(job["id"])["result"]
+        with pytest.raises(ServiceError) as exc:
+            client.trace(job["id"])
+    assert exc.value.status == 404
+    assert _error_of(exc.value)["reason"] == "not-found"
+
+
+def test_trace_never_leaks_into_result_payload(service):
+    _, client = service
+    job = client.submit("schedule", workload="fir", clock_ps=1600)
+    client.wait(job["id"], timeout=60)
+    payload = client.result(job["id"])
+    assert "spans" not in payload["stats"]
+    assert "registry" not in payload["stats"]

@@ -1,0 +1,95 @@
+"""CLI observability surface: ``repro trace``, ``--trace FILE`` on
+schedule/sweep/tune, and ``profile --json`` registry parity."""
+
+import json
+
+from repro.cli import main
+from repro.obs.metrics import REGISTRY
+
+
+def _chrome_events(path):
+    doc = json.loads(path.read_text())
+    assert doc["otherData"]["trace_schema"] == 1
+    return doc["traceEvents"]
+
+
+def test_trace_subcommand_writes_and_summarizes(tmp_path, capsys,
+                                                monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["trace", "fir", "--clock", "1000", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["output"] == "fir.trace.json"
+    assert data["failed"] is False
+    assert data["spans"] >= 5
+    for name in ("flow.run", "flow.pass", "scheduler.pass"):
+        assert data["by_name"][name]["count"] >= 1
+    names = {e["name"]
+             for e in _chrome_events(tmp_path / "fir.trace.json")}
+    assert {"flow.run", "flow.pass", "scheduler.pass"} <= names
+
+
+def test_trace_subcommand_table_output(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["trace", "example1"]) == 0
+    out = capsys.readouterr().out
+    assert "scheduler.pass" in out and "wrote example1.trace.json" in out
+
+
+def test_schedule_trace_flag_decisions_identical(tmp_path, capsys):
+    plain = main(["schedule", "fir", "--json"])
+    assert plain == 0
+    untraced = json.loads(capsys.readouterr().out)
+    trace_file = tmp_path / "fir.jsonl"
+    assert main(["schedule", "fir", "--json",
+                 "--trace", str(trace_file)]) == 0
+    traced = json.loads(capsys.readouterr().out)
+    assert traced == untraced  # tracing observes, never steers
+    lines = trace_file.read_text().splitlines()
+    assert json.loads(lines[0]) == {"trace_schema": 1}
+    assert any(json.loads(l)["name"] == "scheduler.pass"
+               for l in lines[1:])
+
+
+def test_sweep_trace_flag_spans_every_point(tmp_path, capsys):
+    trace_file = tmp_path / "sweep.json"
+    assert main(["sweep", "fir", "--clocks", "1600,2400",
+                 "--latencies", "3,4", "--json",
+                 "--trace", str(trace_file)]) == 0
+    events = _chrome_events(trace_file)
+    points = [e for e in events if e["name"] == "sweep.point"]
+    assert len(points) == 4
+    assert any(e["name"] == "sweep.run" for e in events)
+
+
+def test_tune_trace_flag_records_waves(tmp_path, capsys):
+    trace_file = tmp_path / "tune.json"
+    assert main(["tune", "fir", "--delay-ps", "9000",
+                 "--clocks", "1600,2400", "--latencies", "3,4",
+                 "--json", "--trace", str(trace_file)]) == 0
+    events = _chrome_events(trace_file)
+    assert any(e["name"] == "dse.wave" for e in events)
+    assert any(e["name"] == "sweep.point" for e in events)
+
+
+def test_profile_json_matches_registry_snapshot(capsys):
+    assert main(["profile", "fir", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    snap = REGISTRY.snapshot()
+    # counters: same table the registry holds after the run
+    assert data["counters"] == dict(sorted(snap["counters"].items()))
+    assert data["counters"].get("pass.count", 0) >= 1
+    # gauges + histogram summaries ride along for parity
+    assert data["gauges"] == snap["gauges"]
+    assert set(data["histograms"]) == set(snap["histograms"])
+    for summary in data["histograms"].values():
+        assert {"count", "sum", "mean", "p50", "p90", "p99"} \
+            <= set(summary)
+
+
+def test_profile_sweep_json_carries_registry_view(capsys):
+    assert main(["profile", "fir", "--sweep", "--clocks", "1600,2400",
+                 "--latencies", "3,4", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert "gauges" in data and "histograms" in data
+    assert data["gauges"].get("sweep.last_points") == 4.0
+    assert "sweep.elapsed_seconds" in data["histograms"]

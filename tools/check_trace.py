@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Validate a trace file written by ``repro.obs`` (CI gate).
+
+Accepts either export format -- Chrome ``trace_event`` JSON or the
+``.jsonl`` line format -- and checks the structural invariants the
+observability layer guarantees:
+
+* the schema stamp is present and matches ``TRACE_SCHEMA``;
+* every event/span carries name, id, pid, tid, a non-negative
+  duration and a plausible epoch timestamp;
+* every non-null parent id refers to a span in the same trace (the
+  cross-process ``absorb`` remap left no dangling edges);
+* span ids are unique.
+
+Usage::
+
+    python tools/check_trace.py TRACE [--min-spans N] [--min-pids N]
+           [--expect-span NAME ...]
+
+``--min-pids 2`` asserts cross-process collection actually happened
+(worker spans came home over the merge-back channels); ``--expect-span
+scheduler.pass`` asserts a layer is represented.  Exit 0 on a valid
+trace, 1 with a diagnostic otherwise.  Dependency-free by design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.trace import TRACE_SCHEMA
+
+
+def _load_spans(path: Path):
+    """(schema, spans) where spans use the JSONL field names."""
+    text = path.read_text()
+    if path.suffix == ".jsonl":
+        lines = [json.loads(line) for line in text.splitlines() if line]
+        if not lines or "trace_schema" not in lines[0]:
+            raise ValueError("missing trace_schema header line")
+        return lines[0]["trace_schema"], lines[1:]
+    doc = json.loads(text)
+    schema = (doc.get("otherData") or {}).get("trace_schema")
+    spans = []
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") != "X":
+            raise ValueError(f"unexpected event phase {event.get('ph')!r}")
+        args = dict(event.get("args") or {})
+        spans.append({
+            "name": event.get("name"),
+            "id": args.pop("span_id", None),
+            "parent": args.pop("parent_id", None),
+            "ts": event.get("ts", 0) / 1e6,
+            "dur": event.get("dur", 0) / 1e6,
+            "pid": event.get("pid"),
+            "tid": event.get("tid"),
+            "attrs": args,
+        })
+    return schema, spans
+
+
+def check(path: Path, min_spans: int, min_pids: int,
+          expected: list) -> list:
+    """Every violated invariant as a diagnostic string."""
+    problems = []
+    try:
+        schema, spans = _load_spans(path)
+    except (OSError, ValueError, KeyError) as exc:
+        return [f"unreadable trace: {exc}"]
+    if schema != TRACE_SCHEMA:
+        problems.append(f"schema {schema!r} != {TRACE_SCHEMA}")
+    ids = set()
+    for i, span in enumerate(spans):
+        where = f"span {i} ({span.get('name')!r})"
+        for field in ("name", "id", "pid", "tid"):
+            if span.get(field) is None:
+                problems.append(f"{where}: missing {field}")
+        if span.get("id") in ids:
+            problems.append(f"{where}: duplicate id {span['id']}")
+        ids.add(span.get("id"))
+        if not isinstance(span.get("dur"), (int, float)) \
+                or span["dur"] < 0:
+            problems.append(f"{where}: bad duration {span.get('dur')!r}")
+        ts = span.get("ts")
+        if not isinstance(ts, (int, float)) or not 1e9 < ts < 1e10:
+            problems.append(f"{where}: implausible epoch ts {ts!r}")
+    for i, span in enumerate(spans):
+        parent = span.get("parent")
+        if parent is not None and parent not in ids:
+            problems.append(f"span {i} ({span.get('name')!r}): "
+                            f"dangling parent {parent}")
+    if len(spans) < min_spans:
+        problems.append(f"{len(spans)} spans < --min-spans {min_spans}")
+    pids = {span.get("pid") for span in spans}
+    if len(pids) < min_pids:
+        problems.append(f"{len(pids)} distinct pids < --min-pids "
+                        f"{min_pids} (cross-process spans missing)")
+    names = {span.get("name") for span in spans}
+    for name in expected:
+        if name not in names:
+            problems.append(f"expected span {name!r} absent "
+                            f"(have {sorted(n for n in names if n)})")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=Path)
+    parser.add_argument("--min-spans", type=int, default=1)
+    parser.add_argument("--min-pids", type=int, default=1)
+    parser.add_argument("--expect-span", action="append", default=[],
+                        metavar="NAME")
+    args = parser.parse_args(argv)
+    problems = check(args.trace, args.min_spans, args.min_pids,
+                     args.expect_span)
+    if problems:
+        for problem in problems:
+            print(f"{args.trace}: {problem}", file=sys.stderr)
+        return 1
+    _, spans = _load_spans(args.trace)
+    pids = {span.get("pid") for span in spans}
+    print(f"{args.trace}: ok -- {len(spans)} spans, "
+          f"{len(pids)} process(es)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

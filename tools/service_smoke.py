@@ -10,6 +10,10 @@ terminal picture:
 * the duplicate pair shared one execution (``/stats`` counts the hit)
   and returned bit-equal results;
 * cancelled jobs answer 410 on ``/jobs/<id>/result``;
+* done jobs serve a Chrome trace on ``/jobs/<id>/trace`` whose spans
+  carry the worker process's pid (cross-process collection);
+* ``/metrics`` serves Prometheus text with the job-latency histogram
+  and ``/stats`` carries hit rates + per-kind latency percentiles;
 * the engine never degraded.
 
 Throughput figures land in ``SERVICE_smoke.json`` (override with
@@ -106,6 +110,29 @@ def main() -> int:
                 raise AssertionError(f"{o['id']}: result after cancel")
             except ServiceError as err:
                 assert err.status == 410, err
+
+        # done jobs serve a Chrome trace; process-mode spans carry the
+        # worker pid, not the server's (cross-process collection)
+        done_jobs = [o for o in outcomes if o["state"] == "done"]
+        trace = client.trace(done_jobs[0]["id"])
+        events = trace["traceEvents"]
+        assert events, "empty trace for a done job"
+        names = {e["name"] for e in events}
+        assert "service.job" in names, sorted(names)
+        assert all(e["pid"] != os.getpid() for e in events), \
+            "job spans carry the server pid -- not from the worker"
+
+        # /metrics is scrape-ready Prometheus text
+        metrics = client.metrics()
+        assert "# TYPE" in metrics, metrics[:200]
+        assert "service_job_seconds_" in metrics, metrics[:200]
+        assert "service_queue_depth" in metrics, metrics[:200]
+
+        # /stats carries hit rates + per-kind latency percentiles
+        assert "store_hit_rate" in stats, sorted(stats)
+        latency = client.stats()["job_latency"]
+        assert latency and all("p90_s" in v for v in latency.values()), \
+            latency
 
         assert client.healthz()["degraded"] is False, "pool died"
 
